@@ -1,0 +1,22 @@
+//! Comparator controllers for the Full-Stack SDN evaluation.
+//!
+//! * [`fullrecompute`] — the conventional non-incremental controller
+//!   (work ∝ network size per change);
+//! * [`handwritten`] — an ovn-controller-style hand-written incremental
+//!   engine (work ∝ change, but at a large code-size and fragility
+//!   cost);
+//! * [`ofgen`] — an OpenFlow-fragment backend whose scattered flow
+//!   fragments reproduce the growth phenomenon of the paper's Fig. 3;
+//! * [`lb`] — the load-balancer worst-case workload of §2.2, with both a
+//!   DDlog program and a hand-written equivalent.
+#![warn(missing_docs)]
+
+pub mod fullrecompute;
+pub mod handwritten;
+pub mod lb;
+pub mod model;
+pub mod ofgen;
+
+pub use fullrecompute::FullRecompute;
+pub use handwritten::{Event, EventOutput, HandwrittenIncremental};
+pub use model::{LearnedMac, Mode, PortConfig};

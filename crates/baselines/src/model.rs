@@ -1,0 +1,53 @@
+//! The shared configuration model the comparator controllers consume:
+//! a plain-Rust view of the snvs management state.
+
+/// VLAN mode of a port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mode {
+    /// Access port with its VLAN tag.
+    Access(u16),
+    /// Trunk port with its allowed VLANs.
+    Trunk(Vec<u16>),
+}
+
+/// One configured port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortConfig {
+    /// Port number.
+    pub id: u16,
+    /// VLAN mode.
+    pub mode: Mode,
+    /// Mirror destination, if ingress traffic is mirrored.
+    pub mirror: Option<u16>,
+}
+
+/// One learned MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LearnedMac {
+    /// The port behind which the MAC was seen.
+    pub port: u16,
+    /// The 48-bit MAC.
+    pub mac: u64,
+    /// The VLAN it was learned on.
+    pub vlan: u16,
+}
+
+impl PortConfig {
+    /// Access-port shorthand.
+    pub fn access(id: u16, vlan: u16) -> PortConfig {
+        PortConfig { id, mode: Mode::Access(vlan), mirror: None }
+    }
+
+    /// Trunk-port shorthand.
+    pub fn trunk(id: u16, vlans: Vec<u16>) -> PortConfig {
+        PortConfig { id, mode: Mode::Trunk(vlans), mirror: None }
+    }
+
+    /// The VLANs this port belongs to.
+    pub fn vlans(&self) -> Vec<u16> {
+        match &self.mode {
+            Mode::Access(v) => vec![*v],
+            Mode::Trunk(vs) => vs.clone(),
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! E1 criterion bench: time to regenerate the full OpenFlow program as
+//! features accumulate (the compilation burden that grows alongside the
+//! Fig. 3 fragment counts).
+
+use baselines::ofgen::{all_features, FlowProgram, NetModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_fragment_generation");
+    group.sample_size(30);
+    let net = NetModel::sized(256);
+    for k in [3usize, 7, 11] {
+        group.bench_with_input(BenchmarkId::new("emit_features", k), &k, |b, &k| {
+            let features = all_features();
+            b.iter(|| {
+                let mut prog = FlowProgram::default();
+                for f in &features[..k] {
+                    f.emit(&net, &mut prog);
+                }
+                black_box(prog.flows.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

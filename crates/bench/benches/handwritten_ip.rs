@@ -1,0 +1,40 @@
+//! E7 criterion bench: one event through the hand-written incremental
+//! engine vs one reconcile of the full-recompute controller, at growing
+//! network sizes.
+
+use baselines::{Event, FullRecompute, HandwrittenIncremental, PortConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_handwritten_ip");
+    group.sample_size(20);
+    for n in [100u16, 1000, 4000] {
+        group.bench_with_input(BenchmarkId::new("incremental_event", n), &n, |b, &n| {
+            let mut inc = HandwrittenIncremental::new();
+            for i in 0..n {
+                inc.handle(Event::PortUpserted(PortConfig::access(i, 10 + (i % 64))));
+            }
+            b.iter(|| {
+                inc.handle(Event::PortUpserted(PortConfig::access(n, 10)));
+                black_box(inc.handle(Event::PortRemoved(n)));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("full_reconcile", n), &n, |b, &n| {
+            let mut full = FullRecompute::new();
+            let mut ports: Vec<PortConfig> =
+                (0..n).map(|i| PortConfig::access(i, 10 + (i % 64))).collect();
+            full.reconcile(&ports, &[]);
+            b.iter(|| {
+                ports.push(PortConfig::access(n, 10));
+                full.reconcile(&ports, &[]);
+                ports.pop();
+                black_box(full.reconcile(&ports, &[]));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

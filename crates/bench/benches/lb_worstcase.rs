@@ -1,0 +1,24 @@
+//! E5 criterion bench: the load-balancer cold-start + delete-all worst
+//! case, incremental engine vs hand-written controller.
+
+use baselines::lb::{run_ddlog, run_handwritten};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_lb_worstcase");
+    group.sample_size(10);
+    for (lbs, backends) in [(20usize, 50usize), (50, 100)] {
+        let id = format!("{lbs}x{backends}");
+        group.bench_with_input(BenchmarkId::new("ddlog_engine", &id), &(), |b, _| {
+            b.iter(|| black_box(run_ddlog(lbs, backends)));
+        });
+        group.bench_with_input(BenchmarkId::new("handwritten", &id), &(), |b, _| {
+            b.iter(|| black_box(run_handwritten(lbs, backends)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E2 criterion bench: per-port-add latency of the full Nerpa stack at
+//! different preloaded network sizes, vs the full-recompute baseline.
+//! The incremental series should be flat across sizes; the baseline grows.
+
+use baselines::{FullRecompute, PortConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snvs::{PortMode, SnvsStack};
+use std::hint::black_box;
+
+fn preloaded_stack(n: u16) -> SnvsStack {
+    let mut stack = SnvsStack::new(1).expect("stack");
+    for i in 0..n {
+        stack.add_port(i, PortMode::Access(10 + (i % 64)), None).unwrap();
+    }
+    stack
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_port_add");
+    group.sample_size(20);
+    for n in [100u16, 1000, 2000] {
+        group.bench_with_input(BenchmarkId::new("nerpa_incremental", n), &n, |b, &n| {
+            let mut stack = preloaded_stack(n);
+            let mut next = n;
+            b.iter(|| {
+                // Add + remove one port so state stays at size n.
+                stack.add_port(next, PortMode::Access(10), None).unwrap();
+                stack.remove_port(next).unwrap();
+                next = if next >= u16::MAX - 2 { n } else { next };
+                black_box(&stack);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("full_recompute", n), &n, |b, &n| {
+            let mut baseline = FullRecompute::new();
+            let mut ports: Vec<PortConfig> =
+                (0..n).map(|i| PortConfig::access(i, 10 + (i % 64))).collect();
+            baseline.reconcile(&ports, &[]);
+            b.iter(|| {
+                ports.push(PortConfig::access(n, 10));
+                baseline.reconcile(&ports, &[]);
+                ports.pop();
+                black_box(baseline.reconcile(&ports, &[]));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

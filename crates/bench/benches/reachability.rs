@@ -1,0 +1,42 @@
+//! E4 criterion bench: single edge insert+delete against preloaded graphs
+//! of growing size, vs recomputing the labeling from scratch.
+
+use bench::{random_graph, reachability_engine, REACHABILITY_PROGRAM};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddlog::{Engine, Transaction, Value};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_reachability");
+    group.sample_size(10);
+    for n in [100u64, 1000, 5000] {
+        let m = n * 3;
+        group.bench_with_input(BenchmarkId::new("incremental_edge_flap", n), &n, |b, &n| {
+            let mut engine = reachability_engine(n, m, 42);
+            b.iter(|| {
+                let mut txn = Transaction::new();
+                txn.insert("Edge", vec![Value::Int(1), Value::Int(2)]);
+                engine.commit(txn).unwrap();
+                let mut txn = Transaction::new();
+                txn.delete("Edge", vec![Value::Int(1), Value::Int(2)]);
+                black_box(engine.commit(txn).unwrap());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("full_recompute", n), &n, |b, &n| {
+            let edges = random_graph(n, m, 42);
+            b.iter(|| {
+                let mut engine = Engine::from_source(REACHABILITY_PROGRAM).unwrap();
+                let mut txn = Transaction::new();
+                txn.insert("GivenLabel", vec![Value::Int(0), Value::Int(1)]);
+                for (a, bb) in &edges {
+                    txn.insert("Edge", vec![Value::Int(*a), Value::Int(*bb)]);
+                }
+                black_box(engine.commit(txn).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! E7 (§2.2): the hand-written incremental-processing engine. "An
+//! alternative implementation provided by eBay followed a more
+//! disciplined approach with an engine based on C callbacks. This reduced
+//! latency by 3x and CPU cost by 20x in production."
+//!
+//! We replay the same change stream through our hand-written incremental
+//! controller and the full-recompute controller and report the latency /
+//! CPU ratios.
+
+use std::time::{Duration, Instant};
+
+use baselines::{Event, FullRecompute, HandwrittenIncremental, LearnedMac, PortConfig};
+use bench::{ms, print_table};
+
+fn main() {
+    println!("E7: hand-written incremental vs full recompute (paper: 3x latency, 20x CPU)");
+    let mut rows = Vec::new();
+    for n in [500usize, 2000] {
+        // Change stream: n port adds then n mac learns.
+        let mut events = Vec::new();
+        for i in 0..n {
+            events.push(Event::PortUpserted(PortConfig::access(i as u16, 10 + (i % 64) as u16)));
+        }
+        for i in 0..n {
+            events.push(Event::MacLearned(LearnedMac {
+                port: (i % n) as u16,
+                mac: 0xAA00 + i as u64,
+                vlan: 10 + (i % 64) as u16,
+            }));
+        }
+
+        // Hand-written incremental.
+        let mut inc = HandwrittenIncremental::new();
+        let mut inc_lat = Duration::ZERO;
+        let mut inc_max = Duration::ZERO;
+        let t_all = Instant::now();
+        for e in &events {
+            let t = Instant::now();
+            inc.handle(e.clone());
+            let d = t.elapsed();
+            inc_lat += d;
+            inc_max = inc_max.max(d);
+        }
+        let inc_total = t_all.elapsed();
+
+        // Full recompute.
+        let mut full = FullRecompute::new();
+        let mut ports: Vec<PortConfig> = Vec::new();
+        let mut macs: Vec<LearnedMac> = Vec::new();
+        let mut full_lat = Duration::ZERO;
+        let mut full_max = Duration::ZERO;
+        let t_all = Instant::now();
+        for e in &events {
+            match e {
+                Event::PortUpserted(c) => {
+                    ports.retain(|p| p.id != c.id);
+                    ports.push(c.clone());
+                }
+                Event::PortRemoved(id) => ports.retain(|p| p.id != *id),
+                Event::MacLearned(m) => macs.push(*m),
+            }
+            let t = Instant::now();
+            full.reconcile(&ports, &macs);
+            let d = t.elapsed();
+            full_lat += d;
+            full_max = full_max.max(d);
+        }
+        let full_total = t_all.elapsed();
+
+        rows.push(vec![
+            n.to_string(),
+            ms(inc_total),
+            ms(inc_max),
+            ms(full_total),
+            ms(full_max),
+            format!("{:.0}x", full_max.as_secs_f64() / inc_max.as_secs_f64().max(1e-9)),
+            format!("{:.0}x", full_total.as_secs_f64() / inc_total.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    print_table(
+        "replaying the same change stream",
+        &[
+            "changes x2",
+            "incr cpu(ms)",
+            "incr worst(ms)",
+            "full cpu(ms)",
+            "full worst(ms)",
+            "latency ratio",
+            "cpu ratio",
+        ],
+        &rows,
+    );
+    println!(
+        "\nshape check: incrementality wins by a widening margin as the network grows \
+         (the paper's production numbers were 3x latency / 20x CPU at eBay's scale)."
+    );
+}

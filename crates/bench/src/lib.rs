@@ -1,0 +1,189 @@
+//! Shared workload generators and reporting helpers for the experiment
+//! harness. Each experiment (E1–E8, see DESIGN.md) has a report binary
+//! in `src/bin/` and, where timing matters, a Criterion bench in
+//! `benches/`.
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The paper's introductory reachability-labeling program (§1).
+pub const REACHABILITY_PROGRAM: &str = "
+input relation GivenLabel(n: bigint, l: bigint)
+input relation Edge(a: bigint, b: bigint)
+output relation Label(n: bigint, l: bigint)
+Label(n, l) :- GivenLabel(n, l).
+Label(b, l) :- Label(a, l), Edge(a, b).
+";
+
+/// A deterministic random digraph: `m` edges over `n` nodes.
+pub fn random_graph(n: u64, m: u64, seed: u64) -> Vec<(i128, i128)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        let a = rng.random_range(0..n) as i128;
+        let b = rng.random_range(0..n) as i128;
+        edges.push((a, b));
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// Build a reachability engine preloaded with a random graph and one
+/// labeled root.
+pub fn reachability_engine(n: u64, m: u64, seed: u64) -> ddlog::Engine {
+    let mut engine = ddlog::Engine::from_source(REACHABILITY_PROGRAM).expect("program");
+    let mut txn = ddlog::Transaction::new();
+    txn.insert("GivenLabel", vec![ddlog::Value::Int(0), ddlog::Value::Int(1)]);
+    for (a, b) in random_graph(n, m, seed) {
+        txn.insert("Edge", vec![ddlog::Value::Int(a), ddlog::Value::Int(b)]);
+    }
+    engine.commit(txn).expect("preload");
+    engine
+}
+
+/// The Robotron-style network model (§2.1): devices, interfaces, links,
+/// and BGP policies, from which per-device configs are derived.
+pub const ROBOTRON_PROGRAM: &str = "
+input relation Device(dev: bigint, role: string, pod: bigint)
+input relation Interface(dev: bigint, iface: bigint, speed: bigint)
+input relation CircuitLink(a_dev: bigint, a_if: bigint, b_dev: bigint, b_if: bigint)
+input relation BgpPolicy(pod: bigint, policy: string)
+
+output relation IfaceConfig(dev: bigint, iface: bigint, mtu: bigint, desc: string)
+output relation BgpSession(a_dev: bigint, b_dev: bigint, policy: string)
+
+IfaceConfig(d, i, 9000, \"role:\" ++ role) :-
+    Device(d, role, _), Interface(d, i, _).
+BgpSession(a, b, pol) :-
+    CircuitLink(a, _, b, _),
+    Device(a, _, pod),
+    BgpPolicy(pod, pol).
+";
+
+/// Sizes for the Robotron model.
+#[derive(Debug, Clone, Copy)]
+pub struct RobotronScale {
+    /// Number of devices.
+    pub devices: u64,
+    /// Interfaces per device.
+    pub ifaces_per_device: u64,
+}
+
+/// Build a Robotron engine preloaded at the given scale.
+pub fn robotron_engine(scale: RobotronScale, seed: u64) -> ddlog::Engine {
+    use ddlog::Value::{Int, Str};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut engine = ddlog::Engine::from_source(ROBOTRON_PROGRAM).expect("program");
+    let mut txn = ddlog::Transaction::new();
+    for d in 0..scale.devices {
+        let role = if d % 10 == 0 { "spine" } else { "rack" };
+        txn.insert(
+            "Device",
+            vec![Int(d as i128), Str(role.into()), Int((d % 16) as i128)],
+        );
+        for i in 0..scale.ifaces_per_device {
+            txn.insert("Interface", vec![Int(d as i128), Int(i as i128), Int(100)]);
+        }
+    }
+    for pod in 0..16 {
+        txn.insert("BgpPolicy", vec![Int(pod), Str("default".into())]);
+    }
+    // A sparse link mesh.
+    for _ in 0..scale.devices {
+        let a = rng.random_range(0..scale.devices) as i128;
+        let b = rng.random_range(0..scale.devices) as i128;
+        txn.insert("CircuitLink", vec![Int(a), Int(0), Int(b), Int(0)]);
+    }
+    engine.commit(txn).expect("preload");
+    engine
+}
+
+/// One day of Robotron churn: ~50 small model changes (§2.1: "more than
+/// 50 lines change across models" daily). Returns the number of changed
+/// input rows.
+pub fn robotron_daily_churn(
+    engine: &mut ddlog::Engine,
+    scale: RobotronScale,
+    day: u64,
+) -> usize {
+    use ddlog::Value::Int;
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE + day);
+    let mut changed = 0;
+    for _ in 0..50 {
+        let mut txn = ddlog::Transaction::new();
+        let d = rng.random_range(0..scale.devices) as i128;
+        let i = rng.random_range(0..scale.ifaces_per_device) as i128;
+        // A device attribute flaps: remove + re-add an interface (two
+        // model lines), the typical small change.
+        txn.delete("Interface", vec![Int(d), Int(i), Int(100)]);
+        txn.insert("Interface", vec![Int(d), Int(i), Int(100)]);
+        changed += 2;
+        engine.commit(txn).expect("churn");
+    }
+    changed
+}
+
+/// Format a duration in milliseconds with 3 decimals.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Print a report table: a header row then aligned data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_is_deterministic() {
+        assert_eq!(random_graph(100, 300, 7), random_graph(100, 300, 7));
+        assert_ne!(random_graph(100, 300, 7), random_graph(100, 300, 8));
+    }
+
+    #[test]
+    fn reachability_engine_labels_reachable_nodes() {
+        let e = reachability_engine(50, 200, 1);
+        let labels = e.dump("Label").unwrap();
+        assert!(!labels.is_empty());
+        assert!(labels.len() <= 50);
+    }
+
+    #[test]
+    fn robotron_preload_and_churn() {
+        let scale = RobotronScale { devices: 40, ifaces_per_device: 4 };
+        let mut e = robotron_engine(scale, 3);
+        let configs = e.relation_len("IfaceConfig").unwrap();
+        assert_eq!(configs, 160);
+        let changed = robotron_daily_churn(&mut e, scale, 0);
+        assert_eq!(changed, 100);
+        // Churn must not corrupt the derived state (delete+re-add is
+        // identity).
+        assert_eq!(e.relation_len("IfaceConfig").unwrap(), configs);
+    }
+}

@@ -1,0 +1,356 @@
+//! Cross-plane code generation — the heart of Nerpa's co-design story
+//! (§3–§4.2 of the paper).
+//!
+//! * [`ovsdb2ddlog`] generates one DDlog **input** relation per
+//!   management-plane table (the paper's `ovsdb2ddlog` tool);
+//! * [`p4info2ddlog`] generates one DDlog **output** relation per P4
+//!   match-action table and one **input** relation per packet digest
+//!   (the paper's `p4info2ddlog` tool).
+//!
+//! The generated declarations are concatenated with the programmer's
+//! rules and compiled together, so any mismatch between planes surfaces
+//! as a type error — "all three parts are type-checked together".
+
+use ovsdb::schema::{ColumnType, Schema};
+use p4sim::p4info::{P4Info, TableInfo};
+
+/// How a P4 table maps onto its generated DDlog output relation.
+#[derive(Debug, Clone)]
+pub struct TableBinding {
+    /// Relation (and table) name.
+    pub relation: String,
+    /// The P4 table description.
+    pub table: TableInfo,
+    /// True when a leading `switch_id: bigint` column routes entries to a
+    /// specific switch.
+    pub per_switch: bool,
+    /// True when the relation carries a `priority: bigint` column
+    /// (any ternary key forces it).
+    pub has_priority: bool,
+    /// Parameter columns: (column name, action it belongs to, param index).
+    pub param_cols: Vec<(String, String, usize)>,
+}
+
+/// How a digest maps onto its generated DDlog input relation.
+#[derive(Debug, Clone)]
+pub struct DigestBinding {
+    /// Relation (and digest struct) name.
+    pub relation: String,
+    /// Field names and widths, in order. A leading implicit
+    /// `switch_id: bigint` column is added when `per_switch`.
+    pub fields: Vec<(String, u16)>,
+    /// True when digests are tagged with the originating switch.
+    pub per_switch: bool,
+}
+
+/// Options controlling generation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CodegenOptions {
+    /// Add `switch_id: bigint` columns so one control plane can program
+    /// several switches running the same P4 program (the paper's
+    /// multi-device deployment).
+    pub per_switch: bool,
+}
+
+/// Generated code plus the bindings the controller needs at runtime.
+#[derive(Debug, Clone, Default)]
+pub struct Generated {
+    /// DDlog source text (relation declarations only).
+    pub source: String,
+    /// P4-table bindings.
+    pub tables: Vec<TableBinding>,
+    /// Digest bindings.
+    pub digests: Vec<DigestBinding>,
+    /// Names of generated OVSDB input relations.
+    pub ovsdb_relations: Vec<String>,
+}
+
+/// Map an OVSDB column type to a DDlog type expression.
+///
+/// Optional scalars (`min 0, max 1`) become `Set<T>` — faithfully
+/// mirroring OVSDB's "a scalar is a set of size one" data model.
+pub fn ovsdb_type_to_ddlog(ct: &ColumnType) -> String {
+    let base = |bt: &ovsdb::schema::BaseType| -> &'static str {
+        match bt.ty {
+            ovsdb::AtomType::Integer => "bigint",
+            ovsdb::AtomType::Real => "double",
+            ovsdb::AtomType::Boolean => "bool",
+            ovsdb::AtomType::String => "string",
+            ovsdb::AtomType::Uuid => "uuid",
+        }
+    };
+    if let Some(v) = &ct.value {
+        return format!("Map<{},{}>", base(&ct.key), base(v));
+    }
+    if ct.min == 1 && ct.max == 1 {
+        return base(&ct.key).to_string();
+    }
+    format!("Set<{}>", base(&ct.key))
+}
+
+/// Generate input relations for every table of an OVSDB schema.
+pub fn ovsdb2ddlog(schema: &Schema) -> Generated {
+    let mut src = String::new();
+    let mut rels = Vec::new();
+    src.push_str(&format!(
+        "// ---- generated from OVSDB schema `{}` (version {}) ----\n",
+        schema.name, schema.version
+    ));
+    for (tname, table) in &schema.tables {
+        let mut cols = vec!["_uuid: uuid".to_string()];
+        for (cname, col) in &table.columns {
+            cols.push(format!("{}: {}", sanitize(cname), ovsdb_type_to_ddlog(&col.ty)));
+        }
+        src.push_str(&format!("input relation {}({})\n", tname, cols.join(", ")));
+        rels.push(tname.clone());
+    }
+    Generated { source: src, ovsdb_relations: rels, ..Default::default() }
+}
+
+/// Generate output relations for every P4 table and input relations for
+/// every digest.
+pub fn p4info2ddlog(info: &P4Info, opts: CodegenOptions) -> Generated {
+    let mut src = String::new();
+    let mut tables = Vec::new();
+    let mut digests = Vec::new();
+    src.push_str(&format!(
+        "// ---- generated from P4 program `{}` ----\n",
+        info.program
+    ));
+    for t in &info.tables {
+        let mut cols = Vec::new();
+        if opts.per_switch {
+            cols.push("switch_id: bigint".to_string());
+        }
+        let mut has_priority = false;
+        for k in &t.keys {
+            let kname = sanitize(&k.name);
+            match k.match_kind.as_str() {
+                "exact" => cols.push(format!("{kname}: bit<{}>", k.width)),
+                "lpm" => {
+                    cols.push(format!("{kname}: bit<{}>", k.width));
+                    cols.push(format!("{kname}_prefix_len: bigint"));
+                }
+                "ternary" => {
+                    cols.push(format!("{kname}: bit<{}>", k.width));
+                    cols.push(format!("{kname}_mask: bit<{}>", k.width));
+                    has_priority = true;
+                }
+                other => unreachable!("unknown match kind {other}"),
+            }
+        }
+        if has_priority {
+            cols.push("priority: bigint".to_string());
+        }
+        cols.push("action: string".to_string());
+        let mut param_cols = Vec::new();
+        for a in &t.actions {
+            for (i, p) in a.params.iter().enumerate() {
+                let col = format!("{}_{}", a.name, p.name);
+                cols.push(format!("{col}: bit<{}>", p.width));
+                param_cols.push((col, a.name.clone(), i));
+            }
+        }
+        src.push_str(&format!("output relation {}({})\n", t.name, cols.join(", ")));
+        tables.push(TableBinding {
+            relation: t.name.clone(),
+            table: t.clone(),
+            per_switch: opts.per_switch,
+            has_priority,
+            param_cols,
+        });
+    }
+    for d in &info.digests {
+        let mut cols = Vec::new();
+        if opts.per_switch {
+            cols.push("switch_id: bigint".to_string());
+        }
+        for f in &d.fields {
+            cols.push(format!("{}: bit<{}>", sanitize(&f.name), f.width));
+        }
+        src.push_str(&format!("input relation {}({})\n", d.name, cols.join(", ")));
+        digests.push(DigestBinding {
+            relation: d.name.clone(),
+            fields: d.fields.iter().map(|f| (f.name.clone(), f.width)).collect(),
+            per_switch: opts.per_switch,
+        });
+    }
+    Generated { source: src, tables, digests, ..Default::default() }
+}
+
+/// Turn a P4 key name like `std.ingress_port` or `hdr.eth.dst` into a
+/// valid DDlog column identifier.
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    // Strip the standard prefixes for readability: std_x → x,
+    // hdr_eth_dst stays distinctive.
+    if let Some(rest) = out.strip_prefix("std_") {
+        out = rest.to_string();
+    }
+    if let Some(rest) = out.strip_prefix("meta_") {
+        out = rest.to_string();
+    }
+    out
+}
+
+/// Combine generated declarations with hand-written rules into a full
+/// program source. This is the "unified program" the developer ships.
+pub fn assemble_program(parts: &[&Generated], rules: &str) -> String {
+    let mut src = String::new();
+    for p in parts {
+        src.push_str(&p.source);
+        src.push('\n');
+    }
+    src.push_str("// ---- hand-written control-plane rules ----\n");
+    src.push_str(rules);
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn demo_schema() -> Schema {
+        Schema::from_json(&json!({
+            "name": "snvs",
+            "tables": {
+                "Port": {"columns": {
+                    "id": {"type": "integer"},
+                    "vlan_mode": {"type": {"key": "string", "min": 0, "max": 1}},
+                    "tag": {"type": {"key": "integer", "min": 0, "max": 1}},
+                    "trunks": {"type": {"key": "integer", "min": 0, "max": "unlimited"}},
+                    "options": {"type": {"key": "string", "value": "string",
+                                 "min": 0, "max": "unlimited"}}
+                }, "isRoot": true}
+            }
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn ovsdb_generation() {
+        let gen = ovsdb2ddlog(&demo_schema());
+        assert!(gen.source.contains(
+            "input relation Port(_uuid: uuid, id: bigint, options: Map<string,string>, \
+             tag: Set<bigint>, trunks: Set<bigint>, vlan_mode: Set<string>)"
+        ), "{}", gen.source);
+        assert_eq!(gen.ovsdb_relations, vec!["Port"]);
+    }
+
+    #[test]
+    fn p4info_generation() {
+        let prog = p4sim::parse_p4(p4sim::parser::DEMO).unwrap();
+        let info = P4Info::from_program(&prog);
+        let gen = p4info2ddlog(&info, CodegenOptions::default());
+        assert!(
+            gen.source.contains(
+                "output relation InVlan(ingress_port: bit<16>, action: string, set_vlan_vid: bit<12>)"
+            ),
+            "{}",
+            gen.source
+        );
+        assert!(
+            gen.source.contains(
+                "output relation MacLearned(vlan_id: bit<12>, hdr_eth_dst: bit<48>, \
+                 action: string, output_port: bit<16>)"
+            ),
+            "{}",
+            gen.source
+        );
+        assert!(gen
+            .source
+            .contains("input relation mac_learn_digest_t(port: bit<16>, mac: bit<48>, vlan: bit<12>)"));
+        assert_eq!(gen.tables.len(), 2);
+        assert_eq!(gen.digests.len(), 1);
+    }
+
+    #[test]
+    fn per_switch_columns() {
+        let prog = p4sim::parse_p4(p4sim::parser::DEMO).unwrap();
+        let info = P4Info::from_program(&prog);
+        let gen = p4info2ddlog(&info, CodegenOptions { per_switch: true });
+        assert!(gen.source.contains("output relation InVlan(switch_id: bigint, "));
+        assert!(gen.source.contains("input relation mac_learn_digest_t(switch_id: bigint, "));
+    }
+
+    #[test]
+    fn generated_code_typechecks_with_rules() {
+        // Fig. 5 of the paper: the InVlan output relation computed from
+        // the Port input relation by one hand-written rule.
+        let schema_gen = ovsdb2ddlog(&demo_schema());
+        let prog = p4sim::parse_p4(p4sim::parser::DEMO).unwrap();
+        let p4_gen = p4info2ddlog(&P4Info::from_program(&prog), CodegenOptions::default());
+        let rules = r#"
+            InVlan(id as bit<16>, "set_vlan", tag as bit<12>) :-
+                Port(_, id, _, tags, _, modes),
+                set_contains(modes, "access"),
+                var tag = FlatMap(tags).
+        "#;
+        let src = assemble_program(&[&schema_gen, &p4_gen], rules);
+        let engine = ddlog::Engine::from_source(&src);
+        assert!(engine.is_ok(), "{src}\n{:?}", engine.err());
+    }
+
+    #[test]
+    fn type_mismatch_across_planes_rejected() {
+        // The paper's correctness claim: using a management-plane column
+        // at the wrong data-plane width is a compile error.
+        let schema_gen = ovsdb2ddlog(&demo_schema());
+        let prog = p4sim::parse_p4(p4sim::parser::DEMO).unwrap();
+        let p4_gen = p4info2ddlog(&P4Info::from_program(&prog), CodegenOptions::default());
+        let rules = r#"
+            InVlan(id, "set_vlan", 1) :- Port(_, id, _, _, _, _).
+        "#; // `id` is bigint, key is bit<16>: must not typecheck
+        let src = assemble_program(&[&schema_gen, &p4_gen], rules);
+        assert!(ddlog::Engine::from_source(&src).is_err());
+    }
+
+    #[test]
+    fn lpm_and_ternary_columns() {
+        let p4 = r#"
+            header ipv4_t { bit<32> src; bit<32> dst; bit<8> proto; }
+            struct headers_t { ipv4_t ip; }
+            struct meta_t { bit<1> unused; }
+            parser P(packet_in pkt, out headers_t hdr, inout meta_t meta,
+                     inout standard_metadata_t std) {
+                state start { pkt.extract(hdr.ip); transition accept; }
+            }
+            control I(inout headers_t hdr, inout meta_t meta,
+                      inout standard_metadata_t std) {
+                action fwd(bit<16> port) { std.egress_spec = port; }
+                action deny() { mark_to_drop(); }
+                table Route {
+                    key = { hdr.ip.dst: lpm; }
+                    actions = { fwd; }
+                }
+                table Acl {
+                    key = { hdr.ip.src: ternary; hdr.ip.proto: exact; }
+                    actions = { deny; fwd; }
+                }
+                apply { Acl.apply(); Route.apply(); }
+            }
+            control E(inout headers_t hdr, inout meta_t meta,
+                      inout standard_metadata_t std) { apply { } }
+            V1Switch(P(), I(), E()) main;
+        "#;
+        let prog = p4sim::parse_p4(p4).unwrap();
+        let gen = p4info2ddlog(&P4Info::from_program(&prog), CodegenOptions::default());
+        assert!(gen.source.contains(
+            "output relation Route(hdr_ip_dst: bit<32>, hdr_ip_dst_prefix_len: bigint, \
+             action: string, fwd_port: bit<16>)"
+        ), "{}", gen.source);
+        assert!(gen.source.contains(
+            "output relation Acl(hdr_ip_src: bit<32>, hdr_ip_src_mask: bit<32>, \
+             hdr_ip_proto: bit<8>, priority: bigint, action: string, deny"
+        ) || gen.source.contains(
+            "output relation Acl(hdr_ip_src: bit<32>, hdr_ip_src_mask: bit<32>, \
+             hdr_ip_proto: bit<8>, priority: bigint, action: string, fwd_port: bit<16>)"
+        ), "{}", gen.source);
+        let acl = gen.tables.iter().find(|t| t.relation == "Acl").unwrap();
+        assert!(acl.has_priority);
+    }
+}

@@ -1,0 +1,336 @@
+//! The Nerpa controller: state synchronization between the three planes.
+//!
+//! The controller owns the incremental DDlog engine. Management-plane
+//! changes (OVSDB monitor updates) and data-plane notifications (digests)
+//! become engine transactions; output deltas become P4Runtime writes —
+//! including the digest feedback loop of Fig. 4.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{Receiver, Select};
+use ddlog::{Engine, Transaction, TxnDelta};
+use ovsdb::db::RowChange;
+use p4sim::runtime::{Digest, Update};
+use p4sim::service::SwitchDevice;
+use serde_json::Value as Json;
+
+use crate::codegen::{
+    assemble_program, ovsdb2ddlog, p4info2ddlog, CodegenOptions, DigestBinding, Generated,
+    TableBinding,
+};
+use crate::convert;
+
+/// Anything that accepts P4Runtime writes (an in-process device or a TCP
+/// control client).
+pub trait DataPlane: Send {
+    /// Apply updates atomically.
+    fn write_updates(&self, updates: &[Update]) -> Result<(), String>;
+
+    /// Configure a multicast group (empty ports = remove).
+    fn set_mcast_group(&self, group: u16, ports: Vec<u16>) -> Result<(), String>;
+}
+
+impl DataPlane for SwitchDevice {
+    fn write_updates(&self, updates: &[Update]) -> Result<(), String> {
+        self.write(updates)
+    }
+
+    fn set_mcast_group(&self, group: u16, ports: Vec<u16>) -> Result<(), String> {
+        SwitchDevice::set_mcast_group(self, group, ports);
+        Ok(())
+    }
+}
+
+impl DataPlane for p4sim::service::ControlClient {
+    fn write_updates(&self, updates: &[Update]) -> Result<(), String> {
+        self.write(updates.to_vec())
+    }
+
+    fn set_mcast_group(&self, group: u16, ports: Vec<u16>) -> Result<(), String> {
+        p4sim::service::ControlClient::set_mcast_group(self, group, ports)
+    }
+}
+
+/// Latency and work metrics, the measurement surface for the paper's
+/// §4.3 experiment.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// End-to-end latency of each handled event (change observed →
+    /// data-plane write acknowledged).
+    pub event_latencies: Vec<Duration>,
+    /// Number of engine transactions committed.
+    pub transactions: u64,
+    /// Number of table-entry updates pushed to switches.
+    pub entries_pushed: u64,
+}
+
+impl Metrics {
+    /// First recorded latency.
+    pub fn first_latency(&self) -> Option<Duration> {
+        self.event_latencies.first().copied()
+    }
+
+    /// Last recorded latency.
+    pub fn last_latency(&self) -> Option<Duration> {
+        self.event_latencies.last().copied()
+    }
+}
+
+/// Build-time description of a Nerpa program: the three plane artifacts.
+pub struct NerpaProgram {
+    /// The management-plane schema.
+    pub schema: ovsdb::Schema,
+    /// The data-plane program's control surface.
+    pub p4info: p4sim::P4Info,
+    /// Hand-written control-plane rules.
+    pub rules: String,
+    /// Codegen options.
+    pub options: CodegenOptions,
+}
+
+impl NerpaProgram {
+    /// Generate declarations and assemble the complete DDlog source.
+    pub fn generate(&self) -> (String, Generated, Generated) {
+        let schema_gen = ovsdb2ddlog(&self.schema);
+        let p4_gen = p4info2ddlog(&self.p4info, self.options);
+        let src = assemble_program(&[&schema_gen, &p4_gen], &self.rules);
+        (src, schema_gen, p4_gen)
+    }
+}
+
+/// The controller.
+pub struct Controller {
+    engine: Engine,
+    schema: ovsdb::Schema,
+    tables: HashMap<String, TableBinding>,
+    digests: HashMap<String, DigestBinding>,
+    switches: Vec<Box<dyn DataPlane>>,
+    /// Replication state derived from the `MulticastGroup` convention
+    /// relation: (switch, group) → member ports.
+    mcast: HashMap<(usize, u16), std::collections::BTreeSet<u16>>,
+    /// Metrics collected so far.
+    pub metrics: Metrics,
+}
+
+impl Controller {
+    /// Compile a Nerpa program into a running controller. This is where
+    /// the whole stack is type-checked together; errors carry the DDlog
+    /// diagnostics.
+    pub fn new(program: &NerpaProgram) -> Result<Controller, String> {
+        let (src, _schema_gen, p4_gen) = program.generate();
+        let engine = Engine::from_source(&src).map_err(|e| e.to_string())?;
+        Ok(Controller {
+            engine,
+            schema: program.schema.clone(),
+            tables: p4_gen
+                .tables
+                .into_iter()
+                .map(|t| (t.relation.clone(), t))
+                .collect(),
+            digests: p4_gen
+                .digests
+                .into_iter()
+                .map(|d| (d.relation.clone(), d))
+                .collect(),
+            switches: Vec::new(),
+            mcast: HashMap::new(),
+            metrics: Metrics::default(),
+        })
+    }
+
+    /// Register a data plane; returns its switch id (used by
+    /// `switch_id` routing and digest attribution).
+    pub fn add_switch(&mut self, dp: Box<dyn DataPlane>) -> usize {
+        self.switches.push(dp);
+        self.switches.len() - 1
+    }
+
+    /// Number of registered switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Direct read access to the engine (dumps, diagnostics).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Handle committed OVSDB row changes (in-process path).
+    pub fn handle_row_changes(&mut self, changes: &[RowChange]) -> Result<TxnDelta, String> {
+        let rel_types = |name: &str| self.engine.relation_types(name);
+        let ops = convert::changes_to_ops(changes, &self.schema, &rel_types)?;
+        self.commit_and_push(ops)
+    }
+
+    /// Handle a monitor `table-updates` JSON object (TCP path; also the
+    /// initial state returned by the `monitor` call).
+    pub fn handle_monitor_update(&mut self, updates: &Json) -> Result<TxnDelta, String> {
+        let rel_types = |name: &str| self.engine.relation_types(name);
+        let ops = convert::monitor_update_to_ops(updates, &self.schema, &rel_types)?;
+        self.commit_and_push(ops)
+    }
+
+    /// Handle digests from switch `switch_id` (the feedback loop).
+    pub fn handle_digests(
+        &mut self,
+        switch_id: usize,
+        digests: &[Digest],
+    ) -> Result<TxnDelta, String> {
+        let mut ops = Vec::new();
+        for d in digests {
+            let Some(binding) = self.digests.get(&d.name) else {
+                continue; // digest type not used by the control plane
+            };
+            let vals = convert::digest_to_values(d, binding, switch_id)?;
+            ops.push((d.name.clone(), vals, true));
+        }
+        self.commit_and_push(ops)
+    }
+
+    fn commit_and_push(
+        &mut self,
+        ops: Vec<(String, Vec<Value>, bool)>,
+    ) -> Result<TxnDelta, String> {
+        if ops.is_empty() {
+            return Ok(TxnDelta::default());
+        }
+        let start = Instant::now();
+        let mut txn = Transaction::new();
+        for (rel, row, insert) in ops {
+            if insert {
+                txn.insert(rel, row);
+            } else {
+                txn.delete(rel, row);
+            }
+        }
+        let delta = self.engine.commit(txn).map_err(|e| e.to_string())?;
+        self.metrics.transactions += 1;
+
+        // Route output deltas to switches. Deletes go first so that
+        // replacing an entry (delete+insert of the same key) is valid.
+        let mut per_switch: HashMap<usize, (Vec<Update>, Vec<Update>)> = HashMap::new();
+        for (rel, rows) in &delta.changes {
+            if rel == "MulticastGroup" {
+                self.apply_mcast_delta(rows)?;
+                continue;
+            }
+            let Some(binding) = self.tables.get(rel) else { continue };
+            for (row, weight) in rows {
+                let (target, update) = convert::row_to_update(row, *weight, binding)?;
+                let targets: Vec<usize> = match target {
+                    Some(t) if t < self.switches.len() => vec![t],
+                    Some(_) => vec![],
+                    None => (0..self.switches.len()).collect(),
+                };
+                for t in targets {
+                    let bucket = per_switch.entry(t).or_default();
+                    if weight < &0 {
+                        bucket.0.push(update.clone());
+                    } else {
+                        bucket.1.push(update.clone());
+                    }
+                }
+            }
+        }
+        for (t, (dels, ins)) in per_switch {
+            let mut updates = dels;
+            updates.extend(ins);
+            self.metrics.entries_pushed += updates.len() as u64;
+            self.switches[t].write_updates(&updates)?;
+        }
+        self.metrics.event_latencies.push(start.elapsed());
+        Ok(delta)
+    }
+
+    /// Apply a delta of the convention relation
+    /// `output relation MulticastGroup(group, port)` (optionally with a
+    /// leading `switch_id` column when there are ≥3 columns): maintain
+    /// group membership and push it to the data planes.
+    fn apply_mcast_delta(&mut self, rows: &[(Vec<Value>, isize)]) -> Result<(), String> {
+        let mut touched: std::collections::BTreeSet<(usize, u16)> = std::collections::BTreeSet::new();
+        for (row, w) in rows {
+            let (switches, group, port): (Vec<usize>, u16, u16) = match row.len() {
+                2 => {
+                    let g = row[0].as_u128().ok_or("MulticastGroup: bad group")? as u16;
+                    let p = row[1].as_u128().ok_or("MulticastGroup: bad port")? as u16;
+                    ((0..self.switches.len()).collect(), g, p)
+                }
+                3 => {
+                    let s = row[0].as_u128().ok_or("MulticastGroup: bad switch")? as usize;
+                    let g = row[1].as_u128().ok_or("MulticastGroup: bad group")? as u16;
+                    let p = row[2].as_u128().ok_or("MulticastGroup: bad port")? as u16;
+                    (vec![s], g, p)
+                }
+                n => return Err(format!("MulticastGroup must have 2 or 3 columns, has {n}")),
+            };
+            for s in switches {
+                let set = self.mcast.entry((s, group)).or_default();
+                if *w > 0 {
+                    set.insert(port);
+                } else {
+                    set.remove(&port);
+                }
+                touched.insert((s, group));
+            }
+        }
+        for (s, group) in touched {
+            if s >= self.switches.len() {
+                continue;
+            }
+            let ports: Vec<u16> = self
+                .mcast
+                .get(&(s, group))
+                .map(|set| set.iter().copied().collect())
+                .unwrap_or_default();
+            self.switches[s].set_mcast_group(group, ports)?;
+        }
+        Ok(())
+    }
+
+    /// Run a blocking event loop over channels of monitor updates and
+    /// digests until `stop` fires. Intended to be called on a dedicated
+    /// thread.
+    pub fn run_event_loop(
+        &mut self,
+        monitor_updates: Receiver<Json>,
+        digest_feeds: Vec<Receiver<Vec<Digest>>>,
+        stop: Receiver<()>,
+    ) -> Result<(), String> {
+        loop {
+            let mut sel = Select::new();
+            let mon_idx = sel.recv(&monitor_updates);
+            let digest_base = 1 + digest_feeds.len();
+            let mut digest_idxs = Vec::new();
+            for rx in &digest_feeds {
+                digest_idxs.push(sel.recv(rx));
+            }
+            let stop_idx = sel.recv(&stop);
+            let _ = digest_base;
+            let op = sel.select();
+            let idx = op.index();
+            if idx == mon_idx {
+                match op.recv(&monitor_updates) {
+                    Ok(update) => {
+                        self.handle_monitor_update(&update)?;
+                    }
+                    Err(_) => return Ok(()), // channel closed
+                }
+            } else if idx == stop_idx {
+                let _ = op.recv(&stop);
+                return Ok(());
+            } else {
+                // A digest feed: find which one.
+                let pos = digest_idxs.iter().position(|i| *i == idx).unwrap();
+                match op.recv(&digest_feeds[pos]) {
+                    Ok(digests) => {
+                        self.handle_digests(pos, &digests)?;
+                    }
+                    Err(_) => return Ok(()),
+                }
+            }
+        }
+    }
+}
+
+use ddlog::Value;

@@ -1,0 +1,375 @@
+//! Abstract syntax for the DDlog-style dialect.
+//!
+//! A program is a set of typed relation declarations plus rules. The
+//! grammar (parsed by [`crate::parser`]) looks like:
+//!
+//! ```text
+//! // Relation declarations. `input` relations are fed by transactions,
+//! // `output` relations produce change streams, plain relations are
+//! // internal.
+//! input relation Port(id: bit<32>, vlan: bit<12>, tag: string)
+//! output relation InVlan(port: bit<32>, vlan: bit<12>)
+//! relation Reach(a: string, b: string)
+//!
+//! typedef PortId = bit<32>
+//!
+//! // Rules. Body items: atoms, `not` atoms, boolean conditions,
+//! // `var x = expr` bindings, `var x = FlatMap(e)` flattening, and
+//! // `var x = agg(e) group_by (k1, k2)` aggregation.
+//! InVlan(p, v) :- Port(p, v, "access").
+//! Reach(a, b) :- Edge(a, b).
+//! Reach(a, c) :- Reach(a, b), Edge(b, c).
+//! PortCount(sw, n) :- Port(p, _, _), SwitchOf(p, sw),
+//!                     var n = count(p) group_by (sw).
+//! ```
+
+use crate::error::Pos;
+use crate::types::Type;
+
+/// A literal constant in source text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer literal (decimal, `0x`, `0b`). Width-typed by inference.
+    Int(i128),
+    /// Floating literal.
+    Double(f64),
+    /// String literal with the usual escapes.
+    Str(String),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation `-`
+    Neg,
+    /// Boolean negation `not`
+    Not,
+    /// Bitwise complement `~`
+    BitNot,
+}
+
+/// Binary operators, in increasing precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `or`
+    Or,
+    /// `and`
+    And,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `&`
+    BitAnd,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `++` string/vector concatenation
+    Concat,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+/// An expression with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The node kind.
+    pub kind: ExprKind,
+    /// Source position for diagnostics.
+    pub pos: Pos,
+}
+
+/// Expression node kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Literal constant.
+    Lit(Literal),
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Builtin function call `f(e1, ..)`; the library lives in
+    /// [`crate::stdlib`].
+    Call(String, Vec<Expr>),
+    /// `if (c) e1 else e2`
+    IfElse(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `e as T` — numeric conversions and width changes.
+    Cast(Box<Expr>, Type),
+    /// `(e1, e2, ..)` tuple construction (1-tuples are grouping parens and
+    /// never produced).
+    Tuple(Vec<Expr>),
+}
+
+impl Expr {
+    /// Build an expression node at a position.
+    pub fn new(kind: ExprKind, pos: Pos) -> Expr {
+        Expr { kind, pos }
+    }
+
+    /// Collect the free variables referenced by this expression.
+    pub fn free_vars(&self, out: &mut Vec<String>) {
+        match &self.kind {
+            ExprKind::Lit(_) => {}
+            ExprKind::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            ExprKind::Unary(_, e) | ExprKind::Cast(e, _) => e.free_vars(out),
+            ExprKind::Binary(_, a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+            ExprKind::Call(_, args) | ExprKind::Tuple(args) => {
+                for a in args {
+                    a.free_vars(out);
+                }
+            }
+            ExprKind::IfElse(c, t, e) => {
+                c.free_vars(out);
+                t.free_vars(out);
+                e.free_vars(out);
+            }
+        }
+    }
+}
+
+/// An argument of a body atom: a variable to bind or test, a wildcard, or a
+/// literal constant. Richer expressions belong in conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// Variable: binds on first occurrence, equality-tests afterwards.
+    Var(String),
+    /// `_` — matches anything.
+    Wildcard,
+    /// Literal constant: equality-tests the column.
+    Lit(Literal),
+}
+
+/// A positive or negated occurrence of a relation in a rule body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// Relation name.
+    pub relation: String,
+    /// One pattern per column.
+    pub args: Vec<Pattern>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// The head of a rule: a relation plus one expression per column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadAtom {
+    /// Relation name (must not be an `input` relation).
+    pub relation: String,
+    /// One expression per column, over the rule's bound variables.
+    pub args: Vec<Expr>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Aggregation functions usable in `group_by` items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Number of bindings in the group.
+    Count,
+    /// Number of distinct argument values in the group.
+    CountDistinct,
+    /// Sum of the argument.
+    Sum,
+    /// Minimum of the argument.
+    Min,
+    /// Maximum of the argument.
+    Max,
+    /// All argument values collected into a `Vec`, sorted for determinism.
+    CollectVec,
+    /// All argument values collected into a `Set`.
+    CollectSet,
+}
+
+impl AggFunc {
+    /// Parse the function name used in source text.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name {
+            "count" => AggFunc::Count,
+            "count_distinct" => AggFunc::CountDistinct,
+            "sum" => AggFunc::Sum,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            "collect_vec" => AggFunc::CollectVec,
+            "collect_set" => AggFunc::CollectSet,
+            _ => return None,
+        })
+    }
+
+    /// The source-level name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::CountDistinct => "count_distinct",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::CollectVec => "collect_vec",
+            AggFunc::CollectSet => "collect_set",
+        }
+    }
+}
+
+/// One item in a rule body, evaluated left to right.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyItem {
+    /// Positive atom — join.
+    Atom(Atom),
+    /// `not Rel(..)` — antijoin; all variables must already be bound.
+    Not(Atom),
+    /// Boolean condition over bound variables.
+    Cond(Expr),
+    /// `var x = expr` — bind a new variable.
+    Assign {
+        /// The variable being bound.
+        var: String,
+        /// Its defining expression.
+        expr: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `var x = FlatMap(e)` — `e` evaluates to a `Vec`/`Set`/`Map`; the rule
+    /// continues once per element (per `(key, value)` tuple for maps).
+    FlatMap {
+        /// The element variable.
+        var: String,
+        /// The collection expression.
+        expr: Expr,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `var x = f(e) group_by (k1, ..)` — aggregates all bindings so far.
+    /// After this item only the group keys and `x` remain in scope.
+    Aggregate {
+        /// The output variable receiving the aggregate value.
+        out_var: String,
+        /// The aggregation function.
+        func: AggFunc,
+        /// The aggregated expression (absent for `count()`).
+        arg: Option<Expr>,
+        /// Group-key variables.
+        by: Vec<String>,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+impl BodyItem {
+    /// Source position of the item.
+    pub fn pos(&self) -> Pos {
+        match self {
+            BodyItem::Atom(a) | BodyItem::Not(a) => a.pos,
+            BodyItem::Cond(e) => e.pos,
+            BodyItem::Assign { pos, .. }
+            | BodyItem::FlatMap { pos, .. }
+            | BodyItem::Aggregate { pos, .. } => *pos,
+        }
+    }
+}
+
+/// A rule: `Head(..) :- item, item, ... .`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// The head atom.
+    pub head: HeadAtom,
+    /// Body items in evaluation order.
+    pub body: Vec<BodyItem>,
+    /// Source position of the rule.
+    pub pos: Pos,
+}
+
+/// The role of a relation in the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelationRole {
+    /// Fed by transactions from outside.
+    Input,
+    /// Computed; changes are reported to commit callers.
+    Output,
+    /// Computed; internal only.
+    Internal,
+}
+
+/// A relation declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationDecl {
+    /// Relation name (unique per program).
+    pub name: String,
+    /// Input / output / internal.
+    pub role: RelationRole,
+    /// Ordered, named, typed columns.
+    pub columns: Vec<(String, Type)>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+impl RelationDecl {
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column types in order.
+    pub fn column_types(&self) -> Vec<Type> {
+        self.columns.iter().map(|(_, t)| t.clone()).collect()
+    }
+}
+
+/// A `typedef Name = Type` alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeDef {
+    /// Alias name.
+    pub name: String,
+    /// Aliased type (aliases are resolved away during parsing).
+    pub ty: Type,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A parsed program: declarations plus rules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Type aliases (already applied to all uses; kept for display).
+    pub typedefs: Vec<TypeDef>,
+    /// All relation declarations.
+    pub relations: Vec<RelationDecl>,
+    /// All rules.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Look up a relation declaration by name.
+    pub fn relation(&self, name: &str) -> Option<&RelationDecl> {
+        self.relations.iter().find(|r| r.name == name)
+    }
+}

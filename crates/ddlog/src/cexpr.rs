@@ -1,0 +1,464 @@
+//! Compiled (lowered) expressions.
+//!
+//! The planner resolves variable names to environment slots and folds
+//! literals into constants, producing [`CExpr`] trees that evaluate
+//! against a positional environment without any name lookups — this is the
+//! per-tuple hot path of the engine.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use crate::ast::{AggFunc, BinOp, UnOp};
+use crate::error::{Error, Phase, Result};
+use crate::stdlib;
+use crate::types::Type;
+use crate::value::{mask_to_width, Value, F64};
+use crate::zset::ZSet;
+
+/// A compiled expression over a positional environment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CExpr {
+    /// A constant value.
+    Const(Value),
+    /// Environment slot reference.
+    Var(usize),
+    /// Unary operation.
+    Unary(UnOp, Box<CExpr>),
+    /// Binary operation.
+    Binary(BinOp, Box<CExpr>, Box<CExpr>),
+    /// Builtin call.
+    Call(String, Vec<CExpr>),
+    /// Conditional.
+    IfElse(Box<CExpr>, Box<CExpr>, Box<CExpr>),
+    /// Cast between numeric types.
+    Cast(Box<CExpr>, Type),
+    /// Tuple construction.
+    Tuple(Vec<CExpr>),
+}
+
+impl CExpr {
+    /// True if the expression references no environment slots.
+    pub fn is_const(&self) -> bool {
+        match self {
+            CExpr::Const(_) => true,
+            CExpr::Var(_) => false,
+            CExpr::Unary(_, e) | CExpr::Cast(e, _) => e.is_const(),
+            CExpr::Binary(_, a, b) => a.is_const() && b.is_const(),
+            CExpr::Call(_, args) | CExpr::Tuple(args) => args.iter().all(CExpr::is_const),
+            CExpr::IfElse(c, t, e) => c.is_const() && t.is_const() && e.is_const(),
+        }
+    }
+}
+
+/// Evaluate a compiled expression against an environment.
+pub fn eval(expr: &CExpr, env: &[Value]) -> Result<Value> {
+    match expr {
+        CExpr::Const(v) => Ok(v.clone()),
+        CExpr::Var(slot) => Ok(env[*slot].clone()),
+        CExpr::Unary(op, inner) => {
+            let v = eval(inner, env)?;
+            eval_unary(*op, v)
+        }
+        CExpr::Binary(op, lhs, rhs) => {
+            // Short-circuit booleans.
+            match op {
+                BinOp::And => {
+                    let l = eval(lhs, env)?;
+                    if l == Value::Bool(false) {
+                        return Ok(Value::Bool(false));
+                    }
+                    return eval(rhs, env);
+                }
+                BinOp::Or => {
+                    let l = eval(lhs, env)?;
+                    if l == Value::Bool(true) {
+                        return Ok(Value::Bool(true));
+                    }
+                    return eval(rhs, env);
+                }
+                _ => {}
+            }
+            let l = eval(lhs, env)?;
+            let r = eval(rhs, env)?;
+            eval_binary(*op, l, r)
+        }
+        CExpr::Call(name, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, env)?);
+            }
+            stdlib::eval_call(name, &vals)
+        }
+        CExpr::IfElse(c, t, f) => {
+            let cv = eval(c, env)?;
+            if cv == Value::Bool(true) {
+                eval(t, env)
+            } else {
+                eval(f, env)
+            }
+        }
+        CExpr::Cast(inner, to) => {
+            let v = eval(inner, env)?;
+            eval_cast(v, to)
+        }
+        CExpr::Tuple(elems) => {
+            let mut vals = Vec::with_capacity(elems.len());
+            for e in elems {
+                vals.push(eval(e, env)?);
+            }
+            Ok(Value::tuple(vals))
+        }
+    }
+}
+
+fn eval_unary(op: UnOp, v: Value) -> Result<Value> {
+    Ok(match (op, v) {
+        (UnOp::Neg, Value::Int(i)) => Value::Int(i.wrapping_neg()),
+        (UnOp::Neg, Value::Double(d)) => Value::Double(F64(-d.0)),
+        (UnOp::Neg, Value::Bit { width, val }) => {
+            Value::Bit { width, val: mask_to_width(val.wrapping_neg(), width) }
+        }
+        (UnOp::Not, Value::Bool(b)) => Value::Bool(!b),
+        (UnOp::BitNot, Value::Int(i)) => Value::Int(!i),
+        (UnOp::BitNot, Value::Bit { width, val }) => {
+            Value::Bit { width, val: mask_to_width(!val, width) }
+        }
+        (op, v) => {
+            return Err(Error::new(
+                Phase::Eval,
+                format!("internal: unary {op:?} on {v}"),
+            ))
+        }
+    })
+}
+
+fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
+    use BinOp::*;
+    // Comparisons work on the total value order; equality is structural.
+    match op {
+        Eq => return Ok(Value::Bool(l == r)),
+        Ne => return Ok(Value::Bool(l != r)),
+        Lt => return Ok(Value::Bool(l.cmp(&r) == Ordering::Less)),
+        Le => return Ok(Value::Bool(l.cmp(&r) != Ordering::Greater)),
+        Gt => return Ok(Value::Bool(l.cmp(&r) == Ordering::Greater)),
+        Ge => return Ok(Value::Bool(l.cmp(&r) != Ordering::Less)),
+        _ => {}
+    }
+    Ok(match (op, l, r) {
+        (And, Value::Bool(a), Value::Bool(b)) => Value::Bool(a && b),
+        (Or, Value::Bool(a), Value::Bool(b)) => Value::Bool(a || b),
+        (Add, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_add(b)),
+        (Sub, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_sub(b)),
+        (Mul, Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_mul(b)),
+        (Div, Value::Int(a), Value::Int(b)) => {
+            if b == 0 {
+                return Err(Error::new(Phase::Eval, "division by zero"));
+            }
+            Value::Int(a.wrapping_div(b))
+        }
+        (Mod, Value::Int(a), Value::Int(b)) => {
+            if b == 0 {
+                return Err(Error::new(Phase::Eval, "modulo by zero"));
+            }
+            Value::Int(a.wrapping_rem(b))
+        }
+        (Add, Value::Double(a), Value::Double(b)) => Value::Double(F64(a.0 + b.0)),
+        (Sub, Value::Double(a), Value::Double(b)) => Value::Double(F64(a.0 - b.0)),
+        (Mul, Value::Double(a), Value::Double(b)) => Value::Double(F64(a.0 * b.0)),
+        (Div, Value::Double(a), Value::Double(b)) => Value::Double(F64(a.0 / b.0)),
+        (Add, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => {
+            Value::Bit { width, val: mask_to_width(a.wrapping_add(b), width) }
+        }
+        (Sub, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => {
+            Value::Bit { width, val: mask_to_width(a.wrapping_sub(b), width) }
+        }
+        (Mul, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => {
+            Value::Bit { width, val: mask_to_width(a.wrapping_mul(b), width) }
+        }
+        (Div, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => {
+            if b == 0 {
+                return Err(Error::new(Phase::Eval, "division by zero"));
+            }
+            Value::Bit { width, val: a / b }
+        }
+        (Mod, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => {
+            if b == 0 {
+                return Err(Error::new(Phase::Eval, "modulo by zero"));
+            }
+            Value::Bit { width, val: a % b }
+        }
+        (Shl, Value::Int(a), b) => {
+            let s = b.as_u128().unwrap_or(0).min(127) as u32;
+            Value::Int(a.wrapping_shl(s))
+        }
+        (Shr, Value::Int(a), b) => {
+            let s = b.as_u128().unwrap_or(0).min(127) as u32;
+            Value::Int(a.wrapping_shr(s))
+        }
+        (Shl, Value::Bit { width, val }, b) => {
+            let s = b.as_u128().unwrap_or(0).min(128) as u32;
+            let v = if s >= 128 { 0 } else { val << s };
+            Value::Bit { width, val: mask_to_width(v, width) }
+        }
+        (Shr, Value::Bit { width, val }, b) => {
+            let s = b.as_u128().unwrap_or(0).min(128) as u32;
+            let v = if s >= 128 { 0 } else { val >> s };
+            Value::Bit { width, val: v }
+        }
+        (BitAnd, Value::Int(a), Value::Int(b)) => Value::Int(a & b),
+        (BitOr, Value::Int(a), Value::Int(b)) => Value::Int(a | b),
+        (BitXor, Value::Int(a), Value::Int(b)) => Value::Int(a ^ b),
+        (BitAnd, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => {
+            Value::Bit { width, val: a & b }
+        }
+        (BitOr, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => {
+            Value::Bit { width, val: mask_to_width(a | b, width) }
+        }
+        (BitXor, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => {
+            Value::Bit { width, val: mask_to_width(a ^ b, width) }
+        }
+        (Concat, Value::Str(a), Value::Str(b)) => {
+            let mut s = String::with_capacity(a.len() + b.len());
+            s.push_str(&a);
+            s.push_str(&b);
+            Value::str(s)
+        }
+        (Concat, Value::Vec(a), Value::Vec(b)) => {
+            let mut v = (*a).clone();
+            v.extend(b.iter().cloned());
+            Value::Vec(Arc::new(v))
+        }
+        (op, l, r) => {
+            return Err(Error::new(
+                Phase::Eval,
+                format!("internal: binary {op:?} on {l} and {r}"),
+            ))
+        }
+    })
+}
+
+/// Cast a value to a (numeric) type.
+pub fn eval_cast(v: Value, to: &Type) -> Result<Value> {
+    Ok(match (v, to) {
+        (Value::Int(i), Type::Int) => Value::Int(i),
+        (Value::Int(i), Type::Bit(w)) => Value::Bit { width: *w, val: mask_to_width(i as u128, *w) },
+        (Value::Int(i), Type::Double) => Value::Double(F64(i as f64)),
+        (Value::Bit { val, .. }, Type::Int) => Value::Int(val as i128),
+        (Value::Bit { val, .. }, Type::Bit(w)) => {
+            Value::Bit { width: *w, val: mask_to_width(val, *w) }
+        }
+        (Value::Bit { val, .. }, Type::Double) => Value::Double(F64(val as f64)),
+        (Value::Double(d), Type::Int) => Value::Int(d.0 as i128),
+        (Value::Double(d), Type::Double) => Value::Double(d),
+        (v, to) => {
+            return Err(Error::new(Phase::Eval, format!("internal: cast {v} to {to}")))
+        }
+    })
+}
+
+/// The environment binding of a rule in flight: shared so it can be stored
+/// in arrangements cheaply.
+pub type Binding = Arc<Vec<Value>>;
+
+/// Evaluate an aggregate function over a group of bindings.
+///
+/// `arg` (if any) is evaluated per binding; multiplicities (weights) are
+/// respected: a binding with weight `w` counts `w` times.
+pub fn eval_aggregate(
+    func: AggFunc,
+    arg: Option<&CExpr>,
+    group: &ZSet<Binding>,
+) -> Result<Value> {
+    match func {
+        AggFunc::Count => {
+            let n: isize = group.iter().map(|(_, w)| w.max(0)).sum();
+            Ok(Value::Int(n as i128))
+        }
+        AggFunc::CountDistinct => {
+            let arg = arg.unwrap();
+            let mut seen = std::collections::BTreeSet::new();
+            for b in group.support() {
+                seen.insert(eval(arg, b)?);
+            }
+            Ok(Value::Int(seen.len() as i128))
+        }
+        AggFunc::Sum => {
+            let arg = arg.unwrap();
+            let mut acc: Option<Value> = None;
+            for (b, w) in group.iter() {
+                if w <= 0 {
+                    continue;
+                }
+                let v = eval(arg, b)?;
+                for _ in 0..w {
+                    acc = Some(match acc {
+                        None => v.clone(),
+                        Some(a) => eval_binary(BinOp::Add, a, v.clone())?,
+                    });
+                }
+            }
+            Ok(acc.unwrap_or(Value::Int(0)))
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let arg = arg.unwrap();
+            let mut acc: Option<Value> = None;
+            for b in group.support() {
+                let v = eval(arg, b)?;
+                acc = Some(match acc {
+                    None => v,
+                    Some(a) => {
+                        let take_new = if func == AggFunc::Min { v < a } else { v > a };
+                        if take_new {
+                            v
+                        } else {
+                            a
+                        }
+                    }
+                });
+            }
+            acc.ok_or_else(|| Error::new(Phase::Eval, "aggregate over empty group"))
+        }
+        AggFunc::CollectVec => {
+            let arg = arg.unwrap();
+            let mut vals = Vec::new();
+            for (b, w) in group.iter() {
+                if w <= 0 {
+                    continue;
+                }
+                let v = eval(arg, b)?;
+                for _ in 0..w {
+                    vals.push(v.clone());
+                }
+            }
+            vals.sort();
+            Ok(Value::vec(vals))
+        }
+        AggFunc::CollectSet => {
+            let arg = arg.unwrap();
+            let mut vals = std::collections::BTreeSet::new();
+            for b in group.support() {
+                vals.insert(eval(arg, b)?);
+            }
+            Ok(Value::Set(Arc::new(vals)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> Vec<Value> {
+        vec![Value::Int(10), Value::str("hi"), Value::bit(8, 200)]
+    }
+
+    #[test]
+    fn arithmetic_and_vars() {
+        let e = CExpr::Binary(
+            BinOp::Add,
+            Box::new(CExpr::Var(0)),
+            Box::new(CExpr::Const(Value::Int(5))),
+        );
+        assert_eq!(eval(&e, &env()).unwrap(), Value::Int(15));
+    }
+
+    #[test]
+    fn bit_arithmetic_wraps() {
+        let e = CExpr::Binary(
+            BinOp::Add,
+            Box::new(CExpr::Var(2)),
+            Box::new(CExpr::Const(Value::bit(8, 100))),
+        );
+        // 200 + 100 = 300 masked to 8 bits = 44.
+        assert_eq!(eval(&e, &env()).unwrap(), Value::bit(8, 44));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let e = CExpr::Binary(
+            BinOp::Div,
+            Box::new(CExpr::Const(Value::Int(1))),
+            Box::new(CExpr::Const(Value::Int(0))),
+        );
+        assert!(eval(&e, &env()).is_err());
+    }
+
+    #[test]
+    fn short_circuit() {
+        // false and (1/0 == 1) must not evaluate the division.
+        let div = CExpr::Binary(
+            BinOp::Eq,
+            Box::new(CExpr::Binary(
+                BinOp::Div,
+                Box::new(CExpr::Const(Value::Int(1))),
+                Box::new(CExpr::Const(Value::Int(0))),
+            )),
+            Box::new(CExpr::Const(Value::Int(1))),
+        );
+        let e = CExpr::Binary(
+            BinOp::And,
+            Box::new(CExpr::Const(Value::Bool(false))),
+            Box::new(div),
+        );
+        assert_eq!(eval(&e, &env()).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(eval_cast(Value::Int(300), &Type::Bit(8)).unwrap(), Value::bit(8, 44));
+        assert_eq!(eval_cast(Value::bit(8, 44), &Type::Int).unwrap(), Value::Int(44));
+        assert_eq!(
+            eval_cast(Value::Int(2), &Type::Double).unwrap(),
+            Value::Double(F64(2.0))
+        );
+    }
+
+    #[test]
+    fn aggregates() {
+        let b = |x: i128, y: i128| Arc::new(vec![Value::Int(x), Value::Int(y)]);
+        let mut g: ZSet<Binding> = ZSet::new();
+        g.add(b(1, 5), 1);
+        g.add(b(2, 5), 2); // weight 2
+        g.add(b(3, 7), 1);
+
+        let arg = CExpr::Var(1);
+        assert_eq!(
+            eval_aggregate(AggFunc::Count, None, &g).unwrap(),
+            Value::Int(4)
+        );
+        assert_eq!(
+            eval_aggregate(AggFunc::CountDistinct, Some(&arg), &g).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            eval_aggregate(AggFunc::Sum, Some(&arg), &g).unwrap(),
+            Value::Int(5 + 5 + 5 + 7)
+        );
+        assert_eq!(
+            eval_aggregate(AggFunc::Min, Some(&arg), &g).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            eval_aggregate(AggFunc::Max, Some(&arg), &g).unwrap(),
+            Value::Int(7)
+        );
+        assert_eq!(
+            eval_aggregate(AggFunc::CollectSet, Some(&arg), &g).unwrap(),
+            Value::set(vec![Value::Int(5), Value::Int(7)])
+        );
+        assert_eq!(
+            eval_aggregate(AggFunc::CollectVec, Some(&arg), &g).unwrap(),
+            Value::vec(vec![Value::Int(5), Value::Int(5), Value::Int(5), Value::Int(7)])
+        );
+    }
+
+    #[test]
+    fn comparisons_on_structured_values() {
+        let l = Value::tuple(vec![Value::Int(1), Value::str("a")]);
+        let r = Value::tuple(vec![Value::Int(1), Value::str("b")]);
+        assert_eq!(
+            eval_binary(BinOp::Lt, l, r).unwrap(),
+            Value::Bool(true)
+        );
+    }
+}

@@ -1,0 +1,373 @@
+//! Incremental evaluation of non-recursive strata.
+//!
+//! Each rule's pipeline is processed as a chain of bilinear delta
+//! operators. For a join stage with incoming binding delta δL and relation
+//! delta δR, the output delta is
+//!
+//! ```text
+//! δ(L ⋈ R) = δL ⋈ R_new  +  L_old ⋈ δR
+//! ```
+//!
+//! where `R_new` is the relation store (already updated for this
+//! transaction) and `L_old` is the stage's maintained arrangement of the
+//! bindings that flowed through in earlier transactions. Antijoins and
+//! aggregations are handled by recomputing only the *affected keys*. The
+//! result is work proportional to the size of the change — the paper's
+//! central scalability argument (§2.1–§2.2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::cexpr::{eval, eval_aggregate, Binding};
+use crate::error::{Error, Phase, Result};
+use crate::plan::{CompiledRule, KeySrc, PStage};
+use crate::store::{Key, RelationStore, RelId};
+use crate::value::{Row, Value};
+use crate::zset::ZSet;
+
+/// Mutable per-stage state for one rule.
+#[derive(Debug, Default, Clone)]
+pub enum StageState {
+    /// Stage needs no state (stage 0, filters, assigns, flatmaps).
+    #[default]
+    None,
+    /// Arrangement of the stage's input bindings, keyed by join key.
+    Arrangement(HashMap<Key, ZSet<Binding>>),
+    /// Aggregation groups, keyed by group key.
+    Groups(HashMap<Key, ZSet<Binding>>),
+}
+
+/// Per-rule evaluation state (arrangements).
+#[derive(Debug, Clone)]
+pub struct RuleState {
+    states: Vec<StageState>,
+}
+
+impl RuleState {
+    /// Initialize state for a rule plan.
+    pub fn new(rule: &CompiledRule) -> RuleState {
+        let states = rule
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match s {
+                PStage::Atom { .. } if i > 0 => StageState::Arrangement(HashMap::new()),
+                PStage::Aggregate { .. } => StageState::Groups(HashMap::new()),
+                _ => StageState::None,
+            })
+            .collect();
+        RuleState { states }
+    }
+
+    /// Approximate resident bytes of all arrangements (for the memory
+    /// experiments).
+    pub fn approx_bytes(&self) -> usize {
+        let mut total = 0;
+        for st in &self.states {
+            let map = match st {
+                StageState::Arrangement(m) | StageState::Groups(m) => m,
+                StageState::None => continue,
+            };
+            for (k, z) in map {
+                total += k.len() * std::mem::size_of::<Value>() + 32;
+                total += z.len() * (std::mem::size_of::<Binding>() + 24);
+                for (b, _) in z.iter() {
+                    total += b.len() * std::mem::size_of::<Value>();
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Build the lookup key for a binding according to `key_srcs`.
+fn key_from_binding(key_srcs: &[KeySrc], b: &[Value]) -> Key {
+    key_srcs
+        .iter()
+        .map(|s| match s {
+            KeySrc::Const(v) => v.clone(),
+            KeySrc::Slot(i) => b[*i].clone(),
+        })
+        .collect()
+}
+
+/// Check a row against the constant components of the key and intra-atom
+/// equalities; used when driving from the relation-delta side.
+fn row_admissible(
+    key_cols: &[usize],
+    key_srcs: &[KeySrc],
+    checks: &[(usize, usize)],
+    row: &Row,
+) -> bool {
+    for (col, src) in key_cols.iter().zip(key_srcs) {
+        if let KeySrc::Const(v) = src {
+            if &row[*col] != v {
+                return false;
+            }
+        }
+    }
+    checks.iter().all(|(a, b)| row[*a] == row[*b])
+}
+
+/// Extend a binding with the columns an atom binds. Returns `None` when an
+/// intra-atom check fails.
+fn extend(b: &[Value], checks: &[(usize, usize)], binds: &[(usize, usize)], row: &Row) -> Option<Binding> {
+    if !checks.iter().all(|(a, c)| row[*a] == row[*c]) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(b.len() + binds.len());
+    out.extend_from_slice(b);
+    for (col, slot) in binds {
+        debug_assert_eq!(*slot, out.len());
+        out.push(row[*col].clone());
+    }
+    Some(Arc::new(out))
+}
+
+/// Process one rule for a transaction.
+///
+/// * `rel_deltas` — set-level deltas of relations already updated this
+///   transaction (lower strata and inputs).
+/// * Returns the delta of head-row derivations (weighted).
+pub fn process_rule(
+    rule: &CompiledRule,
+    state: &mut RuleState,
+    stores: &[RelationStore],
+    rel_deltas: &HashMap<RelId, ZSet<Row>>,
+) -> Result<ZSet<Row>> {
+    // Fast path: nothing this rule depends on changed.
+    if !rule.body_rels.iter().any(|r| rel_deltas.get(r).is_some_and(|d| !d.is_empty())) {
+        return Ok(ZSet::new());
+    }
+
+    let empty = ZSet::new();
+    let mut cur: ZSet<Binding> = ZSet::new();
+
+    for (i, stage) in rule.stages.iter().enumerate() {
+        match stage {
+            PStage::Atom { rel, neg, key_cols, key_srcs, checks, binds } => {
+                let store = &stores[*rel];
+                let delta_r = rel_deltas.get(rel).unwrap_or(&empty);
+                if i == 0 {
+                    debug_assert!(!neg);
+                    // Source stage: map relation delta to bindings.
+                    let mut out = ZSet::new();
+                    for (row, w) in delta_r.iter() {
+                        if !row_admissible(key_cols, key_srcs, checks, row) {
+                            continue;
+                        }
+                        if let Some(nb) = extend(&[], &[], binds, row) {
+                            out.add(nb, w);
+                        }
+                    }
+                    cur = out;
+                    continue;
+                }
+                let arr = match &mut state.states[i] {
+                    StageState::Arrangement(m) => m,
+                    _ => unreachable!("atom stage without arrangement"),
+                };
+                let mut out = ZSet::new();
+                if *neg {
+                    // δL side against R_new.
+                    for (b, w) in cur.iter() {
+                        let key = key_from_binding(key_srcs, b);
+                        if store.lookup_count(key_cols, &key) == 0 {
+                            out.add(b.clone(), w);
+                        }
+                    }
+                    // Affected keys from δR: absence flips retract/insert
+                    // the old bindings.
+                    let mut affected: HashMap<Key, isize> = HashMap::new();
+                    for (row, w) in delta_r.iter() {
+                        if !row_admissible(key_cols, key_srcs, checks, row) {
+                            continue;
+                        }
+                        let key: Key = key_cols.iter().map(|c| row[*c].clone()).collect();
+                        *affected.entry(key).or_insert(0) += w;
+                    }
+                    for (key, cd) in affected {
+                        let cn = store.lookup_count(key_cols, &key) as isize;
+                        let co = cn - cd;
+                        let absent_old = co == 0;
+                        let absent_new = cn == 0;
+                        if absent_old == absent_new {
+                            continue;
+                        }
+                        if let Some(group) = arr.get(&key) {
+                            let sign = if absent_new { 1 } else { -1 };
+                            for (b, w) in group.iter() {
+                                out.add(b.clone(), sign * w);
+                            }
+                        }
+                    }
+                } else {
+                    // δL ⋈ R_new.
+                    for (b, w) in cur.iter() {
+                        if key_cols.is_empty() {
+                            for row in store.rows() {
+                                if let Some(nb) = extend(b, checks, binds, row) {
+                                    out.add(nb, w);
+                                }
+                            }
+                        } else {
+                            let key = key_from_binding(key_srcs, b);
+                            for row in store.lookup(key_cols, &key) {
+                                if let Some(nb) = extend(b, checks, binds, row) {
+                                    out.add(nb, w);
+                                }
+                            }
+                        }
+                    }
+                    // L_old ⋈ δR.
+                    for (row, wr) in delta_r.iter() {
+                        if !row_admissible(key_cols, key_srcs, checks, row) {
+                            continue;
+                        }
+                        let key: Key = key_cols.iter().map(|c| row[*c].clone()).collect();
+                        if let Some(group) = arr.get(&key) {
+                            for (b, wl) in group.iter() {
+                                if let Some(nb) = extend(b, &[], binds, row) {
+                                    out.add(nb, wl * wr);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Update the arrangement with δL.
+                for (b, w) in cur.iter() {
+                    let key = key_from_binding(key_srcs, b);
+                    let entry = arr.entry(key).or_default();
+                    entry.add(b.clone(), w);
+                }
+                arr.retain(|_, z| !z.is_empty());
+                cur = out;
+            }
+            PStage::Filter { expr } => {
+                let mut out = ZSet::new();
+                for (b, w) in cur.iter() {
+                    if eval(expr, b)? == Value::Bool(true) {
+                        out.add(b.clone(), w);
+                    }
+                }
+                cur = out;
+            }
+            PStage::Assign { slot, expr } => {
+                let mut out = ZSet::new();
+                for (b, w) in cur.iter() {
+                    let v = eval(expr, b)?;
+                    let mut nb = Vec::with_capacity(b.len() + 1);
+                    nb.extend_from_slice(b);
+                    debug_assert_eq!(*slot, nb.len());
+                    nb.push(v);
+                    out.add(Arc::new(nb), w);
+                }
+                cur = out;
+            }
+            PStage::FlatMap { slot, expr } => {
+                let mut out = ZSet::new();
+                for (b, w) in cur.iter() {
+                    let coll = eval(expr, b)?;
+                    for elem in flatten(&coll)? {
+                        let mut nb = Vec::with_capacity(b.len() + 1);
+                        nb.extend_from_slice(b);
+                        debug_assert_eq!(*slot, nb.len());
+                        nb.push(elem);
+                        out.add(Arc::new(nb), w);
+                    }
+                }
+                cur = out;
+            }
+            PStage::Aggregate { group_slots, func, arg } => {
+                let groups = match &mut state.states[i] {
+                    StageState::Groups(m) => m,
+                    _ => unreachable!("aggregate stage without groups"),
+                };
+                // Group δL by key.
+                let mut affected: HashMap<Key, ZSet<Binding>> = HashMap::new();
+                for (b, w) in cur.iter() {
+                    let key: Key = group_slots.iter().map(|s| b[*s].clone()).collect();
+                    affected.entry(key).or_default().add(b.clone(), w);
+                }
+                let mut out = ZSet::new();
+                for (key, dg) in affected {
+                    let group = groups.entry(key.clone()).or_default();
+                    let old_nonempty = group.support().next().is_some();
+                    let agg_old = if old_nonempty {
+                        Some(eval_aggregate(*func, arg.as_ref(), group)?)
+                    } else {
+                        None
+                    };
+                    group.add_all(&dg);
+                    let new_nonempty = group.support().next().is_some();
+                    let agg_new = if new_nonempty {
+                        Some(eval_aggregate(*func, arg.as_ref(), group)?)
+                    } else {
+                        None
+                    };
+                    if group.is_empty() {
+                        groups.remove(&key);
+                    }
+                    if agg_old == agg_new {
+                        continue;
+                    }
+                    if let Some(a) = agg_old {
+                        let mut nb = key.clone();
+                        nb.push(a);
+                        out.add(Arc::new(nb), -1);
+                    }
+                    if let Some(a) = agg_new {
+                        let mut nb = key.clone();
+                        nb.push(a);
+                        out.add(Arc::new(nb), 1);
+                    }
+                }
+                cur = out;
+            }
+        }
+        if cur.is_empty() && !more_deltas_ahead(rule, i, rel_deltas) {
+            return Ok(ZSet::new());
+        }
+    }
+
+    // Map final bindings through the head expressions.
+    let mut head_delta = ZSet::new();
+    for (b, w) in cur.iter() {
+        let mut row = Vec::with_capacity(rule.head_exprs.len());
+        for e in &rule.head_exprs {
+            row.push(eval(e, b)?);
+        }
+        head_delta.add(Arc::new(row), w);
+    }
+    Ok(head_delta)
+}
+
+/// True if any stage after `i` has its own relation delta to process.
+fn more_deltas_ahead(
+    rule: &CompiledRule,
+    i: usize,
+    rel_deltas: &HashMap<RelId, ZSet<Row>>,
+) -> bool {
+    rule.stages[i + 1..].iter().any(|s| match s {
+        PStage::Atom { rel, .. } => rel_deltas.get(rel).is_some_and(|d| !d.is_empty()),
+        _ => false,
+    })
+}
+
+/// Enumerate the elements of a collection value for FlatMap.
+pub fn flatten(v: &Value) -> Result<Vec<Value>> {
+    Ok(match v {
+        Value::Vec(items) => items.as_ref().clone(),
+        Value::Set(items) => items.iter().cloned().collect(),
+        Value::Map(m) => m
+            .iter()
+            .map(|(k, v)| Value::tuple(vec![k.clone(), v.clone()]))
+            .collect(),
+        other => {
+            return Err(Error::new(
+                Phase::Eval,
+                format!("internal: FlatMap over non-collection {other}"),
+            ))
+        }
+    })
+}

@@ -1,0 +1,660 @@
+//! The incremental engine: compiled program + stores + transactions.
+//!
+//! An [`Engine`] is built from source text. Clients change *input*
+//! relations through [`Transaction`]s; [`Engine::commit`] propagates the
+//! change through the strata incrementally and returns the set-level
+//! deltas of all *output* relations — the paper's streaming contract
+//! ("a stream of updates to input relations ... produces a corresponding
+//! stream of updates to the computed output relations", §4.1).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::ast::RelationRole;
+use crate::chain::{process_rule, RuleState};
+use crate::error::{Error, Phase, Result};
+use crate::plan::{plan, CompiledProgram};
+use crate::recursive::process_recursive_stratum;
+use crate::store::{RelationStore, RelId};
+use crate::stratify::{stratify, Stratification};
+use crate::typecheck::{check, CheckedProgram};
+use crate::types::Type;
+use crate::value::{Row, Value};
+use crate::zset::ZSet;
+
+/// The set-level changes produced by one committed transaction, for every
+/// output relation that changed. Rows are paired with +1 (inserted) or −1
+/// (deleted) and sorted for deterministic iteration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TxnDelta {
+    /// Relation name → sorted (row, ±1) list.
+    pub changes: BTreeMap<String, Vec<(Vec<Value>, isize)>>,
+}
+
+impl TxnDelta {
+    /// True if no output relation changed.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Total number of changed rows across all relations.
+    pub fn len(&self) -> usize {
+        self.changes.values().map(Vec::len).sum()
+    }
+}
+
+/// A buffered set of input changes; apply with [`Engine::commit`].
+#[derive(Debug, Clone, Default)]
+pub struct Transaction {
+    ops: Vec<(String, Vec<Value>, bool)>,
+}
+
+impl Transaction {
+    /// An empty transaction.
+    pub fn new() -> Transaction {
+        Transaction::default()
+    }
+
+    /// Buffer an insertion into an input relation.
+    pub fn insert(&mut self, relation: impl Into<String>, row: Vec<Value>) -> &mut Self {
+        self.ops.push((relation.into(), row, true));
+        self
+    }
+
+    /// Buffer a deletion from an input relation.
+    pub fn delete(&mut self, relation: impl Into<String>, row: Vec<Value>) -> &mut Self {
+        self.ops.push((relation.into(), row, false));
+        self
+    }
+
+    /// Number of buffered operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no operations are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Execution metadata for one stratum.
+#[derive(Debug, Clone)]
+struct StratumExec {
+    recursive: bool,
+    rels: Vec<RelId>,
+    /// Indices into `compiled.rules`.
+    plan_idxs: Vec<usize>,
+}
+
+/// A compiled, running incremental Datalog program.
+pub struct Engine {
+    checked: CheckedProgram,
+    compiled: CompiledProgram,
+    #[allow(dead_code)]
+    strat: Stratification,
+    strata: Vec<StratumExec>,
+    stores: Vec<RelationStore>,
+    rule_states: Vec<RuleState>,
+    /// Set after an evaluation error mid-commit; the engine state may be
+    /// inconsistent and all further operations fail.
+    poisoned: bool,
+    commits: u64,
+}
+
+impl Engine {
+    /// Parse, type-check, stratify, plan, and initialize an engine from
+    /// program source.
+    pub fn from_source(src: &str) -> Result<Engine> {
+        let program = crate::parser::parse_program(src)?;
+        let checked = check(&program)?;
+        let strat = stratify(&checked.program)?;
+
+        let mut stores: Vec<RelationStore> = checked
+            .program
+            .relations
+            .iter()
+            .map(|r| RelationStore::new(r.name.clone()))
+            .collect();
+        let compiled = plan(&checked, &mut stores)?;
+
+        // Resolve strata to plan indices and relation ids.
+        let plan_of_rule: HashMap<usize, usize> = compiled
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(pi, r)| (r.rule_index, pi))
+            .collect();
+        let mut strata = Vec::with_capacity(strat.strata.len());
+        for s in &strat.strata {
+            let rels: Vec<RelId> = s.relations.iter().map(|n| compiled.rel_ids[n]).collect();
+            let plan_idxs: Vec<usize> = s
+                .rule_indices
+                .iter()
+                .filter_map(|ri| plan_of_rule.get(ri).copied())
+                .collect();
+            if s.recursive {
+                for pi in &plan_idxs {
+                    if compiled.rules[*pi].has_aggregate {
+                        return Err(Error::new(
+                            Phase::Stratify,
+                            format!(
+                                "rule for `{}` uses an aggregate but its head is in a \
+                                 recursive stratum; this is unsupported",
+                                checked.program.rules[compiled.rules[*pi].rule_index]
+                                    .head
+                                    .relation
+                            ),
+                        ));
+                    }
+                }
+            }
+            strata.push(StratumExec { recursive: s.recursive, rels, plan_idxs });
+        }
+
+        let rule_states = compiled.rules.iter().map(RuleState::new).collect();
+
+        let mut engine = Engine {
+            checked,
+            compiled,
+            strat,
+            strata,
+            stores,
+            rule_states,
+            poisoned: false,
+            commits: 0,
+        };
+
+        // Install constant facts and propagate them like a transaction.
+        let mut rel_deltas: HashMap<RelId, ZSet<Row>> = HashMap::new();
+        let facts = engine.compiled.facts.clone();
+        for (rel, row) in facts {
+            let sd = engine.stores[rel]
+                .apply_derivation_delta(&ZSet::singleton(std::sync::Arc::new(row), 1));
+            rel_deltas.entry(rel).or_default().merge(sd);
+        }
+        rel_deltas.retain(|_, z| !z.is_empty());
+        engine.propagate(&mut rel_deltas)?;
+        Ok(engine)
+    }
+
+    /// The names of all relations, in declaration order.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.checked.program.relations.iter().map(|r| r.name.as_str()).collect()
+    }
+
+    /// The declared column types of a relation.
+    pub fn relation_types(&self, relation: &str) -> Option<Vec<Type>> {
+        self.checked.program.relation(relation).map(|d| d.column_types())
+    }
+
+    /// Number of committed transactions.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Commit a transaction: apply input changes, propagate incrementally,
+    /// return output deltas.
+    pub fn commit(&mut self, txn: Transaction) -> Result<TxnDelta> {
+        if self.poisoned {
+            return Err(Error::new(
+                Phase::Eval,
+                "engine is poisoned by an earlier evaluation error".to_string(),
+            ));
+        }
+
+        // Normalize ops into per-relation membership deltas. Ops are
+        // applied in order against a virtual view, so insert-then-delete
+        // of the same row in one transaction is a no-op.
+        let mut intents: HashMap<(RelId, Row), (bool, bool)> = HashMap::new(); // (initial, tentative)
+        for (rel_name, row_vals, is_insert) in &txn.ops {
+            let rel = *self.compiled.rel_ids.get(rel_name).ok_or_else(|| {
+                Error::new(Phase::Eval, format!("unknown relation `{rel_name}`"))
+            })?;
+            let decl = &self.compiled.decls[rel];
+            if decl.role != RelationRole::Input {
+                return Err(Error::new(
+                    Phase::Eval,
+                    format!("relation `{rel_name}` is not an input relation"),
+                ));
+            }
+            if row_vals.len() != decl.arity() {
+                return Err(Error::new(
+                    Phase::Eval,
+                    format!(
+                        "relation `{rel_name}` has {} columns, row has {}",
+                        decl.arity(),
+                        row_vals.len()
+                    ),
+                ));
+            }
+            for (v, (cname, cty)) in row_vals.iter().zip(&decl.columns) {
+                if !v.matches_type(cty) {
+                    return Err(Error::new(
+                        Phase::Eval,
+                        format!(
+                            "value {v} for column `{cname}` of `{rel_name}` is not of type {cty}"
+                        ),
+                    ));
+                }
+            }
+            let row: Row = std::sync::Arc::new(row_vals.clone());
+            let key = (rel, row);
+            let entry = intents.entry(key.clone()).or_insert_with(|| {
+                let present = self.stores[key.0].contains(&key.1);
+                (present, present)
+            });
+            entry.1 = *is_insert;
+        }
+
+        let mut rel_deltas: HashMap<RelId, ZSet<Row>> = HashMap::new();
+        for ((rel, row), (initial, fin)) in intents {
+            if initial != fin {
+                let w = if fin { 1 } else { -1 };
+                let sd = self.stores[rel].apply_derivation_delta(&ZSet::singleton(row, w));
+                rel_deltas.entry(rel).or_default().merge(sd);
+            }
+        }
+        rel_deltas.retain(|_, z| !z.is_empty());
+
+        let out = self.propagate(&mut rel_deltas);
+        if out.is_err() {
+            self.poisoned = true;
+        }
+        self.commits += 1;
+        out
+    }
+
+    /// Propagate already-applied input deltas through all strata.
+    fn propagate(&mut self, rel_deltas: &mut HashMap<RelId, ZSet<Row>>) -> Result<TxnDelta> {
+        for si in 0..self.strata.len() {
+            let stratum = self.strata[si].clone();
+            if stratum.recursive {
+                let rules: Vec<&crate::plan::CompiledRule> =
+                    stratum.plan_idxs.iter().map(|pi| &self.compiled.rules[*pi]).collect();
+                let scc: HashSet<RelId> = stratum.rels.iter().copied().collect();
+                let net =
+                    process_recursive_stratum(&rules, &scc, &mut self.stores, rel_deltas)?;
+                for (rel, z) in net {
+                    rel_deltas.entry(rel).or_default().merge(z);
+                }
+            } else {
+                let mut acc: HashMap<RelId, ZSet<Row>> = HashMap::new();
+                for pi in &stratum.plan_idxs {
+                    let rule = &self.compiled.rules[*pi];
+                    let head_delta =
+                        process_rule(rule, &mut self.rule_states[*pi], &self.stores, rel_deltas)?;
+                    if !head_delta.is_empty() {
+                        acc.entry(rule.head_rel).or_default().merge(head_delta);
+                    }
+                }
+                for (rel, deriv_delta) in acc {
+                    let sd = self.stores[rel].apply_derivation_delta(&deriv_delta);
+                    if !sd.is_empty() {
+                        rel_deltas.entry(rel).or_default().merge(sd);
+                    }
+                }
+            }
+        }
+
+        // Collect output deltas.
+        let mut changes = BTreeMap::new();
+        for (rel, z) in rel_deltas.iter() {
+            let decl = &self.compiled.decls[*rel];
+            if decl.role != RelationRole::Output || z.is_empty() {
+                continue;
+            }
+            let mut rows: Vec<(Vec<Value>, isize)> =
+                z.iter().map(|(r, w)| ((**r).clone(), w)).collect();
+            rows.sort();
+            changes.insert(decl.name.clone(), rows);
+        }
+        Ok(TxnDelta { changes })
+    }
+
+    /// The current contents of any relation, sorted.
+    pub fn dump(&self, relation: &str) -> Result<Vec<Vec<Value>>> {
+        let rel = *self
+            .compiled
+            .rel_ids
+            .get(relation)
+            .ok_or_else(|| Error::new(Phase::Eval, format!("unknown relation `{relation}`")))?;
+        let mut rows: Vec<Vec<Value>> =
+            self.stores[rel].rows().map(|r| (**r).clone()).collect();
+        rows.sort();
+        Ok(rows)
+    }
+
+    /// Number of visible rows in a relation.
+    pub fn relation_len(&self, relation: &str) -> Result<usize> {
+        let rel = *self
+            .compiled
+            .rel_ids
+            .get(relation)
+            .ok_or_else(|| Error::new(Phase::Eval, format!("unknown relation `{relation}`")))?;
+        Ok(self.stores[rel].len())
+    }
+
+    /// Approximate resident bytes of all stores and arrangements — the
+    /// "memory-intensive data indexing" the paper's §2.2 worst case
+    /// measures.
+    pub fn approx_bytes(&self) -> usize {
+        let stores: usize = self.stores.iter().map(RelationStore::approx_bytes).sum();
+        let arrangements: usize = self.rule_states.iter().map(RuleState::approx_bytes).sum();
+        stores + arrangements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &str) -> Value {
+        Value::str(v)
+    }
+    fn i(v: i128) -> Value {
+        Value::Int(v)
+    }
+
+    const LABEL_PROG: &str = "
+        input relation GivenLabel(n: string, l: bigint)
+        input relation Edge(a: string, b: string)
+        output relation Label(n: string, l: bigint)
+        Label(n1, label) :- GivenLabel(n1, label).
+        Label(n2, label) :- Label(n1, label), Edge(n1, n2).
+    ";
+
+    #[test]
+    fn paper_reachability_example() {
+        let mut e = Engine::from_source(LABEL_PROG).unwrap();
+        let mut t = Transaction::new();
+        t.insert("GivenLabel", vec![s("a"), i(1)]);
+        t.insert("Edge", vec![s("a"), s("b")]);
+        t.insert("Edge", vec![s("b"), s("c")]);
+        let d = e.commit(t).unwrap();
+        assert_eq!(d.changes["Label"].len(), 3);
+        assert_eq!(
+            e.dump("Label").unwrap(),
+            vec![
+                vec![s("a"), i(1)],
+                vec![s("b"), i(1)],
+                vec![s("c"), i(1)],
+            ]
+        );
+
+        // Deleting the middle edge retracts downstream labels only.
+        let mut t = Transaction::new();
+        t.delete("Edge", vec![s("a"), s("b")]);
+        let d = e.commit(t).unwrap();
+        assert_eq!(
+            d.changes["Label"],
+            vec![
+                (vec![s("b"), i(1)], -1),
+                (vec![s("c"), i(1)], -1),
+            ]
+        );
+    }
+
+    #[test]
+    fn alternative_derivation_survives_deletion() {
+        let mut e = Engine::from_source(LABEL_PROG).unwrap();
+        let mut t = Transaction::new();
+        t.insert("GivenLabel", vec![s("a"), i(1)]);
+        t.insert("Edge", vec![s("a"), s("b")]);
+        t.insert("Edge", vec![s("a"), s("c")]);
+        t.insert("Edge", vec![s("c"), s("b")]);
+        e.commit(t).unwrap();
+        // b reachable via a→b and a→c→b. Deleting a→b keeps the label.
+        let mut t = Transaction::new();
+        t.delete("Edge", vec![s("a"), s("b")]);
+        let d = e.commit(t).unwrap();
+        assert!(d.is_empty(), "label must survive: {d:?}");
+        assert_eq!(e.dump("Label").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn cycle_deletion() {
+        // A cycle reachable from the root: deleting the entry edge must
+        // retract the whole cycle (the classic DRed trap).
+        let mut e = Engine::from_source(LABEL_PROG).unwrap();
+        let mut t = Transaction::new();
+        t.insert("GivenLabel", vec![s("r"), i(7)]);
+        t.insert("Edge", vec![s("r"), s("x")]);
+        t.insert("Edge", vec![s("x"), s("y")]);
+        t.insert("Edge", vec![s("y"), s("x")]);
+        e.commit(t).unwrap();
+        assert_eq!(e.dump("Label").unwrap().len(), 3);
+
+        let mut t = Transaction::new();
+        t.delete("Edge", vec![s("r"), s("x")]);
+        e.commit(t).unwrap();
+        // x and y support each other in the cycle but have no external
+        // derivation left; both must go.
+        assert_eq!(e.dump("Label").unwrap(), vec![vec![s("r"), i(7)]]);
+    }
+
+    #[test]
+    fn insert_then_delete_is_noop() {
+        let mut e = Engine::from_source(LABEL_PROG).unwrap();
+        let mut t = Transaction::new();
+        t.insert("GivenLabel", vec![s("a"), i(1)]);
+        t.delete("GivenLabel", vec![s("a"), i(1)]);
+        let d = e.commit(t).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(e.relation_len("Label").unwrap(), 0);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut e = Engine::from_source(LABEL_PROG).unwrap();
+        let mut t = Transaction::new();
+        t.insert("GivenLabel", vec![s("a"), i(1)]);
+        e.commit(t).unwrap();
+        let mut t = Transaction::new();
+        t.insert("GivenLabel", vec![s("a"), i(1)]);
+        let d = e.commit(t).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn type_errors_on_commit() {
+        let mut e = Engine::from_source(LABEL_PROG).unwrap();
+        let mut t = Transaction::new();
+        t.insert("GivenLabel", vec![i(1), i(1)]); // wrong type
+        assert!(e.commit(t).is_err());
+        let mut t = Transaction::new();
+        t.insert("GivenLabel", vec![s("a")]); // wrong arity
+        assert!(e.commit(t).is_err());
+        let mut t = Transaction::new();
+        t.insert("Label", vec![s("a"), i(1)]); // not an input
+        assert!(e.commit(t).is_err());
+        let mut t = Transaction::new();
+        t.insert("NoSuch", vec![]);
+        assert!(e.commit(t).is_err());
+    }
+
+    #[test]
+    fn facts_propagate_at_init() {
+        let e = Engine::from_source(
+            "
+            output relation R(x: bigint)
+            relation S(x: bigint)
+            S(10).
+            R(x + 1) :- S(x).
+            ",
+        )
+        .unwrap();
+        assert_eq!(e.dump("R").unwrap(), vec![vec![i(11)]]);
+    }
+
+    #[test]
+    fn negation_incremental() {
+        let mut e = Engine::from_source(
+            "
+            input relation S(x: bigint)
+            input relation Blocked(x: bigint)
+            output relation R(x: bigint)
+            R(x) :- S(x), not Blocked(x).
+            ",
+        )
+        .unwrap();
+        let mut t = Transaction::new();
+        t.insert("S", vec![i(1)]);
+        t.insert("S", vec![i(2)]);
+        let d = e.commit(t).unwrap();
+        assert_eq!(d.changes["R"].len(), 2);
+
+        // Blocking 1 retracts it.
+        let mut t = Transaction::new();
+        t.insert("Blocked", vec![i(1)]);
+        let d = e.commit(t).unwrap();
+        assert_eq!(d.changes["R"], vec![(vec![i(1)], -1)]);
+
+        // Unblocking restores it.
+        let mut t = Transaction::new();
+        t.delete("Blocked", vec![i(1)]);
+        let d = e.commit(t).unwrap();
+        assert_eq!(d.changes["R"], vec![(vec![i(1)], 1)]);
+    }
+
+    #[test]
+    fn aggregation_incremental() {
+        let mut e = Engine::from_source(
+            "
+            input relation P(p: bigint, sw: string)
+            output relation N(sw: string, n: bigint)
+            N(sw, n) :- P(p, sw), var n = count(p) group_by (sw).
+            ",
+        )
+        .unwrap();
+        let mut t = Transaction::new();
+        t.insert("P", vec![i(1), s("a")]);
+        t.insert("P", vec![i(2), s("a")]);
+        t.insert("P", vec![i(3), s("b")]);
+        let d = e.commit(t).unwrap();
+        assert_eq!(
+            d.changes["N"],
+            vec![
+                (vec![s("a"), i(2)], 1),
+                (vec![s("b"), i(1)], 1),
+            ]
+        );
+
+        let mut t = Transaction::new();
+        t.delete("P", vec![i(2), s("a")]);
+        let d = e.commit(t).unwrap();
+        assert_eq!(
+            d.changes["N"],
+            vec![
+                (vec![s("a"), i(1)], 1),
+                (vec![s("a"), i(2)], -1),
+            ]
+        );
+
+        // Deleting the last port of a switch removes its row entirely.
+        let mut t = Transaction::new();
+        t.delete("P", vec![i(3), s("b")]);
+        let d = e.commit(t).unwrap();
+        assert_eq!(d.changes["N"], vec![(vec![s("b"), i(1)], -1)]);
+    }
+
+    #[test]
+    fn flatmap_incremental() {
+        let mut e = Engine::from_source(
+            "
+            input relation Trunk(port: bit<32>, vlans: Vec<bit<12>>)
+            output relation PortVlan(port: bit<32>, vlan: bit<12>)
+            PortVlan(p, v) :- Trunk(p, vs), var v = FlatMap(vs).
+            ",
+        )
+        .unwrap();
+        let vlans = Value::vec(vec![Value::bit(12, 10), Value::bit(12, 20)]);
+        let mut t = Transaction::new();
+        t.insert("Trunk", vec![Value::bit(32, 1), vlans.clone()]);
+        let d = e.commit(t).unwrap();
+        assert_eq!(d.changes["PortVlan"].len(), 2);
+
+        let mut t = Transaction::new();
+        t.delete("Trunk", vec![Value::bit(32, 1), vlans]);
+        let d = e.commit(t).unwrap();
+        assert_eq!(d.changes["PortVlan"].len(), 2);
+        assert!(d.changes["PortVlan"].iter().all(|(_, w)| *w == -1));
+        assert_eq!(e.relation_len("PortVlan").unwrap(), 0);
+    }
+
+    #[test]
+    fn join_three_way_incremental() {
+        let mut e = Engine::from_source(
+            "
+            input relation A(x: bigint, y: bigint)
+            input relation B(y: bigint, z: bigint)
+            input relation C(z: bigint, w: bigint)
+            output relation R(x: bigint, w: bigint)
+            R(x, w) :- A(x, y), B(y, z), C(z, w).
+            ",
+        )
+        .unwrap();
+        let mut t = Transaction::new();
+        t.insert("A", vec![i(1), i(2)]);
+        t.insert("B", vec![i(2), i(3)]);
+        e.commit(t).unwrap();
+        assert_eq!(e.relation_len("R").unwrap(), 0);
+
+        // Completing the chain from the far end exercises the L_old ⋈ δR
+        // path through two stages.
+        let mut t = Transaction::new();
+        t.insert("C", vec![i(3), i(4)]);
+        let d = e.commit(t).unwrap();
+        assert_eq!(d.changes["R"], vec![(vec![i(1), i(4)], 1)]);
+
+        let mut t = Transaction::new();
+        t.delete("B", vec![i(2), i(3)]);
+        let d = e.commit(t).unwrap();
+        assert_eq!(d.changes["R"], vec![(vec![i(1), i(4)], -1)]);
+    }
+
+    #[test]
+    fn poisoning_on_eval_error() {
+        let mut e = Engine::from_source(
+            "
+            input relation S(x: bigint)
+            output relation R(y: bigint)
+            R(10 / x) :- S(x).
+            ",
+        )
+        .unwrap();
+        let mut t = Transaction::new();
+        t.insert("S", vec![i(0)]);
+        assert!(e.commit(t).is_err());
+        let mut t = Transaction::new();
+        t.insert("S", vec![i(5)]);
+        assert!(e.commit(t).is_err(), "poisoned engine must refuse work");
+    }
+
+    #[test]
+    fn mutual_recursion() {
+        let mut e = Engine::from_source(
+            "
+            input relation E(a: bigint, b: bigint)
+            input relation Start(a: bigint)
+            relation Odd(a: bigint)
+            output relation Even(a: bigint)
+            Even(a) :- Start(a).
+            Odd(b) :- Even(a), E(a, b).
+            Even(b) :- Odd(a), E(a, b).
+            ",
+        )
+        .unwrap();
+        let mut t = Transaction::new();
+        t.insert("Start", vec![i(0)]);
+        for k in 0..4 {
+            t.insert("E", vec![i(k), i(k + 1)]);
+        }
+        e.commit(t).unwrap();
+        assert_eq!(e.dump("Even").unwrap(), vec![vec![i(0)], vec![i(2)], vec![i(4)]]);
+
+        let mut t = Transaction::new();
+        t.delete("E", vec![i(1), i(2)]);
+        e.commit(t).unwrap();
+        assert_eq!(e.dump("Even").unwrap(), vec![vec![i(0)]]);
+    }
+}

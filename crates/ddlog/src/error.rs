@@ -1,0 +1,86 @@
+//! Error types for the DDlog-style engine.
+//!
+//! All phases (lexing, parsing, type checking, stratification, evaluation)
+//! report through [`Error`], carrying a source position where one is known.
+
+use std::fmt;
+
+/// A position in the program source text, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The phase of the pipeline in which an error occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenization of source text.
+    Lex,
+    /// Parsing tokens to an AST.
+    Parse,
+    /// Type checking and rule-safety analysis.
+    Type,
+    /// Stratification (negation / aggregation cycles).
+    Stratify,
+    /// Runtime evaluation (bad values, arithmetic, transactions).
+    Eval,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Type => "type",
+            Phase::Stratify => "stratify",
+            Phase::Eval => "eval",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An error produced by any phase of the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Which phase produced the error.
+    pub phase: Phase,
+    /// Source position, if known.
+    pub pos: Option<Pos>,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl Error {
+    /// Create an error with a known source position.
+    pub fn at(phase: Phase, pos: Pos, msg: impl Into<String>) -> Self {
+        Error { phase, pos: Some(pos), msg: msg.into() }
+    }
+
+    /// Create an error without a source position (e.g. runtime errors).
+    pub fn new(phase: Phase, msg: impl Into<String>) -> Self {
+        Error { phase, pos: None, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(p) => write!(f, "{} error at {}: {}", self.phase, p, self.msg),
+            None => write!(f, "{} error: {}", self.phase, self.msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

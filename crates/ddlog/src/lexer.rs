@@ -1,0 +1,455 @@
+//! Tokenizer for the DDlog-style dialect.
+
+use crate::error::{Error, Phase, Pos, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Non-negative integer literal.
+    Int(i128),
+    /// Floating literal.
+    Double(f64),
+    /// String literal (escapes already processed).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.` (rule terminator)
+    Dot,
+    /// `:-`
+    Turnstile,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `++`
+    PlusPlus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `_`
+    Underscore,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(i) => write!(f, "integer {i}"),
+            Tok::Double(d) => write!(f, "double {d}"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Turnstile => write!(f, "`:-`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::PlusPlus => write!(f, "`++`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::Shl => write!(f, "`<<`"),
+            Tok::Shr => write!(f, "`>>`"),
+            Tok::Amp => write!(f, "`&`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Caret => write!(f, "`^`"),
+            Tok::Tilde => write!(f, "`~`"),
+            Tok::Underscore => write!(f, "`_`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token paired with the position where it starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenize a full source string.
+///
+/// Comments: `// line` and `/* block */` (non-nesting).
+pub fn lex(src: &str) -> Result<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let pos = Pos { line, col };
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            if chars[i + 1] == '/' {
+                while i < chars.len() && chars[i] != '\n' {
+                    bump!();
+                }
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                bump!();
+                bump!();
+                let mut closed = false;
+                while i + 1 < chars.len() {
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        bump!();
+                        bump!();
+                        closed = true;
+                        break;
+                    }
+                    bump!();
+                }
+                if !closed {
+                    return Err(Error::at(Phase::Lex, pos, "unterminated block comment"));
+                }
+                continue;
+            }
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                bump!();
+            }
+            let s: String = chars[start..i].iter().collect();
+            out.push(Spanned { tok: Tok::Ident(s), pos });
+            continue;
+        }
+        // `_` alone is a wildcard; `_foo` is an identifier.
+        if c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                bump!();
+            }
+            let s: String = chars[start..i].iter().collect();
+            if s == "_" {
+                out.push(Spanned { tok: Tok::Underscore, pos });
+            } else {
+                out.push(Spanned { tok: Tok::Ident(s), pos });
+            }
+            continue;
+        }
+        // Numbers: decimal, 0x hex, 0b binary, and doubles like `1.5`.
+        if c.is_ascii_digit() {
+            let start = i;
+            if c == '0' && i + 1 < chars.len() && (chars[i + 1] == 'x' || chars[i + 1] == 'b') {
+                let radix = if chars[i + 1] == 'x' { 16 } else { 2 };
+                bump!();
+                bump!();
+                let dstart = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    bump!();
+                }
+                let digits: String =
+                    chars[dstart..i].iter().filter(|c| **c != '_').collect();
+                let val = i128::from_str_radix(&digits, radix).map_err(|_| {
+                    Error::at(Phase::Lex, pos, format!("bad integer literal `{digits}`"))
+                })?;
+                out.push(Spanned { tok: Tok::Int(val), pos });
+                continue;
+            }
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                bump!();
+            }
+            // A `.` followed by a digit makes it a double; a lone `.` is the
+            // rule terminator.
+            if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                bump!();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    bump!();
+                }
+                // Optional exponent.
+                if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+                    bump!();
+                    if i < chars.len() && (chars[i] == '+' || chars[i] == '-') {
+                        bump!();
+                    }
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        bump!();
+                    }
+                }
+                let text: String = chars[start..i].iter().filter(|c| **c != '_').collect();
+                let val: f64 = text.parse().map_err(|_| {
+                    Error::at(Phase::Lex, pos, format!("bad double literal `{text}`"))
+                })?;
+                out.push(Spanned { tok: Tok::Double(val), pos });
+                continue;
+            }
+            let text: String = chars[start..i].iter().filter(|c| **c != '_').collect();
+            let val: i128 = text.parse().map_err(|_| {
+                Error::at(Phase::Lex, pos, format!("bad integer literal `{text}`"))
+            })?;
+            out.push(Spanned { tok: Tok::Int(val), pos });
+            continue;
+        }
+        // String literals.
+        if c == '"' {
+            bump!();
+            let mut s = String::new();
+            let mut closed = false;
+            while i < chars.len() {
+                let ch = chars[i];
+                if ch == '"' {
+                    bump!();
+                    closed = true;
+                    break;
+                }
+                if ch == '\\' {
+                    bump!();
+                    if i >= chars.len() {
+                        break;
+                    }
+                    let esc = chars[i];
+                    bump!();
+                    s.push(match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        '\\' => '\\',
+                        '"' => '"',
+                        '0' => '\0',
+                        other => {
+                            return Err(Error::at(
+                                Phase::Lex,
+                                pos,
+                                format!("unknown escape `\\{other}`"),
+                            ))
+                        }
+                    });
+                    continue;
+                }
+                s.push(ch);
+                bump!();
+            }
+            if !closed {
+                return Err(Error::at(Phase::Lex, pos, "unterminated string literal"));
+            }
+            out.push(Spanned { tok: Tok::Str(s), pos });
+            continue;
+        }
+        // Operators and punctuation.
+        let two = if i + 1 < chars.len() {
+            Some((chars[i], chars[i + 1]))
+        } else {
+            None
+        };
+        let tok2 = match two {
+            Some((':', '-')) => Some(Tok::Turnstile),
+            Some(('=', '=')) => Some(Tok::EqEq),
+            Some(('!', '=')) => Some(Tok::Ne),
+            Some(('<', '=')) => Some(Tok::Le),
+            Some(('>', '=')) => Some(Tok::Ge),
+            Some(('<', '<')) => Some(Tok::Shl),
+            Some(('>', '>')) => Some(Tok::Shr),
+            Some(('+', '+')) => Some(Tok::PlusPlus),
+            _ => None,
+        };
+        if let Some(t) = tok2 {
+            bump!();
+            bump!();
+            out.push(Spanned { tok: t, pos });
+            continue;
+        }
+        let tok1 = match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            ',' => Tok::Comma,
+            '.' => Tok::Dot,
+            ':' => Tok::Colon,
+            '=' => Tok::Assign,
+            '<' => Tok::Lt,
+            '>' => Tok::Gt,
+            '+' => Tok::Plus,
+            '-' => Tok::Minus,
+            '*' => Tok::Star,
+            '/' => Tok::Slash,
+            '%' => Tok::Percent,
+            '&' => Tok::Amp,
+            '|' => Tok::Pipe,
+            '^' => Tok::Caret,
+            '~' => Tok::Tilde,
+            other => {
+                return Err(Error::at(
+                    Phase::Lex,
+                    pos,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        };
+        bump!();
+        out.push(Spanned { tok: tok1, pos });
+    }
+    out.push(Spanned { tok: Tok::Eof, pos: Pos { line, col } });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_rule() {
+        let t = toks("R(x) :- S(x, _).");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("R".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::RParen,
+                Tok::Turnstile,
+                Tok::Ident("S".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::Comma,
+                Tok::Underscore,
+                Tok::RParen,
+                Tok::Dot,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42")[0], Tok::Int(42));
+        assert_eq!(toks("0xff")[0], Tok::Int(255));
+        assert_eq!(toks("0b101")[0], Tok::Int(5));
+        assert_eq!(toks("1_000")[0], Tok::Int(1000));
+        assert_eq!(toks("1.5")[0], Tok::Double(1.5));
+        assert_eq!(toks("2.5e2")[0], Tok::Double(250.0));
+    }
+
+    #[test]
+    fn int_then_dot_is_rule_end() {
+        // `R(1).` must lex the dot separately.
+        let t = toks("1.");
+        assert_eq!(t, vec![Tok::Int(1), Tok::Dot, Tok::Eof]);
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(toks(r#""a\nb""#)[0], Tok::Str("a\nb".into()));
+        assert_eq!(toks(r#""say \"hi\"""#)[0], Tok::Str("say \"hi\"".into()));
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = toks("a // comment\n b /* c */ d");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+        assert!(lex("/* unclosed").is_err());
+    }
+
+    #[test]
+    fn two_char_ops() {
+        let t = toks(":- == != <= >= << >> ++");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Turnstile,
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::PlusPlus,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let s = lex("a\n  b").unwrap();
+        assert_eq!(s[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(s[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn underscore_prefixed_ident() {
+        assert_eq!(toks("_x")[0], Tok::Ident("_x".into()));
+        assert_eq!(toks("_")[0], Tok::Underscore);
+    }
+}

@@ -1,0 +1,846 @@
+//! Recursive-descent parser for the DDlog-style dialect.
+//!
+//! See [`crate::ast`] for the grammar overview. Relations must be declared
+//! before they are used in rules (this is how the parser distinguishes an
+//! atom from a boolean condition that happens to look like a call).
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::error::{Error, Phase, Pos, Result};
+use crate::lexer::{lex, Spanned, Tok};
+use crate::types::Type;
+
+/// Parse a complete program from source text.
+pub fn parse_program(src: &str) -> Result<Program> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, i: 0, typedefs: HashMap::new(), relations: Vec::new() };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    i: usize,
+    typedefs: HashMap<String, Type>,
+    relations: Vec<RelationDecl>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        if self.i + 1 < self.toks.len() {
+            &self.toks[self.i + 1].tok
+        } else {
+            &Tok::Eof
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.i].pos
+    }
+
+    fn bump(&mut self) -> Spanned {
+        let t = self.toks[self.i].clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(Error::at(Phase::Parse, self.pos(), msg.into()))
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<Spanned> {
+        if *self.peek() == tok {
+            Ok(self.bump())
+        } else {
+            self.err(format!("expected {tok}, found {}", self.peek()))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Tok::Ident(s) = self.peek() {
+            if s == kw {
+                self.bump();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn ident(&mut self) -> Result<(String, Pos)> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok((s, pos))
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn is_relation(&self, name: &str) -> bool {
+        self.relations.iter().any(|r| r.name == name)
+    }
+
+    // ---- program structure ------------------------------------------------
+
+    fn program(&mut self) -> Result<Program> {
+        let mut rules = Vec::new();
+        let mut typedef_list = Vec::new();
+        while *self.peek() != Tok::Eof {
+            if self.peek_kw("typedef") {
+                let td = self.typedef()?;
+                typedef_list.push(td);
+            } else if self.peek_kw("input") || self.peek_kw("output") || self.peek_kw("relation")
+            {
+                let decl = self.relation_decl()?;
+                if self.is_relation(&decl.name) {
+                    return Err(Error::at(
+                        Phase::Parse,
+                        decl.pos,
+                        format!("relation `{}` declared twice", decl.name),
+                    ));
+                }
+                self.relations.push(decl);
+            } else {
+                rules.push(self.rule()?);
+            }
+        }
+        Ok(Program {
+            typedefs: typedef_list,
+            relations: std::mem::take(&mut self.relations),
+            rules,
+        })
+    }
+
+    fn typedef(&mut self) -> Result<TypeDef> {
+        let pos = self.pos();
+        self.bump(); // `typedef`
+        let (name, _) = self.ident()?;
+        self.expect(Tok::Assign)?;
+        let ty = self.ty()?;
+        if self.typedefs.contains_key(&name) {
+            return Err(Error::at(Phase::Parse, pos, format!("typedef `{name}` redefined")));
+        }
+        self.typedefs.insert(name.clone(), ty.clone());
+        Ok(TypeDef { name, ty, pos })
+    }
+
+    fn relation_decl(&mut self) -> Result<RelationDecl> {
+        let pos = self.pos();
+        let role = if self.eat_kw("input") {
+            RelationRole::Input
+        } else if self.eat_kw("output") {
+            RelationRole::Output
+        } else {
+            RelationRole::Internal
+        };
+        if !self.eat_kw("relation") {
+            return self.err("expected `relation`");
+        }
+        let (name, _) = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut columns = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                let (cname, _) = self.ident()?;
+                self.expect(Tok::Colon)?;
+                let ty = self.ty()?;
+                if columns.iter().any(|(n, _)| *n == cname) {
+                    return self.err(format!("duplicate column `{cname}`"));
+                }
+                columns.push((cname, ty));
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(RelationDecl { name, role, columns, pos })
+    }
+
+    // ---- types ------------------------------------------------------------
+
+    /// Consume a closing `>` in a type, splitting a `>>` token in two so
+    /// that nested generics like `Vec<bit<12>>` parse.
+    fn expect_close_angle(&mut self) -> Result<()> {
+        match self.peek() {
+            Tok::Gt => {
+                self.bump();
+                Ok(())
+            }
+            Tok::Shr => {
+                self.toks[self.i].tok = Tok::Gt;
+                Ok(())
+            }
+            other => {
+                let msg = format!("expected `>`, found {other}");
+                self.err(msg)
+            }
+        }
+    }
+
+    fn ty(&mut self) -> Result<Type> {
+        let pos = self.pos();
+        let (name, _) = self.ident()?;
+        match name.as_str() {
+            "bool" => Ok(Type::Bool),
+            "bigint" => Ok(Type::Int),
+            "double" => Ok(Type::Double),
+            "string" => Ok(Type::Str),
+            "uuid" => Ok(Type::Uuid),
+            "bit" => {
+                self.expect(Tok::Lt)?;
+                let w = match self.peek().clone() {
+                    Tok::Int(n) if (1..=128).contains(&n) => {
+                        self.bump();
+                        n as u16
+                    }
+                    _ => return self.err("expected bit width 1..=128"),
+                };
+                self.expect_close_angle()?;
+                Ok(Type::Bit(w))
+            }
+            "Vec" => {
+                self.expect(Tok::Lt)?;
+                let t = self.ty()?;
+                self.expect_close_angle()?;
+                Ok(Type::Vec(Box::new(t)))
+            }
+            "Set" => {
+                self.expect(Tok::Lt)?;
+                let t = self.ty()?;
+                self.expect_close_angle()?;
+                Ok(Type::Set(Box::new(t)))
+            }
+            "Map" => {
+                self.expect(Tok::Lt)?;
+                let k = self.ty()?;
+                self.expect(Tok::Comma)?;
+                let v = self.ty()?;
+                self.expect_close_angle()?;
+                Ok(Type::Map(Box::new(k), Box::new(v)))
+            }
+            other => match self.typedefs.get(other) {
+                Some(t) => Ok(t.clone()),
+                None => Err(Error::at(Phase::Parse, pos, format!("unknown type `{other}`"))),
+            },
+        }
+    }
+
+    // ---- rules ------------------------------------------------------------
+
+    fn rule(&mut self) -> Result<Rule> {
+        let pos = self.pos();
+        let head = self.head_atom()?;
+        let mut body = Vec::new();
+        if *self.peek() == Tok::Turnstile {
+            self.bump();
+            loop {
+                body.push(self.body_item()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::Dot)?;
+        Ok(Rule { head, body, pos })
+    }
+
+    fn head_atom(&mut self) -> Result<HeadAtom> {
+        let (name, pos) = self.ident()?;
+        if !self.is_relation(&name) {
+            return Err(Error::at(
+                Phase::Parse,
+                pos,
+                format!("unknown relation `{name}` in rule head (declare it first)"),
+            ));
+        }
+        self.expect(Tok::LParen)?;
+        let mut args = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                args.push(self.expr()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(HeadAtom { relation: name, args, pos })
+    }
+
+    fn body_item(&mut self) -> Result<BodyItem> {
+        let pos = self.pos();
+        // `not Rel(..)`
+        if self.peek_kw("not") {
+            // Only treat as negation if followed by a relation atom;
+            // otherwise it is a boolean `not` in a condition.
+            if let Tok::Ident(next) = self.peek2() {
+                if self.is_relation(next) {
+                    self.bump(); // `not`
+                    let atom = self.atom()?;
+                    return Ok(BodyItem::Not(atom));
+                }
+            }
+        }
+        // `var x = ...`
+        if self.peek_kw("var") {
+            self.bump();
+            let (var, _) = self.ident()?;
+            self.expect(Tok::Assign)?;
+            // FlatMap special form.
+            if self.peek_kw("FlatMap") {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let expr = self.expr()?;
+                self.expect(Tok::RParen)?;
+                return Ok(BodyItem::FlatMap { var, expr, pos });
+            }
+            // Possible aggregate: `f(arg) group_by (keys)`. Fully
+            // backtrack on any failure so `var x = min(a, b)` (a plain
+            // call) still parses.
+            let save = self.i;
+            match self.try_aggregate(&var, pos) {
+                Ok(Some(item)) => return Ok(item),
+                Ok(None) | Err(_) => self.i = save,
+            }
+            let expr = self.expr()?;
+            return Ok(BodyItem::Assign { var, expr, pos });
+        }
+        // Atom vs condition: a declared relation name followed by `(`.
+        if let Tok::Ident(name) = self.peek() {
+            if self.is_relation(name) && *self.peek2() == Tok::LParen {
+                return Ok(BodyItem::Atom(self.atom()?));
+            }
+        }
+        Ok(BodyItem::Cond(self.expr()?))
+    }
+
+    /// Attempt to parse `f(arg) group_by (keys)` after `var x =`.
+    /// Returns `Ok(None)` when this is definitely not an aggregate (so the
+    /// caller should re-parse as a plain expression); `Err` on a partial
+    /// match the caller also treats as "not an aggregate" by rewinding.
+    fn try_aggregate(&mut self, var: &str, pos: Pos) -> Result<Option<BodyItem>> {
+        let fname = match self.peek().clone() {
+            Tok::Ident(f) if AggFunc::from_name(&f).is_some() && *self.peek2() == Tok::LParen => f,
+            _ => return Ok(None),
+        };
+        self.bump(); // function name
+        self.bump(); // `(`
+        let arg = if *self.peek() == Tok::RParen { None } else { Some(self.expr()?) };
+        self.expect(Tok::RParen)?;
+        if !self.peek_kw("group_by") {
+            return Ok(None);
+        }
+        self.bump();
+        self.expect(Tok::LParen)?;
+        let mut by = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                let (k, _) = self.ident()?;
+                by.push(k);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let func = AggFunc::from_name(&fname).unwrap();
+        if func != AggFunc::Count && arg.is_none() {
+            return Err(Error::at(
+                Phase::Parse,
+                pos,
+                format!("aggregate `{fname}` requires an argument"),
+            ));
+        }
+        Ok(Some(BodyItem::Aggregate { out_var: var.to_string(), func, arg, by, pos }))
+    }
+
+    fn atom(&mut self) -> Result<Atom> {
+        let (name, pos) = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut args = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                args.push(self.pattern()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(Atom { relation: name, args, pos })
+    }
+
+    fn pattern(&mut self) -> Result<Pattern> {
+        match self.peek().clone() {
+            Tok::Underscore => {
+                self.bump();
+                Ok(Pattern::Wildcard)
+            }
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Pattern::Lit(Literal::Int(n)))
+            }
+            Tok::Minus => {
+                self.bump();
+                match self.peek().clone() {
+                    Tok::Int(n) => {
+                        self.bump();
+                        Ok(Pattern::Lit(Literal::Int(-n)))
+                    }
+                    Tok::Double(d) => {
+                        self.bump();
+                        Ok(Pattern::Lit(Literal::Double(-d)))
+                    }
+                    _ => self.err("expected number after `-` in pattern"),
+                }
+            }
+            Tok::Double(d) => {
+                self.bump();
+                Ok(Pattern::Lit(Literal::Double(d)))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Pattern::Lit(Literal::Str(s)))
+            }
+            Tok::Ident(s) if s == "true" => {
+                self.bump();
+                Ok(Pattern::Lit(Literal::Bool(true)))
+            }
+            Tok::Ident(s) if s == "false" => {
+                self.bump();
+                Ok(Pattern::Lit(Literal::Bool(false)))
+            }
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(Pattern::Var(s))
+            }
+            other => self.err(format!(
+                "expected pattern (variable, `_`, or literal), found {other}"
+            )),
+        }
+    }
+
+    // ---- expressions (precedence climbing) --------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.expr_or()
+    }
+
+    fn expr_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.expr_and()?;
+        while self.peek_kw("or") {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.expr_and()?;
+            lhs = Expr::new(ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn expr_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.expr_cmp()?;
+        while self.peek_kw("and") {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.expr_cmp()?;
+            lhs = Expr::new(ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn expr_cmp(&mut self) -> Result<Expr> {
+        let lhs = self.expr_bitor()?;
+        let op = match self.peek() {
+            Tok::EqEq => Some(BinOp::Eq),
+            Tok::Ne => Some(BinOp::Ne),
+            Tok::Lt => Some(BinOp::Lt),
+            Tok::Le => Some(BinOp::Le),
+            Tok::Gt => Some(BinOp::Gt),
+            Tok::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.expr_bitor()?;
+            return Ok(Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), pos));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_bitor(&mut self) -> Result<Expr> {
+        let mut lhs = self.expr_bitxor()?;
+        while *self.peek() == Tok::Pipe {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.expr_bitxor()?;
+            lhs = Expr::new(ExprKind::Binary(BinOp::BitOr, Box::new(lhs), Box::new(rhs)), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn expr_bitxor(&mut self) -> Result<Expr> {
+        let mut lhs = self.expr_bitand()?;
+        while *self.peek() == Tok::Caret {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.expr_bitand()?;
+            lhs = Expr::new(ExprKind::Binary(BinOp::BitXor, Box::new(lhs), Box::new(rhs)), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn expr_bitand(&mut self) -> Result<Expr> {
+        let mut lhs = self.expr_shift()?;
+        while *self.peek() == Tok::Amp {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.expr_shift()?;
+            lhs = Expr::new(ExprKind::Binary(BinOp::BitAnd, Box::new(lhs), Box::new(rhs)), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn expr_shift(&mut self) -> Result<Expr> {
+        let mut lhs = self.expr_concat()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Shl => BinOp::Shl,
+                Tok::Shr => BinOp::Shr,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.expr_concat()?;
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn expr_concat(&mut self) -> Result<Expr> {
+        let mut lhs = self.expr_add()?;
+        while *self.peek() == Tok::PlusPlus {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.expr_add()?;
+            lhs = Expr::new(ExprKind::Binary(BinOp::Concat, Box::new(lhs), Box::new(rhs)), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn expr_add(&mut self) -> Result<Expr> {
+        let mut lhs = self.expr_mul()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.expr_mul()?;
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn expr_mul(&mut self) -> Result<Expr> {
+        let mut lhs = self.expr_cast()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.expr_cast()?;
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn expr_cast(&mut self) -> Result<Expr> {
+        let mut e = self.expr_unary()?;
+        while self.peek_kw("as") {
+            let pos = self.pos();
+            self.bump();
+            let ty = self.ty()?;
+            e = Expr::new(ExprKind::Cast(Box::new(e), ty), pos);
+        }
+        Ok(e)
+    }
+
+    fn expr_unary(&mut self) -> Result<Expr> {
+        let pos = self.pos();
+        if *self.peek() == Tok::Minus {
+            self.bump();
+            let e = self.expr_unary()?;
+            return Ok(Expr::new(ExprKind::Unary(UnOp::Neg, Box::new(e)), pos));
+        }
+        if *self.peek() == Tok::Tilde {
+            self.bump();
+            let e = self.expr_unary()?;
+            return Ok(Expr::new(ExprKind::Unary(UnOp::BitNot, Box::new(e)), pos));
+        }
+        if self.peek_kw("not") {
+            self.bump();
+            let e = self.expr_unary()?;
+            return Ok(Expr::new(ExprKind::Unary(UnOp::Not, Box::new(e)), pos));
+        }
+        self.expr_primary()
+    }
+
+    fn expr_primary(&mut self) -> Result<Expr> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Lit(Literal::Int(n)), pos))
+            }
+            Tok::Double(d) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Lit(Literal::Double(d)), pos))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Lit(Literal::Str(s)), pos))
+            }
+            Tok::LParen => {
+                self.bump();
+                let first = self.expr()?;
+                if *self.peek() == Tok::Comma {
+                    let mut elems = vec![first];
+                    while *self.peek() == Tok::Comma {
+                        self.bump();
+                        elems.push(self.expr()?);
+                    }
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::new(ExprKind::Tuple(elems), pos))
+                } else {
+                    self.expect(Tok::RParen)?;
+                    Ok(first)
+                }
+            }
+            Tok::Ident(name) => {
+                if name == "true" {
+                    self.bump();
+                    return Ok(Expr::new(ExprKind::Lit(Literal::Bool(true)), pos));
+                }
+                if name == "false" {
+                    self.bump();
+                    return Ok(Expr::new(ExprKind::Lit(Literal::Bool(false)), pos));
+                }
+                if name == "if" {
+                    self.bump();
+                    self.expect(Tok::LParen)?;
+                    let cond = self.expr()?;
+                    self.expect(Tok::RParen)?;
+                    let then = self.expr()?;
+                    if !self.eat_kw("else") {
+                        return self.err("expected `else` in if-expression");
+                    }
+                    let els = self.expr()?;
+                    return Ok(Expr::new(
+                        ExprKind::IfElse(Box::new(cond), Box::new(then), Box::new(els)),
+                        pos,
+                    ));
+                }
+                self.bump();
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::new(ExprKind::Call(name, args), pos))
+                } else {
+                    Ok(Expr::new(ExprKind::Var(name), pos))
+                }
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DECLS: &str = "
+        input relation Edge(a: string, b: string)
+        input relation GivenLabel(n: string, l: bigint)
+        output relation Label(n: string, l: bigint)
+    ";
+
+    #[test]
+    fn parse_paper_example() {
+        // The reachability-labeling program from the paper's introduction.
+        let src = format!(
+            "{DECLS}
+             Label(n1, label) :- GivenLabel(n1, label).
+             Label(n2, label) :- Label(n1, label), Edge(n1, n2)."
+        );
+        let prog = parse_program(&src).unwrap();
+        assert_eq!(prog.relations.len(), 3);
+        assert_eq!(prog.rules.len(), 2);
+        assert_eq!(prog.rules[1].body.len(), 2);
+        assert_eq!(prog.relations[0].role, RelationRole::Input);
+        assert_eq!(prog.relations[2].role, RelationRole::Output);
+    }
+
+    #[test]
+    fn parse_fact() {
+        let src = "output relation R(x: bigint)\nR(42).";
+        let prog = parse_program(src).unwrap();
+        assert!(prog.rules[0].body.is_empty());
+    }
+
+    #[test]
+    fn parse_negation_and_cond() {
+        let src = "
+            input relation S(x: bigint)
+            input relation T(x: bigint)
+            output relation R(x: bigint)
+            R(x) :- S(x), not T(x), x > 10.
+        ";
+        let prog = parse_program(src).unwrap();
+        let body = &prog.rules[0].body;
+        assert!(matches!(body[0], BodyItem::Atom(_)));
+        assert!(matches!(body[1], BodyItem::Not(_)));
+        assert!(matches!(body[2], BodyItem::Cond(_)));
+    }
+
+    #[test]
+    fn parse_aggregate() {
+        let src = "
+            input relation P(port: bit<32>, sw: string)
+            output relation N(sw: string, n: bigint)
+            N(sw, n) :- P(p, sw), var n = count(p) group_by (sw).
+        ";
+        let prog = parse_program(src).unwrap();
+        match &prog.rules[0].body[1] {
+            BodyItem::Aggregate { out_var, func, by, .. } => {
+                assert_eq!(out_var, "n");
+                assert_eq!(*func, AggFunc::Count);
+                assert_eq!(by, &["sw".to_string()]);
+            }
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_flatmap_and_assign() {
+        let src = "
+            input relation T(vlans: Vec<bit<12>>)
+            output relation V(v: bit<12>)
+            V(v) :- T(vs), var v = FlatMap(vs).
+        ";
+        let prog = parse_program(src).unwrap();
+        assert!(matches!(prog.rules[0].body[1], BodyItem::FlatMap { .. }));
+
+        let src2 = "
+            input relation S(x: bigint)
+            output relation R(y: bigint)
+            R(y) :- S(x), var y = x * 2 + 1.
+        ";
+        let prog2 = parse_program(src2).unwrap();
+        assert!(matches!(prog2.rules[0].body[1], BodyItem::Assign { .. }));
+    }
+
+    #[test]
+    fn min_call_is_not_aggregate() {
+        // `min(a, b)` without group_by parses as a plain call.
+        let src = "
+            input relation S(a: bigint, b: bigint)
+            output relation R(m: bigint)
+            R(m) :- S(a, b), var m = min(a).
+        ";
+        // `min(a)` with one arg and no group_by: rewinds to Assign.
+        let prog = parse_program(src).unwrap();
+        assert!(matches!(prog.rules[0].body[1], BodyItem::Assign { .. }));
+    }
+
+    #[test]
+    fn typedef_alias_resolved() {
+        let src = "
+            typedef PortId = bit<32>
+            input relation P(id: PortId)
+        ";
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.relations[0].columns[0].1, Type::Bit(32));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_program("R(x) :- S(x).").is_err()); // undeclared
+        assert!(parse_program("relation R(x: nosuch)").is_err()); // bad type
+        assert!(parse_program("input relation R(x: bigint, x: bigint)").is_err());
+        assert!(parse_program("input relation R(x: bit<0>)").is_err());
+        assert!(parse_program("input relation R(x: bigint) input relation R(y: bool)").is_err());
+    }
+
+    #[test]
+    fn expr_precedence() {
+        let src = "
+            input relation S(x: bigint)
+            output relation R(y: bigint)
+            R(y) :- S(x), var y = 1 + x * 2.
+        ";
+        let prog = parse_program(src).unwrap();
+        if let BodyItem::Assign { expr, .. } = &prog.rules[0].body[1] {
+            // Must parse as 1 + (x * 2).
+            match &expr.kind {
+                ExprKind::Binary(BinOp::Add, a, b) => {
+                    assert!(matches!(a.kind, ExprKind::Lit(Literal::Int(1))));
+                    assert!(matches!(b.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+                }
+                other => panic!("bad parse: {other:?}"),
+            }
+        } else {
+            panic!("expected assign");
+        }
+    }
+
+    #[test]
+    fn tuple_expr_and_if() {
+        let src = "
+            input relation S(x: bigint)
+            output relation R(y: bigint)
+            R(y) :- S(x), var p = (x, x + 1), var y = if (x > 0) x else 0 - x.
+        ";
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.rules[0].body.len(), 3);
+    }
+}

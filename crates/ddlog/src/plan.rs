@@ -1,0 +1,526 @@
+//! Rule planning: lowering type-checked rules into stage pipelines.
+//!
+//! Every rule becomes a left-to-right pipeline of [`PStage`]s. The same
+//! plan is interpreted two ways:
+//!
+//! * by [`crate::chain`] for non-recursive strata — fully incremental with
+//!   maintained arrangements (work ∝ |Δ|);
+//! * by [`crate::recursive`] for recursive strata — semi-naive fixpoint and
+//!   delete–re-derive, driving deltas through any atom position.
+//!
+//! Planning also registers every hash index the pipelines will need on the
+//! relation stores (indexes must exist before data arrives).
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::cexpr::CExpr;
+use crate::error::{Error, Phase, Result};
+use crate::store::{RelationStore, RelId};
+use crate::typecheck::{literal_value, CheckedProgram};
+use crate::types::Type;
+use crate::value::Value;
+
+/// Where a key component comes from at lookup time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeySrc {
+    /// A literal from the atom pattern.
+    Const(Value),
+    /// An environment slot bound by an earlier stage.
+    Slot(usize),
+}
+
+/// One pipeline stage.
+#[derive(Debug, Clone)]
+pub enum PStage {
+    /// Join (or antijoin when `neg`) with a relation.
+    Atom {
+        /// The relation joined against.
+        rel: RelId,
+        /// True for `not Rel(..)`.
+        neg: bool,
+        /// Columns forming the lookup key, ascending.
+        key_cols: Vec<usize>,
+        /// Value source for each key column (parallel to `key_cols`).
+        key_srcs: Vec<KeySrc>,
+        /// Intra-atom repeated variables: (column, column bound earlier in
+        /// this same atom) equality checks.
+        checks: Vec<(usize, usize)>,
+        /// Columns bound into fresh environment slots: (column, slot).
+        binds: Vec<(usize, usize)>,
+    },
+    /// Boolean condition.
+    Filter {
+        /// Must evaluate to `true` for the binding to pass.
+        expr: CExpr,
+    },
+    /// `var x = expr` appends one slot.
+    Assign {
+        /// Destination slot.
+        slot: usize,
+        /// Defining expression.
+        expr: CExpr,
+    },
+    /// `var x = FlatMap(e)` appends one slot per element.
+    FlatMap {
+        /// Destination slot.
+        slot: usize,
+        /// Collection expression.
+        expr: CExpr,
+    },
+    /// Aggregation; collapses the environment to `group_slots` + result.
+    Aggregate {
+        /// Slots (old layout) forming the group key.
+        group_slots: Vec<usize>,
+        /// The aggregation function.
+        func: AggFunc,
+        /// Aggregated expression over the old layout.
+        arg: Option<CExpr>,
+    },
+}
+
+/// How a head argument can be matched backwards (head row → bindings),
+/// used by delete–re-derive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeadBind {
+    /// The argument is a plain variable in this slot.
+    Slot(usize),
+    /// The argument is this constant.
+    Const(Value),
+}
+
+/// A fully planned rule.
+#[derive(Debug, Clone)]
+pub struct CompiledRule {
+    /// Index of the source rule in the program.
+    pub rule_index: usize,
+    /// Head relation.
+    pub head_rel: RelId,
+    /// Head expressions over the final environment layout.
+    pub head_exprs: Vec<CExpr>,
+    /// Backward head matching, if every head argument is a variable or
+    /// constant. `None` forces forward evaluation during re-derivation.
+    pub head_binds: Option<Vec<HeadBind>>,
+    /// The pipeline.
+    pub stages: Vec<PStage>,
+    /// Final environment size. Only meaningful when the rule has no
+    /// aggregate (recursive rules never do).
+    pub n_slots: usize,
+    /// True if the rule contains an [`PStage::Aggregate`].
+    pub has_aggregate: bool,
+    /// The distinct relations referenced by body atoms.
+    pub body_rels: Vec<RelId>,
+}
+
+/// A compiled program: relation metadata plus per-rule plans.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// Relation name → id.
+    pub rel_ids: HashMap<String, RelId>,
+    /// Relation id → declaration (same order as stores).
+    pub decls: Vec<RelationDecl>,
+    /// Plans, one per rule with a non-empty body.
+    pub rules: Vec<CompiledRule>,
+    /// Constant facts: `(relation, row)` from empty-body rules.
+    pub facts: Vec<(RelId, Vec<Value>)>,
+}
+
+/// Plan all rules of a checked program, registering needed indexes on
+/// `stores` (which must be freshly created, one per relation, in
+/// declaration order).
+pub fn plan(checked: &CheckedProgram, stores: &mut [RelationStore]) -> Result<CompiledProgram> {
+    let program = &checked.program;
+    let rel_ids: HashMap<String, RelId> = program
+        .relations
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.name.clone(), i))
+        .collect();
+
+    let mut rules = Vec::new();
+    let mut facts = Vec::new();
+
+    for (rule_index, rule) in program.rules.iter().enumerate() {
+        if rule.body.is_empty() {
+            facts.push(plan_fact(rule, &rel_ids, program)?);
+            continue;
+        }
+        let compiled = plan_rule(rule_index, rule, &rel_ids, program, stores)?;
+        rules.push(compiled);
+    }
+
+    Ok(CompiledProgram {
+        rel_ids,
+        decls: program.relations.clone(),
+        rules,
+        facts,
+    })
+}
+
+fn plan_fact(
+    rule: &Rule,
+    rel_ids: &HashMap<String, RelId>,
+    program: &Program,
+) -> Result<(RelId, Vec<Value>)> {
+    let rel = rel_ids[&rule.head.relation];
+    let decl = program.relation(&rule.head.relation).unwrap();
+    let empty_layout = HashMap::new();
+    let mut row = Vec::with_capacity(rule.head.args.len());
+    for (expr, (cname, _)) in rule.head.args.iter().zip(&decl.columns) {
+        let ce = lower_expr(expr, &empty_layout)?;
+        match const_fold(&ce) {
+            Some(v) => row.push(v),
+            None => {
+                return Err(Error::at(
+                    Phase::Type,
+                    expr.pos,
+                    format!("fact argument for column `{cname}` is not constant"),
+                ))
+            }
+        }
+    }
+    Ok((rel, row))
+}
+
+fn plan_rule(
+    rule_index: usize,
+    rule: &Rule,
+    rel_ids: &HashMap<String, RelId>,
+    program: &Program,
+    stores: &mut [RelationStore],
+) -> Result<CompiledRule> {
+    // slot layout: var name → slot, in binding order.
+    let mut layout: HashMap<String, usize> = HashMap::new();
+    let mut stages = Vec::with_capacity(rule.body.len());
+    let mut has_aggregate = false;
+    let mut body_rels = Vec::new();
+
+    for item in &rule.body {
+        match item {
+            BodyItem::Atom(atom) | BodyItem::Not(atom) => {
+                let neg = matches!(item, BodyItem::Not(_));
+                let rel = rel_ids[&atom.relation];
+                if !body_rels.contains(&rel) {
+                    body_rels.push(rel);
+                }
+                let decl = program.relation(&atom.relation).unwrap();
+                let mut key_cols = Vec::new();
+                let mut key_srcs = Vec::new();
+                let mut checks = Vec::new();
+                let mut binds = Vec::new();
+                // Track columns bound within this atom: var → first col.
+                let mut local: HashMap<&str, usize> = HashMap::new();
+                for (col, (pat, (_, cty))) in
+                    atom.args.iter().zip(&decl.columns).enumerate()
+                {
+                    match pat {
+                        Pattern::Wildcard => {}
+                        Pattern::Lit(lit) => {
+                            let v = literal_value(lit, cty)
+                                .map_err(|m| Error::at(Phase::Type, atom.pos, m))?;
+                            key_cols.push(col);
+                            key_srcs.push(KeySrc::Const(v));
+                        }
+                        Pattern::Var(name) => {
+                            if let Some(&first_col) = local.get(name.as_str()) {
+                                // Repeated within this atom → check.
+                                checks.push((col, first_col));
+                            } else if let Some(&slot) = layout.get(name.as_str()) {
+                                // Bound by an earlier stage → join key.
+                                key_cols.push(col);
+                                key_srcs.push(KeySrc::Slot(slot));
+                            } else {
+                                // Fresh binding.
+                                let slot = layout.len();
+                                layout.insert(name.clone(), slot);
+                                local.insert(name.as_str(), col);
+                                binds.push((col, slot));
+                            }
+                        }
+                    }
+                }
+                if !key_cols.is_empty() {
+                    stores[rel].register_index(&key_cols);
+                }
+                stages.push(PStage::Atom { rel, neg, key_cols, key_srcs, checks, binds });
+            }
+            BodyItem::Cond(expr) => {
+                stages.push(PStage::Filter { expr: lower_expr(expr, &layout)? });
+            }
+            BodyItem::Assign { var, expr, .. } => {
+                let ce = lower_expr(expr, &layout)?;
+                let slot = layout.len();
+                layout.insert(var.clone(), slot);
+                stages.push(PStage::Assign { slot, expr: ce });
+            }
+            BodyItem::FlatMap { var, expr, .. } => {
+                let ce = lower_expr(expr, &layout)?;
+                let slot = layout.len();
+                layout.insert(var.clone(), slot);
+                stages.push(PStage::FlatMap { slot, expr: ce });
+            }
+            BodyItem::Aggregate { out_var, func, arg, by, .. } => {
+                has_aggregate = true;
+                let group_slots: Vec<usize> = by.iter().map(|k| layout[k.as_str()]).collect();
+                let arg_ce = match arg {
+                    Some(a) => Some(lower_expr(a, &layout)?),
+                    None => None,
+                };
+                // Environment collapses: new layout is keys then the
+                // aggregate output.
+                let mut new_layout = HashMap::new();
+                for (i, k) in by.iter().enumerate() {
+                    new_layout.insert(k.clone(), i);
+                }
+                new_layout.insert(out_var.clone(), by.len());
+                layout = new_layout;
+                stages.push(PStage::Aggregate { group_slots, func: *func, arg: arg_ce });
+            }
+        }
+    }
+
+    // Head.
+    let head_rel = rel_ids[&rule.head.relation];
+    let mut head_exprs = Vec::with_capacity(rule.head.args.len());
+    for expr in &rule.head.args {
+        head_exprs.push(lower_expr(expr, &layout)?);
+    }
+    // Backward head matching when every arg folds to a slot or constant.
+    let mut head_binds = Some(Vec::new());
+    for ce in &head_exprs {
+        let hb = match ce {
+            CExpr::Var(slot) => Some(HeadBind::Slot(*slot)),
+            other => const_fold(other).map(HeadBind::Const),
+        };
+        match (hb, &mut head_binds) {
+            (Some(h), Some(v)) => v.push(h),
+            _ => {
+                head_binds = None;
+                break;
+            }
+        }
+    }
+
+    Ok(CompiledRule {
+        rule_index,
+        head_rel,
+        head_exprs,
+        head_binds,
+        stages,
+        n_slots: layout.len(),
+        has_aggregate,
+        body_rels,
+    })
+}
+
+/// Lower an AST expression to a compiled expression, resolving variables
+/// against `layout` and folding constants.
+pub fn lower_expr(expr: &Expr, layout: &HashMap<String, usize>) -> Result<CExpr> {
+    let ce = lower_inner(expr, layout)?;
+    Ok(match const_fold(&ce) {
+        Some(v) => CExpr::Const(v),
+        None => ce,
+    })
+}
+
+fn lower_inner(expr: &Expr, layout: &HashMap<String, usize>) -> Result<CExpr> {
+    Ok(match &expr.kind {
+        ExprKind::Lit(lit) => CExpr::Const(natural_literal(lit)),
+        ExprKind::Var(name) => match layout.get(name.as_str()) {
+            Some(slot) => CExpr::Var(*slot),
+            None => {
+                return Err(Error::at(
+                    Phase::Type,
+                    expr.pos,
+                    format!("internal: variable `{name}` missing from layout"),
+                ))
+            }
+        },
+        ExprKind::Unary(op, e) => CExpr::Unary(*op, Box::new(lower_inner(e, layout)?)),
+        ExprKind::Binary(op, a, b) => CExpr::Binary(
+            *op,
+            Box::new(lower_inner(a, layout)?),
+            Box::new(lower_inner(b, layout)?),
+        ),
+        ExprKind::Call(name, args) => {
+            let mut la = Vec::with_capacity(args.len());
+            for a in args {
+                la.push(lower_inner(a, layout)?);
+            }
+            CExpr::Call(name.clone(), la)
+        }
+        ExprKind::IfElse(c, t, f) => CExpr::IfElse(
+            Box::new(lower_inner(c, layout)?),
+            Box::new(lower_inner(t, layout)?),
+            Box::new(lower_inner(f, layout)?),
+        ),
+        ExprKind::Cast(e, ty) => CExpr::Cast(Box::new(lower_inner(e, layout)?), ty.clone()),
+        ExprKind::Tuple(elems) => {
+            let mut le = Vec::with_capacity(elems.len());
+            for e in elems {
+                le.push(lower_inner(e, layout)?);
+            }
+            CExpr::Tuple(le)
+        }
+    })
+}
+
+/// The value of a literal with no expected type (casts added by the type
+/// checker adapt it afterwards).
+fn natural_literal(lit: &Literal) -> Value {
+    match lit {
+        Literal::Bool(b) => Value::Bool(*b),
+        Literal::Int(i) => Value::Int(*i),
+        Literal::Double(d) => Value::Double(crate::value::F64(*d)),
+        Literal::Str(s) => Value::str(s),
+    }
+}
+
+/// Evaluate a constant expression to a value, if possible.
+fn const_fold(ce: &CExpr) -> Option<Value> {
+    if ce.is_const() {
+        crate::cexpr::eval(ce, &[]).ok()
+    } else {
+        None
+    }
+}
+
+/// Map a `Type` to a conservative "zero" value, used to type-check rows.
+pub fn zero_value(ty: &Type) -> Value {
+    match ty {
+        Type::Bool => Value::Bool(false),
+        Type::Int => Value::Int(0),
+        Type::Bit(w) => Value::Bit { width: *w, val: 0 },
+        Type::Double => Value::Double(crate::value::F64(0.0)),
+        Type::Str => Value::str(""),
+        Type::Uuid => Value::Uuid(crate::value::Uuid(0)),
+        Type::Vec(_) => Value::vec(vec![]),
+        Type::Set(_) => Value::set(vec![]),
+        Type::Map(_, _) => Value::map(vec![]),
+        Type::Tuple(ts) => Value::tuple(ts.iter().map(zero_value).collect()),
+        Type::Unknown => Value::Bool(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::typecheck::check;
+
+    fn compile(src: &str) -> (CompiledProgram, Vec<RelationStore>) {
+        let prog = parse_program(src).unwrap();
+        let checked = check(&prog).unwrap();
+        let mut stores: Vec<RelationStore> = prog
+            .relations
+            .iter()
+            .map(|r| RelationStore::new(r.name.clone()))
+            .collect();
+        let cp = plan(&checked, &mut stores).unwrap();
+        (cp, stores)
+    }
+
+    #[test]
+    fn join_plan_keys() {
+        let (cp, stores) = compile(
+            "
+            input relation Label(n: string, l: bigint)
+            input relation Edge(a: string, b: string)
+            output relation Out(n: string, l: bigint)
+            Out(n2, l) :- Label(n1, l), Edge(n1, n2).
+            ",
+        );
+        let rule = &cp.rules[0];
+        assert_eq!(rule.stages.len(), 2);
+        match &rule.stages[1] {
+            PStage::Atom { rel, neg, key_cols, key_srcs, binds, .. } => {
+                assert!(!neg);
+                assert_eq!(*rel, cp.rel_ids["Edge"]);
+                assert_eq!(key_cols, &[0]); // Edge.a joins on n1
+                assert_eq!(key_srcs, &[KeySrc::Slot(0)]);
+                assert_eq!(binds.len(), 1); // Edge.b binds n2
+            }
+            other => panic!("unexpected stage {other:?}"),
+        }
+        // An index on Edge column 0 must have been registered.
+        assert!(stores[cp.rel_ids["Edge"]].has_index(&[0]));
+    }
+
+    #[test]
+    fn literal_in_pattern_becomes_const_key() {
+        let (cp, _) = compile(
+            "
+            input relation Port(id: bit<32>, vlan: bit<12>, tag: string)
+            output relation InVlan(port: bit<32>, vlan: bit<12>)
+            InVlan(p, v) :- Port(p, v, \"access\").
+            ",
+        );
+        match &cp.rules[0].stages[0] {
+            PStage::Atom { key_cols, key_srcs, .. } => {
+                assert_eq!(key_cols, &[2]);
+                assert_eq!(key_srcs, &[KeySrc::Const(Value::str("access"))]);
+            }
+            other => panic!("unexpected stage {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_var_in_atom_is_check() {
+        let (cp, _) = compile(
+            "
+            input relation E(a: bigint, b: bigint)
+            output relation Self(a: bigint)
+            Self(a) :- E(a, a).
+            ",
+        );
+        match &cp.rules[0].stages[0] {
+            PStage::Atom { checks, binds, .. } => {
+                assert_eq!(binds.len(), 1);
+                assert_eq!(checks, &[(1, 0)]);
+            }
+            other => panic!("unexpected stage {other:?}"),
+        }
+    }
+
+    #[test]
+    fn head_binds_for_simple_heads() {
+        let (cp, _) = compile(
+            "
+            input relation E(a: bigint, b: bigint)
+            output relation R(a: bigint, b: bigint)
+            output relation S(x: bigint)
+            R(a, b) :- E(a, b).
+            S(a + b) :- E(a, b).
+            ",
+        );
+        assert!(cp.rules[0].head_binds.is_some());
+        assert!(cp.rules[1].head_binds.is_none());
+    }
+
+    #[test]
+    fn facts_planned_as_constants() {
+        let (cp, _) = compile(
+            "
+            output relation R(x: bigint, s: string)
+            R(1 + 2, \"a\" ++ \"b\").
+            ",
+        );
+        assert_eq!(cp.facts.len(), 1);
+        assert_eq!(cp.facts[0].1, vec![Value::Int(3), Value::str("ab")]);
+    }
+
+    #[test]
+    fn aggregate_collapses_layout() {
+        let (cp, _) = compile(
+            "
+            input relation P(p: bigint, sw: string)
+            output relation N(sw: string, n: bigint)
+            N(sw, n) :- P(p, sw), var n = count(p) group_by (sw).
+            ",
+        );
+        let rule = &cp.rules[0];
+        assert!(rule.has_aggregate);
+        // Head exprs refer to the post-aggregate layout: sw=0, n=1.
+        assert_eq!(rule.head_exprs, vec![CExpr::Var(0), CExpr::Var(1)]);
+    }
+}

@@ -1,0 +1,552 @@
+//! Evaluation of recursive strata: semi-naive fixpoint for insertions and
+//! delete–re-derive (DRed) for retractions.
+//!
+//! Recursive relations (graph reachability, routing tables — §2.2 of the
+//! paper calls these out as the queries classical IVM cannot handle) are
+//! maintained with set semantics. Insertions propagate by driving each
+//! rule from the newly added rows until a fixpoint. Deletions use DRed:
+//! over-delete everything derivable from the removed rows, then re-derive
+//! the survivors that have alternative derivations.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::cexpr::eval;
+use crate::chain::flatten;
+use crate::error::{Error, Phase, Result};
+use crate::plan::{CompiledRule, HeadBind, KeySrc, PStage};
+use crate::store::{Key, RelationStore, RelId};
+use crate::value::{Row, Value};
+use crate::zset::ZSet;
+
+/// A read view over the stores, optionally adjusted backwards by the
+/// transaction's set-level deltas (to reconstruct the pre-transaction
+/// contents of relations that were already updated).
+pub struct View<'a> {
+    stores: &'a [RelationStore],
+    /// When present: subtract these deltas, i.e. present the OLD contents.
+    rewind: Option<&'a HashMap<RelId, ZSet<Row>>>,
+}
+
+impl<'a> View<'a> {
+    /// A view of the current (new) contents.
+    pub fn new(stores: &'a [RelationStore]) -> Self {
+        View { stores, rewind: None }
+    }
+
+    /// A view of the pre-transaction contents of the relations present in
+    /// `deltas`; other relations read as-is.
+    pub fn old(stores: &'a [RelationStore], deltas: &'a HashMap<RelId, ZSet<Row>>) -> Self {
+        View { stores, rewind: Some(deltas) }
+    }
+
+    fn delta_of(&self, rel: RelId) -> Option<&'a ZSet<Row>> {
+        self.rewind.and_then(|m| m.get(&rel))
+    }
+
+    /// Rows matching `key` under the registered `key_cols` index.
+    pub fn lookup(&self, rel: RelId, key_cols: &[usize], key: &Key) -> Vec<Row> {
+        let mut rows: Vec<Row> = match self.delta_of(rel) {
+            None => self.stores[rel].lookup(key_cols, key).cloned().collect(),
+            Some(d) => {
+                // OLD = NEW − delta: drop rows added this txn, restore
+                // rows removed this txn.
+                let mut v: Vec<Row> = self.stores[rel]
+                    .lookup(key_cols, key)
+                    .filter(|r| d.weight(r) <= 0)
+                    .cloned()
+                    .collect();
+                for (r, w) in d.iter() {
+                    if w < 0 && key_cols.iter().zip(key).all(|(c, k)| &r[*c] == k) {
+                        v.push(r.clone());
+                    }
+                }
+                v
+            }
+        };
+        rows.sort();
+        rows
+    }
+
+    /// Count of rows matching `key`.
+    pub fn count(&self, rel: RelId, key_cols: &[usize], key: &Key) -> usize {
+        match self.delta_of(rel) {
+            None => self.stores[rel].lookup_count(key_cols, key),
+            Some(_) => self.lookup(rel, key_cols, key).len(),
+        }
+    }
+
+    /// All visible rows of a relation.
+    pub fn scan(&self, rel: RelId) -> Vec<Row> {
+        match self.delta_of(rel) {
+            None => self.stores[rel].rows().cloned().collect(),
+            Some(d) => {
+                let mut v: Vec<Row> = self
+                    .stores[rel]
+                    .rows()
+                    .filter(|r| d.weight(r) <= 0)
+                    .cloned()
+                    .collect();
+                for (r, w) in d.iter() {
+                    if w < 0 {
+                        v.push(r.clone());
+                    }
+                }
+                v
+            }
+        }
+    }
+}
+
+/// A partially bound environment for driven evaluation.
+struct Env {
+    vals: Vec<Value>,
+    bound: Vec<bool>,
+}
+
+impl Env {
+    fn new(n: usize) -> Env {
+        Env { vals: vec![Value::Bool(false); n], bound: vec![false; n] }
+    }
+
+    /// Bind a slot or, if already bound, check equality. Returns false on
+    /// mismatch; on success returns true and records whether the slot was
+    /// newly bound in `newly`.
+    fn bind_or_check(&mut self, slot: usize, v: &Value, newly: &mut Vec<usize>) -> bool {
+        if self.bound[slot] {
+            self.vals[slot] == *v
+        } else {
+            self.vals[slot] = v.clone();
+            self.bound[slot] = true;
+            newly.push(slot);
+            true
+        }
+    }
+
+    fn unbind(&mut self, slots: &[usize]) {
+        for s in slots {
+            self.bound[*s] = false;
+        }
+    }
+}
+
+/// Pre-bind the environment from a row driving an atom stage. Returns
+/// `None` (after unbinding) if the row is inconsistent with the stage.
+fn prebind(stage: &PStage, row: &Row, env: &mut Env) -> Option<Vec<usize>> {
+    let (key_cols, key_srcs, checks, binds) = match stage {
+        PStage::Atom { key_cols, key_srcs, checks, binds, .. } => {
+            (key_cols, key_srcs, checks, binds)
+        }
+        _ => unreachable!("driving a non-atom stage"),
+    };
+    let mut newly = Vec::new();
+    let mut ok = checks.iter().all(|(a, b)| row[*a] == row[*b]);
+    if ok {
+        for (col, src) in key_cols.iter().zip(key_srcs) {
+            match src {
+                KeySrc::Const(v) => {
+                    if &row[*col] != v {
+                        ok = false;
+                        break;
+                    }
+                }
+                KeySrc::Slot(s) => {
+                    if !env.bind_or_check(*s, &row[*col], &mut newly) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    if ok {
+        for (col, slot) in binds {
+            if !env.bind_or_check(*slot, &row[*col], &mut newly) {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if ok {
+        Some(newly)
+    } else {
+        env.unbind(&newly);
+        None
+    }
+}
+
+/// Evaluate a rule by driving a delta row through one atom occurrence (or
+/// fully forward when `drive` is `None`), collecting derived head rows.
+///
+/// `init` pre-binds slots (used for backward re-derivation). Rules with
+/// aggregates are rejected at compile time for recursive strata, so this
+/// evaluator never sees one.
+pub fn eval_rule_driven(
+    rule: &CompiledRule,
+    view: &View<'_>,
+    drive: Option<(usize, &Row)>,
+    init: &[(usize, Value)],
+    out: &mut HashSet<Row>,
+) -> Result<()> {
+    debug_assert!(!rule.has_aggregate);
+    let mut env = Env::new(rule.n_slots);
+    let mut init_newly = Vec::new();
+    for (slot, v) in init {
+        if !env.bind_or_check(*slot, v, &mut init_newly) {
+            return Ok(()); // conflicting init bindings (e.g. R(x,x) head)
+        }
+    }
+    if let Some((idx, row)) = drive {
+        if prebind(&rule.stages[idx], row, &mut env).is_none() {
+            return Ok(());
+        }
+    }
+    walk(rule, view, drive.map(|(i, _)| i), 0, &mut env, out)
+}
+
+fn walk(
+    rule: &CompiledRule,
+    view: &View<'_>,
+    skip: Option<usize>,
+    i: usize,
+    env: &mut Env,
+    out: &mut HashSet<Row>,
+) -> Result<()> {
+    if i == rule.stages.len() {
+        let vals = &env.vals;
+        debug_assert!(env.bound.iter().all(|b| *b), "unbound slot at head");
+        let mut row = Vec::with_capacity(rule.head_exprs.len());
+        for e in &rule.head_exprs {
+            row.push(eval(e, vals)?);
+        }
+        out.insert(std::sync::Arc::new(row));
+        return Ok(());
+    }
+    if skip == Some(i) {
+        return walk(rule, view, skip, i + 1, env, out);
+    }
+    match &rule.stages[i] {
+        PStage::Atom { rel, neg, key_cols, key_srcs, checks, binds } => {
+            if *neg {
+                let key: Key = key_srcs
+                    .iter()
+                    .map(|s| match s {
+                        KeySrc::Const(v) => v.clone(),
+                        KeySrc::Slot(slot) => env.vals[*slot].clone(),
+                    })
+                    .collect();
+                let absent = if key_cols.is_empty() {
+                    view.scan(*rel).is_empty()
+                } else {
+                    view.count(*rel, key_cols, &key) == 0
+                };
+                if absent {
+                    walk(rule, view, skip, i + 1, env, out)?;
+                }
+                return Ok(());
+            }
+            let rows = if key_cols.is_empty() {
+                view.scan(*rel)
+            } else {
+                let key: Key = key_srcs
+                    .iter()
+                    .map(|s| match s {
+                        KeySrc::Const(v) => v.clone(),
+                        KeySrc::Slot(slot) => env.vals[*slot].clone(),
+                    })
+                    .collect();
+                view.lookup(*rel, key_cols, &key)
+            };
+            for row in rows {
+                if !checks.iter().all(|(a, b)| row[*a] == row[*b]) {
+                    continue;
+                }
+                // When key_cols is empty the Const/Slot constraints were
+                // never applied by the lookup; nothing to re-check since
+                // empty key_cols means no constrained columns.
+                let mut newly = Vec::new();
+                let mut ok = true;
+                for (col, slot) in binds {
+                    if !env.bind_or_check(*slot, &row[*col], &mut newly) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    walk(rule, view, skip, i + 1, env, out)?;
+                }
+                env.unbind(&newly);
+            }
+            Ok(())
+        }
+        PStage::Filter { expr } => {
+            if eval(expr, &env.vals)? == Value::Bool(true) {
+                walk(rule, view, skip, i + 1, env, out)?;
+            }
+            Ok(())
+        }
+        PStage::Assign { slot, expr } => {
+            let v = eval(expr, &env.vals)?;
+            let mut newly = Vec::new();
+            if env.bind_or_check(*slot, &v, &mut newly) {
+                walk(rule, view, skip, i + 1, env, out)?;
+            }
+            env.unbind(&newly);
+            Ok(())
+        }
+        PStage::FlatMap { slot, expr } => {
+            let coll = eval(expr, &env.vals)?;
+            for elem in flatten(&coll)? {
+                let mut newly = Vec::new();
+                if env.bind_or_check(*slot, &elem, &mut newly) {
+                    walk(rule, view, skip, i + 1, env, out)?;
+                }
+                env.unbind(&newly);
+            }
+            Ok(())
+        }
+        PStage::Aggregate { .. } => Err(Error::new(
+            Phase::Eval,
+            "internal: aggregate in recursive stratum".to_string(),
+        )),
+    }
+}
+
+/// Process a recursive stratum for one transaction.
+///
+/// `scc_rels` — the relations of this stratum; `rules` — the compiled
+/// rules headed in it; `rel_deltas` — set-level deltas of all relations
+/// already updated this transaction (lower strata and inputs).
+///
+/// Returns the net set-level delta per SCC relation, already applied to
+/// the stores.
+pub fn process_recursive_stratum(
+    rules: &[&CompiledRule],
+    scc_rels: &HashSet<RelId>,
+    stores: &mut [RelationStore],
+    rel_deltas: &HashMap<RelId, ZSet<Row>>,
+) -> Result<HashMap<RelId, ZSet<Row>>> {
+    let mut net: HashMap<RelId, ZSet<Row>> = HashMap::new();
+
+    // ---- Phase 1: over-delete (DRed) with the OLD view -----------------
+    // Seeds: lower-relation deletions at positive atoms; lower-relation
+    // insertions at negated atoms (a new row can kill derivations).
+    let mut over_deleted: HashMap<RelId, HashSet<Row>> = HashMap::new();
+    let mut frontier: Vec<(RelId, Row)> = Vec::new();
+    {
+        let old_view = View::old(stores, rel_deltas);
+        let mut candidates: HashSet<(RelId, Row)> = HashSet::new();
+        for rule in rules {
+            for (idx, stage) in rule.stages.iter().enumerate() {
+                let (rel, neg) = match stage {
+                    PStage::Atom { rel, neg, .. } => (*rel, *neg),
+                    _ => continue,
+                };
+                if scc_rels.contains(&rel) {
+                    continue; // SCC deletions propagate via the frontier
+                }
+                let Some(delta) = rel_deltas.get(&rel) else { continue };
+                let mut heads = HashSet::new();
+                for (row, w) in delta.iter() {
+                    let kills = if neg { w > 0 } else { w < 0 };
+                    if kills {
+                        eval_rule_driven(rule, &old_view, Some((idx, row)), &[], &mut heads)?;
+                    }
+                }
+                for h in heads {
+                    candidates.insert((rule.head_rel, h));
+                }
+            }
+        }
+        for (rel, row) in candidates {
+            if stores[rel].contains(&row) && over_deleted.entry(rel).or_default().insert(row.clone())
+            {
+                frontier.push((rel, row));
+            }
+        }
+        // Iterate: deletions of SCC rows propagate through SCC atoms.
+        while let Some((drel, drow)) = frontier.pop() {
+            for rule in rules {
+                for (idx, stage) in rule.stages.iter().enumerate() {
+                    match stage {
+                        PStage::Atom { rel, neg: false, .. } if *rel == drel => {}
+                        _ => continue,
+                    }
+                    let mut heads = HashSet::new();
+                    eval_rule_driven(rule, &old_view, Some((idx, &drow)), &[], &mut heads)?;
+                    for h in heads {
+                        let hrel = rule.head_rel;
+                        if stores[hrel].contains(&h)
+                            && !over_deleted.get(&hrel).is_some_and(|s| s.contains(&h))
+                        {
+                            over_deleted.entry(hrel).or_default().insert(h.clone());
+                            frontier.push((hrel, h));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Phase 2: apply over-deletions ---------------------------------
+    for (rel, rows) in &over_deleted {
+        let mut d = ZSet::new();
+        for r in rows {
+            d.add(r.clone(), -1);
+        }
+        let sd = stores[*rel].apply_derivation_delta(&d);
+        net.entry(*rel).or_default().merge(sd);
+    }
+
+    // ---- Phase 3: re-derive --------------------------------------------
+    // A deleted row survives if some rule still derives it from the
+    // remaining contents.
+    let mut pending: Vec<(RelId, Row)> = Vec::new();
+    {
+        let new_view = View::new(stores);
+        // Forward fallback caches for rules with complex heads.
+        let mut forward_cache: HashMap<usize, HashSet<Row>> = HashMap::new();
+        for (rel, rows) in &over_deleted {
+            for row in rows {
+                let mut rederived = false;
+                for rule in rules {
+                    if rule.head_rel != *rel {
+                        continue;
+                    }
+                    match &rule.head_binds {
+                        Some(binds) => {
+                            let mut init = Vec::new();
+                            let mut feasible = true;
+                            for (hb, v) in binds.iter().zip(row.iter()) {
+                                match hb {
+                                    HeadBind::Slot(s) => init.push((*s, v.clone())),
+                                    HeadBind::Const(c) => {
+                                        if c != v {
+                                            feasible = false;
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                            if !feasible {
+                                continue;
+                            }
+                            let mut heads = HashSet::new();
+                            eval_rule_driven(rule, &new_view, None, &init, &mut heads)?;
+                            if heads.contains(row) {
+                                rederived = true;
+                                break;
+                            }
+                        }
+                        None => {
+                            let heads = match forward_cache.get(&rule.rule_index) {
+                                Some(h) => h,
+                                None => {
+                                    let mut h = HashSet::new();
+                                    eval_rule_driven(rule, &new_view, None, &[], &mut h)?;
+                                    forward_cache.insert(rule.rule_index, h);
+                                    &forward_cache[&rule.rule_index]
+                                }
+                            };
+                            if heads.contains(row) {
+                                rederived = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if rederived {
+                    pending.push((*rel, row.clone()));
+                }
+            }
+        }
+    }
+    // Reinstate re-derived rows.
+    for (rel, row) in &pending {
+        let sd = stores[*rel].apply_derivation_delta(&ZSet::singleton(row.clone(), 1));
+        net.entry(*rel).or_default().merge(sd);
+    }
+
+    // ---- Phase 4: insertions (semi-naive) ------------------------------
+    // Seeds: lower-relation insertions at positive atoms; lower-relation
+    // deletions at negated atoms (absence can enable derivations). Plus
+    // the re-derived rows from phase 3.
+    {
+        // Rows of SCC relations inserted from outside this stratum (only
+        // constant facts do this) are already in the stores; they still
+        // need to drive the fixpoint.
+        for rel in scc_rels {
+            if let Some(d) = rel_deltas.get(rel) {
+                for (row, w) in d.iter() {
+                    if w > 0 {
+                        pending.push((*rel, row.clone()));
+                    }
+                }
+            }
+        }
+        // Seed from external deltas.
+        let mut seed_heads: HashSet<(RelId, Row)> = HashSet::new();
+        {
+            let new_view = View::new(stores);
+            for rule in rules {
+                for (idx, stage) in rule.stages.iter().enumerate() {
+                    let (rel, neg) = match stage {
+                        PStage::Atom { rel, neg, .. } => (*rel, *neg),
+                        _ => continue,
+                    };
+                    if scc_rels.contains(&rel) {
+                        continue;
+                    }
+                    let Some(delta) = rel_deltas.get(&rel) else { continue };
+                    let mut heads = HashSet::new();
+                    for (row, w) in delta.iter() {
+                        let enables = if neg { w < 0 } else { w > 0 };
+                        if enables {
+                            eval_rule_driven(rule, &new_view, Some((idx, row)), &[], &mut heads)?;
+                        }
+                    }
+                    for h in heads {
+                        seed_heads.insert((rule.head_rel, h));
+                    }
+                }
+            }
+        }
+        for (rel, row) in seed_heads {
+            if !stores[rel].contains(&row) {
+                let sd = stores[rel].apply_derivation_delta(&ZSet::singleton(row.clone(), 1));
+                net.entry(rel).or_default().merge(sd);
+                pending.push((rel, row));
+            }
+        }
+
+        // Fixpoint.
+        while let Some((drel, drow)) = pending.pop() {
+            let mut derived: Vec<(RelId, Row)> = Vec::new();
+            {
+                let new_view = View::new(stores);
+                for rule in rules {
+                    for (idx, stage) in rule.stages.iter().enumerate() {
+                        match stage {
+                            PStage::Atom { rel, neg: false, .. } if *rel == drel => {}
+                            _ => continue,
+                        }
+                        let mut heads = HashSet::new();
+                        eval_rule_driven(rule, &new_view, Some((idx, &drow)), &[], &mut heads)?;
+                        for h in heads {
+                            derived.push((rule.head_rel, h));
+                        }
+                    }
+                }
+            }
+            for (rel, row) in derived {
+                if !stores[rel].contains(&row) {
+                    let sd = stores[rel].apply_derivation_delta(&ZSet::singleton(row.clone(), 1));
+                    net.entry(rel).or_default().merge(sd);
+                    pending.push((rel, row));
+                }
+            }
+        }
+    }
+
+    net.retain(|_, z| !z.is_empty());
+    Ok(net)
+}

@@ -1,0 +1,278 @@
+//! Relation storage: derivation-counted rows plus maintained hash indexes.
+//!
+//! Each relation stores a map from row to its *derivation count* (for
+//! input relations this is always 1). The visible, set-semantics contents
+//! are the rows with positive count. Hash indexes over column subsets are
+//! registered by the planner and maintained incrementally on every
+//! set-level change — they are what makes join lookups O(matches) instead
+//! of O(relation).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::value::{Row, Value};
+use crate::zset::ZSet;
+
+/// Identifies a relation inside an engine (index into the store table).
+pub type RelId = usize;
+
+/// An index key: the projection of a row onto the index's columns.
+pub type Key = Vec<Value>;
+
+/// A maintained hash index over a set of columns.
+#[derive(Debug, Default, Clone)]
+struct Index {
+    cols: Vec<usize>,
+    map: HashMap<Key, HashSet<Row>>,
+}
+
+impl Index {
+    fn project(cols: &[usize], row: &Row) -> Key {
+        cols.iter().map(|c| row[*c].clone()).collect()
+    }
+
+    fn insert(&mut self, row: &Row) {
+        let key = Self::project(&self.cols, row);
+        self.map.entry(key).or_default().insert(row.clone());
+    }
+
+    fn remove(&mut self, row: &Row) {
+        let key = Self::project(&self.cols, row);
+        if let Some(set) = self.map.get_mut(&key) {
+            set.remove(row);
+            if set.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+}
+
+/// Storage for one relation.
+#[derive(Debug, Default, Clone)]
+pub struct RelationStore {
+    /// Relation name, for diagnostics.
+    pub name: String,
+    /// Row → derivation count. Only rows with count != 0 are present;
+    /// counts are never negative.
+    derivations: HashMap<Row, isize>,
+    /// Number of rows with positive derivation count.
+    live_rows: usize,
+    /// Registered indexes, looked up by their column list.
+    indexes: HashMap<Vec<usize>, Index>,
+}
+
+impl RelationStore {
+    /// Create an empty store.
+    pub fn new(name: impl Into<String>) -> Self {
+        RelationStore { name: name.into(), ..Default::default() }
+    }
+
+    /// Register an index over `cols` (idempotent). Must be called before
+    /// rows are inserted (the planner does this at compile time).
+    pub fn register_index(&mut self, cols: &[usize]) {
+        self.indexes
+            .entry(cols.to_vec())
+            .or_insert_with(|| Index { cols: cols.to_vec(), map: HashMap::new() });
+    }
+
+    /// True if an index over exactly `cols` exists.
+    pub fn has_index(&self, cols: &[usize]) -> bool {
+        self.indexes.contains_key(cols)
+    }
+
+    /// Number of visible (set-semantics) rows.
+    pub fn len(&self) -> usize {
+        self.live_rows
+    }
+
+    /// True if there are no visible rows.
+    pub fn is_empty(&self) -> bool {
+        self.live_rows == 0
+    }
+
+    /// True if `row` is visible.
+    pub fn contains(&self, row: &Row) -> bool {
+        self.derivations.get(row).copied().unwrap_or(0) > 0
+    }
+
+    /// The derivation count of `row`.
+    pub fn derivation_count(&self, row: &Row) -> isize {
+        self.derivations.get(row).copied().unwrap_or(0)
+    }
+
+    /// Iterate over visible rows.
+    pub fn rows(&self) -> impl Iterator<Item = &Row> {
+        self.derivations.iter().filter(|(_, c)| **c > 0).map(|(r, _)| r)
+    }
+
+    /// Apply a Z-set of derivation-count changes. Returns the *set-level*
+    /// delta: +1 rows that became visible, −1 rows that disappeared.
+    /// Indexes are maintained.
+    ///
+    /// Panics in debug builds if a count would go negative (an engine
+    /// invariant violation).
+    pub fn apply_derivation_delta(&mut self, delta: &ZSet<Row>) -> ZSet<Row> {
+        let mut set_delta = ZSet::new();
+        for (row, w) in delta.iter() {
+            let entry = self.derivations.entry(row.clone()).or_insert(0);
+            let old = *entry;
+            let new = old + w;
+            debug_assert!(
+                new >= 0,
+                "derivation count for {row:?} in `{}` went negative",
+                self.name
+            );
+            *entry = new;
+            if new == 0 {
+                self.derivations.remove(row);
+            }
+            if old <= 0 && new > 0 {
+                self.live_rows += 1;
+                for idx in self.indexes.values_mut() {
+                    idx.insert(row);
+                }
+                set_delta.add(row.clone(), 1);
+            } else if old > 0 && new <= 0 {
+                self.live_rows -= 1;
+                for idx in self.indexes.values_mut() {
+                    idx.remove(row);
+                }
+                set_delta.add(row.clone(), -1);
+            }
+        }
+        set_delta
+    }
+
+    /// Look up rows by an index. Returns an empty slice view when the key
+    /// is absent. Panics if the index was not registered.
+    pub fn lookup<'a>(&'a self, cols: &[usize], key: &Key) -> Box<dyn Iterator<Item = &'a Row> + 'a> {
+        let idx = self
+            .indexes
+            .get(cols)
+            .unwrap_or_else(|| panic!("index {cols:?} not registered on `{}`", self.name));
+        match idx.map.get(key) {
+            Some(set) => Box::new(set.iter()),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+
+    /// Number of visible rows matching `key` under the `cols` index.
+    pub fn lookup_count(&self, cols: &[usize], key: &Key) -> usize {
+        let idx = self
+            .indexes
+            .get(cols)
+            .unwrap_or_else(|| panic!("index {cols:?} not registered on `{}`", self.name));
+        idx.map.get(key).map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Approximate resident bytes (rows + index entries), used by the
+    /// memory-overhead experiment (E5).
+    pub fn approx_bytes(&self) -> usize {
+        fn value_bytes(v: &Value) -> usize {
+            std::mem::size_of::<Value>()
+                + match v {
+                    Value::Str(s) => s.len(),
+                    Value::Vec(v) | Value::Tuple(v) => v.iter().map(value_bytes).sum(),
+                    Value::Set(s) => s.iter().map(value_bytes).sum(),
+                    Value::Map(m) => {
+                        m.iter().map(|(k, v)| value_bytes(k) + value_bytes(v)).sum()
+                    }
+                    _ => 0,
+                }
+        }
+        let row_bytes: usize = self
+            .derivations
+            .keys()
+            .map(|r| r.iter().map(value_bytes).sum::<usize>() + std::mem::size_of::<Row>() + 16)
+            .sum();
+        // Index entries hold an Arc clone of the row plus the projected key.
+        let index_bytes: usize = self
+            .indexes
+            .values()
+            .map(|idx| {
+                idx.map
+                    .iter()
+                    .map(|(k, set)| {
+                        k.iter().map(value_bytes).sum::<usize>()
+                            + set.len() * (std::mem::size_of::<Row>() + 16)
+                    })
+                    .sum::<usize>()
+            })
+            .sum();
+        row_bytes + index_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::row;
+
+    fn r(vals: &[i128]) -> Row {
+        row(vals.iter().map(|v| Value::Int(*v)).collect())
+    }
+
+    #[test]
+    fn derivation_counting_and_set_delta() {
+        let mut s = RelationStore::new("R");
+        let mut d = ZSet::new();
+        d.add(r(&[1]), 2); // two derivations of the same row
+        let sd = s.apply_derivation_delta(&d);
+        assert_eq!(sd.weight(&r(&[1])), 1); // visible once
+        assert_eq!(s.len(), 1);
+
+        // Remove one derivation: still visible, no set-level change.
+        let sd = s.apply_derivation_delta(&ZSet::singleton(r(&[1]), -1));
+        assert!(sd.is_empty());
+        assert!(s.contains(&r(&[1])));
+
+        // Remove the last derivation: disappears.
+        let sd = s.apply_derivation_delta(&ZSet::singleton(r(&[1]), -1));
+        assert_eq!(sd.weight(&r(&[1])), -1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn index_maintenance() {
+        let mut s = RelationStore::new("R");
+        s.register_index(&[0]);
+        let mut d = ZSet::new();
+        d.add(r(&[1, 10]), 1);
+        d.add(r(&[1, 20]), 1);
+        d.add(r(&[2, 30]), 1);
+        s.apply_derivation_delta(&d);
+
+        let key = vec![Value::Int(1)];
+        assert_eq!(s.lookup(&[0], &key).count(), 2);
+        assert_eq!(s.lookup_count(&[0], &key), 2);
+        assert_eq!(s.lookup(&[0], &vec![Value::Int(9)]).count(), 0);
+
+        s.apply_derivation_delta(&ZSet::singleton(r(&[1, 10]), -1));
+        assert_eq!(s.lookup(&[0], &key).count(), 1);
+    }
+
+    #[test]
+    fn late_registered_index_only_sees_new_rows() {
+        // Contract: register indexes before inserting (compile time).
+        let mut s = RelationStore::new("R");
+        s.apply_derivation_delta(&ZSet::singleton(r(&[5, 1]), 1));
+        s.register_index(&[0]);
+        // The pre-existing row is not in the late index — this documents
+        // why registration must precede data.
+        assert_eq!(s.lookup(&[0], &vec![Value::Int(5)]).count(), 0);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_indexes() {
+        let mut a = RelationStore::new("A");
+        let mut b = RelationStore::new("B");
+        b.register_index(&[0]);
+        b.register_index(&[1]);
+        let mut d = ZSet::new();
+        for i in 0..100 {
+            d.add(r(&[i, i * 2]), 1);
+        }
+        a.apply_derivation_delta(&d);
+        b.apply_derivation_delta(&d);
+        assert!(b.approx_bytes() > a.approx_bytes());
+    }
+}

@@ -1,0 +1,326 @@
+//! Stratification: dependency analysis over relations.
+//!
+//! Rules induce edges from each body relation to the head relation. Edges
+//! are *strict* when the dependency passes through negation or aggregation
+//! — those must not occur inside a recursive cycle (the classic Datalog
+//! stratification restriction, shared with DDlog). The result is an
+//! ordered list of strata; each stratum is one strongly connected
+//! component of relations, marked recursive if it genuinely cycles.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{BodyItem, Program, RelationRole};
+use crate::error::{Error, Phase, Result};
+
+/// One stratum: a set of mutually recursive relations and the indices of
+/// the rules whose heads are in it.
+#[derive(Debug, Clone)]
+pub struct Stratum {
+    /// Names of the relations computed in this stratum.
+    pub relations: Vec<String>,
+    /// Indices into `program.rules` of the rules headed here.
+    pub rule_indices: Vec<usize>,
+    /// True if the stratum contains a recursive cycle (needs fixpoint
+    /// iteration and delete–re-derive on retractions).
+    pub recursive: bool,
+}
+
+/// The full stratification of a program.
+#[derive(Debug, Clone)]
+pub struct Stratification {
+    /// Strata in evaluation (topological) order. Input relations do not
+    /// appear in any stratum.
+    pub strata: Vec<Stratum>,
+    /// Relation name → stratum index (derived relations only).
+    pub stratum_of: HashMap<String, usize>,
+}
+
+/// Compute the stratification, rejecting programs where negation or
+/// aggregation appears in a cycle.
+pub fn stratify(program: &Program) -> Result<Stratification> {
+    // Collect nodes: derived (non-input) relations.
+    let derived: HashSet<&str> = program
+        .relations
+        .iter()
+        .filter(|r| r.role != RelationRole::Input)
+        .map(|r| r.name.as_str())
+        .collect();
+
+    // Edges between derived relations, with strictness.
+    // strict=true if through negation/aggregation.
+    let mut edges: HashMap<&str, Vec<(&str, bool)>> = HashMap::new();
+    for name in &derived {
+        edges.insert(name, Vec::new());
+    }
+    for rule in &program.rules {
+        let head = rule.head.relation.as_str();
+        let has_agg = rule.body.iter().any(|b| matches!(b, BodyItem::Aggregate { .. }));
+        for item in &rule.body {
+            let (rel, neg) = match item {
+                BodyItem::Atom(a) => (a.relation.as_str(), false),
+                BodyItem::Not(a) => (a.relation.as_str(), true),
+                _ => continue,
+            };
+            if derived.contains(rel) {
+                // Aggregation makes every dependency of the rule strict:
+                // the aggregate reads the *complete* contents of the
+                // prefix, so the sources must be fully computed first.
+                let strict = neg || has_agg;
+                edges.get_mut(rel).unwrap().push((head, strict));
+            }
+        }
+    }
+
+    // Tarjan SCC over derived relations.
+    let nodes: Vec<&str> = {
+        let mut v: Vec<&str> = derived.iter().copied().collect();
+        v.sort_unstable(); // determinism
+        v
+    };
+    let index_of: HashMap<&str, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let adj: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|n| {
+            let mut targets: Vec<usize> =
+                edges[*n].iter().map(|(t, _)| index_of[*t]).collect();
+            targets.sort_unstable();
+            targets.dedup();
+            targets
+        })
+        .collect();
+
+    let sccs = tarjan(&adj);
+
+    // Map node -> scc id.
+    let mut scc_of = vec![0usize; nodes.len()];
+    for (sid, comp) in sccs.iter().enumerate() {
+        for &n in comp {
+            scc_of[n] = sid;
+        }
+    }
+
+    // Validate: no strict edge within an SCC.
+    for (src, outs) in &edges {
+        for (dst, strict) in outs {
+            if *strict && scc_of[index_of[src]] == scc_of[index_of[dst]] {
+                return Err(Error::new(
+                    Phase::Stratify,
+                    format!(
+                        "relation `{dst}` depends on `{src}` through negation or aggregation \
+                         inside a recursive cycle; the program is not stratifiable"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Tarjan emits SCCs in reverse topological order; reverse for
+    // evaluation order.
+    let sccs: Vec<Vec<usize>> = sccs.into_iter().rev().collect();
+
+    // Detect self-recursion for singleton SCCs.
+    let mut strata = Vec::with_capacity(sccs.len());
+    let mut stratum_of = HashMap::new();
+    for comp in &sccs {
+        let rel_names: Vec<String> = {
+            let mut v: Vec<String> = comp.iter().map(|&n| nodes[n].to_string()).collect();
+            v.sort();
+            v
+        };
+        let comp_set: HashSet<&str> = rel_names.iter().map(|s| s.as_str()).collect();
+        let mut recursive = comp.len() > 1;
+        if !recursive {
+            // Self loop?
+            let n = rel_names[0].as_str();
+            recursive = edges[n].iter().any(|(t, _)| *t == n);
+        }
+        let mut rule_indices = Vec::new();
+        for (ri, rule) in program.rules.iter().enumerate() {
+            if comp_set.contains(rule.head.relation.as_str()) {
+                rule_indices.push(ri);
+            }
+        }
+        let sid = strata.len();
+        for r in &rel_names {
+            stratum_of.insert(r.clone(), sid);
+        }
+        strata.push(Stratum { relations: rel_names, rule_indices, recursive });
+    }
+
+    Ok(Stratification { strata, stratum_of })
+}
+
+/// Iterative Tarjan SCC. Returns components in reverse topological order.
+fn tarjan(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs = Vec::new();
+
+    // Explicit DFS stack: (node, child iterator position).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut ci)) = call_stack.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *ci < adj[v].len() {
+                let w = adj[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().unwrap();
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn strat(src: &str) -> Result<Stratification> {
+        stratify(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn linear_program_single_strata() {
+        let s = strat(
+            "
+            input relation A(x: bigint)
+            relation B(x: bigint)
+            output relation C(x: bigint)
+            B(x) :- A(x).
+            C(x) :- B(x).
+            ",
+        )
+        .unwrap();
+        assert_eq!(s.strata.len(), 2);
+        assert!(!s.strata[0].recursive);
+        assert!(s.stratum_of["B"] < s.stratum_of["C"]);
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let s = strat(
+            "
+            input relation Edge(a: string, b: string)
+            output relation Reach(a: string, b: string)
+            Reach(a, b) :- Edge(a, b).
+            Reach(a, c) :- Reach(a, b), Edge(b, c).
+            ",
+        )
+        .unwrap();
+        assert_eq!(s.strata.len(), 1);
+        assert!(s.strata[0].recursive);
+        assert_eq!(s.strata[0].rule_indices, vec![0, 1]);
+    }
+
+    #[test]
+    fn mutual_recursion_one_stratum() {
+        let s = strat(
+            "
+            input relation E(a: bigint, b: bigint)
+            relation Odd(a: bigint, b: bigint)
+            output relation Even(a: bigint, b: bigint)
+            Even(a, a) :- E(a, _).
+            Odd(a, c) :- Even(a, b), E(b, c).
+            Even(a, c) :- Odd(a, b), E(b, c).
+            ",
+        )
+        .unwrap();
+        assert_eq!(s.strata.len(), 1);
+        assert!(s.strata[0].recursive);
+        assert_eq!(s.strata[0].relations, vec!["Even".to_string(), "Odd".to_string()]);
+    }
+
+    #[test]
+    fn negation_in_cycle_rejected() {
+        let e = strat(
+            "
+            input relation E(a: bigint)
+            output relation P(a: bigint)
+            relation Q(a: bigint)
+            P(a) :- E(a), not Q(a).
+            Q(a) :- P(a).
+            ",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("not stratifiable"), "{}", e.msg);
+    }
+
+    #[test]
+    fn negation_across_strata_ok() {
+        let s = strat(
+            "
+            input relation E(a: bigint)
+            relation Q(a: bigint)
+            output relation P(a: bigint)
+            Q(a) :- E(a), a > 10.
+            P(a) :- E(a), not Q(a).
+            ",
+        )
+        .unwrap();
+        assert!(s.stratum_of["Q"] < s.stratum_of["P"]);
+    }
+
+    #[test]
+    fn aggregation_in_cycle_rejected() {
+        let e = strat(
+            "
+            input relation E(a: bigint)
+            output relation P(a: bigint)
+            P(n) :- P(a), var n = count(a) group_by (a).
+            ",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("not stratifiable"), "{}", e.msg);
+    }
+
+    #[test]
+    fn negation_of_input_in_recursive_rule_ok() {
+        // Negating an *input* relation inside recursion is fine — inputs
+        // are constant during the fixpoint.
+        strat(
+            "
+            input relation Edge(a: bigint, b: bigint)
+            input relation Dead(a: bigint)
+            output relation Reach(a: bigint, b: bigint)
+            Reach(a, b) :- Edge(a, b), not Dead(b).
+            Reach(a, c) :- Reach(a, b), Edge(b, c), not Dead(c).
+            ",
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,791 @@
+//! Type checking and rule-safety analysis.
+//!
+//! This is where the paper's "fully type-checked program that spans the
+//! entire network" guarantee lives: relation declarations (hand-written or
+//! generated from the management/data planes) are checked against every
+//! rule, variables are inferred, literals are coerced to their column
+//! types, and unsafe rules (unbound head variables, unbound variables under
+//! negation) are rejected.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::error::{Error, Phase, Pos, Result};
+use crate::stdlib;
+use crate::types::Type;
+use crate::value::{mask_to_width, Value, F64};
+
+/// A type-checked program: the (rewritten) AST plus per-rule variable
+/// types.
+#[derive(Debug, Clone)]
+pub struct CheckedProgram {
+    /// The program with implicit casts inserted.
+    pub program: Program,
+    /// For each rule (same order), the inferred type of every variable.
+    pub var_types: Vec<HashMap<String, Type>>,
+}
+
+/// Type-check `program`, returning the annotated version.
+pub fn check(program: &Program) -> Result<CheckedProgram> {
+    let rels: HashMap<&str, &RelationDecl> =
+        program.relations.iter().map(|r| (r.name.as_str(), r)).collect();
+
+    let mut new_rules = Vec::with_capacity(program.rules.len());
+    let mut all_var_types = Vec::with_capacity(program.rules.len());
+
+    for rule in &program.rules {
+        let (rule, vars) = check_rule(rule, &rels)?;
+        new_rules.push(rule);
+        all_var_types.push(vars);
+    }
+
+    let mut program = program.clone();
+    program.rules = new_rules;
+    Ok(CheckedProgram { program, var_types: all_var_types })
+}
+
+fn check_rule(
+    rule: &Rule,
+    rels: &HashMap<&str, &RelationDecl>,
+) -> Result<(Rule, HashMap<String, Type>)> {
+    let head_decl = rels.get(rule.head.relation.as_str()).ok_or_else(|| {
+        Error::at(Phase::Type, rule.head.pos, format!("unknown relation `{}`", rule.head.relation))
+    })?;
+    if head_decl.role == RelationRole::Input {
+        return Err(Error::at(
+            Phase::Type,
+            rule.head.pos,
+            format!("input relation `{}` cannot appear in a rule head", head_decl.name),
+        ));
+    }
+    if rule.head.args.len() != head_decl.arity() {
+        return Err(Error::at(
+            Phase::Type,
+            rule.head.pos,
+            format!(
+                "relation `{}` has {} column(s) but head has {} argument(s)",
+                head_decl.name,
+                head_decl.arity(),
+                rule.head.args.len()
+            ),
+        ));
+    }
+
+    // The evaluator drives every rule from relation deltas, so a
+    // non-empty body must start with a positive atom (facts are the only
+    // body-less rules).
+    if let Some(first) = rule.body.first() {
+        if !matches!(first, BodyItem::Atom(_)) {
+            return Err(Error::at(
+                Phase::Type,
+                first.pos(),
+                "a rule body must start with a positive relation atom".to_string(),
+            ));
+        }
+    }
+
+    let mut scope: HashMap<String, Type> = HashMap::new();
+    let mut new_body = Vec::with_capacity(rule.body.len());
+
+    for item in &rule.body {
+        match item {
+            BodyItem::Atom(atom) => {
+                let decl = atom_decl(atom, rels)?;
+                check_atom_patterns(atom, decl, &mut scope, true)?;
+                new_body.push(BodyItem::Atom(atom.clone()));
+            }
+            BodyItem::Not(atom) => {
+                let decl = atom_decl(atom, rels)?;
+                // Under negation every variable must already be bound.
+                for (i, pat) in atom.args.iter().enumerate() {
+                    if let Pattern::Var(v) = pat {
+                        if !scope.contains_key(v) {
+                            return Err(Error::at(
+                                Phase::Type,
+                                atom.pos,
+                                format!(
+                                    "variable `{v}` in negated atom `{}` (column {}) is not bound \
+                                     by a preceding positive atom",
+                                    decl.name, i
+                                ),
+                            ));
+                        }
+                    }
+                }
+                check_atom_patterns(atom, decl, &mut scope, false)?;
+                new_body.push(BodyItem::Not(atom.clone()));
+            }
+            BodyItem::Cond(expr) => {
+                let (ty, e) = check_expr(expr, &scope, Some(&Type::Bool))?;
+                if ty != Type::Bool {
+                    return Err(Error::at(
+                        Phase::Type,
+                        expr.pos,
+                        format!("condition must be bool, got {ty}"),
+                    ));
+                }
+                new_body.push(BodyItem::Cond(e));
+            }
+            BodyItem::Assign { var, expr, pos } => {
+                if scope.contains_key(var) {
+                    return Err(Error::at(
+                        Phase::Type,
+                        *pos,
+                        format!("variable `{var}` is already bound"),
+                    ));
+                }
+                let (ty, e) = check_expr(expr, &scope, None)?;
+                scope.insert(var.clone(), ty);
+                new_body.push(BodyItem::Assign { var: var.clone(), expr: e, pos: *pos });
+            }
+            BodyItem::FlatMap { var, expr, pos } => {
+                if scope.contains_key(var) {
+                    return Err(Error::at(
+                        Phase::Type,
+                        *pos,
+                        format!("variable `{var}` is already bound"),
+                    ));
+                }
+                let (ty, e) = check_expr(expr, &scope, None)?;
+                let elem = match ty {
+                    Type::Vec(t) | Type::Set(t) => *t,
+                    Type::Map(k, v) => Type::Tuple(vec![*k, *v]),
+                    other => {
+                        return Err(Error::at(
+                            Phase::Type,
+                            *pos,
+                            format!("FlatMap needs a Vec/Set/Map, got {other}"),
+                        ))
+                    }
+                };
+                if elem.has_unknown() {
+                    return Err(Error::at(
+                        Phase::Type,
+                        *pos,
+                        "cannot infer the element type of this FlatMap".to_string(),
+                    ));
+                }
+                scope.insert(var.clone(), elem);
+                new_body.push(BodyItem::FlatMap { var: var.clone(), expr: e, pos: *pos });
+            }
+            BodyItem::Aggregate { out_var, func, arg, by, pos } => {
+                if scope.contains_key(out_var) {
+                    return Err(Error::at(
+                        Phase::Type,
+                        *pos,
+                        format!("variable `{out_var}` is already bound"),
+                    ));
+                }
+                let mut key_types = HashMap::new();
+                for k in by {
+                    let ty = scope.get(k).ok_or_else(|| {
+                        Error::at(
+                            Phase::Type,
+                            *pos,
+                            format!("group_by key `{k}` is not bound"),
+                        )
+                    })?;
+                    key_types.insert(k.clone(), ty.clone());
+                }
+                let (arg_ty, new_arg) = match arg {
+                    Some(a) => {
+                        let (t, e) = check_expr(a, &scope, None)?;
+                        (Some(t), Some(e))
+                    }
+                    None => (None, None),
+                };
+                let out_ty = aggregate_type(*func, arg_ty.as_ref(), *pos)?;
+                // Scope collapses to keys + aggregate output.
+                scope = key_types;
+                scope.insert(out_var.clone(), out_ty);
+                new_body.push(BodyItem::Aggregate {
+                    out_var: out_var.clone(),
+                    func: *func,
+                    arg: new_arg,
+                    by: by.clone(),
+                    pos: *pos,
+                });
+            }
+        }
+    }
+
+    // Head expressions: each checked against its column type.
+    let mut new_head_args = Vec::with_capacity(rule.head.args.len());
+    for (expr, (cname, cty)) in rule.head.args.iter().zip(&head_decl.columns) {
+        let (ty, e) = check_expr(expr, &scope, Some(cty))?;
+        if !ty.compatible(cty) {
+            return Err(Error::at(
+                Phase::Type,
+                expr.pos,
+                format!(
+                    "head argument for column `{cname}` of `{}` has type {ty}, expected {cty}",
+                    head_decl.name
+                ),
+            ));
+        }
+        new_head_args.push(e);
+    }
+
+    let new_rule = Rule {
+        head: HeadAtom {
+            relation: rule.head.relation.clone(),
+            args: new_head_args,
+            pos: rule.head.pos,
+        },
+        body: new_body,
+        pos: rule.pos,
+    };
+    Ok((new_rule, scope))
+}
+
+fn atom_decl<'a>(
+    atom: &Atom,
+    rels: &HashMap<&str, &'a RelationDecl>,
+) -> Result<&'a RelationDecl> {
+    let decl = rels.get(atom.relation.as_str()).ok_or_else(|| {
+        Error::at(Phase::Type, atom.pos, format!("unknown relation `{}`", atom.relation))
+    })?;
+    if atom.args.len() != decl.arity() {
+        return Err(Error::at(
+            Phase::Type,
+            atom.pos,
+            format!(
+                "relation `{}` has {} column(s) but atom has {} argument(s)",
+                decl.name,
+                decl.arity(),
+                atom.args.len()
+            ),
+        ));
+    }
+    Ok(decl)
+}
+
+/// Check the patterns of an atom against its declaration, binding new
+/// variables into `scope` when `bind` is true.
+fn check_atom_patterns(
+    atom: &Atom,
+    decl: &RelationDecl,
+    scope: &mut HashMap<String, Type>,
+    bind: bool,
+) -> Result<()> {
+    for (pat, (cname, cty)) in atom.args.iter().zip(&decl.columns) {
+        match pat {
+            Pattern::Wildcard => {}
+            Pattern::Var(v) => match scope.get(v) {
+                Some(prev) => {
+                    if !prev.compatible(cty) {
+                        return Err(Error::at(
+                            Phase::Type,
+                            atom.pos,
+                            format!(
+                                "variable `{v}` has type {prev} but column `{cname}` of `{}` \
+                                 is {cty}",
+                                decl.name
+                            ),
+                        ));
+                    }
+                }
+                None => {
+                    if bind {
+                        scope.insert(v.clone(), cty.clone());
+                    }
+                }
+            },
+            Pattern::Lit(lit) => {
+                literal_value(lit, cty).map_err(|msg| Error::at(Phase::Type, atom.pos, msg))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The output type of an aggregate function applied to `arg_ty`.
+pub fn aggregate_type(func: AggFunc, arg_ty: Option<&Type>, pos: Pos) -> Result<Type> {
+    match func {
+        AggFunc::Count | AggFunc::CountDistinct => Ok(Type::Int),
+        AggFunc::Sum => {
+            let t = arg_ty.unwrap();
+            if !t.is_numeric() {
+                return Err(Error::at(Phase::Type, pos, format!("sum over non-numeric {t}")));
+            }
+            Ok(t.clone())
+        }
+        AggFunc::Min | AggFunc::Max => Ok(arg_ty.unwrap().clone()),
+        AggFunc::CollectVec => Ok(Type::Vec(Box::new(arg_ty.unwrap().clone()))),
+        AggFunc::CollectSet => Ok(Type::Set(Box::new(arg_ty.unwrap().clone()))),
+    }
+}
+
+/// Convert a literal to a [`Value`] of type `ty`, checking range.
+pub fn literal_value(lit: &Literal, ty: &Type) -> std::result::Result<Value, String> {
+    match (lit, ty) {
+        (Literal::Bool(b), Type::Bool) => Ok(Value::Bool(*b)),
+        (Literal::Int(i), Type::Int) => Ok(Value::Int(*i)),
+        (Literal::Int(i), Type::Bit(w)) => {
+            if *i < 0 {
+                return Err(format!("negative literal {i} for bit<{w}>"));
+            }
+            let u = *i as u128;
+            if mask_to_width(u, *w) != u {
+                return Err(format!("literal {i} does not fit in bit<{w}>"));
+            }
+            Ok(Value::Bit { width: *w, val: u })
+        }
+        (Literal::Int(i), Type::Double) => Ok(Value::Double(F64(*i as f64))),
+        (Literal::Double(d), Type::Double) => Ok(Value::Double(F64(*d))),
+        (Literal::Str(s), Type::Str) => Ok(Value::str(s)),
+        (Literal::Str(s), Type::Uuid) => match crate::value::Uuid::parse(s) {
+            Some(u) => Ok(Value::Uuid(u)),
+            None => Err(format!("string {s:?} is not a valid uuid")),
+        },
+        (l, t) => Err(format!("literal {l:?} is not of type {t}")),
+    }
+}
+
+/// The natural type of a literal with no context.
+fn literal_type(lit: &Literal) -> Type {
+    match lit {
+        Literal::Bool(_) => Type::Bool,
+        Literal::Int(_) => Type::Int,
+        Literal::Double(_) => Type::Double,
+        Literal::Str(_) => Type::Str,
+    }
+}
+
+/// Type-check an expression in `scope`, optionally against an expected
+/// type. Returns the resolved type and a rewritten expression with any
+/// implicit casts made explicit.
+pub fn check_expr(
+    expr: &Expr,
+    scope: &HashMap<String, Type>,
+    expected: Option<&Type>,
+) -> Result<(Type, Expr)> {
+    let (ty, mut e) = infer_expr(expr, scope)?;
+    if let Some(want) = expected {
+        if ty.compatible(want) {
+            return Ok((ty.unify(want).unwrap(), e));
+        }
+        // Implicit coercion: integer literals adapt to bit<N>/double.
+        if let Some(coerced) = coerce_literal(&e, want) {
+            e = coerced;
+            return Ok((want.clone(), e));
+        }
+        return Err(Error::at(
+            Phase::Type,
+            expr.pos,
+            format!("expected {want}, found {ty}"),
+        ));
+    }
+    Ok((ty, e))
+}
+
+/// If `e` is an integer literal and `want` is bit<N>/double/bigint, wrap it
+/// in a cast. Returns `None` when no coercion applies.
+fn coerce_literal(e: &Expr, want: &Type) -> Option<Expr> {
+    if let ExprKind::Lit(Literal::Int(i)) = &e.kind {
+        match want {
+            Type::Bit(w) => {
+                if *i >= 0 && mask_to_width(*i as u128, *w) == *i as u128 {
+                    return Some(Expr::new(
+                        ExprKind::Cast(Box::new(e.clone()), want.clone()),
+                        e.pos,
+                    ));
+                }
+                None
+            }
+            Type::Double => Some(Expr::new(
+                ExprKind::Cast(Box::new(e.clone()), want.clone()),
+                e.pos,
+            )),
+            _ => None,
+        }
+    } else {
+        None
+    }
+}
+
+fn infer_expr(expr: &Expr, scope: &HashMap<String, Type>) -> Result<(Type, Expr)> {
+    let pos = expr.pos;
+    match &expr.kind {
+        ExprKind::Lit(l) => Ok((literal_type(l), expr.clone())),
+        ExprKind::Var(v) => match scope.get(v) {
+            Some(t) => Ok((t.clone(), expr.clone())),
+            None => Err(Error::at(Phase::Type, pos, format!("unbound variable `{v}`"))),
+        },
+        ExprKind::Unary(op, inner) => {
+            let (t, e) = infer_expr(inner, scope)?;
+            let ty = match op {
+                UnOp::Neg => {
+                    if !t.is_numeric() {
+                        return Err(Error::at(Phase::Type, pos, format!("cannot negate {t}")));
+                    }
+                    t
+                }
+                UnOp::Not => {
+                    if t != Type::Bool {
+                        return Err(Error::at(Phase::Type, pos, format!("`not` needs bool, got {t}")));
+                    }
+                    Type::Bool
+                }
+                UnOp::BitNot => {
+                    if !t.is_integral() {
+                        return Err(Error::at(Phase::Type, pos, format!("`~` needs an integer, got {t}")));
+                    }
+                    t
+                }
+            };
+            Ok((ty, Expr::new(ExprKind::Unary(*op, Box::new(e)), pos)))
+        }
+        ExprKind::Binary(op, lhs, rhs) => {
+            let (tl, el) = infer_expr(lhs, scope)?;
+            let (tr, er) = infer_expr(rhs, scope)?;
+            // Adapt integer literals to the other operand's type.
+            let (tl, el, tr, er) = if tl != tr {
+                if let Some(el2) = coerce_literal(&el, &tr) {
+                    (tr.clone(), el2, tr, er)
+                } else if let Some(er2) = coerce_literal(&er, &tl) {
+                    (tl.clone(), el, tl, er2)
+                } else {
+                    (tl, el, tr, er)
+                }
+            } else {
+                (tl, el, tr, er)
+            };
+            let result = binary_type(*op, &tl, &tr, pos)?;
+            Ok((result, Expr::new(ExprKind::Binary(*op, Box::new(el), Box::new(er)), pos)))
+        }
+        ExprKind::Call(name, args) => {
+            let mut arg_tys = Vec::with_capacity(args.len());
+            let mut new_args = Vec::with_capacity(args.len());
+            for a in args {
+                let (t, e) = infer_expr(a, scope)?;
+                arg_tys.push(t);
+                new_args.push(e);
+            }
+            let ret = stdlib::check_call(name, &arg_tys, pos)?;
+            Ok((ret, Expr::new(ExprKind::Call(name.clone(), new_args), pos)))
+        }
+        ExprKind::IfElse(c, t, f) => {
+            let (tc, ec) = infer_expr(c, scope)?;
+            if tc != Type::Bool {
+                return Err(Error::at(Phase::Type, pos, format!("if condition must be bool, got {tc}")));
+            }
+            let (tt, et) = infer_expr(t, scope)?;
+            let (tf, ef) = infer_expr(f, scope)?;
+            // Unify branches, coercing literal sides if needed.
+            let (tt, et, tf, ef) = if tt != tf {
+                if let Some(et2) = coerce_literal(&et, &tf) {
+                    (tf.clone(), et2, tf, ef)
+                } else if let Some(ef2) = coerce_literal(&ef, &tt) {
+                    (tt.clone(), et, tt, ef2)
+                } else {
+                    (tt, et, tf, ef)
+                }
+            } else {
+                (tt, et, tf, ef)
+            };
+            let ty = tt.unify(&tf).ok_or_else(|| {
+                Error::at(Phase::Type, pos, format!("if branches have different types: {tt} vs {tf}"))
+            })?;
+            Ok((
+                ty,
+                Expr::new(ExprKind::IfElse(Box::new(ec), Box::new(et), Box::new(ef)), pos),
+            ))
+        }
+        ExprKind::Cast(inner, to) => {
+            let (from, e) = infer_expr(inner, scope)?;
+            let ok = matches!(
+                (&from, to),
+                (Type::Int, Type::Bit(_))
+                    | (Type::Int, Type::Double)
+                    | (Type::Int, Type::Int)
+                    | (Type::Bit(_), Type::Int)
+                    | (Type::Bit(_), Type::Bit(_))
+                    | (Type::Bit(_), Type::Double)
+                    | (Type::Double, Type::Int)
+                    | (Type::Double, Type::Double)
+            );
+            if !ok {
+                return Err(Error::at(
+                    Phase::Type,
+                    pos,
+                    format!("cannot cast {from} to {to}"),
+                ));
+            }
+            Ok((to.clone(), Expr::new(ExprKind::Cast(Box::new(e), to.clone()), pos)))
+        }
+        ExprKind::Tuple(elems) => {
+            let mut tys = Vec::with_capacity(elems.len());
+            let mut new = Vec::with_capacity(elems.len());
+            for e in elems {
+                let (t, ne) = infer_expr(e, scope)?;
+                tys.push(t);
+                new.push(ne);
+            }
+            Ok((Type::Tuple(tys), Expr::new(ExprKind::Tuple(new), pos)))
+        }
+    }
+}
+
+fn binary_type(op: BinOp, tl: &Type, tr: &Type, pos: Pos) -> Result<Type> {
+    use BinOp::*;
+    let same = || -> Result<Type> {
+        tl.unify(tr).ok_or_else(|| {
+            Error::at(Phase::Type, pos, format!("operands have different types: {tl} vs {tr}"))
+        })
+    };
+    match op {
+        Or | And => {
+            if *tl == Type::Bool && *tr == Type::Bool {
+                Ok(Type::Bool)
+            } else {
+                Err(Error::at(Phase::Type, pos, format!("boolean operator on {tl} and {tr}")))
+            }
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            same()?;
+            Ok(Type::Bool)
+        }
+        Add | Sub | Mul | Div | Mod => {
+            let t = same()?;
+            if !t.is_numeric() {
+                return Err(Error::at(Phase::Type, pos, format!("arithmetic on {t}")));
+            }
+            if matches!(op, Mod) && t == Type::Double {
+                return Err(Error::at(Phase::Type, pos, "`%` is not defined on double".to_string()));
+            }
+            Ok(t)
+        }
+        Shl | Shr => {
+            if !tl.is_integral() || !tr.is_integral() {
+                return Err(Error::at(Phase::Type, pos, format!("shift on {tl} and {tr}")));
+            }
+            Ok(tl.clone())
+        }
+        BitOr | BitXor | BitAnd => {
+            let t = same()?;
+            if !t.is_integral() {
+                return Err(Error::at(Phase::Type, pos, format!("bitwise operator on {t}")));
+            }
+            Ok(t)
+        }
+        Concat => match (tl, tr) {
+            (Type::Str, Type::Str) => Ok(Type::Str),
+            (Type::Vec(a), Type::Vec(b)) => {
+                let e = a.unify(b).ok_or_else(|| {
+                    Error::at(Phase::Type, pos, "concatenating vectors of different types".to_string())
+                })?;
+                Ok(Type::Vec(Box::new(e)))
+            }
+            _ => Err(Error::at(Phase::Type, pos, format!("`++` on {tl} and {tr}"))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check_src(src: &str) -> Result<CheckedProgram> {
+        check(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn ok_program() {
+        let cp = check_src(
+            "
+            input relation Port(id: bit<32>, vlan: bit<12>, tag: string)
+            output relation InVlan(port: bit<32>, vlan: bit<12>)
+            InVlan(p, v) :- Port(p, v, \"access\").
+            ",
+        )
+        .unwrap();
+        assert_eq!(cp.var_types[0].get("p"), Some(&Type::Bit(32)));
+        assert_eq!(cp.var_types[0].get("v"), Some(&Type::Bit(12)));
+    }
+
+    #[test]
+    fn head_literal_coerced_to_bit() {
+        let cp = check_src(
+            "
+            input relation S(x: bigint)
+            output relation R(v: bit<12>)
+            R(5) :- S(_).
+            ",
+        )
+        .unwrap();
+        // The head literal must have been wrapped in a cast to bit<12>.
+        match &cp.program.rules[0].head.args[0].kind {
+            ExprKind::Cast(_, Type::Bit(12)) => {}
+            other => panic!("expected cast, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_head_on_input() {
+        let e = check_src(
+            "
+            input relation S(x: bigint)
+            S(1) :- S(_).
+            ",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("input relation"));
+    }
+
+    #[test]
+    fn rejects_unbound_head_var() {
+        let e = check_src(
+            "
+            input relation S(x: bigint)
+            output relation R(x: bigint, y: bigint)
+            R(x, y) :- S(x).
+            ",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("unbound variable `y`"), "{}", e.msg);
+    }
+
+    #[test]
+    fn rejects_unbound_negation_var() {
+        let e = check_src(
+            "
+            input relation S(x: bigint)
+            input relation T(x: bigint, y: bigint)
+            output relation R(x: bigint)
+            R(x) :- S(x), not T(x, y).
+            ",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("negated atom"), "{}", e.msg);
+    }
+
+    #[test]
+    fn wildcard_negation_ok() {
+        check_src(
+            "
+            input relation S(x: bigint)
+            input relation T(x: bigint, y: bigint)
+            output relation R(x: bigint)
+            R(x) :- S(x), not T(x, _).
+            ",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_type_mismatch_in_join() {
+        let e = check_src(
+            "
+            input relation S(x: bigint)
+            input relation T(x: string)
+            output relation R(x: bigint)
+            R(x) :- S(x), T(x).
+            ",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("variable `x`"), "{}", e.msg);
+    }
+
+    #[test]
+    fn literal_width_check() {
+        let e = check_src(
+            "
+            input relation S(x: bigint)
+            output relation R(v: bit<4>)
+            R(99) :- S(_).
+            ",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("expected"), "{}", e.msg);
+    }
+
+    #[test]
+    fn aggregate_scoping() {
+        // After group_by, only keys + output var are visible.
+        let e = check_src(
+            "
+            input relation P(p: bigint, sw: string)
+            output relation N(sw: string, n: bigint, p: bigint)
+            N(sw, n, p) :- P(p, sw), var n = count(p) group_by (sw).
+            ",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("unbound variable `p`"), "{}", e.msg);
+
+        check_src(
+            "
+            input relation P(p: bigint, sw: string)
+            output relation N(sw: string, n: bigint)
+            N(sw, n) :- P(p, sw), var n = count(p) group_by (sw).
+            ",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn arith_coercion_with_bit() {
+        check_src(
+            "
+            input relation S(x: bit<16>)
+            output relation R(y: bit<16>)
+            R(x + 1) :- S(x).
+            ",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn flatmap_infers_element() {
+        let cp = check_src(
+            "
+            input relation T(vs: Vec<bit<12>>)
+            output relation V(v: bit<12>)
+            V(v) :- T(vs), var v = FlatMap(vs).
+            ",
+        )
+        .unwrap();
+        assert_eq!(cp.var_types[0].get("v"), Some(&Type::Bit(12)));
+    }
+
+    #[test]
+    fn map_flatmap_gives_tuple() {
+        let e = check_src(
+            "
+            input relation T(m: Map<string, bigint>)
+            output relation V(v: string)
+            V(kv) :- T(m), var kv = FlatMap(m).
+            ",
+        )
+        .unwrap_err();
+        // kv is a tuple (string, bigint), not a string.
+        assert!(e.msg.contains("expected string"), "{}", e.msg);
+    }
+
+    #[test]
+    fn cond_must_be_bool() {
+        let e = check_src(
+            "
+            input relation S(x: bigint)
+            output relation R(x: bigint)
+            R(x) :- S(x), x + 1.
+            ",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("bool"), "{}", e.msg);
+    }
+
+    #[test]
+    fn arity_mismatch() {
+        let e = check_src(
+            "
+            input relation S(x: bigint, y: bigint)
+            output relation R(x: bigint)
+            R(x) :- S(x).
+            ",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("argument"), "{}", e.msg);
+    }
+}

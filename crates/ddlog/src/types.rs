@@ -1,0 +1,154 @@
+//! The static type system.
+//!
+//! Types annotate relation columns and are inferred for rule variables and
+//! expressions by [`crate::typecheck`]. The system is deliberately simple —
+//! monomorphic, structural — which is enough for SDN control programs while
+//! keeping cross-plane code generation predictable.
+
+use std::fmt;
+
+/// A DDlog-dialect type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// `bool`
+    Bool,
+    /// `bigint` — arbitrary precision in the language, `i128` at runtime.
+    Int,
+    /// `bit<N>` — fixed-width unsigned integer, 1..=128 bits.
+    Bit(u16),
+    /// `double`
+    Double,
+    /// `string`
+    Str,
+    /// `uuid`
+    Uuid,
+    /// `Vec<T>`
+    Vec(Box<Type>),
+    /// `Set<T>`
+    Set(Box<Type>),
+    /// `Map<K, V>`
+    Map(Box<Type>, Box<Type>),
+    /// `(T1, T2, ...)`
+    Tuple(Vec<Type>),
+    /// Placeholder during inference; never appears in a checked program.
+    Unknown,
+}
+
+impl Type {
+    /// True if `self` and `other` are compatible, treating `Unknown` as a
+    /// wildcard (used while inference is still resolving).
+    pub fn compatible(&self, other: &Type) -> bool {
+        match (self, other) {
+            (Type::Unknown, _) | (_, Type::Unknown) => true,
+            (Type::Vec(a), Type::Vec(b)) | (Type::Set(a), Type::Set(b)) => a.compatible(b),
+            (Type::Map(ak, av), Type::Map(bk, bv)) => ak.compatible(bk) && av.compatible(bv),
+            (Type::Tuple(a), Type::Tuple(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.compatible(y))
+            }
+            _ => self == other,
+        }
+    }
+
+    /// Merge two compatible types, preferring the more specific one.
+    /// Returns `None` if they are incompatible.
+    pub fn unify(&self, other: &Type) -> Option<Type> {
+        match (self, other) {
+            (Type::Unknown, t) | (t, Type::Unknown) => Some(t.clone()),
+            (Type::Vec(a), Type::Vec(b)) => Some(Type::Vec(Box::new(a.unify(b)?))),
+            (Type::Set(a), Type::Set(b)) => Some(Type::Set(Box::new(a.unify(b)?))),
+            (Type::Map(ak, av), Type::Map(bk, bv)) => {
+                Some(Type::Map(Box::new(ak.unify(bk)?), Box::new(av.unify(bv)?)))
+            }
+            (Type::Tuple(a), Type::Tuple(b)) if a.len() == b.len() => {
+                let mut out = Vec::with_capacity(a.len());
+                for (x, y) in a.iter().zip(b) {
+                    out.push(x.unify(y)?);
+                }
+                Some(Type::Tuple(out))
+            }
+            _ if self == other => Some(self.clone()),
+            _ => None,
+        }
+    }
+
+    /// True for types that support arithmetic (`+ - * / %`).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Type::Int | Type::Bit(_) | Type::Double)
+    }
+
+    /// True for integer types that support bitwise ops and shifts.
+    pub fn is_integral(&self) -> bool {
+        matches!(self, Type::Int | Type::Bit(_))
+    }
+
+    /// True if the type still contains `Unknown` somewhere.
+    pub fn has_unknown(&self) -> bool {
+        match self {
+            Type::Unknown => true,
+            Type::Vec(t) | Type::Set(t) => t.has_unknown(),
+            Type::Map(k, v) => k.has_unknown() || v.has_unknown(),
+            Type::Tuple(ts) => ts.iter().any(Type::has_unknown),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Bool => f.write_str("bool"),
+            Type::Int => f.write_str("bigint"),
+            Type::Bit(w) => write!(f, "bit<{w}>"),
+            Type::Double => f.write_str("double"),
+            Type::Str => f.write_str("string"),
+            Type::Uuid => f.write_str("uuid"),
+            Type::Vec(t) => write!(f, "Vec<{t}>"),
+            Type::Set(t) => write!(f, "Set<{t}>"),
+            Type::Map(k, v) => write!(f, "Map<{k},{v}>"),
+            Type::Tuple(ts) => {
+                f.write_str("(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str(")")
+            }
+            Type::Unknown => f.write_str("?"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::Bit(12).to_string(), "bit<12>");
+        assert_eq!(
+            Type::Map(Box::new(Type::Str), Box::new(Type::Int)).to_string(),
+            "Map<string,bigint>"
+        );
+        assert_eq!(Type::Tuple(vec![Type::Bool, Type::Str]).to_string(), "(bool, string)");
+    }
+
+    #[test]
+    fn unify_prefers_specific() {
+        let v_unknown = Type::Vec(Box::new(Type::Unknown));
+        let v_int = Type::Vec(Box::new(Type::Int));
+        assert_eq!(v_unknown.unify(&v_int), Some(v_int.clone()));
+        assert_eq!(v_int.unify(&Type::Vec(Box::new(Type::Str))), None);
+        assert!(v_unknown.has_unknown());
+        assert!(!v_int.has_unknown());
+    }
+
+    #[test]
+    fn compatibility() {
+        assert!(Type::Unknown.compatible(&Type::Bit(4)));
+        assert!(!Type::Bit(4).compatible(&Type::Bit(5)));
+        assert!(Type::Tuple(vec![Type::Unknown, Type::Int])
+            .compatible(&Type::Tuple(vec![Type::Str, Type::Int])));
+    }
+}

@@ -1,0 +1,375 @@
+//! The runtime value model.
+//!
+//! Values are the rows of relations and the results of expression
+//! evaluation. They are cheap to clone (shared containers are behind `Arc`)
+//! and have total `Eq`/`Ord`/`Hash` so they can serve as keys in Z-sets and
+//! arrangements.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::types::Type;
+
+/// An IEEE-754 double with *total* ordering and hashing (by bit pattern for
+/// hash, by `total_cmp` for order) so it can live inside relation rows.
+#[derive(Debug, Clone, Copy)]
+pub struct F64(pub f64);
+
+impl PartialEq for F64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for F64 {}
+impl PartialOrd for F64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for F64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+impl std::hash::Hash for F64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state)
+    }
+}
+
+/// A 128-bit UUID, printed in the canonical 8-4-4-4-12 hex form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Uuid(pub u128);
+
+impl Uuid {
+    /// Parse the canonical textual form (`xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx`).
+    pub fn parse(s: &str) -> Option<Uuid> {
+        let hex: String = s.chars().filter(|c| *c != '-').collect();
+        if hex.len() != 32 || s.len() != 36 {
+            return None;
+        }
+        // Check the dashes are in the right places.
+        let bytes = s.as_bytes();
+        if bytes[8] != b'-' || bytes[13] != b'-' || bytes[18] != b'-' || bytes[23] != b'-' {
+            return None;
+        }
+        u128::from_str_radix(&hex, 16).ok().map(Uuid)
+    }
+
+    /// Derive a deterministic UUID from a name (fnv-style folding); useful
+    /// for tests and deterministic workload generation.
+    pub fn from_name(name: &str) -> Uuid {
+        let mut h: u128 = 0x6c62272e07bb014262b821756295c58d;
+        for b in name.bytes() {
+            h ^= b as u128;
+            h = h.wrapping_mul(0x0000000001000000000000000000013b);
+        }
+        Uuid(h)
+    }
+}
+
+impl fmt::Display for Uuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let x = self.0;
+        write!(
+            f,
+            "{:08x}-{:04x}-{:04x}-{:04x}-{:012x}",
+            (x >> 96) as u32,
+            (x >> 80) as u16,
+            (x >> 64) as u16,
+            (x >> 48) as u16,
+            x & 0xffff_ffff_ffff
+        )
+    }
+}
+
+/// A runtime value.
+///
+/// The variants correspond to the types in [`crate::types::Type`]. Bit
+/// vectors are limited to 128 bits, integers are arbitrary within `i128`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Boolean.
+    Bool(bool),
+    /// Signed big integer (`bigint`), bounded by `i128` here.
+    Int(i128),
+    /// Fixed-width unsigned bit vector `bit<N>`, `1 <= N <= 128`.
+    Bit {
+        /// Bit width, 1..=128.
+        width: u16,
+        /// The value; invariant: fits in `width` bits.
+        val: u128,
+    },
+    /// IEEE double.
+    Double(F64),
+    /// UTF-8 string.
+    Str(Arc<str>),
+    /// UUID (used heavily by the OVSDB bridge).
+    Uuid(Uuid),
+    /// Growable vector.
+    Vec(Arc<Vec<Value>>),
+    /// Ordered set.
+    Set(Arc<BTreeSet<Value>>),
+    /// Ordered map.
+    Map(Arc<BTreeMap<Value, Value>>),
+    /// Tuple (also used internally for group keys).
+    Tuple(Arc<Vec<Value>>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Construct a `bit<width>` value, masking `val` to the width.
+    ///
+    /// Panics if `width` is 0 or greater than 128.
+    pub fn bit(width: u16, val: u128) -> Value {
+        assert!((1..=128).contains(&width), "bit width {width} out of range");
+        Value::Bit { width, val: mask_to_width(val, width) }
+    }
+
+    /// Construct a tuple from a vector of values.
+    pub fn tuple(vals: Vec<Value>) -> Value {
+        Value::Tuple(Arc::new(vals))
+    }
+
+    /// Construct a vector value.
+    pub fn vec(vals: Vec<Value>) -> Value {
+        Value::Vec(Arc::new(vals))
+    }
+
+    /// Construct a set value from any iterator.
+    pub fn set(vals: impl IntoIterator<Item = Value>) -> Value {
+        Value::Set(Arc::new(vals.into_iter().collect()))
+    }
+
+    /// Construct a map value from any iterator of pairs.
+    pub fn map(vals: impl IntoIterator<Item = (Value, Value)>) -> Value {
+        Value::Map(Arc::new(vals.into_iter().collect()))
+    }
+
+    /// The runtime type of this value. Element types of empty containers
+    /// cannot be recovered and are reported as `Unknown`.
+    pub fn type_of(&self) -> Type {
+        match self {
+            Value::Bool(_) => Type::Bool,
+            Value::Int(_) => Type::Int,
+            Value::Bit { width, .. } => Type::Bit(*width),
+            Value::Double(_) => Type::Double,
+            Value::Str(_) => Type::Str,
+            Value::Uuid(_) => Type::Uuid,
+            Value::Vec(v) => Type::Vec(Box::new(
+                v.first().map(Value::type_of).unwrap_or(Type::Unknown),
+            )),
+            Value::Set(v) => Type::Set(Box::new(
+                v.iter().next().map(Value::type_of).unwrap_or(Type::Unknown),
+            )),
+            Value::Map(m) => {
+                let (k, v) = m
+                    .iter()
+                    .next()
+                    .map(|(k, v)| (k.type_of(), v.type_of()))
+                    .unwrap_or((Type::Unknown, Type::Unknown));
+                Type::Map(Box::new(k), Box::new(v))
+            }
+            Value::Tuple(vs) => Type::Tuple(vs.iter().map(Value::type_of).collect()),
+        }
+    }
+
+    /// True if the value's type matches `ty` (deep check for containers;
+    /// empty containers match any element type).
+    pub fn matches_type(&self, ty: &Type) -> bool {
+        match (self, ty) {
+            (_, Type::Unknown) => true,
+            (Value::Bool(_), Type::Bool) => true,
+            (Value::Int(_), Type::Int) => true,
+            (Value::Bit { width, .. }, Type::Bit(w)) => width == w,
+            (Value::Double(_), Type::Double) => true,
+            (Value::Str(_), Type::Str) => true,
+            (Value::Uuid(_), Type::Uuid) => true,
+            (Value::Vec(v), Type::Vec(et)) => v.iter().all(|x| x.matches_type(et)),
+            (Value::Set(v), Type::Set(et)) => v.iter().all(|x| x.matches_type(et)),
+            (Value::Map(m), Type::Map(kt, vt)) => {
+                m.iter().all(|(k, v)| k.matches_type(kt) && v.matches_type(vt))
+            }
+            (Value::Tuple(vs), Type::Tuple(ts)) => {
+                vs.len() == ts.len() && vs.iter().zip(ts).all(|(v, t)| v.matches_type(t))
+            }
+            _ => false,
+        }
+    }
+
+    /// Interpret as an unsigned integer where possible (Int >= 0 or Bit).
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            Value::Int(i) if *i >= 0 => Some(*i as u128),
+            Value::Bit { val, .. } => Some(*val),
+            _ => None,
+        }
+    }
+
+    /// Interpret as a signed integer where possible.
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Bit { val, .. } if *val <= i128::MAX as u128 => Some(*val as i128),
+            _ => None,
+        }
+    }
+
+    /// Interpret as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Interpret as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Mask `val` down to `width` bits.
+pub fn mask_to_width(val: u128, width: u16) -> u128 {
+    if width >= 128 {
+        val
+    } else {
+        val & ((1u128 << width) - 1)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bit { val, .. } => write!(f, "{val}"),
+            Value::Double(d) => write!(f, "{}", d.0),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Uuid(u) => write!(f, "{u}"),
+            Value::Vec(v) => {
+                write!(f, "[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Set(v) => {
+                write!(f, "{{")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k} -> {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Tuple(vs) => {
+                write!(f, "(")?;
+                for (i, x) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A relation row: an ordered list of column values.
+pub type Row = Arc<Vec<Value>>;
+
+/// Build a [`Row`] from values.
+pub fn row(vals: Vec<Value>) -> Row {
+    Arc::new(vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_masking() {
+        assert_eq!(Value::bit(4, 0xff), Value::Bit { width: 4, val: 0xf });
+        assert_eq!(Value::bit(128, u128::MAX), Value::Bit { width: 128, val: u128::MAX });
+    }
+
+    #[test]
+    #[should_panic]
+    fn bit_width_zero_panics() {
+        Value::bit(0, 1);
+    }
+
+    #[test]
+    fn uuid_roundtrip() {
+        let u = Uuid(0x123e4567_e89b_12d3_a456_426614174000);
+        let s = u.to_string();
+        assert_eq!(s, "123e4567-e89b-12d3-a456-426614174000");
+        assert_eq!(Uuid::parse(&s), Some(u));
+        assert_eq!(Uuid::parse("nope"), None);
+        assert_eq!(Uuid::parse("123e4567e89b12d3a456426614174000"), None);
+    }
+
+    #[test]
+    fn uuid_from_name_deterministic() {
+        assert_eq!(Uuid::from_name("a"), Uuid::from_name("a"));
+        assert_ne!(Uuid::from_name("a"), Uuid::from_name("b"));
+    }
+
+    #[test]
+    fn f64_total_order() {
+        let nan = F64(f64::NAN);
+        assert_eq!(nan, nan);
+        assert!(F64(1.0) < F64(2.0));
+        assert!(F64(f64::NEG_INFINITY) < F64(0.0));
+    }
+
+    #[test]
+    fn type_of_and_matches() {
+        let v = Value::vec(vec![Value::Int(1), Value::Int(2)]);
+        assert!(v.matches_type(&Type::Vec(Box::new(Type::Int))));
+        assert!(!v.matches_type(&Type::Vec(Box::new(Type::Str))));
+        let empty = Value::vec(vec![]);
+        assert!(empty.matches_type(&Type::Vec(Box::new(Type::Str))));
+        assert!(Value::bit(12, 5).matches_type(&Type::Bit(12)));
+        assert!(!Value::bit(12, 5).matches_type(&Type::Bit(13)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::str("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::bit(8, 7).to_string(), "7");
+        assert_eq!(
+            Value::tuple(vec![Value::Int(1), Value::Bool(true)]).to_string(),
+            "(1, true)"
+        );
+        assert_eq!(
+            Value::map(vec![(Value::Int(1), Value::str("a"))]).to_string(),
+            "{1 -> \"a\"}"
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests for the engine's algebraic foundations and for
+//! incremental-vs-scratch equivalence on join/FlatMap programs.
+
+use ddlog::value::Value;
+use ddlog::zset::ZSet;
+use ddlog::{Engine, Transaction};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn zset_strategy() -> impl Strategy<Value = ZSet<i32>> {
+    proptest::collection::vec((0i32..10, -3isize..4), 0..12)
+        .prop_map(|pairs| pairs.into_iter().collect())
+}
+
+proptest! {
+    /// Z-set addition is commutative and associative; negation is an
+    /// inverse.
+    #[test]
+    fn zset_group_laws(a in zset_strategy(), b in zset_strategy(), c in zset_strategy()) {
+        // a + b == b + a
+        let mut ab = a.clone();
+        ab.add_all(&b);
+        let mut ba = b.clone();
+        ba.add_all(&a);
+        prop_assert_eq!(&ab, &ba);
+        // (a + b) + c == a + (b + c)
+        let mut abc1 = ab.clone();
+        abc1.add_all(&c);
+        let mut bc = b.clone();
+        bc.add_all(&c);
+        let mut abc2 = a.clone();
+        abc2.add_all(&bc);
+        prop_assert_eq!(&abc1, &abc2);
+        // a + (-a) == 0
+        let mut zero = a.clone();
+        zero.add_all(&a.negate());
+        prop_assert!(zero.is_empty());
+    }
+
+    /// distinct() is idempotent and distinct_delta() predicts the change
+    /// in the distinct view exactly.
+    #[test]
+    fn zset_distinct_laws(a in zset_strategy(), d in zset_strategy()) {
+        let da = a.distinct();
+        prop_assert_eq!(da.distinct(), da.clone());
+        prop_assert!(da.all_positive());
+
+        // Clamp `a` to be valid contents (nonnegative) first.
+        let contents: ZSet<i32> = a.iter().filter(|(_, w)| *w > 0)
+            .map(|(e, w)| (*e, w)).collect();
+        // Restrict delta so contents never go negative.
+        let delta: ZSet<i32> = d.iter()
+            .map(|(e, w)| (*e, w.max(-contents.weight(e))))
+            .collect();
+        let predicted = contents.distinct_delta(&delta);
+        let mut after = contents.clone();
+        after.add_all(&delta);
+        let mut want = after.distinct();
+        want.add_all(&contents.distinct().negate());
+        prop_assert_eq!(predicted, want);
+    }
+}
+
+const JOIN_FLATMAP: &str = "
+input relation A(x: bigint, ys: Vec<bigint>)
+input relation B(y: bigint, z: bigint)
+output relation R(x: bigint, z: bigint)
+R(x, z) :- A(x, ys), var y = FlatMap(ys), B(y, z).
+";
+
+fn a_row(x: i128, ys: &[i128]) -> Vec<Value> {
+    vec![
+        Value::Int(x),
+        Value::vec(ys.iter().map(|y| Value::Int(*y)).collect()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Join-through-FlatMap: random per-transaction updates equal the
+    /// from-scratch evaluation of the surviving input set.
+    #[test]
+    fn join_flatmap_incremental(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (0i128..4, proptest::collection::vec(0i128..4, 0..3))
+                    .prop_map(|(x, ys)| (0u8, x, ys)),
+                (0i128..4, proptest::collection::vec(0i128..4, 0..3))
+                    .prop_map(|(x, ys)| (1u8, x, ys)),
+                (0i128..4, 0i128..4).prop_map(|(y, z)| (2u8, y, vec![z])),
+                (0i128..4, 0i128..4).prop_map(|(y, z)| (3u8, y, vec![z])),
+            ],
+            1..40,
+        )
+    ) {
+        let mut inc = Engine::from_source(JOIN_FLATMAP).unwrap();
+        let mut a_live: BTreeSet<(i128, Vec<i128>)> = BTreeSet::new();
+        let mut b_live: BTreeSet<(i128, i128)> = BTreeSet::new();
+        for (kind, k, rest) in &ops {
+            let mut t = Transaction::new();
+            match kind {
+                0 => { t.insert("A", a_row(*k, rest)); a_live.insert((*k, rest.clone())); }
+                1 => { t.delete("A", a_row(*k, rest)); a_live.remove(&(*k, rest.clone())); }
+                2 => { t.insert("B", vec![Value::Int(*k), Value::Int(rest[0])]); b_live.insert((*k, rest[0])); }
+                _ => { t.delete("B", vec![Value::Int(*k), Value::Int(rest[0])]); b_live.remove(&(*k, rest[0])); }
+            }
+            inc.commit(t).unwrap();
+        }
+
+        let mut scratch = Engine::from_source(JOIN_FLATMAP).unwrap();
+        let mut t = Transaction::new();
+        for (x, ys) in &a_live {
+            t.insert("A", a_row(*x, ys));
+        }
+        for (y, z) in &b_live {
+            t.insert("B", vec![Value::Int(*y), Value::Int(*z)]);
+        }
+        scratch.commit(t).unwrap();
+
+        prop_assert_eq!(inc.dump("R").unwrap(), scratch.dump("R").unwrap());
+    }
+
+    /// Committing a transaction and then a transaction with the exact
+    /// inverse operations returns every output relation to its previous
+    /// contents.
+    #[test]
+    fn inverse_transactions_cancel(
+        rows in proptest::collection::vec((0i128..5, 0i128..5), 1..10)
+    ) {
+        let mut e = Engine::from_source(JOIN_FLATMAP).unwrap();
+        // Fixed B contents.
+        let mut t = Transaction::new();
+        for y in 0..5i128 {
+            t.insert("B", vec![Value::Int(y), Value::Int(y * 10)]);
+        }
+        e.commit(t).unwrap();
+        let before = e.dump("R").unwrap();
+
+        let mut t = Transaction::new();
+        for (x, y) in &rows {
+            t.insert("A", a_row(*x, &[*y]));
+        }
+        e.commit(t).unwrap();
+
+        let mut t = Transaction::new();
+        for (x, y) in &rows {
+            t.delete("A", a_row(*x, &[*y]));
+        }
+        e.commit(t).unwrap();
+        prop_assert_eq!(e.dump("R").unwrap(), before);
+    }
+
+    /// string_substr never panics and always returns a substring.
+    #[test]
+    fn substr_total(s in ".{0,20}", a in 0i128..30, b in 0i128..30) {
+        let v = ddlog::stdlib::eval_call(
+            "string_substr",
+            &[Value::str(&s), Value::Int(a), Value::Int(b)],
+        ).unwrap();
+        let out = v.as_str().unwrap().to_string();
+        prop_assert!(out.chars().count() <= s.chars().count());
+    }
+}

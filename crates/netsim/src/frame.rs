@@ -1,0 +1,179 @@
+//! Ethernet II and 802.1Q frame construction and parsing on `bytes`.
+
+use bytes::{BufMut, BytesMut};
+use std::fmt;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Mac(pub [u8; 6]);
+
+impl Mac {
+    /// The broadcast address ff:ff:ff:ff:ff:ff.
+    pub const BROADCAST: Mac = Mac([0xff; 6]);
+
+    /// Build from the low 48 bits of an integer.
+    pub fn from_u64(v: u64) -> Mac {
+        let b = v.to_be_bytes();
+        Mac([b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// The numeric value (as used in P4 bit<48> fields).
+    pub fn to_u64(self) -> u64 {
+        let mut b = [0u8; 8];
+        b[2..].copy_from_slice(&self.0);
+        u64::from_be_bytes(b)
+    }
+
+    /// A deterministic host MAC for test topologies: 02:00:00:00:00:NN
+    /// (locally administered).
+    pub fn host(n: u32) -> Mac {
+        Mac::from_u64(0x0200_0000_0000 | n as u64)
+    }
+
+    /// True for group (multicast/broadcast) addresses.
+    pub fn is_multicast(self) -> bool {
+        self.0[0] & 1 == 1
+    }
+}
+
+impl fmt::Display for Mac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+/// Well-known EtherTypes.
+pub mod ethertype {
+    /// IPv4.
+    pub const IPV4: u16 = 0x0800;
+    /// ARP.
+    pub const ARP: u16 = 0x0806;
+    /// 802.1Q VLAN tag.
+    pub const VLAN: u16 = 0x8100;
+}
+
+/// A decoded Ethernet frame (one optional 802.1Q tag).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EthFrame {
+    /// Destination MAC.
+    pub dst: Mac,
+    /// Source MAC.
+    pub src: Mac,
+    /// VLAN tag: (pcp, vid) when present.
+    pub vlan: Option<(u8, u16)>,
+    /// EtherType of the payload.
+    pub ethertype: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl EthFrame {
+    /// Build an untagged frame.
+    pub fn new(dst: Mac, src: Mac, ethertype: u16, payload: Vec<u8>) -> EthFrame {
+        EthFrame { dst, src, vlan: None, ethertype, payload }
+    }
+
+    /// Add a VLAN tag.
+    pub fn with_vlan(mut self, pcp: u8, vid: u16) -> EthFrame {
+        self.vlan = Some((pcp & 0x7, vid & 0xfff));
+        self
+    }
+
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(18 + self.payload.len());
+        buf.put_slice(&self.dst.0);
+        buf.put_slice(&self.src.0);
+        if let Some((pcp, vid)) = self.vlan {
+            buf.put_u16(ethertype::VLAN);
+            buf.put_u16(((pcp as u16) << 13) | (vid & 0xfff));
+        }
+        buf.put_u16(self.ethertype);
+        buf.put_slice(&self.payload);
+        buf.to_vec()
+    }
+
+    /// Decode from wire bytes. Returns `None` for truncated frames.
+    pub fn decode(data: &[u8]) -> Option<EthFrame> {
+        if data.len() < 14 {
+            return None;
+        }
+        let dst = Mac(data[0..6].try_into().unwrap());
+        let src = Mac(data[6..12].try_into().unwrap());
+        let tpid = u16::from_be_bytes([data[12], data[13]]);
+        if tpid == ethertype::VLAN {
+            if data.len() < 18 {
+                return None;
+            }
+            let tci = u16::from_be_bytes([data[14], data[15]]);
+            let ethertype = u16::from_be_bytes([data[16], data[17]]);
+            Some(EthFrame {
+                dst,
+                src,
+                vlan: Some(((tci >> 13) as u8, tci & 0xfff)),
+                ethertype,
+                payload: data[18..].to_vec(),
+            })
+        } else {
+            Some(EthFrame {
+                dst,
+                src,
+                vlan: None,
+                ethertype: tpid,
+                payload: data[14..].to_vec(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_conversions() {
+        let m = Mac::from_u64(0x0200_0000_002a);
+        assert_eq!(m.to_u64(), 0x0200_0000_002a);
+        assert_eq!(m.to_string(), "02:00:00:00:00:2a");
+        assert_eq!(Mac::host(42), m);
+        assert!(Mac::BROADCAST.is_multicast());
+        assert!(!m.is_multicast());
+    }
+
+    #[test]
+    fn untagged_roundtrip() {
+        let f = EthFrame::new(Mac::host(1), Mac::host(2), ethertype::IPV4, b"data".to_vec());
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), 18);
+        assert_eq!(EthFrame::decode(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn tagged_roundtrip() {
+        let f = EthFrame::new(Mac::host(1), Mac::host(2), ethertype::ARP, vec![1, 2, 3])
+            .with_vlan(5, 100);
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), 21);
+        let d = EthFrame::decode(&bytes).unwrap();
+        assert_eq!(d.vlan, Some((5, 100)));
+        assert_eq!(d, f);
+    }
+
+    #[test]
+    fn vlan_field_masking() {
+        let f = EthFrame::new(Mac::host(1), Mac::host(2), 0, vec![]).with_vlan(0xff, 0xffff);
+        assert_eq!(f.vlan, Some((7, 0xfff)));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(EthFrame::decode(&[0; 13]).is_none());
+        let mut tagged = EthFrame::new(Mac::host(1), Mac::host(2), 0, vec![]).with_vlan(0, 1).encode();
+        tagged.truncate(16);
+        assert!(EthFrame::decode(&tagged).is_none());
+    }
+}

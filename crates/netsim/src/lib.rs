@@ -1,0 +1,15 @@
+//! Deterministic packet-level network substrate.
+//!
+//! Provides what the Nerpa paper's authors had physically: hosts, links,
+//! and a test network around the behavioral switches. Frames are real
+//! wire bytes ([`frame`], [`proto`]); topologies process traffic
+//! synchronously and reproducibly ([`topo`]).
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod proto;
+pub mod topo;
+
+pub use frame::{ethertype, EthFrame, Mac};
+pub use proto::{internet_checksum, Arp, ArpOp, Ip4, Ipv4, Udp};
+pub use topo::{Delivery, Host, HostId, Network, SwitchId};

@@ -1,0 +1,391 @@
+//! OVSDB data model: atoms and datums (RFC 7047 §5.1).
+//!
+//! A column value (*datum*) is a set of atoms or a map of atoms; scalars
+//! are sets constrained to exactly one element. Atoms are typed: integer,
+//! real, boolean, string, or uuid.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde_json::{json, Value as Json};
+
+/// A 128-bit UUID in canonical textual form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Uuid(pub u128);
+
+impl Uuid {
+    /// Parse `xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx`.
+    pub fn parse(s: &str) -> Option<Uuid> {
+        if s.len() != 36 {
+            return None;
+        }
+        let b = s.as_bytes();
+        if b[8] != b'-' || b[13] != b'-' || b[18] != b'-' || b[23] != b'-' {
+            return None;
+        }
+        let hex: String = s.chars().filter(|c| *c != '-').collect();
+        u128::from_str_radix(&hex, 16).ok().map(Uuid)
+    }
+
+    /// Deterministically derive a UUID from a counter (used by the
+    /// database to mint fresh row UUIDs).
+    pub fn from_counter(counter: u64, epoch: u64) -> Uuid {
+        let mut h: u128 = 0x9e3779b97f4a7c15_9e3779b97f4a7c15;
+        h ^= counter as u128;
+        h = h.wrapping_mul(0x2545f4914f6cdd1d_0000000000000001);
+        h ^= (epoch as u128) << 64;
+        h = h.wrapping_mul(0x100000001b3);
+        Uuid(h)
+    }
+}
+
+impl fmt::Display for Uuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let x = self.0;
+        write!(
+            f,
+            "{:08x}-{:04x}-{:04x}-{:04x}-{:012x}",
+            (x >> 96) as u32,
+            (x >> 80) as u16,
+            (x >> 64) as u16,
+            (x >> 48) as u16,
+            x & 0xffff_ffff_ffff
+        )
+    }
+}
+
+/// An `f64` with total order (needed because atoms live in sorted sets).
+#[derive(Debug, Clone, Copy)]
+pub struct OrderedF64(pub f64);
+
+impl PartialEq for OrderedF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for OrderedF64 {}
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+impl std::hash::Hash for OrderedF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state)
+    }
+}
+
+/// The five OVSDB atomic types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomType {
+    /// 64-bit signed integer.
+    Integer,
+    /// IEEE double.
+    Real,
+    /// Boolean.
+    Boolean,
+    /// UTF-8 string.
+    String,
+    /// Row reference or plain UUID.
+    Uuid,
+}
+
+impl AtomType {
+    /// Parse the RFC 7047 type name.
+    pub fn parse(s: &str) -> Option<AtomType> {
+        Some(match s {
+            "integer" => AtomType::Integer,
+            "real" => AtomType::Real,
+            "boolean" => AtomType::Boolean,
+            "string" => AtomType::String,
+            "uuid" => AtomType::Uuid,
+            _ => return None,
+        })
+    }
+
+    /// The RFC 7047 type name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AtomType::Integer => "integer",
+            AtomType::Real => "real",
+            AtomType::Boolean => "boolean",
+            AtomType::String => "string",
+            AtomType::Uuid => "uuid",
+        }
+    }
+}
+
+/// An atomic value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Atom {
+    /// Integer atom.
+    Integer(i64),
+    /// Real atom.
+    Real(OrderedF64),
+    /// Boolean atom.
+    Boolean(bool),
+    /// String atom.
+    String(String),
+    /// UUID atom.
+    Uuid(Uuid),
+}
+
+impl Atom {
+    /// Shorthand for a string atom.
+    pub fn s(v: impl Into<String>) -> Atom {
+        Atom::String(v.into())
+    }
+
+    /// Shorthand for an integer atom.
+    pub fn i(v: i64) -> Atom {
+        Atom::Integer(v)
+    }
+
+    /// The type of this atom.
+    pub fn atom_type(&self) -> AtomType {
+        match self {
+            Atom::Integer(_) => AtomType::Integer,
+            Atom::Real(_) => AtomType::Real,
+            Atom::Boolean(_) => AtomType::Boolean,
+            Atom::String(_) => AtomType::String,
+            Atom::Uuid(_) => AtomType::Uuid,
+        }
+    }
+
+    /// Encode to the JSON wire form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Atom::Integer(i) => json!(i),
+            Atom::Real(r) => json!(r.0),
+            Atom::Boolean(b) => json!(b),
+            Atom::String(s) => json!(s),
+            Atom::Uuid(u) => json!(["uuid", u.to_string()]),
+        }
+    }
+
+    /// Decode from the JSON wire form, given the expected type. A
+    /// `["named-uuid", name]` is resolved through `named`.
+    pub fn from_json(
+        v: &Json,
+        ty: AtomType,
+        named: &dyn Fn(&str) -> Option<Uuid>,
+    ) -> Result<Atom, String> {
+        match (ty, v) {
+            (AtomType::Integer, Json::Number(n)) => n
+                .as_i64()
+                .map(Atom::Integer)
+                .ok_or_else(|| format!("{n} is not an integer")),
+            (AtomType::Real, Json::Number(n)) => n
+                .as_f64()
+                .map(|f| Atom::Real(OrderedF64(f)))
+                .ok_or_else(|| format!("{n} is not a real")),
+            (AtomType::Boolean, Json::Bool(b)) => Ok(Atom::Boolean(*b)),
+            (AtomType::String, Json::String(s)) => Ok(Atom::String(s.clone())),
+            (AtomType::Uuid, Json::Array(a)) if a.len() == 2 => {
+                let tag = a[0].as_str().unwrap_or("");
+                let val = a[1].as_str().unwrap_or("");
+                match tag {
+                    "uuid" => Uuid::parse(val)
+                        .map(Atom::Uuid)
+                        .ok_or_else(|| format!("bad uuid {val:?}")),
+                    "named-uuid" => named(val)
+                        .map(Atom::Uuid)
+                        .ok_or_else(|| format!("unknown named-uuid {val:?}")),
+                    other => Err(format!("bad uuid tag {other:?}")),
+                }
+            }
+            (ty, v) => Err(format!("JSON {v} is not a valid {}", ty.name())),
+        }
+    }
+}
+
+/// A column value: a set of atoms or a map between atoms.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Datum {
+    /// Set of atoms (scalars are singleton sets).
+    Set(BTreeSet<Atom>),
+    /// Map of atoms.
+    Map(BTreeMap<Atom, Atom>),
+}
+
+impl Datum {
+    /// A scalar datum (singleton set).
+    pub fn scalar(a: Atom) -> Datum {
+        let mut s = BTreeSet::new();
+        s.insert(a);
+        Datum::Set(s)
+    }
+
+    /// The empty set datum.
+    pub fn empty() -> Datum {
+        Datum::Set(BTreeSet::new())
+    }
+
+    /// Build a set datum from atoms.
+    pub fn set(atoms: impl IntoIterator<Item = Atom>) -> Datum {
+        Datum::Set(atoms.into_iter().collect())
+    }
+
+    /// Build a map datum from pairs.
+    pub fn map(pairs: impl IntoIterator<Item = (Atom, Atom)>) -> Datum {
+        Datum::Map(pairs.into_iter().collect())
+    }
+
+    /// Extract the single atom of a scalar datum.
+    pub fn as_scalar(&self) -> Option<&Atom> {
+        match self {
+            Datum::Set(s) if s.len() == 1 => s.iter().next(),
+            _ => None,
+        }
+    }
+
+    /// Number of elements (set members or map entries).
+    pub fn len(&self) -> usize {
+        match self {
+            Datum::Set(s) => s.len(),
+            Datum::Map(m) => m.len(),
+        }
+    }
+
+    /// True when the datum has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All UUIDs referenced by this datum (for referential integrity).
+    pub fn referenced_uuids(&self) -> Vec<Uuid> {
+        let mut out = Vec::new();
+        let mut push = |a: &Atom| {
+            if let Atom::Uuid(u) = a {
+                out.push(*u);
+            }
+        };
+        match self {
+            Datum::Set(s) => s.iter().for_each(&mut push),
+            Datum::Map(m) => m.iter().for_each(|(k, v)| {
+                push(k);
+                push(v);
+            }),
+        }
+        out
+    }
+
+    /// Remove every occurrence of `uuid` (weak-reference cleanup). Returns
+    /// true if anything was removed.
+    pub fn purge_uuid(&mut self, uuid: Uuid) -> bool {
+        match self {
+            Datum::Set(s) => {
+                let before = s.len();
+                s.retain(|a| !matches!(a, Atom::Uuid(u) if *u == uuid));
+                s.len() != before
+            }
+            Datum::Map(m) => {
+                let before = m.len();
+                m.retain(|k, v| {
+                    !matches!(k, Atom::Uuid(u) if *u == uuid)
+                        && !matches!(v, Atom::Uuid(u) if *u == uuid)
+                });
+                m.len() != before
+            }
+        }
+    }
+
+    /// Encode to the JSON wire form: a bare atom for scalars,
+    /// `["set", [...]]` otherwise, `["map", [[k, v], ...]]` for maps.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Datum::Set(s) => {
+                if s.len() == 1 {
+                    s.iter().next().unwrap().to_json()
+                } else {
+                    json!(["set", s.iter().map(Atom::to_json).collect::<Vec<_>>()])
+                }
+            }
+            Datum::Map(m) => json!([
+                "map",
+                m.iter()
+                    .map(|(k, v)| json!([k.to_json(), v.to_json()]))
+                    .collect::<Vec<_>>()
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uuid_text_roundtrip() {
+        let u = Uuid(0xdeadbeef_0000_4000_8000_000000000001);
+        assert_eq!(Uuid::parse(&u.to_string()), Some(u));
+        assert_eq!(Uuid::parse("short"), None);
+    }
+
+    #[test]
+    fn uuid_from_counter_unique() {
+        let a = Uuid::from_counter(1, 0);
+        let b = Uuid::from_counter(2, 0);
+        let c = Uuid::from_counter(1, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn atom_json_roundtrip() {
+        let no_named = |_: &str| None;
+        for (atom, ty) in [
+            (Atom::Integer(-5), AtomType::Integer),
+            (Atom::Boolean(true), AtomType::Boolean),
+            (Atom::s("hello"), AtomType::String),
+            (Atom::Uuid(Uuid(42)), AtomType::Uuid),
+        ] {
+            let j = atom.to_json();
+            assert_eq!(Atom::from_json(&j, ty, &no_named).unwrap(), atom);
+        }
+        // Type confusion is rejected.
+        assert!(Atom::from_json(&json!("x"), AtomType::Integer, &no_named).is_err());
+    }
+
+    #[test]
+    fn named_uuid_resolution() {
+        let u = Uuid(7);
+        let named = move |n: &str| if n == "row1" { Some(u) } else { None };
+        let j = json!(["named-uuid", "row1"]);
+        assert_eq!(Atom::from_json(&j, AtomType::Uuid, &named).unwrap(), Atom::Uuid(u));
+        let j2 = json!(["named-uuid", "nope"]);
+        assert!(Atom::from_json(&j2, AtomType::Uuid, &named).is_err());
+    }
+
+    #[test]
+    fn datum_scalar_and_set_json() {
+        let scalar = Datum::scalar(Atom::i(5));
+        assert_eq!(scalar.to_json(), json!(5));
+        let set = Datum::set(vec![Atom::i(1), Atom::i(2)]);
+        assert_eq!(set.to_json(), json!(["set", [1, 2]]));
+        let empty = Datum::empty();
+        assert_eq!(empty.to_json(), json!(["set", []]));
+        let map = Datum::map(vec![(Atom::s("k"), Atom::i(9))]);
+        assert_eq!(map.to_json(), json!(["map", [["k", 9]]]));
+    }
+
+    #[test]
+    fn purge_weak_refs() {
+        let u1 = Uuid(1);
+        let u2 = Uuid(2);
+        let mut d = Datum::set(vec![Atom::Uuid(u1), Atom::Uuid(u2), Atom::i(3)]);
+        assert!(d.purge_uuid(u1));
+        assert!(!d.purge_uuid(u1));
+        assert_eq!(d.referenced_uuids(), vec![u2]);
+
+        let mut m = Datum::map(vec![(Atom::s("a"), Atom::Uuid(u1)), (Atom::s("b"), Atom::i(1))]);
+        assert!(m.purge_uuid(u1));
+        assert_eq!(m.len(), 1);
+    }
+}

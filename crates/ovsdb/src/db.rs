@@ -1,0 +1,845 @@
+//! The transactional database: tables, operations, atomicity, referential
+//! integrity, and garbage collection (RFC 7047 §4–§5).
+//!
+//! Transactions execute against a copy-on-write overlay; an error in any
+//! operation discards the overlay, giving all-or-nothing semantics.
+//! Committed changes are reported as [`RowChange`]s, the feed for
+//! [`crate::monitor`] streams — the property Nerpa's controller relies on
+//! ("OVSDB ... can stream a database's ongoing series of changes, grouped
+//! into transactions, to a subscriber", §4.1 of the paper).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use serde_json::{json, Map, Value as Json};
+
+use crate::datum::{Atom, Datum, Uuid};
+use crate::schema::{ColumnType, Schema, TableSchema};
+
+/// The column values of one row (without its UUID).
+pub type RowData = BTreeMap<String, Datum>;
+
+/// One row's change in a committed transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowChange {
+    /// Table name.
+    pub table: String,
+    /// Row UUID.
+    pub uuid: Uuid,
+    /// Contents before the transaction (`None` = row inserted).
+    pub old: Option<Arc<RowData>>,
+    /// Contents after the transaction (`None` = row deleted).
+    pub new: Option<Arc<RowData>>,
+}
+
+/// One table's storage, with maintained uniqueness indexes.
+#[derive(Debug, Clone, Default)]
+struct Table {
+    rows: HashMap<Uuid, Arc<RowData>>,
+    /// index columns → projection → row uuid.
+    unique: HashMap<Vec<String>, HashMap<Vec<Datum>, Uuid>>,
+}
+
+impl Table {
+    fn project(cols: &[String], row: &RowData) -> Vec<Datum> {
+        cols.iter().map(|c| row.get(c).cloned().unwrap_or_else(Datum::empty)).collect()
+    }
+}
+
+/// An OVSDB-style transactional database.
+pub struct Database {
+    schema: Schema,
+    tables: BTreeMap<String, Table>,
+    uuid_counter: u64,
+    /// True when the schema uses references or non-root tables, requiring
+    /// the integrity/GC pass after each transaction.
+    needs_gc: bool,
+    /// Monotonic transaction counter.
+    pub txn_counter: u64,
+}
+
+impl Database {
+    /// Create an empty database for `schema`.
+    pub fn new(schema: Schema) -> Database {
+        let tables = schema
+            .tables
+            .keys()
+            .map(|n| {
+                let mut t = Table::default();
+                for ix in &schema.tables[n].indexes {
+                    t.unique.insert(ix.clone(), HashMap::new());
+                }
+                (n.clone(), t)
+            })
+            .collect();
+        let needs_gc = schema.tables.values().any(|t| {
+            !t.is_root
+                || t.columns.values().any(|c| {
+                    c.ty.key.ref_table.is_some()
+                        || c.ty.value.as_ref().is_some_and(|v| v.ref_table.is_some())
+                })
+        });
+        Database { schema, tables, uuid_counter: 0, needs_gc, txn_counter: 0 }
+    }
+
+    /// The database schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows in a table (0 for unknown tables).
+    pub fn table_len(&self, table: &str) -> usize {
+        self.tables.get(table).map(|t| t.rows.len()).unwrap_or(0)
+    }
+
+    /// Get a row.
+    pub fn get_row(&self, table: &str, uuid: Uuid) -> Option<&Arc<RowData>> {
+        self.tables.get(table)?.rows.get(&uuid)
+    }
+
+    /// Iterate over the rows of a table.
+    pub fn rows(&self, table: &str) -> impl Iterator<Item = (&Uuid, &Arc<RowData>)> {
+        self.tables.get(table).into_iter().flat_map(|t| t.rows.iter())
+    }
+
+    /// Execute a transaction: a JSON array of operations. Returns the
+    /// per-operation results plus the committed row changes (empty when
+    /// the transaction aborted — the results array then contains the
+    /// error).
+    pub fn transact(&mut self, ops: &Json) -> (Json, Vec<RowChange>) {
+        let ops = match ops.as_array() {
+            Some(a) => a,
+            None => {
+                return (json!([{"error": "syntax error", "details": "params must be an array"}]), vec![])
+            }
+        };
+        let mut txn = Txn {
+            db: self,
+            overlay: HashMap::new(),
+            named: HashMap::new(),
+            results: Vec::new(),
+        };
+        let mut failed = false;
+        for op in ops {
+            match txn.execute(op) {
+                Ok(result) => txn.results.push(result),
+                Err(e) => {
+                    txn.results.push(json!({"error": "aborted", "details": e}));
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if !failed {
+            if let Err(e) = txn.integrity_and_gc() {
+                txn.results.push(json!({"error": "constraint violation", "details": e}));
+                failed = true;
+            }
+        }
+        if !failed {
+            if let Err(e) = txn.check_unique() {
+                txn.results.push(json!({"error": "constraint violation", "details": e}));
+                failed = true;
+            }
+        }
+        let results = std::mem::take(&mut txn.results);
+        if failed {
+            return (Json::Array(results), vec![]);
+        }
+        let overlay = std::mem::take(&mut txn.overlay);
+        let changes = self.apply_overlay(overlay);
+        self.txn_counter += 1;
+        (Json::Array(results), changes)
+    }
+
+    fn apply_overlay(
+        &mut self,
+        overlay: HashMap<(String, Uuid), Option<Arc<RowData>>>,
+    ) -> Vec<RowChange> {
+        let mut changes = Vec::new();
+        for ((tname, uuid), new) in overlay {
+            let table = self.tables.get_mut(&tname).expect("overlay on unknown table");
+            let old = table.rows.get(&uuid).cloned();
+            if old == new {
+                continue;
+            }
+            // Maintain unique indexes.
+            let unique_keys: Vec<Vec<String>> = table.unique.keys().cloned().collect();
+            for cols in unique_keys {
+                if let Some(o) = &old {
+                    let proj = Table::project(&cols, o);
+                    table.unique.get_mut(&cols).unwrap().remove(&proj);
+                }
+                if let Some(n) = &new {
+                    let proj = Table::project(&cols, n);
+                    table.unique.get_mut(&cols).unwrap().insert(proj, uuid);
+                }
+            }
+            match &new {
+                Some(row) => {
+                    table.rows.insert(uuid, row.clone());
+                }
+                None => {
+                    table.rows.remove(&uuid);
+                }
+            }
+            changes.push(RowChange { table: tname, uuid, old, new });
+        }
+        // Deterministic order for downstream consumers.
+        changes.sort_by(|a, b| (&a.table, a.uuid).cmp(&(&b.table, b.uuid)));
+        changes
+    }
+}
+
+/// An in-flight transaction: overlay over the database.
+struct Txn<'a> {
+    db: &'a mut Database,
+    /// (table, uuid) → new contents (`None` = deleted). Only touched rows
+    /// appear here.
+    overlay: HashMap<(String, Uuid), Option<Arc<RowData>>>,
+    named: HashMap<String, Uuid>,
+    results: Vec<Json>,
+}
+
+impl<'a> Txn<'a> {
+    fn table_schema(&self, name: &str) -> Result<&TableSchema, String> {
+        self.db
+            .schema
+            .tables
+            .get(name)
+            .ok_or_else(|| format!("no table {name:?}"))
+    }
+
+    /// Current contents of a row, overlay-aware.
+    fn get(&self, table: &str, uuid: Uuid) -> Option<Arc<RowData>> {
+        match self.overlay.get(&(table.to_string(), uuid)) {
+            Some(v) => v.clone(),
+            None => self.db.tables.get(table)?.rows.get(&uuid).cloned(),
+        }
+    }
+
+    /// All visible row uuids of a table, overlay-aware.
+    fn all_uuids(&self, table: &str) -> Vec<Uuid> {
+        let mut set: HashSet<Uuid> = self
+            .db
+            .tables
+            .get(table)
+            .map(|t| t.rows.keys().copied().collect())
+            .unwrap_or_default();
+        for ((t, u), v) in &self.overlay {
+            if t == table {
+                if v.is_some() {
+                    set.insert(*u);
+                } else {
+                    set.remove(u);
+                }
+            }
+        }
+        let mut v: Vec<Uuid> = set.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Visible row count of a table, overlay-aware, without scanning the
+    /// base table (O(|overlay|)).
+    fn visible_count(&self, table: &str) -> usize {
+        let base = self.db.tables.get(table).map(|t| t.rows.len()).unwrap_or(0);
+        let mut n = base as isize;
+        for ((t, u), v) in &self.overlay {
+            if t == table {
+                let in_base = self
+                    .db
+                    .tables
+                    .get(table)
+                    .is_some_and(|tb| tb.rows.contains_key(u));
+                match (in_base, v.is_some()) {
+                    (false, true) => n += 1,
+                    (true, false) => n -= 1,
+                    _ => {}
+                }
+            }
+        }
+        n.max(0) as usize
+    }
+
+    fn put(&mut self, table: &str, uuid: Uuid, row: Option<Arc<RowData>>) {
+        self.overlay.insert((table.to_string(), uuid), row);
+    }
+
+    fn execute(&mut self, op: &Json) -> Result<Json, String> {
+        let o = op.as_object().ok_or("operation must be an object")?;
+        let opname = o.get("op").and_then(Json::as_str).ok_or("operation needs \"op\"")?;
+        match opname {
+            "insert" => self.op_insert(o),
+            "select" => self.op_select(o),
+            "update" => self.op_update(o),
+            "mutate" => self.op_mutate(o),
+            "delete" => self.op_delete(o),
+            "wait" => self.op_wait(o),
+            "comment" => Ok(json!({})),
+            "abort" => Err("aborted by request".to_string()),
+            other => Err(format!("unknown operation {other:?}")),
+        }
+    }
+
+    fn parse_row(
+        &self,
+        ts: &TableSchema,
+        row_json: &Json,
+        defaults: bool,
+    ) -> Result<RowData, String> {
+        let obj = row_json.as_object().ok_or("\"row\" must be an object")?;
+        let mut row = RowData::new();
+        for (cname, cval) in obj {
+            let cs = ts
+                .columns
+                .get(cname)
+                .ok_or_else(|| format!("no column {cname:?} in table {:?}", ts.name))?;
+            let named = |n: &str| self.named.get(n).copied();
+            let datum = datum_from_json(cval, &cs.ty, &named)?;
+            cs.ty
+                .validate(&datum)
+                .map_err(|e| format!("column {cname}: {e}"))?;
+            row.insert(cname.clone(), datum);
+        }
+        if defaults {
+            for (cname, cs) in &ts.columns {
+                if !row.contains_key(cname) {
+                    let d = cs.ty.default_datum();
+                    cs.ty
+                        .validate(&d)
+                        .map_err(|e| format!("column {cname} missing and has no valid default: {e}"))?;
+                    row.insert(cname.clone(), d);
+                }
+            }
+        }
+        Ok(row)
+    }
+
+    fn op_insert(&mut self, o: &Map<String, Json>) -> Result<Json, String> {
+        let tname = o.get("table").and_then(Json::as_str).ok_or("insert needs \"table\"")?;
+        let ts = self.table_schema(tname)?.clone();
+        let empty = json!({});
+        let row_json = o.get("row").unwrap_or(&empty);
+        let row = self.parse_row(&ts, row_json, true)?;
+        self.db.uuid_counter += 1;
+        let uuid = Uuid::from_counter(self.db.uuid_counter, self.db.txn_counter);
+        if let Some(name) = o.get("uuid-name").and_then(Json::as_str) {
+            if self.named.contains_key(name) {
+                return Err(format!("duplicate uuid-name {name:?}"));
+            }
+            self.named.insert(name.to_string(), uuid);
+        }
+        if ts.max_rows != usize::MAX && self.visible_count(tname) + 1 > ts.max_rows {
+            return Err(format!("table {tname:?} is full (maxRows)"));
+        }
+        self.put(tname, uuid, Some(Arc::new(row)));
+        Ok(json!({"uuid": ["uuid", uuid.to_string()]}))
+    }
+
+    /// Evaluate a `where` clause, returning matching row uuids.
+    fn eval_where(&self, ts: &TableSchema, where_json: &Json) -> Result<Vec<Uuid>, String> {
+        let conds = where_json.as_array().ok_or("\"where\" must be an array")?;
+        // Validate condition shape and column names up front so an empty
+        // table still reports bad conditions.
+        for cond in conds {
+            let c = cond.as_array().ok_or("condition must be [column, function, value]")?;
+            if c.len() != 3 {
+                return Err("condition must have 3 elements".to_string());
+            }
+            let col = c[0].as_str().ok_or("condition column must be a string")?;
+            if col != "_uuid" && !ts.columns.contains_key(col) {
+                return Err(format!("no column {col:?}"));
+            }
+            let func = c[1].as_str().ok_or("condition function must be a string")?;
+            if !matches!(func, "==" | "!=" | "<" | "<=" | ">" | ">=" | "includes" | "excludes") {
+                return Err(format!("unknown condition function {func:?}"));
+            }
+        }
+        let mut out = Vec::new();
+        'rows: for uuid in self.all_uuids(&ts.name) {
+            let row = self.get(&ts.name, uuid).expect("visible row");
+            for cond in conds {
+                let c = cond.as_array().ok_or("condition must be [column, function, value]")?;
+                if c.len() != 3 {
+                    return Err("condition must have 3 elements".to_string());
+                }
+                let col = c[0].as_str().ok_or("condition column must be a string")?;
+                let func = c[1].as_str().ok_or("condition function must be a string")?;
+                let (datum, cty);
+                if col == "_uuid" {
+                    datum = Datum::scalar(Atom::Uuid(uuid));
+                    cty = ColumnType::scalar(crate::datum::AtomType::Uuid);
+                } else {
+                    let cs = ts
+                        .columns
+                        .get(col)
+                        .ok_or_else(|| format!("no column {col:?}"))?;
+                    datum = row.get(col).cloned().unwrap_or_else(Datum::empty);
+                    cty = cs.ty.clone();
+                }
+                let named = |n: &str| self.named.get(n).copied();
+                let arg = datum_from_json(&c[2], &cty, &named)?;
+                if !eval_condition(&datum, func, &arg)? {
+                    continue 'rows;
+                }
+            }
+            out.push(uuid);
+        }
+        Ok(out)
+    }
+
+    fn op_select(&mut self, o: &Map<String, Json>) -> Result<Json, String> {
+        let tname = o.get("table").and_then(Json::as_str).ok_or("select needs \"table\"")?;
+        let ts = self.table_schema(tname)?.clone();
+        let empty = json!([]);
+        let matches = self.eval_where(&ts, o.get("where").unwrap_or(&empty))?;
+        let columns: Option<Vec<String>> = o.get("columns").and_then(Json::as_array).map(|a| {
+            a.iter().filter_map(Json::as_str).map(str::to_string).collect()
+        });
+        let mut rows = Vec::new();
+        for uuid in matches {
+            let row = self.get(tname, uuid).unwrap();
+            rows.push(row_to_json(uuid, &row, columns.as_deref()));
+        }
+        Ok(json!({"rows": rows}))
+    }
+
+    fn op_update(&mut self, o: &Map<String, Json>) -> Result<Json, String> {
+        let tname = o.get("table").and_then(Json::as_str).ok_or("update needs \"table\"")?;
+        let ts = self.table_schema(tname)?.clone();
+        let row_json = o.get("row").ok_or("update needs \"row\"")?;
+        let updates = self.parse_row(&ts, row_json, false)?;
+        let empty = json!([]);
+        let matches = self.eval_where(&ts, o.get("where").unwrap_or(&empty))?;
+        for uuid in &matches {
+            let mut row = (*self.get(tname, *uuid).unwrap()).clone();
+            for (c, d) in &updates {
+                row.insert(c.clone(), d.clone());
+            }
+            self.put(tname, *uuid, Some(Arc::new(row)));
+        }
+        Ok(json!({"count": matches.len()}))
+    }
+
+    fn op_mutate(&mut self, o: &Map<String, Json>) -> Result<Json, String> {
+        let tname = o.get("table").and_then(Json::as_str).ok_or("mutate needs \"table\"")?;
+        let ts = self.table_schema(tname)?.clone();
+        let muts = o
+            .get("mutations")
+            .and_then(Json::as_array)
+            .ok_or("mutate needs \"mutations\"")?
+            .clone();
+        let empty = json!([]);
+        let matches = self.eval_where(&ts, o.get("where").unwrap_or(&empty))?;
+        for uuid in &matches {
+            let mut row = (*self.get(tname, *uuid).unwrap()).clone();
+            for m in &muts {
+                let m = m.as_array().ok_or("mutation must be [column, mutator, value]")?;
+                if m.len() != 3 {
+                    return Err("mutation must have 3 elements".to_string());
+                }
+                let col = m[0].as_str().ok_or("mutation column must be a string")?;
+                let mutator = m[1].as_str().ok_or("mutator must be a string")?;
+                let cs = ts.columns.get(col).ok_or_else(|| format!("no column {col:?}"))?;
+                let cur = row.get(col).cloned().unwrap_or_else(|| cs.ty.default_datum());
+                let named = |n: &str| self.named.get(n).copied();
+                let new = apply_mutation(&cur, mutator, &m[2], &cs.ty, &named)?;
+                cs.ty.validate(&new).map_err(|e| format!("column {col}: {e}"))?;
+                row.insert(col.to_string(), new);
+            }
+            self.put(tname, *uuid, Some(Arc::new(row)));
+        }
+        Ok(json!({"count": matches.len()}))
+    }
+
+    fn op_delete(&mut self, o: &Map<String, Json>) -> Result<Json, String> {
+        let tname = o.get("table").and_then(Json::as_str).ok_or("delete needs \"table\"")?;
+        let ts = self.table_schema(tname)?.clone();
+        let empty = json!([]);
+        let matches = self.eval_where(&ts, o.get("where").unwrap_or(&empty))?;
+        for uuid in &matches {
+            self.put(tname, *uuid, None);
+        }
+        Ok(json!({"count": matches.len()}))
+    }
+
+    /// Non-blocking `wait`: succeeds iff the condition already holds.
+    fn op_wait(&mut self, o: &Map<String, Json>) -> Result<Json, String> {
+        let tname = o.get("table").and_then(Json::as_str).ok_or("wait needs \"table\"")?;
+        let ts = self.table_schema(tname)?.clone();
+        let empty = json!([]);
+        let matches = self.eval_where(&ts, o.get("where").unwrap_or(&empty))?;
+        let until = o.get("until").and_then(Json::as_str).unwrap_or("==");
+        let expected = o
+            .get("rows")
+            .and_then(Json::as_array)
+            .ok_or("wait needs \"rows\"")?;
+        let columns: Option<Vec<String>> = o.get("columns").and_then(Json::as_array).map(|a| {
+            a.iter().filter_map(Json::as_str).map(str::to_string).collect()
+        });
+        // Compare the matched rows (projected) against the expected rows.
+        let mut actual: Vec<RowData> = Vec::new();
+        for uuid in matches {
+            let row = self.get(tname, uuid).unwrap();
+            let projected: RowData = match &columns {
+                Some(cols) => cols
+                    .iter()
+                    .filter_map(|c| row.get(c).map(|d| (c.clone(), d.clone())))
+                    .collect(),
+                None => (*row).clone(),
+            };
+            actual.push(projected);
+        }
+        let mut expected_rows = Vec::new();
+        for r in expected {
+            expected_rows.push(self.parse_row(&ts, r, false)?);
+        }
+        let equal = {
+            let mut a = actual.clone();
+            let mut b = expected_rows.clone();
+            a.sort();
+            b.sort();
+            a == b
+        };
+        let ok = match until {
+            "==" => equal,
+            "!=" => !equal,
+            other => return Err(format!("bad until {other:?}")),
+        };
+        if ok {
+            Ok(json!({}))
+        } else {
+            Err("wait condition not satisfied".to_string())
+        }
+    }
+
+    /// Referential integrity + garbage collection, run over the overlay
+    /// view before commit. Errors abort the transaction.
+    fn integrity_and_gc(&mut self) -> Result<(), String> {
+        if !self.db.needs_gc {
+            return Ok(());
+        }
+        loop {
+            let mut changed = false;
+            // Collect the visible universe.
+            let table_names: Vec<String> = self.db.schema.tables.keys().cloned().collect();
+            let mut universe: HashMap<String, Vec<Uuid>> = HashMap::new();
+            for t in &table_names {
+                universe.insert(t.clone(), self.all_uuids(t));
+            }
+            let exists = |table: &str, u: Uuid, me: &Self| -> bool {
+                me.get(table, u).is_some()
+            };
+            // Strong-reference targets per table, and weak purges.
+            let mut strong_refs: HashMap<(String, Uuid), usize> = HashMap::new();
+            let mut weak_purges: Vec<(String, Uuid, String, Uuid)> = Vec::new(); // table,row,col,target
+            for t in &table_names {
+                let ts = self.db.schema.tables[t].clone();
+                for uuid in &universe[t] {
+                    let row = self.get(t, *uuid).unwrap();
+                    for (cname, cs) in &ts.columns {
+                        let datum = match row.get(cname) {
+                            Some(d) => d,
+                            None => continue,
+                        };
+                        for (bt, atoms) in
+                            [(&cs.ty.key, true), (cs.ty.value.as_ref().unwrap_or(&cs.ty.key), false)]
+                        {
+                            // For set columns, only the key side exists.
+                            if !atoms && cs.ty.value.is_none() {
+                                continue;
+                            }
+                            let Some(rt) = &bt.ref_table else { continue };
+                            for target in datum.referenced_uuids() {
+                                // referenced_uuids mixes key and value
+                                // uuids; acceptable for both-strong or
+                                // both-weak schemas, which is what we use.
+                                if bt.ref_strong {
+                                    if exists(rt, target, self) {
+                                        *strong_refs.entry((rt.clone(), target)).or_insert(0) += 1;
+                                    } else {
+                                        return Err(format!(
+                                            "strong reference from {t}.{cname} to missing row \
+                                             {target} in {rt}"
+                                        ));
+                                    }
+                                } else if !exists(rt, target, self) {
+                                    weak_purges.push((t.clone(), *uuid, cname.clone(), target));
+                                }
+                            }
+                            break; // referenced_uuids covered the datum
+                        }
+                    }
+                }
+            }
+            for (t, uuid, col, target) in weak_purges {
+                let mut row = (*self.get(&t, uuid).unwrap()).clone();
+                if let Some(d) = row.get_mut(&col) {
+                    if d.purge_uuid(target) {
+                        changed = true;
+                    }
+                }
+                self.put(&t, uuid, Some(Arc::new(row)));
+            }
+            // GC: non-root rows without strong inbound references die.
+            for t in &table_names {
+                if self.db.schema.tables[t].is_root {
+                    continue;
+                }
+                for uuid in &universe[t] {
+                    if self.get(t, *uuid).is_none() {
+                        continue; // already deleted this pass
+                    }
+                    if !strong_refs.contains_key(&(t.clone(), *uuid)) {
+                        self.put(t, *uuid, None);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Verify the uniqueness constraints for touched rows.
+    fn check_unique(&self) -> Result<(), String> {
+        // Group touched rows by table.
+        let mut touched: HashMap<&str, Vec<(Uuid, Option<&Arc<RowData>>)>> = HashMap::new();
+        for ((t, u), v) in &self.overlay {
+            touched.entry(t.as_str()).or_default().push((*u, v.as_ref()));
+        }
+        for (tname, rows) in touched {
+            let ts = &self.db.schema.tables[tname];
+            if ts.indexes.is_empty() {
+                continue;
+            }
+            let table = &self.db.tables[tname];
+            for cols in &ts.indexes {
+                let base = &table.unique[cols];
+                let mut new_projections: HashMap<Vec<Datum>, Uuid> = HashMap::new();
+                for (uuid, new) in &rows {
+                    if let Some(row) = new {
+                        let proj = Table::project(cols, row);
+                        // Conflict with another touched row?
+                        if let Some(prev) = new_projections.insert(proj.clone(), *uuid) {
+                            if prev != *uuid {
+                                return Err(format!(
+                                    "uniqueness violation on {tname} index {cols:?}"
+                                ));
+                            }
+                        }
+                        // Conflict with an untouched base row?
+                        if let Some(owner) = base.get(&proj) {
+                            let owner_touched =
+                                self.overlay.contains_key(&(tname.to_string(), *owner));
+                            if *owner != *uuid && !owner_touched {
+                                return Err(format!(
+                                    "uniqueness violation on {tname} index {cols:?}"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Encode a row (with its UUID) to JSON, optionally projecting columns.
+pub fn row_to_json(uuid: Uuid, row: &RowData, columns: Option<&[String]>) -> Json {
+    let mut obj = Map::new();
+    let include = |c: &str| columns.map(|cols| cols.iter().any(|x| x == c)).unwrap_or(true);
+    if include("_uuid") || columns.is_none() {
+        obj.insert("_uuid".to_string(), json!(["uuid", uuid.to_string()]));
+    }
+    for (c, d) in row {
+        if include(c) {
+            obj.insert(c.clone(), d.to_json());
+        }
+    }
+    Json::Object(obj)
+}
+
+/// Parse a datum from wire JSON given its column type.
+pub fn datum_from_json(
+    v: &Json,
+    ty: &ColumnType,
+    named: &dyn Fn(&str) -> Option<Uuid>,
+) -> Result<Datum, String> {
+    // ["set", [...]] / ["map", [...]] forms.
+    if let Some(arr) = v.as_array() {
+        match arr.first().and_then(Json::as_str) {
+            Some("set") => {
+                let items = arr.get(1).and_then(Json::as_array).ok_or("bad set")?;
+                let mut set = std::collections::BTreeSet::new();
+                for item in items {
+                    set.insert(Atom::from_json(item, ty.key.ty, named)?);
+                }
+                return Ok(Datum::Set(set));
+            }
+            Some("map") => {
+                let vt = ty.value.as_ref().ok_or("map datum for a set column")?;
+                let items = arr.get(1).and_then(Json::as_array).ok_or("bad map")?;
+                let mut map = BTreeMap::new();
+                for item in items {
+                    let pair = item.as_array().ok_or("map entry must be a pair")?;
+                    if pair.len() != 2 {
+                        return Err("map entry must be a pair".to_string());
+                    }
+                    let k = Atom::from_json(&pair[0], ty.key.ty, named)?;
+                    let val = Atom::from_json(&pair[1], vt.ty, named)?;
+                    map.insert(k, val);
+                }
+                return Ok(Datum::Map(map));
+            }
+            _ => {}
+        }
+    }
+    // Bare atom (scalar shorthand).
+    let atom = Atom::from_json(v, ty.key.ty, named)?;
+    Ok(Datum::scalar(atom))
+}
+
+/// Evaluate an RFC 7047 condition function.
+fn eval_condition(datum: &Datum, func: &str, arg: &Datum) -> Result<bool, String> {
+    match func {
+        "==" => Ok(datum == arg),
+        "!=" => Ok(datum != arg),
+        "<" | "<=" | ">" | ">=" => {
+            let (a, b) = match (datum.as_scalar(), arg.as_scalar()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err(format!("{func} requires scalar operands")),
+            };
+            Ok(match func {
+                "<" => a < b,
+                "<=" => a <= b,
+                ">" => a > b,
+                _ => a >= b,
+            })
+        }
+        "includes" => match (datum, arg) {
+            (Datum::Set(s), Datum::Set(sub)) => Ok(sub.iter().all(|a| s.contains(a))),
+            (Datum::Map(m), Datum::Map(sub)) => {
+                Ok(sub.iter().all(|(k, v)| m.get(k) == Some(v)))
+            }
+            _ => Err("includes requires matching collection kinds".to_string()),
+        },
+        "excludes" => match (datum, arg) {
+            (Datum::Set(s), Datum::Set(sub)) => Ok(sub.iter().all(|a| !s.contains(a))),
+            (Datum::Map(m), Datum::Map(sub)) => {
+                Ok(sub.iter().all(|(k, v)| m.get(k) != Some(v)))
+            }
+            _ => Err("excludes requires matching collection kinds".to_string()),
+        },
+        other => Err(format!("unknown condition function {other:?}")),
+    }
+}
+
+/// Apply an RFC 7047 mutator.
+fn apply_mutation(
+    cur: &Datum,
+    mutator: &str,
+    arg_json: &Json,
+    ty: &ColumnType,
+    named: &dyn Fn(&str) -> Option<Uuid>,
+) -> Result<Datum, String> {
+    match mutator {
+        "+=" | "-=" | "*=" | "/=" | "%=" => {
+            let arg = datum_from_json(arg_json, &ColumnType::scalar(ty.key.ty), named)?;
+            let x = match arg.as_scalar() {
+                Some(Atom::Integer(i)) => *i,
+                _ => return Err("arithmetic mutators need an integer argument".to_string()),
+            };
+            let apply = |v: i64| -> Result<i64, String> {
+                Ok(match mutator {
+                    "+=" => v.wrapping_add(x),
+                    "-=" => v.wrapping_sub(x),
+                    "*=" => v.wrapping_mul(x),
+                    "/=" => {
+                        if x == 0 {
+                            return Err("division by zero".to_string());
+                        }
+                        v / x
+                    }
+                    _ => {
+                        if x == 0 {
+                            return Err("modulo by zero".to_string());
+                        }
+                        v % x
+                    }
+                })
+            };
+            match cur {
+                Datum::Set(s) => {
+                    let mut out = std::collections::BTreeSet::new();
+                    for a in s {
+                        match a {
+                            Atom::Integer(i) => {
+                                out.insert(Atom::Integer(apply(*i)?));
+                            }
+                            _ => return Err("arithmetic mutator on non-integer".to_string()),
+                        }
+                    }
+                    Ok(Datum::Set(out))
+                }
+                Datum::Map(_) => Err("arithmetic mutator on a map".to_string()),
+            }
+        }
+        "insert" => {
+            let arg = datum_from_json(arg_json, ty, named)?;
+            match (cur.clone(), arg) {
+                (Datum::Set(mut s), Datum::Set(add)) => {
+                    s.extend(add);
+                    Ok(Datum::Set(s))
+                }
+                (Datum::Map(mut m), Datum::Map(add)) => {
+                    for (k, v) in add {
+                        m.entry(k).or_insert(v);
+                    }
+                    Ok(Datum::Map(m))
+                }
+                _ => Err("insert mutator kind mismatch".to_string()),
+            }
+        }
+        "delete" => {
+            // For maps the argument may be a set of keys or a map of
+            // exact pairs.
+            match cur.clone() {
+                Datum::Set(mut s) => {
+                    let arg = datum_from_json(arg_json, ty, named)?;
+                    match arg {
+                        Datum::Set(del) => {
+                            s.retain(|a| !del.contains(a));
+                            Ok(Datum::Set(s))
+                        }
+                        _ => Err("delete mutator kind mismatch".to_string()),
+                    }
+                }
+                Datum::Map(mut m) => {
+                    let key_set_ty = ColumnType {
+                        key: ty.key.clone(),
+                        value: None,
+                        min: 0,
+                        max: usize::MAX,
+                    };
+                    if let Ok(Datum::Set(keys)) = datum_from_json(arg_json, &key_set_ty, named) {
+                        m.retain(|k, _| !keys.contains(k));
+                        return Ok(Datum::Map(m));
+                    }
+                    let arg = datum_from_json(arg_json, ty, named)?;
+                    match arg {
+                        Datum::Map(pairs) => {
+                            m.retain(|k, v| pairs.get(k) != Some(v));
+                            Ok(Datum::Map(m))
+                        }
+                        _ => Err("delete mutator kind mismatch".to_string()),
+                    }
+                }
+            }
+        }
+        other => Err(format!("unknown mutator {other:?}")),
+    }
+}

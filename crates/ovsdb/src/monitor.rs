@@ -1,0 +1,268 @@
+//! Monitors: change-stream subscriptions (RFC 7047 §4.1.5–§4.1.6).
+//!
+//! A monitor selects tables (and optionally columns) and receives the
+//! initial contents followed by one update notification per committed
+//! transaction. This is the mechanism Nerpa's controller uses to feed the
+//! management plane into the incremental control plane.
+
+use std::collections::BTreeMap;
+
+use serde_json::{json, Map, Value as Json};
+
+use crate::db::{Database, RowChange};
+
+/// Which change kinds a monitored table reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorSelect {
+    /// Send the initial table contents on registration.
+    pub initial: bool,
+    /// Report row insertions.
+    pub insert: bool,
+    /// Report row deletions.
+    pub delete: bool,
+    /// Report row modifications.
+    pub modify: bool,
+}
+
+impl Default for MonitorSelect {
+    fn default() -> Self {
+        MonitorSelect { initial: true, insert: true, delete: true, modify: true }
+    }
+}
+
+/// Subscription details for one table.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorTable {
+    /// Columns to report (`None` = all).
+    pub columns: Option<Vec<String>>,
+    /// Which change kinds to report.
+    pub select: MonitorSelect,
+}
+
+/// A registered monitor.
+#[derive(Debug, Clone, Default)]
+pub struct Monitor {
+    /// Monitored tables.
+    pub tables: BTreeMap<String, MonitorTable>,
+}
+
+impl Monitor {
+    /// Parse the `monitor` request's third parameter:
+    /// `{table: {columns: [...], select: {...}} | [...alternatives...]}`.
+    pub fn parse(requests: &Json, db: &Database) -> Result<Monitor, String> {
+        let obj = requests.as_object().ok_or("monitor requests must be an object")?;
+        let mut tables = BTreeMap::new();
+        for (tname, spec) in obj {
+            if db.schema().table(tname).is_none() {
+                return Err(format!("no table {tname:?}"));
+            }
+            // A spec may be a single request or an array of requests; we
+            // support a single request (the common case).
+            let spec = if let Some(arr) = spec.as_array() {
+                arr.first().cloned().unwrap_or(json!({}))
+            } else {
+                spec.clone()
+            };
+            let mut mt = MonitorTable::default();
+            if let Some(cols) = spec.get("columns").and_then(Json::as_array) {
+                let mut list = Vec::new();
+                for c in cols {
+                    let c = c.as_str().ok_or("column names must be strings")?;
+                    if db.schema().table(tname).unwrap().columns.get(c).is_none() {
+                        return Err(format!("no column {tname}.{c}"));
+                    }
+                    list.push(c.to_string());
+                }
+                mt.columns = Some(list);
+            }
+            if let Some(sel) = spec.get("select").and_then(Json::as_object) {
+                let get = |k: &str| sel.get(k).and_then(Json::as_bool).unwrap_or(true);
+                mt.select = MonitorSelect {
+                    initial: get("initial"),
+                    insert: get("insert"),
+                    delete: get("delete"),
+                    modify: get("modify"),
+                };
+            }
+            tables.insert(tname.clone(), mt);
+        }
+        Ok(Monitor { tables })
+    }
+
+    /// The initial `table-updates` object (rows reported as inserts).
+    pub fn initial_state(&self, db: &Database) -> Json {
+        let mut out = Map::new();
+        for (tname, mt) in &self.tables {
+            if !mt.select.initial {
+                continue;
+            }
+            let mut rows = Map::new();
+            for (uuid, row) in db.rows(tname) {
+                rows.insert(
+                    uuid.to_string(),
+                    json!({"new": project(row, mt.columns.as_deref())}),
+                );
+            }
+            if !rows.is_empty() {
+                out.insert(tname.clone(), Json::Object(rows));
+            }
+        }
+        Json::Object(out)
+    }
+
+    /// Format committed changes as a `table-updates` object; `None` when
+    /// nothing this monitor selects changed.
+    pub fn format_changes(&self, changes: &[RowChange]) -> Option<Json> {
+        let mut out = Map::new();
+        for change in changes {
+            let Some(mt) = self.tables.get(&change.table) else { continue };
+            let update = match (&change.old, &change.new) {
+                (None, Some(new)) => {
+                    if !mt.select.insert {
+                        continue;
+                    }
+                    json!({"new": project(new, mt.columns.as_deref())})
+                }
+                (Some(old), None) => {
+                    if !mt.select.delete {
+                        continue;
+                    }
+                    json!({"old": project(old, mt.columns.as_deref())})
+                }
+                (Some(old), Some(new)) => {
+                    if !mt.select.modify {
+                        continue;
+                    }
+                    // `old` reports only the columns that changed.
+                    let mut old_changed = Map::new();
+                    for (c, d) in old.iter() {
+                        if mt
+                            .columns
+                            .as_deref()
+                            .map(|cols| cols.iter().any(|x| x == c))
+                            .unwrap_or(true)
+                            && new.get(c) != Some(d)
+                        {
+                            old_changed.insert(c.clone(), d.to_json());
+                        }
+                    }
+                    if old_changed.is_empty() {
+                        continue; // no selected column changed
+                    }
+                    json!({
+                        "old": Json::Object(old_changed),
+                        "new": project(new, mt.columns.as_deref()),
+                    })
+                }
+                (None, None) => continue,
+            };
+            out.entry(change.table.clone())
+                .or_insert_with(|| Json::Object(Map::new()))
+                .as_object_mut()
+                .unwrap()
+                .insert(change.uuid.to_string(), update);
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(Json::Object(out))
+        }
+    }
+}
+
+fn project(row: &crate::db::RowData, columns: Option<&[String]>) -> Json {
+    let mut obj = Map::new();
+    for (c, d) in row {
+        if columns.map(|cols| cols.iter().any(|x| x == c)).unwrap_or(true) {
+            obj.insert(c.clone(), d.to_json());
+        }
+    }
+    Json::Object(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use serde_json::json;
+
+    fn db() -> Database {
+        let schema = Schema::from_json(&json!({
+            "name": "test",
+            "tables": {
+                "Port": {"columns": {
+                    "name": {"type": "string"},
+                    "tag": {"type": {"key": "integer", "min": 0, "max": 1}}
+                }, "isRoot": true}
+            }
+        }))
+        .unwrap();
+        Database::new(schema)
+    }
+
+    #[test]
+    fn initial_and_update_stream() {
+        let mut db = db();
+        let (res, _) = db.transact(&json!([
+            {"op": "insert", "table": "Port", "row": {"name": "p1", "tag": 10}}
+        ]));
+        assert!(res[0]["uuid"].is_array(), "{res}");
+
+        let mon = Monitor::parse(&json!({"Port": {}}), &db).unwrap();
+        let init = mon.initial_state(&db);
+        let port_rows = init["Port"].as_object().unwrap();
+        assert_eq!(port_rows.len(), 1);
+        let first = port_rows.values().next().unwrap();
+        assert_eq!(first["new"]["name"], json!("p1"));
+
+        // Modify: old must carry only the changed column.
+        let (_, changes) = db.transact(&json!([
+            {"op": "update", "table": "Port", "where": [["name", "==", "p1"]],
+             "row": {"tag": 20}}
+        ]));
+        let upd = mon.format_changes(&changes).unwrap();
+        let (_, entry) = upd["Port"].as_object().unwrap().iter().next().unwrap();
+        assert_eq!(entry["old"], json!({"tag": 10}));
+        assert_eq!(entry["new"]["tag"], json!(20));
+        assert_eq!(entry["new"]["name"], json!("p1"));
+
+        // Delete.
+        let (_, changes) = db.transact(&json!([
+            {"op": "delete", "table": "Port", "where": []}
+        ]));
+        let upd = mon.format_changes(&changes).unwrap();
+        let (_, entry) = upd["Port"].as_object().unwrap().iter().next().unwrap();
+        assert!(entry.get("new").is_none());
+        assert_eq!(entry["old"]["name"], json!("p1"));
+    }
+
+    #[test]
+    fn column_projection_and_select_flags() {
+        let mut db = db();
+        let mon = Monitor::parse(
+            &json!({"Port": {"columns": ["name"], "select": {"modify": false}}}),
+            &db,
+        )
+        .unwrap();
+        let (_, changes) = db.transact(&json!([
+            {"op": "insert", "table": "Port", "row": {"name": "p1", "tag": 1}}
+        ]));
+        let upd = mon.format_changes(&changes).unwrap();
+        let (_, entry) = upd["Port"].as_object().unwrap().iter().next().unwrap();
+        assert_eq!(entry["new"], json!({"name": "p1"}));
+
+        // A tag-only change is invisible: modify deselected AND the
+        // selected column did not change.
+        let (_, changes) = db.transact(&json!([
+            {"op": "update", "table": "Port", "where": [], "row": {"tag": 9}}
+        ]));
+        assert!(mon.format_changes(&changes).is_none());
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        let db = db();
+        assert!(Monitor::parse(&json!({"NoSuch": {}}), &db).is_err());
+        assert!(Monitor::parse(&json!({"Port": {"columns": ["zap"]}}), &db).is_err());
+    }
+}

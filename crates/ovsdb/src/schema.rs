@@ -1,0 +1,547 @@
+//! Database schemas (RFC 7047 §3.2): tables, columns, and type
+//! constraints.
+//!
+//! Schemas are parsed from the same JSON shape `ovsdb-server` uses, so a
+//! Nerpa program can ship its management-plane schema as a plain `.json`
+//! asset.
+
+use std::collections::BTreeMap;
+
+use serde_json::Value as Json;
+
+use crate::datum::{Atom, AtomType, Datum};
+
+/// Constraints on one atom position of a column type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaseType {
+    /// The atomic type.
+    pub ty: AtomType,
+    /// For integers: inclusive minimum.
+    pub min_integer: Option<i64>,
+    /// For integers: inclusive maximum.
+    pub max_integer: Option<i64>,
+    /// For strings: permitted values (the `enum` constraint).
+    pub enum_values: Option<Vec<Atom>>,
+    /// For uuids: the referenced table.
+    pub ref_table: Option<String>,
+    /// For uuids with `ref_table`: true when the reference is strong
+    /// (default), false when weak.
+    pub ref_strong: bool,
+}
+
+impl BaseType {
+    /// An unconstrained base type.
+    pub fn plain(ty: AtomType) -> BaseType {
+        BaseType {
+            ty,
+            min_integer: None,
+            max_integer: None,
+            enum_values: None,
+            ref_table: None,
+            ref_strong: true,
+        }
+    }
+
+    /// Validate one atom against this base type.
+    pub fn validate(&self, atom: &Atom) -> Result<(), String> {
+        if atom.atom_type() != self.ty {
+            return Err(format!(
+                "atom {atom:?} has type {}, expected {}",
+                atom.atom_type().name(),
+                self.ty.name()
+            ));
+        }
+        if let Atom::Integer(i) = atom {
+            if let Some(min) = self.min_integer {
+                if *i < min {
+                    return Err(format!("{i} below minInteger {min}"));
+                }
+            }
+            if let Some(max) = self.max_integer {
+                if *i > max {
+                    return Err(format!("{i} above maxInteger {max}"));
+                }
+            }
+        }
+        if let Some(allowed) = &self.enum_values {
+            if !allowed.contains(atom) {
+                return Err(format!("{atom:?} not in enum"));
+            }
+        }
+        Ok(())
+    }
+
+    fn parse(v: &Json) -> Result<BaseType, String> {
+        match v {
+            Json::String(s) => AtomType::parse(s)
+                .map(BaseType::plain)
+                .ok_or_else(|| format!("unknown atomic type {s:?}")),
+            Json::Object(o) => {
+                let tname = o
+                    .get("type")
+                    .and_then(Json::as_str)
+                    .ok_or("base type object needs \"type\"")?;
+                let mut bt = BaseType::plain(
+                    AtomType::parse(tname).ok_or_else(|| format!("unknown atomic type {tname:?}"))?,
+                );
+                bt.min_integer = o.get("minInteger").and_then(Json::as_i64);
+                bt.max_integer = o.get("maxInteger").and_then(Json::as_i64);
+                if let Some(e) = o.get("enum") {
+                    // enum is encoded as a datum: ["set", [...]] or atom.
+                    let vals = match e {
+                        Json::Array(a) if a.first().and_then(Json::as_str) == Some("set") => a
+                            .get(1)
+                            .and_then(Json::as_array)
+                            .ok_or("bad enum set")?
+                            .clone(),
+                        other => vec![other.clone()],
+                    };
+                    let mut atoms = Vec::new();
+                    for v in vals {
+                        atoms.push(Atom::from_json(&v, bt.ty, &|_| None)?);
+                    }
+                    bt.enum_values = Some(atoms);
+                }
+                if let Some(rt) = o.get("refTable").and_then(Json::as_str) {
+                    bt.ref_table = Some(rt.to_string());
+                    bt.ref_strong =
+                        o.get("refType").and_then(Json::as_str).unwrap_or("strong") == "strong";
+                }
+                Ok(bt)
+            }
+            other => Err(format!("bad base type {other}")),
+        }
+    }
+}
+
+/// A full column type: key (and optional value for maps) plus the
+/// min/max element count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnType {
+    /// The key (or sole) atom type.
+    pub key: BaseType,
+    /// The value atom type for map columns.
+    pub value: Option<BaseType>,
+    /// Minimum number of elements (0 makes the column optional).
+    pub min: usize,
+    /// Maximum number of elements (`usize::MAX` = "unlimited").
+    pub max: usize,
+}
+
+impl ColumnType {
+    /// A scalar column of the given atomic type.
+    pub fn scalar(ty: AtomType) -> ColumnType {
+        ColumnType { key: BaseType::plain(ty), value: None, min: 1, max: 1 }
+    }
+
+    /// True if the column holds at most one atom (a scalar or optional
+    /// scalar).
+    pub fn is_scalar(&self) -> bool {
+        self.value.is_none() && self.max == 1
+    }
+
+    /// True if this is a map column.
+    pub fn is_map(&self) -> bool {
+        self.value.is_some()
+    }
+
+    /// The default datum for this column: empty for optional columns,
+    /// a zero value for required scalars.
+    pub fn default_datum(&self) -> Datum {
+        if self.is_map() {
+            return Datum::Map(BTreeMap::new());
+        }
+        if self.min == 0 {
+            return Datum::empty();
+        }
+        Datum::scalar(match self.key.ty {
+            AtomType::Integer => Atom::Integer(
+                self.key.min_integer.unwrap_or(0).max(0).min(self.key.max_integer.unwrap_or(i64::MAX)),
+            ),
+            AtomType::Real => Atom::Real(crate::datum::OrderedF64(0.0)),
+            AtomType::Boolean => Atom::Boolean(false),
+            AtomType::String => match &self.key.enum_values {
+                Some(vals) if !vals.is_empty() => vals[0].clone(),
+                _ => Atom::s(""),
+            },
+            AtomType::Uuid => Atom::Uuid(crate::datum::Uuid(0)),
+        })
+    }
+
+    /// Validate a datum against this column type.
+    pub fn validate(&self, datum: &Datum) -> Result<(), String> {
+        let n = datum.len();
+        if n < self.min {
+            return Err(format!("{n} element(s), minimum {}", self.min));
+        }
+        if n > self.max {
+            return Err(format!("{n} element(s), maximum {}", self.max));
+        }
+        match (datum, &self.value) {
+            (Datum::Set(s), None) => {
+                for a in s {
+                    self.key.validate(a)?;
+                }
+                Ok(())
+            }
+            (Datum::Map(m), Some(vt)) => {
+                for (k, v) in m {
+                    self.key.validate(k)?;
+                    vt.validate(v)?;
+                }
+                Ok(())
+            }
+            (Datum::Map(_), None) => Err("map datum for a set column".into()),
+            (Datum::Set(_), Some(_)) => Err("set datum for a map column".into()),
+        }
+    }
+
+    fn parse(v: &Json) -> Result<ColumnType, String> {
+        match v {
+            Json::String(_) => Ok(ColumnType {
+                key: BaseType::parse(v)?,
+                value: None,
+                min: 1,
+                max: 1,
+            }),
+            Json::Object(o) => {
+                let key = BaseType::parse(o.get("key").ok_or("column type needs \"key\"")?)?;
+                let value = match o.get("value") {
+                    Some(v) => Some(BaseType::parse(v)?),
+                    None => None,
+                };
+                let min = o.get("min").and_then(Json::as_u64).unwrap_or(1) as usize;
+                let max = match o.get("max") {
+                    None => 1,
+                    Some(Json::String(s)) if s == "unlimited" => usize::MAX,
+                    Some(Json::Number(n)) => n.as_u64().unwrap_or(1) as usize,
+                    Some(other) => return Err(format!("bad max {other}")),
+                };
+                if min > max {
+                    return Err(format!("min {min} > max {max}"));
+                }
+                Ok(ColumnType { key, value, min, max })
+            }
+            other => Err(format!("bad column type {other}")),
+        }
+    }
+}
+
+/// One column of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSchema {
+    /// Column name.
+    pub name: String,
+    /// Its type.
+    pub ty: ColumnType,
+    /// Ephemeral columns are not persisted (accepted, not enforced here).
+    pub ephemeral: bool,
+}
+
+/// One table of a database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns by name (sorted for determinism).
+    pub columns: BTreeMap<String, ColumnSchema>,
+    /// Root tables are exempt from garbage collection.
+    pub is_root: bool,
+    /// Uniqueness constraints: each inner vector is a set of column names
+    /// that must be unique together.
+    pub indexes: Vec<Vec<String>>,
+    /// Maximum number of rows (`usize::MAX` = unlimited).
+    pub max_rows: usize,
+}
+
+/// A database schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    /// Database name.
+    pub name: String,
+    /// Schema version string.
+    pub version: String,
+    /// Tables by name.
+    pub tables: BTreeMap<String, TableSchema>,
+}
+
+impl Schema {
+    /// Parse a schema from its JSON representation.
+    pub fn from_json(v: &Json) -> Result<Schema, String> {
+        let o = v.as_object().ok_or("schema must be an object")?;
+        let name = o
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("schema needs \"name\"")?
+            .to_string();
+        let version = o
+            .get("version")
+            .and_then(Json::as_str)
+            .unwrap_or("0.0.0")
+            .to_string();
+        let tables_json = o
+            .get("tables")
+            .and_then(Json::as_object)
+            .ok_or("schema needs \"tables\"")?;
+        let mut tables = BTreeMap::new();
+        for (tname, tv) in tables_json {
+            let to = tv.as_object().ok_or_else(|| format!("table {tname} must be an object"))?;
+            let cols_json = to
+                .get("columns")
+                .and_then(Json::as_object)
+                .ok_or_else(|| format!("table {tname} needs \"columns\""))?;
+            let mut columns = BTreeMap::new();
+            for (cname, cv) in cols_json {
+                if cname.starts_with('_') {
+                    return Err(format!("column name {cname:?} is reserved"));
+                }
+                let co = cv.as_object().ok_or_else(|| format!("column {cname} must be an object"))?;
+                let ty = ColumnType::parse(co.get("type").ok_or_else(|| {
+                    format!("column {tname}.{cname} needs \"type\"")
+                })?)
+                .map_err(|e| format!("column {tname}.{cname}: {e}"))?;
+                let ephemeral = co.get("ephemeral").and_then(Json::as_bool).unwrap_or(false);
+                columns.insert(
+                    cname.clone(),
+                    ColumnSchema { name: cname.clone(), ty, ephemeral },
+                );
+            }
+            let is_root = to.get("isRoot").and_then(Json::as_bool).unwrap_or(false);
+            let mut indexes = Vec::new();
+            if let Some(ix) = to.get("indexes").and_then(Json::as_array) {
+                for cols in ix {
+                    let cols = cols
+                        .as_array()
+                        .ok_or("index must be an array of column names")?
+                        .iter()
+                        .map(|c| c.as_str().map(str::to_string))
+                        .collect::<Option<Vec<_>>>()
+                        .ok_or("index column names must be strings")?;
+                    for c in &cols {
+                        if !columns.contains_key(c) {
+                            return Err(format!("index on unknown column {tname}.{c}"));
+                        }
+                    }
+                    indexes.push(cols);
+                }
+            }
+            let max_rows = to
+                .get("maxRows")
+                .and_then(Json::as_u64)
+                .map(|n| n as usize)
+                .unwrap_or(usize::MAX);
+            tables.insert(
+                tname.clone(),
+                TableSchema { name: tname.clone(), columns, is_root, indexes, max_rows },
+            );
+        }
+        // Validate refTable targets exist.
+        for t in tables.values() {
+            for c in t.columns.values() {
+                for bt in std::iter::once(&c.ty.key).chain(c.ty.value.iter()) {
+                    if let Some(rt) = &bt.ref_table {
+                        if !tables.contains_key(rt) {
+                            return Err(format!(
+                                "column {}.{} references unknown table {rt}",
+                                t.name, c.name
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Schema { name, version, tables })
+    }
+
+    /// Parse from JSON text.
+    pub fn parse(text: &str) -> Result<Schema, String> {
+        let v: Json = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        Schema::from_json(&v)
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.get(name)
+    }
+
+    /// Encode back to the JSON schema representation.
+    pub fn to_json(&self) -> Json {
+        use serde_json::{json, Map};
+        let mut tables = Map::new();
+        for (tname, t) in &self.tables {
+            let mut columns = Map::new();
+            for (cname, c) in &t.columns {
+                columns.insert(cname.clone(), json!({"type": column_type_json(&c.ty)}));
+            }
+            let mut tj = Map::new();
+            tj.insert("columns".into(), Json::Object(columns));
+            if t.is_root {
+                tj.insert("isRoot".into(), json!(true));
+            }
+            if !t.indexes.is_empty() {
+                tj.insert("indexes".into(), json!(t.indexes));
+            }
+            if t.max_rows != usize::MAX {
+                tj.insert("maxRows".into(), json!(t.max_rows));
+            }
+            tables.insert(tname.clone(), Json::Object(tj));
+        }
+        json!({"name": self.name, "version": self.version, "tables": tables})
+    }
+}
+
+fn base_type_json(bt: &BaseType) -> Json {
+    use serde_json::{json, Map};
+    let plain = bt.min_integer.is_none()
+        && bt.max_integer.is_none()
+        && bt.enum_values.is_none()
+        && bt.ref_table.is_none();
+    if plain {
+        return json!(bt.ty.name());
+    }
+    let mut o = Map::new();
+    o.insert("type".into(), json!(bt.ty.name()));
+    if let Some(m) = bt.min_integer {
+        o.insert("minInteger".into(), json!(m));
+    }
+    if let Some(m) = bt.max_integer {
+        o.insert("maxInteger".into(), json!(m));
+    }
+    if let Some(e) = &bt.enum_values {
+        o.insert(
+            "enum".into(),
+            json!(["set", e.iter().map(|a| a.to_json()).collect::<Vec<_>>()]),
+        );
+    }
+    if let Some(rt) = &bt.ref_table {
+        o.insert("refTable".into(), json!(rt));
+        if !bt.ref_strong {
+            o.insert("refType".into(), json!("weak"));
+        }
+    }
+    Json::Object(o)
+}
+
+fn column_type_json(ct: &ColumnType) -> Json {
+    use serde_json::{json, Map};
+    if ct.is_scalar() && ct.min == 1 {
+        return base_type_json(&ct.key);
+    }
+    let mut o = Map::new();
+    o.insert("key".into(), base_type_json(&ct.key));
+    if let Some(v) = &ct.value {
+        o.insert("value".into(), base_type_json(v));
+    }
+    if ct.min != 1 {
+        o.insert("min".into(), json!(ct.min));
+    }
+    if ct.max == usize::MAX {
+        o.insert("max".into(), json!("unlimited"));
+    } else if ct.max != 1 {
+        o.insert("max".into(), json!(ct.max));
+    }
+    Json::Object(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn demo_schema() -> Json {
+        json!({
+            "name": "snvs",
+            "version": "1.0.0",
+            "tables": {
+                "Port": {
+                    "columns": {
+                        "name": {"type": "string"},
+                        "vlan_mode": {"type": {"key": {"type": "string",
+                            "enum": ["set", ["access", "trunk"]]}, "min": 0, "max": 1}},
+                        "tag": {"type": {"key": {"type": "integer",
+                            "minInteger": 0, "maxInteger": 4095}, "min": 0, "max": 1}},
+                        "trunks": {"type": {"key": {"type": "integer",
+                            "minInteger": 0, "maxInteger": 4095}, "min": 0, "max": "unlimited"}},
+                        "mirror_of": {"type": {"key": {"type": "uuid",
+                            "refTable": "Port", "refType": "weak"}, "min": 0, "max": 1}},
+                        "options": {"type": {"key": "string", "value": "string",
+                            "min": 0, "max": "unlimited"}}
+                    },
+                    "isRoot": true,
+                    "indexes": [["name"]]
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn parse_full_schema() {
+        let s = Schema::from_json(&demo_schema()).unwrap();
+        assert_eq!(s.name, "snvs");
+        let port = s.table("Port").unwrap();
+        assert!(port.is_root);
+        assert_eq!(port.indexes, vec![vec!["name".to_string()]]);
+        let tag = &port.columns["tag"].ty;
+        assert_eq!(tag.min, 0);
+        assert_eq!(tag.max, 1);
+        assert_eq!(tag.key.max_integer, Some(4095));
+        let trunks = &port.columns["trunks"].ty;
+        assert_eq!(trunks.max, usize::MAX);
+        let opts = &port.columns["options"].ty;
+        assert!(opts.is_map());
+        let mirror = &port.columns["mirror_of"].ty;
+        assert_eq!(mirror.key.ref_table.as_deref(), Some("Port"));
+        assert!(!mirror.key.ref_strong);
+    }
+
+    #[test]
+    fn rejects_bad_schemas() {
+        assert!(Schema::parse("not json").is_err());
+        let bad_ref = json!({"name": "d", "tables": {"T": {"columns":
+            {"r": {"type": {"key": {"type": "uuid", "refTable": "NoSuch"}}}}}}});
+        assert!(Schema::from_json(&bad_ref).is_err());
+        let reserved = json!({"name": "d", "tables": {"T": {"columns":
+            {"_uuid": {"type": "string"}}}}});
+        assert!(Schema::from_json(&reserved).is_err());
+        let bad_index = json!({"name": "d", "tables": {"T": {"columns":
+            {"a": {"type": "string"}}, "indexes": [["nope"]]}}});
+        assert!(Schema::from_json(&bad_index).is_err());
+    }
+
+    #[test]
+    fn column_validation() {
+        let s = Schema::from_json(&demo_schema()).unwrap();
+        let port = s.table("Port").unwrap();
+        let vm = &port.columns["vlan_mode"].ty;
+        assert!(vm.validate(&Datum::scalar(Atom::s("access"))).is_ok());
+        assert!(vm.validate(&Datum::scalar(Atom::s("bogus"))).is_err());
+        assert!(vm.validate(&Datum::empty()).is_ok());
+        let tag = &port.columns["tag"].ty;
+        assert!(tag.validate(&Datum::scalar(Atom::i(4095))).is_ok());
+        assert!(tag.validate(&Datum::scalar(Atom::i(4096))).is_err());
+        assert!(tag.validate(&Datum::scalar(Atom::i(-1))).is_err());
+        let name = &port.columns["name"].ty;
+        assert!(name.validate(&Datum::empty()).is_err()); // required
+        assert!(name.validate(&Datum::scalar(Atom::i(1))).is_err()); // wrong type
+    }
+
+    #[test]
+    fn default_datums() {
+        let s = Schema::from_json(&demo_schema()).unwrap();
+        let port = s.table("Port").unwrap();
+        assert_eq!(port.columns["name"].ty.default_datum(), Datum::scalar(Atom::s("")));
+        assert_eq!(port.columns["tag"].ty.default_datum(), Datum::empty());
+        assert_eq!(port.columns["options"].ty.default_datum(), Datum::Map(Default::default()));
+        // Enum default picks the first allowed value when required.
+        let required_enum = ColumnType {
+            key: BaseType {
+                enum_values: Some(vec![Atom::s("x"), Atom::s("y")]),
+                ..BaseType::plain(AtomType::String)
+            },
+            value: None,
+            min: 1,
+            max: 1,
+        };
+        assert_eq!(required_enum.default_datum(), Datum::scalar(Atom::s("x")));
+    }
+}

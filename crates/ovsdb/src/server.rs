@@ -1,0 +1,427 @@
+//! The OVSDB server: thread-per-connection TCP service over the shared
+//! database, with monitor notification fan-out.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam_channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use serde_json::{json, Value as Json};
+
+use crate::db::Database;
+use crate::monitor::Monitor;
+use crate::rpc::{write_message, Message, MessageReader};
+
+struct Subscription {
+    conn_id: u64,
+    mon_id: Json,
+    monitor: Monitor,
+    tx: Sender<Message>,
+}
+
+struct ServerState {
+    db: Mutex<Database>,
+    subs: Mutex<Vec<Subscription>>,
+    shutdown: AtomicBool,
+    next_conn: AtomicU64,
+}
+
+/// A running OVSDB server. Dropping it (or calling [`Server::shutdown`])
+/// stops the listener; existing connection threads exit as their sockets
+/// close.
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start serving `db` on `addr` (use port 0 for an ephemeral port).
+    pub fn start(db: Database, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            db: Mutex::new(db),
+            subs: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            next_conn: AtomicU64::new(1),
+        });
+        let accept_state = state.clone();
+        let accept_thread = std::thread::spawn(move || {
+            loop {
+                if accept_state.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let st = accept_state.clone();
+                        std::thread::spawn(move || serve_connection(st, stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(Server { state, addr, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Run a transaction directly (in-process), still notifying monitors.
+    pub fn transact_local(&self, ops: &Json) -> Json {
+        let (results, changes) = self.state.db.lock().transact(ops);
+        notify(&self.state, &changes);
+        results
+    }
+
+    /// Read-only access to the database.
+    pub fn with_db<T>(&self, f: impl FnOnce(&Database) -> T) -> T {
+        f(&self.state.db.lock())
+    }
+
+    /// Stop accepting connections.
+    pub fn shutdown(&mut self) {
+        self.state.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn notify(state: &ServerState, changes: &[crate::db::RowChange]) {
+    if changes.is_empty() {
+        return;
+    }
+    let subs = state.subs.lock();
+    for sub in subs.iter() {
+        if let Some(updates) = sub.monitor.format_changes(changes) {
+            let _ = sub.tx.send(Message::Notification {
+                method: "update".to_string(),
+                params: json!([sub.mon_id, updates]),
+            });
+        }
+    }
+}
+
+fn serve_connection(state: Arc<ServerState>, stream: TcpStream) {
+    let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nodelay(true);
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    // Writer thread: drains the outbound queue so slow readers do not
+    // block transaction commit.
+    let (tx, rx) = unbounded::<Message>();
+    let writer = std::thread::spawn(move || {
+        let mut w = write_stream;
+        for msg in rx.iter() {
+            if write_message(&mut w, &msg).is_err() {
+                break;
+            }
+        }
+        let _ = w.shutdown(std::net::Shutdown::Both);
+    });
+
+    let mut reader = MessageReader::new(stream);
+    while let Ok(Some(msg)) = reader.read() {
+        match msg {
+            Message::Request { id, method, params } => {
+                let (result, error) = handle_request(&state, conn_id, &tx, &method, &params);
+                let _ = tx.send(Message::Response { id, result, error });
+            }
+            Message::Notification { .. } | Message::Response { .. } => {
+                // Clients do not send notifications we care about; echo
+                // replies etc. are ignored.
+            }
+        }
+    }
+    // Connection closed: drop its subscriptions and writer.
+    state.subs.lock().retain(|s| s.conn_id != conn_id);
+    drop(tx);
+    let _ = writer.join();
+}
+
+fn handle_request(
+    state: &ServerState,
+    conn_id: u64,
+    tx: &Sender<Message>,
+    method: &str,
+    params: &Json,
+) -> (Json, Json) {
+    let err = |msg: String| (Json::Null, json!({"error": msg}));
+    match method {
+        "echo" => (params.clone(), Json::Null),
+        "list_dbs" => {
+            let db = state.db.lock();
+            (json!([db.schema().name]), Json::Null)
+        }
+        "get_schema" => {
+            let db = state.db.lock();
+            match params.get(0).and_then(Json::as_str) {
+                Some(name) if name == db.schema().name => (db.schema().to_json(), Json::Null),
+                Some(name) => err(format!("no database {name:?}")),
+                None => err("get_schema needs a database name".to_string()),
+            }
+        }
+        "transact" => {
+            let arr = match params.as_array() {
+                Some(a) if !a.is_empty() => a,
+                _ => return err("transact needs [db, op...]".to_string()),
+            };
+            let mut db = state.db.lock();
+            if arr[0].as_str() != Some(db.schema().name.as_str()) {
+                return err(format!("no database {}", arr[0]));
+            }
+            let ops = Json::Array(arr[1..].to_vec());
+            let (results, changes) = db.transact(&ops);
+            drop(db);
+            notify(state, &changes);
+            (results, Json::Null)
+        }
+        "monitor" => {
+            let arr = match params.as_array() {
+                Some(a) if a.len() == 3 => a,
+                _ => return err("monitor needs [db, id, requests]".to_string()),
+            };
+            let db = state.db.lock();
+            if arr[0].as_str() != Some(db.schema().name.as_str()) {
+                return err(format!("no database {}", arr[0]));
+            }
+            let monitor = match Monitor::parse(&arr[2], &db) {
+                Ok(m) => m,
+                Err(e) => return err(e),
+            };
+            let initial = monitor.initial_state(&db);
+            state.subs.lock().push(Subscription {
+                conn_id,
+                mon_id: arr[1].clone(),
+                monitor,
+                tx: tx.clone(),
+            });
+            (initial, Json::Null)
+        }
+        "monitor_cancel" => {
+            let mon_id = params.get(0).cloned().unwrap_or(Json::Null);
+            let mut subs = state.subs.lock();
+            let before = subs.len();
+            subs.retain(|s| !(s.conn_id == conn_id && s.mon_id == mon_id));
+            if subs.len() == before {
+                return err("unknown monitor".to_string());
+            }
+            (json!({}), Json::Null)
+        }
+        other => err(format!("unknown method {other:?}")),
+    }
+}
+
+/// A blocking OVSDB client.
+pub struct Client {
+    writer: Mutex<TcpStream>,
+    pending: Arc<Mutex<HashMap<String, Sender<(Json, Json)>>>>,
+    monitors: Arc<Mutex<Vec<(Json, Sender<Json>)>>>,
+    next_id: AtomicU64,
+    _reader: JoinHandle<()>,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_stream = stream.try_clone()?;
+        let pending: Arc<Mutex<HashMap<String, Sender<(Json, Json)>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let monitors: Arc<Mutex<Vec<(Json, Sender<Json>)>>> = Arc::new(Mutex::new(Vec::new()));
+        let p2 = pending.clone();
+        let m2 = monitors.clone();
+        let reader = std::thread::spawn(move || {
+            let mut r = MessageReader::new(read_stream);
+            while let Ok(Some(msg)) = r.read() {
+                match msg {
+                    Message::Response { id, result, error } => {
+                        let key = id.to_string();
+                        if let Some(tx) = p2.lock().remove(&key) {
+                            let _ = tx.send((result, error));
+                        }
+                    }
+                    Message::Notification { method, params } if method == "update" => {
+                        let mon_id = params.get(0).cloned().unwrap_or(Json::Null);
+                        let updates = params.get(1).cloned().unwrap_or(Json::Null);
+                        for (id, tx) in m2.lock().iter() {
+                            if *id == mon_id {
+                                let _ = tx.send(updates.clone());
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        });
+        Ok(Client {
+            writer: Mutex::new(stream),
+            pending,
+            monitors,
+            next_id: AtomicU64::new(1),
+            _reader: reader,
+        })
+    }
+
+    fn call(&self, method: &str, params: Json) -> Result<Json, String> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id_json = json!(id);
+        let (tx, rx) = unbounded();
+        self.pending.lock().insert(id_json.to_string(), tx);
+        {
+            let mut w = self.writer.lock();
+            write_message(
+                &mut *w,
+                &Message::Request { id: id_json, method: method.to_string(), params },
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        let (result, error) = rx
+            .recv_timeout(Duration::from_secs(30))
+            .map_err(|_| "rpc timeout".to_string())?;
+        if !error.is_null() {
+            return Err(error.to_string());
+        }
+        Ok(result)
+    }
+
+    /// Run a transaction; `ops` is the JSON array of operations.
+    pub fn transact(&self, db: &str, ops: Json) -> Result<Json, String> {
+        let mut params = vec![json!(db)];
+        match ops {
+            Json::Array(a) => params.extend(a),
+            other => params.push(other),
+        }
+        self.call("transact", Json::Array(params))
+    }
+
+    /// Fetch the database schema.
+    pub fn get_schema(&self, db: &str) -> Result<Json, String> {
+        self.call("get_schema", json!([db]))
+    }
+
+    /// Round-trip liveness probe.
+    pub fn echo(&self) -> Result<Json, String> {
+        self.call("echo", json!(["ping"]))
+    }
+
+    /// Register a monitor; returns the initial table-updates plus a
+    /// channel of subsequent updates.
+    pub fn monitor(
+        &self,
+        db: &str,
+        mon_id: Json,
+        requests: Json,
+    ) -> Result<(Json, crossbeam_channel::Receiver<Json>), String> {
+        let (tx, rx) = unbounded();
+        self.monitors.lock().push((mon_id.clone(), tx));
+        let initial = self.call("monitor", json!([db, mon_id, requests]))?;
+        Ok((initial, rx))
+    }
+
+    /// Cancel a monitor registered on this connection.
+    pub fn monitor_cancel(&self, mon_id: Json) -> Result<(), String> {
+        self.call("monitor_cancel", json!([mon_id]))?;
+        self.monitors.lock().retain(|(id, _)| *id != mon_id);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn test_db() -> Database {
+        let schema = Schema::from_json(&json!({
+            "name": "testdb",
+            "tables": {
+                "T": {"columns": {"k": {"type": "string"},
+                                  "v": {"type": "integer"}}, "isRoot": true}
+            }
+        }))
+        .unwrap();
+        Database::new(schema)
+    }
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        let server = Server::start(test_db(), "127.0.0.1:0").unwrap();
+        let client = Client::connect(server.local_addr()).unwrap();
+
+        assert_eq!(client.echo().unwrap(), json!(["ping"]));
+        assert_eq!(client.get_schema("testdb").unwrap()["name"], json!("testdb"));
+        assert!(client.get_schema("nope").is_err());
+
+        // Monitor, then transact from a second client; the update must
+        // arrive on the monitor channel.
+        let (initial, updates) = client
+            .monitor("testdb", json!("m1"), json!({"T": {}}))
+            .unwrap();
+        assert_eq!(initial, json!({}));
+
+        let client2 = Client::connect(server.local_addr()).unwrap();
+        let res = client2
+            .transact(
+                "testdb",
+                json!([{"op": "insert", "table": "T", "row": {"k": "a", "v": 1}}]),
+            )
+            .unwrap();
+        assert!(res[0]["uuid"].is_array());
+
+        let upd = updates.recv_timeout(Duration::from_secs(5)).unwrap();
+        let rows = upd["T"].as_object().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows.values().next().unwrap()["new"]["k"], json!("a"));
+
+        // Cancel: further transactions produce no update.
+        client.monitor_cancel(json!("m1")).unwrap();
+        client2
+            .transact(
+                "testdb",
+                json!([{"op": "insert", "table": "T", "row": {"k": "b", "v": 2}}]),
+            )
+            .unwrap();
+        assert!(updates.recv_timeout(Duration::from_millis(300)).is_err());
+    }
+
+    #[test]
+    fn transact_local_notifies_tcp_monitors() {
+        let server = Server::start(test_db(), "127.0.0.1:0").unwrap();
+        let client = Client::connect(server.local_addr()).unwrap();
+        let (_, updates) = client.monitor("testdb", json!(1), json!({"T": {}})).unwrap();
+        server.transact_local(&json!([
+            {"op": "insert", "table": "T", "row": {"k": "x", "v": 9}}
+        ]));
+        let upd = updates.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(upd["T"].is_object());
+    }
+
+    #[test]
+    fn bad_method_and_bad_db() {
+        let server = Server::start(test_db(), "127.0.0.1:0").unwrap();
+        let client = Client::connect(server.local_addr()).unwrap();
+        assert!(client.call("bogus", json!([])).is_err());
+        assert!(client.transact("wrongdb", json!([])).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! A P4-subset compiler and BMv2-style behavioral switch.
+//!
+//! This crate provides the data plane of the Full-Stack SDN (Nerpa)
+//! stack: P4-16-subset programs ([`parser`]) compiled into a behavioral
+//! pipeline ([`switch`]) with runtime match-action tables ([`table`]),
+//! controlled through a P4Runtime-style protocol ([`runtime`],
+//! [`service`]) that supports table writes, reads, digests, and
+//! packet-out. [`p4info`] exposes the control surface for Nerpa's code
+//! generation.
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod p4info;
+pub mod packet;
+pub mod parser;
+pub mod runtime;
+pub mod service;
+pub mod switch;
+pub mod table;
+
+pub use p4info::P4Info;
+pub use parser::{parse_p4, P4Error};
+pub use runtime::{ControlRequest, ControlResponse, Digest, FieldMatch, TableEntry, Update, WriteOp};
+pub use service::{ControlClient, ControlService, SwitchDevice};
+pub use switch::{ProcessResult, Switch};
+
+/// Mask a value to `width` bits (width 0 or ≥128 returns the value).
+pub fn mask(value: u128, width: u16) -> u128 {
+    if width == 0 || width >= 128 {
+        value
+    } else {
+        value & ((1u128 << width) - 1)
+    }
+}

@@ -1,0 +1,288 @@
+//! Bit-level packet access and parsed-header representation.
+//!
+//! Packets arrive as byte buffers; the parser extracts header instances
+//! (fields are `u128` values, MSB-first on the wire like real P4
+//! targets), and the synthesized deparser reassembles valid headers in
+//! headers-struct order followed by the unparsed payload.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+use crate::ast::{Program, StructDecl};
+
+/// Read `width` bits starting at absolute bit offset `bit_off` (MSB
+/// first). Returns `None` if the range exceeds the buffer.
+pub fn get_bits(data: &[u8], bit_off: u32, width: u16) -> Option<u128> {
+    let end = bit_off as u64 + width as u64;
+    if end > (data.len() as u64) * 8 {
+        return None;
+    }
+    let mut v: u128 = 0;
+    for i in 0..width as u32 {
+        let b = bit_off + i;
+        let byte = data[(b / 8) as usize];
+        let bit = (byte >> (7 - (b % 8))) & 1;
+        v = (v << 1) | bit as u128;
+    }
+    Some(v)
+}
+
+/// Write `width` bits of `value` at absolute bit offset `bit_off`
+/// (MSB first). The buffer must be large enough.
+pub fn set_bits(data: &mut [u8], bit_off: u32, width: u16, value: u128) {
+    for i in 0..width as u32 {
+        let b = bit_off + i;
+        let bit = ((value >> (width as u32 - 1 - i)) & 1) as u8;
+        let byte = &mut data[(b / 8) as usize];
+        let mask = 1u8 << (7 - (b % 8));
+        if bit == 1 {
+            *byte |= mask;
+        } else {
+            *byte &= !mask;
+        }
+    }
+}
+
+/// One parsed header instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeaderInstance {
+    /// The header type name.
+    pub type_name: String,
+    /// Validity bit.
+    pub valid: bool,
+    /// Field values, in declaration order.
+    pub fields: Vec<u128>,
+}
+
+impl HeaderInstance {
+    /// An invalid (absent) instance of a type.
+    pub fn invalid(ty: &StructDecl) -> HeaderInstance {
+        HeaderInstance {
+            type_name: ty.name.clone(),
+            valid: false,
+            fields: vec![0; ty.fields.len()],
+        }
+    }
+}
+
+/// A packet in flight through the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedPacket {
+    /// Parsed header instances by member name.
+    pub headers: BTreeMap<String, HeaderInstance>,
+    /// The unparsed remainder of the original packet.
+    pub payload: Bytes,
+}
+
+impl ParsedPacket {
+    /// Run the program's parser over raw bytes. Transitioning to
+    /// `reject` or running out of bytes returns `None` (packet dropped).
+    pub fn parse(prog: &Program, raw: &[u8]) -> Option<ParsedPacket> {
+        use crate::ast::Transition;
+        let mut headers = BTreeMap::new();
+        for (member, tname) in &prog.headers_members {
+            let ty = &prog.types[tname];
+            headers.insert(member.clone(), HeaderInstance::invalid(ty));
+        }
+        let mut bit_off: u32 = 0;
+        let mut state = "start".to_string();
+        // Bound the state walk to avoid loops in adversarial programs.
+        for _ in 0..64 {
+            if state == "accept" {
+                let byte_off = bit_off.div_ceil(8) as usize;
+                return Some(ParsedPacket {
+                    headers,
+                    payload: Bytes::copy_from_slice(&raw[byte_off.min(raw.len())..]),
+                });
+            }
+            if state == "reject" {
+                return None;
+            }
+            let st = prog.parser.states.iter().find(|s| s.name == state)?;
+            for member in &st.extracts {
+                let ty = prog.header_member_type(member)?;
+                let inst = headers.get_mut(member)?;
+                inst.valid = true;
+                for (i, f) in ty.fields.iter().enumerate() {
+                    inst.fields[i] = get_bits(raw, bit_off, f.width)?;
+                    bit_off += f.width as u32;
+                }
+            }
+            state = match &st.transition {
+                Transition::Direct(t) => t.clone(),
+                Transition::Select { on, arms, default } => {
+                    let v = eval_parser_expr(prog, on, &headers)?;
+                    arms.iter()
+                        .find(|(val, _)| *val == v)
+                        .map(|(_, s)| s.clone())
+                        .unwrap_or_else(|| default.clone())
+                }
+            };
+        }
+        None
+    }
+
+    /// Reassemble the packet: valid headers in headers-struct order, then
+    /// the payload.
+    pub fn deparse(&self, prog: &Program) -> Vec<u8> {
+        let mut total_bits: u32 = 0;
+        for (member, tname) in &prog.headers_members {
+            if self.headers.get(member).map(|h| h.valid).unwrap_or(false) {
+                total_bits += prog.types[tname].total_width();
+            }
+        }
+        let header_bytes = total_bits.div_ceil(8) as usize;
+        let mut out = vec![0u8; header_bytes];
+        let mut bit_off = 0u32;
+        for (member, tname) in &prog.headers_members {
+            let inst = &self.headers[member];
+            if !inst.valid {
+                continue;
+            }
+            let ty = &prog.types[tname];
+            for (i, f) in ty.fields.iter().enumerate() {
+                set_bits(&mut out, bit_off, f.width, inst.fields[i]);
+                bit_off += f.width as u32;
+            }
+        }
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Read a header field (member, field name); `None` when the header
+    /// is invalid or unknown.
+    pub fn get_field(&self, prog: &Program, member: &str, field: &str) -> Option<u128> {
+        let inst = self.headers.get(member)?;
+        if !inst.valid {
+            return None;
+        }
+        let ty = prog.types.get(&inst.type_name)?;
+        let idx = ty.fields.iter().position(|f| f.name == field)?;
+        Some(inst.fields[idx])
+    }
+
+    /// Write a header field; silently ignored when invalid/unknown (P4
+    /// semantics: writes to invalid headers have no effect).
+    pub fn set_field(&mut self, prog: &Program, member: &str, field: &str, value: u128) {
+        let Some(inst) = self.headers.get_mut(member) else { return };
+        let Some(ty) = prog.types.get(&inst.type_name) else { return };
+        let Some(idx) = ty.fields.iter().position(|f| f.name == field) else { return };
+        let width = ty.fields[idx].width;
+        inst.fields[idx] = crate::mask(value, width);
+    }
+}
+
+fn eval_parser_expr(
+    prog: &Program,
+    e: &crate::ast::Expr,
+    headers: &BTreeMap<String, HeaderInstance>,
+) -> Option<u128> {
+    use crate::ast::{Expr, LValue};
+    match e {
+        Expr::Lit(v) => Some(*v),
+        Expr::Ref(LValue::Field { root, member, field }) if root == "hdr" => {
+            let inst = headers.get(member)?;
+            let ty = prog.types.get(&inst.type_name)?;
+            let idx = ty.fields.iter().position(|f| f.name == *field)?;
+            Some(inst.fields[idx])
+        }
+        _ => None, // parser selects are restricted to header fields
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_accessors_roundtrip() {
+        let mut buf = vec![0u8; 8];
+        set_bits(&mut buf, 3, 12, 0xABC);
+        assert_eq!(get_bits(&buf, 3, 12), Some(0xABC));
+        // Neighbouring bits untouched.
+        assert_eq!(get_bits(&buf, 0, 3), Some(0));
+        assert_eq!(get_bits(&buf, 15, 8), Some(0));
+        // Out of range read fails.
+        assert_eq!(get_bits(&buf, 60, 8), None);
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut buf = vec![0u8; 2];
+        set_bits(&mut buf, 0, 16, 0x1234);
+        assert_eq!(buf, vec![0x12, 0x34]);
+        assert_eq!(get_bits(&buf, 0, 8), Some(0x12));
+        assert_eq!(get_bits(&buf, 8, 8), Some(0x34));
+    }
+
+    #[test]
+    fn parse_and_deparse_demo() {
+        let prog = crate::parser::parse_p4(crate::parser::DEMO).unwrap();
+        // Ethernet frame with a VLAN tag: dst, src, 0x8100, pcp/dei/vid,
+        // inner ethertype 0x0800, payload.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&[0x02, 0, 0, 0, 0, 1]); // dst
+        raw.extend_from_slice(&[0x02, 0, 0, 0, 0, 2]); // src
+        raw.extend_from_slice(&[0x81, 0x00]); // tpid
+        raw.extend_from_slice(&[0x20, 0x64]); // pcp=1 dei=0 vid=0x064
+        raw.extend_from_slice(&[0x08, 0x00]); // inner type
+        raw.extend_from_slice(b"payload!");
+
+        let pkt = ParsedPacket::parse(&prog, &raw).unwrap();
+        assert!(pkt.headers["eth"].valid);
+        assert!(pkt.headers["vlan"].valid);
+        assert_eq!(pkt.get_field(&prog, "eth", "dst"), Some(0x020000000001));
+        assert_eq!(pkt.get_field(&prog, "vlan", "vid"), Some(0x064));
+        assert_eq!(pkt.get_field(&prog, "vlan", "pcp"), Some(1));
+        assert_eq!(&pkt.payload[..], b"payload!");
+
+        // Identity deparse.
+        assert_eq!(pkt.deparse(&prog), raw);
+
+        // Untagged frame: vlan stays invalid and deparse skips it.
+        let mut raw2 = Vec::new();
+        raw2.extend_from_slice(&[0x02, 0, 0, 0, 0, 1]);
+        raw2.extend_from_slice(&[0x02, 0, 0, 0, 0, 2]);
+        raw2.extend_from_slice(&[0x08, 0x00]);
+        raw2.extend_from_slice(b"xyz");
+        let pkt2 = ParsedPacket::parse(&prog, &raw2).unwrap();
+        assert!(!pkt2.headers["vlan"].valid);
+        assert_eq!(pkt2.deparse(&prog), raw2);
+    }
+
+    #[test]
+    fn vlan_push_via_set_valid() {
+        let prog = crate::parser::parse_p4(crate::parser::DEMO).unwrap();
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&[0; 12]);
+        raw.extend_from_slice(&[0x08, 0x00]);
+        raw.extend_from_slice(b"pp");
+        let mut pkt = ParsedPacket::parse(&prog, &raw).unwrap();
+        // Simulate tag push: validate the vlan header and set fields.
+        pkt.headers.get_mut("vlan").unwrap().valid = true;
+        pkt.set_field(&prog, "vlan", "vid", 42);
+        pkt.set_field(&prog, "vlan", "ether_type", 0x0800);
+        pkt.set_field(&prog, "eth", "ether_type", 0x8100);
+        let out = pkt.deparse(&prog);
+        assert_eq!(out.len(), raw.len() + 4);
+        let reparsed = ParsedPacket::parse(&prog, &out).unwrap();
+        assert_eq!(reparsed.get_field(&prog, "vlan", "vid"), Some(42));
+    }
+
+    #[test]
+    fn truncated_packet_rejected() {
+        let prog = crate::parser::parse_p4(crate::parser::DEMO).unwrap();
+        assert!(ParsedPacket::parse(&prog, &[0x02, 0x00]).is_none());
+    }
+
+    #[test]
+    fn field_mask_on_set() {
+        let prog = crate::parser::parse_p4(crate::parser::DEMO).unwrap();
+        let mut raw = vec![0u8; 14];
+        raw[12] = 0x08;
+        let mut pkt = ParsedPacket::parse(&prog, &raw).unwrap();
+        pkt.headers.get_mut("vlan").unwrap().valid = true;
+        pkt.set_field(&prog, "vlan", "vid", 0xFFFF); // 12-bit field
+        assert_eq!(pkt.get_field(&prog, "vlan", "vid"), Some(0xFFF));
+    }
+}

@@ -1,0 +1,1190 @@
+//! Parser for the P4-16 subset described in [`crate::ast`].
+
+use std::collections::BTreeMap;
+
+use crate::ast::*;
+
+/// A parse or validation error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct P4Error {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for P4Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P4 error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for P4Error {}
+
+type PResult<T> = Result<T, P4Error>;
+
+// ---------------------------------------------------------------- lexer
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(u128),
+    Sym(&'static str),
+    Eof,
+}
+
+struct Lexer {
+    toks: Vec<(Tok, u32)>,
+    i: usize,
+}
+
+const SYMBOLS2: &[&str] = &["==", "!=", "<=", ">=", "<<", ">>", "&&", "||"];
+const SYMBOLS1: &[&str] = &[
+    "{", "}", "(", ")", "<", ">", ";", ":", ",", "=", ".", "!", "~", "&", "|", "^", "+", "-",
+    "*", "/",
+];
+
+fn lex(src: &str) -> PResult<Vec<(Tok, u32)>> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1u32;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '/' {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+            i += 2;
+            while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i = (i + 2).min(chars.len());
+            continue;
+        }
+        // Annotations like @name("...") are skipped to the end of the
+        // parenthesized group (or the identifier).
+        if c == '@' {
+            i += 1;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            if i < chars.len() && chars[i] == '(' {
+                let mut depth = 0;
+                while i < chars.len() {
+                    if chars[i] == '(' {
+                        depth += 1;
+                    }
+                    if chars[i] == ')' {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            toks.push((Tok::Ident(chars[start..i].iter().collect()), line));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut radix = 10;
+            if c == '0' && i + 1 < chars.len() && (chars[i + 1] == 'x' || chars[i + 1] == 'b') {
+                radix = if chars[i + 1] == 'x' { 16 } else { 2 };
+                i += 2;
+            }
+            let dstart = if radix == 10 { start } else { i };
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let text: String = chars[dstart..i].iter().filter(|c| **c != '_').collect();
+            // Width-prefixed literals like `9w1` or `48w0xff`: the `w`
+            // splits width and value; the width is discarded (context
+            // masks values anyway).
+            let value = if let Some(wpos) = text.find('w') {
+                let (_, rest) = text.split_at(wpos);
+                let rest = &rest[1..];
+                let (r2, digits) = if let Some(h) = rest.strip_prefix("0x") {
+                    (16, h)
+                } else if let Some(b) = rest.strip_prefix("0b") {
+                    (2, b)
+                } else {
+                    (10, rest)
+                };
+                u128::from_str_radix(digits, r2)
+            } else {
+                u128::from_str_radix(&text, radix)
+            };
+            match value {
+                Ok(v) => toks.push((Tok::Int(v), line)),
+                Err(_) => {
+                    return Err(P4Error { line, msg: format!("bad integer literal `{text}`") })
+                }
+            }
+            continue;
+        }
+        let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+        if let Some(s) = SYMBOLS2.iter().find(|s| **s == two) {
+            toks.push((Tok::Sym(s), line));
+            i += 2;
+            continue;
+        }
+        let one: String = chars[i..i + 1].iter().collect();
+        if let Some(s) = SYMBOLS1.iter().find(|s| **s == one) {
+            toks.push((Tok::Sym(s), line));
+            i += 1;
+            continue;
+        }
+        return Err(P4Error { line, msg: format!("unexpected character `{c}`") });
+    }
+    toks.push((Tok::Eof, line));
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------- parser
+
+/// Parse and validate a P4 program.
+pub fn parse_p4(src: &str) -> PResult<Program> {
+    let toks = lex(src)?;
+    let mut p = Parser { lx: Lexer { toks, i: 0 }, prog: Program::default(), roles: BTreeMap::new() };
+    p.program()?;
+    validate(&mut p.prog)?;
+    Ok(p.prog)
+}
+
+struct Parser {
+    lx: Lexer,
+    prog: Program,
+    /// parameter name → canonical role ("hdr"/"meta"/"std"/"pkt") for the
+    /// declaration currently being parsed.
+    roles: BTreeMap<String, String>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.lx.toks[self.lx.i].0
+    }
+    fn line(&self) -> u32 {
+        self.lx.toks[self.lx.i].1
+    }
+    fn bump(&mut self) -> Tok {
+        let t = self.lx.toks[self.lx.i].0.clone();
+        if self.lx.i + 1 < self.lx.toks.len() {
+            self.lx.i += 1;
+        }
+        t
+    }
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(P4Error { line: self.line(), msg: msg.into() })
+    }
+    fn expect_sym(&mut self, s: &str) -> PResult<()> {
+        match self.peek() {
+            Tok::Sym(x) if *x == s => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected `{s}`, found {other:?}")),
+        }
+    }
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Tok::Sym(x) if *x == s) {
+            self.bump();
+            return true;
+        }
+        false
+    }
+    fn ident(&mut self) -> PResult<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+    fn peek_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(x) if x == s)
+    }
+    fn eat_ident(&mut self, s: &str) -> bool {
+        if self.peek_ident(s) {
+            self.bump();
+            return true;
+        }
+        false
+    }
+    fn int(&mut self) -> PResult<u128> {
+        match self.bump() {
+            Tok::Int(v) => Ok(v),
+            other => self.err(format!("expected integer, found {other:?}")),
+        }
+    }
+
+    fn bit_width(&mut self) -> PResult<Width> {
+        // `bit < N >`
+        if !self.eat_ident("bit") {
+            return self.err("expected `bit<N>`");
+        }
+        self.expect_sym("<")?;
+        let n = self.int()?;
+        if !(1..=128).contains(&n) {
+            return self.err("bit width must be 1..=128");
+        }
+        self.expect_sym(">")?;
+        Ok(n as Width)
+    }
+
+    fn program(&mut self) -> PResult<()> {
+        let mut saw_main = false;
+        loop {
+            match self.peek().clone() {
+                Tok::Eof => break,
+                Tok::Ident(kw) if kw == "header" || kw == "struct" => {
+                    self.type_decl(kw == "header")?;
+                }
+                Tok::Ident(kw) if kw == "parser" => {
+                    self.parser_decl()?;
+                }
+                Tok::Ident(kw) if kw == "control" => {
+                    self.control_decl()?;
+                }
+                Tok::Ident(kw) if kw == "V1Switch" => {
+                    self.instantiation()?;
+                    saw_main = true;
+                }
+                Tok::Ident(kw) if kw == "typedef" || kw == "const" || kw == "include" => {
+                    // Skip to the next `;` — typedefs/consts are tolerated
+                    // but not modeled.
+                    while !matches!(self.peek(), Tok::Sym(";") | Tok::Eof) {
+                        self.bump();
+                    }
+                    self.eat_sym(";");
+                }
+                other => return self.err(format!("unexpected top-level token {other:?}")),
+            }
+        }
+        if !saw_main {
+            return self.err("program needs a `V1Switch(P(), I(), E()) main;` instantiation");
+        }
+        Ok(())
+    }
+
+    fn type_decl(&mut self, is_header: bool) -> PResult<()> {
+        self.bump(); // header/struct
+        let name = self.ident()?;
+        self.expect_sym("{")?;
+        let mut fields = Vec::new();
+        while !self.eat_sym("}") {
+            if self.peek_ident("bit") {
+                let width = self.bit_width()?;
+                let fname = self.ident()?;
+                self.expect_sym(";")?;
+                fields.push(Field { name: fname, width });
+            } else {
+                // A struct member typed by another struct/header, e.g.
+                // `ethernet_t eth;` inside the headers struct.
+                let tname = self.ident()?;
+                let fname = self.ident()?;
+                self.expect_sym(";")?;
+                // Encode typed members with width 0 and remember the
+                // type name in a parallel map once this struct becomes
+                // the headers struct.
+                fields.push(Field { name: format!("{fname}:{tname}"), width: 0 });
+            }
+        }
+        self.prog.types.insert(
+            name.clone(),
+            StructDecl { name, is_header, fields },
+        );
+        Ok(())
+    }
+
+    /// `(dir type name, ...)` → record canonical roles.
+    fn params(&mut self, is_parser: bool) -> PResult<()> {
+        self.roles.clear();
+        self.expect_sym("(")?;
+        let mut position = 0usize;
+        while !self.eat_sym(")") {
+            // Optional direction keyword.
+            let mut word = self.ident()?;
+            if word == "in" || word == "out" || word == "inout" {
+                word = self.ident()?;
+            }
+            let tname = word;
+            let pname = self.ident()?;
+            let role = if tname == "packet_in" || tname == "packet_out" {
+                "pkt"
+            } else if tname == "standard_metadata_t" {
+                "std"
+            } else {
+                // Positional: parser = (pkt, hdr, meta, std); control =
+                // (hdr, meta, std).
+                let logical = if is_parser { position } else { position + 1 };
+                match logical {
+                    1 => {
+                        if is_parser {
+                            self.prog.headers_type = tname.clone();
+                        }
+                        "hdr"
+                    }
+                    2 => {
+                        if is_parser {
+                            self.prog.meta_type = tname.clone();
+                        }
+                        "meta"
+                    }
+                    _ => "other",
+                }
+            };
+            self.roles.insert(pname, role.to_string());
+            position += 1;
+            self.eat_sym(",");
+        }
+        Ok(())
+    }
+
+    fn canonical_root(&self, name: &str) -> String {
+        self.roles.get(name).cloned().unwrap_or_else(|| name.to_string())
+    }
+
+    fn parser_decl(&mut self) -> PResult<()> {
+        self.bump(); // parser
+        let name = self.ident()?;
+        self.params(true)?;
+        self.expect_sym("{")?;
+        let mut states = Vec::new();
+        while !self.eat_sym("}") {
+            if !self.eat_ident("state") {
+                return self.err("expected `state`");
+            }
+            let sname = self.ident()?;
+            self.expect_sym("{")?;
+            let mut extracts = Vec::new();
+            let mut transition = Transition::Direct("accept".to_string());
+            while !self.eat_sym("}") {
+                if self.eat_ident("transition") {
+                    transition = self.transition()?;
+                } else {
+                    // pkt.extract(hdr.member);
+                    let pkt = self.ident()?;
+                    if self.canonical_root(&pkt) != "pkt" {
+                        return self.err(format!("expected packet parameter, found `{pkt}`"));
+                    }
+                    self.expect_sym(".")?;
+                    let m = self.ident()?;
+                    if m != "extract" {
+                        return self.err(format!("only `extract` is supported, found `{m}`"));
+                    }
+                    self.expect_sym("(")?;
+                    let root = self.ident()?;
+                    if self.canonical_root(&root) != "hdr" {
+                        return self.err("extract target must be a headers member");
+                    }
+                    self.expect_sym(".")?;
+                    let member = self.ident()?;
+                    self.expect_sym(")")?;
+                    self.expect_sym(";")?;
+                    extracts.push(member);
+                }
+            }
+            states.push(ParserState { name: sname, extracts, transition });
+        }
+        self.prog.parser = ParserDecl { name, states };
+        Ok(())
+    }
+
+    fn transition(&mut self) -> PResult<Transition> {
+        if self.eat_ident("select") {
+            self.expect_sym("(")?;
+            let on = self.expr()?;
+            self.expect_sym(")")?;
+            self.expect_sym("{")?;
+            let mut arms = Vec::new();
+            let mut default = "reject".to_string();
+            while !self.eat_sym("}") {
+                if self.eat_ident("default") {
+                    self.expect_sym(":")?;
+                    default = self.ident()?;
+                    self.expect_sym(";")?;
+                } else {
+                    let v = self.int()?;
+                    self.expect_sym(":")?;
+                    let state = self.ident()?;
+                    self.expect_sym(";")?;
+                    arms.push((v, state));
+                }
+            }
+            self.expect_sym(";").ok(); // tolerate trailing `;`
+            Ok(Transition::Select { on, arms, default })
+        } else {
+            let target = self.ident()?;
+            self.expect_sym(";")?;
+            Ok(Transition::Direct(target))
+        }
+    }
+
+    fn control_decl(&mut self) -> PResult<()> {
+        self.bump(); // control
+        let name = self.ident()?;
+        self.params(false)?;
+        self.expect_sym("{")?;
+        let mut actions = Vec::new();
+        let mut tables = Vec::new();
+        let mut apply = Vec::new();
+        while !self.eat_sym("}") {
+            if self.peek_ident("action") {
+                actions.push(self.action_decl()?);
+            } else if self.peek_ident("table") {
+                tables.push(self.table_decl()?);
+            } else if self.eat_ident("apply") {
+                apply = self.block()?;
+            } else {
+                return self.err(format!(
+                    "expected `action`, `table`, or `apply`, found {:?}",
+                    self.peek()
+                ));
+            }
+        }
+        let decl = ControlDecl { name, actions, tables, apply };
+        // First control = ingress, second = egress (confirmed by the
+        // V1Switch instantiation in validate()).
+        if self.prog.ingress.name.is_empty() {
+            self.prog.ingress = decl;
+        } else {
+            self.prog.egress = decl;
+        }
+        Ok(())
+    }
+
+    fn action_decl(&mut self) -> PResult<ActionDecl> {
+        self.bump(); // action
+        let name = self.ident()?;
+        self.expect_sym("(")?;
+        let mut params = Vec::new();
+        while !self.eat_sym(")") {
+            let width = self.bit_width()?;
+            let pname = self.ident()?;
+            params.push(Field { name: pname, width });
+            self.eat_sym(",");
+        }
+        let body = self.block()?;
+        Ok(ActionDecl { name, params, body })
+    }
+
+    fn table_decl(&mut self) -> PResult<TableDecl> {
+        self.bump(); // table
+        let name = self.ident()?;
+        self.expect_sym("{")?;
+        let mut keys = Vec::new();
+        let mut actions = Vec::new();
+        let mut default_action = None;
+        let mut size = 1024usize;
+        while !self.eat_sym("}") {
+            if self.eat_ident("key") {
+                self.expect_sym("=")?;
+                self.expect_sym("{")?;
+                while !self.eat_sym("}") {
+                    let (lv, text) = self.lvalue_with_text()?;
+                    self.expect_sym(":")?;
+                    let kind = match self.ident()?.as_str() {
+                        "exact" => MatchKind::Exact,
+                        "lpm" => MatchKind::Lpm,
+                        "ternary" => MatchKind::Ternary,
+                        other => return self.err(format!("unknown match kind `{other}`")),
+                    };
+                    self.expect_sym(";")?;
+                    keys.push(TableKey { field: lv, kind, name: text, width: 0 });
+                }
+            } else if self.eat_ident("actions") {
+                self.expect_sym("=")?;
+                self.expect_sym("{")?;
+                while !self.eat_sym("}") {
+                    // NoAction and friends allowed.
+                    let a = self.ident()?;
+                    actions.push(a);
+                    self.expect_sym(";")?;
+                }
+            } else if self.eat_ident("default_action") {
+                self.expect_sym("=")?;
+                let a = self.ident()?;
+                let mut args = Vec::new();
+                if self.eat_sym("(") {
+                    while !self.eat_sym(")") {
+                        args.push(self.int()?);
+                        self.eat_sym(",");
+                    }
+                }
+                self.expect_sym(";")?;
+                default_action = Some((a, args));
+            } else if self.eat_ident("size") {
+                self.expect_sym("=")?;
+                size = self.int()? as usize;
+                self.expect_sym(";")?;
+            } else {
+                return self.err(format!("unexpected table property {:?}", self.peek()));
+            }
+        }
+        Ok(TableDecl { name, keys, actions, default_action, size })
+    }
+
+    fn block(&mut self) -> PResult<Vec<Stmt>> {
+        self.expect_sym("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_sym("}") {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        // if
+        if self.eat_ident("if") {
+            self.expect_sym("(")?;
+            let cond = self.expr()?;
+            self.expect_sym(")")?;
+            let then = self.block()?;
+            let els = if self.eat_ident("else") {
+                if self.peek_ident("if") {
+                    vec![self.stmt()?]
+                } else {
+                    self.block()?
+                }
+            } else {
+                vec![]
+            };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.eat_ident("exit") {
+            self.expect_sym(";")?;
+            return Ok(Stmt::Exit);
+        }
+        if self.eat_ident("mark_to_drop") {
+            self.expect_sym("(")?;
+            // optional standard_metadata argument
+            if !self.eat_sym(")") {
+                self.ident()?;
+                self.expect_sym(")")?;
+            }
+            self.expect_sym(";")?;
+            return Ok(Stmt::Drop);
+        }
+        if self.eat_ident("clone") {
+            self.expect_sym("(")?;
+            let e = self.expr()?;
+            self.expect_sym(")")?;
+            self.expect_sym(";")?;
+            return Ok(Stmt::Clone(e));
+        }
+        if self.eat_ident("digest") {
+            self.expect_sym("(")?;
+            let sname = self.ident()?;
+            self.expect_sym("{")?;
+            let mut fields = Vec::new();
+            while !self.eat_sym("}") {
+                let f = self.ident()?;
+                self.expect_sym("=")?;
+                let e = self.expr()?;
+                fields.push((f, e));
+                self.eat_sym(",");
+            }
+            self.expect_sym(")")?;
+            self.expect_sym(";")?;
+            if !self.prog.digests.contains(&sname) {
+                self.prog.digests.push(sname.clone());
+            }
+            return Ok(Stmt::Digest { struct_name: sname, fields });
+        }
+        // Starts with an identifier: assignment, table apply, method
+        // call, or action call.
+        let first = self.ident()?;
+        if self.eat_sym("(") {
+            // action call
+            let mut args = Vec::new();
+            while !self.eat_sym(")") {
+                args.push(self.expr()?);
+                self.eat_sym(",");
+            }
+            self.expect_sym(";")?;
+            return Ok(Stmt::CallAction(first, args));
+        }
+        if self.eat_sym(".") {
+            let second = self.ident()?;
+            if second == "apply" {
+                self.expect_sym("(")?;
+                self.expect_sym(")")?;
+                self.expect_sym(";")?;
+                return Ok(Stmt::ApplyTable(first));
+            }
+            // hdr.member.setValid() / field assignment hdr.m.f = e;
+            if self.eat_sym(".") {
+                let third = self.ident()?;
+                if third == "setValid" || third == "setInvalid" {
+                    self.expect_sym("(")?;
+                    self.expect_sym(")")?;
+                    self.expect_sym(";")?;
+                    return Ok(Stmt::SetValid { member: second, valid: third == "setValid" });
+                }
+                // hdr.member.field = expr;
+                self.expect_sym("=")?;
+                let e = self.expr()?;
+                self.expect_sym(";")?;
+                return Ok(Stmt::Assign(
+                    LValue::Field {
+                        root: self.canonical_root(&first),
+                        member: second,
+                        field: third,
+                    },
+                    e,
+                ));
+            }
+            if second == "setValid" || second == "setInvalid" {
+                // Unusual direct form hdr_member.setValid(); unsupported.
+                return self.err("setValid must be called as hdr.<member>.setValid()");
+            }
+            // meta.field = expr; or std.field = expr;
+            self.expect_sym("=")?;
+            let e = self.expr()?;
+            self.expect_sym(";")?;
+            return Ok(Stmt::Assign(
+                LValue::Field {
+                    root: self.canonical_root(&first),
+                    member: String::new(),
+                    field: second,
+                },
+                e,
+            ));
+        }
+        // bare name = expr; (action param assignment is illegal in P4,
+        // but local variables are not supported either)
+        self.err(format!("unsupported statement starting with `{first}`"))
+    }
+
+    fn lvalue_with_text(&mut self) -> PResult<(LValue, String)> {
+        let first = self.ident()?;
+        self.expect_sym(".")?;
+        let second = self.ident()?;
+        if self.eat_sym(".") {
+            let third = self.ident()?;
+            let root = self.canonical_root(&first);
+            let text = format!("{root}.{second}.{third}");
+            Ok((
+                LValue::Field { root, member: second, field: third },
+                text,
+            ))
+        } else {
+            let root = self.canonical_root(&first);
+            let text = format!("{root}.{second}");
+            Ok((
+                LValue::Field { root, member: String::new(), field: second },
+                text,
+            ))
+        }
+    }
+
+    // Expressions, precedence climbing.
+    fn expr(&mut self) -> PResult<Expr> {
+        self.expr_or()
+    }
+    fn expr_or(&mut self) -> PResult<Expr> {
+        let mut l = self.expr_and()?;
+        while matches!(self.peek(), Tok::Sym("||")) {
+            self.bump();
+            let r = self.expr_and()?;
+            l = Expr::Binary(BinOp::Or, Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+    fn expr_and(&mut self) -> PResult<Expr> {
+        let mut l = self.expr_cmp()?;
+        while matches!(self.peek(), Tok::Sym("&&")) {
+            self.bump();
+            let r = self.expr_cmp()?;
+            l = Expr::Binary(BinOp::And, Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+    fn expr_cmp(&mut self) -> PResult<Expr> {
+        let l = self.expr_bits()?;
+        let op = match self.peek() {
+            Tok::Sym("==") => Some(BinOp::Eq),
+            Tok::Sym("!=") => Some(BinOp::Ne),
+            Tok::Sym("<") => Some(BinOp::Lt),
+            Tok::Sym("<=") => Some(BinOp::Le),
+            Tok::Sym(">") => Some(BinOp::Gt),
+            Tok::Sym(">=") => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let r = self.expr_bits()?;
+            return Ok(Expr::Binary(op, Box::new(l), Box::new(r)));
+        }
+        Ok(l)
+    }
+    fn expr_bits(&mut self) -> PResult<Expr> {
+        let mut l = self.expr_shift()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Sym("&") => BinOp::BitAnd,
+                Tok::Sym("|") => BinOp::BitOr,
+                Tok::Sym("^") => BinOp::BitXor,
+                _ => break,
+            };
+            self.bump();
+            let r = self.expr_shift()?;
+            l = Expr::Binary(op, Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+    fn expr_shift(&mut self) -> PResult<Expr> {
+        let mut l = self.expr_add()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Sym("<<") => BinOp::Shl,
+                Tok::Sym(">>") => BinOp::Shr,
+                _ => break,
+            };
+            self.bump();
+            let r = self.expr_add()?;
+            l = Expr::Binary(op, Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+    fn expr_add(&mut self) -> PResult<Expr> {
+        let mut l = self.expr_mul()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Sym("+") => BinOp::Add,
+                Tok::Sym("-") => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let r = self.expr_mul()?;
+            l = Expr::Binary(op, Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+    fn expr_mul(&mut self) -> PResult<Expr> {
+        let mut l = self.expr_unary()?;
+        while matches!(self.peek(), Tok::Sym("*")) {
+            self.bump();
+            let r = self.expr_unary()?;
+            l = Expr::Binary(BinOp::Mul, Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+    fn expr_unary(&mut self) -> PResult<Expr> {
+        match self.peek() {
+            Tok::Sym("!") => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.expr_unary()?)))
+            }
+            Tok::Sym("~") => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::BitNot, Box::new(self.expr_unary()?)))
+            }
+            Tok::Sym("-") => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.expr_unary()?)))
+            }
+            _ => self.expr_primary(),
+        }
+    }
+    fn expr_primary(&mut self) -> PResult<Expr> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Lit(v))
+            }
+            Tok::Sym("(") => {
+                self.bump();
+                // Cast `(bit<N>) e` or parenthesized expression.
+                if self.peek_ident("bit") {
+                    let w = self.bit_width()?;
+                    self.expect_sym(")")?;
+                    let e = self.expr_unary()?;
+                    return Ok(Expr::Cast(w, Box::new(e)));
+                }
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if name == "true" {
+                    self.bump();
+                    return Ok(Expr::Lit(1));
+                }
+                if name == "false" {
+                    self.bump();
+                    return Ok(Expr::Lit(0));
+                }
+                self.bump();
+                if self.eat_sym(".") {
+                    let second = self.ident()?;
+                    if self.eat_sym(".") {
+                        let third = self.ident()?;
+                        if third == "isValid" {
+                            self.expect_sym("(")?;
+                            self.expect_sym(")")?;
+                            return Ok(Expr::IsValid {
+                                root: self.canonical_root(&name),
+                                member: second,
+                            });
+                        }
+                        return Ok(Expr::Ref(LValue::Field {
+                            root: self.canonical_root(&name),
+                            member: second,
+                            field: third,
+                        }));
+                    }
+                    return Ok(Expr::Ref(LValue::Field {
+                        root: self.canonical_root(&name),
+                        member: String::new(),
+                        field: second,
+                    }));
+                }
+                Ok(Expr::Ref(LValue::Name(name)))
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+
+    fn instantiation(&mut self) -> PResult<()> {
+        self.bump(); // V1Switch
+        self.expect_sym("(")?;
+        let mut names = Vec::new();
+        while !self.eat_sym(")") {
+            let n = self.ident()?;
+            self.expect_sym("(")?;
+            self.expect_sym(")")?;
+            names.push(n);
+            self.eat_sym(",");
+        }
+        let main = self.ident()?;
+        if main != "main" {
+            return self.err("expected `main`");
+        }
+        self.expect_sym(";")?;
+        if names.len() != 3 {
+            return self.err("V1Switch needs (Parser(), Ingress(), Egress())");
+        }
+        // Reorder controls if the instantiation order differs from the
+        // declaration order.
+        if self.prog.ingress.name == names[2] && self.prog.egress.name == names[1] {
+            std::mem::swap(&mut self.prog.ingress, &mut self.prog.egress);
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------- validation
+
+/// The built-in standard metadata fields and widths.
+pub const STANDARD_METADATA: &[(&str, Width)] = &[
+    ("ingress_port", 16),
+    ("egress_spec", 16),
+    ("egress_port", 16),
+    ("mcast_grp", 16),
+    ("instance_type", 32),
+    ("packet_length", 32),
+];
+
+/// Resolve the width of a field reference.
+pub fn lvalue_width(prog: &Program, lv: &LValue) -> Option<Width> {
+    match lv {
+        LValue::Field { root, member, field } => match root.as_str() {
+            "std" => STANDARD_METADATA
+                .iter()
+                .find(|(n, _)| n == field)
+                .map(|(_, w)| *w),
+            "hdr" => {
+                let ty = prog.header_member_type(member)?;
+                ty.field_offset(field).map(|(_, w)| w)
+            }
+            "meta" => {
+                let ty = prog.meta_struct()?;
+                ty.field_offset(field).map(|(_, w)| w)
+            }
+            _ => None,
+        },
+        LValue::Name(_) => None,
+    }
+}
+
+fn validate(prog: &mut Program) -> PResult<()> {
+    let fail = |msg: String| P4Error { line: 0, msg };
+    // Decode the typed members of the headers struct (stored as
+    // `name:type` with width 0 by the parser).
+    let headers = prog
+        .types
+        .get(&prog.headers_type)
+        .ok_or_else(|| fail(format!("headers type `{}` not declared", prog.headers_type)))?
+        .clone();
+    let mut members = Vec::new();
+    for f in &headers.fields {
+        let Some((mname, tname)) = f.name.split_once(':') else {
+            return Err(fail(format!(
+                "headers struct field `{}` must be a header-typed member",
+                f.name
+            )));
+        };
+        let t = prog
+            .types
+            .get(tname)
+            .ok_or_else(|| fail(format!("unknown header type `{tname}`")))?;
+        if !t.is_header {
+            return Err(fail(format!("member `{mname}` must be of header type")));
+        }
+        members.push((mname.to_string(), tname.to_string()));
+    }
+    prog.headers_members = members;
+
+    if prog.meta_struct().is_none() {
+        return Err(fail(format!("metadata type `{}` not declared", prog.meta_type)));
+    }
+
+    // Parser states: extracts reference declared members; transitions
+    // reference declared states or accept/reject.
+    let state_names: Vec<&str> = prog.parser.states.iter().map(|s| s.name.as_str()).collect();
+    if !state_names.contains(&"start") {
+        return Err(fail("parser needs a `start` state".to_string()));
+    }
+    for st in &prog.parser.states {
+        for ex in &st.extracts {
+            if prog.header_member_type(ex).is_none() {
+                return Err(fail(format!("extract of unknown header member `{ex}`")));
+            }
+        }
+        let targets: Vec<&str> = match &st.transition {
+            Transition::Direct(t) => vec![t.as_str()],
+            Transition::Select { arms, default, .. } => arms
+                .iter()
+                .map(|(_, s)| s.as_str())
+                .chain(std::iter::once(default.as_str()))
+                .collect(),
+        };
+        for t in targets {
+            if t != "accept" && t != "reject" && !state_names.contains(&t) {
+                return Err(fail(format!("transition to unknown state `{t}`")));
+            }
+        }
+    }
+
+    // Tables: keys resolve, actions exist in the same control.
+    let controls = [prog.ingress.clone(), prog.egress.clone()];
+    let mut resolved: Vec<ControlDecl> = Vec::new();
+    for mut c in controls {
+        for t in &mut c.tables {
+            for k in &mut t.keys {
+                k.width = lvalue_width(prog, &k.field)
+                    .ok_or_else(|| fail(format!("cannot resolve table key `{}`", k.name)))?;
+            }
+            for a in &t.actions {
+                if a != "NoAction" && !c.actions.iter().any(|ad| ad.name == *a) {
+                    return Err(fail(format!("table `{}` lists unknown action `{a}`", t.name)));
+                }
+            }
+            if let Some((da, _)) = &t.default_action {
+                if da != "NoAction" && !c.actions.iter().any(|ad| ad.name == *da) {
+                    return Err(fail(format!(
+                        "table `{}` has unknown default action `{da}`",
+                        t.name
+                    )));
+                }
+            }
+        }
+        resolved.push(c);
+    }
+    let mut it = resolved.into_iter();
+    prog.ingress = it.next().unwrap();
+    prog.egress = it.next().unwrap();
+
+    // Digest structs exist.
+    for d in &prog.digests {
+        if !prog.types.contains_key(d) {
+            return Err(fail(format!("digest struct `{d}` not declared")));
+        }
+    }
+    Ok(())
+}
+
+/// A minimal but representative demo program (VLAN tagging, MAC
+/// learning digests, flooding) used by tests and examples throughout the
+/// workspace.
+pub const DEMO: &str = r#"
+        header ethernet_t {
+            bit<48> dst;
+            bit<48> src;
+            bit<16> ether_type;
+        }
+        header vlan_t {
+            bit<3> pcp;
+            bit<1> dei;
+            bit<12> vid;
+            bit<16> ether_type;
+        }
+        struct headers_t {
+            ethernet_t eth;
+            vlan_t vlan;
+        }
+        struct metadata_t {
+            bit<12> vlan_id;
+            bit<1> flood;
+        }
+        struct mac_learn_digest_t {
+            bit<16> port;
+            bit<48> mac;
+            bit<12> vlan;
+        }
+
+        parser SnvsParser(packet_in pkt, out headers_t hdr,
+                          inout metadata_t meta,
+                          inout standard_metadata_t std_meta) {
+            state start {
+                pkt.extract(hdr.eth);
+                transition select(hdr.eth.ether_type) {
+                    0x8100: parse_vlan;
+                    default: accept;
+                }
+            }
+            state parse_vlan {
+                pkt.extract(hdr.vlan);
+                transition accept;
+            }
+        }
+
+        control SnvsIngress(inout headers_t hdr, inout metadata_t meta,
+                            inout standard_metadata_t std_meta) {
+            action set_vlan(bit<12> vid) { meta.vlan_id = vid; }
+            action drop_packet() { mark_to_drop(); }
+            action output(bit<16> port) { std_meta.egress_spec = port; }
+            action flood() { std_meta.mcast_grp = (bit<16>) meta.vlan_id; }
+
+            table InVlan {
+                key = { std_meta.ingress_port: exact; }
+                actions = { set_vlan; drop_packet; }
+                default_action = drop_packet();
+                size = 1024;
+            }
+            table MacLearned {
+                key = { meta.vlan_id: exact; hdr.eth.dst: exact; }
+                actions = { output; flood; }
+                default_action = flood();
+            }
+            apply {
+                InVlan.apply();
+                if (hdr.vlan.isValid()) {
+                    meta.vlan_id = hdr.vlan.vid;
+                }
+                digest(mac_learn_digest_t { port = std_meta.ingress_port,
+                                            mac = hdr.eth.src,
+                                            vlan = meta.vlan_id });
+                MacLearned.apply();
+            }
+        }
+
+        control SnvsEgress(inout headers_t hdr, inout metadata_t meta,
+                           inout standard_metadata_t std_meta) {
+            apply { }
+        }
+
+        V1Switch(SnvsParser(), SnvsIngress(), SnvsEgress()) main;
+    "#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    #[test]
+    fn parses_demo_program() {
+        let p = parse_p4(DEMO).unwrap();
+        assert_eq!(p.headers_type, "headers_t");
+        assert_eq!(p.meta_type, "metadata_t");
+        assert_eq!(
+            p.headers_members,
+            vec![
+                ("eth".to_string(), "ethernet_t".to_string()),
+                ("vlan".to_string(), "vlan_t".to_string())
+            ]
+        );
+        assert_eq!(p.parser.states.len(), 2);
+        assert_eq!(p.ingress.tables.len(), 2);
+        assert_eq!(p.ingress.tables[0].keys[0].width, 16);
+        assert_eq!(p.ingress.tables[1].keys[1].width, 48);
+        assert_eq!(p.digests, vec!["mac_learn_digest_t"]);
+        assert_eq!(p.ingress.name, "SnvsIngress");
+        assert_eq!(p.egress.name, "SnvsEgress");
+    }
+
+    #[test]
+    fn header_field_offsets() {
+        let p = parse_p4(DEMO).unwrap();
+        let vlan = p.header_member_type("vlan").unwrap();
+        assert_eq!(vlan.field_offset("vid"), Some((4, 12)));
+        assert_eq!(vlan.total_width(), 32);
+    }
+
+    #[test]
+    fn rejects_bad_programs() {
+        // unknown state
+        let bad = DEMO.replace("parse_vlan;", "no_such_state;");
+        assert!(parse_p4(&bad).is_err());
+        // unknown action in table
+        let bad = DEMO.replace("actions = { set_vlan; drop_packet; }", "actions = { zap; }");
+        assert!(parse_p4(&bad).is_err());
+        // missing main
+        let bad = DEMO.replace("V1Switch(SnvsParser(), SnvsIngress(), SnvsEgress()) main;", "");
+        assert!(parse_p4(&bad).is_err());
+        // unknown digest struct
+        let bad = DEMO.replace("digest(mac_learn_digest_t", "digest(nope_t");
+        assert!(parse_p4(&bad).is_err());
+    }
+
+    #[test]
+    fn width_prefixed_literals_and_annotations() {
+        let src = DEMO.replace("default_action = drop_packet();",
+            "default_action = drop_packet(); size = 2048;");
+        assert!(parse_p4(&src).is_ok());
+        let toks = lex("9w1 48w0xffffffffffff @name(\"x.y\") foo").unwrap();
+        assert_eq!(toks[0].0, Tok::Int(1));
+        assert_eq!(toks[1].0, Tok::Int(0xffff_ffff_ffff));
+        assert!(matches!(&toks[2].0, Tok::Ident(s) if s == "foo"));
+    }
+
+    #[test]
+    fn swapped_instantiation_order() {
+        let src = DEMO.replace(
+            "V1Switch(SnvsParser(), SnvsIngress(), SnvsEgress()) main;",
+            "V1Switch(SnvsParser(), SnvsEgress(), SnvsIngress()) main;",
+        );
+        // Declared SnvsIngress first but instantiated as egress: the
+        // program must follow the instantiation.
+        let p = parse_p4(&src).unwrap();
+        assert_eq!(p.ingress.name, "SnvsEgress");
+        assert_eq!(p.egress.name, "SnvsIngress");
+    }
+}

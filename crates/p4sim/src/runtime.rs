@@ -1,0 +1,265 @@
+//! P4Runtime-style control messages: table entries, write requests,
+//! digests, and packet-in/out. These are the wire objects the Nerpa
+//! controller exchanges with switches.
+
+use serde::{Deserialize, Serialize};
+
+/// Serde helpers encoding `u128` as a decimal string on the wire —
+/// JSON numbers cannot carry 128-bit values portably.
+pub mod u128_str {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    /// Serialize as a decimal string.
+    pub fn serialize<S: Serializer>(v: &u128, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&v.to_string())
+    }
+
+    /// Deserialize from a decimal string.
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<u128, D::Error> {
+        let s = String::deserialize(d)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+/// Serde helpers for `Vec<u128>` as decimal strings.
+pub mod u128_vec_str {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    /// Serialize as a list of decimal strings.
+    pub fn serialize<S: Serializer>(v: &[u128], s: S) -> Result<S::Ok, S::Error> {
+        s.collect_seq(v.iter().map(|x| x.to_string()))
+    }
+
+    /// Deserialize from a list of decimal strings.
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<u128>, D::Error> {
+        let v: Vec<String> = Vec::deserialize(d)?;
+        v.into_iter()
+            .map(|s| s.parse().map_err(serde::de::Error::custom))
+            .collect()
+    }
+}
+
+/// Serde helpers for `Vec<(String, u128)>` (digest fields).
+pub mod u128_pairs_str {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    /// Serialize as `[[name, "value"], ...]`.
+    pub fn serialize<S: Serializer>(
+        v: &[(String, u128)],
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        s.collect_seq(v.iter().map(|(n, x)| (n.clone(), x.to_string())))
+    }
+
+    /// Deserialize the paired form.
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<Vec<(String, u128)>, D::Error> {
+        let v: Vec<(String, String)> = Vec::deserialize(d)?;
+        v.into_iter()
+            .map(|(n, s)| Ok((n, s.parse().map_err(serde::de::Error::custom)?)))
+            .collect()
+    }
+}
+
+/// A single key-field match of a table entry.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum FieldMatch {
+    /// Exact value.
+    Exact {
+        /// Matched value.
+        #[serde(with = "u128_str")]
+        value: u128,
+    },
+    /// Longest-prefix match.
+    Lpm {
+        /// Value (host order, already masked).
+        #[serde(with = "u128_str")]
+        value: u128,
+        /// Prefix length in bits.
+        prefix_len: u16,
+    },
+    /// Ternary value/mask.
+    Ternary {
+        /// Value (already masked by `mask`).
+        #[serde(with = "u128_str")]
+        value: u128,
+        /// Care mask.
+        #[serde(with = "u128_str")]
+        mask: u128,
+    },
+}
+
+/// A runtime table entry.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TableEntry {
+    /// Table name.
+    pub table: String,
+    /// One match per key field, in key order.
+    pub matches: Vec<FieldMatch>,
+    /// Priority (higher wins); required for ternary tables.
+    pub priority: i32,
+    /// Action name.
+    pub action: String,
+    /// Action parameters, in declaration order.
+    #[serde(with = "u128_vec_str")]
+    pub params: Vec<u128>,
+}
+
+/// Write-request operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum WriteOp {
+    /// Insert a new entry (error if the key exists).
+    Insert,
+    /// Replace an existing entry's action (error if missing).
+    Modify,
+    /// Remove an entry (error if missing).
+    Delete,
+}
+
+/// One update of a write request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Update {
+    /// The operation.
+    pub op: WriteOp,
+    /// The entry.
+    pub entry: TableEntry,
+}
+
+/// A digest message from the data plane to the controller.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Digest {
+    /// The digest struct type name.
+    pub name: String,
+    /// Field values: (field name, value).
+    #[serde(with = "u128_pairs_str")]
+    pub fields: Vec<(String, u128)>,
+}
+
+impl Digest {
+    /// Field lookup.
+    pub fn field(&self, name: &str) -> Option<u128> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+/// Client → switch control messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum ControlRequest {
+    /// Apply table updates atomically (all or nothing).
+    Write {
+        /// The updates.
+        updates: Vec<Update>,
+    },
+    /// Fetch the P4Info program description.
+    GetP4Info,
+    /// Read back all entries of a table.
+    ReadTable {
+        /// Table name.
+        table: String,
+    },
+    /// Subscribe this connection to digest notifications.
+    SubscribeDigests,
+    /// Inject a packet into a port (packet-out).
+    PacketOut {
+        /// Ingress port to inject at.
+        port: u16,
+        /// Raw frame bytes.
+        bytes: Vec<u8>,
+    },
+    /// Read switch counters.
+    ReadCounters,
+    /// Configure a multicast group (empty ports = remove).
+    SetMcastGroup {
+        /// Group id (as set in `standard_metadata.mcast_grp`).
+        group: u16,
+        /// Replication port list.
+        ports: Vec<u16>,
+    },
+}
+
+/// Switch → client control messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum ControlResponse {
+    /// Write outcome.
+    WriteResult {
+        /// `None` = success, `Some(msg)` = rejected (nothing applied).
+        error: Option<String>,
+    },
+    /// The program description.
+    P4Info {
+        /// JSON-encoded [`crate::p4info::P4Info`].
+        info: crate::p4info::P4Info,
+    },
+    /// Table contents.
+    TableEntries {
+        /// The entries.
+        entries: Vec<TableEntry>,
+    },
+    /// Digest notification (streamed to subscribers).
+    DigestList {
+        /// The digests since the previous notification.
+        digests: Vec<Digest>,
+    },
+    /// Counter snapshot.
+    Counters {
+        /// (counter name, value).
+        counters: Vec<(String, u64)>,
+    },
+    /// Generic acknowledgement.
+    Ok,
+    /// Request failed.
+    Error {
+        /// Description.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_roundtrip() {
+        let req = ControlRequest::Write {
+            updates: vec![Update {
+                op: WriteOp::Insert,
+                entry: TableEntry {
+                    table: "InVlan".into(),
+                    matches: vec![
+                        FieldMatch::Exact { value: 3 },
+                        FieldMatch::Ternary { value: 0x10, mask: 0xf0 },
+                        FieldMatch::Lpm { value: 0x0a000000, prefix_len: 8 },
+                    ],
+                    priority: 10,
+                    action: "set_vlan".into(),
+                    params: vec![100],
+                },
+            }],
+        };
+        let s = serde_json::to_string(&req).unwrap();
+        let back: ControlRequest = serde_json::from_str(&s).unwrap();
+        assert_eq!(req, back);
+
+        let resp = ControlResponse::DigestList {
+            digests: vec![Digest {
+                name: "mac_learn_digest_t".into(),
+                fields: vec![("port".into(), 2), ("mac".into(), 0xaabb)],
+            }],
+        };
+        let s = serde_json::to_string(&resp).unwrap();
+        let back: ControlResponse = serde_json::from_str(&s).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn digest_field_lookup() {
+        let d = Digest { name: "d".into(), fields: vec![("a".into(), 1), ("b".into(), 2)] };
+        assert_eq!(d.field("b"), Some(2));
+        assert_eq!(d.field("c"), None);
+    }
+}

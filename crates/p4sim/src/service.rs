@@ -1,0 +1,440 @@
+//! The switch control service: a P4Runtime-style protocol over TCP with
+//! length-prefixed JSON framing, plus the in-process device wrapper that
+//! the packet substrate drives.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::{Buf, BufMut, BytesMut};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::p4info::P4Info;
+use crate::runtime::{ControlRequest, ControlResponse, Digest, Update};
+use crate::switch::{ProcessResult, Switch};
+
+/// An in-process switch device: the switch plus digest fan-out. The
+/// packet substrate calls [`SwitchDevice::inject`]; controllers subscribe
+/// to digests either in-process or over TCP.
+#[derive(Clone)]
+pub struct SwitchDevice {
+    inner: Arc<Mutex<Switch>>,
+    digest_subs: Arc<Mutex<Vec<Sender<Vec<Digest>>>>>,
+}
+
+impl SwitchDevice {
+    /// Wrap a switch.
+    pub fn new(switch: Switch) -> SwitchDevice {
+        SwitchDevice {
+            inner: Arc::new(Mutex::new(switch)),
+            digest_subs: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Process a packet; digests are also fanned out to subscribers.
+    pub fn inject(&self, port: u16, bytes: &[u8]) -> ProcessResult {
+        let result = self.inner.lock().process_packet(port, bytes);
+        if !result.digests.is_empty() {
+            let subs = self.digest_subs.lock();
+            for s in subs.iter() {
+                let _ = s.send(result.digests.clone());
+            }
+        }
+        result
+    }
+
+    /// Subscribe to digests in-process.
+    pub fn subscribe_digests(&self) -> Receiver<Vec<Digest>> {
+        let (tx, rx) = unbounded();
+        self.digest_subs.lock().push(tx);
+        rx
+    }
+
+    /// Apply table updates.
+    pub fn write(&self, updates: &[Update]) -> Result<(), String> {
+        self.inner.lock().write(updates)
+    }
+
+    /// Configure a multicast group.
+    pub fn set_mcast_group(&self, group: u16, ports: Vec<u16>) {
+        self.inner.lock().set_mcast_group(group, ports);
+    }
+
+    /// Access the underlying switch.
+    pub fn with_switch<T>(&self, f: impl FnOnce(&mut Switch) -> T) -> T {
+        f(&mut self.inner.lock())
+    }
+
+    /// The program's P4Info.
+    pub fn p4info(&self) -> P4Info {
+        P4Info::from_program(&self.inner.lock().program)
+    }
+}
+
+// ------------------------------------------------------------- framing
+
+/// Write one length-prefixed JSON message.
+pub fn write_frame<T: serde::Serialize>(w: &mut impl Write, msg: &T) -> std::io::Result<()> {
+    let body = serde_json::to_vec(msg)?;
+    let mut buf = BytesMut::with_capacity(4 + body.len());
+    buf.put_u32(body.len() as u32);
+    buf.put_slice(&body);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Read one length-prefixed JSON message; `Ok(None)` on clean EOF.
+pub fn read_frame<T: serde::de::DeserializeOwned>(
+    r: &mut impl Read,
+) -> std::io::Result<Option<T>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > 64 * 1024 * 1024 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let mut buf = &body[..];
+    let msg = serde_json::from_slice(buf.copy_to_bytes(buf.remaining()).as_ref())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(Some(msg))
+}
+
+// ------------------------------------------------------------- service
+
+/// A running control service for one switch device.
+pub struct ControlService {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ControlService {
+    /// Serve `device` on `addr` (port 0 = ephemeral).
+    pub fn start(device: SwitchDevice, addr: impl ToSocketAddrs) -> std::io::Result<ControlService> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let sd = shutdown.clone();
+        let accept_thread = std::thread::spawn(move || loop {
+            if sd.load(Ordering::Relaxed) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let dev = device.clone();
+                    std::thread::spawn(move ||
+
+ serve_conn(dev, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        });
+        Ok(ControlService { addr, shutdown, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ControlService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_conn(device: SwitchDevice, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut read_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let write_half = Arc::new(Mutex::new(stream));
+    loop {
+        let req: ControlRequest = match read_frame(&mut read_half) {
+            Ok(Some(r)) => r,
+            Ok(None) | Err(_) => break,
+        };
+        let resp = match req {
+            ControlRequest::Write { updates } => match device.write(&updates) {
+                Ok(()) => ControlResponse::WriteResult { error: None },
+                Err(e) => ControlResponse::WriteResult { error: Some(e) },
+            },
+            ControlRequest::GetP4Info => ControlResponse::P4Info { info: device.p4info() },
+            ControlRequest::ReadTable { table } => device.with_switch(|sw| {
+                match sw.read_table(&table) {
+                    Some(entries) => {
+                        ControlResponse::TableEntries { entries: entries.to_vec() }
+                    }
+                    None => ControlResponse::Error { message: format!("no table `{table}`") },
+                }
+            }),
+            ControlRequest::SubscribeDigests => {
+                let rx = device.subscribe_digests();
+                let w = write_half.clone();
+                std::thread::spawn(move || {
+                    for digests in rx.iter() {
+                        let msg = ControlResponse::DigestList { digests };
+                        if write_frame(&mut *w.lock(), &msg).is_err() {
+                            break;
+                        }
+                    }
+                });
+                ControlResponse::Ok
+            }
+            ControlRequest::PacketOut { port, bytes } => {
+                device.inject(port, &bytes);
+                ControlResponse::Ok
+            }
+            ControlRequest::SetMcastGroup { group, ports } => {
+                device.set_mcast_group(group, ports);
+                ControlResponse::Ok
+            }
+            ControlRequest::ReadCounters => device.with_switch(|sw| {
+                let mut counters = vec![
+                    ("drops".to_string(), sw.stats.drops),
+                    ("parse_errors".to_string(), sw.stats.parse_errors),
+                    ("digests".to_string(), sw.stats.digests),
+                ];
+                for (p, n) in &sw.stats.rx_packets {
+                    counters.push((format!("rx[{p}]"), *n));
+                }
+                for (p, n) in &sw.stats.tx_packets {
+                    counters.push((format!("tx[{p}]"), *n));
+                }
+                ControlResponse::Counters { counters }
+            }),
+        };
+        if write_frame(&mut *write_half.lock(), &resp).is_err() {
+            break;
+        }
+    }
+}
+
+/// A blocking control client for a remote switch.
+pub struct ControlClient {
+    stream: Mutex<TcpStream>,
+    digest_rx: Option<Receiver<Vec<Digest>>>,
+}
+
+impl ControlClient {
+    /// Connect to a switch control service.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ControlClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ControlClient { stream: Mutex::new(stream), digest_rx: None })
+    }
+
+    fn roundtrip(&self, req: &ControlRequest) -> Result<ControlResponse, String> {
+        let mut s = self.stream.lock();
+        write_frame(&mut *s, req).map_err(|e| e.to_string())?;
+        loop {
+            match read_frame::<ControlResponse>(&mut *s) {
+                Ok(Some(ControlResponse::DigestList { .. })) => {
+                    // Digests are handled by subscribe(); a synchronous
+                    // caller skips any interleaved notification.
+                    continue;
+                }
+                Ok(Some(resp)) => return Ok(resp),
+                Ok(None) => return Err("connection closed".to_string()),
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+
+    /// Apply table updates atomically.
+    pub fn write(&self, updates: Vec<Update>) -> Result<(), String> {
+        match self.roundtrip(&ControlRequest::Write { updates })? {
+            ControlResponse::WriteResult { error: None } => Ok(()),
+            ControlResponse::WriteResult { error: Some(e) } => Err(e),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Fetch the P4Info.
+    pub fn p4info(&self) -> Result<P4Info, String> {
+        match self.roundtrip(&ControlRequest::GetP4Info)? {
+            ControlResponse::P4Info { info } => Ok(info),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Read a table's entries.
+    pub fn read_table(&self, table: &str) -> Result<Vec<crate::runtime::TableEntry>, String> {
+        match self.roundtrip(&ControlRequest::ReadTable { table: table.to_string() })? {
+            ControlResponse::TableEntries { entries } => Ok(entries),
+            ControlResponse::Error { message } => Err(message),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Configure a multicast group on the remote switch.
+    pub fn set_mcast_group(&self, group: u16, ports: Vec<u16>) -> Result<(), String> {
+        match self.roundtrip(&ControlRequest::SetMcastGroup { group, ports })? {
+            ControlResponse::Ok => Ok(()),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Inject a packet (packet-out).
+    pub fn packet_out(&self, port: u16, bytes: Vec<u8>) -> Result<(), String> {
+        match self.roundtrip(&ControlRequest::PacketOut { port, bytes })? {
+            ControlResponse::Ok => Ok(()),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Subscribe to digest notifications. After this call the connection
+    /// is dedicated to the digest stream; use a separate client for
+    /// synchronous requests.
+    pub fn subscribe_digests(mut self) -> Result<Receiver<Vec<Digest>>, String> {
+        {
+            let mut s = self.stream.lock();
+            write_frame(&mut *s, &ControlRequest::SubscribeDigests).map_err(|e| e.to_string())?;
+            // Consume the Ok ack.
+            match read_frame::<ControlResponse>(&mut *s) {
+                Ok(Some(ControlResponse::Ok)) => {}
+                other => return Err(format!("unexpected subscribe response {other:?}")),
+            }
+        }
+        let (tx, rx) = unbounded();
+        let stream = self.stream.get_mut().try_clone().map_err(|e| e.to_string())?;
+        std::thread::spawn(move || {
+            let mut s = stream;
+            loop {
+                match read_frame::<ControlResponse>(&mut s) {
+                    Ok(Some(ControlResponse::DigestList { digests })) => {
+                        if tx.send(digests).is_err() {
+                            break;
+                        }
+                    }
+                    Ok(Some(_)) => continue,
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        });
+        self.digest_rx = Some(rx.clone());
+        Ok(rx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::DEMO;
+    use crate::runtime::{FieldMatch, TableEntry, WriteOp};
+
+    fn demo_device() -> SwitchDevice {
+        SwitchDevice::new(Switch::from_source(DEMO).unwrap())
+    }
+
+    #[test]
+    fn control_over_tcp() {
+        let device = demo_device();
+        let svc = ControlService::start(device.clone(), "127.0.0.1:0").unwrap();
+        let client = ControlClient::connect(svc.local_addr()).unwrap();
+
+        let info = client.p4info().unwrap();
+        assert_eq!(info.tables.len(), 2);
+
+        client
+            .write(vec![Update {
+                op: WriteOp::Insert,
+                entry: TableEntry {
+                    table: "InVlan".into(),
+                    matches: vec![FieldMatch::Exact { value: 1 }],
+                    priority: 0,
+                    action: "set_vlan".into(),
+                    params: vec![10],
+                },
+            }])
+            .unwrap();
+        let entries = client.read_table("InVlan").unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(client.read_table("NoSuch").is_err());
+
+        // Invalid write reports the error without closing the stream.
+        let err = client
+            .write(vec![Update {
+                op: WriteOp::Insert,
+                entry: TableEntry {
+                    table: "InVlan".into(),
+                    matches: vec![],
+                    priority: 0,
+                    action: "set_vlan".into(),
+                    params: vec![],
+                },
+            }])
+            .unwrap_err();
+        assert!(err.contains("key field"));
+        assert_eq!(client.read_table("InVlan").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn digest_stream_over_tcp() {
+        let device = demo_device();
+        device
+            .write(&[Update {
+                op: WriteOp::Insert,
+                entry: TableEntry {
+                    table: "InVlan".into(),
+                    matches: vec![FieldMatch::Exact { value: 1 }],
+                    priority: 0,
+                    action: "set_vlan".into(),
+                    params: vec![10],
+                },
+            }])
+            .unwrap();
+        let svc = ControlService::start(device.clone(), "127.0.0.1:0").unwrap();
+        let digest_client = ControlClient::connect(svc.local_addr()).unwrap();
+        let rx = digest_client.subscribe_digests().unwrap();
+
+        // Inject a packet in-process; the digest must arrive over TCP.
+        let mut frame = vec![0u8; 14];
+        frame[5] = 0xBB;
+        frame[11] = 0xAA;
+        frame[12] = 0x08;
+        device.inject(1, &frame);
+
+        let digests = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(digests.len(), 1);
+        assert_eq!(digests[0].field("mac"), Some(0xAA));
+    }
+
+    #[test]
+    fn frame_codec_roundtrip() {
+        let mut buf = Vec::new();
+        let req = ControlRequest::ReadTable { table: "T".into() };
+        write_frame(&mut buf, &req).unwrap();
+        let mut r = buf.as_slice();
+        let back: ControlRequest = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(req, back);
+        let eof: Option<ControlRequest> = read_frame(&mut r).unwrap();
+        assert!(eof.is_none());
+    }
+}

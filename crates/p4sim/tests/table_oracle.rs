@@ -1,0 +1,153 @@
+//! Property test: table matching against a naive oracle implementing the
+//! P4 match semantics directly.
+
+use p4sim::ast::{LValue, MatchKind, TableDecl, TableKey};
+use p4sim::runtime::{FieldMatch, TableEntry, Update, WriteOp};
+use p4sim::table::RuntimeTable;
+use proptest::prelude::*;
+
+const WIDTH: u16 = 8;
+
+fn decl(kind: MatchKind) -> TableDecl {
+    TableDecl {
+        name: "T".into(),
+        keys: vec![TableKey {
+            field: LValue::Name("k".into()),
+            kind,
+            name: "k".into(),
+            width: WIDTH,
+        }],
+        actions: vec!["act".into()],
+        default_action: Some(("miss".into(), vec![])),
+        size: 64,
+    }
+}
+
+/// Naive reference matcher: highest (priority, specificity) wins, ties
+/// broken by the entry's debug representation (same as the runtime).
+fn oracle(entries: &[TableEntry], key: u128) -> Option<TableEntry> {
+    let specificity = |e: &TableEntry| match &e.matches[0] {
+        FieldMatch::Exact { .. } => 128u32,
+        FieldMatch::Lpm { prefix_len, .. } => *prefix_len as u32,
+        FieldMatch::Ternary { mask, .. } => mask.count_ones(),
+    };
+    let matches = |e: &TableEntry| match &e.matches[0] {
+        FieldMatch::Exact { value } => *value == key,
+        FieldMatch::Lpm { value, prefix_len } => {
+            if *prefix_len == 0 {
+                true
+            } else {
+                let mask = ((1u128 << WIDTH) - 1) & !((1u128 << (WIDTH - prefix_len)) - 1);
+                key & mask == value & mask
+            }
+        }
+        FieldMatch::Ternary { value, mask } => key & mask == *value,
+    };
+    entries
+        .iter()
+        .filter(|e| matches(e))
+        .max_by(|a, b| {
+            (a.priority, specificity(a))
+                .cmp(&(b.priority, specificity(b)))
+                .then_with(|| format!("{b:?}").cmp(&format!("{a:?}")))
+        })
+        .cloned()
+}
+
+fn entry(m: FieldMatch, priority: i32, tag: u128) -> TableEntry {
+    TableEntry {
+        table: "T".into(),
+        matches: vec![m],
+        priority,
+        action: "act".into(),
+        params: vec![tag],
+    }
+}
+
+proptest! {
+    #[test]
+    fn lpm_matches_oracle(
+        prefixes in proptest::collection::vec((0u128..256, 0u16..=WIDTH), 0..12),
+        keys in proptest::collection::vec(0u128..256, 1..20),
+    ) {
+        let mut t = RuntimeTable::new(decl(MatchKind::Lpm));
+        let mut installed: Vec<TableEntry> = Vec::new();
+        for (v, plen) in prefixes {
+            let mask = if plen == 0 { 0 } else {
+                ((1u128 << WIDTH) - 1) & !((1u128 << (WIDTH - plen)) - 1)
+            };
+            let e = entry(FieldMatch::Lpm { value: v & mask, prefix_len: plen }, 0, v);
+            if t.apply(&Update { op: WriteOp::Insert, entry: e.clone() }).is_ok() {
+                installed.push(e);
+            }
+        }
+        for k in keys {
+            let got = t.lookup_with_widths(&[k]);
+            let want = oracle(&installed, k);
+            match (got, want) {
+                (Some((a, p)), Some(e)) if a == "act" => {
+                    prop_assert_eq!(p, e.params);
+                }
+                (Some((a, _)), None) => prop_assert_eq!(a, "miss"),
+                (got, want) => prop_assert!(false, "got {:?} want {:?}", got, want),
+            }
+        }
+    }
+
+    #[test]
+    fn ternary_matches_oracle(
+        specs in proptest::collection::vec((0u128..256, 0u128..256, 0i32..4), 0..12),
+        keys in proptest::collection::vec(0u128..256, 1..20),
+    ) {
+        let mut t = RuntimeTable::new(decl(MatchKind::Ternary));
+        let mut installed: Vec<TableEntry> = Vec::new();
+        for (i, (v, m, prio)) in specs.into_iter().enumerate() {
+            let e = entry(
+                FieldMatch::Ternary { value: v & m, mask: m },
+                // Distinct priorities make the winner unambiguous.
+                prio * 100 + i as i32,
+                v,
+            );
+            if t.apply(&Update { op: WriteOp::Insert, entry: e.clone() }).is_ok() {
+                installed.push(e);
+            }
+        }
+        for k in keys {
+            let got = t.lookup_with_widths(&[k]);
+            let want = oracle(&installed, k);
+            match (got, want) {
+                (Some((a, p)), Some(e)) if a == "act" => prop_assert_eq!(p, e.params),
+                (Some((a, _)), None) => prop_assert_eq!(a, "miss"),
+                (got, want) => prop_assert!(false, "got {:?} want {:?}", got, want),
+            }
+        }
+    }
+
+    #[test]
+    fn exact_insert_delete_consistency(
+        ops in proptest::collection::vec((0u8..2, 0u128..32), 1..40),
+        keys in proptest::collection::vec(0u128..32, 1..10),
+    ) {
+        let mut t = RuntimeTable::new(decl(MatchKind::Exact));
+        let mut live: std::collections::BTreeSet<u128> = Default::default();
+        for (kind, v) in ops {
+            let e = entry(FieldMatch::Exact { value: v }, 0, v);
+            if kind == 0 {
+                if t.apply(&Update { op: WriteOp::Insert, entry: e }).is_ok() {
+                    live.insert(v);
+                }
+            } else if t.apply(&Update { op: WriteOp::Delete, entry: e }).is_ok() {
+                live.remove(&v);
+            }
+        }
+        prop_assert_eq!(t.len(), live.len());
+        for k in keys {
+            let got = t.lookup_with_widths(&[k]).unwrap();
+            if live.contains(&k) {
+                prop_assert_eq!(got, ("act".to_string(), vec![k]));
+            } else {
+                prop_assert_eq!(got.0, "miss");
+            }
+        }
+    }
+}

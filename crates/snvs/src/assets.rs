@@ -1,0 +1,233 @@
+//! The three artifacts a Nerpa programmer writes for snvs (§4.3 of the
+//! paper): the P4 data plane, the OVSDB management-plane schema, and the
+//! DDlog control-plane rules. Everything else is generated.
+
+/// The snvs data plane: VLAN classification (access/trunk), MAC learning
+/// via digests, unknown-destination flooding through multicast groups,
+/// ingress port mirroring, and egress tagging/untagging.
+pub const SNVS_P4: &str = r#"
+header ethernet_t {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> ether_type;
+}
+header vlan_t {
+    bit<3>  pcp;
+    bit<1>  dei;
+    bit<12> vid;
+    bit<16> ether_type;
+}
+struct headers_t {
+    ethernet_t eth;
+    vlan_t     vlan;
+}
+struct metadata_t {
+    bit<12> vlan;
+    bit<1>  tagged;
+    bit<1>  out_tagged;
+}
+struct mac_learn_t {
+    bit<16>  port;
+    bit<48> mac;
+    bit<12> vlan;
+}
+
+parser SnvsParser(packet_in pkt, out headers_t hdr,
+                  inout metadata_t meta,
+                  inout standard_metadata_t std_meta) {
+    state start {
+        pkt.extract(hdr.eth);
+        transition select(hdr.eth.ether_type) {
+            0x8100: parse_vlan;
+            default: accept;
+        }
+    }
+    state parse_vlan {
+        pkt.extract(hdr.vlan);
+        transition accept;
+    }
+}
+
+control SnvsIngress(inout headers_t hdr, inout metadata_t meta,
+                    inout standard_metadata_t std_meta) {
+    action set_port_vlan(bit<12> vid) { meta.vlan = vid; }
+    action use_tag() { meta.vlan = hdr.vlan.vid; }
+    action drop_packet() { mark_to_drop(); }
+    action output(bit<16> port) { std_meta.egress_spec = port; }
+    action flood() { std_meta.mcast_grp = (bit<16>) meta.vlan; }
+    action mirror_to(bit<16> port) { clone(port); }
+
+    // VLAN classification, keyed on the port and whether the frame
+    // carried an 802.1Q tag. Policy entirely decided by the control
+    // plane: access ports map untagged traffic, trunks accept tags.
+    table InVlan {
+        key = { std_meta.ingress_port: exact; meta.tagged: exact; }
+        actions = { set_port_vlan; use_tag; drop_packet; }
+        default_action = drop_packet();
+        size = 1024;
+    }
+
+    // Learned unicast forwarding; unknown destinations flood the VLAN.
+    table MacLearned {
+        key = { meta.vlan: exact; hdr.eth.dst: exact; }
+        actions = { output; }
+        default_action = flood();
+        size = 4096;
+    }
+
+    // Ingress port mirroring.
+    table Mirror {
+        key = { std_meta.ingress_port: exact; }
+        actions = { mirror_to; }
+        size = 64;
+    }
+
+    apply {
+        meta.tagged = 0;
+        if (hdr.vlan.isValid()) {
+            meta.tagged = 1;
+        }
+        InVlan.apply();
+        Mirror.apply();
+        digest(mac_learn_t { port = std_meta.ingress_port,
+                             mac  = hdr.eth.src,
+                             vlan = meta.vlan });
+        MacLearned.apply();
+    }
+}
+
+control SnvsEgress(inout headers_t hdr, inout metadata_t meta,
+                   inout standard_metadata_t std_meta) {
+    action mark_tagged() { meta.out_tagged = 1; }
+    action mark_untagged() { meta.out_tagged = 0; }
+
+    // Should frames leave this port tagged (trunk) or untagged (access)?
+    table OutVlan {
+        key = { std_meta.egress_port: exact; }
+        actions = { mark_tagged; }
+        default_action = mark_untagged();
+        size = 1024;
+    }
+
+    apply {
+        OutVlan.apply();
+        if (meta.out_tagged == 1) {
+            if (!hdr.vlan.isValid()) {
+                hdr.vlan.setValid();
+                hdr.vlan.ether_type = hdr.eth.ether_type;
+                hdr.eth.ether_type = 0x8100;
+            }
+            hdr.vlan.vid = meta.vlan;
+        } else {
+            if (hdr.vlan.isValid()) {
+                hdr.eth.ether_type = hdr.vlan.ether_type;
+                hdr.vlan.setInvalid();
+            }
+        }
+    }
+}
+
+V1Switch(SnvsParser(), SnvsIngress(), SnvsEgress()) main;
+"#;
+
+/// The snvs management-plane schema: a `Switch` table enumerating the
+/// managed switches and a `Port` table whose rows describe switch ports
+/// (Fig. 5(b) of the paper, extended with trunks and mirroring). Port
+/// rows apply to every switch (all switches run the same program and
+/// port layout); learned state is tracked per switch.
+pub const SNVS_SCHEMA: &str = r#"
+{
+    "name": "snvs",
+    "version": "1.0.0",
+    "tables": {
+        "Switch": {
+            "columns": {
+                "idx": {"type": {"key": {"type": "integer",
+                        "minInteger": 0, "maxInteger": 65535}}}
+            },
+            "isRoot": true,
+            "indexes": [["idx"]]
+        },
+        "Port": {
+            "columns": {
+                "id": {"type": {"key": {"type": "integer",
+                        "minInteger": 0, "maxInteger": 65535}}},
+                "vlan_mode": {"type": {"key": {"type": "string",
+                        "enum": ["set", ["access", "trunk"]]},
+                        "min": 0, "max": 1}},
+                "tag": {"type": {"key": {"type": "integer",
+                        "minInteger": 0, "maxInteger": 4095},
+                        "min": 0, "max": 1}},
+                "trunks": {"type": {"key": {"type": "integer",
+                        "minInteger": 0, "maxInteger": 4095},
+                        "min": 0, "max": "unlimited"}},
+                "mirror_dst": {"type": {"key": {"type": "integer",
+                        "minInteger": 0, "maxInteger": 65535},
+                        "min": 0, "max": 1}}
+            },
+            "isRoot": true,
+            "indexes": [["id"]]
+        }
+    }
+}
+"#;
+
+/// The hand-written control plane: ~30 lines of rules compute every data
+/// plane table from the management database and the learning digests
+/// (Fig. 5(c) generalized). Generated relations referenced here:
+///
+/// * `Port(_uuid, id, mirror_dst, tag, trunks, vlan_mode)` — from the
+///   OVSDB schema (columns alphabetical);
+/// * `InVlan`, `MacLearned`, `Mirror`, `OutVlan` — from the P4 tables;
+/// * `mac_learn_t(port, mac, vlan)` — from the P4 digest.
+pub const SNVS_RULES: &str = r#"
+// Internal view: every (port, vlan) membership.
+relation PortVlan(port: bigint, vlan: bigint)
+PortVlan(p, v) :- Port(_, p, _, tags, _, modes),
+                  set_contains(modes, "access"),
+                  var v = FlatMap(tags).
+PortVlan(p, v) :- Port(_, p, _, _, trunks, modes),
+                  set_contains(modes, "trunk"),
+                  var v = FlatMap(trunks).
+
+// VLAN classification: access ports map untagged frames to their tag;
+// trunks honor the carried tag. The same port policy is installed on
+// every switch.
+InVlan(sw, p as bit<16>, 0, "set_port_vlan", t as bit<12>) :-
+    Switch(_, sw),
+    Port(_, p, _, tags, _, modes),
+    set_contains(modes, "access"),
+    var t = FlatMap(tags).
+InVlan(sw, p as bit<16>, 1, "use_tag", 0) :-
+    Switch(_, sw),
+    Port(_, p, _, _, _, modes),
+    set_contains(modes, "trunk").
+
+// MAC learning feedback loop: each switch's digests become *its own*
+// forwarding entries (a MAC lives behind different ports on different
+// switches), but only while the reporting port is still a member of the
+// VLAN. When a MAC moves, the highest port wins deterministically.
+MacLearned(sw, vlan, mac, "output", p) :-
+    mac_learn_t(sw, port, mac, vlan),
+    var pb = port as bigint,
+    var vb = vlan as bigint,
+    PortVlan(pb, vb),
+    var p = max(port) group_by (sw, mac, vlan).
+
+// Ingress mirroring, on every switch.
+Mirror(sw, p as bit<16>, "mirror_to", d as bit<16>) :-
+    Switch(_, sw),
+    Port(_, p, dsts, _, _, _),
+    var d = FlatMap(dsts).
+
+// Trunk ports transmit tagged.
+OutVlan(sw, p as bit<16>, "mark_tagged") :-
+    Switch(_, sw),
+    Port(_, p, _, _, _, modes),
+    set_contains(modes, "trunk").
+
+// Flooding scope: one multicast group per VLAN, containing its member
+// ports (same on every switch, so no switch column is needed).
+output relation MulticastGroup(group: bit<16>, port: bit<16>)
+MulticastGroup(v as bit<16>, p as bit<16>) :- PortVlan(p, v).
+"#;

@@ -1,0 +1,129 @@
+//! The paper's Fig. 1 analogy: management, control, and data planes of a
+//! dimmable light bulb — rendered as an actual Nerpa program.
+//!
+//! * management plane: the desired ambiance (a `Scene` table: which room,
+//!   how bright);
+//! * control plane: rules deciding the duty cycle for each bulb;
+//! * data plane: a "bulb" P4 pipeline whose match-action table maps the
+//!   bulb id to a PWM level (packets are the photons, if you squint).
+//!
+//! It is deliberately tiny — run it to see the three-plane pipeline with
+//! almost no code: `cargo run --example lightbulb`
+
+use nerpa::codegen::CodegenOptions;
+use nerpa::controller::{Controller, NerpaProgram};
+use p4sim::service::SwitchDevice;
+use p4sim::Switch;
+use serde_json::json;
+
+const BULB_P4: &str = r#"
+header photon_t { bit<16> bulb; bit<16> intensity; }
+struct headers_t { photon_t photon; }
+struct metadata_t { bit<8> pwm; }
+
+parser BulbParser(packet_in pkt, out headers_t hdr, inout metadata_t meta,
+                  inout standard_metadata_t std_meta) {
+    state start { pkt.extract(hdr.photon); transition accept; }
+}
+
+control BulbIngress(inout headers_t hdr, inout metadata_t meta,
+                    inout standard_metadata_t std_meta) {
+    action shine(bit<8> duty) {
+        meta.pwm = duty;
+        // Dim the photon according to the duty cycle and emit it.
+        hdr.photon.intensity = (hdr.photon.intensity >> 8) * (bit<16>) duty;
+        std_meta.egress_spec = 1;
+    }
+    action dark() { mark_to_drop(); }
+    table Dimmer {
+        key = { hdr.photon.bulb: exact; }
+        actions = { shine; }
+        default_action = dark();
+    }
+    apply { Dimmer.apply(); }
+}
+
+control BulbEgress(inout headers_t hdr, inout metadata_t meta,
+                   inout standard_metadata_t std_meta) { apply { } }
+
+V1Switch(BulbParser(), BulbIngress(), BulbEgress()) main;
+"#;
+
+const SCHEMA: &str = r#"
+{
+    "name": "home",
+    "tables": {
+        "Scene": {
+            "columns": {
+                "bulb": {"type": {"key": {"type": "integer",
+                        "minInteger": 0, "maxInteger": 65535}}},
+                "mood": {"type": {"key": {"type": "string",
+                        "enum": ["set", ["cozy", "work", "party"]]}}}
+            },
+            "isRoot": true
+        }
+    }
+}
+"#;
+
+/// The whole control plane: how moods become duty cycles.
+const RULES: &str = r#"
+Dimmer(b as bit<16>, "shine", duty as bit<8>) :-
+    Scene(_, b, mood),
+    var duty = if (mood == "cozy") 64
+               else if (mood == "work") 255
+               else 180.
+"#;
+
+fn main() {
+    let program = NerpaProgram {
+        schema: ovsdb::Schema::parse(SCHEMA).expect("schema"),
+        p4info: p4sim::P4Info::from_program(&p4sim::parse_p4(BULB_P4).expect("p4")),
+        rules: RULES.to_string(),
+        options: CodegenOptions::default(),
+    };
+    let mut controller = Controller::new(&program).expect("controller");
+    let bulb = SwitchDevice::new(Switch::from_source(BULB_P4).unwrap());
+    controller.add_switch(Box::new(bulb.clone()));
+    let mut db = ovsdb::Database::new(ovsdb::Schema::parse(SCHEMA).unwrap());
+
+    // The management plane sets the scene.
+    let (_, changes) = db.transact(&json!([
+        {"op": "insert", "table": "Scene", "row": {"bulb": 1, "mood": "cozy"}},
+        {"op": "insert", "table": "Scene", "row": {"bulb": 2, "mood": "work"}}
+    ]));
+    controller.handle_row_changes(&changes).unwrap();
+
+    // A photon (bulb 1, full intensity) passes through the data plane.
+    let photon = |bulb: u16| {
+        let mut p = Vec::new();
+        p.extend_from_slice(&bulb.to_be_bytes());
+        p.extend_from_slice(&0xFF00u16.to_be_bytes());
+        p
+    };
+    let out = bulb.inject(0, &photon(1));
+    let intensity = u16::from_be_bytes([out.outputs[0].1[2], out.outputs[0].1[3]]);
+    println!("bulb 1 (cozy): photon intensity {intensity} (dimmed from 65280)");
+    assert_eq!(intensity, 255 * 64);
+
+    let out = bulb.inject(0, &photon(2));
+    let intensity = u16::from_be_bytes([out.outputs[0].1[2], out.outputs[0].1[3]]);
+    println!("bulb 2 (work): photon intensity {intensity}");
+    assert_eq!(intensity, 255 * 255);
+
+    // Changing the mood re-dims instantly.
+    let (_, changes) = db.transact(&json!([
+        {"op": "update", "table": "Scene", "where": [["bulb", "==", 1]],
+         "row": {"mood": "party"}}
+    ]));
+    controller.handle_row_changes(&changes).unwrap();
+    let out = bulb.inject(0, &photon(1));
+    let intensity = u16::from_be_bytes([out.outputs[0].1[2], out.outputs[0].1[3]]);
+    println!("bulb 1 (party): photon intensity {intensity}");
+    assert_eq!(intensity, 255 * 180);
+
+    // An unknown bulb stays dark (default action).
+    let out = bulb.inject(0, &photon(9));
+    assert!(out.dropped);
+    println!("bulb 9 (unconfigured): dark. done.");
+}

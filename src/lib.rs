@@ -1,0 +1,29 @@
+//! Full-Stack SDN (Nerpa, HotNets '22) — a complete reproduction in Rust.
+//!
+//! This meta-crate re-exports the workspace:
+//!
+//! * [`ovsdb`] — the management plane: a transactional, monitorable
+//!   database (RFC 7047 subset) with a JSON-RPC TCP protocol;
+//! * [`ddlog`] — the control plane substrate: an incremental Datalog
+//!   engine (typed dialect, joins/negation/recursion/aggregation,
+//!   transactional change streams);
+//! * [`p4sim`] — the data plane: a P4-16-subset compiler, BMv2-style
+//!   behavioral switch, and P4Runtime-style control protocol;
+//! * [`netsim`] — packet substrate: frame codecs, hosts, links,
+//!   deterministic topologies;
+//! * [`nerpa`] — the paper's contribution: cross-plane code generation,
+//!   unified type checking, and the incremental controller runtime;
+//! * [`snvs`] — the paper's example application (VLANs, MAC learning,
+//!   mirroring) built on the framework;
+//! * [`baselines`] — the comparators used by the evaluation.
+//!
+//! See `examples/` for runnable walkthroughs and DESIGN.md /
+//! EXPERIMENTS.md for the experiment index.
+
+pub use baselines;
+pub use ddlog;
+pub use nerpa;
+pub use netsim;
+pub use ovsdb;
+pub use p4sim;
+pub use snvs;

@@ -1,0 +1,256 @@
+//! Property tests asserting that the three controller implementations
+//! agree, and that incremental evaluation equals from-scratch evaluation
+//! — the correctness backbone of the whole reproduction.
+
+use baselines::{Event, FullRecompute, HandwrittenIncremental, LearnedMac, PortConfig};
+use ddlog::{Engine, Transaction, Value};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------
+// Incremental == from-scratch for the recursive reachability program.
+// ---------------------------------------------------------------------
+
+const REACH: &str = "
+input relation GivenLabel(n: bigint, l: bigint)
+input relation Edge(a: bigint, b: bigint)
+output relation Label(n: bigint, l: bigint)
+Label(n, l) :- GivenLabel(n, l).
+Label(b, l) :- Label(a, l), Edge(a, b).
+";
+
+fn edge(a: i128, b: i128) -> Vec<Value> {
+    vec![Value::Int(a), Value::Int(b)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Apply a random sequence of edge insertions/deletions one
+    /// transaction at a time; the final state must equal evaluating the
+    /// surviving edge set from scratch. This exercises semi-naive
+    /// insertion and DRed deletion on arbitrary graphs (cycles included).
+    #[test]
+    fn incremental_equals_scratch(ops in proptest::collection::vec(
+        (0u8..2, 0i128..8, 0i128..8), 1..60,
+    )) {
+        let mut incremental = Engine::from_source(REACH).unwrap();
+        let mut t = Transaction::new();
+        t.insert("GivenLabel", vec![Value::Int(0), Value::Int(7)]);
+        incremental.commit(t).unwrap();
+
+        let mut live: BTreeSet<(i128, i128)> = BTreeSet::new();
+        for (kind, a, b) in &ops {
+            let mut t = Transaction::new();
+            if *kind == 0 {
+                t.insert("Edge", edge(*a, *b));
+                live.insert((*a, *b));
+            } else {
+                t.delete("Edge", edge(*a, *b));
+                live.remove(&(*a, *b));
+            }
+            incremental.commit(t).unwrap();
+        }
+
+        let mut scratch = Engine::from_source(REACH).unwrap();
+        let mut t = Transaction::new();
+        t.insert("GivenLabel", vec![Value::Int(0), Value::Int(7)]);
+        for (a, b) in &live {
+            t.insert("Edge", edge(*a, *b));
+        }
+        scratch.commit(t).unwrap();
+
+        prop_assert_eq!(
+            incremental.dump("Label").unwrap(),
+            scratch.dump("Label").unwrap()
+        );
+        prop_assert_eq!(
+            incremental.dump("Edge").unwrap(),
+            scratch.dump("Edge").unwrap()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Incremental == from-scratch for a program with negation + aggregation.
+// ---------------------------------------------------------------------
+
+const AGG_NEG: &str = "
+input relation Item(grp: bigint, v: bigint)
+input relation Banned(grp: bigint)
+relation Allowed(grp: bigint, v: bigint)
+output relation Summary(grp: bigint, n: bigint)
+Allowed(g, v) :- Item(g, v), not Banned(g).
+Summary(g, n) :- Allowed(g, v), var n = count(v) group_by (g).
+";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn negation_aggregation_incremental(ops in proptest::collection::vec(
+        (0u8..4, 0i128..4, 0i128..6), 1..50,
+    )) {
+        let mut inc = Engine::from_source(AGG_NEG).unwrap();
+        let mut items: BTreeSet<(i128, i128)> = BTreeSet::new();
+        let mut banned: BTreeSet<i128> = BTreeSet::new();
+        for (kind, g, v) in &ops {
+            let mut t = Transaction::new();
+            match kind {
+                0 => { t.insert("Item", vec![Value::Int(*g), Value::Int(*v)]); items.insert((*g, *v)); }
+                1 => { t.delete("Item", vec![Value::Int(*g), Value::Int(*v)]); items.remove(&(*g, *v)); }
+                2 => { t.insert("Banned", vec![Value::Int(*g)]); banned.insert(*g); }
+                _ => { t.delete("Banned", vec![Value::Int(*g)]); banned.remove(g); }
+            }
+            inc.commit(t).unwrap();
+        }
+
+        let mut scratch = Engine::from_source(AGG_NEG).unwrap();
+        let mut t = Transaction::new();
+        for (g, v) in &items {
+            t.insert("Item", vec![Value::Int(*g), Value::Int(*v)]);
+        }
+        for g in &banned {
+            t.insert("Banned", vec![Value::Int(*g)]);
+        }
+        scratch.commit(t).unwrap();
+
+        prop_assert_eq!(
+            inc.dump("Summary").unwrap(),
+            scratch.dump("Summary").unwrap()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// The three snvs controllers agree: Nerpa (declarative, incremental),
+// hand-written incremental, and full recompute.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    AddAccess(u16, u16),
+    AddTrunk(u16, Vec<u16>),
+    Remove(u16),
+    Learn(u16, u64, u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..6, 1u16..4).prop_map(|(p, v)| Op::AddAccess(p, 10 + v)),
+        (0u16..6, proptest::collection::vec(1u16..4, 1..3))
+            .prop_map(|(p, vs)| Op::AddTrunk(p, vs.into_iter().map(|v| 10 + v).collect())),
+        (0u16..6).prop_map(Op::Remove),
+        (0u16..6, 1u64..5, 1u16..4).prop_map(|(p, m, v)| Op::Learn(p, 0xAA00 + m, 10 + v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn controllers_agree(ops in proptest::collection::vec(op_strategy(), 1..25)) {
+        use p4sim::service::SwitchDevice;
+        use p4sim::Switch;
+        use serde_json::json;
+
+        // Nerpa stack with one switch.
+        let schema = ovsdb::Schema::parse(snvs::assets::SNVS_SCHEMA).unwrap();
+        let program = p4sim::parse_p4(snvs::assets::SNVS_P4).unwrap();
+        let nerpa_program = nerpa::controller::NerpaProgram {
+            schema: schema.clone(),
+            p4info: p4sim::P4Info::from_program(&program),
+            rules: snvs::assets::SNVS_RULES.to_string(),
+            options: nerpa::codegen::CodegenOptions { per_switch: true },
+        };
+        let mut controller = nerpa::Controller::new(&nerpa_program).unwrap();
+        let device = SwitchDevice::new(Switch::new(program.clone()));
+        controller.add_switch(Box::new(device.clone()));
+        let mut db = ovsdb::Database::new(schema);
+        let (_, changes) = db.transact(&json!([
+            {"op": "insert", "table": "Switch", "row": {"idx": 0}}
+        ]));
+        controller.handle_row_changes(&changes).unwrap();
+
+        // Comparators.
+        let mut hand = HandwrittenIncremental::new();
+        let mut ports: Vec<PortConfig> = Vec::new();
+        let mut macs: Vec<LearnedMac> = Vec::new();
+
+        for op in &ops {
+            match op {
+                Op::AddAccess(p, v) => {
+                    // Upsert = delete + insert in the management plane.
+                    let (_, ch) = db.transact(&json!([
+                        {"op": "delete", "table": "Port", "where": [["id", "==", p]]},
+                        {"op": "insert", "table": "Port",
+                         "row": {"id": p, "vlan_mode": "access", "tag": v}}
+                    ]));
+                    controller.handle_row_changes(&ch).unwrap();
+                    hand.handle(Event::PortUpserted(PortConfig::access(*p, *v)));
+                    ports.retain(|c| c.id != *p);
+                    ports.push(PortConfig::access(*p, *v));
+                }
+                Op::AddTrunk(p, vs) => {
+                    let (_, ch) = db.transact(&json!([
+                        {"op": "delete", "table": "Port", "where": [["id", "==", p]]},
+                        {"op": "insert", "table": "Port",
+                         "row": {"id": p, "vlan_mode": "trunk", "trunks": ["set", vs]}}
+                    ]));
+                    controller.handle_row_changes(&ch).unwrap();
+                    hand.handle(Event::PortUpserted(PortConfig::trunk(*p, vs.clone())));
+                    ports.retain(|c| c.id != *p);
+                    ports.push(PortConfig::trunk(*p, vs.clone()));
+                }
+                Op::Remove(p) => {
+                    let (_, ch) = db.transact(&json!([
+                        {"op": "delete", "table": "Port", "where": [["id", "==", p]]}
+                    ]));
+                    controller.handle_row_changes(&ch).unwrap();
+                    hand.handle(Event::PortRemoved(*p));
+                    ports.retain(|c| c.id != *p);
+                }
+                Op::Learn(p, m, v) => {
+                    let digest = p4sim::Digest {
+                        name: "mac_learn_t".into(),
+                        fields: vec![
+                            ("port".into(), *p as u128),
+                            ("mac".into(), *m as u128),
+                            ("vlan".into(), *v as u128),
+                        ],
+                    };
+                    controller.handle_digests(0, &[digest]).unwrap();
+                    hand.handle(Event::MacLearned(LearnedMac { port: *p, mac: *m, vlan: *v }));
+                    macs.push(LearnedMac { port: *p, mac: *m, vlan: *v });
+                }
+            }
+        }
+
+        // Desired state from the full-recompute specification.
+        let (spec_entries, spec_groups) = FullRecompute::desired_state(&ports, &macs);
+        let spec: BTreeSet<p4sim::TableEntry> = spec_entries.into_iter().collect();
+
+        // Hand-written controller state.
+        prop_assert_eq!(&hand.installed_snapshot(), &spec);
+        prop_assert_eq!(hand.mcast_snapshot(), spec_groups.clone());
+
+        // Nerpa: read the switch's actual tables. Strip the per-switch
+        // routing (entries land on switch 0).
+        let mut actual: BTreeSet<p4sim::TableEntry> = BTreeSet::new();
+        for t in ["InVlan", "MacLearned", "Mirror", "OutVlan"] {
+            let entries = device.with_switch(|sw| sw.read_table(t).unwrap().to_vec());
+            actual.extend(entries);
+        }
+        prop_assert_eq!(&actual, &spec);
+
+        // Multicast groups on the device mirror the spec.
+        let dev_groups = device.with_switch(|sw| sw.mcast_groups.clone());
+        for (g, members) in &spec_groups {
+            let mut want: Vec<u16> = members.iter().copied().collect();
+            want.sort_unstable();
+            let mut got = dev_groups.get(g).cloned().unwrap_or_default();
+            got.sort_unstable();
+            prop_assert_eq!(got, want, "group {}", g);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The full distributed deployment, over real sockets: an OVSDB server,
+//! a P4 switch control service, and the Nerpa controller talking to both
+//! through TCP — the architecture of the paper's Fig. 4 with every arrow
+//! being a network connection.
+
+use std::time::Duration;
+
+use nerpa::codegen::CodegenOptions;
+use nerpa::controller::{Controller, NerpaProgram};
+use p4sim::service::{ControlClient, ControlService, SwitchDevice};
+use p4sim::Switch;
+use serde_json::json;
+
+#[test]
+fn management_to_data_plane_over_sockets() {
+    // Management plane: an OVSDB server on an ephemeral port.
+    let schema = ovsdb::Schema::parse(snvs::assets::SNVS_SCHEMA).unwrap();
+    let db_server = ovsdb::Server::start(ovsdb::Database::new(schema.clone()), "127.0.0.1:0")
+        .expect("ovsdb server");
+
+    // Data plane: a switch served over its own socket.
+    let program = p4sim::parse_p4(snvs::assets::SNVS_P4).unwrap();
+    let device = SwitchDevice::new(Switch::new(program.clone()));
+    let p4_service = ControlService::start(device.clone(), "127.0.0.1:0").expect("p4 service");
+
+    // Control plane: compiled from the same three artifacts, attached to
+    // the switch through a TCP control client.
+    let nerpa_program = NerpaProgram {
+        schema,
+        p4info: p4sim::P4Info::from_program(&program),
+        rules: snvs::assets::SNVS_RULES.to_string(),
+        options: CodegenOptions { per_switch: true },
+    };
+    let mut controller = Controller::new(&nerpa_program).expect("controller");
+    let p4_client = ControlClient::connect(p4_service.local_addr()).expect("p4 client");
+    controller.add_switch(Box::new(p4_client));
+
+    // Subscribe to the management plane like ovn-controller would.
+    let monitor_client = ovsdb::Client::connect(db_server.local_addr()).expect("client");
+    let (initial, updates) = monitor_client
+        .monitor("snvs", json!("nerpa"), json!({"Port": {}, "Switch": {}}))
+        .unwrap();
+    controller.handle_monitor_update(&initial).unwrap();
+
+    // A second client (the administrator) registers the switch and adds
+    // a port.
+    let admin = ovsdb::Client::connect(db_server.local_addr()).expect("admin");
+    admin
+        .transact(
+            "snvs",
+            json!([
+                {"op": "insert", "table": "Switch", "row": {"idx": 0}},
+                {"op": "insert", "table": "Port",
+                 "row": {"id": 7, "vlan_mode": "access", "tag": 42}}
+            ]),
+        )
+        .unwrap();
+
+    // The monitor update arrives over TCP; feed it to the controller.
+    let update = updates.recv_timeout(Duration::from_secs(5)).expect("monitor update");
+    controller.handle_monitor_update(&update).unwrap();
+
+    // The entry must now be installed in the switch (visible through the
+    // in-process handle).
+    let entries = device.with_switch(|sw| sw.read_table("InVlan").unwrap().to_vec());
+    assert_eq!(entries.len(), 1, "{entries:?}");
+    assert_eq!(entries[0].action, "set_port_vlan");
+    assert_eq!(entries[0].params, vec![42]);
+
+    // Modifying the row over TCP (a monitor `modify` update, where `old`
+    // carries only the changed columns) replaces the entry's action data.
+    admin
+        .transact(
+            "snvs",
+            json!([{"op": "update", "table": "Port", "where": [["id", "==", 7]],
+                    "row": {"tag": 43}}]),
+        )
+        .unwrap();
+    let update = updates.recv_timeout(Duration::from_secs(5)).expect("modify update");
+    controller.handle_monitor_update(&update).unwrap();
+    let entries = device.with_switch(|sw| sw.read_table("InVlan").unwrap().to_vec());
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].params, vec![43]);
+
+    // Deleting the port over TCP retracts the entry.
+    admin
+        .transact(
+            "snvs",
+            json!([{"op": "delete", "table": "Port", "where": [["id", "==", 7]]}]),
+        )
+        .unwrap();
+    let update = updates.recv_timeout(Duration::from_secs(5)).expect("second update");
+    controller.handle_monitor_update(&update).unwrap();
+    let remaining = device.with_switch(|sw| sw.read_table("InVlan").unwrap().len());
+    assert_eq!(remaining, 0);
+}
+
+#[test]
+fn digest_feedback_over_sockets() {
+    // A switch whose digests travel over TCP into the controller, whose
+    // output travels back over TCP into the switch.
+    let schema = ovsdb::Schema::parse(snvs::assets::SNVS_SCHEMA).unwrap();
+    let program = p4sim::parse_p4(snvs::assets::SNVS_P4).unwrap();
+    let device = SwitchDevice::new(Switch::new(program.clone()));
+    let p4_service = ControlService::start(device.clone(), "127.0.0.1:0").unwrap();
+
+    let nerpa_program = NerpaProgram {
+        schema,
+        p4info: p4sim::P4Info::from_program(&program),
+        rules: snvs::assets::SNVS_RULES.to_string(),
+        options: CodegenOptions { per_switch: true },
+    };
+    let mut controller = Controller::new(&nerpa_program).unwrap();
+    let write_client = ControlClient::connect(p4_service.local_addr()).unwrap();
+    controller.add_switch(Box::new(write_client));
+
+    // Configure through the in-process DB for brevity.
+    let mut db = ovsdb::Database::new(
+        ovsdb::Schema::parse(snvs::assets::SNVS_SCHEMA).unwrap(),
+    );
+    let (_, changes) = db.transact(&json!([
+        {"op": "insert", "table": "Switch", "row": {"idx": 0}},
+        {"op": "insert", "table": "Port",
+         "row": {"id": 1, "vlan_mode": "access", "tag": 10}},
+        {"op": "insert", "table": "Port",
+         "row": {"id": 2, "vlan_mode": "access", "tag": 10}}
+    ]));
+    controller.handle_row_changes(&changes).unwrap();
+
+    // Digest subscription over TCP.
+    let digest_client = ControlClient::connect(p4_service.local_addr()).unwrap();
+    let digests = digest_client.subscribe_digests().unwrap();
+
+    // A frame enters port 1; the digest arrives over the socket.
+    let mut frame = vec![0u8; 20];
+    frame[5] = 0xBB; // dst
+    frame[11] = 0xAA; // src
+    frame[12] = 0x08; // ethertype ipv4
+    device.inject(1, &frame);
+    let batch = digests.recv_timeout(Duration::from_secs(5)).expect("digests");
+    controller.handle_digests(0, &batch).unwrap();
+
+    // The learned MAC is installed back into the switch via TCP.
+    let macs = device.with_switch(|sw| sw.read_table("MacLearned").unwrap().to_vec());
+    assert_eq!(macs.len(), 1, "{macs:?}");
+    assert_eq!(macs[0].action, "output");
+    assert_eq!(macs[0].params, vec![1]);
+}
