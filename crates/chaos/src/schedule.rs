@@ -1,0 +1,349 @@
+//! Fault schedules: scripted, seed-resolved per-connection fault plans.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Wire framing the proxy uses to count protocol messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Framing {
+    /// Newline-delimited JSON (OVSDB JSON-RPC).
+    Ndjson,
+    /// 4-byte big-endian length prefix + body (P4 control protocol).
+    LengthPrefixed,
+    /// No framing: every read chunk counts as one message.
+    Raw,
+}
+
+/// Which direction's messages count toward a fault trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Messages flowing client → server.
+    ClientToServer,
+    /// Messages flowing server → client.
+    ServerToClient,
+    /// Messages in either direction.
+    Both,
+}
+
+/// The scripted fault plan for one proxied connection.
+///
+/// `kill_after` is a *range* `[lo, hi]` of message counts; the concrete
+/// kill point is drawn from the schedule's seeded RNG when the
+/// connection is accepted, so runs are reproducible but not tied to a
+/// hand-picked constant. Use `lo == hi` for an exact point.
+#[derive(Debug, Clone)]
+pub struct ConnFault {
+    /// Sever the connection after this many messages (inclusive range,
+    /// resolved by the seeded RNG). `None` = never kill.
+    pub kill_after: Option<(u64, u64)>,
+    /// Which direction's messages count toward `kill_after`.
+    pub count_direction: Direction,
+    /// When killing, forward only this many bytes of the fatal message
+    /// (a truncated frame) before severing. `None` = forward the fatal
+    /// message completely, then sever.
+    pub truncate_to: Option<usize>,
+    /// Added latency per forwarded message, `base..=base+jitter` drawn
+    /// from the seeded RNG.
+    pub delay_base: Duration,
+    /// Upper bound of the random extra delay added to `delay_base`.
+    pub delay_jitter: Duration,
+    /// After this connection is killed by a fault, refuse new
+    /// connections for this long (a partition).
+    pub partition_after_kill: Duration,
+}
+
+impl ConnFault {
+    /// A plan that forwards everything faithfully.
+    pub fn transparent() -> ConnFault {
+        ConnFault {
+            kill_after: None,
+            count_direction: Direction::Both,
+            truncate_to: None,
+            delay_base: Duration::ZERO,
+            delay_jitter: Duration::ZERO,
+            partition_after_kill: Duration::ZERO,
+        }
+    }
+
+    /// A plan that severs the connection after exactly `n` messages in
+    /// `dir`.
+    pub fn kill_after(n: u64, dir: Direction) -> ConnFault {
+        ConnFault {
+            kill_after: Some((n, n)),
+            count_direction: dir,
+            ..ConnFault::transparent()
+        }
+    }
+
+    /// A plan that severs after a seed-resolved count in `[lo, hi]`.
+    pub fn kill_between(lo: u64, hi: u64, dir: Direction) -> ConnFault {
+        ConnFault {
+            kill_after: Some((lo, hi)),
+            count_direction: dir,
+            ..ConnFault::transparent()
+        }
+    }
+
+    /// Truncate the fatal frame to `bytes` bytes when the kill fires.
+    pub fn truncating(mut self, bytes: usize) -> ConnFault {
+        self.truncate_to = Some(bytes);
+        self
+    }
+
+    /// Add `base..=base+jitter` latency to every forwarded message.
+    pub fn delayed(mut self, base: Duration, jitter: Duration) -> ConnFault {
+        self.delay_base = base;
+        self.delay_jitter = jitter;
+        self
+    }
+
+    /// Partition the link for `d` after this connection's kill fires.
+    pub fn partitioning(mut self, d: Duration) -> ConnFault {
+        self.partition_after_kill = d;
+        self
+    }
+}
+
+/// A deterministic schedule: the plan for the nth accepted connection.
+///
+/// Connections beyond the scripted list use the *default* plan
+/// (transparent unless overridden), so a schedule usually scripts the
+/// faulty prefix of a run and lets recovery traffic through afterwards.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    seed: u64,
+    framing: Framing,
+    plans: Vec<ConnFault>,
+    default_plan: ConnFault,
+}
+
+/// A [`ConnFault`] with its RNG-dependent choices pinned for one
+/// concrete connection.
+#[derive(Debug, Clone)]
+pub struct ResolvedFault {
+    /// Sever after exactly this many counted messages.
+    pub kill_at: Option<u64>,
+    /// Direction whose messages count.
+    pub count_direction: Direction,
+    /// Truncation length of the fatal frame.
+    pub truncate_to: Option<usize>,
+    /// Exact delay applied to every forwarded message.
+    pub delay: Duration,
+    /// Partition duration armed when the kill fires.
+    pub partition_after_kill: Duration,
+}
+
+impl FaultSchedule {
+    /// A schedule with no scripted faults.
+    pub fn transparent(seed: u64, framing: Framing) -> FaultSchedule {
+        FaultSchedule {
+            seed,
+            framing,
+            plans: Vec::new(),
+            default_plan: ConnFault::transparent(),
+        }
+    }
+
+    /// Build a schedule from explicit per-connection plans; connections
+    /// past the end of `plans` are transparent.
+    pub fn scripted(seed: u64, framing: Framing, plans: Vec<ConnFault>) -> FaultSchedule {
+        FaultSchedule {
+            seed,
+            framing,
+            plans,
+            default_plan: ConnFault::transparent(),
+        }
+    }
+
+    /// Override the plan applied to connections beyond the scripted
+    /// list.
+    pub fn with_default_plan(mut self, plan: ConnFault) -> FaultSchedule {
+        self.default_plan = plan;
+        self
+    }
+
+    /// The wire framing used for message counting.
+    pub fn framing(&self) -> Framing {
+        self.framing
+    }
+
+    /// The schedule's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Resolve the plan for accepted connection number `conn_idx`
+    /// (0-based). Deterministic: the RNG is seeded from
+    /// `seed ^ conn_idx`, so the same schedule yields the same faults
+    /// run after run, independent of timing.
+    pub fn resolve(&self, conn_idx: u64) -> ResolvedFault {
+        let plan = self
+            .plans
+            .get(conn_idx as usize)
+            .unwrap_or(&self.default_plan);
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ conn_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let kill_at = plan.kill_after.map(|(lo, hi)| {
+            if lo >= hi {
+                lo
+            } else {
+                rng.random_range(lo..=hi)
+            }
+        });
+        let jitter_us = plan.delay_jitter.as_micros() as u64;
+        let delay = plan.delay_base
+            + if jitter_us == 0 {
+                Duration::ZERO
+            } else {
+                Duration::from_micros(rng.random_range(0..=jitter_us))
+            };
+        ResolvedFault {
+            kill_at,
+            count_direction: plan.count_direction,
+            truncate_to: plan.truncate_to,
+            delay,
+            partition_after_kill: plan.partition_after_kill,
+        }
+    }
+}
+
+/// Incremental splitter that turns a byte stream into complete protocol
+/// messages according to a [`Framing`].
+#[derive(Debug)]
+pub struct Splitter {
+    framing: Framing,
+    buf: Vec<u8>,
+}
+
+impl Splitter {
+    /// A splitter for `framing`.
+    pub fn new(framing: Framing) -> Splitter {
+        Splitter {
+            framing,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Feed raw bytes read from the stream.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Pop the next complete message (including its delimiter/length
+    /// header), or `None` if the buffer holds only a partial message.
+    pub fn next_message(&mut self) -> Option<Vec<u8>> {
+        match self.framing {
+            Framing::Raw => {
+                if self.buf.is_empty() {
+                    None
+                } else {
+                    Some(std::mem::take(&mut self.buf))
+                }
+            }
+            Framing::Ndjson => {
+                let pos = self.buf.iter().position(|&b| b == b'\n')?;
+                let rest = self.buf.split_off(pos + 1);
+                Some(std::mem::replace(&mut self.buf, rest))
+            }
+            Framing::LengthPrefixed => {
+                if self.buf.len() < 4 {
+                    return None;
+                }
+                let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
+                    as usize;
+                if self.buf.len() < 4 + len {
+                    return None;
+                }
+                let rest = self.buf.split_off(4 + len);
+                Some(std::mem::replace(&mut self.buf, rest))
+            }
+        }
+    }
+
+    /// Bytes currently buffered as an incomplete message.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_is_deterministic() {
+        let s = FaultSchedule::scripted(
+            42,
+            Framing::Ndjson,
+            vec![ConnFault::kill_between(5, 50, Direction::ServerToClient)
+                .delayed(Duration::from_micros(100), Duration::from_micros(400))],
+        );
+        let a = s.resolve(0);
+        let b = s.resolve(0);
+        assert_eq!(a.kill_at, b.kill_at);
+        assert_eq!(a.delay, b.delay);
+        let k = a.kill_at.unwrap();
+        assert!((5..=50).contains(&k));
+        // A different seed picks a different point (with overwhelming
+        // probability for this range; pinned here to stay deterministic).
+        let s2 = FaultSchedule::scripted(
+            43,
+            Framing::Ndjson,
+            vec![ConnFault::kill_between(5, 50, Direction::ServerToClient)],
+        );
+        let _ = s2.resolve(0); // must not panic; value is seed-defined
+                               // Connections beyond the script are transparent.
+        assert!(s.resolve(1).kill_at.is_none());
+        assert_eq!(s.resolve(1).delay, Duration::ZERO);
+    }
+
+    #[test]
+    fn exact_kill_point_ignores_rng() {
+        let s = FaultSchedule::scripted(
+            7,
+            Framing::Raw,
+            vec![ConnFault::kill_after(3, Direction::Both)],
+        );
+        assert_eq!(s.resolve(0).kill_at, Some(3));
+    }
+
+    #[test]
+    fn ndjson_splitter() {
+        let mut sp = Splitter::new(Framing::Ndjson);
+        sp.push(b"{\"a\":1}\n{\"b\"");
+        assert_eq!(sp.next_message().unwrap(), b"{\"a\":1}\n".to_vec());
+        assert_eq!(sp.next_message(), None);
+        assert_eq!(sp.pending_bytes(), 4);
+        sp.push(b":2}\n");
+        assert_eq!(sp.next_message().unwrap(), b"{\"b\":2}\n".to_vec());
+        assert_eq!(sp.next_message(), None);
+    }
+
+    #[test]
+    fn length_prefixed_splitter() {
+        let mut sp = Splitter::new(Framing::LengthPrefixed);
+        let mut frame = 3u32.to_be_bytes().to_vec();
+        frame.extend_from_slice(b"abc");
+        sp.push(&frame[..5]);
+        assert_eq!(sp.next_message(), None);
+        sp.push(&frame[5..]);
+        assert_eq!(sp.next_message().unwrap(), frame);
+        // Two frames in one push split correctly.
+        let mut two = frame.clone();
+        two.extend_from_slice(&frame);
+        sp.push(&two);
+        assert_eq!(sp.next_message().unwrap(), frame);
+        assert_eq!(sp.next_message().unwrap(), frame);
+        assert_eq!(sp.next_message(), None);
+    }
+
+    #[test]
+    fn raw_splitter_counts_chunks() {
+        let mut sp = Splitter::new(Framing::Raw);
+        sp.push(b"xyz");
+        assert_eq!(sp.next_message().unwrap(), b"xyz".to_vec());
+        assert_eq!(sp.next_message(), None);
+    }
+}

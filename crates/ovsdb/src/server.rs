@@ -28,11 +28,13 @@ struct ServerState {
     subs: Mutex<Vec<Subscription>>,
     shutdown: AtomicBool,
     next_conn: AtomicU64,
+    /// Live connection sockets, so shutdown can sever them cleanly.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
 }
 
 /// A running OVSDB server. Dropping it (or calling [`Server::shutdown`])
-/// stops the listener; existing connection threads exit as their sockets
-/// close.
+/// stops the listener and severs every live connection, so clients
+/// observe the close immediately instead of hanging on a dead socket.
 pub struct Server {
     state: Arc<ServerState>,
     addr: SocketAddr,
@@ -50,26 +52,29 @@ impl Server {
             subs: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
             next_conn: AtomicU64::new(1),
+            conns: Mutex::new(Vec::new()),
         });
         let accept_state = state.clone();
-        let accept_thread = std::thread::spawn(move || {
-            loop {
-                if accept_state.shutdown.load(Ordering::Relaxed) {
-                    break;
+        let accept_thread = std::thread::spawn(move || loop {
+            if accept_state.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let st = accept_state.clone();
+                    std::thread::spawn(move || serve_connection(st, stream));
                 }
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let st = accept_state.clone();
-                        std::thread::spawn(move || serve_connection(st, stream));
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
                 }
+                Err(_) => break,
             }
         });
-        Ok(Server { state, addr, accept_thread: Some(accept_thread) })
+        Ok(Server {
+            state,
+            addr,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The bound address.
@@ -89,12 +94,28 @@ impl Server {
         f(&self.state.db.lock())
     }
 
-    /// Stop accepting connections.
+    /// Sever every live client connection (the server keeps accepting
+    /// new ones). Simulates a crash of the monitor channel: clients see
+    /// EOF at once.
+    pub fn disconnect_all(&self) {
+        let conns = self.state.conns.lock();
+        for (_, stream) in conns.iter() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Number of live client connections.
+    pub fn connection_count(&self) -> usize {
+        self.state.conns.lock().len()
+    }
+
+    /// Stop accepting connections and sever the live ones.
     pub fn shutdown(&mut self) {
         self.state.shutdown.store(true, Ordering::Relaxed);
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
+        self.disconnect_all();
     }
 }
 
@@ -126,6 +147,9 @@ fn serve_connection(state: Arc<ServerState>, stream: TcpStream) {
         Ok(s) => s,
         Err(_) => return,
     };
+    if let Ok(handle) = stream.try_clone() {
+        state.conns.lock().push((conn_id, handle));
+    }
     // Writer thread: drains the outbound queue so slow readers do not
     // block transaction commit.
     let (tx, rx) = unbounded::<Message>();
@@ -152,8 +176,9 @@ fn serve_connection(state: Arc<ServerState>, stream: TcpStream) {
             }
         }
     }
-    // Connection closed: drop its subscriptions and writer.
+    // Connection closed: drop its subscriptions, registry entry, writer.
     state.subs.lock().retain(|s| s.conn_id != conn_id);
+    state.conns.lock().retain(|(id, _)| *id != conn_id);
     drop(tx);
     let _ = writer.join();
 }
@@ -231,13 +256,39 @@ fn handle_request(
     }
 }
 
-/// A blocking OVSDB client.
+/// State shared between a [`Client`] and its reader thread. When the
+/// connection dies (server crash, proxy kill, EOF) the reader thread
+/// tears this down: it marks the client dead, fails every in-flight
+/// call, and closes every monitor channel — so callers observe the
+/// failure immediately instead of hanging until a timeout.
+struct ClientState {
+    pending: Mutex<HashMap<String, Sender<(Json, Json)>>>,
+    monitors: Mutex<Vec<(Json, Sender<Json>)>>,
+    dead: AtomicBool,
+}
+
+impl ClientState {
+    /// Mark the connection dead and release every waiter. Dropping the
+    /// pending senders fails in-flight `call`s; dropping the monitor
+    /// senders disconnects their receivers, which is how the controller
+    /// notices the monitor stream is gone.
+    fn teardown(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        self.pending.lock().clear();
+        self.monitors.lock().clear();
+    }
+}
+
+/// A blocking OVSDB client with explicit connection-failure semantics:
+/// once the transport dies, every call fails fast with "connection
+/// closed" (nothing hangs), monitor channels disconnect, and
+/// [`Client::reconnect`] yields a fresh connection to the same server.
 pub struct Client {
     writer: Mutex<TcpStream>,
-    pending: Arc<Mutex<HashMap<String, Sender<(Json, Json)>>>>,
-    monitors: Arc<Mutex<Vec<(Json, Sender<Json>)>>>,
+    state: Arc<ClientState>,
     next_id: AtomicU64,
-    _reader: JoinHandle<()>,
+    peer: SocketAddr,
+    reader: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Client {
@@ -245,26 +296,28 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let peer = stream.peer_addr()?;
         let read_stream = stream.try_clone()?;
-        let pending: Arc<Mutex<HashMap<String, Sender<(Json, Json)>>>> =
-            Arc::new(Mutex::new(HashMap::new()));
-        let monitors: Arc<Mutex<Vec<(Json, Sender<Json>)>>> = Arc::new(Mutex::new(Vec::new()));
-        let p2 = pending.clone();
-        let m2 = monitors.clone();
+        let state = Arc::new(ClientState {
+            pending: Mutex::new(HashMap::new()),
+            monitors: Mutex::new(Vec::new()),
+            dead: AtomicBool::new(false),
+        });
+        let st = state.clone();
         let reader = std::thread::spawn(move || {
             let mut r = MessageReader::new(read_stream);
             while let Ok(Some(msg)) = r.read() {
                 match msg {
                     Message::Response { id, result, error } => {
                         let key = id.to_string();
-                        if let Some(tx) = p2.lock().remove(&key) {
+                        if let Some(tx) = st.pending.lock().remove(&key) {
                             let _ = tx.send((result, error));
                         }
                     }
                     Message::Notification { method, params } if method == "update" => {
                         let mon_id = params.get(0).cloned().unwrap_or(Json::Null);
                         let updates = params.get(1).cloned().unwrap_or(Json::Null);
-                        for (id, tx) in m2.lock().iter() {
+                        for (id, tx) in st.monitors.lock().iter() {
                             if *id == mon_id {
                                 let _ = tx.send(updates.clone());
                             }
@@ -273,32 +326,86 @@ impl Client {
                     _ => {}
                 }
             }
+            st.teardown();
         });
         Ok(Client {
             writer: Mutex::new(stream),
-            pending,
-            monitors,
+            state,
             next_id: AtomicU64::new(1),
-            _reader: reader,
+            peer,
+            reader: Mutex::new(Some(reader)),
         })
     }
 
+    /// Whether the transport is still up. `false` once the server end
+    /// dropped or [`Client::close`] ran.
+    pub fn is_connected(&self) -> bool {
+        !self.state.dead.load(Ordering::SeqCst)
+    }
+
+    /// The server address this client connected to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Open a fresh connection to the same server. The original client
+    /// keeps its (possibly dead) connection; monitors are per-connection
+    /// and must be re-issued on the new client.
+    pub fn reconnect(&self) -> std::io::Result<Client> {
+        Client::connect(self.peer)
+    }
+
+    /// Close the connection: in-flight calls fail, monitor channels
+    /// disconnect, subsequent calls return "connection closed".
+    pub fn close(&self) {
+        self.state.teardown();
+        let _ = self.writer.lock().shutdown(std::net::Shutdown::Both);
+        if let Some(h) = self.reader.lock().take() {
+            let _ = h.join();
+        }
+    }
+
     fn call(&self, method: &str, params: Json) -> Result<Json, String> {
+        if self.state.dead.load(Ordering::SeqCst) {
+            return Err("connection closed".to_string());
+        }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let id_json = json!(id);
         let (tx, rx) = unbounded();
-        self.pending.lock().insert(id_json.to_string(), tx);
+        let key = id_json.to_string();
+        self.state.pending.lock().insert(key.clone(), tx);
+        // Teardown may have raced between the liveness check and the
+        // insert; re-check so the entry cannot linger and the call
+        // cannot wait on a sender nobody will ever use.
+        if self.state.dead.load(Ordering::SeqCst) {
+            self.state.pending.lock().remove(&key);
+            return Err("connection closed".to_string());
+        }
         {
             let mut w = self.writer.lock();
-            write_message(
+            let res = write_message(
                 &mut *w,
-                &Message::Request { id: id_json, method: method.to_string(), params },
-            )
-            .map_err(|e| e.to_string())?;
+                &Message::Request {
+                    id: id_json,
+                    method: method.to_string(),
+                    params,
+                },
+            );
+            if let Err(e) = res {
+                self.state.pending.lock().remove(&key);
+                self.state.teardown();
+                return Err(e.to_string());
+            }
         }
-        let (result, error) = rx
-            .recv_timeout(Duration::from_secs(30))
-            .map_err(|_| "rpc timeout".to_string())?;
+        let (result, error) = rx.recv_timeout(Duration::from_secs(30)).map_err(|e| {
+            self.state.pending.lock().remove(&key);
+            match e {
+                crossbeam_channel::RecvTimeoutError::Disconnected => {
+                    "connection closed".to_string()
+                }
+                crossbeam_channel::RecvTimeoutError::Timeout => "rpc timeout".to_string(),
+            }
+        })?;
         if !error.is_null() {
             return Err(error.to_string());
         }
@@ -326,7 +433,9 @@ impl Client {
     }
 
     /// Register a monitor; returns the initial table-updates plus a
-    /// channel of subsequent updates.
+    /// channel of subsequent updates. The channel disconnects when the
+    /// connection dies — receivers observe `RecvError` rather than
+    /// blocking forever.
     pub fn monitor(
         &self,
         db: &str,
@@ -334,16 +443,28 @@ impl Client {
         requests: Json,
     ) -> Result<(Json, crossbeam_channel::Receiver<Json>), String> {
         let (tx, rx) = unbounded();
-        self.monitors.lock().push((mon_id.clone(), tx));
-        let initial = self.call("monitor", json!([db, mon_id, requests]))?;
-        Ok((initial, rx))
+        self.state.monitors.lock().push((mon_id.clone(), tx));
+        match self.call("monitor", json!([db, mon_id, requests])) {
+            Ok(initial) => Ok((initial, rx)),
+            Err(e) => {
+                self.state.monitors.lock().retain(|(id, _)| *id != mon_id);
+                Err(e)
+            }
+        }
     }
 
-    /// Cancel a monitor registered on this connection.
+    /// Cancel a monitor registered on this connection. On a dead
+    /// connection this returns an error immediately instead of hanging.
     pub fn monitor_cancel(&self, mon_id: Json) -> Result<(), String> {
         self.call("monitor_cancel", json!([mon_id]))?;
-        self.monitors.lock().retain(|(id, _)| *id != mon_id);
+        self.state.monitors.lock().retain(|(id, _)| *id != mon_id);
         Ok(())
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        self.close();
     }
 }
 
@@ -370,7 +491,10 @@ mod tests {
         let client = Client::connect(server.local_addr()).unwrap();
 
         assert_eq!(client.echo().unwrap(), json!(["ping"]));
-        assert_eq!(client.get_schema("testdb").unwrap()["name"], json!("testdb"));
+        assert_eq!(
+            client.get_schema("testdb").unwrap()["name"],
+            json!("testdb")
+        );
         assert!(client.get_schema("nope").is_err());
 
         // Monitor, then transact from a second client; the update must
@@ -409,7 +533,9 @@ mod tests {
     fn transact_local_notifies_tcp_monitors() {
         let server = Server::start(test_db(), "127.0.0.1:0").unwrap();
         let client = Client::connect(server.local_addr()).unwrap();
-        let (_, updates) = client.monitor("testdb", json!(1), json!({"T": {}})).unwrap();
+        let (_, updates) = client
+            .monitor("testdb", json!(1), json!({"T": {}}))
+            .unwrap();
         server.transact_local(&json!([
             {"op": "insert", "table": "T", "row": {"k": "x", "v": 9}}
         ]));

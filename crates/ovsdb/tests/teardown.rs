@@ -1,0 +1,156 @@
+//! Connection-teardown semantics: when the transport under a client
+//! dies, everything waiting on it must observe the failure promptly —
+//! monitor channels disconnect, in-flight and subsequent calls error,
+//! and nothing hangs. These are the guarantees the controller's
+//! supervisor (crate `nerpa`) builds recovery on.
+
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::RecvTimeoutError;
+use ovsdb::db::Database;
+use ovsdb::schema::Schema;
+use ovsdb::{Client, Server};
+use serde_json::json;
+
+fn test_db() -> Database {
+    let schema = Schema::from_json(&json!({
+        "name": "testdb",
+        "tables": {
+            "T": {"columns": {"k": {"type": "string"},
+                              "v": {"type": "integer"}}, "isRoot": true}
+        }
+    }))
+    .unwrap();
+    Database::new(schema)
+}
+
+fn insert(client: &Client, k: &str, v: i64) {
+    client
+        .transact(
+            "testdb",
+            json!([{"op": "insert", "table": "T", "row": {"k": k, "v": v}}]),
+        )
+        .unwrap();
+}
+
+#[test]
+fn server_drop_mid_monitor_closes_channel() {
+    let server = Server::start(test_db(), "127.0.0.1:0").unwrap();
+    let client = Client::connect(server.local_addr()).unwrap();
+    let (initial, updates) = client
+        .monitor("testdb", json!("m"), json!({"T": {}}))
+        .unwrap();
+    assert_eq!(initial, json!({}));
+    assert!(client.is_connected());
+
+    // A live update still flows.
+    insert(&client, "a", 1);
+    updates.recv_timeout(Duration::from_secs(5)).unwrap();
+
+    // Sever every connection server-side, as a crash would. The monitor
+    // channel must disconnect — not block, not deliver garbage.
+    server.disconnect_all();
+    let start = Instant::now();
+    match updates.recv_timeout(Duration::from_secs(5)) {
+        Err(RecvTimeoutError::Disconnected) => {}
+        other => panic!("expected disconnect, got {other:?}"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "disconnect must be observed promptly, not via timeout"
+    );
+    assert!(!client.is_connected());
+}
+
+#[test]
+fn calls_on_dead_connection_fail_fast() {
+    let server = Server::start(test_db(), "127.0.0.1:0").unwrap();
+    let client = Client::connect(server.local_addr()).unwrap();
+    client
+        .monitor("testdb", json!("m"), json!({"T": {}}))
+        .unwrap();
+
+    server.disconnect_all();
+    // Give the reader thread a moment to observe EOF and tear down.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while client.is_connected() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(!client.is_connected());
+
+    // monitor_cancel on a dead connection errors instead of hanging.
+    let start = Instant::now();
+    assert!(client.monitor_cancel(json!("m")).is_err());
+    assert!(start.elapsed() < Duration::from_secs(1));
+
+    // So does every other call.
+    assert!(client.echo().is_err());
+    assert!(client.transact("testdb", json!([])).is_err());
+}
+
+#[test]
+fn close_is_clean_and_idempotent() {
+    let server = Server::start(test_db(), "127.0.0.1:0").unwrap();
+    let client = Client::connect(server.local_addr()).unwrap();
+    let (_, updates) = client
+        .monitor("testdb", json!("m"), json!({"T": {}}))
+        .unwrap();
+
+    client.close();
+    client.close(); // second close is a no-op
+    assert!(!client.is_connected());
+    assert_eq!(
+        updates.recv_timeout(Duration::from_millis(500)),
+        Err(RecvTimeoutError::Disconnected)
+    );
+    assert!(client.echo().is_err());
+}
+
+#[test]
+fn reconnect_restores_service_and_monitors() {
+    let server = Server::start(test_db(), "127.0.0.1:0").unwrap();
+    let client = Client::connect(server.local_addr()).unwrap();
+    let (_, updates) = client
+        .monitor("testdb", json!("m"), json!({"T": {}}))
+        .unwrap();
+
+    server.disconnect_all();
+    assert_eq!(
+        updates.recv_timeout(Duration::from_secs(5)),
+        Err(RecvTimeoutError::Disconnected)
+    );
+
+    // Monitors are per-connection: the fresh client re-issues and gets
+    // the rows committed while the old link was down in its snapshot.
+    insert(&Client::connect(server.local_addr()).unwrap(), "b", 2);
+    let fresh = client.reconnect().unwrap();
+    assert!(fresh.is_connected());
+    let (initial, updates) = fresh
+        .monitor("testdb", json!("m"), json!({"T": {}}))
+        .unwrap();
+    assert_eq!(initial["T"].as_object().unwrap().len(), 1);
+    insert(&fresh, "c", 3);
+    updates.recv_timeout(Duration::from_secs(5)).unwrap();
+}
+
+#[test]
+fn server_tracks_connection_registry() {
+    let server = Server::start(test_db(), "127.0.0.1:0").unwrap();
+    let c1 = Client::connect(server.local_addr()).unwrap();
+    let c2 = Client::connect(server.local_addr()).unwrap();
+    // Registration happens on the connection threads; poll briefly.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.connection_count() < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.connection_count(), 2);
+
+    c1.close();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.connection_count() > 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.connection_count(), 1);
+    assert!(c2.is_connected());
+    drop(c2);
+}

@@ -44,17 +44,12 @@ pub mod u128_pairs_str {
     use serde::{Deserialize, Deserializer, Serializer};
 
     /// Serialize as `[[name, "value"], ...]`.
-    pub fn serialize<S: Serializer>(
-        v: &[(String, u128)],
-        s: S,
-    ) -> Result<S::Ok, S::Error> {
+    pub fn serialize<S: Serializer>(v: &[(String, u128)], s: S) -> Result<S::Ok, S::Error> {
         s.collect_seq(v.iter().map(|(n, x)| (n.clone(), x.to_string())))
     }
 
     /// Deserialize the paired form.
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        d: D,
-    ) -> Result<Vec<(String, u128)>, D::Error> {
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<(String, u128)>, D::Error> {
         let v: Vec<(String, String)> = Vec::deserialize(d)?;
         v.into_iter()
             .map(|(n, s)| Ok((n, s.parse().map_err(serde::de::Error::custom)?)))
@@ -161,6 +156,9 @@ pub enum ControlRequest {
         /// Table name.
         table: String,
     },
+    /// Read back the entries of every table — the one-round-trip state
+    /// snapshot the controller uses to reconcile a restarted switch.
+    ReadAllTables,
     /// Subscribe this connection to digest notifications.
     SubscribeDigests,
     /// Inject a packet into a port (packet-out).
@@ -200,6 +198,12 @@ pub enum ControlResponse {
         /// The entries.
         entries: Vec<TableEntry>,
     },
+    /// Full table-state snapshot: every table with its entries, sorted
+    /// by table name.
+    AllTables {
+        /// (table name, entries) for every table in the program.
+        tables: Vec<(String, Vec<TableEntry>)>,
+    },
     /// Digest notification (streamed to subscribers).
     DigestList {
         /// The digests since the previous notification.
@@ -232,8 +236,14 @@ mod tests {
                     table: "InVlan".into(),
                     matches: vec![
                         FieldMatch::Exact { value: 3 },
-                        FieldMatch::Ternary { value: 0x10, mask: 0xf0 },
-                        FieldMatch::Lpm { value: 0x0a000000, prefix_len: 8 },
+                        FieldMatch::Ternary {
+                            value: 0x10,
+                            mask: 0xf0,
+                        },
+                        FieldMatch::Lpm {
+                            value: 0x0a000000,
+                            prefix_len: 8,
+                        },
                     ],
                     priority: 10,
                     action: "set_vlan".into(),
@@ -258,7 +268,10 @@ mod tests {
 
     #[test]
     fn digest_field_lookup() {
-        let d = Digest { name: "d".into(), fields: vec![("a".into(), 1), ("b".into(), 2)] };
+        let d = Digest {
+            name: "d".into(),
+            fields: vec![("a".into(), 1), ("b".into(), 2)],
+        };
         assert_eq!(d.field("b"), Some(2));
         assert_eq!(d.field("c"), None);
     }

@@ -58,6 +58,16 @@ impl SwitchDevice {
         self.inner.lock().write(updates)
     }
 
+    /// Read a table's entries (`None` if the table doesn't exist).
+    pub fn read_table(&self, table: &str) -> Option<Vec<crate::runtime::TableEntry>> {
+        self.inner.lock().read_table(table).map(|e| e.to_vec())
+    }
+
+    /// Snapshot every table's entries, sorted by table name.
+    pub fn read_all_tables(&self) -> Vec<(String, Vec<crate::runtime::TableEntry>)> {
+        self.inner.lock().read_all_tables()
+    }
+
     /// Configure a multicast group.
     pub fn set_mcast_group(&self, group: u16, ports: Vec<u16>) {
         self.inner.lock().set_mcast_group(group, ports);
@@ -87,9 +97,7 @@ pub fn write_frame<T: serde::Serialize>(w: &mut impl Write, msg: &T) -> std::io:
 }
 
 /// Read one length-prefixed JSON message; `Ok(None)` on clean EOF.
-pub fn read_frame<T: serde::de::DeserializeOwned>(
-    r: &mut impl Read,
-) -> std::io::Result<Option<T>> {
+pub fn read_frame<T: serde::de::DeserializeOwned>(r: &mut impl Read) -> std::io::Result<Option<T>> {
     let mut len_buf = [0u8; 4];
     match r.read_exact(&mut len_buf) {
         Ok(()) => {}
@@ -113,21 +121,30 @@ pub fn read_frame<T: serde::de::DeserializeOwned>(
 
 // ------------------------------------------------------------- service
 
-/// A running control service for one switch device.
+/// A running control service for one switch device. Shutting it down
+/// (or dropping it) severs live control connections, so a service
+/// restart looks exactly like a switch restart from the controller's
+/// side: connections die, state must be reconciled on reconnect.
 pub struct ControlService {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ControlService {
     /// Serve `device` on `addr` (port 0 = ephemeral).
-    pub fn start(device: SwitchDevice, addr: impl ToSocketAddrs) -> std::io::Result<ControlService> {
+    pub fn start(
+        device: SwitchDevice,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<ControlService> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         let sd = shutdown.clone();
+        let cn = conns.clone();
         let accept_thread = std::thread::spawn(move || loop {
             if sd.load(Ordering::Relaxed) {
                 break;
@@ -135,9 +152,10 @@ impl ControlService {
             match listener.accept() {
                 Ok((stream, _)) => {
                     let dev = device.clone();
-                    std::thread::spawn(move ||
-
- serve_conn(dev, stream));
+                    if let Ok(handle) = stream.try_clone() {
+                        cn.lock().push(handle);
+                    }
+                    std::thread::spawn(move || serve_conn(dev, stream));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
@@ -145,7 +163,12 @@ impl ControlService {
                 Err(_) => break,
             }
         });
-        Ok(ControlService { addr, shutdown, accept_thread: Some(accept_thread) })
+        Ok(ControlService {
+            addr,
+            shutdown,
+            conns,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The bound address.
@@ -153,12 +176,23 @@ impl ControlService {
         self.addr
     }
 
-    /// Stop accepting connections.
+    /// Sever every live control connection without stopping the
+    /// listener (a transient switch-channel failure).
+    pub fn disconnect_all(&self) {
+        let mut conns = self.conns.lock();
+        for stream in conns.iter() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        conns.clear();
+    }
+
+    /// Stop accepting connections and sever the live ones.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
+        self.disconnect_all();
     }
 }
 
@@ -175,24 +209,27 @@ fn serve_conn(device: SwitchDevice, stream: TcpStream) {
         Err(_) => return,
     };
     let write_half = Arc::new(Mutex::new(stream));
-    loop {
-        let req: ControlRequest = match read_frame(&mut read_half) {
-            Ok(Some(r)) => r,
-            Ok(None) | Err(_) => break,
-        };
+    while let Ok(Some(req)) = read_frame::<ControlRequest>(&mut read_half) {
         let resp = match req {
             ControlRequest::Write { updates } => match device.write(&updates) {
                 Ok(()) => ControlResponse::WriteResult { error: None },
                 Err(e) => ControlResponse::WriteResult { error: Some(e) },
             },
-            ControlRequest::GetP4Info => ControlResponse::P4Info { info: device.p4info() },
-            ControlRequest::ReadTable { table } => device.with_switch(|sw| {
-                match sw.read_table(&table) {
-                    Some(entries) => {
-                        ControlResponse::TableEntries { entries: entries.to_vec() }
-                    }
-                    None => ControlResponse::Error { message: format!("no table `{table}`") },
-                }
+            ControlRequest::GetP4Info => ControlResponse::P4Info {
+                info: device.p4info(),
+            },
+            ControlRequest::ReadTable { table } => {
+                device.with_switch(|sw| match sw.read_table(&table) {
+                    Some(entries) => ControlResponse::TableEntries {
+                        entries: entries.to_vec(),
+                    },
+                    None => ControlResponse::Error {
+                        message: format!("no table `{table}`"),
+                    },
+                })
+            }
+            ControlRequest::ReadAllTables => device.with_switch(|sw| ControlResponse::AllTables {
+                tables: sw.read_all_tables(),
             }),
             ControlRequest::SubscribeDigests => {
                 let rx = device.subscribe_digests();
@@ -247,7 +284,10 @@ impl ControlClient {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ControlClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(ControlClient { stream: Mutex::new(stream), digest_rx: None })
+        Ok(ControlClient {
+            stream: Mutex::new(stream),
+            digest_rx: None,
+        })
     }
 
     fn roundtrip(&self, req: &ControlRequest) -> Result<ControlResponse, String> {
@@ -286,8 +326,22 @@ impl ControlClient {
 
     /// Read a table's entries.
     pub fn read_table(&self, table: &str) -> Result<Vec<crate::runtime::TableEntry>, String> {
-        match self.roundtrip(&ControlRequest::ReadTable { table: table.to_string() })? {
+        match self.roundtrip(&ControlRequest::ReadTable {
+            table: table.to_string(),
+        })? {
             ControlResponse::TableEntries { entries } => Ok(entries),
+            ControlResponse::Error { message } => Err(message),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Read every table's entries in one round trip (sorted by table
+    /// name) — the reconciliation snapshot for a restarted switch.
+    pub fn read_all_tables(
+        &self,
+    ) -> Result<Vec<(String, Vec<crate::runtime::TableEntry>)>, String> {
+        match self.roundtrip(&ControlRequest::ReadAllTables)? {
+            ControlResponse::AllTables { tables } => Ok(tables),
             ControlResponse::Error { message } => Err(message),
             other => Err(format!("unexpected response {other:?}")),
         }
@@ -323,7 +377,11 @@ impl ControlClient {
             }
         }
         let (tx, rx) = unbounded();
-        let stream = self.stream.get_mut().try_clone().map_err(|e| e.to_string())?;
+        let stream = self
+            .stream
+            .get_mut()
+            .try_clone()
+            .map_err(|e| e.to_string())?;
         std::thread::spawn(move || {
             let mut s = stream;
             loop {
@@ -377,6 +435,16 @@ mod tests {
         let entries = client.read_table("InVlan").unwrap();
         assert_eq!(entries.len(), 1);
         assert!(client.read_table("NoSuch").is_err());
+
+        // Full-state read-back: every table, sorted, in one round trip.
+        let all = client.read_all_tables().unwrap();
+        assert_eq!(all.len(), 2);
+        let mut names: Vec<&str> = all.iter().map(|(n, _)| n.as_str()).collect();
+        let sorted = names.clone();
+        names.sort();
+        assert_eq!(names, sorted);
+        let invlan = all.iter().find(|(n, _)| n == "InVlan").unwrap();
+        assert_eq!(invlan.1.len(), 1);
 
         // Invalid write reports the error without closing the stream.
         let err = client

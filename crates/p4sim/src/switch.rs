@@ -80,7 +80,12 @@ impl Switch {
         for (_, t) in program.all_tables() {
             tables.insert(t.name.clone(), RuntimeTable::new(t.clone()));
         }
-        Switch { program, tables, mcast_groups: HashMap::new(), stats: SwitchStats::default() }
+        Switch {
+            program,
+            tables,
+            mcast_groups: HashMap::new(),
+            stats: SwitchStats::default(),
+        }
     }
 
     /// Compile source text and instantiate.
@@ -142,6 +147,26 @@ impl Switch {
     /// Read the entries of a table.
     pub fn read_table(&self, name: &str) -> Option<&[TableEntry]> {
         self.tables.get(name).map(|t| t.entries())
+    }
+
+    /// The names of all runtime tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Snapshot of every table's entries, sorted by table name — the
+    /// read-back surface used to reconcile a restarted switch against
+    /// the controller's desired state.
+    pub fn read_all_tables(&self) -> Vec<(String, Vec<TableEntry>)> {
+        let mut out: Vec<(String, Vec<TableEntry>)> = self
+            .tables
+            .iter()
+            .map(|(name, t)| (name.clone(), t.entries().to_vec()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Total entries across all tables.
@@ -228,7 +253,7 @@ impl Switch {
                 digests: Vec::new(),
             };
             run_block(&egress.apply, &egress, &mut ectx, &mut self.tables);
-            ctx.digests.extend(ectx.digests.drain(..));
+            ctx.digests.append(&mut ectx.digests);
             if !ectx.std.drop {
                 let bytes = ectx.pkt.deparse(&self.program);
                 *self.stats.tx_packets.entry(out_port).or_insert(0) += 1;
@@ -309,12 +334,18 @@ fn run_block(
                 let p = eval(e, ctx) as u16;
                 ctx.std.clones.push(p);
             }
-            Stmt::Digest { struct_name, fields } => {
+            Stmt::Digest {
+                struct_name,
+                fields,
+            } => {
                 let vals: Vec<(String, u128)> = fields
                     .iter()
                     .map(|(f, e)| (f.clone(), eval(e, ctx)))
                     .collect();
-                ctx.digests.push(Digest { name: struct_name.clone(), fields: vals });
+                ctx.digests.push(Digest {
+                    name: struct_name.clone(),
+                    fields: vals,
+                });
             }
             Stmt::SetValid { member, valid } => {
                 if let Some(inst) = ctx.pkt.headers.get_mut(member) {
@@ -360,7 +391,11 @@ fn call_action(
 
 fn read_lvalue(lv: &LValue, ctx: &Ctx<'_>) -> u128 {
     match lv {
-        LValue::Field { root, member, field } => match root.as_str() {
+        LValue::Field {
+            root,
+            member,
+            field,
+        } => match root.as_str() {
             "hdr" => ctx.pkt.get_field(ctx.prog, member, field).unwrap_or(0),
             "meta" => ctx.meta.get(field).copied().unwrap_or(0),
             "std" => match field.as_str() {
@@ -380,7 +415,11 @@ fn read_lvalue(lv: &LValue, ctx: &Ctx<'_>) -> u128 {
 
 fn write_lvalue(lv: &LValue, value: u128, ctx: &mut Ctx<'_>) {
     match lv {
-        LValue::Field { root, member, field } => match root.as_str() {
+        LValue::Field {
+            root,
+            member,
+            field,
+        } => match root.as_str() {
             "hdr" => ctx.pkt.set_field(ctx.prog, member, field, value),
             "meta" => {
                 let width = lvalue_width(ctx.prog, lv).unwrap_or(128);
@@ -406,9 +445,12 @@ fn eval(e: &Expr, ctx: &Ctx<'_>) -> u128 {
         Expr::Lit(v) => *v,
         Expr::Ref(lv) => read_lvalue(lv, ctx),
         Expr::Cast(w, inner) => crate::mask(eval(inner, ctx), *w),
-        Expr::IsValid { member, .. } => {
-            ctx.pkt.headers.get(member).map(|h| h.valid as u128).unwrap_or(0)
-        }
+        Expr::IsValid { member, .. } => ctx
+            .pkt
+            .headers
+            .get(member)
+            .map(|h| h.valid as u128)
+            .unwrap_or(0),
         Expr::Unary(op, inner) => {
             let v = eval(inner, ctx);
             match op {
@@ -476,7 +518,13 @@ mod tests {
         f
     }
 
-    fn insert(sw: &mut Switch, table: &str, matches: Vec<FieldMatch>, action: &str, params: Vec<u128>) {
+    fn insert(
+        sw: &mut Switch,
+        table: &str,
+        matches: Vec<FieldMatch>,
+        action: &str,
+        params: Vec<u128>,
+    ) {
         sw.write(&[Update {
             op: WriteOp::Insert,
             entry: TableEntry {
@@ -502,12 +550,21 @@ mod tests {
     fn unicast_forwarding_via_learned_mac() {
         let mut sw = Switch::from_source(DEMO).unwrap();
         // Port 1 is an access port on VLAN 10.
-        insert(&mut sw, "InVlan", vec![FieldMatch::Exact { value: 1 }], "set_vlan", vec![10]);
+        insert(
+            &mut sw,
+            "InVlan",
+            vec![FieldMatch::Exact { value: 1 }],
+            "set_vlan",
+            vec![10],
+        );
         // MAC 0xBB on VLAN 10 lives behind port 7.
         insert(
             &mut sw,
             "MacLearned",
-            vec![FieldMatch::Exact { value: 10 }, FieldMatch::Exact { value: 0xBB }],
+            vec![
+                FieldMatch::Exact { value: 10 },
+                FieldMatch::Exact { value: 0xBB },
+            ],
             "output",
             vec![7],
         );
@@ -525,7 +582,13 @@ mod tests {
     #[test]
     fn multicast_flood_prunes_ingress() {
         let mut sw = Switch::from_source(DEMO).unwrap();
-        insert(&mut sw, "InVlan", vec![FieldMatch::Exact { value: 1 }], "set_vlan", vec![10]);
+        insert(
+            &mut sw,
+            "InVlan",
+            vec![FieldMatch::Exact { value: 1 }],
+            "set_vlan",
+            vec![10],
+        );
         // Unknown destination → flood() sets mcast_grp = vlan id.
         sw.set_mcast_group(10, vec![1, 2, 3]);
         let r = sw.process_packet(1, &eth_frame(0xFF, 0xAA, 0x0800, b"bcast"));
@@ -537,11 +600,20 @@ mod tests {
     #[test]
     fn vlan_tagged_packet_overrides_port_vlan() {
         let mut sw = Switch::from_source(DEMO).unwrap();
-        insert(&mut sw, "InVlan", vec![FieldMatch::Exact { value: 1 }], "set_vlan", vec![10]);
+        insert(
+            &mut sw,
+            "InVlan",
+            vec![FieldMatch::Exact { value: 1 }],
+            "set_vlan",
+            vec![10],
+        );
         insert(
             &mut sw,
             "MacLearned",
-            vec![FieldMatch::Exact { value: 0x64 }, FieldMatch::Exact { value: 0xBB }],
+            vec![
+                FieldMatch::Exact { value: 0x64 },
+                FieldMatch::Exact { value: 0xBB },
+            ],
             "output",
             vec![4],
         );
@@ -597,7 +669,13 @@ mod tests {
     #[test]
     fn counters_track_activity() {
         let mut sw = Switch::from_source(DEMO).unwrap();
-        insert(&mut sw, "InVlan", vec![FieldMatch::Exact { value: 1 }], "set_vlan", vec![10]);
+        insert(
+            &mut sw,
+            "InVlan",
+            vec![FieldMatch::Exact { value: 1 }],
+            "set_vlan",
+            vec![10],
+        );
         sw.set_mcast_group(10, vec![2]);
         sw.process_packet(1, &eth_frame(0xFF, 0xAA, 0x0800, b"x"));
         assert_eq!(sw.stats.rx_packets[&1], 1);
