@@ -48,7 +48,9 @@ impl FullRecompute {
                     entries.insert(TableEntry {
                         table: "InVlan".into(),
                         matches: vec![
-                            FieldMatch::Exact { value: p.id as u128 },
+                            FieldMatch::Exact {
+                                value: p.id as u128,
+                            },
                             FieldMatch::Exact { value: 0 },
                         ],
                         priority: 0,
@@ -60,7 +62,9 @@ impl FullRecompute {
                     entries.insert(TableEntry {
                         table: "InVlan".into(),
                         matches: vec![
-                            FieldMatch::Exact { value: p.id as u128 },
+                            FieldMatch::Exact {
+                                value: p.id as u128,
+                            },
                             FieldMatch::Exact { value: 1 },
                         ],
                         priority: 0,
@@ -69,7 +73,9 @@ impl FullRecompute {
                     });
                     entries.insert(TableEntry {
                         table: "OutVlan".into(),
-                        matches: vec![FieldMatch::Exact { value: p.id as u128 }],
+                        matches: vec![FieldMatch::Exact {
+                            value: p.id as u128,
+                        }],
                         priority: 0,
                         action: "mark_tagged".into(),
                         params: vec![],
@@ -79,7 +85,9 @@ impl FullRecompute {
             if let Some(dst) = p.mirror {
                 entries.insert(TableEntry {
                     table: "Mirror".into(),
-                    matches: vec![FieldMatch::Exact { value: p.id as u128 }],
+                    matches: vec![FieldMatch::Exact {
+                        value: p.id as u128,
+                    }],
                     priority: 0,
                     action: "mirror_to".into(),
                     params: vec![dst as u128],
@@ -111,7 +119,9 @@ impl FullRecompute {
             entries.insert(TableEntry {
                 table: "MacLearned".into(),
                 matches: vec![
-                    FieldMatch::Exact { value: vlan as u128 },
+                    FieldMatch::Exact {
+                        value: vlan as u128,
+                    },
                     FieldMatch::Exact { value: mac as u128 },
                 ],
                 priority: 0,
@@ -136,15 +146,19 @@ impl FullRecompute {
 
         let mut updates = Vec::new();
         for stale in self.installed.difference(&desired) {
-            updates.push(Update { op: WriteOp::Delete, entry: stale.clone() });
+            updates.push(Update {
+                op: WriteOp::Delete,
+                entry: stale.clone(),
+            });
         }
         for fresh in desired.difference(&self.installed) {
-            updates.push(Update { op: WriteOp::Insert, entry: fresh.clone() });
+            updates.push(Update {
+                op: WriteOp::Insert,
+                entry: fresh.clone(),
+            });
         }
         // Deterministic order: deletes before inserts, then by entry.
-        updates.sort_by_key(|u| {
-            (matches!(u.op, WriteOp::Insert), format!("{:?}", u.entry))
-        });
+        updates.sort_by_key(|u| (matches!(u.op, WriteOp::Insert), format!("{:?}", u.entry)));
 
         let mut mcast_updates = Vec::new();
         for (g, members) in &groups {
@@ -203,8 +217,16 @@ mod tests {
         let mut c = FullRecompute::new();
         let ports = vec![PortConfig::access(1, 10), PortConfig::access(2, 10)];
         let macs = vec![
-            LearnedMac { port: 1, mac: 0xAB, vlan: 10 },
-            LearnedMac { port: 2, mac: 0xAB, vlan: 10 },
+            LearnedMac {
+                port: 1,
+                mac: 0xAB,
+                vlan: 10,
+            },
+            LearnedMac {
+                port: 2,
+                mac: 0xAB,
+                vlan: 10,
+            },
         ];
         let (ups, _) = c.reconcile(&ports, &macs);
         let mac_entry = ups
@@ -219,8 +241,7 @@ mod tests {
         // The defining property of the baseline: handling one change in a
         // network of n ports costs O(n).
         let mut c = FullRecompute::new();
-        let mut ports: Vec<PortConfig> =
-            (1..=100).map(|i| PortConfig::access(i, 10)).collect();
+        let mut ports: Vec<PortConfig> = (1..=100).map(|i| PortConfig::access(i, 10)).collect();
         c.reconcile(&ports, &[]);
         let w0 = c.entries_computed;
         ports.push(PortConfig::access(101, 10));

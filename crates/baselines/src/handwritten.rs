@@ -72,9 +72,8 @@ impl HandwrittenIncremental {
             Event::MacLearned(m) => self.mac_learned(m, &mut out),
         }
         // Deletes before inserts so key replacement is valid.
-        out.updates.sort_by_key(|u| {
-            (matches!(u.op, WriteOp::Insert), format!("{:?}", u.entry))
-        });
+        out.updates
+            .sort_by_key(|u| (matches!(u.op, WriteOp::Insert), format!("{:?}", u.entry)));
         self.entries_pushed += out.updates.len() as u64;
         out
     }
@@ -126,10 +125,15 @@ impl HandwrittenIncremental {
     }
 
     fn port_removed(&mut self, id: u16, out: &mut EventOutput) {
-        let Some(cfg) = self.ports.remove(&id) else { return };
+        let Some(cfg) = self.ports.remove(&id) else {
+            return;
+        };
         self.retract_mode_entries(&cfg, out);
         if let Some(d) = cfg.mirror {
-            out.updates.push(Update { op: WriteOp::Delete, entry: mirror_entry(id, d) });
+            out.updates.push(Update {
+                op: WriteOp::Delete,
+                entry: mirror_entry(id, d),
+            });
         }
         for v in cfg.vlans() {
             self.leave_vlan(id, v, out);
@@ -143,8 +147,14 @@ impl HandwrittenIncremental {
                 entry: invlan_access(cfg.id, *vlan),
             }),
             Mode::Trunk(_) => {
-                out.updates.push(Update { op: WriteOp::Insert, entry: invlan_trunk(cfg.id) });
-                out.updates.push(Update { op: WriteOp::Insert, entry: outvlan_tagged(cfg.id) });
+                out.updates.push(Update {
+                    op: WriteOp::Insert,
+                    entry: invlan_trunk(cfg.id),
+                });
+                out.updates.push(Update {
+                    op: WriteOp::Insert,
+                    entry: outvlan_tagged(cfg.id),
+                });
             }
         }
     }
@@ -156,8 +166,14 @@ impl HandwrittenIncremental {
                 entry: invlan_access(cfg.id, *vlan),
             }),
             Mode::Trunk(_) => {
-                out.updates.push(Update { op: WriteOp::Delete, entry: invlan_trunk(cfg.id) });
-                out.updates.push(Update { op: WriteOp::Delete, entry: outvlan_tagged(cfg.id) });
+                out.updates.push(Update {
+                    op: WriteOp::Delete,
+                    entry: invlan_trunk(cfg.id),
+                });
+                out.updates.push(Update {
+                    op: WriteOp::Delete,
+                    entry: outvlan_tagged(cfg.id),
+                });
             }
         }
     }
@@ -281,7 +297,9 @@ fn invlan_access(port: u16, vlan: u16) -> TableEntry {
     TableEntry {
         table: "InVlan".into(),
         matches: vec![
-            FieldMatch::Exact { value: port as u128 },
+            FieldMatch::Exact {
+                value: port as u128,
+            },
             FieldMatch::Exact { value: 0 },
         ],
         priority: 0,
@@ -294,7 +312,9 @@ fn invlan_trunk(port: u16) -> TableEntry {
     TableEntry {
         table: "InVlan".into(),
         matches: vec![
-            FieldMatch::Exact { value: port as u128 },
+            FieldMatch::Exact {
+                value: port as u128,
+            },
             FieldMatch::Exact { value: 1 },
         ],
         priority: 0,
@@ -306,7 +326,9 @@ fn invlan_trunk(port: u16) -> TableEntry {
 fn outvlan_tagged(port: u16) -> TableEntry {
     TableEntry {
         table: "OutVlan".into(),
-        matches: vec![FieldMatch::Exact { value: port as u128 }],
+        matches: vec![FieldMatch::Exact {
+            value: port as u128,
+        }],
         priority: 0,
         action: "mark_tagged".into(),
         params: vec![],
@@ -316,7 +338,9 @@ fn outvlan_tagged(port: u16) -> TableEntry {
 fn mirror_entry(port: u16, dst: u16) -> TableEntry {
     TableEntry {
         table: "Mirror".into(),
-        matches: vec![FieldMatch::Exact { value: port as u128 }],
+        matches: vec![FieldMatch::Exact {
+            value: port as u128,
+        }],
         priority: 0,
         action: "mirror_to".into(),
         params: vec![dst as u128],
@@ -327,7 +351,9 @@ fn mac_entry(vlan: u16, mac: u64, port: u16) -> TableEntry {
     TableEntry {
         table: "MacLearned".into(),
         matches: vec![
-            FieldMatch::Exact { value: vlan as u128 },
+            FieldMatch::Exact {
+                value: vlan as u128,
+            },
             FieldMatch::Exact { value: mac as u128 },
         ],
         priority: 0,
@@ -350,8 +376,16 @@ mod tests {
         // Reconfigure to a trunk: access entry retracted, trunk entries
         // installed, VLAN membership updated.
         let out = c.handle(Event::PortUpserted(PortConfig::trunk(1, vec![10, 20])));
-        let dels = out.updates.iter().filter(|u| matches!(u.op, WriteOp::Delete)).count();
-        let ins = out.updates.iter().filter(|u| matches!(u.op, WriteOp::Insert)).count();
+        let dels = out
+            .updates
+            .iter()
+            .filter(|u| matches!(u.op, WriteOp::Delete))
+            .count();
+        let ins = out
+            .updates
+            .iter()
+            .filter(|u| matches!(u.op, WriteOp::Insert))
+            .count();
         assert_eq!((dels, ins), (1, 2));
         assert!(out.mcast.contains(&(20, vec![1])));
 
@@ -367,15 +401,27 @@ mod tests {
         let mut c = HandwrittenIncremental::new();
         c.handle(Event::PortUpserted(PortConfig::access(1, 10)));
         c.handle(Event::PortUpserted(PortConfig::access(2, 10)));
-        let out = c.handle(Event::MacLearned(LearnedMac { port: 1, mac: 0xAB, vlan: 10 }));
+        let out = c.handle(Event::MacLearned(LearnedMac {
+            port: 1,
+            mac: 0xAB,
+            vlan: 10,
+        }));
         assert_eq!(out.updates.len(), 1);
 
         // Duplicate observation: no change.
-        let out = c.handle(Event::MacLearned(LearnedMac { port: 1, mac: 0xAB, vlan: 10 }));
+        let out = c.handle(Event::MacLearned(LearnedMac {
+            port: 1,
+            mac: 0xAB,
+            vlan: 10,
+        }));
         assert!(out.updates.is_empty());
 
         // Move to a higher port: replace.
-        let out = c.handle(Event::MacLearned(LearnedMac { port: 2, mac: 0xAB, vlan: 10 }));
+        let out = c.handle(Event::MacLearned(LearnedMac {
+            port: 2,
+            mac: 0xAB,
+            vlan: 10,
+        }));
         assert_eq!(out.updates.len(), 2);
         assert_eq!(out.updates[0].op, WriteOp::Delete);
         assert_eq!(out.updates[1].entry.params, vec![2]);
@@ -383,15 +429,21 @@ mod tests {
         // Removing port 2 falls back to port 1's (persisting)
         // observation.
         let out = c.handle(Event::PortRemoved(2));
-        let mac_ups: Vec<_> =
-            out.updates.iter().filter(|u| u.entry.table == "MacLearned").collect();
+        let mac_ups: Vec<_> = out
+            .updates
+            .iter()
+            .filter(|u| u.entry.table == "MacLearned")
+            .collect();
         assert_eq!(mac_ups.len(), 2);
         assert_eq!(mac_ups[1].entry.params, vec![1]);
 
         // Re-adding port 2 to the VLAN resurrects its observation.
         let out = c.handle(Event::PortUpserted(PortConfig::access(2, 10)));
-        let mac_ups: Vec<_> =
-            out.updates.iter().filter(|u| u.entry.table == "MacLearned").collect();
+        let mac_ups: Vec<_> = out
+            .updates
+            .iter()
+            .filter(|u| u.entry.table == "MacLearned")
+            .collect();
         assert_eq!(mac_ups.len(), 2);
         assert_eq!(mac_ups[1].entry.params, vec![2]);
     }
@@ -406,9 +458,21 @@ mod tests {
         let events = vec![
             Event::PortUpserted(PortConfig::access(1, 10)),
             Event::PortUpserted(PortConfig::trunk(2, vec![10, 20])),
-            Event::MacLearned(LearnedMac { port: 1, mac: 1, vlan: 10 }),
-            Event::PortUpserted(PortConfig { id: 1, mode: Mode::Access(20), mirror: Some(9) }),
-            Event::MacLearned(LearnedMac { port: 2, mac: 1, vlan: 10 }),
+            Event::MacLearned(LearnedMac {
+                port: 1,
+                mac: 1,
+                vlan: 10,
+            }),
+            Event::PortUpserted(PortConfig {
+                id: 1,
+                mode: Mode::Access(20),
+                mirror: Some(9),
+            }),
+            Event::MacLearned(LearnedMac {
+                port: 2,
+                mac: 1,
+                vlan: 10,
+            }),
             Event::PortRemoved(2),
         ];
         for e in events {

@@ -42,9 +42,15 @@ pub fn run_ddlog(n_lbs: usize, backends_per_lb: usize) -> LbRunStats {
     let t0 = Instant::now();
     let mut txn = Transaction::new();
     for lb in 0..n_lbs {
-        txn.insert("LoadBalancer", vec![Value::Int(lb as i128), Value::Int(10_000 + lb as i128)]);
+        txn.insert(
+            "LoadBalancer",
+            vec![Value::Int(lb as i128), Value::Int(10_000 + lb as i128)],
+        );
         for b in 0..backends_per_lb {
-            txn.insert("Backend", vec![Value::Int(lb as i128), Value::Int((lb * 1000 + b) as i128)]);
+            txn.insert(
+                "Backend",
+                vec![Value::Int(lb as i128), Value::Int((lb * 1000 + b) as i128)],
+            );
         }
     }
     let delta = engine.commit(txn).expect("cold start");
@@ -55,9 +61,15 @@ pub fn run_ddlog(n_lbs: usize, backends_per_lb: usize) -> LbRunStats {
     let t1 = Instant::now();
     for lb in 0..n_lbs {
         let mut txn = Transaction::new();
-        txn.delete("LoadBalancer", vec![Value::Int(lb as i128), Value::Int(10_000 + lb as i128)]);
+        txn.delete(
+            "LoadBalancer",
+            vec![Value::Int(lb as i128), Value::Int(10_000 + lb as i128)],
+        );
         for b in 0..backends_per_lb {
-            txn.delete("Backend", vec![Value::Int(lb as i128), Value::Int((lb * 1000 + b) as i128)]);
+            txn.delete(
+                "Backend",
+                vec![Value::Int(lb as i128), Value::Int((lb * 1000 + b) as i128)],
+            );
         }
         let delta = engine.commit(txn).expect("delete");
         stats.flow_changes += delta.len();
@@ -117,7 +129,11 @@ impl HandwrittenLb {
     /// Approximate resident bytes.
     pub fn approx_bytes(&self) -> usize {
         self.vips.len() * 16
-            + self.backends.values().map(|s| 16 + s.len() * 8).sum::<usize>()
+            + self
+                .backends
+                .values()
+                .map(|s| 16 + s.len() * 8)
+                .sum::<usize>()
             + self.flows.len() * 16
     }
 

@@ -35,12 +35,20 @@ pub struct LearnedMac {
 impl PortConfig {
     /// Access-port shorthand.
     pub fn access(id: u16, vlan: u16) -> PortConfig {
-        PortConfig { id, mode: Mode::Access(vlan), mirror: None }
+        PortConfig {
+            id,
+            mode: Mode::Access(vlan),
+            mirror: None,
+        }
     }
 
     /// Trunk-port shorthand.
     pub fn trunk(id: u16, vlans: Vec<u16>) -> PortConfig {
-        PortConfig { id, mode: Mode::Trunk(vlans), mirror: None }
+        PortConfig {
+            id,
+            mode: Mode::Trunk(vlans),
+            mirror: None,
+        }
     }
 
     /// The VLANs this port belongs to.

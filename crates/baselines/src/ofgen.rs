@@ -127,57 +127,100 @@ macro_rules! feature {
     };
 }
 
-feature!(PortClassify, "port-classify",
+feature!(
+    PortClassify,
+    "port-classify",
     "PortUp(p) :- Port(p, _, _).\n",
     |net, prog| {
         for p in &net.ports {
-            prog.frag("classify/admit", 0, 100,
-                format!("in_port={}", p.id), "goto_table:1");
+            prog.frag(
+                "classify/admit",
+                0,
+                100,
+                format!("in_port={}", p.id),
+                "goto_table:1",
+            );
         }
         prog.frag("classify/default-drop", 0, 0, "*", "drop");
-    });
+    }
+);
 
-feature!(VlanAccess, "vlan-access",
+feature!(
+    VlanAccess,
+    "vlan-access",
     "InVlan(p, 0, \"set_port_vlan\", t) :- Port(p, \"access\", t).\n",
     |net, prog| {
         for p in &net.ports {
             if let Mode::Access(v) = &p.mode {
-                prog.frag("vlan/access-in", 1, 90,
+                prog.frag(
+                    "vlan/access-in",
+                    1,
+                    90,
                     format!("in_port={},vlan_tci=0", p.id),
-                    format!("set_field:{v}->vlan_vid,goto_table:2"));
-                prog.frag("vlan/access-out", 7, 90,
-                    format!("reg_out_port={}", p.id), "pop_vlan,output");
+                    format!("set_field:{v}->vlan_vid,goto_table:2"),
+                );
+                prog.frag(
+                    "vlan/access-out",
+                    7,
+                    90,
+                    format!("reg_out_port={}", p.id),
+                    "pop_vlan,output",
+                );
             }
         }
-    });
+    }
+);
 
-feature!(VlanTrunk, "vlan-trunk",
+feature!(
+    VlanTrunk,
+    "vlan-trunk",
     "InVlan(p, 1, \"use_tag\", 0) :- Port(p, \"trunk\", _).\n\
      OutVlan(p, \"mark_tagged\") :- Port(p, \"trunk\", _).\n",
     |net, prog| {
         for p in &net.ports {
             if let Mode::Trunk(vs) = &p.mode {
                 for v in vs {
-                    prog.frag("vlan/trunk-in", 1, 80,
-                        format!("in_port={},dl_vlan={v}", p.id), "goto_table:2");
+                    prog.frag(
+                        "vlan/trunk-in",
+                        1,
+                        80,
+                        format!("in_port={},dl_vlan={v}", p.id),
+                        "goto_table:2",
+                    );
                 }
-                prog.frag("vlan/trunk-out", 7, 80,
-                    format!("reg_out_port={}", p.id), "output");
+                prog.frag(
+                    "vlan/trunk-out",
+                    7,
+                    80,
+                    format!("reg_out_port={}", p.id),
+                    "output",
+                );
             }
         }
-    });
+    }
+);
 
-feature!(MacLearning, "mac-learning",
+feature!(
+    MacLearning,
+    "mac-learning",
     "MacLearned(v, m, \"output\", p) :- mac_learn_t(p, m, v), var p = max(p) group_by (m, v).\n",
     |net, prog| {
         // The learn-action fragment plus the resubmit plumbing.
-        prog.frag("l2/learn", 2, 50, "*",
-            "learn(table=3,hard_timeout=300,dl_dst=dl_src,output:in_port),goto_table:3");
+        prog.frag(
+            "l2/learn",
+            2,
+            50,
+            "*",
+            "learn(table=3,hard_timeout=300,dl_dst=dl_src,output:in_port),goto_table:3",
+        );
         prog.frag("l2/lookup-miss", 3, 0, "*", "goto_table:4");
         let _ = net;
-    });
+    }
+);
 
-feature!(Flooding, "flooding",
+feature!(
+    Flooding,
+    "flooding",
     "MulticastGroup(v, p) :- PortVlan(p, v).\n",
     |net, prog| {
         let vlans: BTreeSet<u16> = net.ports.iter().flat_map(|p| p.vlans()).collect();
@@ -188,86 +231,150 @@ feature!(Flooding, "flooding",
                 .filter(|p| p.vlans().contains(&v))
                 .map(|p| format!("output:{}", p.id))
                 .collect();
-            prog.frag("flood/per-vlan", 4, 10,
-                format!("dl_vlan={v},dl_dst=ff:ff:ff:ff:ff:ff"), members.join(","));
+            prog.frag(
+                "flood/per-vlan",
+                4,
+                10,
+                format!("dl_vlan={v},dl_dst=ff:ff:ff:ff:ff:ff"),
+                members.join(","),
+            );
         }
         prog.frag("flood/unknown-unicast", 4, 5, "*", "resubmit(,5)");
-    });
+    }
+);
 
-feature!(AclL4, "acl-l4",
+feature!(
+    AclL4,
+    "acl-l4",
     "AclVerdict(dport, allow) :- Acl(dport, allow).\n\
      Drop(f) :- Flow(f, dport), AclVerdict(dport, false).\n",
     |net, prog| {
         for (dport, allow) in &net.acls {
-            prog.frag("acl/l4", 5, 60,
+            prog.frag(
+                "acl/l4",
+                5,
+                60,
                 format!("tcp,tp_dst={dport}"),
-                if *allow { "goto_table:6" } else { "drop" });
+                if *allow { "goto_table:6" } else { "drop" },
+            );
         }
         prog.frag("acl/default", 5, 0, "*", "goto_table:6");
-    });
+    }
+);
 
-feature!(PortMirror, "port-mirror",
+feature!(
+    PortMirror,
+    "port-mirror",
     "Mirror(p, \"mirror_to\", d) :- Port(p, _, _), MirrorCfg(p, d).\n",
     |net, prog| {
         for p in &net.ports {
             if let Some(d) = p.mirror {
-                prog.frag("mirror/ingress", 1, 95,
-                    format!("in_port={}", p.id), format!("output:{d},resubmit(,2)"));
+                prog.frag(
+                    "mirror/ingress",
+                    1,
+                    95,
+                    format!("in_port={}", p.id),
+                    format!("output:{d},resubmit(,2)"),
+                );
             }
         }
-    });
+    }
+);
 
-feature!(TunnelEncap, "tunnel-encap",
+feature!(
+    TunnelEncap,
+    "tunnel-encap",
     "TunnelFlow(vni, rip) :- RemoteChassis(vni, rip).\n",
     |net, prog| {
         // One tunnel mesh entry per remote chassis (model: one per 16
         // ports).
         for i in 0..(net.ports.len() / 16 + 1) {
-            prog.frag("tunnel/encap", 6, 40,
+            prog.frag(
+                "tunnel/encap",
+                6,
+                40,
                 format!("reg_dst_chassis={i}"),
-                format!("set_field:{i}->tun_id,output:vxlan0"));
-            prog.frag("tunnel/decap", 0, 110,
-                format!("in_port=vxlan0,tun_id={i}"), "goto_table:2");
+                format!("set_field:{i}->tun_id,output:vxlan0"),
+            );
+            prog.frag(
+                "tunnel/decap",
+                0,
+                110,
+                format!("in_port=vxlan0,tun_id={i}"),
+                "goto_table:2",
+            );
         }
-    });
+    }
+);
 
-feature!(L3Gateway, "l3-gateway",
+feature!(
+    L3Gateway,
+    "l3-gateway",
     "RouterFlow(prefix, len, nh) :- Route(prefix, len, nh).\n\
      RouterArp(ip, mac) :- ArpBinding(ip, mac).\n",
     |net, prog| {
         let routes = net.ports.len() / 8 + 1;
         for i in 0..routes {
-            prog.frag("l3/route", 6, 30,
+            prog.frag(
+                "l3/route",
+                6,
+                30,
                 format!("ip,nw_dst=10.{i}.0.0/16"),
-                format!("dec_ttl,set_field:router{i}->eth_src,goto_table:7"));
+                format!("dec_ttl,set_field:router{i}->eth_src,goto_table:7"),
+            );
         }
-        prog.frag("l3/arp-responder", 2, 70, "arp,arp_op=1",
-            "move:arp_sha->arp_tha,load:2->arp_op,in_port");
-    });
+        prog.frag(
+            "l3/arp-responder",
+            2,
+            70,
+            "arp,arp_op=1",
+            "move:arp_sha->arp_tha,load:2->arp_op,in_port",
+        );
+    }
+);
 
-feature!(LoadBalancerF, "load-balancer",
+feature!(
+    LoadBalancerF,
+    "load-balancer",
     "LbFlow(vip, b) :- LoadBalancer(lb, vip), Backend(lb, b).\n",
     |net, prog| {
         for (vip, backend) in &net.lb_pairs {
-            prog.frag("lb/dnat", 5, 70,
+            prog.frag(
+                "lb/dnat",
+                5,
+                70,
                 format!("ip,nw_dst=172.16.0.{vip}"),
-                format!("ct(nat(dst=10.0.0.{backend})),goto_table:6"));
-            prog.frag("lb/undnat", 6, 70,
+                format!("ct(nat(dst=10.0.0.{backend})),goto_table:6"),
+            );
+            prog.frag(
+                "lb/undnat",
+                6,
+                70,
                 format!("ip,nw_src=10.0.0.{backend}"),
-                format!("ct(nat(src=172.16.0.{vip})),goto_table:7"));
+                format!("ct(nat(src=172.16.0.{vip})),goto_table:7"),
+            );
         }
-    });
+    }
+);
 
-feature!(QosPolice, "qos-police",
+feature!(
+    QosPolice,
+    "qos-police",
     "QosQueue(p, q) :- Port(p, _, _), QosCfg(p, q).\n",
     |net, prog| {
         for p in &net.ports {
             if p.id % 4 == 0 {
-                prog.frag("qos/set-queue", 7, 95,
-                    format!("reg_out_port={}", p.id), "set_queue:1,output");
+                prog.frag(
+                    "qos/set-queue",
+                    7,
+                    95,
+                    format!("reg_out_port={}", p.id),
+                    "set_queue:1,output",
+                );
             }
         }
-    });
+    }
+);
 
 /// The full feature catalogue, in the order a product would have grown.
 pub fn all_features() -> Vec<Box<dyn Feature>> {

@@ -22,8 +22,9 @@ fn bench(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("full_reconcile", n), &n, |b, &n| {
             let mut full = FullRecompute::new();
-            let mut ports: Vec<PortConfig> =
-                (0..n).map(|i| PortConfig::access(i, 10 + (i % 64))).collect();
+            let mut ports: Vec<PortConfig> = (0..n)
+                .map(|i| PortConfig::access(i, 10 + (i % 64)))
+                .collect();
             full.reconcile(&ports, &[]);
             b.iter(|| {
                 ports.push(PortConfig::access(n, 10));

@@ -10,7 +10,9 @@ use std::hint::black_box;
 fn preloaded_stack(n: u16) -> SnvsStack {
     let mut stack = SnvsStack::new(1).expect("stack");
     for i in 0..n {
-        stack.add_port(i, PortMode::Access(10 + (i % 64)), None).unwrap();
+        stack
+            .add_port(i, PortMode::Access(10 + (i % 64)), None)
+            .unwrap();
     }
     stack
 }
@@ -32,8 +34,9 @@ fn bench(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("full_recompute", n), &n, |b, &n| {
             let mut baseline = FullRecompute::new();
-            let mut ports: Vec<PortConfig> =
-                (0..n).map(|i| PortConfig::access(i, 10 + (i % 64))).collect();
+            let mut ports: Vec<PortConfig> = (0..n)
+                .map(|i| PortConfig::access(i, 10 + (i % 64)))
+                .collect();
             baseline.reconcile(&ports, &[]);
             b.iter(|| {
                 ports.push(PortConfig::access(n, 10));

@@ -10,13 +10,22 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("E6_robotron_change");
     group.sample_size(20);
     for devices in [100u64, 1000, 4000] {
-        let scale = RobotronScale { devices, ifaces_per_device: 8 };
+        let scale = RobotronScale {
+            devices,
+            ifaces_per_device: 8,
+        };
         group.bench_with_input(BenchmarkId::new("one_change", devices), &devices, |b, _| {
             let mut engine = robotron_engine(scale, 11);
             b.iter(|| {
                 let mut txn = Transaction::new();
-                txn.delete("Interface", vec![Value::Int(5), Value::Int(1), Value::Int(100)]);
-                txn.insert("Interface", vec![Value::Int(5), Value::Int(1), Value::Int(100)]);
+                txn.delete(
+                    "Interface",
+                    vec![Value::Int(5), Value::Int(1), Value::Int(100)],
+                );
+                txn.insert(
+                    "Interface",
+                    vec![Value::Int(5), Value::Int(1), Value::Int(100)],
+                );
                 black_box(engine.commit(txn).unwrap());
             });
         });

@@ -19,7 +19,10 @@ fn main() {
         // Change stream: n port adds then n mac learns.
         let mut events = Vec::new();
         for i in 0..n {
-            events.push(Event::PortUpserted(PortConfig::access(i as u16, 10 + (i % 64) as u16)));
+            events.push(Event::PortUpserted(PortConfig::access(
+                i as u16,
+                10 + (i % 64) as u16,
+            )));
         }
         for i in 0..n {
             events.push(Event::MacLearned(LearnedMac {
@@ -73,8 +76,14 @@ fn main() {
             ms(inc_max),
             ms(full_total),
             ms(full_max),
-            format!("{:.0}x", full_max.as_secs_f64() / inc_max.as_secs_f64().max(1e-9)),
-            format!("{:.0}x", full_total.as_secs_f64() / inc_total.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.0}x",
+                full_max.as_secs_f64() / inc_max.as_secs_f64().max(1e-9)
+            ),
+            format!(
+                "{:.0}x",
+                full_total.as_secs_f64() / inc_total.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     print_table(

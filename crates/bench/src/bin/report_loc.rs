@@ -41,12 +41,24 @@ fn main() {
         "lines of code (non-blank, non-comment)",
         &["artifact", "ours", "paper"],
         &[
-            vec!["DDlog rules (hand-written)".into(), rules.to_string(), "250".into()],
-            vec!["DDlog relations (generated)".into(), generated.to_string(), "100".into()],
+            vec![
+                "DDlog rules (hand-written)".into(),
+                rules.to_string(),
+                "250".into(),
+            ],
+            vec![
+                "DDlog relations (generated)".into(),
+                generated.to_string(),
+                "100".into(),
+            ],
             vec!["P4 program".into(), p4.to_string(), "300".into()],
             vec!["OVSDB schema".into(), schema_loc.to_string(), "~30".into()],
             vec!["glue written by hand".into(), "0".into(), "50".into()],
-            vec!["unified total".into(), unified_total.to_string(), "~700".into()],
+            vec![
+                "unified total".into(),
+                unified_total.to_string(),
+                "~700".into(),
+            ],
             vec![
                 "hand-written incremental (same features)".into(),
                 handwritten.to_string(),

@@ -58,8 +58,7 @@ fn main() {
     assert_eq!(stack.db.table_len("Port"), PORTS as usize);
 
     // ---- full recompute baseline ----------------------------------------
-    let device =
-        SwitchDevice::new(Switch::from_source(snvs::assets::SNVS_P4).expect("p4"));
+    let device = SwitchDevice::new(Switch::from_source(snvs::assets::SNVS_P4).expect("p4"));
     let mut baseline = FullRecompute::new();
     let mut ports: Vec<PortConfig> = Vec::new();
     let mut b_latencies = Vec::with_capacity(PORTS as usize);

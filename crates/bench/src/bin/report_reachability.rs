@@ -53,7 +53,14 @@ fn main() {
     }
     print_table(
         "single-edge change vs recomputing the labeling",
-        &["nodes", "labeled", "incr insert(ms)", "incr delete(ms)", "full recompute(ms)", "speedup"],
+        &[
+            "nodes",
+            "labeled",
+            "incr insert(ms)",
+            "incr delete(ms)",
+            "full recompute(ms)",
+            "speedup",
+        ],
         &rows,
     );
     println!(

@@ -14,7 +14,10 @@ fn main() {
     println!("E6: daily config churn over a Robotron-style model (paper §2.1)");
     let mut rows = Vec::new();
     for devices in [100u64, 500, 2000] {
-        let scale = RobotronScale { devices, ifaces_per_device: 8 };
+        let scale = RobotronScale {
+            devices,
+            ifaces_per_device: 8,
+        };
         let mut engine = robotron_engine(scale, 11);
         let configs = engine.relation_len("IfaceConfig").unwrap();
 
@@ -35,7 +38,10 @@ fn main() {
             ms(churn),
             ms(churn / 50),
             ms(full),
-            format!("{:.0}x", full.as_secs_f64() / (churn.as_secs_f64() / 50.0).max(1e-9)),
+            format!(
+                "{:.0}x",
+                full.as_secs_f64() / (churn.as_secs_f64() / 50.0).max(1e-9)
+            ),
         ]);
     }
     print_table(

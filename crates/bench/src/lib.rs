@@ -35,7 +35,10 @@ pub fn random_graph(n: u64, m: u64, seed: u64) -> Vec<(i128, i128)> {
 pub fn reachability_engine(n: u64, m: u64, seed: u64) -> ddlog::Engine {
     let mut engine = ddlog::Engine::from_source(REACHABILITY_PROGRAM).expect("program");
     let mut txn = ddlog::Transaction::new();
-    txn.insert("GivenLabel", vec![ddlog::Value::Int(0), ddlog::Value::Int(1)]);
+    txn.insert(
+        "GivenLabel",
+        vec![ddlog::Value::Int(0), ddlog::Value::Int(1)],
+    );
     for (a, b) in random_graph(n, m, seed) {
         txn.insert("Edge", vec![ddlog::Value::Int(a), ddlog::Value::Int(b)]);
     }
@@ -103,11 +106,7 @@ pub fn robotron_engine(scale: RobotronScale, seed: u64) -> ddlog::Engine {
 /// One day of Robotron churn: ~50 small model changes (§2.1: "more than
 /// 50 lines change across models" daily). Returns the number of changed
 /// input rows.
-pub fn robotron_daily_churn(
-    engine: &mut ddlog::Engine,
-    scale: RobotronScale,
-    day: u64,
-) -> usize {
+pub fn robotron_daily_churn(engine: &mut ddlog::Engine, scale: RobotronScale, day: u64) -> usize {
     use ddlog::Value::Int;
     let mut rng = StdRng::seed_from_u64(0xC0FFEE + day);
     let mut changed = 0;
@@ -176,7 +175,10 @@ mod tests {
 
     #[test]
     fn robotron_preload_and_churn() {
-        let scale = RobotronScale { devices: 40, ifaces_per_device: 4 };
+        let scale = RobotronScale {
+            devices: 40,
+            ifaces_per_device: 4,
+        };
         let mut e = robotron_engine(scale, 3);
         let configs = e.relation_len("IfaceConfig").unwrap();
         assert_eq!(configs, 160);

@@ -99,12 +99,20 @@ pub fn ovsdb2ddlog(schema: &Schema) -> Generated {
     for (tname, table) in &schema.tables {
         let mut cols = vec!["_uuid: uuid".to_string()];
         for (cname, col) in &table.columns {
-            cols.push(format!("{}: {}", sanitize(cname), ovsdb_type_to_ddlog(&col.ty)));
+            cols.push(format!(
+                "{}: {}",
+                sanitize(cname),
+                ovsdb_type_to_ddlog(&col.ty)
+            ));
         }
         src.push_str(&format!("input relation {}({})\n", tname, cols.join(", ")));
         rels.push(tname.clone());
     }
-    Generated { source: src, ovsdb_relations: rels, ..Default::default() }
+    Generated {
+        source: src,
+        ovsdb_relations: rels,
+        ..Default::default()
+    }
 }
 
 /// Generate output relations for every P4 table and input relations for
@@ -151,7 +159,11 @@ pub fn p4info2ddlog(info: &P4Info, opts: CodegenOptions) -> Generated {
                 param_cols.push((col, a.name.clone(), i));
             }
         }
-        src.push_str(&format!("output relation {}({})\n", t.name, cols.join(", ")));
+        src.push_str(&format!(
+            "output relation {}({})\n",
+            t.name,
+            cols.join(", ")
+        ));
         tables.push(TableBinding {
             relation: t.name.clone(),
             table: t.clone(),
@@ -175,7 +187,12 @@ pub fn p4info2ddlog(info: &P4Info, opts: CodegenOptions) -> Generated {
             per_switch: opts.per_switch,
         });
     }
-    Generated { source: src, tables, digests, ..Default::default() }
+    Generated {
+        source: src,
+        tables,
+        digests,
+        ..Default::default()
+    }
 }
 
 /// Turn a P4 key name like `std.ingress_port` or `hdr.eth.dst` into a
@@ -183,7 +200,13 @@ pub fn p4info2ddlog(info: &P4Info, opts: CodegenOptions) -> Generated {
 fn sanitize(name: &str) -> String {
     let mut out: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     // Strip the standard prefixes for readability: std_x → x,
     // hdr_eth_dst stays distinctive.
@@ -234,10 +257,14 @@ mod tests {
     #[test]
     fn ovsdb_generation() {
         let gen = ovsdb2ddlog(&demo_schema());
-        assert!(gen.source.contains(
-            "input relation Port(_uuid: uuid, id: bigint, options: Map<string,string>, \
+        assert!(
+            gen.source.contains(
+                "input relation Port(_uuid: uuid, id: bigint, options: Map<string,string>, \
              tag: Set<bigint>, trunks: Set<bigint>, vlan_mode: Set<string>)"
-        ), "{}", gen.source);
+            ),
+            "{}",
+            gen.source
+        );
         assert_eq!(gen.ovsdb_relations, vec!["Port"]);
     }
 
@@ -261,9 +288,9 @@ mod tests {
             "{}",
             gen.source
         );
-        assert!(gen
-            .source
-            .contains("input relation mac_learn_digest_t(port: bit<16>, mac: bit<48>, vlan: bit<12>)"));
+        assert!(gen.source.contains(
+            "input relation mac_learn_digest_t(port: bit<16>, mac: bit<48>, vlan: bit<12>)"
+        ));
         assert_eq!(gen.tables.len(), 2);
         assert_eq!(gen.digests.len(), 1);
     }
@@ -273,8 +300,12 @@ mod tests {
         let prog = p4sim::parse_p4(p4sim::parser::DEMO).unwrap();
         let info = P4Info::from_program(&prog);
         let gen = p4info2ddlog(&info, CodegenOptions { per_switch: true });
-        assert!(gen.source.contains("output relation InVlan(switch_id: bigint, "));
-        assert!(gen.source.contains("input relation mac_learn_digest_t(switch_id: bigint, "));
+        assert!(gen
+            .source
+            .contains("output relation InVlan(switch_id: bigint, "));
+        assert!(gen
+            .source
+            .contains("input relation mac_learn_digest_t(switch_id: bigint, "));
     }
 
     #[test]
@@ -339,17 +370,25 @@ mod tests {
         "#;
         let prog = p4sim::parse_p4(p4).unwrap();
         let gen = p4info2ddlog(&P4Info::from_program(&prog), CodegenOptions::default());
-        assert!(gen.source.contains(
-            "output relation Route(hdr_ip_dst: bit<32>, hdr_ip_dst_prefix_len: bigint, \
+        assert!(
+            gen.source.contains(
+                "output relation Route(hdr_ip_dst: bit<32>, hdr_ip_dst_prefix_len: bigint, \
              action: string, fwd_port: bit<16>)"
-        ), "{}", gen.source);
-        assert!(gen.source.contains(
-            "output relation Acl(hdr_ip_src: bit<32>, hdr_ip_src_mask: bit<32>, \
+            ),
+            "{}",
+            gen.source
+        );
+        assert!(
+            gen.source.contains(
+                "output relation Acl(hdr_ip_src: bit<32>, hdr_ip_src_mask: bit<32>, \
              hdr_ip_proto: bit<8>, priority: bigint, action: string, deny"
-        ) || gen.source.contains(
-            "output relation Acl(hdr_ip_src: bit<32>, hdr_ip_src_mask: bit<32>, \
+            ) || gen.source.contains(
+                "output relation Acl(hdr_ip_src: bit<32>, hdr_ip_src_mask: bit<32>, \
              hdr_ip_proto: bit<8>, priority: bigint, action: string, fwd_port: bit<16>)"
-        ), "{}", gen.source);
+            ),
+            "{}",
+            gen.source
+        );
         let acl = gen.tables.iter().find(|t| t.relation == "Acl").unwrap();
         assert!(acl.has_priority);
     }

@@ -32,9 +32,7 @@ pub fn atom_to_value(atom: &Atom) -> Value {
 /// [`crate::codegen::ovsdb_type_to_ddlog`]).
 pub fn datum_to_value(datum: &Datum, ty: &Type) -> Result<Value, String> {
     match (datum, ty) {
-        (Datum::Set(s), Type::Set(_)) => {
-            Ok(Value::set(s.iter().map(atom_to_value)))
-        }
+        (Datum::Set(s), Type::Set(_)) => Ok(Value::set(s.iter().map(atom_to_value))),
         (Datum::Set(s), _) => {
             let atom = s
                 .iter()
@@ -67,9 +65,7 @@ pub fn row_to_values(
             .get(cname)
             .cloned()
             .unwrap_or_else(|| cschema.ty.default_datum());
-        out.push(
-            datum_to_value(&datum, ty).map_err(|e| format!("column `{cname}`: {e}"))?,
-        );
+        out.push(datum_to_value(&datum, ty).map_err(|e| format!("column `{cname}`: {e}"))?);
     }
     Ok(out)
 }
@@ -83,13 +79,25 @@ pub fn changes_to_ops(
 ) -> Result<Vec<(String, Vec<Value>, bool)>, String> {
     let mut ops = Vec::new();
     for ch in changes {
-        let Some(ts) = schema.table(&ch.table) else { continue };
-        let Some(types) = rel_types(&ch.table) else { continue };
+        let Some(ts) = schema.table(&ch.table) else {
+            continue;
+        };
+        let Some(types) = rel_types(&ch.table) else {
+            continue;
+        };
         if let Some(old) = &ch.old {
-            ops.push((ch.table.clone(), row_to_values(ch.uuid, old, ts, &types)?, false));
+            ops.push((
+                ch.table.clone(),
+                row_to_values(ch.uuid, old, ts, &types)?,
+                false,
+            ));
         }
         if let Some(new) = &ch.new {
-            ops.push((ch.table.clone(), row_to_values(ch.uuid, new, ts, &types)?, true));
+            ops.push((
+                ch.table.clone(),
+                row_to_values(ch.uuid, new, ts, &types)?,
+                true,
+            ));
         }
     }
     Ok(ops)
@@ -103,15 +111,21 @@ pub fn monitor_update_to_ops(
     schema: &ovsdb::Schema,
     rel_types: &dyn Fn(&str) -> Option<Vec<Type>>,
 ) -> Result<Vec<(String, Vec<Value>, bool)>, String> {
-    let obj = updates.as_object().ok_or("table-updates must be an object")?;
+    let obj = updates
+        .as_object()
+        .ok_or("table-updates must be an object")?;
     let mut ops = Vec::new();
     for (tname, rows) in obj {
-        let Some(ts) = schema.table(tname) else { continue };
-        let Some(types) = rel_types(tname) else { continue };
+        let Some(ts) = schema.table(tname) else {
+            continue;
+        };
+        let Some(types) = rel_types(tname) else {
+            continue;
+        };
         let rows = rows.as_object().ok_or("row updates must be an object")?;
         for (uuid_str, update) in rows {
-            let uuid = ovsdb::Uuid::parse(uuid_str)
-                .ok_or_else(|| format!("bad row uuid {uuid_str:?}"))?;
+            let uuid =
+                ovsdb::Uuid::parse(uuid_str).ok_or_else(|| format!("bad row uuid {uuid_str:?}"))?;
             let old_json = update.get("old");
             let new_json = update.get("new");
             let parse_row = |j: &Json| -> Result<RowData, String> {
@@ -121,7 +135,9 @@ pub fn monitor_update_to_ops(
                     if cname == "_uuid" {
                         continue;
                     }
-                    let Some(cs) = ts.columns.get(cname) else { continue };
+                    let Some(cs) = ts.columns.get(cname) else {
+                        continue;
+                    };
                     let datum = ovsdb::db::datum_from_json(cval, &cs.ty, &|_| None)?;
                     row.insert(cname.clone(), datum);
                 }
@@ -142,8 +158,16 @@ pub fn monitor_update_to_ops(
                     for (c, d) in parse_row(old_changed)? {
                         old_row.insert(c, d);
                     }
-                    ops.push((tname.clone(), row_to_values(uuid, &old_row, ts, &types)?, false));
-                    ops.push((tname.clone(), row_to_values(uuid, &new_row, ts, &types)?, true));
+                    ops.push((
+                        tname.clone(),
+                        row_to_values(uuid, &old_row, ts, &types)?,
+                        false,
+                    ));
+                    ops.push((
+                        tname.clone(),
+                        row_to_values(uuid, &new_row, ts, &types)?,
+                        true,
+                    ));
                 }
                 (None, None) => {}
             }
@@ -181,7 +205,10 @@ pub fn row_to_update(
     let mut i = 0;
     let mut next = |what: &str| -> Result<&Value, String> {
         let v = row.get(i).ok_or_else(|| {
-            format!("row too short for `{}` at column {i} ({what})", binding.relation)
+            format!(
+                "row too short for `{}` at column {i} ({what})",
+                binding.relation
+            )
         })?;
         i += 1;
         Ok(v)
@@ -201,20 +228,29 @@ pub fn row_to_update(
             }
             "lpm" => {
                 let v = next("key")?.as_u128().ok_or("key must be numeric")?;
-                let plen =
-                    next("prefix_len")?.as_u128().ok_or("prefix_len must be numeric")? as u16;
-                matches.push(FieldMatch::Lpm { value: v, prefix_len: plen });
+                let plen = next("prefix_len")?
+                    .as_u128()
+                    .ok_or("prefix_len must be numeric")? as u16;
+                matches.push(FieldMatch::Lpm {
+                    value: v,
+                    prefix_len: plen,
+                });
             }
             "ternary" => {
                 let v = next("key")?.as_u128().ok_or("key must be numeric")?;
                 let m = next("mask")?.as_u128().ok_or("mask must be numeric")?;
-                matches.push(FieldMatch::Ternary { value: v & m, mask: m });
+                matches.push(FieldMatch::Ternary {
+                    value: v & m,
+                    mask: m,
+                });
             }
             other => return Err(format!("unknown match kind {other}")),
         }
     }
     let priority = if binding.has_priority {
-        next("priority")?.as_i128().ok_or("priority must be an integer")? as i32
+        next("priority")?
+            .as_i128()
+            .ok_or("priority must be an integer")? as i32
     } else {
         0
     };
@@ -227,9 +263,7 @@ pub fn row_to_update(
         .actions
         .iter()
         .find(|a| a.name == action)
-        .ok_or_else(|| {
-            format!("table `{}` has no action `{action}`", binding.relation)
-        })?;
+        .ok_or_else(|| format!("table `{}` has no action `{action}`", binding.relation))?;
     // Param columns: pick only the ones belonging to the chosen action.
     let mut params = vec![0u128; action_info.params.len()];
     for (_, owner, idx) in &binding.param_cols {
@@ -245,7 +279,11 @@ pub fn row_to_update(
         action,
         params,
     };
-    let op = if weight > 0 { WriteOp::Insert } else { WriteOp::Delete };
+    let op = if weight > 0 {
+        WriteOp::Insert
+    } else {
+        WriteOp::Delete
+    };
     Ok((switch, Update { op, entry }))
 }
 
@@ -261,15 +299,29 @@ mod tests {
                 name: "MacLearned".into(),
                 control: "ingress".into(),
                 keys: vec![
-                    KeyInfo { name: "vlan".into(), width: 12, match_kind: "exact".into() },
-                    KeyInfo { name: "mac".into(), width: 48, match_kind: "exact".into() },
+                    KeyInfo {
+                        name: "vlan".into(),
+                        width: 12,
+                        match_kind: "exact".into(),
+                    },
+                    KeyInfo {
+                        name: "mac".into(),
+                        width: 48,
+                        match_kind: "exact".into(),
+                    },
                 ],
                 actions: vec![
                     ActionInfo {
                         name: "output".into(),
-                        params: vec![ParamInfo { name: "port".into(), width: 9 }],
+                        params: vec![ParamInfo {
+                            name: "port".into(),
+                            width: 9,
+                        }],
                     },
-                    ActionInfo { name: "flood".into(), params: vec![] },
+                    ActionInfo {
+                        name: "flood".into(),
+                        params: vec![],
+                    },
                 ],
                 size: 1024,
             },
@@ -290,10 +342,13 @@ mod tests {
         let (sw, up) = row_to_update(&row, 1, &binding()).unwrap();
         assert_eq!(sw, None);
         assert_eq!(up.op, WriteOp::Insert);
-        assert_eq!(up.entry.matches, vec![
-            FieldMatch::Exact { value: 10 },
-            FieldMatch::Exact { value: 0xAB },
-        ]);
+        assert_eq!(
+            up.entry.matches,
+            vec![
+                FieldMatch::Exact { value: 10 },
+                FieldMatch::Exact { value: 0xAB },
+            ]
+        );
         assert_eq!(up.entry.params, vec![3]);
 
         let (_, down) = row_to_update(&row, -1, &binding()).unwrap();
@@ -350,11 +405,20 @@ mod tests {
             fields: vec![("port".into(), 9), ("mac".into(), 48)],
             per_switch: true,
         };
-        let d = Digest { name: "d".into(), fields: vec![("port".into(), 2), ("mac".into(), 7)] };
+        let d = Digest {
+            name: "d".into(),
+            fields: vec![("port".into(), 2), ("mac".into(), 7)],
+        };
         let vals = digest_to_values(&d, &b, 4).unwrap();
-        assert_eq!(vals, vec![Value::Int(4), Value::bit(9, 2), Value::bit(48, 7)]);
+        assert_eq!(
+            vals,
+            vec![Value::Int(4), Value::bit(9, 2), Value::bit(48, 7)]
+        );
         // Missing field errors.
-        let bad = Digest { name: "d".into(), fields: vec![("port".into(), 2)] };
+        let bad = Digest {
+            name: "d".into(),
+            fields: vec![("port".into(), 2)],
+        };
         assert!(digest_to_values(&bad, &b, 0).is_err());
     }
 }

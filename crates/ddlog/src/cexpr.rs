@@ -115,14 +115,16 @@ fn eval_unary(op: UnOp, v: Value) -> Result<Value> {
     Ok(match (op, v) {
         (UnOp::Neg, Value::Int(i)) => Value::Int(i.wrapping_neg()),
         (UnOp::Neg, Value::Double(d)) => Value::Double(F64(-d.0)),
-        (UnOp::Neg, Value::Bit { width, val }) => {
-            Value::Bit { width, val: mask_to_width(val.wrapping_neg(), width) }
-        }
+        (UnOp::Neg, Value::Bit { width, val }) => Value::Bit {
+            width,
+            val: mask_to_width(val.wrapping_neg(), width),
+        },
         (UnOp::Not, Value::Bool(b)) => Value::Bool(!b),
         (UnOp::BitNot, Value::Int(i)) => Value::Int(!i),
-        (UnOp::BitNot, Value::Bit { width, val }) => {
-            Value::Bit { width, val: mask_to_width(!val, width) }
-        }
+        (UnOp::BitNot, Value::Bit { width, val }) => Value::Bit {
+            width,
+            val: mask_to_width(!val, width),
+        },
         (op, v) => {
             return Err(Error::new(
                 Phase::Eval,
@@ -166,15 +168,18 @@ fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
         (Sub, Value::Double(a), Value::Double(b)) => Value::Double(F64(a.0 - b.0)),
         (Mul, Value::Double(a), Value::Double(b)) => Value::Double(F64(a.0 * b.0)),
         (Div, Value::Double(a), Value::Double(b)) => Value::Double(F64(a.0 / b.0)),
-        (Add, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => {
-            Value::Bit { width, val: mask_to_width(a.wrapping_add(b), width) }
-        }
-        (Sub, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => {
-            Value::Bit { width, val: mask_to_width(a.wrapping_sub(b), width) }
-        }
-        (Mul, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => {
-            Value::Bit { width, val: mask_to_width(a.wrapping_mul(b), width) }
-        }
+        (Add, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => Value::Bit {
+            width,
+            val: mask_to_width(a.wrapping_add(b), width),
+        },
+        (Sub, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => Value::Bit {
+            width,
+            val: mask_to_width(a.wrapping_sub(b), width),
+        },
+        (Mul, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => Value::Bit {
+            width,
+            val: mask_to_width(a.wrapping_mul(b), width),
+        },
         (Div, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => {
             if b == 0 {
                 return Err(Error::new(Phase::Eval, "division by zero"));
@@ -198,7 +203,10 @@ fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
         (Shl, Value::Bit { width, val }, b) => {
             let s = b.as_u128().unwrap_or(0).min(128) as u32;
             let v = if s >= 128 { 0 } else { val << s };
-            Value::Bit { width, val: mask_to_width(v, width) }
+            Value::Bit {
+                width,
+                val: mask_to_width(v, width),
+            }
         }
         (Shr, Value::Bit { width, val }, b) => {
             let s = b.as_u128().unwrap_or(0).min(128) as u32;
@@ -211,12 +219,14 @@ fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
         (BitAnd, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => {
             Value::Bit { width, val: a & b }
         }
-        (BitOr, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => {
-            Value::Bit { width, val: mask_to_width(a | b, width) }
-        }
-        (BitXor, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => {
-            Value::Bit { width, val: mask_to_width(a ^ b, width) }
-        }
+        (BitOr, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => Value::Bit {
+            width,
+            val: mask_to_width(a | b, width),
+        },
+        (BitXor, Value::Bit { width, val: a }, Value::Bit { val: b, .. }) => Value::Bit {
+            width,
+            val: mask_to_width(a ^ b, width),
+        },
         (Concat, Value::Str(a), Value::Str(b)) => {
             let mut s = String::with_capacity(a.len() + b.len());
             s.push_str(&a);
@@ -241,17 +251,24 @@ fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
 pub fn eval_cast(v: Value, to: &Type) -> Result<Value> {
     Ok(match (v, to) {
         (Value::Int(i), Type::Int) => Value::Int(i),
-        (Value::Int(i), Type::Bit(w)) => Value::Bit { width: *w, val: mask_to_width(i as u128, *w) },
+        (Value::Int(i), Type::Bit(w)) => Value::Bit {
+            width: *w,
+            val: mask_to_width(i as u128, *w),
+        },
         (Value::Int(i), Type::Double) => Value::Double(F64(i as f64)),
         (Value::Bit { val, .. }, Type::Int) => Value::Int(val as i128),
-        (Value::Bit { val, .. }, Type::Bit(w)) => {
-            Value::Bit { width: *w, val: mask_to_width(val, *w) }
-        }
+        (Value::Bit { val, .. }, Type::Bit(w)) => Value::Bit {
+            width: *w,
+            val: mask_to_width(val, *w),
+        },
         (Value::Bit { val, .. }, Type::Double) => Value::Double(F64(val as f64)),
         (Value::Double(d), Type::Int) => Value::Int(d.0 as i128),
         (Value::Double(d), Type::Double) => Value::Double(d),
         (v, to) => {
-            return Err(Error::new(Phase::Eval, format!("internal: cast {v} to {to}")))
+            return Err(Error::new(
+                Phase::Eval,
+                format!("internal: cast {v} to {to}"),
+            ))
         }
     })
 }
@@ -264,11 +281,7 @@ pub type Binding = Arc<Vec<Value>>;
 ///
 /// `arg` (if any) is evaluated per binding; multiplicities (weights) are
 /// respected: a binding with weight `w` counts `w` times.
-pub fn eval_aggregate(
-    func: AggFunc,
-    arg: Option<&CExpr>,
-    group: &ZSet<Binding>,
-) -> Result<Value> {
+pub fn eval_aggregate(func: AggFunc, arg: Option<&CExpr>, group: &ZSet<Binding>) -> Result<Value> {
     match func {
         AggFunc::Count => {
             let n: isize = group.iter().map(|(_, w)| w.max(0)).sum();
@@ -405,8 +418,14 @@ mod tests {
 
     #[test]
     fn casts() {
-        assert_eq!(eval_cast(Value::Int(300), &Type::Bit(8)).unwrap(), Value::bit(8, 44));
-        assert_eq!(eval_cast(Value::bit(8, 44), &Type::Int).unwrap(), Value::Int(44));
+        assert_eq!(
+            eval_cast(Value::Int(300), &Type::Bit(8)).unwrap(),
+            Value::bit(8, 44)
+        );
+        assert_eq!(
+            eval_cast(Value::bit(8, 44), &Type::Int).unwrap(),
+            Value::Int(44)
+        );
         assert_eq!(
             eval_cast(Value::Int(2), &Type::Double).unwrap(),
             Value::Double(F64(2.0))
@@ -448,7 +467,12 @@ mod tests {
         );
         assert_eq!(
             eval_aggregate(AggFunc::CollectVec, Some(&arg), &g).unwrap(),
-            Value::vec(vec![Value::Int(5), Value::Int(5), Value::Int(5), Value::Int(7)])
+            Value::vec(vec![
+                Value::Int(5),
+                Value::Int(5),
+                Value::Int(5),
+                Value::Int(7)
+            ])
         );
     }
 
@@ -456,9 +480,6 @@ mod tests {
     fn comparisons_on_structured_values() {
         let l = Value::tuple(vec![Value::Int(1), Value::str("a")]);
         let r = Value::tuple(vec![Value::Int(1), Value::str("b")]);
-        assert_eq!(
-            eval_binary(BinOp::Lt, l, r).unwrap(),
-            Value::Bool(true)
-        );
+        assert_eq!(eval_binary(BinOp::Lt, l, r).unwrap(), Value::Bool(true));
     }
 }

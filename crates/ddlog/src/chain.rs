@@ -21,7 +21,7 @@ use std::sync::Arc;
 use crate::cexpr::{eval, eval_aggregate, Binding};
 use crate::error::{Error, Phase, Result};
 use crate::plan::{CompiledRule, KeySrc, PStage};
-use crate::store::{Key, RelationStore, RelId};
+use crate::store::{Key, RelId, RelationStore};
 use crate::value::{Row, Value};
 use crate::zset::ZSet;
 
@@ -111,7 +111,12 @@ fn row_admissible(
 
 /// Extend a binding with the columns an atom binds. Returns `None` when an
 /// intra-atom check fails.
-fn extend(b: &[Value], checks: &[(usize, usize)], binds: &[(usize, usize)], row: &Row) -> Option<Binding> {
+fn extend(
+    b: &[Value],
+    checks: &[(usize, usize)],
+    binds: &[(usize, usize)],
+    row: &Row,
+) -> Option<Binding> {
     if !checks.iter().all(|(a, c)| row[*a] == row[*c]) {
         return None;
     }
@@ -136,7 +141,11 @@ pub fn process_rule(
     rel_deltas: &HashMap<RelId, ZSet<Row>>,
 ) -> Result<ZSet<Row>> {
     // Fast path: nothing this rule depends on changed.
-    if !rule.body_rels.iter().any(|r| rel_deltas.get(r).is_some_and(|d| !d.is_empty())) {
+    if !rule
+        .body_rels
+        .iter()
+        .any(|r| rel_deltas.get(r).is_some_and(|d| !d.is_empty()))
+    {
         return Ok(ZSet::new());
     }
 
@@ -145,7 +154,14 @@ pub fn process_rule(
 
     for (i, stage) in rule.stages.iter().enumerate() {
         match stage {
-            PStage::Atom { rel, neg, key_cols, key_srcs, checks, binds } => {
+            PStage::Atom {
+                rel,
+                neg,
+                key_cols,
+                key_srcs,
+                checks,
+                binds,
+            } => {
                 let store = &stores[*rel];
                 let delta_r = rel_deltas.get(rel).unwrap_or(&empty);
                 if i == 0 {
@@ -278,7 +294,11 @@ pub fn process_rule(
                 }
                 cur = out;
             }
-            PStage::Aggregate { group_slots, func, arg } => {
+            PStage::Aggregate {
+                group_slots,
+                func,
+                arg,
+            } => {
                 let groups = match &mut state.states[i] {
                     StageState::Groups(m) => m,
                     _ => unreachable!("aggregate stage without groups"),

@@ -14,7 +14,7 @@ use crate::chain::{process_rule, RuleState};
 use crate::error::{Error, Phase, Result};
 use crate::plan::{plan, CompiledProgram};
 use crate::recursive::process_recursive_stratum;
-use crate::store::{RelationStore, RelId};
+use crate::store::{RelId, RelationStore};
 use crate::stratify::{stratify, Stratification};
 use crate::typecheck::{check, CheckedProgram};
 use crate::types::Type;
@@ -148,7 +148,11 @@ impl Engine {
                     }
                 }
             }
-            strata.push(StratumExec { recursive: s.recursive, rels, plan_idxs });
+            strata.push(StratumExec {
+                recursive: s.recursive,
+                rels,
+                plan_idxs,
+            });
         }
 
         let rule_states = compiled.rules.iter().map(RuleState::new).collect();
@@ -179,12 +183,20 @@ impl Engine {
 
     /// The names of all relations, in declaration order.
     pub fn relation_names(&self) -> Vec<&str> {
-        self.checked.program.relations.iter().map(|r| r.name.as_str()).collect()
+        self.checked
+            .program
+            .relations
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect()
     }
 
     /// The declared column types of a relation.
     pub fn relation_types(&self, relation: &str) -> Option<Vec<Type>> {
-        self.checked.program.relation(relation).map(|d| d.column_types())
+        self.checked
+            .program
+            .relation(relation)
+            .map(|d| d.column_types())
     }
 
     /// Number of committed transactions.
@@ -207,9 +219,10 @@ impl Engine {
         // of the same row in one transaction is a no-op.
         let mut intents: HashMap<(RelId, Row), (bool, bool)> = HashMap::new(); // (initial, tentative)
         for (rel_name, row_vals, is_insert) in &txn.ops {
-            let rel = *self.compiled.rel_ids.get(rel_name).ok_or_else(|| {
-                Error::new(Phase::Eval, format!("unknown relation `{rel_name}`"))
-            })?;
+            let rel =
+                *self.compiled.rel_ids.get(rel_name).ok_or_else(|| {
+                    Error::new(Phase::Eval, format!("unknown relation `{rel_name}`"))
+                })?;
             let decl = &self.compiled.decls[rel];
             if decl.role != RelationRole::Input {
                 return Err(Error::new(
@@ -269,11 +282,13 @@ impl Engine {
         for si in 0..self.strata.len() {
             let stratum = self.strata[si].clone();
             if stratum.recursive {
-                let rules: Vec<&crate::plan::CompiledRule> =
-                    stratum.plan_idxs.iter().map(|pi| &self.compiled.rules[*pi]).collect();
+                let rules: Vec<&crate::plan::CompiledRule> = stratum
+                    .plan_idxs
+                    .iter()
+                    .map(|pi| &self.compiled.rules[*pi])
+                    .collect();
                 let scc: HashSet<RelId> = stratum.rels.iter().copied().collect();
-                let net =
-                    process_recursive_stratum(&rules, &scc, &mut self.stores, rel_deltas)?;
+                let net = process_recursive_stratum(&rules, &scc, &mut self.stores, rel_deltas)?;
                 for (rel, z) in net {
                     rel_deltas.entry(rel).or_default().merge(z);
                 }
@@ -318,8 +333,7 @@ impl Engine {
             .rel_ids
             .get(relation)
             .ok_or_else(|| Error::new(Phase::Eval, format!("unknown relation `{relation}`")))?;
-        let mut rows: Vec<Vec<Value>> =
-            self.stores[rel].rows().map(|r| (**r).clone()).collect();
+        let mut rows: Vec<Vec<Value>> = self.stores[rel].rows().map(|r| (**r).clone()).collect();
         rows.sort();
         Ok(rows)
     }
@@ -374,11 +388,7 @@ mod tests {
         assert_eq!(d.changes["Label"].len(), 3);
         assert_eq!(
             e.dump("Label").unwrap(),
-            vec![
-                vec![s("a"), i(1)],
-                vec![s("b"), i(1)],
-                vec![s("c"), i(1)],
-            ]
+            vec![vec![s("a"), i(1)], vec![s("b"), i(1)], vec![s("c"), i(1)],]
         );
 
         // Deleting the middle edge retracts downstream labels only.
@@ -387,10 +397,7 @@ mod tests {
         let d = e.commit(t).unwrap();
         assert_eq!(
             d.changes["Label"],
-            vec![
-                (vec![s("b"), i(1)], -1),
-                (vec![s("c"), i(1)], -1),
-            ]
+            vec![(vec![s("b"), i(1)], -1), (vec![s("c"), i(1)], -1),]
         );
     }
 
@@ -533,10 +540,7 @@ mod tests {
         let d = e.commit(t).unwrap();
         assert_eq!(
             d.changes["N"],
-            vec![
-                (vec![s("a"), i(2)], 1),
-                (vec![s("b"), i(1)], 1),
-            ]
+            vec![(vec![s("a"), i(2)], 1), (vec![s("b"), i(1)], 1),]
         );
 
         let mut t = Transaction::new();
@@ -544,10 +548,7 @@ mod tests {
         let d = e.commit(t).unwrap();
         assert_eq!(
             d.changes["N"],
-            vec![
-                (vec![s("a"), i(1)], 1),
-                (vec![s("a"), i(2)], -1),
-            ]
+            vec![(vec![s("a"), i(1)], 1), (vec![s("a"), i(2)], -1),]
         );
 
         // Deleting the last port of a switch removes its row entirely.
@@ -650,7 +651,10 @@ mod tests {
             t.insert("E", vec![i(k), i(k + 1)]);
         }
         e.commit(t).unwrap();
-        assert_eq!(e.dump("Even").unwrap(), vec![vec![i(0)], vec![i(2)], vec![i(4)]]);
+        assert_eq!(
+            e.dump("Even").unwrap(),
+            vec![vec![i(0)], vec![i(2)], vec![i(4)]]
+        );
 
         let mut t = Transaction::new();
         t.delete("E", vec![i(1), i(2)]);

@@ -62,12 +62,20 @@ pub struct Error {
 impl Error {
     /// Create an error with a known source position.
     pub fn at(phase: Phase, pos: Pos, msg: impl Into<String>) -> Self {
-        Error { phase, pos: Some(pos), msg: msg.into() }
+        Error {
+            phase,
+            pos: Some(pos),
+            msg: msg.into(),
+        }
     }
 
     /// Create an error without a source position (e.g. runtime errors).
     pub fn new(phase: Phase, msg: impl Into<String>) -> Self {
-        Error { phase, pos: None, msg: msg.into() }
+        Error {
+            phase,
+            pos: None,
+            msg: msg.into(),
+        }
     }
 }
 

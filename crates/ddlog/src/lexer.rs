@@ -180,7 +180,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                 bump!();
             }
             let s: String = chars[start..i].iter().collect();
-            out.push(Spanned { tok: Tok::Ident(s), pos });
+            out.push(Spanned {
+                tok: Tok::Ident(s),
+                pos,
+            });
             continue;
         }
         // `_` alone is a wildcard; `_foo` is an identifier.
@@ -191,9 +194,15 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
             }
             let s: String = chars[start..i].iter().collect();
             if s == "_" {
-                out.push(Spanned { tok: Tok::Underscore, pos });
+                out.push(Spanned {
+                    tok: Tok::Underscore,
+                    pos,
+                });
             } else {
-                out.push(Spanned { tok: Tok::Ident(s), pos });
+                out.push(Spanned {
+                    tok: Tok::Ident(s),
+                    pos,
+                });
             }
             continue;
         }
@@ -208,12 +217,14 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                 while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                     bump!();
                 }
-                let digits: String =
-                    chars[dstart..i].iter().filter(|c| **c != '_').collect();
+                let digits: String = chars[dstart..i].iter().filter(|c| **c != '_').collect();
                 let val = i128::from_str_radix(&digits, radix).map_err(|_| {
                     Error::at(Phase::Lex, pos, format!("bad integer literal `{digits}`"))
                 })?;
-                out.push(Spanned { tok: Tok::Int(val), pos });
+                out.push(Spanned {
+                    tok: Tok::Int(val),
+                    pos,
+                });
                 continue;
             }
             while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
@@ -240,14 +251,20 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
                 let val: f64 = text.parse().map_err(|_| {
                     Error::at(Phase::Lex, pos, format!("bad double literal `{text}`"))
                 })?;
-                out.push(Spanned { tok: Tok::Double(val), pos });
+                out.push(Spanned {
+                    tok: Tok::Double(val),
+                    pos,
+                });
                 continue;
             }
             let text: String = chars[start..i].iter().filter(|c| **c != '_').collect();
-            let val: i128 = text.parse().map_err(|_| {
-                Error::at(Phase::Lex, pos, format!("bad integer literal `{text}`"))
-            })?;
-            out.push(Spanned { tok: Tok::Int(val), pos });
+            let val: i128 = text
+                .parse()
+                .map_err(|_| Error::at(Phase::Lex, pos, format!("bad integer literal `{text}`")))?;
+            out.push(Spanned {
+                tok: Tok::Int(val),
+                pos,
+            });
             continue;
         }
         // String literals.
@@ -292,7 +309,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
             if !closed {
                 return Err(Error::at(Phase::Lex, pos, "unterminated string literal"));
             }
-            out.push(Spanned { tok: Tok::Str(s), pos });
+            out.push(Spanned {
+                tok: Tok::Str(s),
+                pos,
+            });
             continue;
         }
         // Operators and punctuation.
@@ -347,7 +367,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>> {
         bump!();
         out.push(Spanned { tok: tok1, pos });
     }
-    out.push(Spanned { tok: Tok::Eof, pos: Pos { line, col } });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: Pos { line, col },
+    });
     Ok(out)
 }
 

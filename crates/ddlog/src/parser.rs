@@ -14,7 +14,12 @@ use crate::types::Type;
 /// Parse a complete program from source text.
 pub fn parse_program(src: &str) -> Result<Program> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, i: 0, typedefs: HashMap::new(), relations: Vec::new() };
+    let mut p = Parser {
+        toks,
+        i: 0,
+        typedefs: HashMap::new(),
+        relations: Vec::new(),
+    };
     p.program()
 }
 
@@ -100,8 +105,7 @@ impl Parser {
             if self.peek_kw("typedef") {
                 let td = self.typedef()?;
                 typedef_list.push(td);
-            } else if self.peek_kw("input") || self.peek_kw("output") || self.peek_kw("relation")
-            {
+            } else if self.peek_kw("input") || self.peek_kw("output") || self.peek_kw("relation") {
                 let decl = self.relation_decl()?;
                 if self.is_relation(&decl.name) {
                     return Err(Error::at(
@@ -129,7 +133,11 @@ impl Parser {
         self.expect(Tok::Assign)?;
         let ty = self.ty()?;
         if self.typedefs.contains_key(&name) {
-            return Err(Error::at(Phase::Parse, pos, format!("typedef `{name}` redefined")));
+            return Err(Error::at(
+                Phase::Parse,
+                pos,
+                format!("typedef `{name}` redefined"),
+            ));
         }
         self.typedefs.insert(name.clone(), ty.clone());
         Ok(TypeDef { name, ty, pos })
@@ -167,7 +175,12 @@ impl Parser {
             }
         }
         self.expect(Tok::RParen)?;
-        Ok(RelationDecl { name, role, columns, pos })
+        Ok(RelationDecl {
+            name,
+            role,
+            columns,
+            pos,
+        })
     }
 
     // ---- types ------------------------------------------------------------
@@ -234,7 +247,11 @@ impl Parser {
             }
             other => match self.typedefs.get(other) {
                 Some(t) => Ok(t.clone()),
-                None => Err(Error::at(Phase::Parse, pos, format!("unknown type `{other}`"))),
+                None => Err(Error::at(
+                    Phase::Parse,
+                    pos,
+                    format!("unknown type `{other}`"),
+                )),
             },
         }
     }
@@ -282,7 +299,11 @@ impl Parser {
             }
         }
         self.expect(Tok::RParen)?;
-        Ok(HeadAtom { relation: name, args, pos })
+        Ok(HeadAtom {
+            relation: name,
+            args,
+            pos,
+        })
     }
 
     fn body_item(&mut self) -> Result<BodyItem> {
@@ -343,7 +364,11 @@ impl Parser {
         };
         self.bump(); // function name
         self.bump(); // `(`
-        let arg = if *self.peek() == Tok::RParen { None } else { Some(self.expr()?) };
+        let arg = if *self.peek() == Tok::RParen {
+            None
+        } else {
+            Some(self.expr()?)
+        };
         self.expect(Tok::RParen)?;
         if !self.peek_kw("group_by") {
             return Ok(None);
@@ -371,7 +396,13 @@ impl Parser {
                 format!("aggregate `{fname}` requires an argument"),
             ));
         }
-        Ok(Some(BodyItem::Aggregate { out_var: var.to_string(), func, arg, by, pos }))
+        Ok(Some(BodyItem::Aggregate {
+            out_var: var.to_string(),
+            func,
+            arg,
+            by,
+            pos,
+        }))
     }
 
     fn atom(&mut self) -> Result<Atom> {
@@ -389,7 +420,11 @@ impl Parser {
             }
         }
         self.expect(Tok::RParen)?;
-        Ok(Atom { relation: name, args, pos })
+        Ok(Atom {
+            relation: name,
+            args,
+            pos,
+        })
     }
 
     fn pattern(&mut self) -> Result<Pattern> {
@@ -454,7 +489,10 @@ impl Parser {
             let pos = self.pos();
             self.bump();
             let rhs = self.expr_and()?;
-            lhs = Expr::new(ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), pos);
+            lhs = Expr::new(
+                ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+                pos,
+            );
         }
         Ok(lhs)
     }
@@ -465,7 +503,10 @@ impl Parser {
             let pos = self.pos();
             self.bump();
             let rhs = self.expr_cmp()?;
-            lhs = Expr::new(ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)), pos);
+            lhs = Expr::new(
+                ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)),
+                pos,
+            );
         }
         Ok(lhs)
     }
@@ -485,7 +526,10 @@ impl Parser {
             let pos = self.pos();
             self.bump();
             let rhs = self.expr_bitor()?;
-            return Ok(Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), pos));
+            return Ok(Expr::new(
+                ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                pos,
+            ));
         }
         Ok(lhs)
     }
@@ -496,7 +540,10 @@ impl Parser {
             let pos = self.pos();
             self.bump();
             let rhs = self.expr_bitxor()?;
-            lhs = Expr::new(ExprKind::Binary(BinOp::BitOr, Box::new(lhs), Box::new(rhs)), pos);
+            lhs = Expr::new(
+                ExprKind::Binary(BinOp::BitOr, Box::new(lhs), Box::new(rhs)),
+                pos,
+            );
         }
         Ok(lhs)
     }
@@ -507,7 +554,10 @@ impl Parser {
             let pos = self.pos();
             self.bump();
             let rhs = self.expr_bitand()?;
-            lhs = Expr::new(ExprKind::Binary(BinOp::BitXor, Box::new(lhs), Box::new(rhs)), pos);
+            lhs = Expr::new(
+                ExprKind::Binary(BinOp::BitXor, Box::new(lhs), Box::new(rhs)),
+                pos,
+            );
         }
         Ok(lhs)
     }
@@ -518,7 +568,10 @@ impl Parser {
             let pos = self.pos();
             self.bump();
             let rhs = self.expr_shift()?;
-            lhs = Expr::new(ExprKind::Binary(BinOp::BitAnd, Box::new(lhs), Box::new(rhs)), pos);
+            lhs = Expr::new(
+                ExprKind::Binary(BinOp::BitAnd, Box::new(lhs), Box::new(rhs)),
+                pos,
+            );
         }
         Ok(lhs)
     }
@@ -545,7 +598,10 @@ impl Parser {
             let pos = self.pos();
             self.bump();
             let rhs = self.expr_add()?;
-            lhs = Expr::new(ExprKind::Binary(BinOp::Concat, Box::new(lhs), Box::new(rhs)), pos);
+            lhs = Expr::new(
+                ExprKind::Binary(BinOp::Concat, Box::new(lhs), Box::new(rhs)),
+                pos,
+            );
         }
         Ok(lhs)
     }
@@ -751,7 +807,9 @@ mod tests {
         ";
         let prog = parse_program(src).unwrap();
         match &prog.rules[0].body[1] {
-            BodyItem::Aggregate { out_var, func, by, .. } => {
+            BodyItem::Aggregate {
+                out_var, func, by, ..
+            } => {
                 assert_eq!(out_var, "n");
                 assert_eq!(*func, AggFunc::Count);
                 assert_eq!(by, &["sw".to_string()]);

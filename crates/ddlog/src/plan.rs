@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use crate::ast::*;
 use crate::cexpr::CExpr;
 use crate::error::{Error, Phase, Result};
-use crate::store::{RelationStore, RelId};
+use crate::store::{RelId, RelationStore};
 use crate::typecheck::{literal_value, CheckedProgram};
 use crate::types::Type;
 use crate::value::Value;
@@ -210,9 +210,7 @@ fn plan_rule(
                 let mut binds = Vec::new();
                 // Track columns bound within this atom: var → first col.
                 let mut local: HashMap<&str, usize> = HashMap::new();
-                for (col, (pat, (_, cty))) in
-                    atom.args.iter().zip(&decl.columns).enumerate()
-                {
+                for (col, (pat, (_, cty))) in atom.args.iter().zip(&decl.columns).enumerate() {
                     match pat {
                         Pattern::Wildcard => {}
                         Pattern::Lit(lit) => {
@@ -242,10 +240,19 @@ fn plan_rule(
                 if !key_cols.is_empty() {
                     stores[rel].register_index(&key_cols);
                 }
-                stages.push(PStage::Atom { rel, neg, key_cols, key_srcs, checks, binds });
+                stages.push(PStage::Atom {
+                    rel,
+                    neg,
+                    key_cols,
+                    key_srcs,
+                    checks,
+                    binds,
+                });
             }
             BodyItem::Cond(expr) => {
-                stages.push(PStage::Filter { expr: lower_expr(expr, &layout)? });
+                stages.push(PStage::Filter {
+                    expr: lower_expr(expr, &layout)?,
+                });
             }
             BodyItem::Assign { var, expr, .. } => {
                 let ce = lower_expr(expr, &layout)?;
@@ -259,7 +266,13 @@ fn plan_rule(
                 layout.insert(var.clone(), slot);
                 stages.push(PStage::FlatMap { slot, expr: ce });
             }
-            BodyItem::Aggregate { out_var, func, arg, by, .. } => {
+            BodyItem::Aggregate {
+                out_var,
+                func,
+                arg,
+                by,
+                ..
+            } => {
                 has_aggregate = true;
                 let group_slots: Vec<usize> = by.iter().map(|k| layout[k.as_str()]).collect();
                 let arg_ce = match arg {
@@ -274,7 +287,11 @@ fn plan_rule(
                 }
                 new_layout.insert(out_var.clone(), by.len());
                 layout = new_layout;
-                stages.push(PStage::Aggregate { group_slots, func: *func, arg: arg_ce });
+                stages.push(PStage::Aggregate {
+                    group_slots,
+                    func: *func,
+                    arg: arg_ce,
+                });
             }
         }
     }
@@ -433,7 +450,14 @@ mod tests {
         let rule = &cp.rules[0];
         assert_eq!(rule.stages.len(), 2);
         match &rule.stages[1] {
-            PStage::Atom { rel, neg, key_cols, key_srcs, binds, .. } => {
+            PStage::Atom {
+                rel,
+                neg,
+                key_cols,
+                key_srcs,
+                binds,
+                ..
+            } => {
                 assert!(!neg);
                 assert_eq!(*rel, cp.rel_ids["Edge"]);
                 assert_eq!(key_cols, &[0]); // Edge.a joins on n1
@@ -456,7 +480,9 @@ mod tests {
             ",
         );
         match &cp.rules[0].stages[0] {
-            PStage::Atom { key_cols, key_srcs, .. } => {
+            PStage::Atom {
+                key_cols, key_srcs, ..
+            } => {
                 assert_eq!(key_cols, &[2]);
                 assert_eq!(key_srcs, &[KeySrc::Const(Value::str("access"))]);
             }

@@ -14,7 +14,7 @@ use crate::cexpr::eval;
 use crate::chain::flatten;
 use crate::error::{Error, Phase, Result};
 use crate::plan::{CompiledRule, HeadBind, KeySrc, PStage};
-use crate::store::{Key, RelationStore, RelId};
+use crate::store::{Key, RelId, RelationStore};
 use crate::value::{Row, Value};
 use crate::zset::ZSet;
 
@@ -30,13 +30,19 @@ pub struct View<'a> {
 impl<'a> View<'a> {
     /// A view of the current (new) contents.
     pub fn new(stores: &'a [RelationStore]) -> Self {
-        View { stores, rewind: None }
+        View {
+            stores,
+            rewind: None,
+        }
     }
 
     /// A view of the pre-transaction contents of the relations present in
     /// `deltas`; other relations read as-is.
     pub fn old(stores: &'a [RelationStore], deltas: &'a HashMap<RelId, ZSet<Row>>) -> Self {
-        View { stores, rewind: Some(deltas) }
+        View {
+            stores,
+            rewind: Some(deltas),
+        }
     }
 
     fn delta_of(&self, rel: RelId) -> Option<&'a ZSet<Row>> {
@@ -80,8 +86,7 @@ impl<'a> View<'a> {
         match self.delta_of(rel) {
             None => self.stores[rel].rows().cloned().collect(),
             Some(d) => {
-                let mut v: Vec<Row> = self
-                    .stores[rel]
+                let mut v: Vec<Row> = self.stores[rel]
                     .rows()
                     .filter(|r| d.weight(r) <= 0)
                     .cloned()
@@ -105,7 +110,10 @@ struct Env {
 
 impl Env {
     fn new(n: usize) -> Env {
-        Env { vals: vec![Value::Bool(false); n], bound: vec![false; n] }
+        Env {
+            vals: vec![Value::Bool(false); n],
+            bound: vec![false; n],
+        }
     }
 
     /// Bind a slot or, if already bound, check equality. Returns false on
@@ -133,9 +141,13 @@ impl Env {
 /// `None` (after unbinding) if the row is inconsistent with the stage.
 fn prebind(stage: &PStage, row: &Row, env: &mut Env) -> Option<Vec<usize>> {
     let (key_cols, key_srcs, checks, binds) = match stage {
-        PStage::Atom { key_cols, key_srcs, checks, binds, .. } => {
-            (key_cols, key_srcs, checks, binds)
-        }
+        PStage::Atom {
+            key_cols,
+            key_srcs,
+            checks,
+            binds,
+            ..
+        } => (key_cols, key_srcs, checks, binds),
         _ => unreachable!("driving a non-atom stage"),
     };
     let mut newly = Vec::new();
@@ -225,7 +237,14 @@ fn walk(
         return walk(rule, view, skip, i + 1, env, out);
     }
     match &rule.stages[i] {
-        PStage::Atom { rel, neg, key_cols, key_srcs, checks, binds } => {
+        PStage::Atom {
+            rel,
+            neg,
+            key_cols,
+            key_srcs,
+            checks,
+            binds,
+        } => {
             if *neg {
                 let key: Key = key_srcs
                     .iter()
@@ -344,7 +363,9 @@ pub fn process_recursive_stratum(
                 if scc_rels.contains(&rel) {
                     continue; // SCC deletions propagate via the frontier
                 }
-                let Some(delta) = rel_deltas.get(&rel) else { continue };
+                let Some(delta) = rel_deltas.get(&rel) else {
+                    continue;
+                };
                 let mut heads = HashSet::new();
                 for (row, w) in delta.iter() {
                     let kills = if neg { w > 0 } else { w < 0 };
@@ -358,7 +379,8 @@ pub fn process_recursive_stratum(
             }
         }
         for (rel, row) in candidates {
-            if stores[rel].contains(&row) && over_deleted.entry(rel).or_default().insert(row.clone())
+            if stores[rel].contains(&row)
+                && over_deleted.entry(rel).or_default().insert(row.clone())
             {
                 frontier.push((rel, row));
             }
@@ -368,7 +390,9 @@ pub fn process_recursive_stratum(
             for rule in rules {
                 for (idx, stage) in rule.stages.iter().enumerate() {
                     match stage {
-                        PStage::Atom { rel, neg: false, .. } if *rel == drel => {}
+                        PStage::Atom {
+                            rel, neg: false, ..
+                        } if *rel == drel => {}
                         _ => continue,
                     }
                     let mut heads = HashSet::new();
@@ -496,7 +520,9 @@ pub fn process_recursive_stratum(
                     if scc_rels.contains(&rel) {
                         continue;
                     }
-                    let Some(delta) = rel_deltas.get(&rel) else { continue };
+                    let Some(delta) = rel_deltas.get(&rel) else {
+                        continue;
+                    };
                     let mut heads = HashSet::new();
                     for (row, w) in delta.iter() {
                         let enables = if neg { w < 0 } else { w > 0 };
@@ -526,7 +552,9 @@ pub fn process_recursive_stratum(
                 for rule in rules {
                     for (idx, stage) in rule.stages.iter().enumerate() {
                         match stage {
-                            PStage::Atom { rel, neg: false, .. } if *rel == drel => {}
+                            PStage::Atom {
+                                rel, neg: false, ..
+                            } if *rel == drel => {}
                             _ => continue,
                         }
                         let mut heads = HashSet::new();

@@ -89,12 +89,16 @@ pub fn check_call(name: &str, args: &[Type], pos: Pos) -> Result<Type> {
         }
         "min" | "max" => {
             want(2)?;
-            let t = args[0]
-                .unify(&args[1])
-                .ok_or_else(|| Error::at(Phase::Type, pos, format!(
-                    "`{name}` arguments must have the same type, got {} and {}",
-                    args[0], args[1]
-                )))?;
+            let t = args[0].unify(&args[1]).ok_or_else(|| {
+                Error::at(
+                    Phase::Type,
+                    pos,
+                    format!(
+                        "`{name}` arguments must have the same type, got {} and {}",
+                        args[0], args[1]
+                    ),
+                )
+            })?;
             Ok(t)
         }
         "pow" => {
@@ -127,7 +131,11 @@ pub fn check_call(name: &str, args: &[Type], pos: Pos) -> Result<Type> {
             match &args[0] {
                 Type::Vec(e) => {
                     let u = e.unify(&args[1]).ok_or_else(|| {
-                        Error::at(Phase::Type, pos, "vec_push element type mismatch".to_string())
+                        Error::at(
+                            Phase::Type,
+                            pos,
+                            "vec_push element type mismatch".to_string(),
+                        )
                     })?;
                     Ok(Type::Vec(Box::new(u)))
                 }
@@ -159,7 +167,10 @@ pub fn check_call(name: &str, args: &[Type], pos: Pos) -> Result<Type> {
             want(2)?;
             match &args[0] {
                 Type::Map(k, _) if k.compatible(&args[1]) => Ok(Type::Bool),
-                t => err(format!("`map_contains_key` needs Map with key {}, got {t}", args[1])),
+                t => err(format!(
+                    "`map_contains_key` needs Map with key {}, got {t}",
+                    args[1]
+                )),
             }
         }
         "map_get_or" => {
@@ -175,7 +186,10 @@ pub fn check_call(name: &str, args: &[Type], pos: Pos) -> Result<Type> {
                     })?;
                     Ok(u)
                 }
-                t => err(format!("`map_get_or` needs Map with key {}, got {t}", args[1])),
+                t => err(format!(
+                    "`map_get_or` needs Map with key {}, got {t}",
+                    args[1]
+                )),
             }
         }
         "tuple_nth" => {
@@ -241,9 +255,14 @@ pub fn eval_call(name: &str, args: &[Value]) -> Result<Value> {
         "to_lowercase" => Value::str(args[0].as_str().ok_or_else(ierr)?.to_lowercase()),
         "to_uppercase" => Value::str(args[0].as_str().ok_or_else(ierr)?.to_uppercase()),
         "string_trim" => Value::str(args[0].as_str().ok_or_else(ierr)?.trim()),
-        "string_reverse" => {
-            Value::str(args[0].as_str().ok_or_else(ierr)?.chars().rev().collect::<String>())
-        }
+        "string_reverse" => Value::str(
+            args[0]
+                .as_str()
+                .ok_or_else(ierr)?
+                .chars()
+                .rev()
+                .collect::<String>(),
+        ),
         "string_split" => {
             let (s, sep) = two_strs(args).ok_or_else(ierr)?;
             Value::vec(s.split(sep).map(Value::str).collect())
@@ -263,7 +282,12 @@ pub fn eval_call(name: &str, args: &[Value]) -> Result<Value> {
             other => Value::str(other.to_string()),
         },
         "parse_int" => Value::Int(
-            args[0].as_str().ok_or_else(ierr)?.trim().parse::<i128>().unwrap_or(0),
+            args[0]
+                .as_str()
+                .ok_or_else(ierr)?
+                .trim()
+                .parse::<i128>()
+                .unwrap_or(0),
         ),
         "hex" => {
             let v = args[0].as_u128().ok_or_else(ierr)?;
@@ -282,9 +306,10 @@ pub fn eval_call(name: &str, args: &[Value]) -> Result<Value> {
             let e = args[1].as_u128().ok_or_else(ierr)? as u32;
             match b {
                 Value::Int(b) => Value::Int(b.wrapping_pow(e)),
-                Value::Bit { width, val } => {
-                    Value::Bit { width, val: mask_to_width(val.wrapping_pow(e), width) }
-                }
+                Value::Bit { width, val } => Value::Bit {
+                    width,
+                    val: mask_to_width(val.wrapping_pow(e), width),
+                },
                 _ => return Err(ierr()),
             }
         }
@@ -297,7 +322,10 @@ pub fn eval_call(name: &str, args: &[Value]) -> Result<Value> {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x100000001b3);
             }
-            Value::Bit { width: 64, val: h as u128 }
+            Value::Bit {
+                width: 64,
+                val: h as u128,
+            }
         }
         "vec_len" => match &args[0] {
             Value::Vec(v) => Value::Int(v.len() as i128),
@@ -335,7 +363,12 @@ pub fn eval_call(name: &str, args: &[Value]) -> Result<Value> {
             Value::Map(m) => m.get(&args[1]).cloned().unwrap_or_else(|| args[2].clone()),
             _ => return Err(ierr()),
         },
-        other => return Err(Error::new(Phase::Eval, format!("unknown function `{other}`"))),
+        other => {
+            return Err(Error::new(
+                Phase::Eval,
+                format!("unknown function `{other}`"),
+            ))
+        }
     })
 }
 
@@ -370,28 +403,43 @@ mod tests {
         assert_eq!(
             eval_call(
                 "string_join",
-                &[Value::vec(vec![Value::str("a"), Value::str("b")]), Value::str("-")]
+                &[
+                    Value::vec(vec![Value::str("a"), Value::str("b")]),
+                    Value::str("-")
+                ]
             )
             .unwrap(),
             Value::str("a-b")
         );
         assert_eq!(
-            eval_call("string_substr", &[Value::str("hello"), Value::Int(1), Value::Int(3)])
-                .unwrap(),
+            eval_call(
+                "string_substr",
+                &[Value::str("hello"), Value::Int(1), Value::Int(3)]
+            )
+            .unwrap(),
             Value::str("el")
         );
         // Out-of-range substr clamps instead of panicking.
         assert_eq!(
-            eval_call("string_substr", &[Value::str("hi"), Value::Int(5), Value::Int(9)])
-                .unwrap(),
+            eval_call(
+                "string_substr",
+                &[Value::str("hi"), Value::Int(5), Value::Int(9)]
+            )
+            .unwrap(),
             Value::str("")
         );
     }
 
     #[test]
     fn to_string_of_string_unquoted() {
-        assert_eq!(eval_call("to_string", &[Value::str("x")]).unwrap(), Value::str("x"));
-        assert_eq!(eval_call("to_string", &[Value::Int(5)]).unwrap(), Value::str("5"));
+        assert_eq!(
+            eval_call("to_string", &[Value::str("x")]).unwrap(),
+            Value::str("x")
+        );
+        assert_eq!(
+            eval_call("to_string", &[Value::Int(5)]).unwrap(),
+            Value::str("5")
+        );
     }
 
     #[test]
@@ -405,8 +453,14 @@ mod tests {
             eval_call("pow", &[Value::bit(8, 2), Value::Int(10)]).unwrap(),
             Value::bit(8, 0) // 1024 masked to 8 bits
         );
-        assert_eq!(eval_call("parse_int", &[Value::str(" 42 ")]).unwrap(), Value::Int(42));
-        assert_eq!(eval_call("parse_int", &[Value::str("zap")]).unwrap(), Value::Int(0));
+        assert_eq!(
+            eval_call("parse_int", &[Value::str(" 42 ")]).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            eval_call("parse_int", &[Value::str("zap")]).unwrap(),
+            Value::Int(0)
+        );
     }
 
     #[test]
@@ -421,7 +475,10 @@ mod tests {
     #[test]
     fn container_functions() {
         let v = Value::vec(vec![Value::Int(1), Value::Int(2)]);
-        assert_eq!(eval_call("vec_len", &[v.clone()]).unwrap(), Value::Int(2));
+        assert_eq!(
+            eval_call("vec_len", std::slice::from_ref(&v)).unwrap(),
+            Value::Int(2)
+        );
         assert_eq!(
             eval_call("vec_contains", &[v.clone(), Value::Int(2)]).unwrap(),
             Value::Bool(true)
@@ -442,7 +499,10 @@ mod tests {
 
     #[test]
     fn signatures() {
-        assert_eq!(check_call("string_len", &[Type::Str], p()).unwrap(), Type::Int);
+        assert_eq!(
+            check_call("string_len", &[Type::Str], p()).unwrap(),
+            Type::Int
+        );
         assert!(check_call("string_len", &[Type::Int], p()).is_err());
         assert!(check_call("string_len", &[Type::Str, Type::Str], p()).is_err());
         assert!(check_call("no_such_fn", &[], p()).is_err());
@@ -451,6 +511,9 @@ mod tests {
             Type::Bit(8)
         );
         assert!(check_call("min", &[Type::Bit(8), Type::Str], p()).is_err());
-        assert_eq!(check_call("hash64", &[Type::Str], p()).unwrap(), Type::Bit(64));
+        assert_eq!(
+            check_call("hash64", &[Type::Str], p()).unwrap(),
+            Type::Bit(64)
+        );
     }
 }

@@ -63,15 +63,19 @@ pub struct RelationStore {
 impl RelationStore {
     /// Create an empty store.
     pub fn new(name: impl Into<String>) -> Self {
-        RelationStore { name: name.into(), ..Default::default() }
+        RelationStore {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Register an index over `cols` (idempotent). Must be called before
     /// rows are inserted (the planner does this at compile time).
     pub fn register_index(&mut self, cols: &[usize]) {
-        self.indexes
-            .entry(cols.to_vec())
-            .or_insert_with(|| Index { cols: cols.to_vec(), map: HashMap::new() });
+        self.indexes.entry(cols.to_vec()).or_insert_with(|| Index {
+            cols: cols.to_vec(),
+            map: HashMap::new(),
+        });
     }
 
     /// True if an index over exactly `cols` exists.
@@ -101,7 +105,10 @@ impl RelationStore {
 
     /// Iterate over visible rows.
     pub fn rows(&self) -> impl Iterator<Item = &Row> {
-        self.derivations.iter().filter(|(_, c)| **c > 0).map(|(r, _)| r)
+        self.derivations
+            .iter()
+            .filter(|(_, c)| **c > 0)
+            .map(|(r, _)| r)
     }
 
     /// Apply a Z-set of derivation-count changes. Returns the *set-level*
@@ -144,7 +151,11 @@ impl RelationStore {
 
     /// Look up rows by an index. Returns an empty slice view when the key
     /// is absent. Panics if the index was not registered.
-    pub fn lookup<'a>(&'a self, cols: &[usize], key: &Key) -> Box<dyn Iterator<Item = &'a Row> + 'a> {
+    pub fn lookup<'a>(
+        &'a self,
+        cols: &[usize],
+        key: &Key,
+    ) -> Box<dyn Iterator<Item = &'a Row> + 'a> {
         let idx = self
             .indexes
             .get(cols)
@@ -173,9 +184,7 @@ impl RelationStore {
                     Value::Str(s) => s.len(),
                     Value::Vec(v) | Value::Tuple(v) => v.iter().map(value_bytes).sum(),
                     Value::Set(s) => s.iter().map(value_bytes).sum(),
-                    Value::Map(m) => {
-                        m.iter().map(|(k, v)| value_bytes(k) + value_bytes(v)).sum()
-                    }
+                    Value::Map(m) => m.iter().map(|(k, v)| value_bytes(k) + value_bytes(v)).sum(),
                     _ => 0,
                 }
         }

@@ -54,7 +54,10 @@ pub fn stratify(program: &Program) -> Result<Stratification> {
     }
     for rule in &program.rules {
         let head = rule.head.relation.as_str();
-        let has_agg = rule.body.iter().any(|b| matches!(b, BodyItem::Aggregate { .. }));
+        let has_agg = rule
+            .body
+            .iter()
+            .any(|b| matches!(b, BodyItem::Aggregate { .. }));
         for item in &rule.body {
             let (rel, neg) = match item {
                 BodyItem::Atom(a) => (a.relation.as_str(), false),
@@ -81,8 +84,7 @@ pub fn stratify(program: &Program) -> Result<Stratification> {
     let adj: Vec<Vec<usize>> = nodes
         .iter()
         .map(|n| {
-            let mut targets: Vec<usize> =
-                edges[*n].iter().map(|(t, _)| index_of[*t]).collect();
+            let mut targets: Vec<usize> = edges[*n].iter().map(|(t, _)| index_of[*t]).collect();
             targets.sort_unstable();
             targets.dedup();
             targets
@@ -144,7 +146,11 @@ pub fn stratify(program: &Program) -> Result<Stratification> {
         for r in &rel_names {
             stratum_of.insert(r.clone(), sid);
         }
-        strata.push(Stratum { relations: rel_names, rule_indices, recursive });
+        strata.push(Stratum {
+            relations: rel_names,
+            rule_indices,
+            recursive,
+        });
     }
 
     Ok(Stratification { strata, stratum_of })
@@ -262,7 +268,10 @@ mod tests {
         .unwrap();
         assert_eq!(s.strata.len(), 1);
         assert!(s.strata[0].recursive);
-        assert_eq!(s.strata[0].relations, vec!["Even".to_string(), "Odd".to_string()]);
+        assert_eq!(
+            s.strata[0].relations,
+            vec!["Even".to_string(), "Odd".to_string()]
+        );
     }
 
     #[test]

@@ -27,8 +27,11 @@ pub struct CheckedProgram {
 
 /// Type-check `program`, returning the annotated version.
 pub fn check(program: &Program) -> Result<CheckedProgram> {
-    let rels: HashMap<&str, &RelationDecl> =
-        program.relations.iter().map(|r| (r.name.as_str(), r)).collect();
+    let rels: HashMap<&str, &RelationDecl> = program
+        .relations
+        .iter()
+        .map(|r| (r.name.as_str(), r))
+        .collect();
 
     let mut new_rules = Vec::with_capacity(program.rules.len());
     let mut all_var_types = Vec::with_capacity(program.rules.len());
@@ -41,7 +44,10 @@ pub fn check(program: &Program) -> Result<CheckedProgram> {
 
     let mut program = program.clone();
     program.rules = new_rules;
-    Ok(CheckedProgram { program, var_types: all_var_types })
+    Ok(CheckedProgram {
+        program,
+        var_types: all_var_types,
+    })
 }
 
 fn check_rule(
@@ -49,13 +55,20 @@ fn check_rule(
     rels: &HashMap<&str, &RelationDecl>,
 ) -> Result<(Rule, HashMap<String, Type>)> {
     let head_decl = rels.get(rule.head.relation.as_str()).ok_or_else(|| {
-        Error::at(Phase::Type, rule.head.pos, format!("unknown relation `{}`", rule.head.relation))
+        Error::at(
+            Phase::Type,
+            rule.head.pos,
+            format!("unknown relation `{}`", rule.head.relation),
+        )
     })?;
     if head_decl.role == RelationRole::Input {
         return Err(Error::at(
             Phase::Type,
             rule.head.pos,
-            format!("input relation `{}` cannot appear in a rule head", head_decl.name),
+            format!(
+                "input relation `{}` cannot appear in a rule head",
+                head_decl.name
+            ),
         ));
     }
     if rule.head.args.len() != head_decl.arity() {
@@ -136,7 +149,11 @@ fn check_rule(
                 }
                 let (ty, e) = check_expr(expr, &scope, None)?;
                 scope.insert(var.clone(), ty);
-                new_body.push(BodyItem::Assign { var: var.clone(), expr: e, pos: *pos });
+                new_body.push(BodyItem::Assign {
+                    var: var.clone(),
+                    expr: e,
+                    pos: *pos,
+                });
             }
             BodyItem::FlatMap { var, expr, pos } => {
                 if scope.contains_key(var) {
@@ -166,9 +183,19 @@ fn check_rule(
                     ));
                 }
                 scope.insert(var.clone(), elem);
-                new_body.push(BodyItem::FlatMap { var: var.clone(), expr: e, pos: *pos });
+                new_body.push(BodyItem::FlatMap {
+                    var: var.clone(),
+                    expr: e,
+                    pos: *pos,
+                });
             }
-            BodyItem::Aggregate { out_var, func, arg, by, pos } => {
+            BodyItem::Aggregate {
+                out_var,
+                func,
+                arg,
+                by,
+                pos,
+            } => {
                 if scope.contains_key(out_var) {
                     return Err(Error::at(
                         Phase::Type,
@@ -238,12 +265,13 @@ fn check_rule(
     Ok((new_rule, scope))
 }
 
-fn atom_decl<'a>(
-    atom: &Atom,
-    rels: &HashMap<&str, &'a RelationDecl>,
-) -> Result<&'a RelationDecl> {
+fn atom_decl<'a>(atom: &Atom, rels: &HashMap<&str, &'a RelationDecl>) -> Result<&'a RelationDecl> {
     let decl = rels.get(atom.relation.as_str()).ok_or_else(|| {
-        Error::at(Phase::Type, atom.pos, format!("unknown relation `{}`", atom.relation))
+        Error::at(
+            Phase::Type,
+            atom.pos,
+            format!("unknown relation `{}`", atom.relation),
+        )
     })?;
     if atom.args.len() != decl.arity() {
         return Err(Error::at(
@@ -306,7 +334,11 @@ pub fn aggregate_type(func: AggFunc, arg_ty: Option<&Type>, pos: Pos) -> Result<
         AggFunc::Sum => {
             let t = arg_ty.unwrap();
             if !t.is_numeric() {
-                return Err(Error::at(Phase::Type, pos, format!("sum over non-numeric {t}")));
+                return Err(Error::at(
+                    Phase::Type,
+                    pos,
+                    format!("sum over non-numeric {t}"),
+                ));
             }
             Ok(t.clone())
         }
@@ -410,7 +442,11 @@ fn infer_expr(expr: &Expr, scope: &HashMap<String, Type>) -> Result<(Type, Expr)
         ExprKind::Lit(l) => Ok((literal_type(l), expr.clone())),
         ExprKind::Var(v) => match scope.get(v) {
             Some(t) => Ok((t.clone(), expr.clone())),
-            None => Err(Error::at(Phase::Type, pos, format!("unbound variable `{v}`"))),
+            None => Err(Error::at(
+                Phase::Type,
+                pos,
+                format!("unbound variable `{v}`"),
+            )),
         },
         ExprKind::Unary(op, inner) => {
             let (t, e) = infer_expr(inner, scope)?;
@@ -423,13 +459,21 @@ fn infer_expr(expr: &Expr, scope: &HashMap<String, Type>) -> Result<(Type, Expr)
                 }
                 UnOp::Not => {
                     if t != Type::Bool {
-                        return Err(Error::at(Phase::Type, pos, format!("`not` needs bool, got {t}")));
+                        return Err(Error::at(
+                            Phase::Type,
+                            pos,
+                            format!("`not` needs bool, got {t}"),
+                        ));
                     }
                     Type::Bool
                 }
                 UnOp::BitNot => {
                     if !t.is_integral() {
-                        return Err(Error::at(Phase::Type, pos, format!("`~` needs an integer, got {t}")));
+                        return Err(Error::at(
+                            Phase::Type,
+                            pos,
+                            format!("`~` needs an integer, got {t}"),
+                        ));
                     }
                     t
                 }
@@ -452,7 +496,10 @@ fn infer_expr(expr: &Expr, scope: &HashMap<String, Type>) -> Result<(Type, Expr)
                 (tl, el, tr, er)
             };
             let result = binary_type(*op, &tl, &tr, pos)?;
-            Ok((result, Expr::new(ExprKind::Binary(*op, Box::new(el), Box::new(er)), pos)))
+            Ok((
+                result,
+                Expr::new(ExprKind::Binary(*op, Box::new(el), Box::new(er)), pos),
+            ))
         }
         ExprKind::Call(name, args) => {
             let mut arg_tys = Vec::with_capacity(args.len());
@@ -468,7 +515,11 @@ fn infer_expr(expr: &Expr, scope: &HashMap<String, Type>) -> Result<(Type, Expr)
         ExprKind::IfElse(c, t, f) => {
             let (tc, ec) = infer_expr(c, scope)?;
             if tc != Type::Bool {
-                return Err(Error::at(Phase::Type, pos, format!("if condition must be bool, got {tc}")));
+                return Err(Error::at(
+                    Phase::Type,
+                    pos,
+                    format!("if condition must be bool, got {tc}"),
+                ));
             }
             let (tt, et) = infer_expr(t, scope)?;
             let (tf, ef) = infer_expr(f, scope)?;
@@ -485,11 +536,18 @@ fn infer_expr(expr: &Expr, scope: &HashMap<String, Type>) -> Result<(Type, Expr)
                 (tt, et, tf, ef)
             };
             let ty = tt.unify(&tf).ok_or_else(|| {
-                Error::at(Phase::Type, pos, format!("if branches have different types: {tt} vs {tf}"))
+                Error::at(
+                    Phase::Type,
+                    pos,
+                    format!("if branches have different types: {tt} vs {tf}"),
+                )
             })?;
             Ok((
                 ty,
-                Expr::new(ExprKind::IfElse(Box::new(ec), Box::new(et), Box::new(ef)), pos),
+                Expr::new(
+                    ExprKind::IfElse(Box::new(ec), Box::new(et), Box::new(ef)),
+                    pos,
+                ),
             ))
         }
         ExprKind::Cast(inner, to) => {
@@ -512,7 +570,10 @@ fn infer_expr(expr: &Expr, scope: &HashMap<String, Type>) -> Result<(Type, Expr)
                     format!("cannot cast {from} to {to}"),
                 ));
             }
-            Ok((to.clone(), Expr::new(ExprKind::Cast(Box::new(e), to.clone()), pos)))
+            Ok((
+                to.clone(),
+                Expr::new(ExprKind::Cast(Box::new(e), to.clone()), pos),
+            ))
         }
         ExprKind::Tuple(elems) => {
             let mut tys = Vec::with_capacity(elems.len());
@@ -531,7 +592,11 @@ fn binary_type(op: BinOp, tl: &Type, tr: &Type, pos: Pos) -> Result<Type> {
     use BinOp::*;
     let same = || -> Result<Type> {
         tl.unify(tr).ok_or_else(|| {
-            Error::at(Phase::Type, pos, format!("operands have different types: {tl} vs {tr}"))
+            Error::at(
+                Phase::Type,
+                pos,
+                format!("operands have different types: {tl} vs {tr}"),
+            )
         })
     };
     match op {
@@ -539,7 +604,11 @@ fn binary_type(op: BinOp, tl: &Type, tr: &Type, pos: Pos) -> Result<Type> {
             if *tl == Type::Bool && *tr == Type::Bool {
                 Ok(Type::Bool)
             } else {
-                Err(Error::at(Phase::Type, pos, format!("boolean operator on {tl} and {tr}")))
+                Err(Error::at(
+                    Phase::Type,
+                    pos,
+                    format!("boolean operator on {tl} and {tr}"),
+                ))
             }
         }
         Eq | Ne | Lt | Le | Gt | Ge => {
@@ -552,20 +621,32 @@ fn binary_type(op: BinOp, tl: &Type, tr: &Type, pos: Pos) -> Result<Type> {
                 return Err(Error::at(Phase::Type, pos, format!("arithmetic on {t}")));
             }
             if matches!(op, Mod) && t == Type::Double {
-                return Err(Error::at(Phase::Type, pos, "`%` is not defined on double".to_string()));
+                return Err(Error::at(
+                    Phase::Type,
+                    pos,
+                    "`%` is not defined on double".to_string(),
+                ));
             }
             Ok(t)
         }
         Shl | Shr => {
             if !tl.is_integral() || !tr.is_integral() {
-                return Err(Error::at(Phase::Type, pos, format!("shift on {tl} and {tr}")));
+                return Err(Error::at(
+                    Phase::Type,
+                    pos,
+                    format!("shift on {tl} and {tr}"),
+                ));
             }
             Ok(tl.clone())
         }
         BitOr | BitXor | BitAnd => {
             let t = same()?;
             if !t.is_integral() {
-                return Err(Error::at(Phase::Type, pos, format!("bitwise operator on {t}")));
+                return Err(Error::at(
+                    Phase::Type,
+                    pos,
+                    format!("bitwise operator on {t}"),
+                ));
             }
             Ok(t)
         }
@@ -573,11 +654,19 @@ fn binary_type(op: BinOp, tl: &Type, tr: &Type, pos: Pos) -> Result<Type> {
             (Type::Str, Type::Str) => Ok(Type::Str),
             (Type::Vec(a), Type::Vec(b)) => {
                 let e = a.unify(b).ok_or_else(|| {
-                    Error::at(Phase::Type, pos, "concatenating vectors of different types".to_string())
+                    Error::at(
+                        Phase::Type,
+                        pos,
+                        "concatenating vectors of different types".to_string(),
+                    )
                 })?;
                 Ok(Type::Vec(Box::new(e)))
             }
-            _ => Err(Error::at(Phase::Type, pos, format!("`++` on {tl} and {tr}"))),
+            _ => Err(Error::at(
+                Phase::Type,
+                pos,
+                format!("`++` on {tl} and {tr}"),
+            )),
         },
     }
 }

@@ -131,7 +131,10 @@ mod tests {
             Type::Map(Box::new(Type::Str), Box::new(Type::Int)).to_string(),
             "Map<string,bigint>"
         );
-        assert_eq!(Type::Tuple(vec![Type::Bool, Type::Str]).to_string(), "(bool, string)");
+        assert_eq!(
+            Type::Tuple(vec![Type::Bool, Type::Str]).to_string(),
+            "(bool, string)"
+        );
     }
 
     #[test]

@@ -129,7 +129,10 @@ impl Value {
     /// Panics if `width` is 0 or greater than 128.
     pub fn bit(width: u16, val: u128) -> Value {
         assert!((1..=128).contains(&width), "bit width {width} out of range");
-        Value::Bit { width, val: mask_to_width(val, width) }
+        Value::Bit {
+            width,
+            val: mask_to_width(val, width),
+        }
     }
 
     /// Construct a tuple from a vector of values.
@@ -193,9 +196,9 @@ impl Value {
             (Value::Uuid(_), Type::Uuid) => true,
             (Value::Vec(v), Type::Vec(et)) => v.iter().all(|x| x.matches_type(et)),
             (Value::Set(v), Type::Set(et)) => v.iter().all(|x| x.matches_type(et)),
-            (Value::Map(m), Type::Map(kt, vt)) => {
-                m.iter().all(|(k, v)| k.matches_type(kt) && v.matches_type(vt))
-            }
+            (Value::Map(m), Type::Map(kt, vt)) => m
+                .iter()
+                .all(|(k, v)| k.matches_type(kt) && v.matches_type(vt)),
             (Value::Tuple(vs), Type::Tuple(ts)) => {
                 vs.len() == ts.len() && vs.iter().zip(ts).all(|(v, t)| v.matches_type(t))
             }
@@ -315,7 +318,13 @@ mod tests {
     #[test]
     fn bit_masking() {
         assert_eq!(Value::bit(4, 0xff), Value::Bit { width: 4, val: 0xf });
-        assert_eq!(Value::bit(128, u128::MAX), Value::Bit { width: 128, val: u128::MAX });
+        assert_eq!(
+            Value::bit(128, u128::MAX),
+            Value::Bit {
+                width: 128,
+                val: u128::MAX
+            }
+        );
     }
 
     #[test]

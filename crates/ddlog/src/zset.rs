@@ -21,7 +21,9 @@ pub struct ZSet<T: Eq + Hash> {
 
 impl<T: Eq + Hash> Default for ZSet<T> {
     fn default() -> Self {
-        ZSet { entries: HashMap::new() }
+        ZSet {
+            entries: HashMap::new(),
+        }
     }
 }
 
@@ -98,7 +100,9 @@ impl<T: Eq + Hash + Clone> ZSet<T> {
 
     /// The negation (all weights flipped).
     pub fn negate(&self) -> ZSet<T> {
-        ZSet { entries: self.entries.iter().map(|(e, w)| (e.clone(), -w)).collect() }
+        ZSet {
+            entries: self.entries.iter().map(|(e, w)| (e.clone(), -w)).collect(),
+        }
     }
 
     /// The *distinct* projection: every element with weight > 0 maps to

@@ -74,7 +74,13 @@ pub struct EthFrame {
 impl EthFrame {
     /// Build an untagged frame.
     pub fn new(dst: Mac, src: Mac, ethertype: u16, payload: Vec<u8>) -> EthFrame {
-        EthFrame { dst, src, vlan: None, ethertype, payload }
+        EthFrame {
+            dst,
+            src,
+            vlan: None,
+            ethertype,
+            payload,
+        }
     }
 
     /// Add a VLAN tag.
@@ -146,7 +152,12 @@ mod tests {
 
     #[test]
     fn untagged_roundtrip() {
-        let f = EthFrame::new(Mac::host(1), Mac::host(2), ethertype::IPV4, b"data".to_vec());
+        let f = EthFrame::new(
+            Mac::host(1),
+            Mac::host(2),
+            ethertype::IPV4,
+            b"data".to_vec(),
+        );
         let bytes = f.encode();
         assert_eq!(bytes.len(), 18);
         assert_eq!(EthFrame::decode(&bytes).unwrap(), f);
@@ -172,7 +183,9 @@ mod tests {
     #[test]
     fn truncated_rejected() {
         assert!(EthFrame::decode(&[0; 13]).is_none());
-        let mut tagged = EthFrame::new(Mac::host(1), Mac::host(2), 0, vec![]).with_vlan(0, 1).encode();
+        let mut tagged = EthFrame::new(Mac::host(1), Mac::host(2), 0, vec![])
+            .with_vlan(0, 1)
+            .encode();
         tagged.truncate(16);
         assert!(EthFrame::decode(&tagged).is_none());
     }

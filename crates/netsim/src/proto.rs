@@ -250,7 +250,11 @@ mod tests {
 
     #[test]
     fn udp_roundtrip() {
-        let u = Udp { src_port: 1234, dst_port: 53, payload: b"q".to_vec() };
+        let u = Udp {
+            src_port: 1234,
+            dst_port: 53,
+            payload: b"q".to_vec(),
+        };
         assert_eq!(Udp::decode(&u.encode()).unwrap(), u);
     }
 

@@ -71,7 +71,11 @@ impl Network {
     /// Panics if the port is already wired.
     pub fn add_host(&mut self, mac: Mac, ip: Ip4, switch: SwitchId, port: u16) -> HostId {
         let id = self.hosts.len();
-        self.hosts.push(Host { mac, ip, attachment: (switch, port) });
+        self.hosts.push(Host {
+            mac,
+            ip,
+            attachment: (switch, port),
+        });
         let prev = self.links.insert((switch, port), Endpoint::Host(id));
         assert!(prev.is_none(), "port ({switch},{port}) already wired");
         id
@@ -123,9 +127,10 @@ impl Network {
             outs.sort_by_key(|(p, _)| *p);
             for (out_port, out_bytes) in outs {
                 match self.links.get(&(sw, out_port)) {
-                    Some(Endpoint::Host(h)) => {
-                        deliveries.push(Delivery { host: *h, bytes: out_bytes })
-                    }
+                    Some(Endpoint::Host(h)) => deliveries.push(Delivery {
+                        host: *h,
+                        bytes: out_bytes,
+                    }),
                     Some(Endpoint::Switch(s2, p2)) => {
                         queue.push((*s2, *p2, out_bytes, hops - 1));
                     }
@@ -155,7 +160,9 @@ mod tests {
                 op: WriteOp::Insert,
                 entry: TableEntry {
                     table: "InVlan".into(),
-                    matches: vec![FieldMatch::Exact { value: port as u128 }],
+                    matches: vec![FieldMatch::Exact {
+                        value: port as u128,
+                    }],
                     priority: 0,
                     action: "set_vlan".into(),
                     params: vec![10],
@@ -169,7 +176,12 @@ mod tests {
         let sw = net.add_switch(device);
         let hosts = (0..n)
             .map(|i| {
-                net.add_host(Mac::host(i + 1), Ip4::new(10, 0, 0, (i + 1) as u8), sw, (i + 1) as u16)
+                net.add_host(
+                    Mac::host(i + 1),
+                    Ip4::new(10, 0, 0, (i + 1) as u8),
+                    sw,
+                    (i + 1) as u16,
+                )
             })
             .collect();
         (net, hosts)
@@ -178,7 +190,12 @@ mod tests {
     #[test]
     fn flood_reaches_all_but_sender() {
         let (net, hosts) = star(4);
-        let f = EthFrame::new(Mac::BROADCAST, Mac::host(1), ethertype::IPV4, b"bcast".to_vec());
+        let f = EthFrame::new(
+            Mac::BROADCAST,
+            Mac::host(1),
+            ethertype::IPV4,
+            b"bcast".to_vec(),
+        );
         let deliveries = net.send_raw(hosts[0], f.encode());
         let to: Vec<HostId> = deliveries.iter().map(|d| d.host).collect();
         assert_eq!(to, vec![hosts[1], hosts[2], hosts[3]]);
@@ -195,7 +212,9 @@ mod tests {
                     table: "MacLearned".into(),
                     matches: vec![
                         FieldMatch::Exact { value: 10 },
-                        FieldMatch::Exact { value: Mac::host(2).to_u64() as u128 },
+                        FieldMatch::Exact {
+                            value: Mac::host(2).to_u64() as u128,
+                        },
                     ],
                     priority: 0,
                     action: "output".into(),
@@ -227,7 +246,9 @@ mod tests {
                     op: WriteOp::Insert,
                     entry: TableEntry {
                         table: "InVlan".into(),
-                        matches: vec![FieldMatch::Exact { value: port as u128 }],
+                        matches: vec![FieldMatch::Exact {
+                            value: port as u128,
+                        }],
                         priority: 0,
                         action: "set_vlan".into(),
                         params: vec![10],

@@ -358,7 +358,10 @@ mod tests {
         let u = Uuid(7);
         let named = move |n: &str| if n == "row1" { Some(u) } else { None };
         let j = json!(["named-uuid", "row1"]);
-        assert_eq!(Atom::from_json(&j, AtomType::Uuid, &named).unwrap(), Atom::Uuid(u));
+        assert_eq!(
+            Atom::from_json(&j, AtomType::Uuid, &named).unwrap(),
+            Atom::Uuid(u)
+        );
         let j2 = json!(["named-uuid", "nope"]);
         assert!(Atom::from_json(&j2, AtomType::Uuid, &named).is_err());
     }
@@ -384,7 +387,10 @@ mod tests {
         assert!(!d.purge_uuid(u1));
         assert_eq!(d.referenced_uuids(), vec![u2]);
 
-        let mut m = Datum::map(vec![(Atom::s("a"), Atom::Uuid(u1)), (Atom::s("b"), Atom::i(1))]);
+        let mut m = Datum::map(vec![
+            (Atom::s("a"), Atom::Uuid(u1)),
+            (Atom::s("b"), Atom::i(1)),
+        ]);
         assert!(m.purge_uuid(u1));
         assert_eq!(m.len(), 1);
     }

@@ -42,7 +42,9 @@ struct Table {
 
 impl Table {
     fn project(cols: &[String], row: &RowData) -> Vec<Datum> {
-        cols.iter().map(|c| row.get(c).cloned().unwrap_or_else(Datum::empty)).collect()
+        cols.iter()
+            .map(|c| row.get(c).cloned().unwrap_or_else(Datum::empty))
+            .collect()
     }
 }
 
@@ -79,7 +81,13 @@ impl Database {
                         || c.ty.value.as_ref().is_some_and(|v| v.ref_table.is_some())
                 })
         });
-        Database { schema, tables, uuid_counter: 0, needs_gc, txn_counter: 0 }
+        Database {
+            schema,
+            tables,
+            uuid_counter: 0,
+            needs_gc,
+            txn_counter: 0,
+        }
     }
 
     /// The database schema.
@@ -99,7 +107,10 @@ impl Database {
 
     /// Iterate over the rows of a table.
     pub fn rows(&self, table: &str) -> impl Iterator<Item = (&Uuid, &Arc<RowData>)> {
-        self.tables.get(table).into_iter().flat_map(|t| t.rows.iter())
+        self.tables
+            .get(table)
+            .into_iter()
+            .flat_map(|t| t.rows.iter())
     }
 
     /// Execute a transaction: a JSON array of operations. Returns the
@@ -110,7 +121,10 @@ impl Database {
         let ops = match ops.as_array() {
             Some(a) => a,
             None => {
-                return (json!([{"error": "syntax error", "details": "params must be an array"}]), vec![])
+                return (
+                    json!([{"error": "syntax error", "details": "params must be an array"}]),
+                    vec![],
+                )
             }
         };
         let mut txn = Txn {
@@ -132,13 +146,15 @@ impl Database {
         }
         if !failed {
             if let Err(e) = txn.integrity_and_gc() {
-                txn.results.push(json!({"error": "constraint violation", "details": e}));
+                txn.results
+                    .push(json!({"error": "constraint violation", "details": e}));
                 failed = true;
             }
         }
         if !failed {
             if let Err(e) = txn.check_unique() {
-                txn.results.push(json!({"error": "constraint violation", "details": e}));
+                txn.results
+                    .push(json!({"error": "constraint violation", "details": e}));
                 failed = true;
             }
         }
@@ -158,7 +174,10 @@ impl Database {
     ) -> Vec<RowChange> {
         let mut changes = Vec::new();
         for ((tname, uuid), new) in overlay {
-            let table = self.tables.get_mut(&tname).expect("overlay on unknown table");
+            let table = self
+                .tables
+                .get_mut(&tname)
+                .expect("overlay on unknown table");
             let old = table.rows.get(&uuid).cloned();
             if old == new {
                 continue;
@@ -183,7 +202,12 @@ impl Database {
                     table.rows.remove(&uuid);
                 }
             }
-            changes.push(RowChange { table: tname, uuid, old, new });
+            changes.push(RowChange {
+                table: tname,
+                uuid,
+                old,
+                new,
+            });
         }
         // Deterministic order for downstream consumers.
         changes.sort_by(|a, b| (&a.table, a.uuid).cmp(&(&b.table, b.uuid)));
@@ -268,7 +292,10 @@ impl<'a> Txn<'a> {
 
     fn execute(&mut self, op: &Json) -> Result<Json, String> {
         let o = op.as_object().ok_or("operation must be an object")?;
-        let opname = o.get("op").and_then(Json::as_str).ok_or("operation needs \"op\"")?;
+        let opname = o
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("operation needs \"op\"")?;
         match opname {
             "insert" => self.op_insert(o),
             "select" => self.op_select(o),
@@ -306,9 +333,9 @@ impl<'a> Txn<'a> {
             for (cname, cs) in &ts.columns {
                 if !row.contains_key(cname) {
                     let d = cs.ty.default_datum();
-                    cs.ty
-                        .validate(&d)
-                        .map_err(|e| format!("column {cname} missing and has no valid default: {e}"))?;
+                    cs.ty.validate(&d).map_err(|e| {
+                        format!("column {cname} missing and has no valid default: {e}")
+                    })?;
                     row.insert(cname.clone(), d);
                 }
             }
@@ -317,7 +344,10 @@ impl<'a> Txn<'a> {
     }
 
     fn op_insert(&mut self, o: &Map<String, Json>) -> Result<Json, String> {
-        let tname = o.get("table").and_then(Json::as_str).ok_or("insert needs \"table\"")?;
+        let tname = o
+            .get("table")
+            .and_then(Json::as_str)
+            .ok_or("insert needs \"table\"")?;
         let ts = self.table_schema(tname)?.clone();
         let empty = json!({});
         let row_json = o.get("row").unwrap_or(&empty);
@@ -343,7 +373,9 @@ impl<'a> Txn<'a> {
         // Validate condition shape and column names up front so an empty
         // table still reports bad conditions.
         for cond in conds {
-            let c = cond.as_array().ok_or("condition must be [column, function, value]")?;
+            let c = cond
+                .as_array()
+                .ok_or("condition must be [column, function, value]")?;
             if c.len() != 3 {
                 return Err("condition must have 3 elements".to_string());
             }
@@ -352,7 +384,10 @@ impl<'a> Txn<'a> {
                 return Err(format!("no column {col:?}"));
             }
             let func = c[1].as_str().ok_or("condition function must be a string")?;
-            if !matches!(func, "==" | "!=" | "<" | "<=" | ">" | ">=" | "includes" | "excludes") {
+            if !matches!(
+                func,
+                "==" | "!=" | "<" | "<=" | ">" | ">=" | "includes" | "excludes"
+            ) {
                 return Err(format!("unknown condition function {func:?}"));
             }
         }
@@ -360,7 +395,9 @@ impl<'a> Txn<'a> {
         'rows: for uuid in self.all_uuids(&ts.name) {
             let row = self.get(&ts.name, uuid).expect("visible row");
             for cond in conds {
-                let c = cond.as_array().ok_or("condition must be [column, function, value]")?;
+                let c = cond
+                    .as_array()
+                    .ok_or("condition must be [column, function, value]")?;
                 if c.len() != 3 {
                     return Err("condition must have 3 elements".to_string());
                 }
@@ -390,12 +427,18 @@ impl<'a> Txn<'a> {
     }
 
     fn op_select(&mut self, o: &Map<String, Json>) -> Result<Json, String> {
-        let tname = o.get("table").and_then(Json::as_str).ok_or("select needs \"table\"")?;
+        let tname = o
+            .get("table")
+            .and_then(Json::as_str)
+            .ok_or("select needs \"table\"")?;
         let ts = self.table_schema(tname)?.clone();
         let empty = json!([]);
         let matches = self.eval_where(&ts, o.get("where").unwrap_or(&empty))?;
         let columns: Option<Vec<String>> = o.get("columns").and_then(Json::as_array).map(|a| {
-            a.iter().filter_map(Json::as_str).map(str::to_string).collect()
+            a.iter()
+                .filter_map(Json::as_str)
+                .map(str::to_string)
+                .collect()
         });
         let mut rows = Vec::new();
         for uuid in matches {
@@ -406,7 +449,10 @@ impl<'a> Txn<'a> {
     }
 
     fn op_update(&mut self, o: &Map<String, Json>) -> Result<Json, String> {
-        let tname = o.get("table").and_then(Json::as_str).ok_or("update needs \"table\"")?;
+        let tname = o
+            .get("table")
+            .and_then(Json::as_str)
+            .ok_or("update needs \"table\"")?;
         let ts = self.table_schema(tname)?.clone();
         let row_json = o.get("row").ok_or("update needs \"row\"")?;
         let updates = self.parse_row(&ts, row_json, false)?;
@@ -423,7 +469,10 @@ impl<'a> Txn<'a> {
     }
 
     fn op_mutate(&mut self, o: &Map<String, Json>) -> Result<Json, String> {
-        let tname = o.get("table").and_then(Json::as_str).ok_or("mutate needs \"table\"")?;
+        let tname = o
+            .get("table")
+            .and_then(Json::as_str)
+            .ok_or("mutate needs \"table\"")?;
         let ts = self.table_schema(tname)?.clone();
         let muts = o
             .get("mutations")
@@ -435,17 +484,27 @@ impl<'a> Txn<'a> {
         for uuid in &matches {
             let mut row = (*self.get(tname, *uuid).unwrap()).clone();
             for m in &muts {
-                let m = m.as_array().ok_or("mutation must be [column, mutator, value]")?;
+                let m = m
+                    .as_array()
+                    .ok_or("mutation must be [column, mutator, value]")?;
                 if m.len() != 3 {
                     return Err("mutation must have 3 elements".to_string());
                 }
                 let col = m[0].as_str().ok_or("mutation column must be a string")?;
                 let mutator = m[1].as_str().ok_or("mutator must be a string")?;
-                let cs = ts.columns.get(col).ok_or_else(|| format!("no column {col:?}"))?;
-                let cur = row.get(col).cloned().unwrap_or_else(|| cs.ty.default_datum());
+                let cs = ts
+                    .columns
+                    .get(col)
+                    .ok_or_else(|| format!("no column {col:?}"))?;
+                let cur = row
+                    .get(col)
+                    .cloned()
+                    .unwrap_or_else(|| cs.ty.default_datum());
                 let named = |n: &str| self.named.get(n).copied();
                 let new = apply_mutation(&cur, mutator, &m[2], &cs.ty, &named)?;
-                cs.ty.validate(&new).map_err(|e| format!("column {col}: {e}"))?;
+                cs.ty
+                    .validate(&new)
+                    .map_err(|e| format!("column {col}: {e}"))?;
                 row.insert(col.to_string(), new);
             }
             self.put(tname, *uuid, Some(Arc::new(row)));
@@ -454,7 +513,10 @@ impl<'a> Txn<'a> {
     }
 
     fn op_delete(&mut self, o: &Map<String, Json>) -> Result<Json, String> {
-        let tname = o.get("table").and_then(Json::as_str).ok_or("delete needs \"table\"")?;
+        let tname = o
+            .get("table")
+            .and_then(Json::as_str)
+            .ok_or("delete needs \"table\"")?;
         let ts = self.table_schema(tname)?.clone();
         let empty = json!([]);
         let matches = self.eval_where(&ts, o.get("where").unwrap_or(&empty))?;
@@ -466,7 +528,10 @@ impl<'a> Txn<'a> {
 
     /// Non-blocking `wait`: succeeds iff the condition already holds.
     fn op_wait(&mut self, o: &Map<String, Json>) -> Result<Json, String> {
-        let tname = o.get("table").and_then(Json::as_str).ok_or("wait needs \"table\"")?;
+        let tname = o
+            .get("table")
+            .and_then(Json::as_str)
+            .ok_or("wait needs \"table\"")?;
         let ts = self.table_schema(tname)?.clone();
         let empty = json!([]);
         let matches = self.eval_where(&ts, o.get("where").unwrap_or(&empty))?;
@@ -476,7 +541,10 @@ impl<'a> Txn<'a> {
             .and_then(Json::as_array)
             .ok_or("wait needs \"rows\"")?;
         let columns: Option<Vec<String>> = o.get("columns").and_then(Json::as_array).map(|a| {
-            a.iter().filter_map(Json::as_str).map(str::to_string).collect()
+            a.iter()
+                .filter_map(Json::as_str)
+                .map(str::to_string)
+                .collect()
         });
         // Compare the matched rows (projected) against the expected rows.
         let mut actual: Vec<RowData> = Vec::new();
@@ -528,9 +596,7 @@ impl<'a> Txn<'a> {
             for t in &table_names {
                 universe.insert(t.clone(), self.all_uuids(t));
             }
-            let exists = |table: &str, u: Uuid, me: &Self| -> bool {
-                me.get(table, u).is_some()
-            };
+            let exists = |table: &str, u: Uuid, me: &Self| -> bool { me.get(table, u).is_some() };
             // Strong-reference targets per table, and weak purges.
             let mut strong_refs: HashMap<(String, Uuid), usize> = HashMap::new();
             let mut weak_purges: Vec<(String, Uuid, String, Uuid)> = Vec::new(); // table,row,col,target
@@ -543,9 +609,10 @@ impl<'a> Txn<'a> {
                             Some(d) => d,
                             None => continue,
                         };
-                        for (bt, atoms) in
-                            [(&cs.ty.key, true), (cs.ty.value.as_ref().unwrap_or(&cs.ty.key), false)]
-                        {
+                        for (bt, atoms) in [
+                            (&cs.ty.key, true),
+                            (cs.ty.value.as_ref().unwrap_or(&cs.ty.key), false),
+                        ] {
                             // For set columns, only the key side exists.
                             if !atoms && cs.ty.value.is_none() {
                                 continue;
@@ -606,9 +673,13 @@ impl<'a> Txn<'a> {
     /// Verify the uniqueness constraints for touched rows.
     fn check_unique(&self) -> Result<(), String> {
         // Group touched rows by table.
-        let mut touched: HashMap<&str, Vec<(Uuid, Option<&Arc<RowData>>)>> = HashMap::new();
+        type Touched<'a> = HashMap<&'a str, Vec<(Uuid, Option<&'a Arc<RowData>>)>>;
+        let mut touched: Touched<'_> = HashMap::new();
         for ((t, u), v) in &self.overlay {
-            touched.entry(t.as_str()).or_default().push((*u, v.as_ref()));
+            touched
+                .entry(t.as_str())
+                .or_default()
+                .push((*u, v.as_ref()));
         }
         for (tname, rows) in touched {
             let ts = &self.db.schema.tables[tname];
@@ -651,7 +722,11 @@ impl<'a> Txn<'a> {
 /// Encode a row (with its UUID) to JSON, optionally projecting columns.
 pub fn row_to_json(uuid: Uuid, row: &RowData, columns: Option<&[String]>) -> Json {
     let mut obj = Map::new();
-    let include = |c: &str| columns.map(|cols| cols.iter().any(|x| x == c)).unwrap_or(true);
+    let include = |c: &str| {
+        columns
+            .map(|cols| cols.iter().any(|x| x == c))
+            .unwrap_or(true)
+    };
     if include("_uuid") || columns.is_none() {
         obj.insert("_uuid".to_string(), json!(["uuid", uuid.to_string()]));
     }
@@ -722,16 +797,12 @@ fn eval_condition(datum: &Datum, func: &str, arg: &Datum) -> Result<bool, String
         }
         "includes" => match (datum, arg) {
             (Datum::Set(s), Datum::Set(sub)) => Ok(sub.iter().all(|a| s.contains(a))),
-            (Datum::Map(m), Datum::Map(sub)) => {
-                Ok(sub.iter().all(|(k, v)| m.get(k) == Some(v)))
-            }
+            (Datum::Map(m), Datum::Map(sub)) => Ok(sub.iter().all(|(k, v)| m.get(k) == Some(v))),
             _ => Err("includes requires matching collection kinds".to_string()),
         },
         "excludes" => match (datum, arg) {
             (Datum::Set(s), Datum::Set(sub)) => Ok(sub.iter().all(|a| !s.contains(a))),
-            (Datum::Map(m), Datum::Map(sub)) => {
-                Ok(sub.iter().all(|(k, v)| m.get(k) != Some(v)))
-            }
+            (Datum::Map(m), Datum::Map(sub)) => Ok(sub.iter().all(|(k, v)| m.get(k) != Some(v))),
             _ => Err("excludes requires matching collection kinds".to_string()),
         },
         other => Err(format!("unknown condition function {other:?}")),

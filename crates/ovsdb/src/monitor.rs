@@ -26,7 +26,12 @@ pub struct MonitorSelect {
 
 impl Default for MonitorSelect {
     fn default() -> Self {
-        MonitorSelect { initial: true, insert: true, delete: true, modify: true }
+        MonitorSelect {
+            initial: true,
+            insert: true,
+            delete: true,
+            modify: true,
+        }
     }
 }
 
@@ -50,7 +55,9 @@ impl Monitor {
     /// Parse the `monitor` request's third parameter:
     /// `{table: {columns: [...], select: {...}} | [...alternatives...]}`.
     pub fn parse(requests: &Json, db: &Database) -> Result<Monitor, String> {
-        let obj = requests.as_object().ok_or("monitor requests must be an object")?;
+        let obj = requests
+            .as_object()
+            .ok_or("monitor requests must be an object")?;
         let mut tables = BTreeMap::new();
         for (tname, spec) in obj {
             if db.schema().table(tname).is_none() {
@@ -68,7 +75,7 @@ impl Monitor {
                 let mut list = Vec::new();
                 for c in cols {
                     let c = c.as_str().ok_or("column names must be strings")?;
-                    if db.schema().table(tname).unwrap().columns.get(c).is_none() {
+                    if !db.schema().table(tname).unwrap().columns.contains_key(c) {
                         return Err(format!("no column {tname}.{c}"));
                     }
                     list.push(c.to_string());
@@ -115,7 +122,9 @@ impl Monitor {
     pub fn format_changes(&self, changes: &[RowChange]) -> Option<Json> {
         let mut out = Map::new();
         for change in changes {
-            let Some(mt) = self.tables.get(&change.table) else { continue };
+            let Some(mt) = self.tables.get(&change.table) else {
+                continue;
+            };
             let update = match (&change.old, &change.new) {
                 (None, Some(new)) => {
                     if !mt.select.insert {
@@ -173,7 +182,10 @@ impl Monitor {
 fn project(row: &crate::db::RowData, columns: Option<&[String]>) -> Json {
     let mut obj = Map::new();
     for (c, d) in row {
-        if columns.map(|cols| cols.iter().any(|x| x == c)).unwrap_or(true) {
+        if columns
+            .map(|cols| cols.iter().any(|x| x == c))
+            .unwrap_or(true)
+        {
             obj.insert(c.clone(), d.to_json());
         }
     }

@@ -48,9 +48,16 @@ impl Message {
             let params = obj.get("params").cloned().unwrap_or(json!([]));
             let id = obj.get("id").cloned().unwrap_or(Json::Null);
             if id.is_null() {
-                return Ok(Message::Notification { method: method.to_string(), params });
+                return Ok(Message::Notification {
+                    method: method.to_string(),
+                    params,
+                });
             }
-            return Ok(Message::Request { id, method: method.to_string(), params });
+            return Ok(Message::Request {
+                id,
+                method: method.to_string(),
+                params,
+            });
         }
         if obj.contains_key("result") || obj.contains_key("error") {
             return Ok(Message::Response {
@@ -95,7 +102,10 @@ pub struct MessageReader<R: Read> {
 impl<R: Read> MessageReader<R> {
     /// Wrap a stream.
     pub fn new(r: R) -> Self {
-        MessageReader { inner: BufReader::new(r), line: String::new() }
+        MessageReader {
+            inner: BufReader::new(r),
+            line: String::new(),
+        }
     }
 
     /// Read the next message; `Ok(None)` on clean EOF.
@@ -110,9 +120,8 @@ impl<R: Read> MessageReader<R> {
             if trimmed.is_empty() {
                 continue;
             }
-            let v: Json = serde_json::from_str(trimmed).map_err(|e| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
-            })?;
+            let v: Json = serde_json::from_str(trimmed)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
             return Message::from_json(v)
                 .map(Some)
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e));
@@ -136,7 +145,11 @@ mod tests {
             method: "update".to_string(),
             params: json!(["mon", {}]),
         };
-        let resp = Message::Response { id: json!(1), result: json!([{}]), error: Json::Null };
+        let resp = Message::Response {
+            id: json!(1),
+            result: json!([{}]),
+            error: Json::Null,
+        };
         write_message(&mut buf, &req).unwrap();
         write_message(&mut buf, &notif).unwrap();
         write_message(&mut buf, &resp).unwrap();
@@ -150,8 +163,12 @@ mod tests {
 
     #[test]
     fn blank_lines_skipped_and_garbage_rejected() {
-        let mut reader = MessageReader::new("\n\n{\"method\":\"echo\",\"params\":[],\"id\":null}\n".as_bytes());
-        assert!(matches!(reader.read().unwrap(), Some(Message::Notification { .. })));
+        let mut reader =
+            MessageReader::new("\n\n{\"method\":\"echo\",\"params\":[],\"id\":null}\n".as_bytes());
+        assert!(matches!(
+            reader.read().unwrap(),
+            Some(Message::Notification { .. })
+        ));
 
         let mut bad = MessageReader::new("not json\n".as_bytes());
         assert!(bad.read().is_err());

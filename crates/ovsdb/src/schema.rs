@@ -82,7 +82,8 @@ impl BaseType {
                     .and_then(Json::as_str)
                     .ok_or("base type object needs \"type\"")?;
                 let mut bt = BaseType::plain(
-                    AtomType::parse(tname).ok_or_else(|| format!("unknown atomic type {tname:?}"))?,
+                    AtomType::parse(tname)
+                        .ok_or_else(|| format!("unknown atomic type {tname:?}"))?,
                 );
                 bt.min_integer = o.get("minInteger").and_then(Json::as_i64);
                 bt.max_integer = o.get("maxInteger").and_then(Json::as_i64);
@@ -131,7 +132,12 @@ pub struct ColumnType {
 impl ColumnType {
     /// A scalar column of the given atomic type.
     pub fn scalar(ty: AtomType) -> ColumnType {
-        ColumnType { key: BaseType::plain(ty), value: None, min: 1, max: 1 }
+        ColumnType {
+            key: BaseType::plain(ty),
+            value: None,
+            min: 1,
+            max: 1,
+        }
     }
 
     /// True if the column holds at most one atom (a scalar or optional
@@ -156,7 +162,11 @@ impl ColumnType {
         }
         Datum::scalar(match self.key.ty {
             AtomType::Integer => Atom::Integer(
-                self.key.min_integer.unwrap_or(0).max(0).min(self.key.max_integer.unwrap_or(i64::MAX)),
+                self.key
+                    .min_integer
+                    .unwrap_or(0)
+                    .max(0)
+                    .min(self.key.max_integer.unwrap_or(i64::MAX)),
             ),
             AtomType::Real => Atom::Real(crate::datum::OrderedF64(0.0)),
             AtomType::Boolean => Atom::Boolean(false),
@@ -220,7 +230,12 @@ impl ColumnType {
                 if min > max {
                     return Err(format!("min {min} > max {max}"));
                 }
-                Ok(ColumnType { key, value, min, max })
+                Ok(ColumnType {
+                    key,
+                    value,
+                    min,
+                    max,
+                })
             }
             other => Err(format!("bad column type {other}")),
         }
@@ -285,7 +300,9 @@ impl Schema {
             .ok_or("schema needs \"tables\"")?;
         let mut tables = BTreeMap::new();
         for (tname, tv) in tables_json {
-            let to = tv.as_object().ok_or_else(|| format!("table {tname} must be an object"))?;
+            let to = tv
+                .as_object()
+                .ok_or_else(|| format!("table {tname} must be an object"))?;
             let cols_json = to
                 .get("columns")
                 .and_then(Json::as_object)
@@ -295,15 +312,22 @@ impl Schema {
                 if cname.starts_with('_') {
                     return Err(format!("column name {cname:?} is reserved"));
                 }
-                let co = cv.as_object().ok_or_else(|| format!("column {cname} must be an object"))?;
-                let ty = ColumnType::parse(co.get("type").ok_or_else(|| {
-                    format!("column {tname}.{cname} needs \"type\"")
-                })?)
+                let co = cv
+                    .as_object()
+                    .ok_or_else(|| format!("column {cname} must be an object"))?;
+                let ty = ColumnType::parse(
+                    co.get("type")
+                        .ok_or_else(|| format!("column {tname}.{cname} needs \"type\""))?,
+                )
                 .map_err(|e| format!("column {tname}.{cname}: {e}"))?;
                 let ephemeral = co.get("ephemeral").and_then(Json::as_bool).unwrap_or(false);
                 columns.insert(
                     cname.clone(),
-                    ColumnSchema { name: cname.clone(), ty, ephemeral },
+                    ColumnSchema {
+                        name: cname.clone(),
+                        ty,
+                        ephemeral,
+                    },
                 );
             }
             let is_root = to.get("isRoot").and_then(Json::as_bool).unwrap_or(false);
@@ -332,7 +356,13 @@ impl Schema {
                 .unwrap_or(usize::MAX);
             tables.insert(
                 tname.clone(),
-                TableSchema { name: tname.clone(), columns, is_root, indexes, max_rows },
+                TableSchema {
+                    name: tname.clone(),
+                    columns,
+                    is_root,
+                    indexes,
+                    max_rows,
+                },
             );
         }
         // Validate refTable targets exist.
@@ -350,7 +380,11 @@ impl Schema {
                 }
             }
         }
-        Ok(Schema { name, version, tables })
+        Ok(Schema {
+            name,
+            version,
+            tables,
+        })
     }
 
     /// Parse from JSON text.
@@ -529,9 +563,15 @@ mod tests {
     fn default_datums() {
         let s = Schema::from_json(&demo_schema()).unwrap();
         let port = s.table("Port").unwrap();
-        assert_eq!(port.columns["name"].ty.default_datum(), Datum::scalar(Atom::s("")));
+        assert_eq!(
+            port.columns["name"].ty.default_datum(),
+            Datum::scalar(Atom::s(""))
+        );
         assert_eq!(port.columns["tag"].ty.default_datum(), Datum::empty());
-        assert_eq!(port.columns["options"].ty.default_datum(), Datum::Map(Default::default()));
+        assert_eq!(
+            port.columns["options"].ty.default_datum(),
+            Datum::Map(Default::default())
+        );
         // Enum default picks the first allowed value when required.
         let required_enum = ColumnType {
             key: BaseType {

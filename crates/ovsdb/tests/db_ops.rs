@@ -203,14 +203,22 @@ fn uniqueness_constraint() {
         {"op": "insert", "table": "Port", "row": {"name": "dup"}}
     ]));
     assert!(changes.is_empty());
-    assert!(res.as_array().unwrap().iter().any(|r| r.get("error").is_some()));
+    assert!(res
+        .as_array()
+        .unwrap()
+        .iter()
+        .any(|r| r.get("error").is_some()));
     // Two conflicting inserts inside one transaction are also rejected.
     let (res, changes) = db.transact(&json!([
         {"op": "insert", "table": "Port", "row": {"name": "d2"}},
         {"op": "insert", "table": "Port", "row": {"name": "d2"}}
     ]));
     assert!(changes.is_empty());
-    assert!(res.as_array().unwrap().iter().any(|r| r.get("error").is_some()));
+    assert!(res
+        .as_array()
+        .unwrap()
+        .iter()
+        .any(|r| r.get("error").is_some()));
     // Renaming a row frees its old name within the same transaction.
     let (_, changes) = db.transact(&json!([
         {"op": "update", "table": "Port", "where": [["name", "==", "dup"]],
@@ -232,15 +240,8 @@ fn named_uuid_resolution_across_ops() {
     assert_eq!(changes.len(), 2);
     // The bridge's ports set references the new port's real uuid.
     let port_uuid = uuid_of(&res[0]);
-    let bridge = db
-        .rows("Bridge")
-        .next()
-        .map(|(_, r)| r.clone())
-        .unwrap();
-    assert_eq!(
-        bridge["ports"],
-        Datum::set(vec![Atom::Uuid(port_uuid)])
-    );
+    let bridge = db.rows("Bridge").next().map(|(_, r)| r.clone()).unwrap();
+    assert_eq!(bridge["ports"], Datum::set(vec![Atom::Uuid(port_uuid)]));
 }
 
 #[test]
@@ -305,7 +306,13 @@ fn dangling_strong_reference_rejected() {
          "row": {"name": "br", "ports": ["set", [["uuid", ghost]]]}}
     ]));
     assert!(changes.is_empty());
-    assert!(res.as_array().unwrap().iter().any(|r| r.get("error").is_some()), "{res}");
+    assert!(
+        res.as_array()
+            .unwrap()
+            .iter()
+            .any(|r| r.get("error").is_some()),
+        "{res}"
+    );
 }
 
 #[test]
@@ -344,7 +351,10 @@ fn unknown_table_column_and_op_errors() {
         let (res, changes) = db.transact(&ops);
         assert!(changes.is_empty(), "{ops}");
         assert!(
-            res.as_array().unwrap().iter().any(|r| r.get("error").is_some()),
+            res.as_array()
+                .unwrap()
+                .iter()
+                .any(|r| r.get("error").is_some()),
             "expected error for {ops}: {res}"
         );
     }
@@ -383,7 +393,11 @@ fn max_rows_enforced() {
         {"op": "insert", "table": "T", "row": {"x": 99}}
     ]));
     assert!(changes.is_empty());
-    assert!(res.as_array().unwrap().iter().any(|r| r.get("error").is_some()));
+    assert!(res
+        .as_array()
+        .unwrap()
+        .iter()
+        .any(|r| r.get("error").is_some()));
 }
 
 #[test]

@@ -40,7 +40,9 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 /// Apply a table-updates JSON object to a shadow map keyed by row uuid.
 fn replay(shadow: &mut BTreeMap<String, Json>, updates: &Json) {
-    let Some(ports) = updates.get("Port").and_then(Json::as_object) else { return };
+    let Some(ports) = updates.get("Port").and_then(Json::as_object) else {
+        return;
+    };
     for (uuid, upd) in ports {
         match (upd.get("old"), upd.get("new")) {
             (None, Some(new)) => {

@@ -20,7 +20,9 @@ pub mod table;
 
 pub use p4info::P4Info;
 pub use parser::{parse_p4, P4Error};
-pub use runtime::{ControlRequest, ControlResponse, Digest, FieldMatch, TableEntry, Update, WriteOp};
+pub use runtime::{
+    ControlRequest, ControlResponse, Digest, FieldMatch, TableEntry, Update, WriteOp,
+};
 pub use service::{ControlClient, ControlService, SwitchDevice};
 pub use switch::{ProcessResult, Switch};
 

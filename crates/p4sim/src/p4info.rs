@@ -105,7 +105,10 @@ impl P4Info {
                         params: decl
                             .params
                             .iter()
-                            .map(|p| ParamInfo { name: p.name.clone(), width: p.width })
+                            .map(|p| ParamInfo {
+                                name: p.name.clone(),
+                                width: p.width,
+                            })
                             .collect(),
                     }
                 })
@@ -128,12 +131,19 @@ impl P4Info {
                     fields: ty
                         .fields
                         .iter()
-                        .map(|f| ParamInfo { name: f.name.clone(), width: f.width })
+                        .map(|f| ParamInfo {
+                            name: f.name.clone(),
+                            width: f.width,
+                        })
                         .collect(),
                 }
             })
             .collect();
-        P4Info { program: prog.parser.name.clone(), tables, digests }
+        P4Info {
+            program: prog.parser.name.clone(),
+            tables,
+            digests,
+        }
     }
 
     /// Look up a table.
@@ -164,8 +174,18 @@ mod tests {
         assert_eq!(invlan.control, "ingress");
         assert_eq!(invlan.keys[0].width, 16);
         assert_eq!(invlan.keys[0].match_kind, "exact");
-        let set_vlan = invlan.actions.iter().find(|a| a.name == "set_vlan").unwrap();
-        assert_eq!(set_vlan.params, vec![ParamInfo { name: "vid".into(), width: 12 }]);
+        let set_vlan = invlan
+            .actions
+            .iter()
+            .find(|a| a.name == "set_vlan")
+            .unwrap();
+        assert_eq!(
+            set_vlan.params,
+            vec![ParamInfo {
+                name: "vid".into(),
+                width: 12
+            }]
+        );
         assert_eq!(info.digests.len(), 1);
         assert_eq!(info.digests[0].fields.len(), 3);
 

@@ -164,9 +164,15 @@ impl ParsedPacket {
     /// Write a header field; silently ignored when invalid/unknown (P4
     /// semantics: writes to invalid headers have no effect).
     pub fn set_field(&mut self, prog: &Program, member: &str, field: &str, value: u128) {
-        let Some(inst) = self.headers.get_mut(member) else { return };
-        let Some(ty) = prog.types.get(&inst.type_name) else { return };
-        let Some(idx) = ty.fields.iter().position(|f| f.name == field) else { return };
+        let Some(inst) = self.headers.get_mut(member) else {
+            return;
+        };
+        let Some(ty) = prog.types.get(&inst.type_name) else {
+            return;
+        };
+        let Some(idx) = ty.fields.iter().position(|f| f.name == field) else {
+            return;
+        };
         let width = ty.fields[idx].width;
         inst.fields[idx] = crate::mask(value, width);
     }
@@ -180,7 +186,11 @@ fn eval_parser_expr(
     use crate::ast::{Expr, LValue};
     match e {
         Expr::Lit(v) => Some(*v),
-        Expr::Ref(LValue::Field { root, member, field }) if root == "hdr" => {
+        Expr::Ref(LValue::Field {
+            root,
+            member,
+            field,
+        }) if root == "hdr" => {
             let inst = headers.get(member)?;
             let ty = prog.types.get(&inst.type_name)?;
             let idx = ty.fields.iter().position(|f| f.name == *field)?;

@@ -40,8 +40,8 @@ struct Lexer {
 
 const SYMBOLS2: &[&str] = &["==", "!=", "<=", ">=", "<<", ">>", "&&", "||"];
 const SYMBOLS1: &[&str] = &[
-    "{", "}", "(", ")", "<", ">", ";", ":", ",", "=", ".", "!", "~", "&", "|", "^", "+", "-",
-    "*", "/",
+    "{", "}", "(", ")", "<", ">", ";", ":", ",", "=", ".", "!", "~", "&", "|", "^", "+", "-", "*",
+    "/",
 ];
 
 fn lex(src: &str) -> PResult<Vec<(Tok, u32)>> {
@@ -145,7 +145,10 @@ fn lex(src: &str) -> PResult<Vec<(Tok, u32)>> {
             match value {
                 Ok(v) => toks.push((Tok::Int(v), line)),
                 Err(_) => {
-                    return Err(P4Error { line, msg: format!("bad integer literal `{text}`") })
+                    return Err(P4Error {
+                        line,
+                        msg: format!("bad integer literal `{text}`"),
+                    })
                 }
             }
             continue;
@@ -162,7 +165,10 @@ fn lex(src: &str) -> PResult<Vec<(Tok, u32)>> {
             i += 1;
             continue;
         }
-        return Err(P4Error { line, msg: format!("unexpected character `{c}`") });
+        return Err(P4Error {
+            line,
+            msg: format!("unexpected character `{c}`"),
+        });
     }
     toks.push((Tok::Eof, line));
     Ok(toks)
@@ -173,7 +179,11 @@ fn lex(src: &str) -> PResult<Vec<(Tok, u32)>> {
 /// Parse and validate a P4 program.
 pub fn parse_p4(src: &str) -> PResult<Program> {
     let toks = lex(src)?;
-    let mut p = Parser { lx: Lexer { toks, i: 0 }, prog: Program::default(), roles: BTreeMap::new() };
+    let mut p = Parser {
+        lx: Lexer { toks, i: 0 },
+        prog: Program::default(),
+        roles: BTreeMap::new(),
+    };
     p.program()?;
     validate(&mut p.prog)?;
     Ok(p.prog)
@@ -202,7 +212,10 @@ impl Parser {
         t
     }
     fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
-        Err(P4Error { line: self.line(), msg: msg.into() })
+        Err(P4Error {
+            line: self.line(),
+            msg: msg.into(),
+        })
     }
     fn expect_sym(&mut self, s: &str) -> PResult<()> {
         match self.peek() {
@@ -312,12 +325,19 @@ impl Parser {
                 // Encode typed members with width 0 and remember the
                 // type name in a parallel map once this struct becomes
                 // the headers struct.
-                fields.push(Field { name: format!("{fname}:{tname}"), width: 0 });
+                fields.push(Field {
+                    name: format!("{fname}:{tname}"),
+                    width: 0,
+                });
             }
         }
         self.prog.types.insert(
             name.clone(),
-            StructDecl { name, is_header, fields },
+            StructDecl {
+                name,
+                is_header,
+                fields,
+            },
         );
         Ok(())
     }
@@ -367,7 +387,10 @@ impl Parser {
     }
 
     fn canonical_root(&self, name: &str) -> String {
-        self.roles.get(name).cloned().unwrap_or_else(|| name.to_string())
+        self.roles
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| name.to_string())
     }
 
     fn parser_decl(&mut self) -> PResult<()> {
@@ -410,7 +433,11 @@ impl Parser {
                     extracts.push(member);
                 }
             }
-            states.push(ParserState { name: sname, extracts, transition });
+            states.push(ParserState {
+                name: sname,
+                extracts,
+                transition,
+            });
         }
         self.prog.parser = ParserDecl { name, states };
         Ok(())
@@ -468,7 +495,12 @@ impl Parser {
                 ));
             }
         }
-        let decl = ControlDecl { name, actions, tables, apply };
+        let decl = ControlDecl {
+            name,
+            actions,
+            tables,
+            apply,
+        };
         // First control = ingress, second = egress (confirmed by the
         // V1Switch instantiation in validate()).
         if self.prog.ingress.name.is_empty() {
@@ -516,7 +548,12 @@ impl Parser {
                         other => return self.err(format!("unknown match kind `{other}`")),
                     };
                     self.expect_sym(";")?;
-                    keys.push(TableKey { field: lv, kind, name: text, width: 0 });
+                    keys.push(TableKey {
+                        field: lv,
+                        kind,
+                        name: text,
+                        width: 0,
+                    });
                 }
             } else if self.eat_ident("actions") {
                 self.expect_sym("=")?;
@@ -547,7 +584,13 @@ impl Parser {
                 return self.err(format!("unexpected table property {:?}", self.peek()));
             }
         }
-        Ok(TableDecl { name, keys, actions, default_action, size })
+        Ok(TableDecl {
+            name,
+            keys,
+            actions,
+            default_action,
+            size,
+        })
     }
 
     fn block(&mut self) -> PResult<Vec<Stmt>> {
@@ -615,7 +658,10 @@ impl Parser {
             if !self.prog.digests.contains(&sname) {
                 self.prog.digests.push(sname.clone());
             }
-            return Ok(Stmt::Digest { struct_name: sname, fields });
+            return Ok(Stmt::Digest {
+                struct_name: sname,
+                fields,
+            });
         }
         // Starts with an identifier: assignment, table apply, method
         // call, or action call.
@@ -645,7 +691,10 @@ impl Parser {
                     self.expect_sym("(")?;
                     self.expect_sym(")")?;
                     self.expect_sym(";")?;
-                    return Ok(Stmt::SetValid { member: second, valid: third == "setValid" });
+                    return Ok(Stmt::SetValid {
+                        member: second,
+                        valid: third == "setValid",
+                    });
                 }
                 // hdr.member.field = expr;
                 self.expect_sym("=")?;
@@ -691,14 +740,22 @@ impl Parser {
             let root = self.canonical_root(&first);
             let text = format!("{root}.{second}.{third}");
             Ok((
-                LValue::Field { root, member: second, field: third },
+                LValue::Field {
+                    root,
+                    member: second,
+                    field: third,
+                },
                 text,
             ))
         } else {
             let root = self.canonical_root(&first);
             let text = format!("{root}.{second}");
             Ok((
-                LValue::Field { root, member: String::new(), field: second },
+                LValue::Field {
+                    root,
+                    member: String::new(),
+                    field: second,
+                },
                 text,
             ))
         }
@@ -915,7 +972,11 @@ pub const STANDARD_METADATA: &[(&str, Width)] = &[
 /// Resolve the width of a field reference.
 pub fn lvalue_width(prog: &Program, lv: &LValue) -> Option<Width> {
     match lv {
-        LValue::Field { root, member, field } => match root.as_str() {
+        LValue::Field {
+            root,
+            member,
+            field,
+        } => match root.as_str() {
             "std" => STANDARD_METADATA
                 .iter()
                 .find(|(n, _)| n == field)
@@ -963,7 +1024,10 @@ fn validate(prog: &mut Program) -> PResult<()> {
     prog.headers_members = members;
 
     if prog.meta_struct().is_none() {
-        return Err(fail(format!("metadata type `{}` not declared", prog.meta_type)));
+        return Err(fail(format!(
+            "metadata type `{}` not declared",
+            prog.meta_type
+        )));
     }
 
     // Parser states: extracts reference declared members; transitions
@@ -1004,7 +1068,10 @@ fn validate(prog: &mut Program) -> PResult<()> {
             }
             for a in &t.actions {
                 if a != "NoAction" && !c.actions.iter().any(|ad| ad.name == *a) {
-                    return Err(fail(format!("table `{}` lists unknown action `{a}`", t.name)));
+                    return Err(fail(format!(
+                        "table `{}` lists unknown action `{a}`",
+                        t.name
+                    )));
                 }
             }
             if let Some((da, _)) = &t.default_action {
@@ -1118,7 +1185,6 @@ pub const DEMO: &str = r#"
 mod tests {
     use super::*;
 
-
     #[test]
     fn parses_demo_program() {
         let p = parse_p4(DEMO).unwrap();
@@ -1157,7 +1223,10 @@ mod tests {
         let bad = DEMO.replace("actions = { set_vlan; drop_packet; }", "actions = { zap; }");
         assert!(parse_p4(&bad).is_err());
         // missing main
-        let bad = DEMO.replace("V1Switch(SnvsParser(), SnvsIngress(), SnvsEgress()) main;", "");
+        let bad = DEMO.replace(
+            "V1Switch(SnvsParser(), SnvsIngress(), SnvsEgress()) main;",
+            "",
+        );
         assert!(parse_p4(&bad).is_err());
         // unknown digest struct
         let bad = DEMO.replace("digest(mac_learn_digest_t", "digest(nope_t");
@@ -1166,8 +1235,10 @@ mod tests {
 
     #[test]
     fn width_prefixed_literals_and_annotations() {
-        let src = DEMO.replace("default_action = drop_packet();",
-            "default_action = drop_packet(); size = 2048;");
+        let src = DEMO.replace(
+            "default_action = drop_packet();",
+            "default_action = drop_packet(); size = 2048;",
+        );
         assert!(parse_p4(&src).is_ok());
         let toks = lex("9w1 48w0xffffffffffff @name(\"x.y\") foo").unwrap();
         assert_eq!(toks[0].0, Tok::Int(1));

@@ -84,9 +84,7 @@ impl RuntimeTable {
             let max = crate::mask(u128::MAX, k.width);
             let value_ok = match m {
                 FieldMatch::Exact { value } => *value <= max,
-                FieldMatch::Lpm { value, prefix_len } => {
-                    *value <= max && *prefix_len <= k.width
-                }
+                FieldMatch::Lpm { value, prefix_len } => *value <= max && *prefix_len <= k.width,
                 FieldMatch::Ternary { value, mask } => *value <= max && *mask <= max,
             };
             if !value_ok {
@@ -126,7 +124,8 @@ impl RuntimeTable {
         self.entries.sort_by(|a, b| {
             let pa = (b.priority, total_prefix(b));
             let pb = (a.priority, total_prefix(a));
-            pa.cmp(&pb).then_with(|| format!("{a:?}").cmp(&format!("{b:?}")))
+            pa.cmp(&pb)
+                .then_with(|| format!("{a:?}").cmp(&format!("{b:?}")))
         });
     }
 
@@ -134,7 +133,10 @@ impl RuntimeTable {
     pub fn get_same_key(&self, entry: &TableEntry) -> Option<&TableEntry> {
         if self.all_exact {
             // Exact tables can use the hash index when the kinds line up.
-            let ok = entry.matches.iter().all(|m| matches!(m, FieldMatch::Exact { .. }))
+            let ok = entry
+                .matches
+                .iter()
+                .all(|m| matches!(m, FieldMatch::Exact { .. }))
                 && entry.matches.len() == self.decl.keys.len();
             if ok {
                 return self
@@ -184,7 +186,10 @@ impl RuntimeTable {
             }
             return Ok(());
         }
-        let pos = self.entries.iter().position(|e| Self::same_key(e, &update.entry));
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| Self::same_key(e, &update.entry));
         match (update.op, pos) {
             (WriteOp::Insert, None) => self.entries.push(update.entry.clone()),
             (WriteOp::Insert, Some(_)) => {
@@ -201,7 +206,6 @@ impl RuntimeTable {
         self.resort();
         Ok(())
     }
-
 }
 
 fn total_prefix(e: &TableEntry) -> u32 {
@@ -221,7 +225,7 @@ impl RuntimeTable {
     pub fn lookup_with_widths(&mut self, key: &[u128]) -> Option<(String, Vec<u128>)> {
         self.lookups += 1;
         if self.all_exact && !self.entries.is_empty() {
-            if let Some(&i) = self.exact_index.get(&key.to_vec()) {
+            if let Some(&i) = self.exact_index.get(key) {
                 self.hits += 1;
                 let e = &self.entries[i];
                 return Some((e.action.clone(), e.params.clone()));
@@ -234,20 +238,28 @@ impl RuntimeTable {
         }
         let widths: Vec<u16> = self.decl.keys.iter().map(|k| k.width).collect();
         for e in &self.entries {
-            let ok = e.matches.iter().zip(key).zip(&widths).all(|((m, v), w)| match m {
-                FieldMatch::Exact { value } => value == v,
-                FieldMatch::Lpm { value, prefix_len } => {
-                    if *prefix_len == 0 {
-                        return true;
+            let ok = e
+                .matches
+                .iter()
+                .zip(key)
+                .zip(&widths)
+                .all(|((m, v), w)| match m {
+                    FieldMatch::Exact { value } => value == v,
+                    FieldMatch::Lpm { value, prefix_len } => {
+                        if *prefix_len == 0 {
+                            return true;
+                        }
+                        let host_bits = w - prefix_len.min(w);
+                        let host = if host_bits == 0 {
+                            0
+                        } else {
+                            crate::mask(u128::MAX, host_bits)
+                        };
+                        let mask = crate::mask(u128::MAX, *w) & !host;
+                        (v & mask) == (value & mask)
                     }
-                    let host_bits = w - prefix_len.min(w);
-                    let host =
-                        if host_bits == 0 { 0 } else { crate::mask(u128::MAX, host_bits) };
-                    let mask = crate::mask(u128::MAX, *w) & !host;
-                    (v & mask) == (value & mask)
-                }
-                FieldMatch::Ternary { value, mask } => (v & mask) == *value,
-            });
+                    FieldMatch::Ternary { value, mask } => (v & mask) == *value,
+                });
             if ok {
                 self.hits += 1;
                 return Some((e.action.clone(), e.params.clone()));
@@ -285,7 +297,13 @@ mod tests {
     }
 
     fn entry(matches: Vec<FieldMatch>, priority: i32, param: u128) -> TableEntry {
-        TableEntry { table: "T".into(), matches, priority, action: "act".into(), params: vec![param] }
+        TableEntry {
+            table: "T".into(),
+            matches,
+            priority,
+            action: "act".into(),
+            params: vec![param],
+        }
     }
 
     #[test]
@@ -306,17 +324,39 @@ mod tests {
     fn insert_modify_delete_semantics() {
         let mut t = RuntimeTable::new(decl(&[(MatchKind::Exact, 9)]));
         let e = entry(vec![FieldMatch::Exact { value: 1 }], 0, 7);
-        t.apply(&Update { op: WriteOp::Insert, entry: e.clone() }).unwrap();
+        t.apply(&Update {
+            op: WriteOp::Insert,
+            entry: e.clone(),
+        })
+        .unwrap();
         // Duplicate insert rejected.
-        assert!(t.apply(&Update { op: WriteOp::Insert, entry: e.clone() }).is_err());
+        assert!(t
+            .apply(&Update {
+                op: WriteOp::Insert,
+                entry: e.clone()
+            })
+            .is_err());
         // Modify changes the action data.
         let mut e2 = e.clone();
         e2.params = vec![9];
-        t.apply(&Update { op: WriteOp::Modify, entry: e2 }).unwrap();
+        t.apply(&Update {
+            op: WriteOp::Modify,
+            entry: e2,
+        })
+        .unwrap();
         assert_eq!(t.lookup_with_widths(&[1]), Some(("act".into(), vec![9])));
         // Delete removes; second delete errors.
-        t.apply(&Update { op: WriteOp::Delete, entry: e.clone() }).unwrap();
-        assert!(t.apply(&Update { op: WriteOp::Delete, entry: e }).is_err());
+        t.apply(&Update {
+            op: WriteOp::Delete,
+            entry: e.clone(),
+        })
+        .unwrap();
+        assert!(t
+            .apply(&Update {
+                op: WriteOp::Delete,
+                entry: e
+            })
+            .is_err());
         assert!(t.is_empty());
     }
 
@@ -326,12 +366,26 @@ mod tests {
         // 10.0.0.0/8 → 1, 10.1.0.0/16 → 2
         t.apply(&Update {
             op: WriteOp::Insert,
-            entry: entry(vec![FieldMatch::Lpm { value: 0x0a000000, prefix_len: 8 }], 0, 1),
+            entry: entry(
+                vec![FieldMatch::Lpm {
+                    value: 0x0a000000,
+                    prefix_len: 8,
+                }],
+                0,
+                1,
+            ),
         })
         .unwrap();
         t.apply(&Update {
             op: WriteOp::Insert,
-            entry: entry(vec![FieldMatch::Lpm { value: 0x0a010000, prefix_len: 16 }], 0, 2),
+            entry: entry(
+                vec![FieldMatch::Lpm {
+                    value: 0x0a010000,
+                    prefix_len: 16,
+                }],
+                0,
+                2,
+            ),
         })
         .unwrap();
         assert_eq!(t.lookup_with_widths(&[0x0a010203]).unwrap().1, vec![2]);
@@ -340,7 +394,14 @@ mod tests {
         // /0 default route matches everything.
         t.apply(&Update {
             op: WriteOp::Insert,
-            entry: entry(vec![FieldMatch::Lpm { value: 0, prefix_len: 0 }], 0, 3),
+            entry: entry(
+                vec![FieldMatch::Lpm {
+                    value: 0,
+                    prefix_len: 0,
+                }],
+                0,
+                3,
+            ),
         })
         .unwrap();
         assert_eq!(t.lookup_with_widths(&[0x0b000001]).unwrap().1, vec![3]);
@@ -351,12 +412,26 @@ mod tests {
         let mut t = RuntimeTable::new(decl(&[(MatchKind::Ternary, 16)]));
         t.apply(&Update {
             op: WriteOp::Insert,
-            entry: entry(vec![FieldMatch::Ternary { value: 0x0100, mask: 0xff00 }], 10, 1),
+            entry: entry(
+                vec![FieldMatch::Ternary {
+                    value: 0x0100,
+                    mask: 0xff00,
+                }],
+                10,
+                1,
+            ),
         })
         .unwrap();
         t.apply(&Update {
             op: WriteOp::Insert,
-            entry: entry(vec![FieldMatch::Ternary { value: 0x0101, mask: 0xffff }], 20, 2),
+            entry: entry(
+                vec![FieldMatch::Ternary {
+                    value: 0x0101,
+                    mask: 0xffff,
+                }],
+                20,
+                2,
+            ),
         })
         .unwrap();
         // Both match 0x0101; priority 20 wins.
@@ -369,7 +444,10 @@ mod tests {
         let mut t = RuntimeTable::new(decl(&[(MatchKind::Exact, 9)]));
         // wrong arity
         assert!(t
-            .apply(&Update { op: WriteOp::Insert, entry: entry(vec![], 0, 0) })
+            .apply(&Update {
+                op: WriteOp::Insert,
+                entry: entry(vec![], 0, 0)
+            })
             .is_err());
         // wrong kind
         assert!(t
@@ -388,6 +466,11 @@ mod tests {
         // unknown action
         let mut e = entry(vec![FieldMatch::Exact { value: 1 }], 0, 0);
         e.action = "zap".into();
-        assert!(t.apply(&Update { op: WriteOp::Insert, entry: e }).is_err());
+        assert!(t
+            .apply(&Update {
+                op: WriteOp::Insert,
+                entry: e
+            })
+            .is_err());
     }
 }

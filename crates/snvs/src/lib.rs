@@ -72,7 +72,13 @@ impl SnvsStack {
             net.add_switch(device.clone());
             devices.push(device);
         }
-        let mut stack = SnvsStack { db, controller, net, devices, digest_rxs };
+        let mut stack = SnvsStack {
+            db,
+            controller,
+            net,
+            devices,
+            digest_rxs,
+        };
         // Register each switch in the management plane so the rules can
         // enumerate them.
         for idx in 0..num_switches {
@@ -115,8 +121,7 @@ impl SnvsStack {
         if let Some(d) = mirror_dst {
             row.insert("mirror_dst".into(), json!(d));
         }
-        let results =
-            self.transact(json!([{"op": "insert", "table": "Port", "row": row}]))?;
+        let results = self.transact(json!([{"op": "insert", "table": "Port", "row": row}]))?;
         if let Some(err) = results
             .as_array()
             .and_then(|a| a.iter().find(|r| r.get("error").is_some()))
@@ -137,8 +142,12 @@ impl SnvsStack {
     /// Attach a host to a switch port (host `n` gets MAC
     /// `02:00:00:00:00:NN` and IP `10.0.x.y`).
     pub fn add_host(&mut self, n: u32, switch: SwitchId, port: u16) -> HostId {
-        self.net
-            .add_host(Mac::host(n), Ip4::new(10, 0, (n >> 8) as u8, n as u8), switch, port)
+        self.net.add_host(
+            Mac::host(n),
+            Ip4::new(10, 0, (n >> 8) as u8, n as u8),
+            switch,
+            port,
+        )
     }
 
     /// Send a frame from a host, then pump any digests back through the
@@ -183,9 +192,7 @@ mod tests {
             stack.add_port(port, PortMode::Access(10), None).unwrap();
         }
         stack.add_port(4, PortMode::Access(20), None).unwrap();
-        let hosts = (1..=4u32)
-            .map(|n| stack.add_host(n, 0, n as u16))
-            .collect();
+        let hosts = (1..=4u32).map(|n| stack.add_host(n, 0, n as u16)).collect();
         (stack, hosts)
     }
 
@@ -205,13 +212,19 @@ mod tests {
     fn learning_converges_to_unicast() {
         let (mut stack, hosts) = basic_stack();
         // h1 → h2 floods and teaches the controller where h1 lives.
-        stack.send(hosts[0], &eth(Mac::host(2), Mac::host(1), b"a")).unwrap();
+        stack
+            .send(hosts[0], &eth(Mac::host(2), Mac::host(1), b"a"))
+            .unwrap();
         // h2 → h1 now goes straight to port 1 (and teaches h2's port).
-        let d = stack.send(hosts[1], &eth(Mac::host(1), Mac::host(2), b"b")).unwrap();
+        let d = stack
+            .send(hosts[1], &eth(Mac::host(1), Mac::host(2), b"b"))
+            .unwrap();
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].host, hosts[0]);
         // h1 → h2 is unicast too.
-        let d = stack.send(hosts[0], &eth(Mac::host(2), Mac::host(1), b"c")).unwrap();
+        let d = stack
+            .send(hosts[0], &eth(Mac::host(2), Mac::host(1), b"c"))
+            .unwrap();
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].host, hosts[1]);
     }
@@ -220,10 +233,14 @@ mod tests {
     fn vlan_isolation() {
         let (mut stack, hosts) = basic_stack();
         // Teach the controller where h4 (VLAN 20) is.
-        stack.send(hosts[3], &eth(Mac::BROADCAST, Mac::host(4), b"x")).unwrap();
+        stack
+            .send(hosts[3], &eth(Mac::BROADCAST, Mac::host(4), b"x"))
+            .unwrap();
         // h1 (VLAN 10) sending to h4's MAC cannot reach it: the MAC is
         // learned under VLAN 20, so the frame floods VLAN 10 only.
-        let d = stack.send(hosts[0], &eth(Mac::host(4), Mac::host(1), b"y")).unwrap();
+        let d = stack
+            .send(hosts[0], &eth(Mac::host(4), Mac::host(1), b"y"))
+            .unwrap();
         let to: Vec<HostId> = d.iter().map(|x| x.host).collect();
         assert_eq!(to, vec![hosts[1], hosts[2]]);
     }
@@ -231,14 +248,20 @@ mod tests {
     #[test]
     fn port_removal_retracts_state() {
         let (mut stack, hosts) = basic_stack();
-        stack.send(hosts[0], &eth(Mac::BROADCAST, Mac::host(1), b"x")).unwrap();
+        stack
+            .send(hosts[0], &eth(Mac::BROADCAST, Mac::host(1), b"x"))
+            .unwrap();
         // Removing port 2 shrinks the VLAN 10 flood domain.
         stack.remove_port(2).unwrap();
-        let d = stack.send(hosts[0], &eth(Mac::BROADCAST, Mac::host(1), b"y")).unwrap();
+        let d = stack
+            .send(hosts[0], &eth(Mac::BROADCAST, Mac::host(1), b"y"))
+            .unwrap();
         let to: Vec<HostId> = d.iter().map(|x| x.host).collect();
         assert_eq!(to, vec![hosts[2]]);
         // And the InVlan entry for port 2 is gone: traffic from h2 dies.
-        let d = stack.send(hosts[1], &eth(Mac::BROADCAST, Mac::host(2), b"z")).unwrap();
+        let d = stack
+            .send(hosts[1], &eth(Mac::BROADCAST, Mac::host(2), b"z"))
+            .unwrap();
         assert!(d.is_empty());
     }
 
@@ -251,7 +274,9 @@ mod tests {
         let mut stack = SnvsStack::new(2).unwrap();
         stack.add_port(1, PortMode::Access(10), None).unwrap();
         stack.add_port(2, PortMode::Access(20), None).unwrap();
-        stack.add_port(3, PortMode::Trunk(vec![10, 20]), None).unwrap();
+        stack
+            .add_port(3, PortMode::Trunk(vec![10, 20]), None)
+            .unwrap();
         let h_a1 = stack.add_host(1, 0, 1);
         let _h_a2 = stack.add_host(2, 0, 2);
         let h_b1 = stack.add_host(3, 1, 1);
@@ -280,11 +305,16 @@ mod tests {
         let h1 = stack.add_host(1, 0, 1);
         let h2 = stack.add_host(2, 0, 2);
         let monitor = stack.add_host(9, 0, 5);
-        let d = stack.send(h1, &eth(Mac::host(2), Mac::host(1), b"secret")).unwrap();
+        let d = stack
+            .send(h1, &eth(Mac::host(2), Mac::host(1), b"secret"))
+            .unwrap();
         let to: Vec<HostId> = d.iter().map(|x| x.host).collect();
         // Flood to h2 plus the mirror copy.
         assert!(to.contains(&h2));
-        assert!(to.contains(&monitor), "mirror port must receive a copy: {to:?}");
+        assert!(
+            to.contains(&monitor),
+            "mirror port must receive a copy: {to:?}"
+        );
     }
 
     #[test]

@@ -191,11 +191,25 @@ fn main() {
     }
 
     let send = |net: &Network, from: usize, dst: Ip4, label: &str| {
-        let pkt = Ipv4 { src: ip(from as u8, 1), dst, protocol: 17, ttl: 64, payload: b"ping".to_vec() };
-        let frame = EthFrame::new(Mac::BROADCAST, Mac::host(from as u32 + 1), ethertype::IPV4, pkt.encode());
+        let pkt = Ipv4 {
+            src: ip(from as u8, 1),
+            dst,
+            protocol: 17,
+            ttl: 64,
+            payload: b"ping".to_vec(),
+        };
+        let frame = EthFrame::new(
+            Mac::BROADCAST,
+            Mac::host(from as u32 + 1),
+            ethertype::IPV4,
+            pkt.encode(),
+        );
         let d = net.send_raw(hosts[from], frame.encode());
-        println!("{label}: h{from} -> {dst}: {} delivery(ies) to {:?}",
-            d.len(), d.iter().map(|x| x.host).collect::<Vec<_>>());
+        println!(
+            "{label}: h{from} -> {dst}: {} delivery(ies) to {:?}",
+            d.len(),
+            d.iter().map(|x| x.host).collect::<Vec<_>>()
+        );
         d
     };
 

@@ -57,7 +57,9 @@ fn management_to_data_plane_over_sockets() {
         .unwrap();
 
     // The monitor update arrives over TCP; feed it to the controller.
-    let update = updates.recv_timeout(Duration::from_secs(5)).expect("monitor update");
+    let update = updates
+        .recv_timeout(Duration::from_secs(5))
+        .expect("monitor update");
     controller.handle_monitor_update(&update).unwrap();
 
     // The entry must now be installed in the switch (visible through the
@@ -76,7 +78,9 @@ fn management_to_data_plane_over_sockets() {
                     "row": {"tag": 43}}]),
         )
         .unwrap();
-    let update = updates.recv_timeout(Duration::from_secs(5)).expect("modify update");
+    let update = updates
+        .recv_timeout(Duration::from_secs(5))
+        .expect("modify update");
     controller.handle_monitor_update(&update).unwrap();
     let entries = device.with_switch(|sw| sw.read_table("InVlan").unwrap().to_vec());
     assert_eq!(entries.len(), 1);
@@ -89,7 +93,9 @@ fn management_to_data_plane_over_sockets() {
             json!([{"op": "delete", "table": "Port", "where": [["id", "==", 7]]}]),
         )
         .unwrap();
-    let update = updates.recv_timeout(Duration::from_secs(5)).expect("second update");
+    let update = updates
+        .recv_timeout(Duration::from_secs(5))
+        .expect("second update");
     controller.handle_monitor_update(&update).unwrap();
     let remaining = device.with_switch(|sw| sw.read_table("InVlan").unwrap().len());
     assert_eq!(remaining, 0);
@@ -115,9 +121,7 @@ fn digest_feedback_over_sockets() {
     controller.add_switch(Box::new(write_client));
 
     // Configure through the in-process DB for brevity.
-    let mut db = ovsdb::Database::new(
-        ovsdb::Schema::parse(snvs::assets::SNVS_SCHEMA).unwrap(),
-    );
+    let mut db = ovsdb::Database::new(ovsdb::Schema::parse(snvs::assets::SNVS_SCHEMA).unwrap());
     let (_, changes) = db.transact(&json!([
         {"op": "insert", "table": "Switch", "row": {"idx": 0}},
         {"op": "insert", "table": "Port",
@@ -137,7 +141,9 @@ fn digest_feedback_over_sockets() {
     frame[11] = 0xAA; // src
     frame[12] = 0x08; // ethertype ipv4
     device.inject(1, &frame);
-    let batch = digests.recv_timeout(Duration::from_secs(5)).expect("digests");
+    let batch = digests
+        .recv_timeout(Duration::from_secs(5))
+        .expect("digests");
     controller.handle_digests(0, &batch).unwrap();
 
     // The learned MAC is installed back into the switch via TCP.
