@@ -180,6 +180,21 @@ impl FullRecompute {
     pub fn installed_len(&self) -> usize {
         self.installed.len()
     }
+
+    /// The entries currently installed, order-normalized — the
+    /// installed-state read the differential oracle compares against.
+    pub fn installed_snapshot(&self) -> BTreeSet<TableEntry> {
+        self.installed.iter().cloned().collect()
+    }
+
+    /// The multicast groups currently installed (empty groups pruned).
+    pub fn mcast_snapshot(&self) -> McastGroups {
+        self.installed_mcast
+            .iter()
+            .filter(|(_, m)| !m.is_empty())
+            .map(|(g, m)| (*g, m.clone()))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -204,8 +204,8 @@ fn spawn_pumps(state: Arc<ProxyState>, conn_id: u64, client: TcpStream, server: 
     let clones = (
         client.try_clone(),
         server.try_clone(),
-        client.try_clone(),
         server.try_clone(),
+        client.try_clone(),
     );
     let (c_read, s_write, s_read, c_write) = match clones {
         (Ok(cr), Ok(sw), Ok(sr), Ok(cw)) => (cr, sw, sr, cw),

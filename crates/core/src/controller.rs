@@ -283,14 +283,47 @@ impl Controller {
         switch_id: usize,
         digests: &[Digest],
     ) -> Result<TxnDelta, String> {
+        self.commit_digests(switch_id, digests, true)
+    }
+
+    /// Retract previously-learned digests from switch `switch_id` — the
+    /// aging half of the learn/age cycle (a digest that times out is a
+    /// deletion of the same input tuple the learn inserted). Retracting
+    /// a digest that was never learned is a no-op.
+    pub fn retract_digests(
+        &mut self,
+        switch_id: usize,
+        digests: &[Digest],
+    ) -> Result<TxnDelta, String> {
+        self.commit_digests(switch_id, digests, false)
+    }
+
+    fn commit_digests(
+        &mut self,
+        switch_id: usize,
+        digests: &[Digest],
+        insert: bool,
+    ) -> Result<TxnDelta, String> {
         let mut ops = Vec::new();
         for d in digests {
             let Some(binding) = self.digests.get(&d.name) else {
                 continue; // digest type not used by the control plane
             };
             let vals = convert::digest_to_values(d, binding, switch_id)?;
-            ops.push((d.name.clone(), vals, true));
+            ops.push((d.name.clone(), vals, insert));
         }
+        self.commit_and_push(ops)
+    }
+
+    /// Commit raw `(relation, row, is_insert)` operations on input
+    /// relations and push the resulting delta, exactly as the monitor
+    /// and digest paths do. An escape hatch for test harnesses (the
+    /// differential oracle uses it to model deliberately-buggy resync
+    /// variants); production paths go through the typed handlers above.
+    pub fn apply_input_ops(
+        &mut self,
+        ops: Vec<(String, Vec<Value>, bool)>,
+    ) -> Result<TxnDelta, String> {
         self.commit_and_push(ops)
     }
 
@@ -468,6 +501,17 @@ impl Controller {
             }
         }
         Ok(out)
+    }
+
+    /// The multicast groups the controller believes switch `switch_id`
+    /// holds (its replication state), order-normalized with empty groups
+    /// pruned — comparable against a device's `mcast_snapshot`.
+    pub fn mcast_snapshot(&self, switch_id: usize) -> BTreeMap<u16, BTreeSet<u16>> {
+        self.mcast
+            .iter()
+            .filter(|((s, _), set)| *s == switch_id && !set.is_empty())
+            .map(|((_, g), set)| (*g, set.clone()))
+            .collect()
     }
 
     /// Swap the data plane behind an existing switch id (e.g. after the

@@ -338,6 +338,24 @@ impl Engine {
         Ok(rows)
     }
 
+    /// Every stored row of a relation with its derivation count, sorted
+    /// by row. Counts are internal bookkeeping — a healthy engine holds
+    /// only positive counts — so this exists for invariant checkers
+    /// (`crates/oracle`) rather than for normal clients.
+    pub fn dump_weights(&self, relation: &str) -> Result<Vec<(Vec<Value>, isize)>> {
+        let rel = *self
+            .compiled
+            .rel_ids
+            .get(relation)
+            .ok_or_else(|| Error::new(Phase::Eval, format!("unknown relation `{relation}`")))?;
+        let mut rows: Vec<(Vec<Value>, isize)> = self.stores[rel]
+            .rows_with_counts()
+            .map(|(r, c)| ((**r).clone(), c))
+            .collect();
+        rows.sort();
+        Ok(rows)
+    }
+
     /// Number of visible rows in a relation.
     pub fn relation_len(&self, relation: &str) -> Result<usize> {
         let rel = *self

@@ -111,6 +111,14 @@ impl RelationStore {
             .map(|(r, _)| r)
     }
 
+    /// Iterate over every stored row with its derivation count, including
+    /// rows whose count is zero or (after an invariant violation)
+    /// negative. This is the oracle's window into the store: a healthy
+    /// store holds only positive counts.
+    pub fn rows_with_counts(&self) -> impl Iterator<Item = (&Row, isize)> {
+        self.derivations.iter().map(|(r, c)| (r, *c))
+    }
+
     /// Apply a Z-set of derivation-count changes. Returns the *set-level*
     /// delta: +1 rows that became visible, −1 rows that disappeared.
     /// Indexes are maintained.
@@ -122,7 +130,9 @@ impl RelationStore {
         for (row, w) in delta.iter() {
             let entry = self.derivations.entry(row.clone()).or_insert(0);
             let old = *entry;
-            let new = old + w;
+            // Saturating, like ZSet weight arithmetic: a wrapped count
+            // would flip sign and corrupt visibility decisions.
+            let new = old.saturating_add(w);
             debug_assert!(
                 new >= 0,
                 "derivation count for {row:?} in `{}` went negative",

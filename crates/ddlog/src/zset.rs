@@ -56,6 +56,11 @@ impl<T: Eq + Hash + Clone> ZSet<T> {
     }
 
     /// Add `weight` to the weight of `elem`, removing it if it becomes 0.
+    ///
+    /// Weight arithmetic saturates: an overflowing sum clamps at
+    /// `isize::MAX`/`isize::MIN` instead of silently wrapping (wrapping
+    /// would flip a huge positive derivation count negative, corrupting
+    /// every downstream distinct/negation decision).
     pub fn add(&mut self, elem: T, weight: isize) {
         if weight == 0 {
             return;
@@ -63,7 +68,7 @@ impl<T: Eq + Hash + Clone> ZSet<T> {
         match self.entries.entry(elem) {
             std::collections::hash_map::Entry::Occupied(mut o) => {
                 let w = o.get_mut();
-                *w += weight;
+                *w = w.saturating_add(weight);
                 if *w == 0 {
                     o.remove();
                 }
@@ -127,7 +132,7 @@ impl<T: Eq + Hash + Clone> ZSet<T> {
         let mut out = ZSet::new();
         for (e, w) in delta.iter() {
             let old = self.weight(e);
-            let new = old + w;
+            let new = old.saturating_add(w);
             debug_assert!(new >= 0, "contents would go negative");
             if old <= 0 && new > 0 {
                 out.add(e.clone(), 1);

@@ -59,6 +59,61 @@ proptest! {
         want.add_all(&contents.distinct().negate());
         prop_assert_eq!(predicted, want);
     }
+
+    /// Building a Z-set is order-independent: inserting the same
+    /// (element, weight) pairs in any order, or merging any split of
+    /// them in either order, consolidates to the same Z-set.
+    #[test]
+    fn zset_build_order_independent(
+        pairs in proptest::collection::vec((0i32..8, -3isize..4), 0..16),
+        split in 0usize..16,
+    ) {
+        let forward: ZSet<i32> = pairs.iter().cloned().collect();
+        let reverse: ZSet<i32> = pairs.iter().rev().cloned().collect();
+        prop_assert_eq!(&forward, &reverse);
+
+        let cut = split.min(pairs.len());
+        let head: ZSet<i32> = pairs[..cut].iter().cloned().collect();
+        let tail: ZSet<i32> = pairs[cut..].iter().cloned().collect();
+        let mut ht = head.clone();
+        ht.merge(tail.clone());
+        let mut th = tail;
+        th.merge(head);
+        prop_assert_eq!(&ht, &forward);
+        prop_assert_eq!(&th, &forward);
+    }
+
+    /// Weight arithmetic saturates instead of overflowing: piling
+    /// extreme weights onto one element never panics, and cancelling
+    /// weights still consolidates to the empty set.
+    #[test]
+    fn zset_weight_arithmetic_saturates(
+        extremes in proptest::collection::vec(
+            prop_oneof![Just(isize::MAX), Just(isize::MIN), Just(1), Just(-1)],
+            1..8,
+        )
+    ) {
+        let mut z = ZSet::new();
+        for w in &extremes {
+            z.add(0i32, *w); // must not overflow-panic in debug builds
+        }
+        let expected = extremes.iter().fold(0isize, |acc, w| acc.saturating_add(*w));
+        prop_assert_eq!(z.weight(&0), expected);
+
+        // distinct_delta near the saturation boundary saturates rather
+        // than wrapping past MAX (negative contents are a precondition
+        // violation, so only the positive direction is exercised).
+        let contents = ZSet::singleton(0i32, isize::MAX);
+        let bumped = contents.distinct_delta(&ZSet::singleton(0i32, isize::MAX));
+        prop_assert!(bumped.is_empty(), "already-present element must not re-appear");
+
+        // Exact cancellation removes the element from the support.
+        let mut c = ZSet::new();
+        c.add(7i32, 5);
+        c.add(7i32, -5);
+        prop_assert!(c.is_empty());
+        prop_assert_eq!(c.weight(&7), 0);
+    }
 }
 
 const JOIN_FLATMAP: &str = "

@@ -1,0 +1,118 @@
+//! The oracle CLI: deterministic differential fuzzing runs.
+//!
+//! ```text
+//! oracle --seed 1..8 --steps 500            # fault-free sweep
+//! oracle --seed 3 --steps 500 --chaos 7     # with fault injection
+//! oracle --seed 3 --steps 200 --bug skip-resync-deletes   # must fail
+//! ```
+//!
+//! Exit codes: 0 = all seeds green, 1 = divergence found (a shrunk
+//! reproduction is printed), 2 = usage error.
+
+use oracle::{run_oracle, InjectedBug, OracleConfig};
+
+struct Args {
+    seeds: Vec<u64>,
+    steps: usize,
+    chaos: Option<u64>,
+    bug: Option<InjectedBug>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: oracle --seed <N | A..B> [--steps M] [--chaos S] [--bug NAME]\n\
+         \n\
+         --seed  N or inclusive range A..B of workload seeds (required)\n\
+         --steps workload length per seed (default 500)\n\
+         --chaos chaos seed: inject link outages + switch restarts\n\
+         --bug   inject a known controller defect, one of:\n\
+         \x20       skip-resync-deletes | drop-config-deletes"
+    );
+    std::process::exit(2);
+}
+
+fn parse_seeds(s: &str) -> Option<Vec<u64>> {
+    if let Some((a, b)) = s.split_once("..") {
+        let a: u64 = a.parse().ok()?;
+        let b: u64 = b.trim_start_matches('=').parse().ok()?;
+        (a <= b).then(|| (a..=b).collect())
+    } else {
+        Some(vec![s.parse().ok()?])
+    }
+}
+
+fn parse_args() -> Option<Args> {
+    let mut args = Args {
+        seeds: Vec::new(),
+        steps: 500,
+        chaos: None,
+        bug: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => args.seeds = parse_seeds(&it.next()?)?,
+            "--steps" => args.steps = it.next()?.parse().ok()?,
+            "--chaos" => args.chaos = Some(it.next()?.parse().ok()?),
+            "--bug" => args.bug = InjectedBug::parse(&it.next()?),
+            "--help" | "-h" => usage(),
+            _ => return None,
+        }
+    }
+    if args.seeds.is_empty() {
+        return None;
+    }
+    Some(args)
+}
+
+fn replay_command(cfg: &OracleConfig) -> String {
+    let mut cmd = format!("oracle --seed {} --steps {}", cfg.seed, cfg.steps);
+    if let Some(c) = cfg.chaos {
+        cmd.push_str(&format!(" --chaos {c}"));
+    }
+    if let Some(b) = cfg.bug {
+        cmd.push_str(&format!(" --bug {}", b.name()));
+    }
+    cmd
+}
+
+fn main() {
+    let Some(args) = parse_args() else { usage() };
+    let mut failed = false;
+    for seed in &args.seeds {
+        let cfg = OracleConfig {
+            seed: *seed,
+            steps: args.steps,
+            chaos: args.chaos,
+            bug: args.bug,
+        };
+        match run_oracle(&cfg) {
+            Ok(report) => {
+                println!(
+                    "seed {seed}: OK — {} steps, {} outages, {} switch restarts, \
+                     {} txns, {} entries / {} groups installed",
+                    report.steps,
+                    report.outages,
+                    report.switch_restarts,
+                    report.transactions,
+                    report.final_entries,
+                    report.final_groups,
+                );
+            }
+            Err(fail) => {
+                failed = true;
+                println!("seed {seed}: FAILED at {}", fail.failure);
+                println!(
+                    "  shrunk {} ops -> {} ops:",
+                    fail.original_len,
+                    fail.shrunk.len()
+                );
+                for op in &fail.shrunk {
+                    println!("    {op:?}");
+                }
+                println!("  replay: {}", replay_command(&cfg));
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -1,0 +1,636 @@
+//! The lockstep differential harness.
+//!
+//! Two controllers consume the same workload:
+//!
+//! * the **incremental** side is the real pipeline — an
+//!   [`ovsdb::Database`], a [`nerpa::Controller`] holding the snvs DDlog
+//!   program, and a [`p4sim::service::SwitchDevice`];
+//! * the **baseline** side is [`baselines::FullRecompute`] reconciling
+//!   its own `SwitchDevice` from a plain-Rust model of the management
+//!   state.
+//!
+//! After every step (while the management link is up) the harness
+//! asserts the two data planes are identical and that the cross-plane
+//! invariants hold: engine inputs mirror the database, every installed
+//! entry is traceable to an output-relation tuple, no Z-set weight is
+//! non-positive, and the database's uniqueness indexes are intact.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use baselines::{FullRecompute, LearnedMac, Mode, PortConfig};
+use nerpa::codegen::CodegenOptions;
+use nerpa::controller::{Controller, NerpaProgram};
+use nerpa::resync;
+use ovsdb::db::RowChange;
+use p4sim::runtime::{Digest, FieldMatch, TableEntry, Update, WriteOp};
+use p4sim::service::SwitchDevice;
+use p4sim::Switch;
+use serde_json::json;
+
+use crate::workload::{FaultKind, FaultPlan, WorkloadOp};
+
+/// A deliberately-introduced controller defect, used to demonstrate
+/// that the oracle catches real bug classes and shrinks them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedBug {
+    /// The post-reconnect resync forgets to retract rows that were
+    /// deleted while the link was down (stale state survives recovery).
+    SkipResyncDeletes,
+    /// The monitor-update handler drops row deletions entirely (a
+    /// classic "handles inserts, forgets deletes" controller bug).
+    DropConfigDeletes,
+}
+
+impl InjectedBug {
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<InjectedBug> {
+        match s {
+            "skip-resync-deletes" => Some(InjectedBug::SkipResyncDeletes),
+            "drop-config-deletes" => Some(InjectedBug::DropConfigDeletes),
+            _ => None,
+        }
+    }
+
+    /// The CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InjectedBug::SkipResyncDeletes => "skip-resync-deletes",
+            InjectedBug::DropConfigDeletes => "drop-config-deletes",
+        }
+    }
+}
+
+/// Configuration of one oracle run.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleConfig {
+    /// Workload seed.
+    pub seed: u64,
+    /// Number of workload steps.
+    pub steps: usize,
+    /// Chaos seed: when set, a [`FaultPlan`] derived from it injects
+    /// management-link outages and switch restarts.
+    pub chaos: Option<u64>,
+    /// Deliberate controller defect to inject.
+    pub bug: Option<InjectedBug>,
+}
+
+impl OracleConfig {
+    /// A fault-free, bug-free run.
+    pub fn new(seed: u64, steps: usize) -> OracleConfig {
+        OracleConfig {
+            seed,
+            steps,
+            chaos: None,
+            bug: None,
+        }
+    }
+}
+
+/// Statistics from a successful run.
+#[derive(Debug, Clone, Default)]
+pub struct OracleReport {
+    /// Steps executed.
+    pub steps: usize,
+    /// Management-link outages injected.
+    pub outages: usize,
+    /// Switch restarts injected.
+    pub switch_restarts: usize,
+    /// Table entries installed at the end of the run.
+    pub final_entries: usize,
+    /// Multicast groups installed at the end of the run.
+    pub final_groups: usize,
+    /// Engine transactions committed by the incremental controller.
+    pub transactions: u64,
+}
+
+/// A failed step: which step, which op, and why.
+#[derive(Debug, Clone)]
+pub struct StepFailure {
+    /// 0-based index of the failing step.
+    pub step: usize,
+    /// The op applied at that step (`None` if the failure happened
+    /// during setup or a fault transition).
+    pub op: Option<WorkloadOp>,
+    /// Which invariant broke, with detail.
+    pub reason: String,
+}
+
+impl std::fmt::Display for StepFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "step {}", self.step)?;
+        if let Some(op) = &self.op {
+            write!(f, " ({op:?})")?;
+        }
+        write!(f, ": {}", self.reason)
+    }
+}
+
+/// A failure plus the shrunk reproduction.
+#[derive(Debug, Clone)]
+pub struct OracleFailure {
+    /// The original failure.
+    pub failure: StepFailure,
+    /// Length of the originally-failing workload.
+    pub original_len: usize,
+    /// Minimal reproducing op sequence found by ddmin.
+    pub shrunk: Vec<WorkloadOp>,
+}
+
+const MONITORED: [&str; 2] = ["Port", "Switch"];
+
+struct Harness {
+    db: ovsdb::Database,
+    controller: Controller,
+    device: SwitchDevice,
+    program: p4sim::ast::Program,
+    baseline: FullRecompute,
+    base_device: SwitchDevice,
+    ports: Vec<PortConfig>,
+    macs: Vec<LearnedMac>,
+    live_macs: BTreeSet<(u16, u64, u16)>,
+    connected: bool,
+    outage_remaining: usize,
+    bug: Option<InjectedBug>,
+}
+
+impl Harness {
+    fn new(bug: Option<InjectedBug>) -> Result<Harness, String> {
+        let schema = ovsdb::Schema::parse(snvs::assets::SNVS_SCHEMA)?;
+        let program = p4sim::parse_p4(snvs::assets::SNVS_P4).map_err(|e| e.to_string())?;
+        let nerpa_program = NerpaProgram {
+            schema: schema.clone(),
+            p4info: p4sim::P4Info::from_program(&program),
+            rules: snvs::assets::SNVS_RULES.to_string(),
+            options: CodegenOptions { per_switch: true },
+        };
+        let mut controller = Controller::new(&nerpa_program)?;
+        let device = SwitchDevice::new(Switch::new(program.clone()));
+        controller.add_switch(Box::new(device.clone()));
+        let mut db = ovsdb::Database::new(schema);
+        let (_, changes) = db.transact(&json!([
+            {"op": "insert", "table": "Switch", "row": {"idx": 0}}
+        ]));
+        controller.handle_row_changes(&changes)?;
+        let base_device = SwitchDevice::new(Switch::new(program.clone()));
+        Ok(Harness {
+            db,
+            controller,
+            device,
+            program,
+            baseline: FullRecompute::new(),
+            base_device,
+            ports: Vec::new(),
+            macs: Vec::new(),
+            live_macs: BTreeSet::new(),
+            connected: true,
+            outage_remaining: 0,
+            bug,
+        })
+    }
+
+    /// Feed committed row changes to the controller, through the
+    /// injected bug filter if one is armed.
+    fn deliver(&mut self, changes: &[RowChange]) -> Result<(), String> {
+        if !self.connected {
+            return Ok(()); // the monitor link is down: updates are lost
+        }
+        if self.bug == Some(InjectedBug::DropConfigDeletes) {
+            let kept: Vec<RowChange> = changes
+                .iter()
+                .filter(|c| c.new.is_some())
+                .cloned()
+                .collect();
+            self.controller.handle_row_changes(&kept)?;
+        } else {
+            self.controller.handle_row_changes(changes)?;
+        }
+        Ok(())
+    }
+
+    fn port_row_json(cfg: &PortConfig) -> serde_json::Value {
+        let mirror: Vec<u16> = cfg.mirror.into_iter().collect();
+        match &cfg.mode {
+            Mode::Access(v) => json!({
+                "id": cfg.id,
+                "vlan_mode": "access",
+                "tag": v,
+                "trunks": ["set", []],
+                "mirror_dst": ["set", mirror],
+            }),
+            Mode::Trunk(vs) => json!({
+                "id": cfg.id,
+                "vlan_mode": "trunk",
+                "trunks": ["set", vs],
+                "mirror_dst": ["set", mirror],
+            }),
+        }
+    }
+
+    /// Upsert a port in the database and the plain model.
+    fn upsert_port(&mut self, cfg: PortConfig) -> Result<(), String> {
+        let row = Self::port_row_json(&cfg);
+        let (_, changes) = self.db.transact(&json!([
+            {"op": "delete", "table": "Port", "where": [["id", "==", cfg.id]]},
+            {"op": "insert", "table": "Port", "row": row},
+        ]));
+        self.deliver(&changes)?;
+        self.ports.retain(|p| p.id != cfg.id);
+        self.ports.push(cfg);
+        Ok(())
+    }
+
+    fn remove_port(&mut self, id: u16) -> Result<(), String> {
+        let (_, changes) = self.db.transact(&json!([
+            {"op": "delete", "table": "Port", "where": [["id", "==", id]]},
+        ]));
+        self.deliver(&changes)?;
+        self.ports.retain(|p| p.id != id);
+        Ok(())
+    }
+
+    fn digest(port: u16, mac: u64, vlan: u16) -> Digest {
+        Digest {
+            name: "mac_learn_t".into(),
+            fields: vec![
+                ("port".into(), port as u128),
+                ("mac".into(), mac as u128),
+                ("vlan".into(), vlan as u128),
+            ],
+        }
+    }
+
+    fn apply(&mut self, op: &WorkloadOp) -> Result<(), String> {
+        match op {
+            WorkloadOp::AddAccess { port, vlan } => {
+                self.upsert_port(PortConfig::access(*port, *vlan))?;
+            }
+            WorkloadOp::AddTrunk { port, vlans } => {
+                self.upsert_port(PortConfig::trunk(*port, vlans.clone()))?;
+            }
+            WorkloadOp::FlipMode { port } => {
+                let Some(cur) = self.ports.iter().find(|p| p.id == *port).cloned() else {
+                    return Ok(());
+                };
+                let mut next = match &cur.mode {
+                    Mode::Access(v) => PortConfig::trunk(cur.id, vec![*v]),
+                    Mode::Trunk(vs) => {
+                        PortConfig::access(cur.id, vs.first().copied().unwrap_or(10))
+                    }
+                };
+                next.mirror = cur.mirror;
+                self.upsert_port(next)?;
+            }
+            WorkloadOp::SetMirror { port, dst } => {
+                let Some(mut cur) = self.ports.iter().find(|p| p.id == *port).cloned() else {
+                    return Ok(());
+                };
+                cur.mirror = Some(*dst);
+                self.upsert_port(cur)?;
+            }
+            WorkloadOp::ClearMirror { port } => {
+                let Some(mut cur) = self.ports.iter().find(|p| p.id == *port).cloned() else {
+                    return Ok(());
+                };
+                cur.mirror = None;
+                self.upsert_port(cur)?;
+            }
+            WorkloadOp::RemovePort { port } => {
+                self.remove_port(*port)?;
+            }
+            WorkloadOp::Learn { port, mac, vlan } => {
+                if !self.live_macs.insert((*port, *mac, *vlan)) {
+                    return Ok(()); // already learned: the switch dedups
+                }
+                self.controller
+                    .handle_digests(0, &[Self::digest(*port, *mac, *vlan)])?;
+                self.macs.push(LearnedMac {
+                    port: *port,
+                    mac: *mac,
+                    vlan: *vlan,
+                });
+            }
+            WorkloadOp::Age { pick } => {
+                if self.live_macs.is_empty() {
+                    return Ok(());
+                }
+                let idx = (*pick as usize) % self.live_macs.len();
+                let (port, mac, vlan) = *self.live_macs.iter().nth(idx).expect("non-empty");
+                self.live_macs.remove(&(port, mac, vlan));
+                self.controller
+                    .retract_digests(0, &[Self::digest(port, mac, vlan)])?;
+                self.macs
+                    .retain(|m| (m.port, m.mac, m.vlan) != (port, mac, vlan));
+            }
+        }
+        // The baseline recomputes its whole desired state on every
+        // change and pushes the diff to its own switch.
+        let (updates, mcast) = self.baseline.reconcile(&self.ports, &self.macs);
+        self.base_device.write(&updates)?;
+        for (group, members) in mcast {
+            self.base_device.set_mcast_group(group, members);
+        }
+        Ok(())
+    }
+
+    fn inject_fault(&mut self, kind: FaultKind, report: &mut OracleReport) -> Result<(), String> {
+        match kind {
+            FaultKind::OvsdbOutage { outage_steps } => {
+                self.connected = false;
+                self.outage_remaining = outage_steps.max(1);
+                report.outages += 1;
+            }
+            FaultKind::SwitchRestart => {
+                // The switch comes back with leftover stale state the
+                // controller never installed; reconciliation must purge
+                // it and re-push the desired tables.
+                let fresh = SwitchDevice::new(Switch::new(self.program.clone()));
+                fresh.write(&[Update {
+                    op: WriteOp::Insert,
+                    entry: TableEntry {
+                        table: "InVlan".into(),
+                        matches: vec![
+                            FieldMatch::Exact { value: 999 },
+                            FieldMatch::Exact { value: 0 },
+                        ],
+                        priority: 0,
+                        action: "set_port_vlan".into(),
+                        params: vec![77],
+                    },
+                }])?;
+                self.controller.replace_switch(0, Box::new(fresh.clone()))?;
+                self.controller.reconcile_switch(0)?;
+                self.device = fresh;
+                report.switch_restarts += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn reconnect(&mut self) -> Result<(), String> {
+        let initial = self.db.monitor_snapshot(&MONITORED)?;
+        if self.bug == Some(InjectedBug::SkipResyncDeletes) {
+            // The buggy resync: diff against the snapshot but only push
+            // the missed inserts, never the missed deletes.
+            let snapshot = {
+                let engine = self.controller.engine();
+                let rel_types = |name: &str| engine.relation_types(name);
+                resync::snapshot_rows(&initial, self.db.schema(), &rel_types)?
+            };
+            let mut ops = Vec::new();
+            for t in MONITORED {
+                let target = snapshot.get(t).cloned().unwrap_or_default();
+                let current = self
+                    .controller
+                    .engine()
+                    .dump(t)
+                    .map_err(|e| e.to_string())?;
+                let (inserts, _deletes) = resync::diff_rows(&current, &target);
+                for row in inserts {
+                    ops.push((t.to_string(), row, true));
+                }
+            }
+            self.controller.apply_input_ops(ops)?;
+        } else {
+            let tables: Vec<String> = MONITORED.iter().map(|t| t.to_string()).collect();
+            self.controller.resync_from_snapshot(&initial, &tables)?;
+        }
+        self.connected = true;
+        Ok(())
+    }
+
+    fn installed(device: &SwitchDevice) -> BTreeSet<TableEntry> {
+        device
+            .read_all_tables()
+            .into_iter()
+            .flat_map(|(_, entries)| entries)
+            .collect()
+    }
+
+    /// The full invariant battery. Only meaningful while the management
+    /// link is up (during an outage the two sides legitimately diverge).
+    fn check_invariants(&self) -> Result<(), String> {
+        // (1) Installed data-plane state identical across the two
+        // controllers, on-device and as tracked by the baseline.
+        let inc = Self::installed(&self.device);
+        let base = Self::installed(&self.base_device);
+        if inc != base {
+            return Err(diff_entries("device tables differ", &inc, &base));
+        }
+        let base_tracked = self.baseline.installed_snapshot();
+        if base != base_tracked {
+            return Err(diff_entries(
+                "baseline device diverged from its own bookkeeping",
+                &base,
+                &base_tracked,
+            ));
+        }
+        // (2) Both match the pure-function specification.
+        let (spec_entries, spec_groups) = FullRecompute::desired_state(&self.ports, &self.macs);
+        let spec: BTreeSet<TableEntry> = spec_entries.into_iter().collect();
+        if inc != spec {
+            return Err(diff_entries(
+                "installed state differs from spec",
+                &inc,
+                &spec,
+            ));
+        }
+        // (3) Every installed entry is traceable to an output-relation
+        // tuple: the device holds exactly the controller's desired set.
+        let desired = self.controller.desired_entries(0)?;
+        if inc != desired {
+            return Err(diff_entries(
+                "device tables differ from engine output relations",
+                &inc,
+                &desired,
+            ));
+        }
+        // (4) Multicast groups agree everywhere.
+        let inc_groups = self.device.mcast_snapshot();
+        let ctl_groups = self.controller.mcast_snapshot(0);
+        let base_groups = self.baseline.mcast_snapshot();
+        let spec_groups: BTreeMap<u16, BTreeSet<u16>> = spec_groups
+            .into_iter()
+            .filter(|(_, m)| !m.is_empty())
+            .collect();
+        for (label, got) in [
+            ("controller replication state", &ctl_groups),
+            ("baseline groups", &base_groups),
+            ("spec groups", &spec_groups),
+        ] {
+            if &inc_groups != got {
+                return Err(format!(
+                    "multicast groups: device {inc_groups:?} != {label} {got:?}"
+                ));
+            }
+        }
+        // (5) Engine input relations mirror the database exactly.
+        let initial = self.db.monitor_snapshot(&MONITORED)?;
+        let engine = self.controller.engine();
+        let rel_types = |name: &str| engine.relation_types(name);
+        let snapshot = resync::snapshot_rows(&initial, self.db.schema(), &rel_types)?;
+        for t in MONITORED {
+            let target = snapshot.get(t).cloned().unwrap_or_default();
+            let current = engine.dump(t).map_err(|e| e.to_string())?;
+            let (inserts, deletes) = resync::diff_rows(&current, &target);
+            if !inserts.is_empty() || !deletes.is_empty() {
+                return Err(format!(
+                    "engine input relation {t} out of sync with OVSDB: \
+                     missing {inserts:?}, stale {deletes:?}"
+                ));
+            }
+        }
+        // (6) No non-positive Z-set weights anywhere in the engine.
+        let names: Vec<String> = engine
+            .relation_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for rel in names {
+            for (row, w) in engine.dump_weights(&rel).map_err(|e| e.to_string())? {
+                if w <= 0 {
+                    return Err(format!(
+                        "relation {rel}: row {row:?} has non-positive weight {w}"
+                    ));
+                }
+            }
+        }
+        // (7) OVSDB uniqueness indexes are intact (schema declares
+        // Port.id and Switch.idx unique).
+        for (table, col) in [("Port", "id"), ("Switch", "idx")] {
+            let mut seen = BTreeSet::new();
+            for (uuid, row) in self.db.rows(table) {
+                let key = row
+                    .get(col)
+                    .map(|d| d.to_json().to_string())
+                    .unwrap_or_default();
+                if !seen.insert(key.clone()) {
+                    return Err(format!(
+                        "OVSDB index violation: duplicate {table}.{col}={key} (row {uuid:?})"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn diff_entries(label: &str, a: &BTreeSet<TableEntry>, b: &BTreeSet<TableEntry>) -> String {
+    let only_a: Vec<&TableEntry> = a.difference(b).collect();
+    let only_b: Vec<&TableEntry> = b.difference(a).collect();
+    format!("{label}: extra {only_a:?}, missing {only_b:?}")
+}
+
+/// Run an explicit op sequence under `cfg` (faults and bugs taken from
+/// `cfg`; `cfg.seed`/`cfg.steps` are ignored in favor of `ops`). This is
+/// the deterministic core [`run_oracle`] and the shrinker share.
+pub fn run_workload(ops: &[WorkloadOp], cfg: &OracleConfig) -> Result<OracleReport, StepFailure> {
+    run_workload_inner(ops, cfg).map(|(report, _)| report)
+}
+
+fn run_workload_inner(
+    ops: &[WorkloadOp],
+    cfg: &OracleConfig,
+) -> Result<(OracleReport, Harness), StepFailure> {
+    let setup_err = |reason: String| StepFailure {
+        step: 0,
+        op: None,
+        reason,
+    };
+    let mut harness = Harness::new(cfg.bug).map_err(setup_err)?;
+    let plan = match cfg.chaos {
+        Some(chaos_seed) => FaultPlan::from_chaos_seed(chaos_seed, ops.len()),
+        None => FaultPlan::default(),
+    };
+    let mut report = OracleReport::default();
+    let mut next_fault = 0usize;
+
+    for (step, op) in ops.iter().enumerate() {
+        while next_fault < plan.events.len() && plan.events[next_fault].at_step == step {
+            let kind = plan.events[next_fault].kind;
+            next_fault += 1;
+            harness
+                .inject_fault(kind, &mut report)
+                .map_err(|reason| StepFailure {
+                    step,
+                    op: None,
+                    reason,
+                })?;
+        }
+        harness.apply(op).map_err(|reason| StepFailure {
+            step,
+            op: Some(op.clone()),
+            reason,
+        })?;
+        if !harness.connected {
+            harness.outage_remaining -= 1;
+            if harness.outage_remaining == 0 {
+                harness.reconnect().map_err(|reason| StepFailure {
+                    step,
+                    op: Some(op.clone()),
+                    reason: format!("resync failed: {reason}"),
+                })?;
+            }
+        }
+        if harness.connected {
+            harness.check_invariants().map_err(|reason| StepFailure {
+                step,
+                op: Some(op.clone()),
+                reason,
+            })?;
+        }
+        report.steps += 1;
+    }
+
+    // A run may end mid-outage; converge before the final verdict.
+    if !harness.connected {
+        harness.reconnect().map_err(|reason| StepFailure {
+            step: ops.len(),
+            op: None,
+            reason: format!("final resync failed: {reason}"),
+        })?;
+        harness.check_invariants().map_err(|reason| StepFailure {
+            step: ops.len(),
+            op: None,
+            reason,
+        })?;
+    }
+
+    report.final_entries = Harness::installed(&harness.device).len();
+    report.final_groups = harness.device.mcast_snapshot().len();
+    report.transactions = harness.controller.metrics.transactions;
+    Ok((report, harness))
+}
+
+/// The converged data-plane state: installed table entries plus
+/// multicast group membership.
+pub type FinalState = (BTreeSet<TableEntry>, BTreeMap<u16, BTreeSet<u16>>);
+
+/// The converged data-plane state after a full run (tables + groups) —
+/// used to assert that a faulty run ends exactly where the fault-free
+/// run with the same workload seed ends.
+pub fn final_state(cfg: &OracleConfig) -> Result<FinalState, StepFailure> {
+    let ops = crate::workload::generate_workload(cfg.seed, cfg.steps);
+    let (_, harness) = run_workload_inner(&ops, cfg)?;
+    Ok((
+        Harness::installed(&harness.device),
+        harness.device.mcast_snapshot(),
+    ))
+}
+
+/// Generate the workload for `cfg`, run it, and on failure shrink it to
+/// a minimal reproducing sequence.
+pub fn run_oracle(cfg: &OracleConfig) -> Result<OracleReport, OracleFailure> {
+    let ops = crate::workload::generate_workload(cfg.seed, cfg.steps);
+    match run_workload(&ops, cfg) {
+        Ok(report) => Ok(report),
+        Err(failure) => {
+            let shrunk =
+                crate::shrink::ddmin(&ops, |candidate| run_workload(candidate, cfg).is_err());
+            Err(OracleFailure {
+                failure,
+                original_len: ops.len(),
+                shrunk,
+            })
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Delta-debugging (ddmin) over workload op sequences.
+//!
+//! Classic Zeller/Hildebrandt ddmin: partition the failing sequence into
+//! `n` chunks, try each chunk and each complement, keep any candidate
+//! that still fails, and refine the granularity until single-op removal
+//! no longer helps. The predicate re-runs the full deterministic harness
+//! on each candidate, so the result is a genuinely minimal reproducing
+//! transaction sequence (1-minimal: removing any single op makes the
+//! failure disappear).
+
+use crate::workload::WorkloadOp;
+
+/// Minimize `ops` with respect to `fails` (which must return `true` for
+/// `ops` itself; if it does not, `ops` is returned unchanged).
+pub fn ddmin(ops: &[WorkloadOp], mut fails: impl FnMut(&[WorkloadOp]) -> bool) -> Vec<WorkloadOp> {
+    let mut current: Vec<WorkloadOp> = ops.to_vec();
+    if current.is_empty() || !fails(&current) {
+        return current;
+    }
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        // Try complements (remove one chunk at a time): the usual fast
+        // path, shrinking by a factor of n/(n-1) per hit.
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let candidate: Vec<WorkloadOp> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .cloned()
+                .collect();
+            if !candidate.is_empty() && fails(&candidate) {
+                current = candidate;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if reduced {
+            continue;
+        }
+        // Try single chunks (keep one chunk only).
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let candidate: Vec<WorkloadOp> = current[start..end].to_vec();
+            if candidate.len() < current.len() && fails(&candidate) {
+                current = candidate;
+                n = 2;
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if reduced {
+            continue;
+        }
+        if n >= current.len() {
+            break; // single-op granularity exhausted: 1-minimal
+        }
+        n = (n * 2).min(current.len());
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadOp;
+
+    fn op(port: u16) -> WorkloadOp {
+        WorkloadOp::RemovePort { port }
+    }
+
+    #[test]
+    fn shrinks_to_single_culprit() {
+        // Failure iff the sequence contains port 13.
+        let ops: Vec<WorkloadOp> = (0..50).map(op).collect();
+        let out = ddmin(&ops, |c| {
+            c.iter()
+                .any(|o| matches!(o, WorkloadOp::RemovePort { port: 13 }))
+        });
+        assert_eq!(out, vec![op(13)]);
+    }
+
+    #[test]
+    fn shrinks_to_minimal_pair() {
+        // Failure needs both port 3 and port 40 (order-independent).
+        let ops: Vec<WorkloadOp> = (0..50).map(op).collect();
+        let has = |c: &[WorkloadOp], want: u16| {
+            c.iter()
+                .any(|o| matches!(o, WorkloadOp::RemovePort { port } if *port == want))
+        };
+        let out = ddmin(&ops, |c| has(c, 3) && has(c, 40));
+        assert_eq!(out.len(), 2);
+        assert!(has(&out, 3) && has(&out, 40));
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let ops: Vec<WorkloadOp> = (0..5).map(op).collect();
+        let out = ddmin(&ops, |_| false);
+        assert_eq!(out, ops);
+    }
+}

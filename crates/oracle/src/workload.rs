@@ -1,0 +1,224 @@
+//! Seeded workload generation: typed management-plane transactions and
+//! data-plane digest traffic, plus fault plans derived from
+//! [`chaos::FaultSchedule`] seeds.
+
+use chaos::{ConnFault, Direction, FaultSchedule, Framing};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Duration;
+
+/// One step of oracle workload. Every variant maps to a concrete OVSDB
+/// transaction or digest batch on the incremental side and to the
+/// equivalent model mutation on the full-recompute side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadOp {
+    /// Upsert port `port` as an access port on `vlan`.
+    AddAccess {
+        /// Port id.
+        port: u16,
+        /// Access VLAN.
+        vlan: u16,
+    },
+    /// Upsert port `port` as a trunk carrying `vlans`.
+    AddTrunk {
+        /// Port id.
+        port: u16,
+        /// Allowed VLANs (non-empty).
+        vlans: Vec<u16>,
+    },
+    /// Flip the port's mode: access→trunk (trunking its access VLAN)
+    /// or trunk→access (on its first trunk VLAN). No-op if absent.
+    FlipMode {
+        /// Port id.
+        port: u16,
+    },
+    /// Set the port's ingress mirror destination. No-op if absent.
+    SetMirror {
+        /// Port id.
+        port: u16,
+        /// Mirror destination port.
+        dst: u16,
+    },
+    /// Clear the port's mirror destination. No-op if absent.
+    ClearMirror {
+        /// Port id.
+        port: u16,
+    },
+    /// Delete the port row. No-op if absent.
+    RemovePort {
+        /// Port id.
+        port: u16,
+    },
+    /// A MAC-learn digest from the data plane.
+    Learn {
+        /// Reporting port.
+        port: u16,
+        /// Learned MAC.
+        mac: u64,
+        /// VLAN it was seen on.
+        vlan: u16,
+    },
+    /// Age out one currently-live learned MAC, chosen by `pick` modulo
+    /// the live count (the retraction half of the learn/age cycle).
+    /// No-op when nothing is learned.
+    Age {
+        /// Selector into the live MAC set.
+        pick: u64,
+    },
+}
+
+/// What a fault event does to the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The OVSDB monitor link drops: the controller misses management
+    /// updates for `outage_steps` steps, then reconnects and resyncs
+    /// from a fresh snapshot.
+    OvsdbOutage {
+        /// Steps the link stays down.
+        outage_steps: usize,
+    },
+    /// The switch restarts with partial stale state; the controller
+    /// re-dials and reconciles its tables.
+    SwitchRestart,
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The step *before* which the fault fires.
+    pub at_step: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A resolved fault plan for one run: faults in step order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Scheduled faults, strictly increasing in `at_step`.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Derive a deterministic fault plan for a `steps`-long run from a
+    /// chaos seed, reusing [`chaos::FaultSchedule`]'s seeded resolution
+    /// so that a chaos seed means the same thing here as it does for the
+    /// TCP fault proxy: `resolve(k).kill_at` is how long "connection" k
+    /// survives (in steps), and the jittered delay doubles as the outage
+    /// length. Faults alternate between management-link outages and
+    /// switch restarts.
+    pub fn from_chaos_seed(seed: u64, steps: usize) -> FaultPlan {
+        let schedule = FaultSchedule::transparent(seed, Framing::Ndjson).with_default_plan(
+            ConnFault::kill_between(8, 60, Direction::Both)
+                .delayed(Duration::from_micros(1), Duration::from_micros(5)),
+        );
+        let mut events = Vec::new();
+        let mut step = 0usize;
+        for conn in 0u64.. {
+            let fault = schedule.resolve(conn);
+            let survive = fault.kill_at.unwrap_or(u64::MAX) as usize;
+            let outage = fault.delay.as_micros() as usize; // 1..=6
+            step += survive;
+            if step >= steps {
+                break;
+            }
+            let kind = if conn % 2 == 0 {
+                FaultKind::OvsdbOutage {
+                    outage_steps: outage,
+                }
+            } else {
+                FaultKind::SwitchRestart
+            };
+            events.push(FaultEvent {
+                at_step: step,
+                kind,
+            });
+            // The next "connection" starts counting after the outage.
+            if let FaultKind::OvsdbOutage { outage_steps } = kind {
+                step += outage_steps;
+            }
+        }
+        FaultPlan { events }
+    }
+}
+
+/// Generate a `steps`-long deterministic workload for `seed`.
+///
+/// The port/VLAN/MAC universes are intentionally small (8 ports, 3
+/// VLANs, 6 MACs) so that collisions — upserts over live rows, learns on
+/// unconfigured ports, ageing of moved MACs — happen constantly; that is
+/// where incremental maintenance bugs live.
+pub fn generate_workload(seed: u64, steps: usize) -> Vec<WorkloadOp> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF_0CA7_u64.rotate_left(17));
+    let mut ops = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let port = rng.random_range(0u16..8);
+        let vlan = 10 + rng.random_range(0u16..3);
+        let op = match rng.random_range(0u32..100) {
+            0..=17 => WorkloadOp::AddAccess { port, vlan },
+            18..=35 => {
+                let n = rng.random_range(1usize..=3);
+                let mut vlans: Vec<u16> = (0..n).map(|_| 10 + rng.random_range(0u16..3)).collect();
+                vlans.sort_unstable();
+                vlans.dedup();
+                WorkloadOp::AddTrunk { port, vlans }
+            }
+            36..=45 => WorkloadOp::FlipMode { port },
+            46..=53 => WorkloadOp::SetMirror {
+                port,
+                dst: rng.random_range(0u16..8),
+            },
+            54..=58 => WorkloadOp::ClearMirror { port },
+            59..=70 => WorkloadOp::RemovePort { port },
+            71..=89 => WorkloadOp::Learn {
+                port,
+                mac: 0xAA00 + rng.random_range(0u64..6),
+                vlan,
+            },
+            _ => WorkloadOp::Age {
+                pick: rng.random_range(0u64..64),
+            },
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic() {
+        assert_eq!(generate_workload(7, 100), generate_workload(7, 100));
+        assert_ne!(generate_workload(7, 100), generate_workload(8, 100));
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_ordered() {
+        let a = FaultPlan::from_chaos_seed(3, 500);
+        let b = FaultPlan::from_chaos_seed(3, 500);
+        assert_eq!(a, b);
+        assert!(
+            !a.events.is_empty(),
+            "500 steps must see at least one fault"
+        );
+        for w in a.events.windows(2) {
+            assert!(w[0].at_step < w[1].at_step);
+        }
+        assert!(a.events.iter().all(|e| e.at_step < 500));
+    }
+
+    #[test]
+    fn workload_covers_all_op_kinds() {
+        let ops = generate_workload(1, 400);
+        let has = |f: &dyn Fn(&WorkloadOp) -> bool| ops.iter().any(f);
+        assert!(has(&|o| matches!(o, WorkloadOp::AddAccess { .. })));
+        assert!(has(&|o| matches!(o, WorkloadOp::AddTrunk { .. })));
+        assert!(has(&|o| matches!(o, WorkloadOp::FlipMode { .. })));
+        assert!(has(&|o| matches!(o, WorkloadOp::SetMirror { .. })));
+        assert!(has(&|o| matches!(o, WorkloadOp::ClearMirror { .. })));
+        assert!(has(&|o| matches!(o, WorkloadOp::RemovePort { .. })));
+        assert!(has(&|o| matches!(o, WorkloadOp::Learn { .. })));
+        assert!(has(&|o| matches!(o, WorkloadOp::Age { .. })));
+    }
+}

@@ -1,0 +1,95 @@
+//! End-to-end oracle acceptance tests: fault-free and chaos sweeps stay
+//! green, faulty runs converge to the fault-free state, and a
+//! deliberately-injected controller bug is caught and shrunk.
+
+use oracle::{run_oracle, run_workload, InjectedBug, OracleConfig};
+
+#[test]
+fn fault_free_sweep_eight_seeds() {
+    for seed in 1..=8 {
+        let cfg = OracleConfig::new(seed, 500);
+        let report = run_oracle(&cfg).unwrap_or_else(|f| {
+            panic!(
+                "seed {seed} failed at {} (shrunk: {:?})",
+                f.failure, f.shrunk
+            )
+        });
+        assert_eq!(report.steps, 500);
+        assert_eq!(report.outages, 0);
+        assert_eq!(report.switch_restarts, 0);
+    }
+}
+
+#[test]
+fn chaos_sweep_eight_seeds() {
+    for seed in 1..=8 {
+        let cfg = OracleConfig {
+            chaos: Some(7),
+            ..OracleConfig::new(seed, 500)
+        };
+        let report = run_oracle(&cfg).unwrap_or_else(|f| {
+            panic!(
+                "seed {seed} failed at {} (shrunk: {:?})",
+                f.failure, f.shrunk
+            )
+        });
+        assert_eq!(report.steps, 500);
+        assert!(report.outages > 0, "chaos plan must inject outages");
+        assert!(
+            report.switch_restarts > 0,
+            "chaos plan must restart the switch"
+        );
+    }
+}
+
+#[test]
+fn faulty_run_converges_to_fault_free_state() {
+    for seed in [1u64, 5, 9] {
+        let fault_free = oracle::harness::final_state(&OracleConfig::new(seed, 300))
+            .expect("fault-free run green");
+        let faulty = oracle::harness::final_state(&OracleConfig {
+            chaos: Some(13),
+            ..OracleConfig::new(seed, 300)
+        })
+        .expect("chaos run green");
+        assert_eq!(fault_free, faulty, "seed {seed}: converged state differs");
+    }
+}
+
+#[test]
+fn injected_resync_bug_is_caught_and_shrunk() {
+    let cfg = OracleConfig {
+        chaos: Some(7),
+        bug: Some(InjectedBug::SkipResyncDeletes),
+        ..OracleConfig::new(1, 200)
+    };
+    let failure = run_oracle(&cfg).expect_err("the buggy resync must be caught");
+    assert!(
+        failure.shrunk.len() < failure.original_len,
+        "ddmin must shrink {} ops (got {})",
+        failure.original_len,
+        failure.shrunk.len()
+    );
+    // The shrunk sequence still reproduces the failure on a fresh run.
+    assert!(
+        run_workload(&failure.shrunk, &cfg).is_err(),
+        "shrunk sequence must still fail"
+    );
+}
+
+#[test]
+fn injected_delete_drop_bug_shrinks_to_minimal_pair() {
+    let cfg = OracleConfig {
+        bug: Some(InjectedBug::DropConfigDeletes),
+        ..OracleConfig::new(1, 100)
+    };
+    let failure = run_oracle(&cfg).expect_err("dropped deletes must be caught");
+    // A dropped delete needs exactly: one op that installs state for a
+    // port, and one that replaces it (the delete half goes missing).
+    assert!(
+        failure.shrunk.len() <= 3,
+        "expected a near-minimal reproduction, got {:?}",
+        failure.shrunk
+    );
+    assert!(run_workload(&failure.shrunk, &cfg).is_err());
+}

@@ -113,6 +113,19 @@ impl Database {
             .flat_map(|t| t.rows.iter())
     }
 
+    /// Export the current contents of `tables` as a monitor-style
+    /// initial `table-updates` object — byte-for-byte what a fresh
+    /// `monitor` call on this database would return. This is the
+    /// in-process snapshot hook the differential oracle resyncs against.
+    pub fn monitor_snapshot(&self, tables: &[&str]) -> Result<Json, String> {
+        let mut requests = Map::new();
+        for t in tables {
+            requests.insert((*t).to_string(), Json::Object(Map::new()));
+        }
+        let mon = crate::monitor::Monitor::parse(&Json::Object(requests), self)?;
+        Ok(mon.initial_state(self))
+    }
+
     /// Execute a transaction: a JSON array of operations. Returns the
     /// per-operation results plus the committed row changes (empty when
     /// the transaction aborted — the results array then contains the

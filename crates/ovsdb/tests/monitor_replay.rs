@@ -76,35 +76,86 @@ proptest! {
         replay(&mut shadow, &monitor.initial_state(&db));
 
         for op in &ops {
-            let txn = match op {
-                Op::Insert(n, t, u) => json!([
-                    {"op": "insert", "table": "Port",
-                     "row": {"name": format!("{n}-{t}"), "tag": t, "up": u}}
-                ]),
-                Op::UpdateTag(n, t) => json!([
-                    {"op": "update", "table": "Port",
-                     "where": [["name", "==", format!("{n}-0")]], "row": {"tag": t}}
-                ]),
-                Op::Delete(n) => json!([
-                    {"op": "delete", "table": "Port",
-                     "where": [["name", "==", format!("{n}-0")]]}
-                ]),
-            };
-            let (_, changes) = db.transact(&txn);
+            let (_, changes) = db.transact(&to_txn(op));
             if let Some(upd) = monitor.format_changes(&changes) {
                 replay(&mut shadow, &upd);
             }
         }
 
         // The shadow must equal the database contents.
-        let mut actual: BTreeMap<String, Json> = BTreeMap::new();
-        for (uuid, row) in db.rows("Port") {
-            let mut obj = serde_json::Map::new();
-            for (c, d) in row.iter() {
-                obj.insert(c.clone(), d.to_json());
+        prop_assert_eq!(shadow, db_contents(&db));
+    }
+
+    /// A monitor re-issued after a reconnect delivers a snapshot
+    /// identical to the one a brand-new client would receive, and
+    /// replacing a stale (outage-era) shadow with that snapshot heals
+    /// every missed update.
+    #[test]
+    fn reissued_monitor_matches_fresh_client(
+        before in proptest::collection::vec(op_strategy(), 0..15),
+        missed in proptest::collection::vec(op_strategy(), 1..15),
+    ) {
+        let mut db = Database::new(schema());
+        db.transact(&json!([
+            {"op": "insert", "table": "Port", "row": {"name": "seed", "tag": 1, "up": true}}
+        ]));
+
+        // A connected client tracks the database...
+        let monitor = Monitor::parse(&json!({"Port": {}}), &db).unwrap();
+        let mut shadow: BTreeMap<String, Json> = BTreeMap::new();
+        replay(&mut shadow, &monitor.initial_state(&db));
+        for op in &before {
+            let (_, changes) = db.transact(&to_txn(op));
+            if let Some(upd) = monitor.format_changes(&changes) {
+                replay(&mut shadow, &upd);
             }
-            actual.insert(uuid.to_string(), Json::Object(obj));
         }
-        prop_assert_eq!(shadow, actual);
+
+        // ...then the link drops: these transactions are never delivered.
+        for op in &missed {
+            db.transact(&to_txn(op));
+        }
+
+        // On reconnect the client re-issues the monitor request. Its
+        // snapshot must be byte-identical to a fresh client's.
+        let reissued = Monitor::parse(&json!({"Port": {}}), &db).unwrap();
+        let fresh = Monitor::parse(&json!({"Port": {}}), &db).unwrap();
+        let snapshot = reissued.initial_state(&db);
+        prop_assert_eq!(&snapshot, &fresh.initial_state(&db));
+
+        // Resync: replace the stale shadow with the snapshot contents.
+        shadow.clear();
+        replay(&mut shadow, &snapshot);
+        prop_assert_eq!(shadow, db_contents(&db));
+    }
+}
+
+/// The database's Port table as uuid → row-object JSON.
+fn db_contents(db: &Database) -> BTreeMap<String, Json> {
+    let mut actual: BTreeMap<String, Json> = BTreeMap::new();
+    for (uuid, row) in db.rows("Port") {
+        let mut obj = serde_json::Map::new();
+        for (c, d) in row.iter() {
+            obj.insert(c.clone(), d.to_json());
+        }
+        actual.insert(uuid.to_string(), Json::Object(obj));
+    }
+    actual
+}
+
+fn to_txn(op: &Op) -> Json {
+    match op {
+        Op::Insert(n, t, u) => json!([
+            {"op": "insert", "table": "Port",
+             "row": {"name": format!("{n}-{t}"), "tag": t, "up": u}}
+        ]),
+        Op::UpdateTag(n, t) => json!([
+            {"op": "update", "table": "Port",
+             "where": [["name", "==", format!("{n}-0")]], "row": {"tag": t}}
+        ]),
+        Op::Delete(n) => json!([
+            {"op": "delete", "table": "Port",
+             "where": [["name", "==", format!("{n}-0")]]}
+        ]),
     }
 }

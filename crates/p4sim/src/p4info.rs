@@ -3,12 +3,10 @@
 //! `p4info2ddlog` codegen consumes to generate control-plane relations
 //! (§4.2 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 use crate::ast::{MatchKind, Program};
 
 /// One table key field.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KeyInfo {
     /// Display name (e.g. `std.ingress_port`).
     pub name: String,
@@ -19,7 +17,7 @@ pub struct KeyInfo {
 }
 
 /// One action parameter.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParamInfo {
     /// Parameter name.
     pub name: String,
@@ -28,7 +26,7 @@ pub struct ParamInfo {
 }
 
 /// One action usable by a table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ActionInfo {
     /// Action name.
     pub name: String,
@@ -37,7 +35,7 @@ pub struct ActionInfo {
 }
 
 /// One match-action table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableInfo {
     /// Table name.
     pub name: String,
@@ -52,7 +50,7 @@ pub struct TableInfo {
 }
 
 /// One digest type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DigestInfo {
     /// The digest struct name.
     pub name: String,
@@ -61,7 +59,7 @@ pub struct DigestInfo {
 }
 
 /// The full program description.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct P4Info {
     /// Program (parser) name.
     pub program: String,
@@ -156,6 +154,141 @@ impl P4Info {
         self.tables
             .iter()
             .any(|t| t.keys.iter().any(|k| k.match_kind == kind.name()))
+    }
+}
+
+// ----------------------------------------------------- JSON wire codec
+
+use crate::runtime::codec::{decode_vec, get_str, get_u64, obj};
+use serde_json::{FromJson, ToJson, Value as Json};
+
+impl ToJson for ParamInfo {
+    fn to_json_value(&self) -> Json {
+        obj([
+            ("name", Json::from(&self.name)),
+            ("width", Json::from(self.width)),
+        ])
+    }
+}
+impl FromJson for ParamInfo {
+    fn from_json_value(v: &Json) -> serde_json::Result<ParamInfo> {
+        Ok(ParamInfo {
+            name: get_str(v, "name")?,
+            width: get_u64(v, "width")? as u16,
+        })
+    }
+}
+
+impl ToJson for KeyInfo {
+    fn to_json_value(&self) -> Json {
+        obj([
+            ("name", Json::from(&self.name)),
+            ("width", Json::from(self.width)),
+            ("match_kind", Json::from(&self.match_kind)),
+        ])
+    }
+}
+impl FromJson for KeyInfo {
+    fn from_json_value(v: &Json) -> serde_json::Result<KeyInfo> {
+        Ok(KeyInfo {
+            name: get_str(v, "name")?,
+            width: get_u64(v, "width")? as u16,
+            match_kind: get_str(v, "match_kind")?,
+        })
+    }
+}
+
+impl ToJson for ActionInfo {
+    fn to_json_value(&self) -> Json {
+        obj([
+            ("name", Json::from(&self.name)),
+            (
+                "params",
+                Json::Array(self.params.iter().map(ToJson::to_json_value).collect()),
+            ),
+        ])
+    }
+}
+impl FromJson for ActionInfo {
+    fn from_json_value(v: &Json) -> serde_json::Result<ActionInfo> {
+        Ok(ActionInfo {
+            name: get_str(v, "name")?,
+            params: decode_vec(v, "params", ParamInfo::from_json_value)?,
+        })
+    }
+}
+
+impl ToJson for TableInfo {
+    fn to_json_value(&self) -> Json {
+        obj([
+            ("name", Json::from(&self.name)),
+            ("control", Json::from(&self.control)),
+            (
+                "keys",
+                Json::Array(self.keys.iter().map(ToJson::to_json_value).collect()),
+            ),
+            (
+                "actions",
+                Json::Array(self.actions.iter().map(ToJson::to_json_value).collect()),
+            ),
+            ("size", Json::from(self.size)),
+        ])
+    }
+}
+impl FromJson for TableInfo {
+    fn from_json_value(v: &Json) -> serde_json::Result<TableInfo> {
+        Ok(TableInfo {
+            name: get_str(v, "name")?,
+            control: get_str(v, "control")?,
+            keys: decode_vec(v, "keys", KeyInfo::from_json_value)?,
+            actions: decode_vec(v, "actions", ActionInfo::from_json_value)?,
+            size: get_u64(v, "size")? as usize,
+        })
+    }
+}
+
+impl ToJson for DigestInfo {
+    fn to_json_value(&self) -> Json {
+        obj([
+            ("name", Json::from(&self.name)),
+            (
+                "fields",
+                Json::Array(self.fields.iter().map(ToJson::to_json_value).collect()),
+            ),
+        ])
+    }
+}
+impl FromJson for DigestInfo {
+    fn from_json_value(v: &Json) -> serde_json::Result<DigestInfo> {
+        Ok(DigestInfo {
+            name: get_str(v, "name")?,
+            fields: decode_vec(v, "fields", ParamInfo::from_json_value)?,
+        })
+    }
+}
+
+impl ToJson for P4Info {
+    fn to_json_value(&self) -> Json {
+        obj([
+            ("program", Json::from(&self.program)),
+            (
+                "tables",
+                Json::Array(self.tables.iter().map(ToJson::to_json_value).collect()),
+            ),
+            (
+                "digests",
+                Json::Array(self.digests.iter().map(ToJson::to_json_value).collect()),
+            ),
+        ])
+    }
+}
+impl FromJson for P4Info {
+    fn from_json_value(v: &Json) -> serde_json::Result<P4Info> {
+        Ok(P4Info {
+            program: get_str(v, "program")?,
+            tables: decode_vec(v, "tables", TableInfo::from_json_value)?,
+            digests: decode_vec(v, "digests", DigestInfo::from_json_value)?,
+        })
     }
 }
 

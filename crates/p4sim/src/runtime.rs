@@ -2,75 +2,108 @@
 //! digests, and packet-in/out. These are the wire objects the Nerpa
 //! controller exchanges with switches.
 
-use serde::{Deserialize, Serialize};
+use serde_json::{FromJson, ToJson, Value as Json};
 
-/// Serde helpers encoding `u128` as a decimal string on the wire —
-/// JSON numbers cannot carry 128-bit values portably.
-pub mod u128_str {
-    use serde::{Deserialize, Deserializer, Serializer};
+/// JSON codec helpers shared by the wire types in this crate. `u128`
+/// values travel as decimal strings — JSON numbers cannot carry 128-bit
+/// values portably.
+pub(crate) mod codec {
+    use serde_json::{Error, Map, Result, Value as Json};
 
-    /// Serialize as a decimal string.
-    pub fn serialize<S: Serializer>(v: &u128, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(&v.to_string())
+    /// Build an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        let mut m = Map::new();
+        for (k, v) in pairs {
+            m.insert(k.to_string(), v);
+        }
+        Json::Object(m)
     }
 
-    /// Deserialize from a decimal string.
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<u128, D::Error> {
-        let s = String::deserialize(d)?;
-        s.parse().map_err(serde::de::Error::custom)
+    /// Encode a `u128` as a decimal string.
+    pub fn u128_to_json(v: u128) -> Json {
+        Json::String(v.to_string())
+    }
+
+    /// Required-field lookup.
+    pub fn get<'a>(v: &'a Json, key: &str) -> Result<&'a Json> {
+        v.get(key)
+            .ok_or_else(|| Error::msg(format!("missing field `{key}`")))
+    }
+
+    /// Required string field.
+    pub fn get_str(v: &Json, key: &str) -> Result<String> {
+        get(v, key)?
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg(format!("field `{key}` is not a string")))
+    }
+
+    /// Required `u64` field.
+    pub fn get_u64(v: &Json, key: &str) -> Result<u64> {
+        get(v, key)?
+            .as_u64()
+            .ok_or_else(|| Error::msg(format!("field `{key}` is not an unsigned integer")))
+    }
+
+    /// Required array field.
+    pub fn get_array<'a>(v: &'a Json, key: &str) -> Result<&'a Vec<Json>> {
+        get(v, key)?
+            .as_array()
+            .ok_or_else(|| Error::msg(format!("field `{key}` is not an array")))
+    }
+
+    /// Decode a decimal-string-encoded `u128`.
+    pub fn u128_from_json(v: &Json) -> Result<u128> {
+        v.as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| Error::msg("expected a decimal u128 string"))
+    }
+
+    /// Required decimal-`u128`-string field.
+    pub fn get_u128(v: &Json, key: &str) -> Result<u128> {
+        u128_from_json(get(v, key)?)
+    }
+
+    /// The `"type"`/`"kind"` style tag of a tagged-enum object.
+    pub fn tag<'a>(v: &'a Json, key: &str) -> Result<&'a str> {
+        get(v, key)?
+            .as_str()
+            .ok_or_else(|| Error::msg(format!("enum tag `{key}` is not a string")))
+    }
+
+    /// Decode each array element with `f`.
+    pub fn decode_vec<T>(v: &Json, key: &str, f: impl Fn(&Json) -> Result<T>) -> Result<Vec<T>> {
+        get_array(v, key)?.iter().map(f).collect()
+    }
+
+    /// Map builder used by tagged enums: `{"type": tag, ...fields}`.
+    pub fn tagged(
+        tag_key: &str,
+        tag: &str,
+        pairs: impl IntoIterator<Item = (&'static str, Json)>,
+    ) -> Json {
+        let mut m = Map::new();
+        m.insert(tag_key.to_string(), Json::String(tag.to_string()));
+        for (k, v) in pairs {
+            m.insert(k.to_string(), v);
+        }
+        Json::Object(m)
     }
 }
 
-/// Serde helpers for `Vec<u128>` as decimal strings.
-pub mod u128_vec_str {
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    /// Serialize as a list of decimal strings.
-    pub fn serialize<S: Serializer>(v: &[u128], s: S) -> Result<S::Ok, S::Error> {
-        s.collect_seq(v.iter().map(|x| x.to_string()))
-    }
-
-    /// Deserialize from a list of decimal strings.
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<u128>, D::Error> {
-        let v: Vec<String> = Vec::deserialize(d)?;
-        v.into_iter()
-            .map(|s| s.parse().map_err(serde::de::Error::custom))
-            .collect()
-    }
-}
-
-/// Serde helpers for `Vec<(String, u128)>` (digest fields).
-pub mod u128_pairs_str {
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    /// Serialize as `[[name, "value"], ...]`.
-    pub fn serialize<S: Serializer>(v: &[(String, u128)], s: S) -> Result<S::Ok, S::Error> {
-        s.collect_seq(v.iter().map(|(n, x)| (n.clone(), x.to_string())))
-    }
-
-    /// Deserialize the paired form.
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<(String, u128)>, D::Error> {
-        let v: Vec<(String, String)> = Vec::deserialize(d)?;
-        v.into_iter()
-            .map(|(n, s)| Ok((n, s.parse().map_err(serde::de::Error::custom)?)))
-            .collect()
-    }
-}
+use codec::*;
 
 /// A single key-field match of a table entry.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FieldMatch {
     /// Exact value.
     Exact {
         /// Matched value.
-        #[serde(with = "u128_str")]
         value: u128,
     },
     /// Longest-prefix match.
     Lpm {
         /// Value (host order, already masked).
-        #[serde(with = "u128_str")]
         value: u128,
         /// Prefix length in bits.
         prefix_len: u16,
@@ -78,16 +111,14 @@ pub enum FieldMatch {
     /// Ternary value/mask.
     Ternary {
         /// Value (already masked by `mask`).
-        #[serde(with = "u128_str")]
         value: u128,
         /// Care mask.
-        #[serde(with = "u128_str")]
         mask: u128,
     },
 }
 
 /// A runtime table entry.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TableEntry {
     /// Table name.
     pub table: String,
@@ -98,13 +129,11 @@ pub struct TableEntry {
     /// Action name.
     pub action: String,
     /// Action parameters, in declaration order.
-    #[serde(with = "u128_vec_str")]
     pub params: Vec<u128>,
 }
 
 /// Write-request operation kinds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WriteOp {
     /// Insert a new entry (error if the key exists).
     Insert,
@@ -115,7 +144,7 @@ pub enum WriteOp {
 }
 
 /// One update of a write request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Update {
     /// The operation.
     pub op: WriteOp,
@@ -124,12 +153,11 @@ pub struct Update {
 }
 
 /// A digest message from the data plane to the controller.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Digest {
     /// The digest struct type name.
     pub name: String,
     /// Field values: (field name, value).
-    #[serde(with = "u128_pairs_str")]
     pub fields: Vec<(String, u128)>,
 }
 
@@ -141,8 +169,7 @@ impl Digest {
 }
 
 /// Client → switch control messages.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "type", rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ControlRequest {
     /// Apply table updates atomically (all or nothing).
     Write {
@@ -180,8 +207,7 @@ pub enum ControlRequest {
 }
 
 /// Switch → client control messages.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "type", rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ControlResponse {
     /// Write outcome.
     WriteResult {
@@ -221,6 +247,374 @@ pub enum ControlResponse {
         /// Description.
         message: String,
     },
+}
+
+// ----------------------------------------------------- JSON wire codec
+
+impl ToJson for FieldMatch {
+    fn to_json_value(&self) -> Json {
+        match self {
+            FieldMatch::Exact { value } => {
+                tagged("kind", "exact", [("value", u128_to_json(*value))])
+            }
+            FieldMatch::Lpm { value, prefix_len } => tagged(
+                "kind",
+                "lpm",
+                [
+                    ("value", u128_to_json(*value)),
+                    ("prefix_len", Json::from(*prefix_len)),
+                ],
+            ),
+            FieldMatch::Ternary { value, mask } => tagged(
+                "kind",
+                "ternary",
+                [
+                    ("value", u128_to_json(*value)),
+                    ("mask", u128_to_json(*mask)),
+                ],
+            ),
+        }
+    }
+}
+
+impl FromJson for FieldMatch {
+    fn from_json_value(v: &Json) -> serde_json::Result<FieldMatch> {
+        match tag(v, "kind")? {
+            "exact" => Ok(FieldMatch::Exact {
+                value: get_u128(v, "value")?,
+            }),
+            "lpm" => Ok(FieldMatch::Lpm {
+                value: get_u128(v, "value")?,
+                prefix_len: get_u64(v, "prefix_len")? as u16,
+            }),
+            "ternary" => Ok(FieldMatch::Ternary {
+                value: get_u128(v, "value")?,
+                mask: get_u128(v, "mask")?,
+            }),
+            other => Err(serde_json::Error::msg(format!(
+                "unknown FieldMatch kind `{other}`"
+            ))),
+        }
+    }
+}
+
+impl ToJson for TableEntry {
+    fn to_json_value(&self) -> Json {
+        obj([
+            ("table", Json::from(&self.table)),
+            (
+                "matches",
+                Json::Array(self.matches.iter().map(ToJson::to_json_value).collect()),
+            ),
+            ("priority", Json::from(self.priority)),
+            ("action", Json::from(&self.action)),
+            (
+                "params",
+                Json::Array(self.params.iter().map(|p| u128_to_json(*p)).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for TableEntry {
+    fn from_json_value(v: &Json) -> serde_json::Result<TableEntry> {
+        Ok(TableEntry {
+            table: get_str(v, "table")?,
+            matches: decode_vec(v, "matches", FieldMatch::from_json_value)?,
+            priority: get(v, "priority")?
+                .as_i64()
+                .ok_or_else(|| serde_json::Error::msg("priority is not an integer"))?
+                as i32,
+            action: get_str(v, "action")?,
+            params: decode_vec(v, "params", u128_from_json)?,
+        })
+    }
+}
+
+impl WriteOp {
+    fn wire_name(self) -> &'static str {
+        match self {
+            WriteOp::Insert => "insert",
+            WriteOp::Modify => "modify",
+            WriteOp::Delete => "delete",
+        }
+    }
+}
+
+impl ToJson for WriteOp {
+    fn to_json_value(&self) -> Json {
+        Json::String(self.wire_name().to_string())
+    }
+}
+
+impl FromJson for WriteOp {
+    fn from_json_value(v: &Json) -> serde_json::Result<WriteOp> {
+        match v.as_str() {
+            Some("insert") => Ok(WriteOp::Insert),
+            Some("modify") => Ok(WriteOp::Modify),
+            Some("delete") => Ok(WriteOp::Delete),
+            _ => Err(serde_json::Error::msg("unknown WriteOp")),
+        }
+    }
+}
+
+impl ToJson for Update {
+    fn to_json_value(&self) -> Json {
+        obj([
+            ("op", self.op.to_json_value()),
+            ("entry", self.entry.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for Update {
+    fn from_json_value(v: &Json) -> serde_json::Result<Update> {
+        Ok(Update {
+            op: WriteOp::from_json_value(get(v, "op")?)?,
+            entry: TableEntry::from_json_value(get(v, "entry")?)?,
+        })
+    }
+}
+
+impl ToJson for Digest {
+    fn to_json_value(&self) -> Json {
+        obj([
+            ("name", Json::from(&self.name)),
+            (
+                "fields",
+                Json::Array(
+                    self.fields
+                        .iter()
+                        .map(|(n, x)| Json::Array(vec![Json::from(n), u128_to_json(*x)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Digest {
+    fn from_json_value(v: &Json) -> serde_json::Result<Digest> {
+        Ok(Digest {
+            name: get_str(v, "name")?,
+            fields: decode_vec(v, "fields", |pair| {
+                let a = pair
+                    .as_array()
+                    .filter(|a| a.len() == 2)
+                    .ok_or_else(|| serde_json::Error::msg("digest field is not a pair"))?;
+                let n = a[0]
+                    .as_str()
+                    .ok_or_else(|| serde_json::Error::msg("digest field name"))?;
+                Ok((n.to_string(), u128_from_json(&a[1])?))
+            })?,
+        })
+    }
+}
+
+impl ToJson for ControlRequest {
+    fn to_json_value(&self) -> Json {
+        match self {
+            ControlRequest::Write { updates } => tagged(
+                "type",
+                "write",
+                [(
+                    "updates",
+                    Json::Array(updates.iter().map(ToJson::to_json_value).collect()),
+                )],
+            ),
+            ControlRequest::GetP4Info => tagged("type", "get_p4_info", []),
+            ControlRequest::ReadTable { table } => {
+                tagged("type", "read_table", [("table", Json::from(table))])
+            }
+            ControlRequest::ReadAllTables => tagged("type", "read_all_tables", []),
+            ControlRequest::SubscribeDigests => tagged("type", "subscribe_digests", []),
+            ControlRequest::PacketOut { port, bytes } => tagged(
+                "type",
+                "packet_out",
+                [("port", Json::from(*port)), ("bytes", Json::from(bytes))],
+            ),
+            ControlRequest::ReadCounters => tagged("type", "read_counters", []),
+            ControlRequest::SetMcastGroup { group, ports } => tagged(
+                "type",
+                "set_mcast_group",
+                [("group", Json::from(*group)), ("ports", Json::from(ports))],
+            ),
+        }
+    }
+}
+
+impl FromJson for ControlRequest {
+    fn from_json_value(v: &Json) -> serde_json::Result<ControlRequest> {
+        Ok(match tag(v, "type")? {
+            "write" => ControlRequest::Write {
+                updates: decode_vec(v, "updates", Update::from_json_value)?,
+            },
+            "get_p4_info" => ControlRequest::GetP4Info,
+            "read_table" => ControlRequest::ReadTable {
+                table: get_str(v, "table")?,
+            },
+            "read_all_tables" => ControlRequest::ReadAllTables,
+            "subscribe_digests" => ControlRequest::SubscribeDigests,
+            "packet_out" => ControlRequest::PacketOut {
+                port: get_u64(v, "port")? as u16,
+                bytes: decode_vec(v, "bytes", |b| {
+                    b.as_u64()
+                        .map(|x| x as u8)
+                        .ok_or_else(|| serde_json::Error::msg("byte"))
+                })?,
+            },
+            "read_counters" => ControlRequest::ReadCounters,
+            "set_mcast_group" => ControlRequest::SetMcastGroup {
+                group: get_u64(v, "group")? as u16,
+                ports: decode_vec(v, "ports", |p| {
+                    p.as_u64()
+                        .map(|x| x as u16)
+                        .ok_or_else(|| serde_json::Error::msg("port"))
+                })?,
+            },
+            other => {
+                return Err(serde_json::Error::msg(format!(
+                    "unknown ControlRequest type `{other}`"
+                )))
+            }
+        })
+    }
+}
+
+impl ToJson for ControlResponse {
+    fn to_json_value(&self) -> Json {
+        match self {
+            ControlResponse::WriteResult { error } => tagged(
+                "type",
+                "write_result",
+                [("error", Json::from(error.as_deref()))],
+            ),
+            ControlResponse::P4Info { info } => {
+                tagged("type", "p4_info", [("info", info.to_json_value())])
+            }
+            ControlResponse::TableEntries { entries } => tagged(
+                "type",
+                "table_entries",
+                [(
+                    "entries",
+                    Json::Array(entries.iter().map(ToJson::to_json_value).collect()),
+                )],
+            ),
+            ControlResponse::AllTables { tables } => tagged(
+                "type",
+                "all_tables",
+                [(
+                    "tables",
+                    Json::Array(
+                        tables
+                            .iter()
+                            .map(|(name, entries)| {
+                                Json::Array(vec![
+                                    Json::from(name),
+                                    Json::Array(
+                                        entries.iter().map(ToJson::to_json_value).collect(),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                )],
+            ),
+            ControlResponse::DigestList { digests } => tagged(
+                "type",
+                "digest_list",
+                [(
+                    "digests",
+                    Json::Array(digests.iter().map(ToJson::to_json_value).collect()),
+                )],
+            ),
+            ControlResponse::Counters { counters } => tagged(
+                "type",
+                "counters",
+                [(
+                    "counters",
+                    Json::Array(
+                        counters
+                            .iter()
+                            .map(|(n, c)| Json::Array(vec![Json::from(n), Json::from(*c)]))
+                            .collect(),
+                    ),
+                )],
+            ),
+            ControlResponse::Ok => tagged("type", "ok", []),
+            ControlResponse::Error { message } => {
+                tagged("type", "error", [("message", Json::from(message))])
+            }
+        }
+    }
+}
+
+impl FromJson for ControlResponse {
+    fn from_json_value(v: &Json) -> serde_json::Result<ControlResponse> {
+        Ok(match tag(v, "type")? {
+            "write_result" => ControlResponse::WriteResult {
+                error: match get(v, "error")? {
+                    Json::Null => None,
+                    s => Some(
+                        s.as_str()
+                            .ok_or_else(|| serde_json::Error::msg("error message"))?
+                            .to_string(),
+                    ),
+                },
+            },
+            "p4_info" => ControlResponse::P4Info {
+                info: crate::p4info::P4Info::from_json_value(get(v, "info")?)?,
+            },
+            "table_entries" => ControlResponse::TableEntries {
+                entries: decode_vec(v, "entries", TableEntry::from_json_value)?,
+            },
+            "all_tables" => ControlResponse::AllTables {
+                tables: decode_vec(v, "tables", |pair| {
+                    let a = pair
+                        .as_array()
+                        .filter(|a| a.len() == 2)
+                        .ok_or_else(|| serde_json::Error::msg("table pair"))?;
+                    let name = a[0]
+                        .as_str()
+                        .ok_or_else(|| serde_json::Error::msg("table name"))?;
+                    let entries = a[1]
+                        .as_array()
+                        .ok_or_else(|| serde_json::Error::msg("table entries"))?
+                        .iter()
+                        .map(TableEntry::from_json_value)
+                        .collect::<serde_json::Result<Vec<_>>>()?;
+                    Ok((name.to_string(), entries))
+                })?,
+            },
+            "digest_list" => ControlResponse::DigestList {
+                digests: decode_vec(v, "digests", Digest::from_json_value)?,
+            },
+            "counters" => ControlResponse::Counters {
+                counters: decode_vec(v, "counters", |pair| {
+                    let a = pair
+                        .as_array()
+                        .filter(|a| a.len() == 2)
+                        .ok_or_else(|| serde_json::Error::msg("counter pair"))?;
+                    let n = a[0]
+                        .as_str()
+                        .ok_or_else(|| serde_json::Error::msg("counter name"))?;
+                    let c = a[1]
+                        .as_u64()
+                        .ok_or_else(|| serde_json::Error::msg("counter value"))?;
+                    Ok((n.to_string(), c))
+                })?,
+            },
+            "ok" => ControlResponse::Ok,
+            "error" => ControlResponse::Error {
+                message: get_str(v, "message")?,
+            },
+            other => {
+                return Err(serde_json::Error::msg(format!(
+                    "unknown ControlResponse type `{other}`"
+                )))
+            }
+        })
+    }
 }
 
 #[cfg(test)]

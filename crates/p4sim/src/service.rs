@@ -73,6 +73,20 @@ impl SwitchDevice {
         self.inner.lock().set_mcast_group(group, ports);
     }
 
+    /// The configured multicast groups, order-normalized (group id →
+    /// sorted member set). The installed-state read used by the
+    /// differential oracle; empty groups are never stored.
+    pub fn mcast_snapshot(
+        &self,
+    ) -> std::collections::BTreeMap<u16, std::collections::BTreeSet<u16>> {
+        self.inner
+            .lock()
+            .mcast_groups
+            .iter()
+            .map(|(g, ports)| (*g, ports.iter().copied().collect()))
+            .collect()
+    }
+
     /// Access the underlying switch.
     pub fn with_switch<T>(&self, f: impl FnOnce(&mut Switch) -> T) -> T {
         f(&mut self.inner.lock())
@@ -87,7 +101,7 @@ impl SwitchDevice {
 // ------------------------------------------------------------- framing
 
 /// Write one length-prefixed JSON message.
-pub fn write_frame<T: serde::Serialize>(w: &mut impl Write, msg: &T) -> std::io::Result<()> {
+pub fn write_frame<T: serde_json::ToJson>(w: &mut impl Write, msg: &T) -> std::io::Result<()> {
     let body = serde_json::to_vec(msg)?;
     let mut buf = BytesMut::with_capacity(4 + body.len());
     buf.put_u32(body.len() as u32);
@@ -97,7 +111,7 @@ pub fn write_frame<T: serde::Serialize>(w: &mut impl Write, msg: &T) -> std::io:
 }
 
 /// Read one length-prefixed JSON message; `Ok(None)` on clean EOF.
-pub fn read_frame<T: serde::de::DeserializeOwned>(r: &mut impl Read) -> std::io::Result<Option<T>> {
+pub fn read_frame<T: serde_json::FromJson>(r: &mut impl Read) -> std::io::Result<Option<T>> {
     let mut len_buf = [0u8; 4];
     match r.read_exact(&mut len_buf) {
         Ok(()) => {}

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# The repo's CI gate, runnable locally: build, tests, formatting, lints.
+# The repo's CI gate, runnable locally: build, tests, formatting, lints,
+# and an oracle smoke run (differential fuzz of the incremental pipeline
+# against the full-recompute baseline, fault-free and under chaos).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -7,3 +9,8 @@ cargo build --release
 cargo test -q
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Oracle smoke: 8 seeds fault-free, then the same seeds with a chaos
+# schedule injecting management-link outages and switch restarts.
+cargo run --release -q -p oracle --bin oracle -- --seed 1..8 --steps 200
+cargo run --release -q -p oracle --bin oracle -- --seed 1..8 --steps 200 --chaos 7

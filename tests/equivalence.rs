@@ -131,6 +131,9 @@ proptest! {
 enum Op {
     AddAccess(u16, u16),
     AddTrunk(u16, Vec<u16>),
+    /// Flip an existing port between access and trunk mode (no-op when
+    /// the port is not configured). Churns flood-group membership.
+    FlipMode(u16),
     Remove(u16),
     Learn(u16, u64, u16),
 }
@@ -140,6 +143,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (0u16..6, 1u16..4).prop_map(|(p, v)| Op::AddAccess(p, 10 + v)),
         (0u16..6, proptest::collection::vec(1u16..4, 1..3))
             .prop_map(|(p, vs)| Op::AddTrunk(p, vs.into_iter().map(|v| 10 + v).collect())),
+        (0u16..6).prop_map(Op::FlipMode),
         (0u16..6).prop_map(Op::Remove),
         (0u16..6, 1u64..5, 1u16..4).prop_map(|(p, m, v)| Op::Learn(p, 0xAA00 + m, 10 + v)),
     ]
@@ -202,6 +206,34 @@ proptest! {
                     ports.retain(|c| c.id != *p);
                     ports.push(PortConfig::trunk(*p, vs.clone()));
                 }
+                Op::FlipMode(p) => {
+                    let Some(cur) = ports.iter().find(|c| c.id == *p).cloned() else {
+                        continue;
+                    };
+                    let mut next = cur;
+                    next.mode = match next.mode {
+                        baselines::Mode::Access(v) => baselines::Mode::Trunk(vec![v]),
+                        baselines::Mode::Trunk(vs) => {
+                            baselines::Mode::Access(vs.first().copied().unwrap_or(11))
+                        }
+                    };
+                    let row = match &next.mode {
+                        baselines::Mode::Access(v) => json!(
+                            {"id": p, "vlan_mode": "access", "tag": v}
+                        ),
+                        baselines::Mode::Trunk(vs) => json!(
+                            {"id": p, "vlan_mode": "trunk", "trunks": ["set", vs]}
+                        ),
+                    };
+                    let (_, ch) = db.transact(&json!([
+                        {"op": "delete", "table": "Port", "where": [["id", "==", p]]},
+                        {"op": "insert", "table": "Port", "row": row}
+                    ]));
+                    controller.handle_row_changes(&ch).unwrap();
+                    hand.handle(Event::PortUpserted(next.clone()));
+                    ports.retain(|c| c.id != *p);
+                    ports.push(next);
+                }
                 Op::Remove(p) => {
                     let (_, ch) = db.transact(&json!([
                         {"op": "delete", "table": "Port", "where": [["id", "==", p]]}
@@ -251,6 +283,18 @@ proptest! {
             let mut got = dev_groups.get(g).cloned().unwrap_or_default();
             got.sort_unstable();
             prop_assert_eq!(got, want, "group {}", g);
+        }
+        // Churned-away groups must not leave stale members behind: any
+        // device group absent from the spec has to be empty.
+        for (g, members) in &dev_groups {
+            if !spec_groups.contains_key(g) {
+                prop_assert!(
+                    members.is_empty(),
+                    "stale mcast group {} still has members {:?}",
+                    g,
+                    members
+                );
+            }
         }
     }
 }

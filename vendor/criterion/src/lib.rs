@@ -1,0 +1,237 @@
+//! A self-contained benchmark harness implementing the subset of the
+//! Criterion API this workspace uses: benchmark groups, per-input
+//! benchmarks, timed closures, and a plain-text report.
+//!
+//! Statistics are deliberately simple — a fixed warm-up, `sample_size`
+//! timed samples of an adaptively-chosen iteration count, and a
+//! median/mean/min/max summary — because the workspace's EXPERIMENTS.md
+//! compares *shapes*, not absolute confidence intervals.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// A bare benchmark id with no function name.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the benchmark closure; times the hot loop.
+pub struct Bencher {
+    /// Total time spent in the measured closure across `iters` runs.
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `routine` `self.iters` times, recording the total elapsed
+    /// wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark `routine`, passing it `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = self.run(&mut |b| routine(b, input));
+        self.report(&id.to_string(), &samples);
+        self
+    }
+
+    /// Benchmark `routine` with no input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.run(&mut routine);
+        self.report(&id.to_string(), &samples);
+        self
+    }
+
+    /// Collect per-iteration times: warm up, pick an iteration count
+    /// aiming at ~10ms per sample (min 1), then take `sample_size`
+    /// samples.
+    fn run<F: FnMut(&mut Bencher)>(&self, routine: &mut F) -> Vec<Duration> {
+        // Warm-up and calibration in one: time a single iteration.
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 1,
+        };
+        routine(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let target = Duration::from_millis(10);
+        let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters,
+            };
+            routine(&mut b);
+            samples.push(b.elapsed / iters as u32);
+        }
+        samples
+    }
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{}/{:<40} median {:>12?}   min {:>12?}   max {:>12?}   ({} samples)",
+            self.name,
+            id,
+            median,
+            min,
+            max,
+            sorted.len()
+        );
+        let _ = &self.criterion; // group config lives on the parent
+    }
+
+    /// Criterion requires an explicit `finish`; ours is a no-op.
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager: entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// A fresh manager with default configuration.
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(id.to_string());
+        group.bench_function("base", routine);
+        group.finish();
+        self
+    }
+
+    /// Criterion's final-summary hook; ours is a no-op.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in
+/// favor of `std::hint::black_box`, which the benches already use).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group function, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the benchmark entry point, as upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        let mut runs = 0u64;
+        g.bench_with_input(BenchmarkId::new("count", 7), &7u64, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                n * 2
+            });
+        });
+        g.finish();
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 12).to_string(), "f/12");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,487 @@
+//! A self-contained MPMC channel implementing the subset of the
+//! `crossbeam-channel` API this workspace uses. Vendored so the
+//! workspace *runs* offline: the controller event loops, the OVSDB/P4
+//! TCP services, and the chaos tests all move data through these
+//! channels, so a typecheck-only stub is not enough.
+//!
+//! Implementation notes:
+//!
+//! * channels are a `Mutex<VecDeque>` + `Condvar` shared by all clones;
+//!   "bounded" capacity is accepted but not enforced (every workload in
+//!   this repo treats bounded channels as small mailboxes);
+//! * `Select` is poll-based: it scans its registered receivers and
+//!   parks briefly between scans. Latency is a few hundred
+//!   microseconds, which is well inside what the tests and the chaos
+//!   timing assumptions tolerate.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    cond: Condvar,
+}
+
+/// The sending half of a channel. Clonable; the channel disconnects
+/// when every sender is dropped.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half of a channel. Clonable (MPMC); the channel
+/// disconnects for senders when every receiver is dropped.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Error returned by [`Sender::send`] when all receivers are gone;
+/// carries the unsent message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] on an empty, disconnected
+/// channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing buffered right now.
+    Empty,
+    /// Empty and all senders dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with nothing received.
+    Timeout,
+    /// Empty and all senders dropped.
+    Disconnected,
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("channel receive timed out")
+    }
+}
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+impl std::error::Error for RecvError {}
+impl std::error::Error for RecvTimeoutError {}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        cond: Condvar::new(),
+    });
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner },
+    )
+}
+
+/// Create a "bounded" channel. Capacity is accepted for API parity but
+/// not enforced; see the module docs.
+pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+    unbounded()
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().unwrap().senders += 1;
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut s = self.inner.state.lock().unwrap();
+        s.senders -= 1;
+        if s.senders == 0 {
+            self.inner.cond.notify_all();
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().unwrap().receivers += 1;
+        Receiver {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut s = self.inner.state.lock().unwrap();
+        s.receivers -= 1;
+        if s.receivers == 0 {
+            self.inner.cond.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send a message, failing if every receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut s = self.inner.state.lock().unwrap();
+        if s.receivers == 0 {
+            return Err(SendError(msg));
+        }
+        s.queue.push_back(msg);
+        self.inner.cond.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking send (never full here, so this is [`Sender::send`]).
+    pub fn try_send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.send(msg)
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives or the channel disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut s = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(v) = s.queue.pop_front() {
+                return Ok(v);
+            }
+            if s.senders == 0 {
+                return Err(RecvError);
+            }
+            s = self.inner.cond.wait(s).unwrap();
+        }
+    }
+
+    /// Pop a buffered message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut s = self.inner.state.lock().unwrap();
+        match s.queue.pop_front() {
+            Some(v) => Ok(v),
+            None if s.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Block with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.recv_deadline(Instant::now() + timeout)
+    }
+
+    /// Block until `deadline`.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+        let mut s = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(v) = s.queue.pop_front() {
+                return Ok(v);
+            }
+            if s.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, res) = self.inner.cond.wait_timeout(s, deadline - now).unwrap();
+            s = guard;
+            if res.timed_out() && s.queue.is_empty() {
+                if s.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.state.lock().unwrap().queue.is_empty()
+    }
+
+    /// Buffered message count.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().unwrap().queue.len()
+    }
+
+    /// Blocking iterator until disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { r: self }
+    }
+
+    /// Iterator over currently-buffered messages only.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { r: self }
+    }
+
+    /// Whether a `recv` would return immediately (message buffered or
+    /// channel disconnected). Used by [`Select`].
+    fn recv_ready(&self) -> bool {
+        let s = self.inner.state.lock().unwrap();
+        !s.queue.is_empty() || s.senders == 0
+    }
+}
+
+/// Blocking iterator over received messages.
+pub struct Iter<'a, T> {
+    r: &'a Receiver<T>,
+}
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.r.recv().ok()
+    }
+}
+
+/// Non-blocking iterator over buffered messages.
+pub struct TryIter<'a, T> {
+    r: &'a Receiver<T>,
+}
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.r.try_recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Owning blocking iterator.
+pub struct IntoIter<T> {
+    r: Receiver<T>,
+}
+impl<T> Iterator for IntoIter<T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.r.recv().ok()
+    }
+}
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = IntoIter<T>;
+    fn into_iter(self) -> IntoIter<T> {
+        IntoIter { r: self }
+    }
+}
+
+/// Poll-based replacement for crossbeam's `Select`, covering the
+/// receive-side API the controller event loops use.
+pub struct Select<'a> {
+    ready_fns: Vec<Box<dyn Fn() -> bool + 'a>>,
+    /// Rotates the scan start so a busy low-index channel cannot starve
+    /// the others.
+    rotor: usize,
+}
+
+/// A selected operation: the index of a ready receiver.
+pub struct SelectedOperation<'a> {
+    index: usize,
+    _m: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> Select<'a> {
+    /// An empty selector.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Select<'a> {
+        Select {
+            ready_fns: Vec::new(),
+            rotor: 0,
+        }
+    }
+
+    /// Register a receive operation; returns its index.
+    pub fn recv<T>(&mut self, r: &'a Receiver<T>) -> usize {
+        self.ready_fns.push(Box::new(move || r.recv_ready()));
+        self.ready_fns.len() - 1
+    }
+
+    /// Register a send operation; returns its index. Sends never block
+    /// here (unbounded queues), so the operation is always ready.
+    pub fn send<T>(&mut self, _s: &'a Sender<T>) -> usize {
+        self.ready_fns.push(Box::new(|| true));
+        self.ready_fns.len() - 1
+    }
+
+    /// Block until some registered operation is ready.
+    pub fn select(&mut self) -> SelectedOperation<'a> {
+        let index = self.wait_ready();
+        SelectedOperation {
+            index,
+            _m: std::marker::PhantomData,
+        }
+    }
+
+    /// Block until some registered operation is ready; returns its
+    /// index.
+    pub fn ready(&mut self) -> usize {
+        self.wait_ready()
+    }
+
+    fn wait_ready(&mut self) -> usize {
+        assert!(!self.ready_fns.is_empty(), "empty Select");
+        loop {
+            let n = self.ready_fns.len();
+            for k in 0..n {
+                let i = (self.rotor + k) % n;
+                if (self.ready_fns[i])() {
+                    self.rotor = (i + 1) % n;
+                    return i;
+                }
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+impl SelectedOperation<'_> {
+    /// The index of the ready operation.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Complete a selected receive. The caller must pass the receiver
+    /// registered at [`SelectedOperation::index`]; if another consumer
+    /// raced us to the message, this falls back to a blocking receive
+    /// (the workspace never shares a selected receiver across threads).
+    pub fn recv<T>(self, r: &Receiver<T>) -> Result<T, RecvError> {
+        match r.try_recv() {
+            Ok(v) => Ok(v),
+            Err(TryRecvError::Disconnected) => Err(RecvError),
+            Err(TryRecvError::Empty) => r.recv(),
+        }
+    }
+
+    /// Complete a selected send.
+    pub fn send<T>(self, s: &Sender<T>, msg: T) -> Result<(), SendError<T>> {
+        s.send(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_propagates_both_ways() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7)); // buffered survives disconnect
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_delivers() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx.send(9).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let (tx, rx) = unbounded();
+        let t = thread::spawn(move || {
+            for i in 0..1000 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        t.join().unwrap();
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn select_picks_ready_channel_and_disconnect() {
+        let (tx1, rx1) = unbounded::<u8>();
+        let (tx2, rx2) = unbounded::<u8>();
+        tx2.send(42).unwrap();
+        let mut sel = Select::new();
+        let _i1 = sel.recv(&rx1);
+        let i2 = sel.recv(&rx2);
+        let op = sel.select();
+        assert_eq!(op.index(), i2);
+        assert_eq!(op.recv(&rx2), Ok(42));
+        // Disconnect counts as ready and yields RecvError.
+        drop(tx1);
+        let mut sel = Select::new();
+        let j1 = sel.recv(&rx1);
+        let _j2 = sel.recv(&rx2);
+        let op = sel.select();
+        assert_eq!(op.index(), j1);
+        assert_eq!(op.recv(&rx1), Err(RecvError));
+        drop(tx2);
+    }
+
+    #[test]
+    fn iterators_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+        tx.send(3).unwrap();
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![3]);
+    }
+}

@@ -1,0 +1,374 @@
+//! Strategies: composable random-value generators.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use crate::test_runner::TestRng;
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> MapFn<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        MapFn { inner: self, f }
+    }
+
+    /// Chain a value-dependent strategy.
+    fn prop_flat_map<U, F, S2>(self, f: F) -> FlatMapFn<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy<Value = U>,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMapFn { inner: self, f }
+    }
+
+    /// Filter generated values (rejected values are regenerated, up to a
+    /// cap, then the last one is returned regardless — callers pair this
+    /// with `prop_assume!` when the predicate must hold).
+    fn prop_filter<F>(self, _whence: &'static str, f: F) -> FilterFn<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        FilterFn { inner: self, f }
+    }
+
+    /// Type-erase into a cloneable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
+    }
+}
+
+/// Object-safe mirror of [`Strategy`] used by [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn DynStrategy<Value = T>>,
+}
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.dyn_generate(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Clone)]
+pub struct MapFn<S, F> {
+    inner: S,
+    f: F,
+}
+impl<S, F, U> Strategy for MapFn<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// [`Strategy::prop_flat_map`] adapter.
+#[derive(Clone)]
+pub struct FlatMapFn<S, F> {
+    inner: S,
+    f: F,
+}
+impl<S, F, S2> Strategy for FlatMapFn<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// [`Strategy::prop_filter`] adapter.
+#[derive(Clone)]
+pub struct FilterFn<S, F> {
+    inner: S,
+    f: F,
+}
+impl<S, F> Strategy for FilterFn<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..64 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        self.inner.generate(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+impl<T> Union<T> {
+    /// Build from a non-empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+// -------------------------------------------------------------- ranges
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let off = rng.below128(span);
+                ((self.start as i128) + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                let off = rng.below128(span);
+                ((lo as i128) + off as i128) as $t
+            }
+        }
+    )*}
+}
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<i128> {
+    type Value = i128;
+    fn generate(&self, rng: &mut TestRng) -> i128 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end.wrapping_sub(self.start) as u128;
+        self.start + rng.below128(span) as i128
+    }
+}
+impl Strategy for RangeInclusive<i128> {
+    type Value = i128;
+    fn generate(&self, rng: &mut TestRng) -> i128 {
+        let (lo, hi) = (*self.start(), *self.end());
+        let span = hi.wrapping_sub(lo) as u128;
+        if span == u128::MAX {
+            return rng.next_u128() as i128;
+        }
+        lo + rng.below128(span + 1) as i128
+    }
+}
+impl Strategy for Range<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below128(self.end - self.start)
+    }
+}
+impl Strategy for RangeInclusive<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        let (lo, hi) = (*self.start(), *self.end());
+        let span = hi - lo;
+        if span == u128::MAX {
+            return rng.next_u128();
+        }
+        lo + rng.below128(span + 1)
+    }
+}
+
+// -------------------------------------------------------------- tuples
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// ----------------------------------------------------------- arbitrary
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generate a uniformly random value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for an [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u128() as $t
+            }
+        }
+    )*}
+}
+arbitrary_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+// -------------------------------------------------------------- string
+
+/// `&str` strategies are interpreted as a small regex subset: `X{a,b}`
+/// repetition where `X` is `.` (printable ASCII) or a `[c-d]` class; a
+/// pattern without metacharacters is a literal. Anything else falls back
+/// to printable ASCII of length 0..=16.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (class, lo, hi) = match parse_simple_pattern(self) {
+            Some(parsed) => parsed,
+            None if !self.contains(['.', '{', '[', '*', '+', '?', '\\']) => {
+                return (*self).to_string();
+            }
+            None => (CharClass::Printable, 0, 16),
+        };
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len).map(|_| class.pick(rng)).collect()
+    }
+}
+
+#[derive(Clone, Copy)]
+enum CharClass {
+    Printable,
+    Range(char, char),
+}
+impl CharClass {
+    fn pick(self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::Printable => (0x20 + rng.below(0x5f) as u8) as char,
+            CharClass::Range(a, b) => {
+                char::from_u32(a as u32 + rng.below((b as u32 - a as u32 + 1) as u64) as u32)
+                    .unwrap_or(a)
+            }
+        }
+    }
+}
+
+fn parse_simple_pattern(p: &str) -> Option<(CharClass, usize, usize)> {
+    let (class, rest) = if let Some(rest) = p.strip_prefix('.') {
+        (CharClass::Printable, rest)
+    } else if p.starts_with('[') {
+        let end = p.find(']')?;
+        let inner: Vec<char> = p[1..end].chars().collect();
+        if inner.len() == 3 && inner[1] == '-' {
+            (CharClass::Range(inner[0], inner[2]), &p[end + 1..])
+        } else {
+            return None;
+        }
+    } else {
+        return None;
+    };
+    let rest = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (a, b) = rest.split_once(',')?;
+    Some((class, a.trim().parse().ok()?, b.trim().parse().ok()?))
+}

@@ -1,0 +1,304 @@
+//! The case runner: deterministic seed schedule, regression-corpus
+//! replay and persistence, reject accounting, and failure reporting.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+// ------------------------------------------------------------------ rng
+
+/// A small, fast, deterministic RNG (splitmix64 core).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded construction; the whole case derives from this one seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 128 random bits.
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.below128(bound as u128) as u64
+    }
+
+    /// Uniform value in `[0, bound)` for 128-bit bounds (debiased by
+    /// rejection).
+    pub fn below128(&mut self, bound: u128) -> u128 {
+        assert!(bound > 0, "below(0)");
+        if bound.is_power_of_two() {
+            return self.next_u128() & (bound - 1);
+        }
+        let zone = u128::MAX - (u128::MAX % bound);
+        loop {
+            let v = self.next_u128();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- config
+
+/// Runner configuration (mirror of `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Give up if this many `prop_assume!` rejections accumulate.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------- error
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// Assertion failure: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejection: the case does not count.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+    /// A rejection with a reason.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+// --------------------------------------------------------------- runner
+
+/// FNV-1a, used to derive the per-test base seed from its name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn case_seed(base: u64, idx: u64) -> u64 {
+    // splitmix the pair so consecutive cases are uncorrelated.
+    let mut z = base ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+fn corpus_path(tests_dir: &str, source_file: &str) -> std::path::PathBuf {
+    let base = std::path::Path::new(source_file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("unknown");
+    std::path::Path::new(tests_dir).join(format!("{base}.proptest-regressions"))
+}
+
+fn load_corpus(path: &std::path::Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let hex = rest.split_whitespace().next()?;
+            u64::from_str_radix(hex.get(0..16)?, 16).ok()
+        })
+        .collect()
+}
+
+fn persist_seed(path: &std::path::Path, seed: u64, test_name: &str, desc: &str) {
+    if load_corpus(path).contains(&seed) {
+        return;
+    }
+    let fresh = !path.exists();
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    if fresh {
+        let _ = writeln!(
+            f,
+            "# Seeds for failure cases proptest has generated in the past. It is\n\
+             # automatically read and these particular cases re-run before any\n\
+             # novel cases are generated.\n\
+             #\n\
+             # It is recommended to check this file in to source control so that\n\
+             # everyone who runs the test benefits from these saved cases."
+        );
+    }
+    let mut short: String = desc.chars().take(160).collect();
+    short.retain(|c| c != '\n' && c != '\r');
+    let _ = writeln!(f, "cc {seed:016x}{:048x} # {test_name}: {short}", 0);
+}
+
+/// Execute one property test: replay the persisted corpus, then run
+/// `cfg.cases` fresh cases from the deterministic schedule.
+pub fn run(
+    tests_dir: &str,
+    source_file: &str,
+    test_name: &str,
+    cfg: &ProptestConfig,
+    desc: &Rc<RefCell<String>>,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let path = corpus_path(tests_dir, source_file);
+    let base = match std::env::var("PROPTEST_RNG_SEED") {
+        Ok(s) => s.parse::<u64>().unwrap_or_else(|_| fnv1a(&s)),
+        Err(_) => fnv1a(test_name),
+    };
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(cfg.cases);
+
+    let fail = |seed: u64, origin: &str, msg: String, desc: &str, persist: bool| -> ! {
+        if persist {
+            persist_seed(&path, seed, test_name, desc);
+        }
+        panic!(
+            "proptest case failed ({origin}, seed {seed:#018x}): {msg}\n\
+             minimal-known input: {desc}\n\
+             replay: PROPTEST_RNG_SEED={seed} PROPTEST_CASES=1 (corpus: {})",
+            path.display()
+        );
+    };
+
+    // 1. Persisted regressions first.
+    for seed in load_corpus(&path) {
+        let mut rng = TestRng::new(seed);
+        match catch_unwind(AssertUnwindSafe(|| case(&mut rng))) {
+            Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => {}
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                let d = desc.borrow().clone();
+                fail(seed, "persisted regression", msg, &d, false)
+            }
+            Err(p) => {
+                let d = desc.borrow().clone();
+                fail(seed, "persisted regression", panic_msg(p), &d, false)
+            }
+        }
+    }
+
+    // 2. Fresh cases.
+    let mut rejects: u32 = 0;
+    let mut idx: u64 = 0;
+    let mut passed: u32 = 0;
+    while passed < cases {
+        let seed = case_seed(base, idx);
+        idx += 1;
+        let mut rng = TestRng::new(seed);
+        match catch_unwind(AssertUnwindSafe(|| case(&mut rng))) {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejects += 1;
+                if rejects > cfg.max_global_rejects {
+                    panic!("proptest: too many prop_assume! rejections ({rejects}) in {test_name}");
+                }
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                let d = desc.borrow().clone();
+                fail(seed, "new case", msg, &d, true)
+            }
+            Err(p) => {
+                let d = desc.borrow().clone();
+                fail(seed, "new case", panic_msg(p), &d, true)
+            }
+        }
+    }
+}
+
+fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_below_is_in_range() {
+        let mut rng = TestRng::new(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..100 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::new(42);
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::new(42);
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corpus_roundtrip() {
+        let dir = std::env::temp_dir().join("proptest-vendor-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("sample.proptest-regressions");
+        let _ = std::fs::remove_file(&path);
+        persist_seed(&path, 0xDEAD_BEEF, "t", "x = 3;");
+        persist_seed(&path, 0xDEAD_BEEF, "t", "x = 3;"); // dedup
+        persist_seed(&path, 0x1234, "t", "y = 9;");
+        assert_eq!(load_corpus(&path), vec![0xDEAD_BEEF, 0x1234]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,790 @@
+//! A self-contained JSON library exposing the subset of the `serde_json`
+//! API this workspace uses. Vendored so the workspace builds and *runs*
+//! offline: the wire protocols (OVSDB JSON-RPC, the P4Runtime-style
+//! control protocol) and the `json!`-driven tests need a real parser and
+//! serializer, not a typecheck stub.
+//!
+//! Differences from upstream `serde_json`:
+//! - no serde data model: instead of `Serialize`/`Deserialize`, the
+//!   entry points are generic over the local [`ToJson`] / [`FromJson`]
+//!   traits (implemented by `Value` itself and by workspace wire types);
+//! - `Map` is ordered (BTreeMap) so serialization is deterministic.
+
+mod parse;
+mod ser;
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use parse::from_str_value;
+
+// ---------------------------------------------------------------- error
+
+/// A JSON error (parse or convert).
+pub struct Error(pub(crate) String);
+
+impl Error {
+    /// Construct an error from any message.
+    pub fn msg(m: impl fmt::Display) -> Error {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({})", self.0)
+    }
+}
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+impl std::error::Error for Error {}
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.0)
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+// --------------------------------------------------------------- number
+
+#[derive(Clone, Copy, Debug)]
+enum N {
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+}
+
+/// A JSON number. Integers are kept exact; floats are `f64`.
+#[derive(Clone, Copy, Debug)]
+pub struct Number(N);
+
+impl Number {
+    /// The value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::Int(i) => Some(i),
+            N::UInt(u) => i64::try_from(u).ok(),
+            N::Float(f) => (f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64)
+                .then_some(f as i64),
+        }
+    }
+    /// The value as `u64` if it is a non-negative integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::Int(i) => u64::try_from(i).ok(),
+            N::UInt(u) => Some(u),
+            N::Float(f) => {
+                (f.fract() == 0.0 && f >= 0.0 && f <= u64::MAX as f64).then_some(f as u64)
+            }
+        }
+    }
+    /// The value as `f64` (always available, possibly lossy).
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match self.0 {
+            N::Int(i) => i as f64,
+            N::UInt(u) => u as f64,
+            N::Float(f) => f,
+        })
+    }
+    /// True if representable as `i64`.
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+    /// True if representable as `u64`.
+    pub fn is_u64(&self) -> bool {
+        self.as_u64().is_some()
+    }
+    /// True if stored as a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, N::Float(_))
+    }
+    /// An exact float wrapper (mirrors `serde_json::Number::from_f64`).
+    pub fn from_f64(f: f64) -> Option<Number> {
+        f.is_finite().then_some(Number(N::Float(f)))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        match (self.0, other.0) {
+            (N::Int(a), N::Int(b)) => a == b,
+            (N::UInt(a), N::UInt(b)) => a == b,
+            (N::Int(a), N::UInt(b)) | (N::UInt(b), N::Int(a)) => a >= 0 && a as u64 == b,
+            // Mixed int/float: compare numerically (both sides exact in f64
+            // for every value this workspace produces).
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::Int(i) => write!(f, "{i}"),
+            N::UInt(u) => write!(f, "{u}"),
+            N::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+macro_rules! number_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(v: $t) -> Number { Number(N::Int(v as i64)) }
+        }
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::from(v)) }
+        }
+    )*}
+}
+macro_rules! number_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(v: $t) -> Number {
+                match i64::try_from(v) {
+                    Ok(i) => Number(N::Int(i)),
+                    Err(_) => Number(N::UInt(v as u64)),
+                }
+            }
+        }
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::from(v)) }
+        }
+    )*}
+}
+number_from_signed!(i8, i16, i32, i64, isize);
+number_from_unsigned!(u8, u16, u32, u64, usize);
+
+impl From<f32> for Number {
+    fn from(v: f32) -> Number {
+        Number(N::Float(v as f64))
+    }
+}
+impl From<f64> for Number {
+    fn from(v: f64) -> Number {
+        Number(N::Float(v))
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::from(v))
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::from(v))
+    }
+}
+
+// ------------------------------------------------------------------ map
+
+/// An ordered `String -> Value` map (deterministic iteration and
+/// serialization order).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map<K, V> {
+    inner: BTreeMap<K, V>,
+}
+
+impl Map<String, Value> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Map {
+            inner: BTreeMap::new(),
+        }
+    }
+    /// Capacity is ignored (ordered map); provided for API parity.
+    pub fn with_capacity(_cap: usize) -> Self {
+        Self::new()
+    }
+    /// Insert, returning the previous value.
+    pub fn insert(&mut self, k: String, v: Value) -> Option<Value> {
+        self.inner.insert(k, v)
+    }
+    /// Remove by key.
+    pub fn remove(&mut self, k: &str) -> Option<Value> {
+        self.inner.remove(k)
+    }
+    /// Borrow by key.
+    pub fn get(&self, k: &str) -> Option<&Value> {
+        self.inner.get(k)
+    }
+    /// Mutably borrow by key.
+    pub fn get_mut(&mut self, k: &str) -> Option<&mut Value> {
+        self.inner.get_mut(k)
+    }
+    /// Key presence.
+    pub fn contains_key(&self, k: &str) -> bool {
+        self.inner.contains_key(k)
+    }
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+    /// True if no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.inner.clear()
+    }
+    /// Iterate keys.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.inner.keys()
+    }
+    /// Iterate values.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.inner.values()
+    }
+    /// Iterate values mutably.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut Value> {
+        self.inner.values_mut()
+    }
+    /// Iterate entries.
+    pub fn iter(&self) -> std::collections::btree_map::Iter<'_, String, Value> {
+        self.inner.iter()
+    }
+    /// Iterate entries mutably.
+    pub fn iter_mut(&mut self) -> std::collections::btree_map::IterMut<'_, String, Value> {
+        self.inner.iter_mut()
+    }
+    /// Entry API.
+    pub fn entry(&mut self, k: String) -> std::collections::btree_map::Entry<'_, String, Value> {
+        self.inner.entry(k)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        Map {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+impl Extend<(String, Value)> for Map<String, Value> {
+    fn extend<I: IntoIterator<Item = (String, Value)>>(&mut self, iter: I) {
+        self.inner.extend(iter)
+    }
+}
+impl IntoIterator for Map<String, Value> {
+    type Item = (String, Value);
+    type IntoIter = std::collections::btree_map::IntoIter<String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+impl<'a> IntoIterator for &'a Map<String, Value> {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::collections::btree_map::Iter<'a, String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+impl std::ops::Index<&str> for Map<String, Value> {
+    type Output = Value;
+    fn index(&self, k: &str) -> &Value {
+        self.inner.get(k).unwrap_or(&NULL)
+    }
+}
+
+// ---------------------------------------------------------------- value
+
+static NULL: Value = Value::Null;
+
+/// A JSON value.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// Borrow as `&str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    /// Borrow as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    /// As `i64` if an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+    /// As `u64` if an in-range non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+    /// As `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+    /// Borrow as array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    /// Mutably borrow as array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    /// Borrow as object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+    /// Mutably borrow as object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+    /// Variant tests.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+    /// True for `Bool`.
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+    /// True for `Number`.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+    /// True for `String`.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+    /// True for `Array`.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+    /// True for `Object`.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Index by `usize` (arrays) or `&str` (objects).
+    pub fn get<I: index::Index>(&self, index: I) -> Option<&Value> {
+        index.index_into(self)
+    }
+    /// Mutable variant of [`Value::get`].
+    pub fn get_mut<I: index::Index>(&mut self, index: I) -> Option<&mut Value> {
+        index.index_into_mut(self)
+    }
+    /// Replace with `Null`, returning the old value.
+    pub fn take(&mut self) -> Value {
+        std::mem::replace(self, Value::Null)
+    }
+    /// JSON Pointer (RFC 6901) lookup.
+    pub fn pointer(&self, pointer: &str) -> Option<&Value> {
+        if pointer.is_empty() {
+            return Some(self);
+        }
+        if !pointer.starts_with('/') {
+            return None;
+        }
+        pointer
+            .split('/')
+            .skip(1)
+            .map(|t| t.replace("~1", "/").replace("~0", "~"))
+            .try_fold(self, |v, token| match v {
+                Value::Object(m) => m.get(&token),
+                Value::Array(a) => token.parse::<usize>().ok().and_then(|i| a.get(i)),
+                _ => None,
+            })
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<Number> for Value {
+    fn from(v: Number) -> Value {
+        Value::Number(v)
+    }
+}
+impl From<Map<String, Value>> for Value {
+    fn from(v: Map<String, Value>) -> Value {
+        Value::Object(v)
+    }
+}
+impl<T> From<Vec<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Value::from).collect())
+    }
+}
+impl<T> From<&[T]> for Value
+where
+    T: Clone,
+    Value: From<T>,
+{
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Value::from).collect())
+    }
+}
+impl<T> From<Option<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(x) => Value::from(x),
+            None => Value::Null,
+        }
+    }
+}
+/// Blanket reference conversion: `json!` interpolates expressions by
+/// reference (upstream `json!` semantics — interpolation must not move),
+/// so every owned conversion gets a borrowing counterpart.
+impl<'a, T: Clone> From<&'a T> for Value
+where
+    Value: From<T>,
+{
+    fn from(v: &'a T) -> Value {
+        Value::from(v.clone())
+    }
+}
+impl<T> FromIterator<T> for Value
+where
+    Value: From<T>,
+{
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Value {
+        Value::Array(iter.into_iter().map(Value::from).collect())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&ser::to_compact_string(self))
+    }
+}
+
+/// Index helpers (mirror of `serde_json::value::Index`).
+pub mod index {
+    use super::Value;
+
+    /// Types usable as `Value` indices.
+    pub trait Index {
+        /// Shared lookup.
+        fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value>;
+        /// Mutable lookup.
+        fn index_into_mut<'v>(&self, v: &'v mut Value) -> Option<&'v mut Value>;
+    }
+    impl Index for usize {
+        fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+            v.as_array().and_then(|a| a.get(*self))
+        }
+        fn index_into_mut<'v>(&self, v: &'v mut Value) -> Option<&'v mut Value> {
+            v.as_array_mut().and_then(|a| a.get_mut(*self))
+        }
+    }
+    impl Index for str {
+        fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+            v.as_object().and_then(|m| m.get(self))
+        }
+        fn index_into_mut<'v>(&self, v: &'v mut Value) -> Option<&'v mut Value> {
+            v.as_object_mut().and_then(|m| m.get_mut(self))
+        }
+    }
+    impl Index for String {
+        fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+            self.as_str().index_into(v)
+        }
+        fn index_into_mut<'v>(&self, v: &'v mut Value) -> Option<&'v mut Value> {
+            self.as_str().index_into_mut(v)
+        }
+    }
+    impl<T: Index + ?Sized> Index for &T {
+        fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+            (**self).index_into(v)
+        }
+        fn index_into_mut<'v>(&self, v: &'v mut Value) -> Option<&'v mut Value> {
+            (**self).index_into_mut(v)
+        }
+    }
+}
+
+impl<I: index::Index> std::ops::Index<I> for Value {
+    type Output = Value;
+    fn index(&self, index: I) -> &Value {
+        index.index_into(self).unwrap_or(&NULL)
+    }
+}
+impl<I: index::Index> std::ops::IndexMut<I> for Value {
+    fn index_mut(&mut self, index: I) -> &mut Value {
+        index
+            .index_into_mut(self)
+            .expect("cannot index into this Value")
+    }
+}
+
+// ------------------------------------------------------ codec traits
+
+/// Conversion into a JSON tree — the serialization half of the local
+/// stand-in for serde's data model. `to_string`/`to_vec` accept any
+/// `ToJson` type.
+pub trait ToJson {
+    /// The JSON representation.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Conversion out of a JSON tree — the deserialization half.
+pub trait FromJson: Sized {
+    /// Parse from a JSON value.
+    fn from_json_value(v: &Value) -> Result<Self>;
+}
+
+impl ToJson for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+impl FromJson for Value {
+    fn from_json_value(v: &Value) -> Result<Value> {
+        Ok(v.clone())
+    }
+}
+
+// --------------------------------------------------------- entry points
+
+/// Parse JSON text into any [`FromJson`] type.
+pub fn from_str<T: FromJson>(s: &str) -> Result<T> {
+    T::from_json_value(&parse::from_str_value(s)?)
+}
+/// Parse JSON bytes into any [`FromJson`] type.
+pub fn from_slice<T: FromJson>(v: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(v).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+/// Convert a JSON tree into a typed value.
+pub fn from_value<T: FromJson>(v: Value) -> Result<T> {
+    T::from_json_value(&v)
+}
+/// Serialize compactly.
+pub fn to_string<T: ?Sized + ToJson>(value: &T) -> Result<String> {
+    Ok(ser::to_compact_string(&value.to_json_value()))
+}
+/// Serialize with two-space indentation.
+pub fn to_string_pretty<T: ?Sized + ToJson>(value: &T) -> Result<String> {
+    Ok(ser::to_pretty_string(&value.to_json_value()))
+}
+/// Serialize compactly to bytes.
+pub fn to_vec<T: ?Sized + ToJson>(value: &T) -> Result<Vec<u8>> {
+    Ok(ser::to_compact_string(&value.to_json_value()).into_bytes())
+}
+/// Convert a typed value into a JSON tree.
+pub fn to_value<T: ToJson>(value: T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+// ----------------------------------------------------------- json! macro
+
+/// Construct a [`Value`] from a JSON literal with interpolated Rust
+/// expressions (same surface as `serde_json::json!`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::Value::Array($crate::json_internal_array!([] $($tt)*)) };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut object = $crate::Map::new();
+        $crate::json_internal_object!(object () ($($tt)*));
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::Value::from(&$other) };
+}
+
+/// Internal: array element muncher for [`json!`]. Accumulates parsed
+/// elements in the leading `[...]` group.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_array {
+    ([$($elems:expr),*]) => { vec![$($elems),*] };
+    ([$($elems:expr),*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([$($elems,)* $crate::json!(null)] $($($rest)*)?)
+    };
+    ([$($elems:expr),*] true $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([$($elems,)* $crate::json!(true)] $($($rest)*)?)
+    };
+    ([$($elems:expr),*] false $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([$($elems,)* $crate::json!(false)] $($($rest)*)?)
+    };
+    ([$($elems:expr),*] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([$($elems,)* $crate::json!([ $($inner)* ])] $($($rest)*)?)
+    };
+    ([$($elems:expr),*] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([$($elems,)* $crate::json!({ $($inner)* })] $($($rest)*)?)
+    };
+    ([$($elems:expr),*] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([$($elems,)* $crate::Value::from(&$next)] $($($rest)*)?)
+    };
+}
+
+/// Internal: object entry muncher for [`json!`]. The second group
+/// accumulates key tokens until the `:` is found.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_object {
+    // Done.
+    ($object:ident () ()) => {};
+    // Trailing comma.
+    ($object:ident () (,)) => {};
+    // key tokens complete: value is null/true/false/array/object/expr.
+    ($object:ident ($($key:tt)+) (: null $(, $($rest:tt)*)?)) => {
+        $object.insert(($($key)+).into(), $crate::json!(null));
+        $crate::json_internal_object!($object () ($($($rest)*)?));
+    };
+    ($object:ident ($($key:tt)+) (: true $(, $($rest:tt)*)?)) => {
+        $object.insert(($($key)+).into(), $crate::json!(true));
+        $crate::json_internal_object!($object () ($($($rest)*)?));
+    };
+    ($object:ident ($($key:tt)+) (: false $(, $($rest:tt)*)?)) => {
+        $object.insert(($($key)+).into(), $crate::json!(false));
+        $crate::json_internal_object!($object () ($($($rest)*)?));
+    };
+    ($object:ident ($($key:tt)+) (: [ $($inner:tt)* ] $(, $($rest:tt)*)?)) => {
+        $object.insert(($($key)+).into(), $crate::json!([ $($inner)* ]));
+        $crate::json_internal_object!($object () ($($($rest)*)?));
+    };
+    ($object:ident ($($key:tt)+) (: { $($inner:tt)* } $(, $($rest:tt)*)?)) => {
+        $object.insert(($($key)+).into(), $crate::json!({ $($inner)* }));
+        $crate::json_internal_object!($object () ($($($rest)*)?));
+    };
+    ($object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*)) => {
+        $object.insert(($($key)+).into(), $crate::Value::from(&$value));
+        $crate::json_internal_object!($object () ($($rest)*));
+    };
+    ($object:ident ($($key:tt)+) (: $value:expr)) => {
+        $object.insert(($($key)+).into(), $crate::Value::from(&$value));
+    };
+    // Accumulate one key token and continue.
+    ($object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*)) => {
+        $crate::json_internal_object!($object ($($key)* $tt) ($($rest)*));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_real_values() {
+        let vs = vec![11u16, 12];
+        let name = String::from("p1");
+        let v = json!([
+            {"op": "insert", "table": "Port",
+             "row": {"id": 3, "name": name, "up": true, "trunks": ["set", vs]}},
+            null,
+            [1, 2.5, -4],
+        ]);
+        assert_eq!(v[0]["op"], Value::from("insert"));
+        assert_eq!(v[0]["row"]["id"].as_i64(), Some(3));
+        assert_eq!(v[0]["row"]["trunks"][0].as_str(), Some("set"));
+        assert_eq!(v[0]["row"]["trunks"][1][1].as_u64(), Some(12));
+        assert!(v[1].is_null());
+        assert_eq!(v[2][1].as_f64(), Some(2.5));
+        assert_eq!(v[2][2].as_i64(), Some(-4));
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let v = json!({"a": [1, "two", {"three": false}], "b": null, "c": "\"\\\n\u{1F600}"});
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn parses_standard_forms() {
+        let v: Value = from_str(r#"{"x": [0, -1.5e3, "aéb", {}, []], "y": true}"#).unwrap();
+        assert_eq!(v["x"][1].as_f64(), Some(-1500.0));
+        assert_eq!(v["x"][2].as_str(), Some("aéb"));
+        assert!(from_str::<Value>("{bad").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+    }
+
+    #[test]
+    fn number_fidelity() {
+        let v: Value = from_str("[9223372036854775807, 18446744073709551615]").unwrap();
+        assert_eq!(v[0].as_i64(), Some(i64::MAX));
+        assert_eq!(v[1].as_u64(), Some(u64::MAX));
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[9223372036854775807,18446744073709551615]");
+    }
+
+    #[test]
+    fn pointer_lookup() {
+        let v = json!({"a": {"b": [10, 20]}});
+        assert_eq!(v.pointer("/a/b/1").and_then(Value::as_i64), Some(20));
+        assert_eq!(v.pointer("/a/x"), None);
+    }
+}

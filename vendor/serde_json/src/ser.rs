@@ -1,0 +1,112 @@
+//! JSON serialization: compact and pretty writers with RFC 8259 string
+//! escaping.
+
+use crate::Value;
+use std::fmt::Write;
+
+/// Serialize compactly (no whitespace).
+pub fn to_compact_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v);
+    out
+}
+
+/// Serialize with two-space indentation.
+pub fn to_pretty_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_pretty(&mut out, v, 0);
+    out
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(a) => {
+            out.push('[');
+            for (i, e) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, e);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, e)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, e);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    match v {
+        Value::Array(a) if !a.is_empty() => {
+            out.push_str("[\n");
+            for (i, e) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty(out, e, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, e)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_string(out, k);
+                out.push_str(": ");
+                write_pretty(out, e, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_value(out, other),
+    }
+}
+
+fn push_indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
