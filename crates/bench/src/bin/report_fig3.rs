@@ -37,4 +37,5 @@ fn main() {
          with features; the unified rule count stays small and is independent of \
          network size."
     );
+    bench::dump_metrics_snapshot();
 }

@@ -103,4 +103,5 @@ fn main() {
         "\nshape check: incrementality wins by a widening margin as the network grows \
          (the paper's production numbers were 3x latency / 20x CPU at eBay's scale)."
     );
+    bench::dump_metrics_snapshot();
 }

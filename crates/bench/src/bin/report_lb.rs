@@ -48,4 +48,5 @@ fn main() {
         "\nshape check: the automatic engine loses this worst case on both CPU and \
          RAM (paper: 2x / 5x) — the price of its generic indexes."
     );
+    bench::dump_metrics_snapshot();
 }

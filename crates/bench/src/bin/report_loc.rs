@@ -74,4 +74,5 @@ fn main() {
         rules,
         handwritten
     );
+    bench::dump_metrics_snapshot();
 }

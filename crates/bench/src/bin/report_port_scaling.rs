@@ -94,4 +94,5 @@ fn main() {
         "\nshape check: the incremental controller's last/first ratio stays near the \
          paper's 1.38x; the full-recompute baseline grows with network size."
     );
+    bench::dump_metrics_snapshot();
 }

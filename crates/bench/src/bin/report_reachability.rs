@@ -68,4 +68,5 @@ fn main() {
          full recomputation grows with graph size (the paper's core scalability \
          argument)."
     );
+    bench::dump_metrics_snapshot();
 }

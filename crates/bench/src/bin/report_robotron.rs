@@ -61,4 +61,5 @@ fn main() {
         "\nshape check: per-change incremental cost is independent of model size; a \
          full regeneration per change would scale with the fleet."
     );
+    bench::dump_metrics_snapshot();
 }

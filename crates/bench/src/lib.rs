@@ -124,6 +124,22 @@ pub fn robotron_daily_churn(engine: &mut ddlog::Engine, scale: RobotronScale, da
     changed
 }
 
+/// Dump the process-wide telemetry registry when `NERPA_METRICS` is set
+/// (`json` for JSON, anything else for Prometheus text). Every report
+/// binary calls this last, so an experiment run can attach the raw
+/// counters and histograms behind its table.
+pub fn dump_metrics_snapshot() {
+    let Ok(mode) = std::env::var("NERPA_METRICS") else {
+        return;
+    };
+    let registry = &telemetry::global().registry;
+    if mode == "json" {
+        println!("\n{}", registry.render_json());
+    } else {
+        print!("\n{}", registry.render_text());
+    }
+}
+
 /// Format a duration in milliseconds with 3 decimals.
 pub fn ms(d: std::time::Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e3)

@@ -14,6 +14,7 @@ use ovsdb::db::RowChange;
 use p4sim::runtime::{Digest, TableEntry, Update, WriteOp};
 use p4sim::service::SwitchDevice;
 use serde_json::Value as Json;
+use telemetry::{Span, SpanTree};
 
 use crate::codegen::{
     assemble_program, ovsdb2ddlog, p4info2ddlog, CodegenOptions, DigestBinding, Generated,
@@ -28,6 +29,14 @@ pub trait DataPlane: Send {
     /// Apply updates atomically.
     fn write_updates(&self, updates: &[Update]) -> Result<(), String>;
 
+    /// Apply updates atomically, carrying the causal trace id that
+    /// produced them. Data planes that cannot attribute writes fall back
+    /// to [`DataPlane::write_updates`].
+    fn write_updates_traced(&self, updates: &[Update], trace: u64) -> Result<(), String> {
+        let _ = trace;
+        self.write_updates(updates)
+    }
+
     /// Configure a multicast group (empty ports = remove).
     fn set_mcast_group(&self, group: u16, ports: Vec<u16>) -> Result<(), String>;
 
@@ -41,6 +50,10 @@ pub trait DataPlane: Send {
 impl DataPlane for SwitchDevice {
     fn write_updates(&self, updates: &[Update]) -> Result<(), String> {
         self.write(updates)
+    }
+
+    fn write_updates_traced(&self, updates: &[Update], trace: u64) -> Result<(), String> {
+        self.write_traced(updates, Some(trace))
     }
 
     fn set_mcast_group(&self, group: u16, ports: Vec<u16>) -> Result<(), String> {
@@ -58,6 +71,10 @@ impl DataPlane for p4sim::service::ControlClient {
         self.write(updates.to_vec())
     }
 
+    fn write_updates_traced(&self, updates: &[Update], trace: u64) -> Result<(), String> {
+        self.write_traced(updates.to_vec(), Some(trace))
+    }
+
     fn set_mcast_group(&self, group: u16, ports: Vec<u16>) -> Result<(), String> {
         p4sim::service::ControlClient::set_mcast_group(self, group, ports)
     }
@@ -67,118 +84,135 @@ impl DataPlane for p4sim::service::ControlClient {
     }
 }
 
-/// A fixed-bucket latency histogram: bounded memory no matter how long
-/// the controller runs, unlike the per-event `Vec<Duration>` it replaced.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    buckets: [u64; LatencyHistogram::BOUNDS_US.len() + 1],
-    count: u64,
-    sum: Duration,
-    first: Option<Duration>,
-    last: Option<Duration>,
-    max: Option<Duration>,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> LatencyHistogram {
-        LatencyHistogram {
-            buckets: [0; LatencyHistogram::BOUNDS_US.len() + 1],
-            count: 0,
-            sum: Duration::ZERO,
-            first: None,
-            last: None,
-            max: None,
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Inclusive bucket upper bounds, in microseconds. A final implicit
-    /// overflow bucket catches everything slower.
-    pub const BOUNDS_US: [u64; 12] = [
-        50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
-    ];
-
-    /// Record one observation.
-    pub fn record(&mut self, d: Duration) {
-        let us = d.as_micros() as u64;
-        let idx = Self::BOUNDS_US
-            .iter()
-            .position(|b| us <= *b)
-            .unwrap_or(Self::BOUNDS_US.len());
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum += d;
-        if self.first.is_none() {
-            self.first = Some(d);
-        }
-        self.last = Some(d);
-        self.max = self.max.max(Some(d));
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Sum of all observations.
-    pub fn sum(&self) -> Duration {
-        self.sum
-    }
-
-    /// Mean latency, if anything was recorded.
-    pub fn mean(&self) -> Option<Duration> {
-        (self.count > 0).then(|| self.sum / self.count as u32)
-    }
-
-    /// First observation.
-    pub fn first(&self) -> Option<Duration> {
-        self.first
-    }
-
-    /// Most recent observation.
-    pub fn last(&self) -> Option<Duration> {
-        self.last
-    }
-
-    /// Largest observation.
-    pub fn max(&self) -> Option<Duration> {
-        self.max
-    }
-
-    /// Per-bucket counts; index `i` covers `(BOUNDS_US[i-1], BOUNDS_US[i]]`
-    /// microseconds, with a trailing overflow bucket.
-    pub fn bucket_counts(&self) -> &[u64] {
-        &self.buckets
-    }
-}
-
 /// Latency and work metrics, the measurement surface for the paper's
 /// §4.3 experiment.
-#[derive(Debug, Clone, Default)]
+///
+/// The fields are shared handles into the process-wide
+/// [`telemetry::Registry`]: recording is a lock-free atomic op, memory
+/// is bounded no matter how long the controller runs, and the same
+/// series appear on the live introspection endpoint's `/metrics`. Each
+/// controller instance gets fresh handles (so tests read exactly their
+/// own controller's counts) and publishes them under the `controller_*`
+/// names — the endpoint always shows the live instance.
+#[derive(Clone)]
 pub struct Metrics {
     /// End-to-end latencies of handled events (change observed →
-    /// data-plane write acknowledged), as a bounded histogram.
-    pub latency: LatencyHistogram,
+    /// data-plane write acknowledged), in microseconds.
+    pub latency: telemetry::Histogram,
     /// Number of engine transactions committed.
-    pub transactions: u64,
+    pub transactions: telemetry::Counter,
     /// Number of table-entry updates pushed to switches.
-    pub entries_pushed: u64,
+    pub entries_pushed: telemetry::Counter,
     /// Snapshot resyncs performed (one per successful OVSDB reconnect).
-    pub resyncs: u64,
+    pub resyncs: telemetry::Counter,
     /// Switch reconciliations performed after data-plane restarts.
-    pub reconciles: u64,
+    pub reconciles: telemetry::Counter,
+    /// Digest batches handled (the feedback loop of Fig. 4).
+    pub digest_batches: telemetry::Counter,
+    /// Digest handling latency (batch received → write acked), in
+    /// microseconds — the controller's digest lag.
+    pub digest_lag_us: telemetry::Histogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
 }
 
 impl Metrics {
+    /// Fresh handles, published into the global registry.
+    pub fn new() -> Metrics {
+        let m = Metrics {
+            latency: telemetry::Histogram::new(&telemetry::LATENCY_BOUNDS_US),
+            transactions: telemetry::Counter::new(),
+            entries_pushed: telemetry::Counter::new(),
+            resyncs: telemetry::Counter::new(),
+            reconciles: telemetry::Counter::new(),
+            digest_batches: telemetry::Counter::new(),
+            digest_lag_us: telemetry::Histogram::new(&telemetry::LATENCY_BOUNDS_US),
+        };
+        let reg = &telemetry::global().registry;
+        reg.publish_histogram(
+            "controller_e2e_latency_us",
+            "End-to-end change-to-dataplane latency (us)",
+            &m.latency,
+        );
+        reg.publish_counter(
+            "controller_transactions_total",
+            "Engine transactions committed by the controller",
+            &m.transactions,
+        );
+        reg.publish_counter(
+            "controller_entries_pushed_total",
+            "Table-entry updates pushed to switches",
+            &m.entries_pushed,
+        );
+        reg.publish_counter(
+            "controller_resyncs_total",
+            "Snapshot resyncs after OVSDB reconnects",
+            &m.resyncs,
+        );
+        reg.publish_counter(
+            "controller_reconciles_total",
+            "Switch reconciliations after data-plane restarts",
+            &m.reconciles,
+        );
+        reg.publish_counter(
+            "controller_digest_batches_total",
+            "Digest batches handled by the controller",
+            &m.digest_batches,
+        );
+        reg.publish_histogram(
+            "controller_digest_lag_us",
+            "Digest handling latency, batch received to write acked (us)",
+            &m.digest_lag_us,
+        );
+        m
+    }
+
     /// First recorded latency.
     pub fn first_latency(&self) -> Option<Duration> {
-        self.latency.first()
+        self.latency.first().map(Duration::from_micros)
     }
 
     /// Last recorded latency.
     pub fn last_latency(&self) -> Option<Duration> {
-        self.latency.last()
+        self.latency.last().map(Duration::from_micros)
+    }
+}
+
+/// The causal context of one change flowing through the stack: the
+/// trace id plus what is known about the upstream commit.
+#[derive(Debug, Clone, Copy)]
+struct TraceCtx {
+    id: u64,
+    /// Management-plane commit duration, when the change arrived via a
+    /// monitor update carrying [`ovsdb::TRACE_KEY`]; 0 otherwise.
+    commit_ns: u64,
+    source: &'static str,
+}
+
+impl TraceCtx {
+    fn minted(source: &'static str) -> TraceCtx {
+        TraceCtx {
+            id: telemetry::next_trace_id(),
+            commit_ns: 0,
+            source,
+        }
+    }
+
+    /// Extract the trace the OVSDB server attached to a monitor update,
+    /// or mint a fresh one for untraced update objects.
+    fn from_monitor_update(updates: &Json) -> TraceCtx {
+        let embedded = updates.get(ovsdb::TRACE_KEY).and_then(|t| {
+            Some(TraceCtx {
+                id: t.get("id")?.as_u64()?,
+                commit_ns: t.get("commit_ns").and_then(Json::as_u64).unwrap_or(0),
+                source: "monitor",
+            })
+        });
+        embedded.unwrap_or_else(|| TraceCtx::minted("monitor"))
     }
 }
 
@@ -249,7 +283,22 @@ impl Controller {
     /// `switch_id` routing and digest attribution).
     pub fn add_switch(&mut self, dp: Box<dyn DataPlane>) -> usize {
         self.switches.push(dp);
-        self.switches.len() - 1
+        let id = self.switches.len() - 1;
+        telemetry::global()
+            .health
+            .set(format!("switch/{id}"), "connected");
+        id
+    }
+
+    /// Start the live introspection endpoint on `addr` (port 0 for an
+    /// ephemeral port): `/metrics`, `/metrics.json`, `/traces`, and
+    /// `/health` over HTTP, backed by the process-wide telemetry bundle
+    /// every plane registers into. The server stops when the returned
+    /// handle drops.
+    pub fn serve_introspection(
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<telemetry::IntrospectionServer> {
+        telemetry::IntrospectionServer::start(addr, telemetry::global().clone())
     }
 
     /// Number of registered switches.
@@ -266,15 +315,18 @@ impl Controller {
     pub fn handle_row_changes(&mut self, changes: &[RowChange]) -> Result<TxnDelta, String> {
         let rel_types = |name: &str| self.engine.relation_types(name);
         let ops = convert::changes_to_ops(changes, &self.schema, &rel_types)?;
-        self.commit_and_push(ops)
+        self.commit_and_push(ops, TraceCtx::minted("row_changes"))
     }
 
     /// Handle a monitor `table-updates` JSON object (TCP path; also the
-    /// initial state returned by the `monitor` call).
+    /// initial state returned by the `monitor` call). If the update
+    /// carries the trace the OVSDB server minted at commit time, that
+    /// trace follows the change down to the P4Runtime writes.
     pub fn handle_monitor_update(&mut self, updates: &Json) -> Result<TxnDelta, String> {
+        let ctx = TraceCtx::from_monitor_update(updates);
         let rel_types = |name: &str| self.engine.relation_types(name);
         let ops = convert::monitor_update_to_ops(updates, &self.schema, &rel_types)?;
-        self.commit_and_push(ops)
+        self.commit_and_push(ops, ctx)
     }
 
     /// Handle digests from switch `switch_id` (the feedback loop).
@@ -304,6 +356,7 @@ impl Controller {
         digests: &[Digest],
         insert: bool,
     ) -> Result<TxnDelta, String> {
+        let started = Instant::now();
         let mut ops = Vec::new();
         for d in digests {
             let Some(binding) = self.digests.get(&d.name) else {
@@ -312,7 +365,13 @@ impl Controller {
             let vals = convert::digest_to_values(d, binding, switch_id)?;
             ops.push((d.name.clone(), vals, insert));
         }
-        self.commit_and_push(ops)
+        let source = if insert { "digest" } else { "digest_retract" };
+        let delta = self.commit_and_push(ops, TraceCtx::minted(source))?;
+        self.metrics.digest_batches.inc();
+        self.metrics
+            .digest_lag_us
+            .record_duration(started.elapsed());
+        Ok(delta)
     }
 
     /// Commit raw `(relation, row, is_insert)` operations on input
@@ -324,17 +383,19 @@ impl Controller {
         &mut self,
         ops: Vec<(String, Vec<Value>, bool)>,
     ) -> Result<TxnDelta, String> {
-        self.commit_and_push(ops)
+        self.commit_and_push(ops, TraceCtx::minted("input_ops"))
     }
 
     fn commit_and_push(
         &mut self,
         ops: Vec<(String, Vec<Value>, bool)>,
+        ctx: TraceCtx,
     ) -> Result<TxnDelta, String> {
         if ops.is_empty() {
             return Ok(TxnDelta::default());
         }
         let start = Instant::now();
+        let input_ops = ops.len();
         let mut txn = Transaction::new();
         for (rel, row, insert) in ops {
             if insert {
@@ -344,7 +405,8 @@ impl Controller {
             }
         }
         let delta = self.engine.commit(txn).map_err(|e| e.to_string())?;
-        self.metrics.transactions += 1;
+        let apply_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.metrics.transactions.inc();
 
         // Route output deltas to switches. Deletes go first so that
         // replacing an entry (delete+insert of the same key) is valid.
@@ -376,13 +438,59 @@ impl Controller {
                 }
             }
         }
+        let mut write_spans = Vec::new();
         for (t, (dels, ins)) in per_switch {
             let mut updates = dels;
             updates.extend(ins);
-            self.metrics.entries_pushed += updates.len() as u64;
-            self.switches[t].write_updates(&updates)?;
+            self.metrics.entries_pushed.add(updates.len() as u64);
+            let write_start_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let write_start = Instant::now();
+            self.switches[t].write_updates_traced(&updates, ctx.id)?;
+            let write_ns = write_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            write_spans.push(
+                Span::new("p4.write", "data")
+                    .timed(write_start_ns, write_ns.max(1))
+                    .attr_u64("switch", t as u64)
+                    .attr_u64("updates", updates.len() as u64),
+            );
         }
-        self.metrics.latency.record(start.elapsed());
+        let total = start.elapsed();
+        self.metrics.latency.record_duration(total);
+        telemetry::log_debug!(
+            "controller",
+            "trace {}: {} ops -> {} changes ({} source)",
+            ctx.id,
+            input_ops,
+            delta.len(),
+            ctx.source
+        );
+
+        // Assemble the span tree: management-plane commit (if known),
+        // control-plane apply, then one data-plane span per write.
+        let total_ns = total.as_nanos().min(u64::MAX as u128) as u64;
+        let mut root = Span::new("stack.change", "stack")
+            .timed(0, (ctx.commit_ns + total_ns).max(1))
+            .attr_text("source", ctx.source)
+            .attr_u64("input_ops", input_ops as u64)
+            .attr_u64("delta_rows", delta.len() as u64);
+        if ctx.commit_ns > 0 {
+            root.children
+                .push(Span::new("ovsdb.commit", "management").timed(0, ctx.commit_ns));
+        }
+        root.children.push(
+            Span::new("ddlog.apply", "control")
+                .timed(ctx.commit_ns, apply_ns.max(1))
+                .attr_u64("input_ops", input_ops as u64)
+                .attr_u64("output_changes", delta.len() as u64),
+        );
+        for mut s in write_spans {
+            s.start_ns += ctx.commit_ns;
+            root.children.push(s);
+        }
+        telemetry::global().tracer.record(SpanTree {
+            trace: ctx.id,
+            root,
+        });
         Ok(delta)
     }
 
@@ -478,8 +586,16 @@ impl Controller {
                 ops.push((t.clone(), row, true));
             }
         }
-        self.commit_and_push(ops)?;
-        self.metrics.resyncs += 1;
+        self.commit_and_push(ops, TraceCtx::minted("resync"))?;
+        self.metrics.resyncs.inc();
+        telemetry::log_info!(
+            "controller",
+            "resync: {} snapshot rows, +{} -{} across {} tables",
+            report.snapshot_rows,
+            report.inserts,
+            report.deletes,
+            report.tables
+        );
         Ok(report)
     }
 
@@ -563,7 +679,7 @@ impl Controller {
         }
         report.unchanged = desired.intersection(&actual).count();
         if !updates.is_empty() {
-            self.metrics.entries_pushed += updates.len() as u64;
+            self.metrics.entries_pushed.add(updates.len() as u64);
             self.switches[switch_id].write_updates(&updates)?;
         }
         for ((s, group), ports) in &self.mcast {
@@ -573,7 +689,17 @@ impl Controller {
                 report.mcast_groups += 1;
             }
         }
-        self.metrics.reconciles += 1;
+        self.metrics.reconciles.inc();
+        telemetry::global()
+            .health
+            .set(format!("switch/{switch_id}"), "ok(reconciled)");
+        telemetry::log_info!(
+            "controller",
+            "reconcile switch {switch_id}: +{} -{} ={}",
+            report.inserted,
+            report.deleted,
+            report.unchanged
+        );
         Ok(report)
     }
 
@@ -610,7 +736,17 @@ impl Controller {
                         Ok(update) => {
                             self.handle_monitor_update(&update)?;
                         }
-                        Err(_) => break 'session, // link died: reconnect
+                        Err(_) => {
+                            // Link died: reconnect.
+                            telemetry::global()
+                                .health
+                                .set("ovsdb", "down(monitor channel)");
+                            telemetry::log_warn!(
+                                "controller",
+                                "ovsdb monitor link died; reconnecting"
+                            );
+                            break 'session;
+                        }
                     }
                 } else if idx == stop_idx {
                     let _ = op.recv(&stop);
@@ -682,36 +818,50 @@ mod tests {
     use super::*;
 
     #[test]
-    fn latency_histogram_is_bounded_and_exact() {
-        let mut h = LatencyHistogram::default();
+    fn metrics_latency_histogram_is_bounded_and_exact() {
+        let m = Metrics::new();
+        let h = &m.latency;
         assert_eq!(h.count(), 0);
         assert!(h.mean().is_none());
-        h.record(Duration::from_micros(40)); // bucket 0 (<= 50us)
-        h.record(Duration::from_micros(60)); // bucket 1 (<= 100us)
-        h.record(Duration::from_millis(1)); // bucket 4 (<= 1000us)
-        h.record(Duration::from_secs(1)); // overflow bucket
+        h.record_duration(Duration::from_micros(40)); // bucket 0 (<= 50us)
+        h.record_duration(Duration::from_micros(60)); // bucket 1 (<= 100us)
+        h.record_duration(Duration::from_millis(1)); // bucket 4 (<= 1000us)
+        h.record_duration(Duration::from_secs(1)); // overflow bucket
         assert_eq!(h.count(), 4);
-        assert_eq!(h.first(), Some(Duration::from_micros(40)));
-        assert_eq!(h.last(), Some(Duration::from_secs(1)));
-        assert_eq!(h.max(), Some(Duration::from_secs(1)));
-        assert_eq!(
-            h.sum(),
-            Duration::from_micros(1100) + Duration::from_secs(1)
-        );
+        assert_eq!(m.first_latency(), Some(Duration::from_micros(40)));
+        assert_eq!(m.last_latency(), Some(Duration::from_secs(1)));
+        assert_eq!(h.max(), Some(1_000_000));
+        assert_eq!(h.sum(), 1_100 + 1_000_000);
         let b = h.bucket_counts();
         assert_eq!(b[0], 1);
         assert_eq!(b[1], 1);
         assert_eq!(b[4], 1);
-        assert_eq!(b[LatencyHistogram::BOUNDS_US.len()], 1);
+        assert_eq!(b[telemetry::LATENCY_BOUNDS_US.len()], 1);
         assert_eq!(b.iter().sum::<u64>(), 4);
 
         // Memory stays fixed no matter how many events are recorded —
-        // the reason this replaced the per-event Vec<Duration>.
+        // the bucket array never grows.
         for _ in 0..10_000 {
-            h.record(Duration::from_micros(5));
+            h.record_duration(Duration::from_micros(5));
         }
         assert_eq!(h.count(), 10_004);
         assert_eq!(h.bucket_counts()[0], 10_001);
         assert!(h.mean().is_some());
+
+        // The published series read through to this instance's handles
+        // (same #[test] so no parallel Metrics::new() can replace them).
+        m.transactions.add(3);
+        assert_eq!(
+            telemetry::global()
+                .registry
+                .value("controller_transactions_total"),
+            Some(3)
+        );
+        assert_eq!(
+            telemetry::global()
+                .registry
+                .value("controller_e2e_latency_us"),
+            Some(10_004)
+        );
     }
 }

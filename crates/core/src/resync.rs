@@ -156,23 +156,23 @@ impl Default for BackoffPolicy {
 
 impl BackoffPolicy {
     /// The delay sequence: one entry per retry (the initial attempt is
-    /// not delayed). Deterministic for a given policy.
-    pub fn delays(&self) -> Vec<Duration> {
+    /// not delayed). Deterministic for a given policy, and lazy — a
+    /// policy with a huge retry budget costs nothing up front.
+    pub fn delays(&self) -> impl Iterator<Item = Duration> {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut out = Vec::with_capacity(self.max_attempts.saturating_sub(1) as usize);
+        let (max, multiplier, jitter) = (self.max.as_secs_f64(), self.multiplier, self.jitter);
         let mut delay = self.base.as_secs_f64();
-        for _ in 1..self.max_attempts {
-            let capped = delay.min(self.max.as_secs_f64());
-            let jittered = if self.jitter > 0.0 {
-                let f: f64 = rng.random_range(-self.jitter..=self.jitter);
+        (1..self.max_attempts).map(move |_| {
+            let capped = delay.min(max);
+            let jittered = if jitter > 0.0 {
+                let f: f64 = rng.random_range(-jitter..=jitter);
                 (capped * (1.0 + f)).max(0.0)
             } else {
                 capped
             };
-            out.push(Duration::from_secs_f64(jittered));
-            delay *= self.multiplier;
-        }
-        out
+            delay *= multiplier;
+            Duration::from_secs_f64(jittered)
+        })
     }
 }
 
@@ -211,6 +211,40 @@ impl MonitorConfig {
             .map(|o| o.keys().cloned().collect())
             .unwrap_or_default()
     }
+}
+
+struct SupervisorMetrics {
+    attempts: telemetry::Counter,
+    connects: telemetry::Counter,
+    backoff_us: telemetry::Histogram,
+    resync_delta_ops: telemetry::Histogram,
+}
+
+fn supervisor_metrics() -> &'static SupervisorMetrics {
+    static M: std::sync::OnceLock<SupervisorMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let reg = &telemetry::global().registry;
+        SupervisorMetrics {
+            attempts: reg.counter(
+                "resync_connect_attempts_total",
+                "OVSDB connection attempts by supervisors (including failures)",
+            ),
+            connects: reg.counter(
+                "resync_connects_total",
+                "Successful OVSDB (re)connections by supervisors",
+            ),
+            backoff_us: reg.histogram(
+                "resync_backoff_delay_us",
+                "Backoff delays slept before reconnection attempts (us)",
+                &telemetry::LATENCY_BOUNDS_US,
+            ),
+            resync_delta_ops: reg.histogram(
+                "resync_delta_ops",
+                "Operations per snapshot resync (the incrementality invariant)",
+                &telemetry::SIZE_BOUNDS,
+            ),
+        }
+    })
 }
 
 /// Counters describing a supervisor's recovery history.
@@ -284,13 +318,19 @@ impl OvsdbSupervisor {
                 ));
             };
             if !delay.is_zero() {
+                supervisor_metrics().backoff_us.record_duration(delay);
+                telemetry::global()
+                    .health
+                    .set("ovsdb", format!("reconnecting(backoff {delay:?})"));
                 std::thread::sleep(delay);
             }
             self.stats.attempts += 1;
+            supervisor_metrics().attempts.inc();
             let client = match ovsdb::Client::connect(self.addr) {
                 Ok(c) => c,
                 Err(e) => {
                     last_err = e.to_string();
+                    telemetry::log_warn!("resync", "connect to {} failed: {last_err}", self.addr);
                     continue;
                 }
             };
@@ -309,6 +349,17 @@ impl OvsdbSupervisor {
             self.stats.connects += 1;
             self.stats.resyncs += 1;
             self.stats.last_resync = Some(report.clone());
+            let m = supervisor_metrics();
+            m.connects.inc();
+            m.resync_delta_ops.record(report.delta_ops() as u64);
+            telemetry::global().health.set("ovsdb", "connected");
+            telemetry::log_info!(
+                "resync",
+                "connected to {} after {} attempts; resync delta {} ops",
+                self.addr,
+                self.stats.attempts,
+                report.delta_ops()
+            );
             return Ok((client, updates, report));
         }
     }
@@ -350,8 +401,8 @@ mod tests {
             jitter: 0.25,
             seed: 99,
         };
-        let a = policy.delays();
-        let b = policy.delays();
+        let a: Vec<Duration> = policy.delays().collect();
+        let b: Vec<Duration> = policy.delays().collect();
         assert_eq!(a, b, "same seed, same jitter sequence");
         assert_eq!(a.len(), 5);
         for (i, d) in a.iter().enumerate() {
@@ -367,11 +418,12 @@ mod tests {
         }
 
         // Zero jitter is exact.
-        let exact = BackoffPolicy {
+        let exact: Vec<Duration> = BackoffPolicy {
             jitter: 0.0,
             ..policy
         }
-        .delays();
+        .delays()
+        .collect();
         assert_eq!(exact[0], Duration::from_millis(100));
         assert_eq!(exact[1], Duration::from_millis(200));
         assert_eq!(exact[2], Duration::from_millis(400));

@@ -21,6 +21,43 @@ use crate::types::Type;
 use crate::value::{Row, Value};
 use crate::zset::ZSet;
 
+struct EngineMetrics {
+    commits: telemetry::Counter,
+    commit_us: telemetry::Histogram,
+    input_ops: telemetry::Counter,
+    output_changes: telemetry::Counter,
+    zset_rows: telemetry::Gauge,
+}
+
+fn engine_metrics() -> &'static EngineMetrics {
+    static M: std::sync::OnceLock<EngineMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let reg = &telemetry::global().registry;
+        EngineMetrics {
+            commits: reg.counter("ddlog_commits_total", "Committed engine transactions"),
+            commit_us: reg.histogram(
+                "ddlog_commit_duration_us",
+                "Incremental propagation latency per commit (us)",
+                &telemetry::LATENCY_BOUNDS_US,
+            ),
+            input_ops: reg.counter("ddlog_input_ops_total", "Input relation operations applied"),
+            output_changes: reg.counter(
+                "ddlog_output_changes_total",
+                "Output relation row changes emitted",
+            ),
+            zset_rows: reg.gauge("ddlog_zset_rows", "Visible rows across all relation stores"),
+        }
+    })
+}
+
+fn relation_changes_counter(relation: &str) -> telemetry::Counter {
+    telemetry::global().registry.counter_with(
+        "ddlog_relation_changes_total",
+        "Output relation row changes by relation",
+        &[("relation", relation)],
+    )
+}
+
 /// The set-level changes produced by one committed transaction, for every
 /// output relation that changed. Rows are paired with +1 (inserted) or −1
 /// (deleted) and sorted for deterministic iteration.
@@ -213,6 +250,9 @@ impl Engine {
                 "engine is poisoned by an earlier evaluation error".to_string(),
             ));
         }
+        let started = std::time::Instant::now();
+        let metrics = engine_metrics();
+        metrics.input_ops.add(txn.ops.len() as u64);
 
         // Normalize ops into per-relation membership deltas. Ops are
         // applied in order against a virtual view, so insert-then-delete
@@ -274,6 +314,24 @@ impl Engine {
             self.poisoned = true;
         }
         self.commits += 1;
+        metrics.commit_us.record_duration(started.elapsed());
+        metrics.commits.inc();
+        if let Ok(delta) = &out {
+            metrics.output_changes.add(delta.len() as u64);
+            for (rel, rows) in &delta.changes {
+                relation_changes_counter(rel).add(rows.len() as u64);
+            }
+            metrics
+                .zset_rows
+                .set(self.stores.iter().map(RelationStore::len).sum::<usize>() as i64);
+            telemetry::log_debug!(
+                "ddlog",
+                "commit #{}: {} output changes across {} relations",
+                self.commits,
+                delta.len(),
+                delta.changes.len()
+            );
+        }
         out
     }
 

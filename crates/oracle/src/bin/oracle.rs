@@ -111,8 +111,23 @@ fn main() {
                     println!("    {op:?}");
                 }
                 println!("  replay: {}", replay_command(&cfg));
+                if let Some(trace) = &fail.failing_trace {
+                    println!("  last trace before failure:");
+                    for line in trace.lines() {
+                        println!("    {line}");
+                    }
+                }
+                println!("  metrics at failure:");
+                for line in fail.metrics_snapshot.lines() {
+                    println!("    {line}");
+                }
             }
         }
+    }
+    // `NERPA_METRICS=1` attaches the full registry to a green run, the
+    // same snapshot a failure prints unconditionally.
+    if std::env::var("NERPA_METRICS").is_ok() {
+        print!("\n{}", telemetry::global().registry.render_text());
     }
     std::process::exit(if failed { 1 } else { 0 });
 }

@@ -134,6 +134,12 @@ pub struct OracleFailure {
     pub original_len: usize,
     /// Minimal reproducing op sequence found by ddmin.
     pub shrunk: Vec<WorkloadOp>,
+    /// Prometheus-style metrics snapshot captured at the moment the
+    /// invariant broke, before the ddmin re-runs perturb the registry.
+    pub metrics_snapshot: String,
+    /// Rendered span tree of the last change that flowed through the
+    /// stack before the failure (`None` if nothing was traced).
+    pub failing_trace: Option<String>,
 }
 
 const MONITORED: [&str; 2] = ["Port", "Switch"];
@@ -597,7 +603,7 @@ fn run_workload_inner(
 
     report.final_entries = Harness::installed(&harness.device).len();
     report.final_groups = harness.device.mcast_snapshot().len();
-    report.transactions = harness.controller.metrics.transactions;
+    report.transactions = harness.controller.metrics.transactions.get();
     Ok((report, harness))
 }
 
@@ -618,19 +624,27 @@ pub fn final_state(cfg: &OracleConfig) -> Result<FinalState, StepFailure> {
 }
 
 /// Generate the workload for `cfg`, run it, and on failure shrink it to
-/// a minimal reproducing sequence.
-pub fn run_oracle(cfg: &OracleConfig) -> Result<OracleReport, OracleFailure> {
+/// a minimal reproducing sequence. The failure is boxed: it carries the
+/// shrunk workload, a metrics snapshot, and the failing trace.
+pub fn run_oracle(cfg: &OracleConfig) -> Result<OracleReport, Box<OracleFailure>> {
     let ops = crate::workload::generate_workload(cfg.seed, cfg.steps);
     match run_workload(&ops, cfg) {
         Ok(report) => Ok(report),
         Err(failure) => {
+            // Snapshot observability state now: the ddmin re-runs below
+            // replay the workload many times and overwrite both the
+            // published series and the trace ring.
+            let metrics_snapshot = telemetry::global().registry.render_text();
+            let failing_trace = telemetry::global().tracer.last().map(|t| t.render_text());
             let shrunk =
                 crate::shrink::ddmin(&ops, |candidate| run_workload(candidate, cfg).is_err());
-            Err(OracleFailure {
+            Err(Box::new(OracleFailure {
                 failure,
                 original_len: ops.len(),
                 shrunk,
-            })
+                metrics_snapshot,
+                failing_trace,
+            }))
         }
     }
 }

@@ -78,6 +78,38 @@ fn injected_resync_bug_is_caught_and_shrunk() {
 }
 
 #[test]
+fn failure_carries_metrics_snapshot_and_failing_trace() {
+    let cfg = OracleConfig {
+        bug: Some(InjectedBug::DropConfigDeletes),
+        ..OracleConfig::new(2, 100)
+    };
+    let failure = run_oracle(&cfg).expect_err("dropped deletes must be caught");
+    // The snapshot is well-formed Prometheus exposition covering all
+    // three planes, captured before ddmin perturbed the registry.
+    telemetry::validate_exposition(&failure.metrics_snapshot)
+        .expect("metrics snapshot must be valid exposition text");
+    for series in [
+        "ddlog_commits_total",
+        "controller_transactions_total",
+        "p4_write_batches_total",
+    ] {
+        assert!(
+            failure.metrics_snapshot.contains(series),
+            "snapshot missing {series}:\n{}",
+            failure.metrics_snapshot
+        );
+    }
+    // The last change that flowed through the stack before the
+    // invariant broke is attached as a rendered span tree.
+    let trace = failure
+        .failing_trace
+        .as_deref()
+        .expect("a failing run must carry its last trace");
+    assert!(trace.contains("stack.change"), "trace:\n{trace}");
+    assert!(trace.contains("ddlog.apply"), "trace:\n{trace}");
+}
+
+#[test]
 fn injected_delete_drop_bug_shrinks_to_minimal_pair() {
     let cfg = OracleConfig {
         bug: Some(InjectedBug::DropConfigDeletes),

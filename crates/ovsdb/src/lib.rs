@@ -25,4 +25,4 @@ pub use datum::{Atom, AtomType, Datum, Uuid};
 pub use db::{Database, RowChange, RowData};
 pub use monitor::{Monitor, MonitorSelect, MonitorTable};
 pub use schema::{ColumnSchema, ColumnType, Schema, TableSchema};
-pub use server::{Client, Server};
+pub use server::{Client, Server, TRACE_KEY};

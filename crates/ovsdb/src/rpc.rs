@@ -7,8 +7,42 @@
 //! framing instead of a streaming JSON parser.
 
 use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::OnceLock;
 
 use serde_json::{json, Value as Json};
+use telemetry::Counter;
+
+/// Wire-level counters, registered once in the global registry and
+/// shared by every connection in the process.
+fn wire_tx_bytes() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        telemetry::global().registry.counter(
+            "ovsdb_wire_tx_bytes_total",
+            "Bytes written to OVSDB JSON-RPC streams",
+        )
+    })
+}
+
+fn wire_rx_bytes() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        telemetry::global().registry.counter(
+            "ovsdb_wire_rx_bytes_total",
+            "Bytes read from OVSDB JSON-RPC streams",
+        )
+    })
+}
+
+fn wire_messages() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        telemetry::global().registry.counter(
+            "ovsdb_wire_messages_total",
+            "OVSDB JSON-RPC messages written",
+        )
+    })
+}
 
 /// A decoded JSON-RPC message.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +124,8 @@ pub fn write_message(w: &mut impl Write, msg: &Message) -> std::io::Result<()> {
     let mut line = serde_json::to_vec(&msg.to_json())?;
     line.push(b'\n');
     w.write_all(&line)?;
+    wire_tx_bytes().add(line.len() as u64);
+    wire_messages().inc();
     w.flush()
 }
 
@@ -116,6 +152,7 @@ impl<R: Read> MessageReader<R> {
             if n == 0 {
                 return Ok(None);
             }
+            wire_rx_bytes().add(n as u64);
             let trimmed = self.line.trim();
             if trimmed.is_empty() {
                 continue;

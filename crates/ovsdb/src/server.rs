@@ -16,6 +16,45 @@ use crate::db::Database;
 use crate::monitor::Monitor;
 use crate::rpc::{write_message, Message, MessageReader};
 
+/// Reserved key attached to monitor update objects carrying the causal
+/// trace minted at commit time. Table names never collide with it, and
+/// schema-driven consumers skip unknown tables, so it is safe to ride
+/// along inside the updates object.
+pub const TRACE_KEY: &str = "__trace";
+
+struct ServerMetrics {
+    commits: telemetry::Counter,
+    commit_us: telemetry::Histogram,
+    fanout: telemetry::Counter,
+    connections: telemetry::Counter,
+}
+
+fn server_metrics() -> &'static ServerMetrics {
+    static M: std::sync::OnceLock<ServerMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let reg = &telemetry::global().registry;
+        ServerMetrics {
+            commits: reg.counter(
+                "ovsdb_commits_total",
+                "Committed management-plane transactions",
+            ),
+            commit_us: reg.histogram(
+                "ovsdb_commit_duration_us",
+                "OVSDB transaction commit latency (us)",
+                &telemetry::LATENCY_BOUNDS_US,
+            ),
+            fanout: reg.counter(
+                "ovsdb_monitor_notifications_total",
+                "Monitor update notifications fanned out to subscribers",
+            ),
+            connections: reg.counter(
+                "ovsdb_connections_total",
+                "Client connections accepted by the OVSDB server",
+            ),
+        }
+    })
+}
+
 struct Subscription {
     conn_id: u64,
     mon_id: Json,
@@ -84,8 +123,15 @@ impl Server {
 
     /// Run a transaction directly (in-process), still notifying monitors.
     pub fn transact_local(&self, ops: &Json) -> Json {
+        let started = std::time::Instant::now();
         let (results, changes) = self.state.db.lock().transact(ops);
-        notify(&self.state, &changes);
+        let commit_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        record_commit(commit_ns);
+        notify(
+            &self.state,
+            &changes,
+            Some((telemetry::next_trace_id(), commit_ns)),
+        );
         results
     }
 
@@ -125,13 +171,32 @@ impl Drop for Server {
     }
 }
 
-fn notify(state: &ServerState, changes: &[crate::db::RowChange]) {
+fn record_commit(commit_ns: u64) {
+    let m = server_metrics();
+    m.commits.inc();
+    m.commit_us.record(commit_ns / 1_000);
+}
+
+fn notify(state: &ServerState, changes: &[crate::db::RowChange], trace: Option<(u64, u64)>) {
     if changes.is_empty() {
         return;
     }
     let subs = state.subs.lock();
     for sub in subs.iter() {
-        if let Some(updates) = sub.monitor.format_changes(changes) {
+        if let Some(mut updates) = sub.monitor.format_changes(changes) {
+            if let (Some((id, commit_ns)), Some(obj)) = (trace, updates.as_object_mut()) {
+                obj.insert(
+                    TRACE_KEY.to_string(),
+                    json!({"id": id, "commit_ns": commit_ns}),
+                );
+            }
+            server_metrics().fanout.inc();
+            telemetry::log_debug!(
+                "ovsdb",
+                "monitor update to conn {} (trace {:?})",
+                sub.conn_id,
+                trace.map(|t| t.0)
+            );
             let _ = sub.tx.send(Message::Notification {
                 method: "update".to_string(),
                 params: json!([sub.mon_id, updates]),
@@ -142,6 +207,8 @@ fn notify(state: &ServerState, changes: &[crate::db::RowChange]) {
 
 fn serve_connection(state: Arc<ServerState>, stream: TcpStream) {
     let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed);
+    server_metrics().connections.inc();
+    telemetry::log_info!("ovsdb", "connection {conn_id} accepted");
     let _ = stream.set_nodelay(true);
     let write_stream = match stream.try_clone() {
         Ok(s) => s,
@@ -215,9 +282,16 @@ fn handle_request(
                 return err(format!("no database {}", arr[0]));
             }
             let ops = Json::Array(arr[1..].to_vec());
+            let started = std::time::Instant::now();
             let (results, changes) = db.transact(&ops);
             drop(db);
-            notify(state, &changes);
+            let commit_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            record_commit(commit_ns);
+            notify(
+                state,
+                &changes,
+                Some((telemetry::next_trace_id(), commit_ns)),
+            );
             (results, Json::Null)
         }
         "monitor" => {

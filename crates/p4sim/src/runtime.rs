@@ -175,6 +175,9 @@ pub enum ControlRequest {
     Write {
         /// The updates.
         updates: Vec<Update>,
+        /// Causal trace id minted at the management-plane commit that
+        /// produced these updates; `None` for untraced writes.
+        trace: Option<u64>,
     },
     /// Fetch the P4Info program description.
     GetP4Info,
@@ -414,13 +417,16 @@ impl FromJson for Digest {
 impl ToJson for ControlRequest {
     fn to_json_value(&self) -> Json {
         match self {
-            ControlRequest::Write { updates } => tagged(
+            ControlRequest::Write { updates, trace } => tagged(
                 "type",
                 "write",
-                [(
-                    "updates",
-                    Json::Array(updates.iter().map(ToJson::to_json_value).collect()),
-                )],
+                [
+                    (
+                        "updates",
+                        Json::Array(updates.iter().map(ToJson::to_json_value).collect()),
+                    ),
+                    ("trace", trace.map(Json::from).unwrap_or(Json::Null)),
+                ],
             ),
             ControlRequest::GetP4Info => tagged("type", "get_p4_info", []),
             ControlRequest::ReadTable { table } => {
@@ -448,6 +454,13 @@ impl FromJson for ControlRequest {
         Ok(match tag(v, "type")? {
             "write" => ControlRequest::Write {
                 updates: decode_vec(v, "updates", Update::from_json_value)?,
+                trace: match v.get("trace") {
+                    None | Some(Json::Null) => None,
+                    Some(j) => Some(
+                        j.as_u64()
+                            .ok_or_else(|| serde_json::Error::msg("trace is not an integer"))?,
+                    ),
+                },
             },
             "get_p4_info" => ControlRequest::GetP4Info,
             "read_table" => ControlRequest::ReadTable {
@@ -644,6 +657,7 @@ mod tests {
                     params: vec![100],
                 },
             }],
+            trace: Some(77),
         };
         let s = serde_json::to_string(&req).unwrap();
         let back: ControlRequest = serde_json::from_str(&s).unwrap();

@@ -4,7 +4,7 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -16,6 +16,44 @@ use crate::p4info::P4Info;
 use crate::runtime::{ControlRequest, ControlResponse, Digest, Update};
 use crate::switch::{ProcessResult, Switch};
 
+struct DeviceMetrics {
+    write_batches: telemetry::Counter,
+    write_updates: telemetry::Counter,
+    write_errors: telemetry::Counter,
+    write_batch_size: telemetry::Histogram,
+    digests: telemetry::Counter,
+}
+
+fn device_metrics() -> &'static DeviceMetrics {
+    static M: std::sync::OnceLock<DeviceMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let reg = &telemetry::global().registry;
+        DeviceMetrics {
+            write_batches: reg.counter(
+                "p4_write_batches_total",
+                "P4Runtime write batches applied to switch devices",
+            ),
+            write_updates: reg.counter(
+                "p4_write_updates_total",
+                "Individual table updates applied to switch devices",
+            ),
+            write_errors: reg.counter(
+                "p4_write_errors_total",
+                "P4Runtime write batches rejected by switch devices",
+            ),
+            write_batch_size: reg.histogram(
+                "p4_write_batch_size",
+                "Updates per P4Runtime write batch",
+                &telemetry::SIZE_BOUNDS,
+            ),
+            digests: reg.counter(
+                "p4_digests_total",
+                "Digest messages fanned out to subscribers",
+            ),
+        }
+    })
+}
+
 /// An in-process switch device: the switch plus digest fan-out. The
 /// packet substrate calls [`SwitchDevice::inject`]; controllers subscribe
 /// to digests either in-process or over TCP.
@@ -23,6 +61,8 @@ use crate::switch::{ProcessResult, Switch};
 pub struct SwitchDevice {
     inner: Arc<Mutex<Switch>>,
     digest_subs: Arc<Mutex<Vec<Sender<Vec<Digest>>>>>,
+    /// Trace id of the most recent successful write (0 = none yet).
+    last_write_trace: Arc<AtomicU64>,
 }
 
 impl SwitchDevice {
@@ -31,6 +71,7 @@ impl SwitchDevice {
         SwitchDevice {
             inner: Arc::new(Mutex::new(switch)),
             digest_subs: Arc::new(Mutex::new(Vec::new())),
+            last_write_trace: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -38,6 +79,7 @@ impl SwitchDevice {
     pub fn inject(&self, port: u16, bytes: &[u8]) -> ProcessResult {
         let result = self.inner.lock().process_packet(port, bytes);
         if !result.digests.is_empty() {
+            device_metrics().digests.add(result.digests.len() as u64);
             let subs = self.digest_subs.lock();
             for s in subs.iter() {
                 let _ = s.send(result.digests.clone());
@@ -55,7 +97,33 @@ impl SwitchDevice {
 
     /// Apply table updates.
     pub fn write(&self, updates: &[Update]) -> Result<(), String> {
-        self.inner.lock().write(updates)
+        self.write_traced(updates, None)
+    }
+
+    /// Apply table updates, noting the causal trace that produced them.
+    pub fn write_traced(&self, updates: &[Update], trace: Option<u64>) -> Result<(), String> {
+        let m = device_metrics();
+        m.write_batches.inc();
+        m.write_updates.add(updates.len() as u64);
+        m.write_batch_size.record(updates.len() as u64);
+        let res = self.inner.lock().write(updates);
+        match &res {
+            Ok(()) => {
+                if let Some(t) = trace {
+                    self.last_write_trace.store(t, Ordering::Relaxed);
+                }
+            }
+            Err(_) => m.write_errors.inc(),
+        }
+        res
+    }
+
+    /// Trace id of the most recent successful traced write, if any.
+    pub fn last_write_trace(&self) -> Option<u64> {
+        match self.last_write_trace.load(Ordering::Relaxed) {
+            0 => None,
+            t => Some(t),
+        }
     }
 
     /// Read a table's entries (`None` if the table doesn't exist).
@@ -225,10 +293,12 @@ fn serve_conn(device: SwitchDevice, stream: TcpStream) {
     let write_half = Arc::new(Mutex::new(stream));
     while let Ok(Some(req)) = read_frame::<ControlRequest>(&mut read_half) {
         let resp = match req {
-            ControlRequest::Write { updates } => match device.write(&updates) {
-                Ok(()) => ControlResponse::WriteResult { error: None },
-                Err(e) => ControlResponse::WriteResult { error: Some(e) },
-            },
+            ControlRequest::Write { updates, trace } => {
+                match device.write_traced(&updates, trace) {
+                    Ok(()) => ControlResponse::WriteResult { error: None },
+                    Err(e) => ControlResponse::WriteResult { error: Some(e) },
+                }
+            }
             ControlRequest::GetP4Info => ControlResponse::P4Info {
                 info: device.p4info(),
             },
@@ -323,7 +393,13 @@ impl ControlClient {
 
     /// Apply table updates atomically.
     pub fn write(&self, updates: Vec<Update>) -> Result<(), String> {
-        match self.roundtrip(&ControlRequest::Write { updates })? {
+        self.write_traced(updates, None)
+    }
+
+    /// Apply table updates atomically, carrying the causal trace id
+    /// across the wire so the switch can attribute the write.
+    pub fn write_traced(&self, updates: Vec<Update>, trace: Option<u64>) -> Result<(), String> {
+        match self.roundtrip(&ControlRequest::Write { updates, trace })? {
             ControlResponse::WriteResult { error: None } => Ok(()),
             ControlResponse::WriteResult { error: Some(e) } => Err(e),
             other => Err(format!("unexpected response {other:?}")),

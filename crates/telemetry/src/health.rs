@@ -1,0 +1,103 @@
+//! A live health board: named components reporting free-form status.
+//!
+//! The controller publishes per-switch and OVSDB connection state here;
+//! the introspection endpoint serves it at `/health`.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::metrics::json_string;
+
+/// A set of named components, each with a current status string
+/// (`connected`, `resyncing`, `down(io error)` ...).
+#[derive(Default)]
+pub struct Health {
+    components: Mutex<BTreeMap<String, String>>,
+}
+
+impl Health {
+    /// An empty board.
+    pub fn new() -> Health {
+        Health::default()
+    }
+
+    /// Set (or update) a component's status.
+    pub fn set(&self, component: impl Into<String>, status: impl Into<String>) {
+        self.components
+            .lock()
+            .unwrap()
+            .insert(component.into(), status.into());
+    }
+
+    /// Remove a component (e.g. a switch taken out of the fleet).
+    pub fn remove(&self, component: &str) {
+        self.components.lock().unwrap().remove(component);
+    }
+
+    /// The current status of one component.
+    pub fn get(&self, component: &str) -> Option<String> {
+        self.components.lock().unwrap().get(component).cloned()
+    }
+
+    /// All components and statuses, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, String)> {
+        self.components
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// True when every component reports a status starting with "ok" or
+    /// "connected" (an empty board is healthy).
+    pub fn all_healthy(&self) -> bool {
+        self.components
+            .lock()
+            .unwrap()
+            .values()
+            .all(|s| s.starts_with("ok") || s.starts_with("connected"))
+    }
+
+    /// Render as a JSON object `{"healthy":bool,"components":{...}}`.
+    pub fn render_json(&self) -> String {
+        let comps = self.components.lock().unwrap();
+        let healthy = comps
+            .values()
+            .all(|s| s.starts_with("ok") || s.starts_with("connected"));
+        let mut out = format!("{{\"healthy\":{healthy},\"components\":{{");
+        for (i, (k, v)) in comps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(k));
+            out.push(':');
+            out.push_str(&json_string(v));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_board_tracks_components() {
+        let h = Health::new();
+        assert!(h.all_healthy());
+        h.set("ovsdb", "connected");
+        h.set("switch/0", "connected");
+        assert!(h.all_healthy());
+        h.set("switch/0", "down(io)");
+        assert!(!h.all_healthy());
+        assert_eq!(h.get("switch/0").as_deref(), Some("down(io)"));
+        let json = h.render_json();
+        assert!(json.contains("\"healthy\":false"));
+        assert!(json.contains("\"switch/0\":\"down(io)\""));
+        h.remove("switch/0");
+        assert!(h.all_healthy());
+        assert_eq!(h.snapshot().len(), 1);
+    }
+}

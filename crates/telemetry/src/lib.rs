@@ -1,0 +1,62 @@
+//! Cross-plane observability substrate for the full-stack SDN.
+//!
+//! Three pieces, all std-only:
+//!
+//! - a **metrics registry** ([`Registry`]) of named atomic counters,
+//!   gauges, and fixed-bucket histograms with Prometheus-style text and
+//!   JSON exposition;
+//! - **causal trace spans** ([`SpanTree`], [`Tracer`]): a trace id
+//!   minted when a management-plane transaction commits is threaded
+//!   through monitor delivery, engine apply, delta emission, and
+//!   P4Runtime writes, yielding per-plane timing trees;
+//! - a **live introspection endpoint** ([`IntrospectionServer`])
+//!   serving `/metrics`, `/traces`, and `/health` over HTTP.
+//!
+//! Plus a leveled [`log`] gated by `NERPA_LOG` whose disabled sites
+//! cost one relaxed atomic load.
+
+#![warn(missing_docs)]
+
+pub mod health;
+pub mod log;
+pub mod metrics;
+pub mod server;
+pub mod trace;
+
+pub use health::Health;
+pub use log::Level;
+pub use metrics::{
+    format_labels, validate_exposition, Counter, Gauge, Histogram, MetricKind, Registry,
+    LATENCY_BOUNDS_US, SIZE_BOUNDS,
+};
+pub use server::{http_get, IntrospectionServer};
+pub use trace::{next_trace_id, AttrValue, Span, SpanTree, Tracer};
+
+use std::sync::{Arc, OnceLock};
+
+/// The bundle served by one introspection endpoint: a registry, a trace
+/// ring buffer, and a health board.
+#[derive(Default)]
+pub struct Telemetry {
+    /// Named metric families.
+    pub registry: Registry,
+    /// Recent trace span trees.
+    pub tracer: Tracer,
+    /// Connection health board.
+    pub health: Health,
+}
+
+impl Telemetry {
+    /// A fresh, empty bundle.
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+}
+
+/// The process-wide telemetry bundle. Components register here by
+/// default so one endpoint exposes the whole stack; tests that need
+/// isolation construct their own [`Telemetry`].
+pub fn global() -> &'static Arc<Telemetry> {
+    static GLOBAL: OnceLock<Arc<Telemetry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(Telemetry::new()))
+}

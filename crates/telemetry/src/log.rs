@@ -1,0 +1,185 @@
+//! A leveled structured logger gated by `NERPA_LOG`.
+//!
+//! The level check is one relaxed atomic load, so disabled log sites
+//! cost nothing measurable on hot paths — and at the default level
+//! (`warn`) the hot paths emit nothing at all. Set `NERPA_LOG` to one
+//! of `off`, `error`, `warn`, `info`, `debug`, `trace` to widen it.
+//!
+//! Records go to stderr as `LEVEL target: message` lines; tests can
+//! install a capture sink instead.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Log severity, most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Level {
+    /// Logging disabled.
+    Off = 0,
+    /// Unrecoverable problems.
+    Error = 1,
+    /// Recoverable problems (reconnects, retries).
+    Warn = 2,
+    /// Lifecycle events (connects, resyncs, reconciles).
+    Info = 3,
+    /// Per-transaction detail (hot paths; off by default).
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl Level {
+    /// The level's display name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Level::Off => "OFF",
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "off" | "none" => Level::Off,
+            "error" => Level::Error,
+            "warn" | "warning" => Level::Warn,
+            "info" => Level::Info,
+            "debug" => Level::Debug,
+            "trace" => Level::Trace,
+            _ => return None,
+        })
+    }
+}
+
+/// The default maximum level when `NERPA_LOG` is unset.
+pub const DEFAULT_LEVEL: Level = Level::Warn;
+
+const UNINIT: usize = usize::MAX;
+static MAX_LEVEL: AtomicUsize = AtomicUsize::new(UNINIT);
+static EMITTED: AtomicU64 = AtomicU64::new(0);
+static SINK: Mutex<Option<Vec<String>>> = Mutex::new(None);
+
+fn init_level() -> usize {
+    let lvl = std::env::var("NERPA_LOG")
+        .ok()
+        .and_then(|s| Level::parse(&s))
+        .unwrap_or(DEFAULT_LEVEL) as usize;
+    // Another thread may have initialized (or a test may have set an
+    // explicit level) in the meantime; keep whatever is there.
+    match MAX_LEVEL.compare_exchange(UNINIT, lvl, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => lvl,
+        Err(cur) => cur,
+    }
+}
+
+/// The current maximum level.
+pub fn max_level() -> Level {
+    let raw = MAX_LEVEL.load(Ordering::Relaxed);
+    let raw = if raw == UNINIT { init_level() } else { raw };
+    match raw {
+        1 => Level::Error,
+        2 => Level::Warn,
+        3 => Level::Info,
+        4 => Level::Debug,
+        5 => Level::Trace,
+        _ => Level::Off,
+    }
+}
+
+/// Override the maximum level (takes precedence over `NERPA_LOG`).
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as usize, Ordering::Relaxed);
+}
+
+/// Whether records at `level` would be emitted. One atomic load.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    let max = MAX_LEVEL.load(Ordering::Relaxed);
+    let max = if max == UNINIT { init_level() } else { max };
+    (level as usize) <= max
+}
+
+/// Total records actually emitted by this process. Tests assert this
+/// does not move across hot paths at the default level.
+pub fn records_emitted() -> u64 {
+    EMITTED.load(Ordering::Relaxed)
+}
+
+/// Emit one record (callers go through the `log_*` macros, which check
+/// [`enabled`] first).
+pub fn write_record(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    let line = format!("{} {}: {}", level.as_str(), target, args);
+    EMITTED.fetch_add(1, Ordering::Relaxed);
+    let mut sink = SINK.lock().unwrap();
+    match sink.as_mut() {
+        Some(buf) => buf.push(line),
+        None => eprintln!("{line}"),
+    }
+}
+
+/// Run `f` with records captured instead of written to stderr; returns
+/// the result and the captured lines. Serializes concurrent captures
+/// through the sink lock's owner (intended for tests).
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<String>) {
+    {
+        let mut sink = SINK.lock().unwrap();
+        *sink = Some(Vec::new());
+    }
+    let r = f();
+    let lines = SINK.lock().unwrap().take().unwrap_or_default();
+    (r, lines)
+}
+
+/// Log at [`Level::Error`].
+#[macro_export]
+macro_rules! log_error {
+    ($target:expr, $($arg:tt)+) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::write_record($crate::log::Level::Error, $target, format_args!($($arg)+));
+        }
+    };
+}
+
+/// Log at [`Level::Warn`].
+#[macro_export]
+macro_rules! log_warn {
+    ($target:expr, $($arg:tt)+) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::write_record($crate::log::Level::Warn, $target, format_args!($($arg)+));
+        }
+    };
+}
+
+/// Log at [`Level::Info`].
+#[macro_export]
+macro_rules! log_info {
+    ($target:expr, $($arg:tt)+) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::write_record($crate::log::Level::Info, $target, format_args!($($arg)+));
+        }
+    };
+}
+
+/// Log at [`Level::Debug`] (hot paths; off by default).
+#[macro_export]
+macro_rules! log_debug {
+    ($target:expr, $($arg:tt)+) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::write_record($crate::log::Level::Debug, $target, format_args!($($arg)+));
+        }
+    };
+}
+
+/// Log at [`Level::Trace`].
+#[macro_export]
+macro_rules! log_trace {
+    ($target:expr, $($arg:tt)+) => {
+        if $crate::log::enabled($crate::log::Level::Trace) {
+            $crate::log::write_record($crate::log::Level::Trace, $target, format_args!($($arg)+));
+        }
+    };
+}

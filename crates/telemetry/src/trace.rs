@@ -1,0 +1,256 @@
+//! Causal trace spans: follow one configuration change across the
+//! management, control, and data planes.
+//!
+//! A [`TraceId`] is minted when a management-plane transaction commits
+//! (or a digest arrives) and threaded through monitor delivery, engine
+//! apply, delta emission, and P4Runtime writes. Each change yields a
+//! [`SpanTree`] — per-plane timings plus delta sizes — collected in a
+//! bounded ring buffer served by the introspection endpoint.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::metrics::json_string;
+
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+
+/// Mint a process-unique trace id (never 0, so 0 can mean "untraced").
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A span attribute value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrValue {
+    /// An integer attribute (counts, sizes, ids).
+    U64(u64),
+    /// A text attribute.
+    Text(String),
+}
+
+impl std::fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttrValue::U64(v) => write!(f, "{v}"),
+            AttrValue::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One timed operation within a trace, possibly with children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Operation name (`ovsdb.commit`, `ddlog.apply`, `p4.write`).
+    pub name: String,
+    /// Which plane did the work: `management`, `control`, `data`, or
+    /// `stack` for the root.
+    pub plane: &'static str,
+    /// Start offset from the trace root, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Attributes (delta sizes, switch ids, sources).
+    pub attrs: Vec<(String, AttrValue)>,
+    /// Child spans.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// A zero-duration span; set timings and attributes with the
+    /// builder methods.
+    pub fn new(name: impl Into<String>, plane: &'static str) -> Span {
+        Span {
+            name: name.into(),
+            plane,
+            start_ns: 0,
+            dur_ns: 0,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Set the start offset and duration.
+    pub fn timed(mut self, start_ns: u64, dur_ns: u64) -> Span {
+        self.start_ns = start_ns;
+        self.dur_ns = dur_ns;
+        self
+    }
+
+    /// Attach an integer attribute.
+    pub fn attr_u64(mut self, key: &str, v: u64) -> Span {
+        self.attrs.push((key.to_string(), AttrValue::U64(v)));
+        self
+    }
+
+    /// Attach a text attribute.
+    pub fn attr_text(mut self, key: &str, v: impl Into<String>) -> Span {
+        self.attrs
+            .push((key.to_string(), AttrValue::Text(v.into())));
+        self
+    }
+
+    fn to_json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"name\":{},\"plane\":{},\"start_ns\":{},\"dur_ns\":{},\"attrs\":{{",
+            json_string(&self.name),
+            json_string(self.plane),
+            self.start_ns,
+            self.dur_ns
+        ));
+        for (i, (k, v)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(k));
+            out.push(':');
+            match v {
+                AttrValue::U64(n) => out.push_str(&n.to_string()),
+                AttrValue::Text(s) => out.push_str(&json_string(s)),
+            }
+        }
+        out.push_str("},\"children\":[");
+        for (i, c) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            c.to_json(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+/// A complete trace: the id plus the root span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanTree {
+    /// The trace id threaded across the planes.
+    pub trace: u64,
+    /// The root span (its children are the per-plane stages).
+    pub root: Span,
+}
+
+impl SpanTree {
+    /// Total time attributed to `plane` across the whole tree, in
+    /// nanoseconds.
+    pub fn plane_duration_ns(&self, plane: &str) -> u64 {
+        fn walk(s: &Span, plane: &str) -> u64 {
+            let own = if s.plane == plane { s.dur_ns } else { 0 };
+            own + s.children.iter().map(|c| walk(c, plane)).sum::<u64>()
+        }
+        walk(&self.root, plane)
+    }
+
+    /// Find the first span (depth-first) whose name matches.
+    pub fn find_span(&self, name: &str) -> Option<&Span> {
+        fn walk<'a>(s: &'a Span, name: &str) -> Option<&'a Span> {
+            if s.name == name {
+                return Some(s);
+            }
+            s.children.iter().find_map(|c| walk(c, name))
+        }
+        walk(&self.root, name)
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"trace\":{},\"root\":", self.trace);
+        self.root.to_json(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// Render as an indented human-readable tree (for failure reports).
+    pub fn render_text(&self) -> String {
+        fn walk(s: &Span, depth: usize, out: &mut String) {
+            let attrs: Vec<String> = s.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            out.push_str(&format!(
+                "{}{} [{}] {:.3}ms {}\n",
+                "  ".repeat(depth),
+                s.name,
+                s.plane,
+                s.dur_ns as f64 / 1e6,
+                attrs.join(" ")
+            ));
+            for c in &s.children {
+                walk(c, depth + 1, out);
+            }
+        }
+        let mut out = format!("trace {}:\n", self.trace);
+        walk(&self.root, 1, &mut out);
+        out
+    }
+}
+
+/// A bounded ring buffer of recent traces.
+pub struct Tracer {
+    ring: Mutex<VecDeque<SpanTree>>,
+    cap: usize,
+    recorded: AtomicU64,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new(256)
+    }
+}
+
+impl Tracer {
+    /// A tracer keeping the most recent `cap` traces.
+    pub fn new(cap: usize) -> Tracer {
+        Tracer {
+            ring: Mutex::new(VecDeque::with_capacity(cap)),
+            cap,
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a finished trace, evicting the oldest if full.
+    pub fn record(&self, tree: SpanTree) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(tree);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total traces ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// The most recent trace.
+    pub fn last(&self) -> Option<SpanTree> {
+        self.ring.lock().unwrap().back().cloned()
+    }
+
+    /// Find a trace by id (most recent first).
+    pub fn find(&self, trace: u64) -> Option<SpanTree> {
+        self.ring
+            .lock()
+            .unwrap()
+            .iter()
+            .rev()
+            .find(|t| t.trace == trace)
+            .cloned()
+    }
+
+    /// All buffered traces, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanTree> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Render the buffered traces as a JSON array.
+    pub fn render_json(&self) -> String {
+        let ring = self.ring.lock().unwrap();
+        let mut out = String::from("[");
+        for (i, t) in ring.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&t.to_json());
+        }
+        out.push(']');
+        out
+    }
+}

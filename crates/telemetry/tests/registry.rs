@@ -1,0 +1,216 @@
+//! Registry semantics: bucket boundaries, counter saturation,
+//! concurrent access, and exposition-format stability (golden file).
+
+use std::sync::Arc;
+
+use telemetry::{validate_exposition, Counter, Histogram, Registry, LATENCY_BOUNDS_US};
+
+#[test]
+fn histogram_bucket_boundaries_are_inclusive() {
+    let h = Histogram::new(&[10, 100, 1_000]);
+    // On the boundary → that bucket; one past → the next.
+    h.record(10);
+    h.record(11);
+    h.record(100);
+    h.record(101);
+    h.record(1_000);
+    h.record(1_001); // overflow bucket
+    assert_eq!(h.bucket_counts(), vec![1, 2, 2, 1]);
+    assert_eq!(h.count(), 6);
+    assert_eq!(h.sum(), 10 + 11 + 100 + 101 + 1_000 + 1_001);
+    assert_eq!(h.first(), Some(10));
+    assert_eq!(h.last(), Some(1_001));
+    assert_eq!(h.max(), Some(1_001));
+}
+
+#[test]
+fn histogram_zero_lands_in_first_bucket() {
+    let h = Histogram::new(&LATENCY_BOUNDS_US);
+    h.record(0);
+    assert_eq!(h.bucket_counts()[0], 1);
+    assert_eq!(h.mean(), Some(0.0));
+}
+
+#[test]
+fn empty_histogram_reports_nothing() {
+    let h = Histogram::new(&[1, 2]);
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.mean(), None);
+    assert_eq!(h.first(), None);
+    assert_eq!(h.last(), None);
+    assert_eq!(h.max(), None);
+}
+
+#[test]
+fn counter_saturates_instead_of_wrapping() {
+    let c = Counter::new();
+    c.add(u64::MAX - 1);
+    c.add(10);
+    assert_eq!(c.get(), u64::MAX);
+    c.inc();
+    assert_eq!(c.get(), u64::MAX);
+}
+
+#[test]
+fn histogram_sum_saturates() {
+    let h = Histogram::new(&[10]);
+    h.record(u64::MAX - 1);
+    h.record(u64::MAX - 1);
+    assert_eq!(h.sum(), u64::MAX);
+    assert_eq!(h.count(), 2);
+}
+
+#[test]
+fn registry_is_get_or_create() {
+    let reg = Registry::new();
+    let a = reg.counter("x_total", "help");
+    let b = reg.counter("x_total", "help");
+    a.add(3);
+    b.add(4);
+    assert_eq!(a.get(), 7);
+    assert_eq!(reg.value("x_total"), Some(7));
+}
+
+#[test]
+fn labeled_series_are_distinct() {
+    let reg = Registry::new();
+    let port = reg.counter_with(
+        "changes_total",
+        "per-relation changes",
+        &[("relation", "Port")],
+    );
+    let swit = reg.counter_with(
+        "changes_total",
+        "per-relation changes",
+        &[("relation", "Switch")],
+    );
+    port.add(5);
+    swit.add(2);
+    assert_eq!(reg.value("changes_total{relation=\"Port\"}"), Some(5));
+    assert_eq!(reg.value("changes_total{relation=\"Switch\"}"), Some(2));
+    assert_eq!(reg.series_names().len(), 2);
+}
+
+#[test]
+#[should_panic(expected = "registered as counter")]
+fn kind_mismatch_panics() {
+    let reg = Registry::new();
+    reg.counter("thing", "help");
+    reg.gauge("thing", "help");
+}
+
+#[test]
+fn publish_replaces_the_series() {
+    let reg = Registry::new();
+    let first = Counter::new();
+    first.add(9);
+    reg.publish_counter("resyncs_total", "resync count", &first);
+    assert_eq!(reg.value("resyncs_total"), Some(9));
+    // A second instance (e.g. a new controller) takes over exposition,
+    // but the first handle still reads its own value.
+    let second = Counter::new();
+    second.add(1);
+    reg.publish_counter("resyncs_total", "resync count", &second);
+    assert_eq!(reg.value("resyncs_total"), Some(1));
+    assert_eq!(first.get(), 9);
+}
+
+#[test]
+fn concurrent_registration_and_updates_are_consistent() {
+    let reg = Arc::new(Registry::new());
+    let mut handles = Vec::new();
+    for t in 0..8 {
+        let reg = reg.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..1_000 {
+                // All threads hammer the same counter...
+                reg.counter("shared_total", "shared").inc();
+                // ...and their own labeled series and histogram.
+                let tid = t.to_string();
+                reg.counter_with("per_thread_total", "per-thread", &[("t", &tid)])
+                    .inc();
+                reg.histogram("obs_us", "observations", &[10, 100, 1_000])
+                    .record(i % 2_000);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(reg.value("shared_total"), Some(8_000));
+    for t in 0..8 {
+        assert_eq!(
+            reg.value(&format!("per_thread_total{{t=\"{t}\"}}")),
+            Some(1_000)
+        );
+    }
+    let h = reg.histogram("obs_us", "observations", &[10, 100, 1_000]);
+    assert_eq!(h.count(), 8_000);
+    assert_eq!(h.bucket_counts().iter().sum::<u64>(), 8_000);
+    validate_exposition(&reg.render_text()).unwrap();
+}
+
+/// The exposition format is a contract: scrapers and the CI gate parse
+/// it. Any change must update the golden file deliberately.
+#[test]
+fn exposition_format_matches_golden_file() {
+    let reg = Registry::new();
+    reg.counter(
+        "ovsdb_commits_total",
+        "Committed management-plane transactions",
+    )
+    .add(3);
+    reg.gauge("ddlog_zset_rows", "Rows across output relations")
+        .set(42);
+    let h = reg.histogram(
+        "stack_e2e_latency_us",
+        "End-to-end commit-to-dataplane latency (us)",
+        &[100, 1_000, 10_000],
+    );
+    h.record(50);
+    h.record(50);
+    h.record(700);
+    h.record(2_000_000);
+    reg.counter_with(
+        "ddlog_changes_total",
+        "Output relation changes by relation",
+        &[("relation", "InVlan")],
+    )
+    .add(5);
+
+    let text = reg.render_text();
+    validate_exposition(&text).unwrap();
+
+    let golden = include_str!("golden_exposition.txt");
+    assert_eq!(
+        text, golden,
+        "exposition format drifted from tests/golden_exposition.txt; \
+         if the change is intentional, update the golden file"
+    );
+
+    // JSON rendering stays parseable and carries the same series.
+    let json = reg.render_json();
+    assert!(json.contains("\"ovsdb_commits_total\":{\"type\":\"counter\",\"value\":3}"));
+    assert!(json.contains("\"ddlog_zset_rows\":{\"type\":\"gauge\",\"value\":42}"));
+    assert!(json.contains("\"type\":\"histogram\",\"count\":4"));
+}
+
+#[test]
+fn validate_exposition_rejects_malformed_text() {
+    // No TYPE comment.
+    assert!(validate_exposition("orphan_total 3\n").is_err());
+    // Bad value.
+    assert!(validate_exposition("# TYPE x counter\nx pancake\n").is_err());
+    // Bad metric name.
+    assert!(validate_exposition("# TYPE 9x counter\n9x 1\n").is_err());
+    // Histogram without +Inf bucket.
+    let text = "# TYPE h histogram\nh_bucket{le=\"10\"} 1\nh_sum 5\nh_count 1\n";
+    assert!(validate_exposition(text).is_err());
+    // Histogram where +Inf disagrees with count.
+    let text = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 5\nh_count 1\n";
+    assert!(validate_exposition(text).is_err());
+    // Well-formed minimal histogram passes.
+    let text =
+        "# TYPE h histogram\nh_bucket{le=\"10\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 5\nh_count 1\n";
+    validate_exposition(text).unwrap();
+}

@@ -93,7 +93,8 @@ fn main() {
 
     println!(
         "\ncontroller metrics: {} transactions, {} entries pushed",
-        stack.controller.metrics.transactions, stack.controller.metrics.entries_pushed
+        stack.controller.metrics.transactions.get(),
+        stack.controller.metrics.entries_pushed.get()
     );
     println!("done.");
 }

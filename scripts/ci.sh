@@ -10,6 +10,13 @@ cargo test -q
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Telemetry: the equivalence suite and the cross-plane e2e test run
+# with debug logging wide open (every hot-path log site formats), and
+# the e2e test scrapes the live introspection endpoint over HTTP,
+# failing on malformed Prometheus exposition.
+NERPA_LOG=debug cargo test -q --test equivalence
+NERPA_LOG=debug cargo test -q --test telemetry_e2e
+
 # Oracle smoke: 8 seeds fault-free, then the same seeds with a chaos
 # schedule injecting management-link outages and switch restarts.
 cargo run --release -q -p oracle --bin oracle -- --seed 1..8 --steps 200

@@ -158,7 +158,7 @@ fn ovsdb_link_death_recovers_with_delta_resync_and_switch_reconcile() {
     assert_eq!(report2.inserts, 5);
     assert_eq!(report2.deletes, 0);
     assert!(report2.delta_ops() < report2.snapshot_rows);
-    assert_eq!(controller.metrics.resyncs, 2);
+    assert_eq!(controller.metrics.resyncs.get(), 2);
     assert_eq!(device.read_table("InVlan").unwrap().len(), 6);
 
     // --- Switch restart ---------------------------------------------
@@ -196,7 +196,7 @@ fn ovsdb_link_death_recovers_with_delta_resync_and_switch_reconcile() {
     assert_eq!(rec2.inserted, 0);
     assert_eq!(rec2.deleted, 0);
     assert_eq!(rec2.unchanged, 6);
-    assert_eq!(controller.metrics.reconciles, 2);
+    assert_eq!(controller.metrics.reconciles.get(), 2);
 
     // --- Equivalence with a fault-free run --------------------------
     // A fresh controller + switch fed the same final database state,

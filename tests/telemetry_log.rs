@@ -1,0 +1,44 @@
+//! At the default log level (`warn`), the per-transaction hot path —
+//! OVSDB commit → DDlog apply → P4 write — must emit no log records at
+//! all: the level check is one atomic load and nothing is formatted.
+//! Widening the level makes the same path chatty, proving the sites are
+//! actually there.
+
+use telemetry::log::{records_emitted, set_level, Level};
+
+#[test]
+fn hot_path_is_silent_at_default_level() {
+    // Pin the default level explicitly so a NERPA_LOG in the test
+    // environment cannot widen it.
+    set_level(telemetry::log::DEFAULT_LEVEL);
+    assert_eq!(telemetry::log::max_level(), Level::Warn);
+
+    let mut stack = snvs::SnvsStack::new(1).expect("stack");
+    let before = records_emitted();
+    let ((), lines) = telemetry::log::capture(|| {
+        for i in 0..50u16 {
+            stack
+                .add_port(i, snvs::PortMode::Access(10 + (i % 8)), None)
+                .expect("add port");
+        }
+    });
+    assert_eq!(
+        records_emitted(),
+        before,
+        "hot path emitted records at the default level: {lines:?}"
+    );
+    assert!(lines.is_empty(), "{lines:?}");
+
+    // The same path logs per-transaction detail once debug is on.
+    set_level(Level::Debug);
+    let ((), lines) = telemetry::log::capture(|| {
+        stack
+            .add_port(100, snvs::PortMode::Access(10), None)
+            .expect("add port");
+    });
+    set_level(telemetry::log::DEFAULT_LEVEL);
+    assert!(
+        lines.iter().any(|l| l.starts_with("DEBUG controller:")),
+        "expected controller debug records, got {lines:?}"
+    );
+}
