@@ -1,0 +1,119 @@
+//! Bench-regression gate: compare a fresh `BENCH_*.json` report against
+//! a checked-in baseline and fail (exit 1) on regression.
+//!
+//! ```text
+//! compare crates/bench/baselines/BENCH_fig3.json BENCH_fig3.json
+//! compare <baseline> <current> --enforce-time --tolerance 0.25
+//! ```
+//!
+//! `tuples_per_op` — the deterministic dataflow-work measurement — is
+//! always enforced: each baseline entry must exist in the current report
+//! and stay within the tolerance (default 25%). `median_ns_per_op` is
+//! informational unless `--enforce-time` is passed, because wall time is
+//! machine-dependent while tuple counts are not.
+
+use bench::BenchEntry;
+
+fn usage() -> ! {
+    eprintln!("usage: compare <baseline.json> <current.json> [--enforce-time] [--tolerance F]");
+    std::process::exit(2);
+}
+
+fn within(baseline: u64, current: u64, tolerance: f64) -> bool {
+    let b = baseline as f64;
+    let c = current as f64;
+    // Tiny counts get an absolute floor of 1 so 0 vs 1 doesn't trip.
+    (c - b).abs() <= (b * tolerance).max(1.0)
+}
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut enforce_time = false;
+    let mut tolerance = 0.25f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--enforce-time" => enforce_time = true,
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            p if !p.starts_with('-') => paths.push(p.to_string()),
+            _ => usage(),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        usage()
+    };
+
+    let (b_name, baseline) = bench::read_bench_json(baseline_path).unwrap_or_else(|e| {
+        eprintln!("compare: {e}");
+        std::process::exit(2);
+    });
+    let (c_name, current) = bench::read_bench_json(current_path).unwrap_or_else(|e| {
+        eprintln!("compare: {e}");
+        std::process::exit(2);
+    });
+    if b_name != c_name {
+        eprintln!("compare: bench mismatch: baseline is {b_name:?}, current is {c_name:?}");
+        std::process::exit(1);
+    }
+
+    let mut failures = 0;
+    for b in &baseline {
+        let Some(c) = current.iter().find(|c| c.name == b.name) else {
+            eprintln!("FAIL {}: entry missing from current report", b.name);
+            failures += 1;
+            continue;
+        };
+        check(b, c, tolerance, enforce_time, &mut failures);
+    }
+    for c in &current {
+        if !baseline.iter().any(|b| b.name == c.name) {
+            println!(
+                "NOTE {}: new entry (tuples/op {}, {} ns/op) — not in baseline",
+                c.name, c.tuples_per_op, c.median_ns_per_op
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!("compare: {failures} regression(s) vs {baseline_path}");
+        std::process::exit(1);
+    }
+    println!(
+        "compare: {} entries within {:.0}% of {}",
+        baseline.len(),
+        tolerance * 100.0,
+        baseline_path
+    );
+}
+
+fn check(b: &BenchEntry, c: &BenchEntry, tolerance: f64, enforce_time: bool, failures: &mut u32) {
+    if !within(b.tuples_per_op, c.tuples_per_op, tolerance) {
+        eprintln!(
+            "FAIL {}: tuples/op {} vs baseline {} (> {:.0}%)",
+            b.name,
+            c.tuples_per_op,
+            b.tuples_per_op,
+            tolerance * 100.0
+        );
+        *failures += 1;
+    } else if enforce_time && !within(b.median_ns_per_op, c.median_ns_per_op, tolerance) {
+        eprintln!(
+            "FAIL {}: {} ns/op vs baseline {} (> {:.0}%)",
+            b.name,
+            c.median_ns_per_op,
+            b.median_ns_per_op,
+            tolerance * 100.0
+        );
+        *failures += 1;
+    } else {
+        println!(
+            "OK   {}: tuples/op {} (baseline {}), {} ns/op (baseline {})",
+            b.name, c.tuples_per_op, b.tuples_per_op, c.median_ns_per_op, b.median_ns_per_op
+        );
+    }
+}

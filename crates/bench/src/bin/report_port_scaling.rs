@@ -12,12 +12,13 @@
 use std::time::{Duration, Instant};
 
 use baselines::{FullRecompute, PortConfig};
-use bench::{ms, print_table};
+use bench::{ms, print_table, BenchEntry};
 use p4sim::service::SwitchDevice;
 use p4sim::Switch;
 use snvs::{PortMode, SnvsStack};
 
 const PORTS: u16 = 2000;
+const PORTS_QUICK: u16 = 200;
 
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
     let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
@@ -42,30 +43,55 @@ fn stat_row(name: &str, count: usize, lat: &[Duration]) -> Vec<String> {
 }
 
 fn main() {
+    let mut out: Option<String> = None;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => out = args.next(),
+            "--quick" => quick = true,
+            other => {
+                eprintln!("usage: report_port_scaling [--out FILE] [--quick] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+    let ports = if quick { PORTS_QUICK } else { PORTS };
+
     println!("E2: port-scaling latency (paper §4.3)");
     println!("paper reported: first 13 ms, last 18 ms (1.38x over 2,000 ports)");
 
     // ---- Nerpa (incremental) ------------------------------------------
     let mut stack = SnvsStack::new(1).expect("stack");
-    let mut latencies = Vec::with_capacity(PORTS as usize);
-    for i in 0..PORTS {
+    let mut latencies = Vec::with_capacity(ports as usize);
+    let mut tuples = Vec::with_capacity(ports as usize);
+    for i in 0..ports {
         let t = Instant::now();
         stack
             .add_port(i, PortMode::Access(10 + (i % 64)), None)
             .expect("add port");
         latencies.push(t.elapsed());
+        // Dataflow work of the commit this port-add caused.
+        tuples.push(
+            stack
+                .controller
+                .engine()
+                .last_profile()
+                .map(|p| p.total_tuples())
+                .unwrap_or(0),
+        );
     }
-    assert_eq!(stack.db.table_len("Port"), PORTS as usize);
+    assert_eq!(stack.db.table_len("Port"), ports as usize);
 
     // ---- full recompute baseline ----------------------------------------
     let device = SwitchDevice::new(Switch::from_source(snvs::assets::SNVS_P4).expect("p4"));
     let mut baseline = FullRecompute::new();
-    let mut ports: Vec<PortConfig> = Vec::new();
-    let mut b_latencies = Vec::with_capacity(PORTS as usize);
-    for i in 0..PORTS {
-        ports.push(PortConfig::access(i, 10 + (i % 64)));
+    let mut port_cfgs: Vec<PortConfig> = Vec::new();
+    let mut b_latencies = Vec::with_capacity(ports as usize);
+    for i in 0..ports {
+        port_cfgs.push(PortConfig::access(i, 10 + (i % 64)));
         let t = Instant::now();
-        let (updates, mcast) = baseline.reconcile(&ports, &[]);
+        let (updates, mcast) = baseline.reconcile(&port_cfgs, &[]);
         device.write(&updates).expect("write");
         for (g, members) in mcast {
             device.set_mcast_group(g, members);
@@ -85,14 +111,35 @@ fn main() {
             "last/first",
         ],
         &[
-            stat_row("nerpa (incremental)", PORTS as usize, &latencies),
-            stat_row("full recompute", PORTS as usize, &b_latencies),
+            stat_row("nerpa (incremental)", ports as usize, &latencies),
+            stat_row("full recompute", ports as usize, &b_latencies),
         ],
     );
 
+    let tuples_per_op = bench::median(&tuples);
+    println!("\nincremental dataflow work: median {tuples_per_op} tuples per port-add commit");
     println!(
-        "\nshape check: the incremental controller's last/first ratio stays near the \
+        "shape check: the incremental controller's last/first ratio stays near the \
          paper's 1.38x; the full-recompute baseline grows with network size."
     );
+
+    if let Some(path) = out {
+        let ns: Vec<u64> = latencies.iter().map(|d| d.as_nanos() as u64).collect();
+        let b_ns: Vec<u64> = b_latencies.iter().map(|d| d.as_nanos() as u64).collect();
+        let entries = vec![
+            BenchEntry {
+                name: "port_scaling/nerpa_incremental".into(),
+                median_ns_per_op: bench::median(&ns),
+                tuples_per_op,
+            },
+            BenchEntry {
+                name: "port_scaling/full_recompute".into(),
+                median_ns_per_op: bench::median(&b_ns),
+                tuples_per_op: 0,
+            },
+        ];
+        bench::write_bench_json(&path, "port_scaling", &entries).expect("write bench json");
+        println!("wrote {path}");
+    }
     bench::dump_metrics_snapshot();
 }

@@ -124,6 +124,79 @@ pub fn robotron_daily_churn(engine: &mut ddlog::Engine, scale: RobotronScale, da
     changed
 }
 
+/// One measured entry of a `BENCH_*.json` report: a stable name, the
+/// median wall time per operation, and the deterministic dataflow work
+/// per operation (tuples processed per commit, from the engine's
+/// [`ddlog::WorkProfile`]). Wall time is informational — regression
+/// gating keys on `tuples_per_op`, which is reproducible across
+/// machines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Stable entry name, identical between `--quick` and full runs.
+    pub name: String,
+    /// Median wall time per operation, nanoseconds.
+    pub median_ns_per_op: u64,
+    /// Median dataflow tuples processed per operation.
+    pub tuples_per_op: u64,
+}
+
+/// Median of an unsorted sample (0 for an empty one).
+pub fn median(samples: &[u64]) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+/// Write a `BENCH_*.json` report.
+pub fn write_bench_json(
+    path: &str,
+    bench: &str,
+    entries: &[BenchEntry],
+) -> Result<(), std::io::Error> {
+    let entries: Vec<serde_json::Value> = entries
+        .iter()
+        .map(|e| {
+            serde_json::json!({
+                "name": e.name,
+                "median_ns_per_op": e.median_ns_per_op,
+                "tuples_per_op": e.tuples_per_op,
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({ "bench": bench, "entries": entries });
+    std::fs::write(path, format!("{:#}\n", doc))
+}
+
+/// Read a `BENCH_*.json` report back: `(bench_name, entries)`.
+pub fn read_bench_json(path: &str) -> Result<(String, Vec<BenchEntry>), String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc: serde_json::Value =
+        serde_json::from_str(&raw).map_err(|e| format!("{path}: bad JSON: {e}"))?;
+    let bench = doc
+        .get("bench")
+        .and_then(|b| b.as_str())
+        .ok_or_else(|| format!("{path}: missing \"bench\""))?
+        .to_string();
+    let entries = doc
+        .get("entries")
+        .and_then(|e| e.as_array())
+        .ok_or_else(|| format!("{path}: missing \"entries\""))?
+        .iter()
+        .map(|e| {
+            Some(BenchEntry {
+                name: e.get("name")?.as_str()?.to_string(),
+                median_ns_per_op: e.get("median_ns_per_op")?.as_u64()?,
+                tuples_per_op: e.get("tuples_per_op")?.as_u64()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| format!("{path}: malformed entry"))?;
+    Ok((bench, entries))
+}
+
 /// Dump the process-wide telemetry registry when `NERPA_METRICS` is set
 /// (`json` for JSON, anything else for Prometheus text). Every report
 /// binary calls this last, so an experiment run can attach the raw
@@ -174,6 +247,31 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_json_round_trips() {
+        let entries = vec![
+            BenchEntry {
+                name: "fig3/robotron_churn/devices=100".into(),
+                median_ns_per_op: 12_345,
+                tuples_per_op: 42,
+            },
+            BenchEntry {
+                name: "fig3/reachability_churn/n=200".into(),
+                median_ns_per_op: 6_789,
+                tuples_per_op: 17,
+            },
+        ];
+        let path = std::env::temp_dir().join("bench_roundtrip_test.json");
+        let path = path.to_str().unwrap();
+        write_bench_json(path, "fig3", &entries).unwrap();
+        let (bench, back) = read_bench_json(path).unwrap();
+        let _ = std::fs::remove_file(path);
+        assert_eq!(bench, "fig3");
+        assert_eq!(back, entries);
+        assert_eq!(median(&[3, 1, 2]), 2);
+        assert_eq!(median(&[]), 0);
+    }
 
     #[test]
     fn graph_is_deterministic() {

@@ -249,6 +249,10 @@ pub struct Controller {
     /// relation: (switch, group) → member ports. Ordered so replaying
     /// it (switch reconcile) always pushes groups in the same order.
     mcast: BTreeMap<(usize, u16), BTreeSet<u16>>,
+    /// Rendered `/dataflow` snapshot shared with the introspection
+    /// endpoint's page closure; refreshed after each commit while the
+    /// endpoint holds a clone (the engine itself cannot cross threads).
+    dataflow: std::sync::Arc<std::sync::Mutex<String>>,
     /// Metrics collected so far.
     pub metrics: Metrics,
 }
@@ -275,6 +279,7 @@ impl Controller {
                 .collect(),
             switches: Vec::new(),
             mcast: BTreeMap::new(),
+            dataflow: std::sync::Arc::new(std::sync::Mutex::new(String::new())),
             metrics: Metrics::default(),
         })
     }
@@ -291,13 +296,20 @@ impl Controller {
     }
 
     /// Start the live introspection endpoint on `addr` (port 0 for an
-    /// ephemeral port): `/metrics`, `/metrics.json`, `/traces`, and
-    /// `/health` over HTTP, backed by the process-wide telemetry bundle
-    /// every plane registers into. The server stops when the returned
-    /// handle drops.
+    /// ephemeral port): `/metrics`, `/metrics.json`, `/traces`,
+    /// `/health`, and `/dataflow` (this controller's compiled plan with
+    /// per-operator cumulative costs as JSON) over HTTP, backed by the
+    /// process-wide telemetry bundle every plane registers into. The
+    /// server stops when the returned handle drops.
     pub fn serve_introspection(
+        &self,
         addr: impl std::net::ToSocketAddrs,
     ) -> std::io::Result<telemetry::IntrospectionServer> {
+        *self.dataflow.lock().unwrap() = self.engine.explain_json();
+        let snap = self.dataflow.clone();
+        telemetry::global().register_page("/dataflow", "application/json", move || {
+            snap.lock().unwrap().clone()
+        });
         telemetry::IntrospectionServer::start(addr, telemetry::global().clone())
     }
 
@@ -309,6 +321,13 @@ impl Controller {
     /// Direct read access to the engine (dumps, diagnostics).
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// Enable (or disable, with `None`) the engine's incrementality
+    /// audit: every commit asserts total dataflow work is
+    /// O(|input delta| + |output delta|) within the configured budget.
+    pub fn set_work_audit(&mut self, cfg: Option<ddlog::AuditConfig>) {
+        self.engine.set_audit(cfg);
     }
 
     /// Handle committed OVSDB row changes (in-process path).
@@ -404,9 +423,17 @@ impl Controller {
                 txn.delete(rel, row);
             }
         }
-        let delta = self.engine.commit(txn).map_err(|e| e.to_string())?;
+        let (delta, profile) = self
+            .engine
+            .commit_profiled(txn)
+            .map_err(|e| e.to_string())?;
         let apply_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         self.metrics.transactions.inc();
+        // Refresh the /dataflow snapshot only while an introspection
+        // endpoint actually holds the other end.
+        if std::sync::Arc::strong_count(&self.dataflow) > 1 {
+            *self.dataflow.lock().unwrap() = self.engine.explain_json();
+        }
 
         // Route output deltas to switches. Deletes go first so that
         // replacing an entry (delete+insert of the same key) is valid.
@@ -477,12 +504,21 @@ impl Controller {
             root.children
                 .push(Span::new("ovsdb.commit", "management").timed(0, ctx.commit_ns));
         }
-        root.children.push(
-            Span::new("ddlog.apply", "control")
-                .timed(ctx.commit_ns, apply_ns.max(1))
-                .attr_u64("input_ops", input_ops as u64)
-                .attr_u64("output_changes", delta.len() as u64),
-        );
+        let mut apply_span = Span::new("ddlog.apply", "control")
+            .timed(ctx.commit_ns, apply_ns.max(1))
+            .attr_u64("input_ops", input_ops as u64)
+            .attr_u64("output_changes", delta.len() as u64)
+            .attr_u64("work_tuples", profile.total_tuples());
+        if let Some(&hot) = profile.hottest(1).first() {
+            let meta = &self.engine.op_catalog().ops[hot];
+            apply_span = apply_span
+                .attr_text(
+                    "hottest_op",
+                    format!("[{hot}] {} {}", meta.kind.name(), meta.detail),
+                )
+                .attr_u64("hottest_op_tuples", profile.stats[hot].tuples());
+        }
+        root.children.push(apply_span);
         for mut s in write_spans {
             s.start_ns += ctx.commit_ns;
             root.children.push(s);

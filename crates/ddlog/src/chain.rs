@@ -15,15 +15,63 @@
 //! result is work proportional to the size of the change — the paper's
 //! central scalability argument (§2.1–§2.2).
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::cexpr::{eval, eval_aggregate, Binding};
 use crate::error::{Error, Phase, Result};
 use crate::plan::{CompiledRule, KeySrc, PStage};
+use crate::profile::{OpId, WorkProfile};
 use crate::store::{Key, RelId, RelationStore};
 use crate::value::{Row, Value};
 use crate::zset::ZSet;
+
+/// Approx-bytes cost of one arrangement/group key.
+fn key_cost(k: &Key) -> usize {
+    k.len() * std::mem::size_of::<Value>() + 32
+}
+
+/// Approx-bytes cost of one arranged binding.
+fn binding_cost(b: &Binding) -> usize {
+    std::mem::size_of::<Binding>() + 24 + b.len() * std::mem::size_of::<Value>()
+}
+
+/// Add `(b, w)` to the z-set stored under `key` in `map`, keeping the
+/// incremental byte count in sync (key/binding creation and removal).
+fn arrange_add(
+    map: &mut HashMap<Key, ZSet<Binding>>,
+    bytes: &mut usize,
+    key: Key,
+    b: &Binding,
+    w: isize,
+) {
+    let kc = key_cost(&key);
+    let bc = binding_cost(b);
+    match map.entry(key) {
+        Entry::Occupied(mut o) => {
+            let z = o.get_mut();
+            let had = z.weight(b) != 0;
+            z.add(b.clone(), w);
+            let has = z.weight(b) != 0;
+            if !had && has {
+                *bytes += bc;
+            } else if had && !has {
+                *bytes = bytes.saturating_sub(bc);
+            }
+            if z.is_empty() {
+                o.remove();
+                *bytes = bytes.saturating_sub(kc);
+            }
+        }
+        Entry::Vacant(v) => {
+            if w != 0 {
+                v.insert(ZSet::singleton(b.clone(), w));
+                *bytes += kc + bc;
+            }
+        }
+    }
+}
 
 /// Mutable per-stage state for one rule.
 #[derive(Debug, Default, Clone)]
@@ -41,6 +89,9 @@ pub enum StageState {
 #[derive(Debug, Clone)]
 pub struct RuleState {
     states: Vec<StageState>,
+    /// Incrementally maintained approximate resident bytes; always equal
+    /// to what [`RuleState::approx_bytes_recompute`] would return.
+    bytes: usize,
 }
 
 impl RuleState {
@@ -56,12 +107,18 @@ impl RuleState {
                 _ => StageState::None,
             })
             .collect();
-        RuleState { states }
+        RuleState { states, bytes: 0 }
     }
 
     /// Approximate resident bytes of all arrangements (for the memory
-    /// experiments).
+    /// experiments). O(1): maintained incrementally as bindings flow in.
     pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Recompute [`RuleState::approx_bytes`] by walking every
+    /// arrangement. Test/debug aid for validating the incremental count.
+    pub fn approx_bytes_recompute(&self) -> usize {
         let mut total = 0;
         for st in &self.states {
             let map = match st {
@@ -69,10 +126,9 @@ impl RuleState {
                 StageState::None => continue,
             };
             for (k, z) in map {
-                total += k.len() * std::mem::size_of::<Value>() + 32;
-                total += z.len() * (std::mem::size_of::<Binding>() + 24);
+                total += key_cost(k);
                 for (b, _) in z.iter() {
-                    total += b.len() * std::mem::size_of::<Value>();
+                    total += binding_cost(b);
                 }
             }
         }
@@ -133,12 +189,15 @@ fn extend(
 ///
 /// * `rel_deltas` — set-level deltas of relations already updated this
 ///   transaction (lower strata and inputs).
+/// * `prof` — when profiling: the rule's operator ids (parallel to its
+///   stages) and the transaction's [`WorkProfile`] to record into.
 /// * Returns the delta of head-row derivations (weighted).
 pub fn process_rule(
     rule: &CompiledRule,
     state: &mut RuleState,
     stores: &[RelationStore],
     rel_deltas: &HashMap<RelId, ZSet<Row>>,
+    mut prof: Option<(&[OpId], &mut WorkProfile)>,
 ) -> Result<ZSet<Row>> {
     // Fast path: nothing this rule depends on changed.
     if !rule
@@ -149,11 +208,42 @@ pub fn process_rule(
         return Ok(ZSet::new());
     }
 
+    let RuleState { states, bytes } = state;
     let empty = ZSet::new();
     let mut cur: ZSet<Binding> = ZSet::new();
 
     for (i, stage) in rule.stages.iter().enumerate() {
+        // Tuples entering this stage: the upstream binding delta plus,
+        // for atoms, the relation-side delta.
+        let tuples_in = cur.len()
+            + match stage {
+                PStage::Atom { rel, .. } => rel_deltas.get(rel).map(ZSet::len).unwrap_or(0),
+                _ => 0,
+            };
+        let stage_start = prof.is_some().then(std::time::Instant::now);
         match stage {
+            PStage::Atom {
+                rel,
+                neg,
+                key_cols,
+                key_srcs,
+                checks,
+                binds,
+            } if i == 0 => {
+                debug_assert!(!neg);
+                // Source stage: map relation delta to bindings.
+                let delta_r = rel_deltas.get(rel).unwrap_or(&empty);
+                let mut out = ZSet::new();
+                for (row, w) in delta_r.iter() {
+                    if !row_admissible(key_cols, key_srcs, checks, row) {
+                        continue;
+                    }
+                    if let Some(nb) = extend(&[], &[], binds, row) {
+                        out.add(nb, w);
+                    }
+                }
+                cur = out;
+            }
             PStage::Atom {
                 rel,
                 neg,
@@ -164,22 +254,7 @@ pub fn process_rule(
             } => {
                 let store = &stores[*rel];
                 let delta_r = rel_deltas.get(rel).unwrap_or(&empty);
-                if i == 0 {
-                    debug_assert!(!neg);
-                    // Source stage: map relation delta to bindings.
-                    let mut out = ZSet::new();
-                    for (row, w) in delta_r.iter() {
-                        if !row_admissible(key_cols, key_srcs, checks, row) {
-                            continue;
-                        }
-                        if let Some(nb) = extend(&[], &[], binds, row) {
-                            out.add(nb, w);
-                        }
-                    }
-                    cur = out;
-                    continue;
-                }
-                let arr = match &mut state.states[i] {
+                let arr = match &mut states[i] {
                     StageState::Arrangement(m) => m,
                     _ => unreachable!("atom stage without arrangement"),
                 };
@@ -253,10 +328,8 @@ pub fn process_rule(
                 // Update the arrangement with δL.
                 for (b, w) in cur.iter() {
                     let key = key_from_binding(key_srcs, b);
-                    let entry = arr.entry(key).or_default();
-                    entry.add(b.clone(), w);
+                    arrange_add(arr, bytes, key, b, w);
                 }
-                arr.retain(|_, z| !z.is_empty());
                 cur = out;
             }
             PStage::Filter { expr } => {
@@ -299,7 +372,7 @@ pub fn process_rule(
                 func,
                 arg,
             } => {
-                let groups = match &mut state.states[i] {
+                let groups = match &mut states[i] {
                     StageState::Groups(m) => m,
                     _ => unreachable!("aggregate stage without groups"),
                 };
@@ -311,14 +384,27 @@ pub fn process_rule(
                 }
                 let mut out = ZSet::new();
                 for (key, dg) in affected {
-                    let group = groups.entry(key.clone()).or_default();
+                    if !groups.contains_key(&key) {
+                        *bytes += key_cost(&key);
+                        groups.insert(key.clone(), ZSet::new());
+                    }
+                    let group = groups.get_mut(&key).expect("group just ensured");
                     let old_nonempty = group.support().next().is_some();
                     let agg_old = if old_nonempty {
                         Some(eval_aggregate(*func, arg.as_ref(), group)?)
                     } else {
                         None
                     };
-                    group.add_all(&dg);
+                    for (b, w) in dg.iter() {
+                        let had = group.weight(b) != 0;
+                        group.add(b.clone(), w);
+                        let has = group.weight(b) != 0;
+                        if !had && has {
+                            *bytes += binding_cost(b);
+                        } else if had && !has {
+                            *bytes = bytes.saturating_sub(binding_cost(b));
+                        }
+                    }
                     let new_nonempty = group.support().next().is_some();
                     let agg_new = if new_nonempty {
                         Some(eval_aggregate(*func, arg.as_ref(), group)?)
@@ -327,6 +413,7 @@ pub fn process_rule(
                     };
                     if group.is_empty() {
                         groups.remove(&key);
+                        *bytes = bytes.saturating_sub(key_cost(&key));
                     }
                     if agg_old == agg_new {
                         continue;
@@ -344,6 +431,14 @@ pub fn process_rule(
                 }
                 cur = out;
             }
+        }
+        if let Some((ops, wp)) = prof.as_mut() {
+            let wall = stage_start
+                .map(|t| t.elapsed().as_nanos() as u64)
+                .unwrap_or(0);
+            let tuples_out = cur.len() as u64;
+            let peak = (tuples_in as u64).max(tuples_out);
+            wp.record(ops[i], tuples_in as u64, tuples_out, peak, wall);
         }
         if cur.is_empty() && !more_deltas_ahead(rule, i, rel_deltas) {
             return Ok(ZSet::new());

@@ -13,6 +13,7 @@ use crate::ast::RelationRole;
 use crate::chain::{process_rule, RuleState};
 use crate::error::{Error, Phase, Result};
 use crate::plan::{plan, CompiledProgram};
+use crate::profile::{AuditConfig, FixpointProbe, OpCatalog, WorkProfile};
 use crate::recursive::process_recursive_stratum;
 use crate::store::{RelId, RelationStore};
 use crate::stratify::{stratify, Stratification};
@@ -27,6 +28,7 @@ struct EngineMetrics {
     input_ops: telemetry::Counter,
     output_changes: telemetry::Counter,
     zset_rows: telemetry::Gauge,
+    state_bytes: telemetry::Gauge,
 }
 
 fn engine_metrics() -> &'static EngineMetrics {
@@ -46,8 +48,55 @@ fn engine_metrics() -> &'static EngineMetrics {
                 "Output relation row changes emitted",
             ),
             zset_rows: reg.gauge("ddlog_zset_rows", "Visible rows across all relation stores"),
+            state_bytes: reg.gauge(
+                "ddlog_state_bytes",
+                "Approximate resident bytes of stores and arrangements",
+            ),
         }
     })
+}
+
+/// Cached per-operator counter handles (created once per engine, bumped
+/// once per commit).
+struct OpSeries {
+    tuples_in: telemetry::Counter,
+    tuples_out: telemetry::Counter,
+    wall_ns: telemetry::Counter,
+}
+
+fn op_series(catalog: &OpCatalog) -> Vec<OpSeries> {
+    let reg = &telemetry::global().registry;
+    catalog
+        .ops
+        .iter()
+        .map(|m| {
+            let id = m.id.to_string();
+            let rule = m.rule.map(|r| r.to_string()).unwrap_or_default();
+            let labels: [(&str, &str); 4] = [
+                ("op", &id),
+                ("kind", m.kind.name()),
+                ("rule", &rule),
+                ("detail", &m.detail),
+            ];
+            OpSeries {
+                tuples_in: reg.counter_with(
+                    "ddlog_op_tuples_in_total",
+                    "Tuples consumed per dataflow operator",
+                    &labels,
+                ),
+                tuples_out: reg.counter_with(
+                    "ddlog_op_tuples_out_total",
+                    "Tuples produced per dataflow operator",
+                    &labels,
+                ),
+                wall_ns: reg.counter_with(
+                    "ddlog_op_wall_ns_total",
+                    "Wall time per dataflow operator (ns)",
+                    &labels,
+                ),
+            }
+        })
+        .collect()
 }
 
 fn relation_changes_counter(relation: &str) -> telemetry::Counter {
@@ -136,6 +185,16 @@ pub struct Engine {
     /// inconsistent and all further operations fail.
     poisoned: bool,
     commits: u64,
+    /// Stable operator catalog derived from the compiled plan.
+    catalog: OpCatalog,
+    /// Per-operator telemetry counter handles, parallel to the catalog.
+    series: Vec<OpSeries>,
+    /// Cumulative work across all commits (and initial fact propagation).
+    cumulative: WorkProfile,
+    /// Profile of the most recent commit (even one that failed the audit).
+    last_profile: Option<WorkProfile>,
+    /// When set, every commit is checked against the work budget.
+    audit: Option<AuditConfig>,
 }
 
 impl Engine {
@@ -194,6 +253,14 @@ impl Engine {
 
         let rule_states = compiled.rules.iter().map(RuleState::new).collect();
 
+        let strata_shape: Vec<(bool, Vec<usize>)> = strata
+            .iter()
+            .map(|s| (s.recursive, s.plan_idxs.clone()))
+            .collect();
+        let catalog = OpCatalog::build(&compiled, &strata_shape);
+        let series = op_series(&catalog);
+        let cumulative = WorkProfile::new(catalog.len());
+
         let mut engine = Engine {
             checked,
             compiled,
@@ -203,6 +270,11 @@ impl Engine {
             rule_states,
             poisoned: false,
             commits: 0,
+            catalog,
+            series,
+            cumulative,
+            last_profile: None,
+            audit: None,
         };
 
         // Install constant facts and propagate them like a transaction.
@@ -214,7 +286,9 @@ impl Engine {
             rel_deltas.entry(rel).or_default().merge(sd);
         }
         rel_deltas.retain(|_, z| !z.is_empty());
-        engine.propagate(&mut rel_deltas)?;
+        let mut init_profile = WorkProfile::new(engine.catalog.len());
+        engine.propagate(&mut rel_deltas, &mut init_profile)?;
+        engine.cumulative.merge(&init_profile);
         Ok(engine)
     }
 
@@ -244,6 +318,13 @@ impl Engine {
     /// Commit a transaction: apply input changes, propagate incrementally,
     /// return output deltas.
     pub fn commit(&mut self, txn: Transaction) -> Result<TxnDelta> {
+        self.commit_profiled(txn).map(|(delta, _)| delta)
+    }
+
+    /// Like [`Engine::commit`], but also returns the transaction's
+    /// [`WorkProfile`]: per-operator tuples-in/out, peak intermediate
+    /// z-set sizes, and wall time.
+    pub fn commit_profiled(&mut self, txn: Transaction) -> Result<(TxnDelta, WorkProfile)> {
         if self.poisoned {
             return Err(Error::new(
                 Phase::Eval,
@@ -299,44 +380,83 @@ impl Engine {
             entry.1 = *is_insert;
         }
 
-        let mut rel_deltas: HashMap<RelId, ZSet<Row>> = HashMap::new();
+        // Apply the net intents per relation, recording each relation's
+        // Distinct operator (derivation-count maintenance).
+        let mut profile = WorkProfile::new(self.catalog.len());
+        let mut input_deltas: HashMap<RelId, ZSet<Row>> = HashMap::new();
         for ((rel, row), (initial, fin)) in intents {
             if initial != fin {
                 let w = if fin { 1 } else { -1 };
-                let sd = self.stores[rel].apply_derivation_delta(&ZSet::singleton(row, w));
-                rel_deltas.entry(rel).or_default().merge(sd);
+                input_deltas.entry(rel).or_default().add(row, w);
             }
         }
-        rel_deltas.retain(|_, z| !z.is_empty());
+        let mut rel_deltas: HashMap<RelId, ZSet<Row>> = HashMap::new();
+        for (rel, d) in input_deltas {
+            let t0 = std::time::Instant::now();
+            let tuples_in = d.len() as u64;
+            let sd = self.stores[rel].apply_derivation_delta(&d);
+            profile.record(
+                self.catalog.distinct_ops[rel],
+                tuples_in,
+                sd.len() as u64,
+                tuples_in.max(sd.len() as u64),
+                t0.elapsed().as_nanos() as u64,
+            );
+            if !sd.is_empty() {
+                rel_deltas.insert(rel, sd);
+            }
+        }
+        profile.input_tuples = rel_deltas.values().map(ZSet::len).sum::<usize>() as u64;
 
-        let out = self.propagate(&mut rel_deltas);
+        let out = self.propagate(&mut rel_deltas, &mut profile);
         if out.is_err() {
             self.poisoned = true;
         }
         self.commits += 1;
+        profile.total_wall_ns = started.elapsed().as_nanos() as u64;
         metrics.commit_us.record_duration(started.elapsed());
         metrics.commits.inc();
-        if let Ok(delta) = &out {
-            metrics.output_changes.add(delta.len() as u64);
-            for (rel, rows) in &delta.changes {
-                relation_changes_counter(rel).add(rows.len() as u64);
-            }
-            metrics
-                .zset_rows
-                .set(self.stores.iter().map(RelationStore::len).sum::<usize>() as i64);
-            telemetry::log_debug!(
-                "ddlog",
-                "commit #{}: {} output changes across {} relations",
-                self.commits,
-                delta.len(),
-                delta.changes.len()
-            );
+        let delta = out?;
+        metrics.output_changes.add(delta.len() as u64);
+        for (rel, rows) in &delta.changes {
+            relation_changes_counter(rel).add(rows.len() as u64);
         }
-        out
+        metrics
+            .zset_rows
+            .set(self.stores.iter().map(RelationStore::len).sum::<usize>() as i64);
+        metrics.state_bytes.set(self.approx_bytes() as i64);
+        for (op, s) in profile.stats.iter().enumerate() {
+            if s.invocations == 0 {
+                continue;
+            }
+            self.series[op].tuples_in.add(s.tuples_in);
+            self.series[op].tuples_out.add(s.tuples_out);
+            self.series[op].wall_ns.add(s.wall_ns);
+        }
+        self.cumulative.merge(&profile);
+        self.last_profile = Some(profile.clone());
+        telemetry::log_debug!(
+            "ddlog",
+            "commit #{}: {} output changes across {} relations, {} tuples processed",
+            self.commits,
+            delta.len(),
+            delta.changes.len(),
+            profile.total_tuples()
+        );
+        if let Some(cfg) = self.audit {
+            cfg.check(&profile, delta.len() as u64)
+                .map_err(|msg| Error::new(Phase::Eval, msg))?;
+        }
+        Ok((delta, profile))
     }
 
-    /// Propagate already-applied input deltas through all strata.
-    fn propagate(&mut self, rel_deltas: &mut HashMap<RelId, ZSet<Row>>) -> Result<TxnDelta> {
+    /// Propagate already-applied input deltas through all strata,
+    /// recording per-operator work into `profile`.
+    fn propagate(
+        &mut self,
+        rel_deltas: &mut HashMap<RelId, ZSet<Row>>,
+        profile: &mut WorkProfile,
+    ) -> Result<TxnDelta> {
         for si in 0..self.strata.len() {
             let stratum = self.strata[si].clone();
             if stratum.recursive {
@@ -346,7 +466,20 @@ impl Engine {
                     .map(|pi| &self.compiled.rules[*pi])
                     .collect();
                 let scc: HashSet<RelId> = stratum.rels.iter().copied().collect();
-                let net = process_recursive_stratum(&rules, &scc, &mut self.stores, rel_deltas)?;
+                let mut probe = FixpointProbe::default();
+                let t0 = std::time::Instant::now();
+                let net = process_recursive_stratum(
+                    &rules,
+                    &scc,
+                    &mut self.stores,
+                    rel_deltas,
+                    Some(&mut probe),
+                )?;
+                let wall = t0.elapsed().as_nanos() as u64;
+                let out_tuples = net.values().map(ZSet::len).sum::<usize>() as u64;
+                if let Some(op) = self.catalog.fixpoint_ops[si] {
+                    profile.record(op, probe.driven, out_tuples, probe.peak, wall);
+                }
                 for (rel, z) in net {
                     rel_deltas.entry(rel).or_default().merge(z);
                 }
@@ -354,14 +487,28 @@ impl Engine {
                 let mut acc: HashMap<RelId, ZSet<Row>> = HashMap::new();
                 for pi in &stratum.plan_idxs {
                     let rule = &self.compiled.rules[*pi];
-                    let head_delta =
-                        process_rule(rule, &mut self.rule_states[*pi], &self.stores, rel_deltas)?;
+                    let head_delta = process_rule(
+                        rule,
+                        &mut self.rule_states[*pi],
+                        &self.stores,
+                        rel_deltas,
+                        Some((&self.catalog.rule_ops[*pi], profile)),
+                    )?;
                     if !head_delta.is_empty() {
                         acc.entry(rule.head_rel).or_default().merge(head_delta);
                     }
                 }
                 for (rel, deriv_delta) in acc {
+                    let t0 = std::time::Instant::now();
+                    let tuples_in = deriv_delta.len() as u64;
                     let sd = self.stores[rel].apply_derivation_delta(&deriv_delta);
+                    profile.record(
+                        self.catalog.distinct_ops[rel],
+                        tuples_in,
+                        sd.len() as u64,
+                        tuples_in.max(sd.len() as u64),
+                        t0.elapsed().as_nanos() as u64,
+                    );
                     if !sd.is_empty() {
                         rel_deltas.entry(rel).or_default().merge(sd);
                     }
@@ -426,11 +573,174 @@ impl Engine {
 
     /// Approximate resident bytes of all stores and arrangements — the
     /// "memory-intensive data indexing" the paper's §2.2 worst case
-    /// measures.
+    /// measures. Cheap: per-store byte counts are maintained
+    /// incrementally, so this is O(#relations + #rules), not O(state).
     pub fn approx_bytes(&self) -> usize {
         let stores: usize = self.stores.iter().map(RelationStore::approx_bytes).sum();
         let arrangements: usize = self.rule_states.iter().map(RuleState::approx_bytes).sum();
         stores + arrangements
+    }
+
+    /// Recompute [`Engine::approx_bytes`] by walking the full state.
+    /// Test/debug aid validating the incremental accounting.
+    pub fn approx_bytes_recompute(&self) -> usize {
+        let stores: usize = self
+            .stores
+            .iter()
+            .map(RelationStore::approx_bytes_recompute)
+            .sum();
+        let arrangements: usize = self
+            .rule_states
+            .iter()
+            .map(RuleState::approx_bytes_recompute)
+            .sum();
+        stores + arrangements
+    }
+
+    /// The engine's operator catalog (stable ids into every
+    /// [`WorkProfile`] it produces).
+    pub fn op_catalog(&self) -> &OpCatalog {
+        &self.catalog
+    }
+
+    /// The profile of the most recent commit, if any. Present even when
+    /// that commit failed the incrementality audit.
+    pub fn last_profile(&self) -> Option<&WorkProfile> {
+        self.last_profile.as_ref()
+    }
+
+    /// Cumulative per-operator work across the engine's whole history
+    /// (including initial fact propagation).
+    pub fn cumulative_profile(&self) -> &WorkProfile {
+        &self.cumulative
+    }
+
+    /// Enable (or disable, with `None`) the incrementality audit: after
+    /// each commit the total tuples processed are checked against
+    /// `slack + ratio × (|input delta| + |output delta|)`. A violating
+    /// commit returns an error — its state changes stand (the engine is
+    /// *not* poisoned; the bound was exceeded, not correctness).
+    pub fn set_audit(&mut self, cfg: Option<AuditConfig>) {
+        self.audit = cfg;
+    }
+
+    /// Render the compiled plan with cumulative per-operator costs as
+    /// human-readable text: one block per rule, then the per-relation
+    /// distinct operators and recursive fixpoints.
+    pub fn explain_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "dataflow plan: {} operators, {} commits, ~{} bytes resident",
+            self.catalog.len(),
+            self.commits,
+            self.approx_bytes()
+        );
+        let fmt_op = |out: &mut String, id: usize| {
+            let m = &self.catalog.ops[id];
+            let s = &self.cumulative.stats[id];
+            let _ = writeln!(
+                out,
+                "  [{:3}] {:9} {:32} inv={} in={} out={} peak={} wall_us={}",
+                m.id,
+                m.kind.name(),
+                m.detail,
+                s.invocations,
+                s.tuples_in,
+                s.tuples_out,
+                s.peak,
+                s.wall_ns / 1_000
+            );
+        };
+        for (pi, rule) in self.compiled.rules.iter().enumerate() {
+            let head = &self.compiled.decls[rule.head_rel].name;
+            let body: Vec<&str> = rule
+                .body_rels
+                .iter()
+                .map(|r| self.compiled.decls[*r].name.as_str())
+                .collect();
+            let _ = writeln!(
+                out,
+                "rule {}: {} :- {}",
+                rule.rule_index,
+                head,
+                body.join(", ")
+            );
+            if self.catalog.rule_ops[pi].is_empty() {
+                let _ = writeln!(out, "  (recursive stratum; see fixpoint operators)");
+            }
+            for id in &self.catalog.rule_ops[pi] {
+                fmt_op(&mut out, *id);
+            }
+        }
+        let _ = writeln!(out, "distinct (derivation-count maintenance):");
+        for id in &self.catalog.distinct_ops {
+            fmt_op(&mut out, *id);
+        }
+        let fixpoints: Vec<usize> = self
+            .catalog
+            .fixpoint_ops
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        if !fixpoints.is_empty() {
+            let _ = writeln!(out, "recursive fixpoints:");
+            for id in fixpoints {
+                fmt_op(&mut out, id);
+            }
+        }
+        out
+    }
+
+    /// Render the compiled plan with cumulative per-operator costs as a
+    /// deterministic JSON document (the `/dataflow` exposition).
+    pub fn explain_json(&self) -> String {
+        use std::fmt::Write as _;
+        let js = telemetry::metrics::json_string;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema\":\"nerpa.dataflow.v1\",\"commits\":{},\"state_bytes\":{},\
+             \"total_tuples\":{},\"total_wall_ns\":{},\"ops\":[",
+            self.commits,
+            self.approx_bytes(),
+            self.cumulative.total_tuples(),
+            self.cumulative.total_wall_ns
+        );
+        for (i, m) in self.catalog.ops.iter().enumerate() {
+            let s = &self.cumulative.stats[i];
+            if i > 0 {
+                out.push(',');
+            }
+            let rule = m
+                .rule
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "null".to_string());
+            let stage = m
+                .stage
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "null".to_string());
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"kind\":{},\"rule\":{},\"stage\":{},\"detail\":{},\
+                 \"invocations\":{},\"tuples_in\":{},\"tuples_out\":{},\"peak\":{},\
+                 \"wall_ns\":{}}}",
+                m.id,
+                js(m.kind.name()),
+                rule,
+                stage,
+                js(&m.detail),
+                s.invocations,
+                s.tuples_in,
+                s.tuples_out,
+                s.peak,
+                s.wall_ns
+            );
+        }
+        out.push_str("]}");
+        out
     }
 }
 

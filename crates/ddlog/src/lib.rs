@@ -37,6 +37,7 @@ pub mod error;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
+pub mod profile;
 pub mod recursive;
 pub mod stdlib;
 pub mod store;
@@ -48,5 +49,6 @@ pub mod zset;
 
 pub use engine::{Engine, Transaction, TxnDelta};
 pub use error::{Error, Result};
+pub use profile::{AuditConfig, OpCatalog, OpId, OpKind, OpMeta, OpStats, WorkProfile};
 pub use types::Type;
 pub use value::Value;

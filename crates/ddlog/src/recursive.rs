@@ -14,6 +14,7 @@ use crate::cexpr::eval;
 use crate::chain::flatten;
 use crate::error::{Error, Phase, Result};
 use crate::plan::{CompiledRule, HeadBind, KeySrc, PStage};
+use crate::profile::FixpointProbe;
 use crate::store::{Key, RelId, RelationStore};
 use crate::value::{Row, Value};
 use crate::zset::ZSet;
@@ -337,12 +338,14 @@ fn walk(
 /// already updated this transaction (lower strata and inputs).
 ///
 /// Returns the net set-level delta per SCC relation, already applied to
-/// the stores.
+/// the stores. When `probe` is given, frontier pops and peak frontier
+/// length are recorded into it (the fixpoint's work accounting).
 pub fn process_recursive_stratum(
     rules: &[&CompiledRule],
     scc_rels: &HashSet<RelId>,
     stores: &mut [RelationStore],
     rel_deltas: &HashMap<RelId, ZSet<Row>>,
+    mut probe: Option<&mut FixpointProbe>,
 ) -> Result<HashMap<RelId, ZSet<Row>>> {
     let mut net: HashMap<RelId, ZSet<Row>> = HashMap::new();
 
@@ -387,6 +390,10 @@ pub fn process_recursive_stratum(
         }
         // Iterate: deletions of SCC rows propagate through SCC atoms.
         while let Some((drel, drow)) = frontier.pop() {
+            if let Some(p) = probe.as_deref_mut() {
+                p.observe_frontier(frontier.len() + 1);
+                p.pop();
+            }
             for rule in rules {
                 for (idx, stage) in rule.stages.iter().enumerate() {
                     match stage {
@@ -546,6 +553,10 @@ pub fn process_recursive_stratum(
 
         // Fixpoint.
         while let Some((drel, drow)) = pending.pop() {
+            if let Some(p) = probe.as_deref_mut() {
+                p.observe_frontier(pending.len() + 1);
+                p.pop();
+            }
             let mut derived: Vec<(RelId, Row)> = Vec::new();
             {
                 let new_view = View::new(stores);

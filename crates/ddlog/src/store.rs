@@ -30,20 +30,61 @@ impl Index {
         cols.iter().map(|c| row[*c].clone()).collect()
     }
 
-    fn insert(&mut self, row: &Row) {
+    /// Insert and return the approx-bytes growth (key bytes when the key
+    /// is new, plus the per-entry cost).
+    fn insert(&mut self, row: &Row) -> usize {
         let key = Self::project(&self.cols, row);
-        self.map.entry(key).or_default().insert(row.clone());
-    }
-
-    fn remove(&mut self, row: &Row) {
-        let key = Self::project(&self.cols, row);
-        if let Some(set) = self.map.get_mut(&key) {
-            set.remove(row);
-            if set.is_empty() {
-                self.map.remove(&key);
+        let key_cost: usize = key.iter().map(value_bytes).sum();
+        match self.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                if o.get_mut().insert(row.clone()) {
+                    INDEX_ENTRY_BYTES
+                } else {
+                    0
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(HashSet::from([row.clone()]));
+                key_cost + INDEX_ENTRY_BYTES
             }
         }
     }
+
+    /// Remove and return the approx-bytes shrinkage.
+    fn remove(&mut self, row: &Row) -> usize {
+        let key = Self::project(&self.cols, row);
+        let mut freed = 0;
+        if let Some(set) = self.map.get_mut(&key) {
+            if set.remove(row) {
+                freed += INDEX_ENTRY_BYTES;
+            }
+            if set.is_empty() {
+                freed += key.iter().map(value_bytes).sum::<usize>();
+                self.map.remove(&key);
+            }
+        }
+        freed
+    }
+}
+
+/// Cost of one index entry (an `Arc` clone of the row plus set overhead).
+const INDEX_ENTRY_BYTES: usize = std::mem::size_of::<Row>() + 16;
+
+/// Approximate resident bytes of one value, including heap payloads.
+fn value_bytes(v: &Value) -> usize {
+    std::mem::size_of::<Value>()
+        + match v {
+            Value::Str(s) => s.len(),
+            Value::Vec(v) | Value::Tuple(v) => v.iter().map(value_bytes).sum(),
+            Value::Set(s) => s.iter().map(value_bytes).sum(),
+            Value::Map(m) => m.iter().map(|(k, v)| value_bytes(k) + value_bytes(v)).sum(),
+            _ => 0,
+        }
+}
+
+/// Approximate resident bytes of one stored row.
+fn row_bytes(r: &Row) -> usize {
+    r.iter().map(value_bytes).sum::<usize>() + std::mem::size_of::<Row>() + 16
 }
 
 /// Storage for one relation.
@@ -58,6 +99,9 @@ pub struct RelationStore {
     live_rows: usize,
     /// Registered indexes, looked up by their column list.
     indexes: HashMap<Vec<usize>, Index>,
+    /// Incrementally maintained approximate resident bytes; always equal
+    /// to what [`RelationStore::approx_bytes_recompute`] would return.
+    bytes: usize,
 }
 
 impl RelationStore {
@@ -139,19 +183,23 @@ impl RelationStore {
                 self.name
             );
             *entry = new;
+            if old == 0 && new != 0 {
+                self.bytes += row_bytes(row);
+            }
             if new == 0 {
                 self.derivations.remove(row);
+                self.bytes = self.bytes.saturating_sub(row_bytes(row));
             }
             if old <= 0 && new > 0 {
                 self.live_rows += 1;
                 for idx in self.indexes.values_mut() {
-                    idx.insert(row);
+                    self.bytes += idx.insert(row);
                 }
                 set_delta.add(row.clone(), 1);
             } else if old > 0 && new <= 0 {
                 self.live_rows -= 1;
                 for idx in self.indexes.values_mut() {
-                    idx.remove(row);
+                    self.bytes = self.bytes.saturating_sub(idx.remove(row));
                 }
                 set_delta.add(row.clone(), -1);
             }
@@ -186,23 +234,17 @@ impl RelationStore {
     }
 
     /// Approximate resident bytes (rows + index entries), used by the
-    /// memory-overhead experiment (E5).
+    /// memory-overhead experiment (E5). O(1): the count is maintained
+    /// incrementally on every applied delta.
     pub fn approx_bytes(&self) -> usize {
-        fn value_bytes(v: &Value) -> usize {
-            std::mem::size_of::<Value>()
-                + match v {
-                    Value::Str(s) => s.len(),
-                    Value::Vec(v) | Value::Tuple(v) => v.iter().map(value_bytes).sum(),
-                    Value::Set(s) => s.iter().map(value_bytes).sum(),
-                    Value::Map(m) => m.iter().map(|(k, v)| value_bytes(k) + value_bytes(v)).sum(),
-                    _ => 0,
-                }
-        }
-        let row_bytes: usize = self
-            .derivations
-            .keys()
-            .map(|r| r.iter().map(value_bytes).sum::<usize>() + std::mem::size_of::<Row>() + 16)
-            .sum();
+        self.bytes
+    }
+
+    /// Recompute [`RelationStore::approx_bytes`] from scratch by walking
+    /// the full store. Test/debug aid for validating the incremental
+    /// accounting.
+    pub fn approx_bytes_recompute(&self) -> usize {
+        let rows: usize = self.derivations.keys().map(row_bytes).sum();
         // Index entries hold an Arc clone of the row plus the projected key.
         let index_bytes: usize = self
             .indexes
@@ -211,13 +253,12 @@ impl RelationStore {
                 idx.map
                     .iter()
                     .map(|(k, set)| {
-                        k.iter().map(value_bytes).sum::<usize>()
-                            + set.len() * (std::mem::size_of::<Row>() + 16)
+                        k.iter().map(value_bytes).sum::<usize>() + set.len() * INDEX_ENTRY_BYTES
                     })
                     .sum::<usize>()
             })
             .sum();
-        row_bytes + index_bytes
+        rows + index_bytes
     }
 }
 
@@ -278,6 +319,34 @@ mod tests {
         // The pre-existing row is not in the late index — this documents
         // why registration must precede data.
         assert_eq!(s.lookup(&[0], &vec![Value::Int(5)]).count(), 0);
+    }
+
+    #[test]
+    fn incremental_bytes_match_recompute_after_churn() {
+        let mut s = RelationStore::new("R");
+        s.register_index(&[0]);
+        s.register_index(&[1]);
+        for i in 0..50 {
+            s.apply_derivation_delta(&ZSet::singleton(r(&[i % 7, i]), 1));
+        }
+        // Extra derivations, partial deletes, full deletes.
+        for i in 0..50 {
+            if i % 3 == 0 {
+                s.apply_derivation_delta(&ZSet::singleton(r(&[i % 7, i]), 1));
+            }
+            if i % 2 == 0 {
+                s.apply_derivation_delta(&ZSet::singleton(r(&[i % 7, i]), -1));
+            }
+        }
+        assert_eq!(s.approx_bytes(), s.approx_bytes_recompute());
+        assert!(s.approx_bytes() > 0);
+        // Draining everything returns the count to zero.
+        let rows: Vec<(Row, isize)> = s.rows_with_counts().map(|(r, c)| (r.clone(), c)).collect();
+        for (row, c) in rows {
+            s.apply_derivation_delta(&ZSet::singleton(row, -c));
+        }
+        assert_eq!(s.approx_bytes(), 0);
+        assert_eq!(s.approx_bytes_recompute(), 0);
     }
 
     #[test]

@@ -1,0 +1,357 @@
+//! Dataflow profiler contracts: per-operator counts sum to engine-level
+//! totals across join/aggregate/recursive programs, profiles are
+//! independent of transaction op order, incremental byte accounting
+//! matches a full recompute, and the `/dataflow` JSON schema is pinned
+//! to a golden file.
+
+use std::collections::BTreeSet;
+
+use ddlog::{AuditConfig, Engine, OpKind, Transaction, Value, WorkProfile};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn s(v: &str) -> Value {
+    Value::str(v)
+}
+fn i(v: i128) -> Value {
+    Value::Int(v)
+}
+
+/// Sum of Distinct-operator tuples-out across all relations — the
+/// engine-level total of set-level changes this commit (inputs included).
+fn distinct_out(e: &Engine, p: &WorkProfile) -> u64 {
+    e.op_catalog()
+        .distinct_ops
+        .iter()
+        .map(|op| p.stats[*op].tuples_out)
+        .sum()
+}
+
+#[test]
+fn join_profile_sums_to_engine_totals() {
+    let mut e = Engine::from_source(
+        "
+        input relation A(x: bigint, y: bigint)
+        input relation B(y: bigint, z: bigint)
+        output relation R(x: bigint, z: bigint)
+        R(x, z) :- A(x, y), B(y, z).
+        ",
+    )
+    .unwrap();
+    let mut t = Transaction::new();
+    for k in 0..4 {
+        t.insert("A", vec![i(k), i(k % 2)]);
+    }
+    t.insert("B", vec![i(0), i(10)]);
+    t.insert("B", vec![i(1), i(11)]);
+    let (d, p) = e.commit_profiled(t).unwrap();
+
+    // Set-level input delta: 4 A rows + 2 B rows.
+    assert_eq!(p.input_tuples, 6);
+    let cat = e.op_catalog();
+    let a = cat.distinct_ops[0];
+    let b = cat.distinct_ops[1];
+    let r = cat.distinct_ops[2];
+    assert_eq!(p.stats[a].tuples_out, 4);
+    assert_eq!(p.stats[b].tuples_out, 2);
+    // The output relation's Distinct emits exactly the TxnDelta rows.
+    assert_eq!(p.stats[r].tuples_out as usize, d.changes["R"].len());
+    // Engine-level conservation: every set-level change flows through
+    // exactly one Distinct operator.
+    assert_eq!(distinct_out(&e, &p), p.input_tuples + d.len() as u64);
+
+    // The scan consumed A's delta; the join consumed the scanned
+    // bindings plus B's delta and produced the joined rows, which are
+    // what R's Distinct consumed.
+    let ops = &cat.rule_ops[0];
+    let scan = &p.stats[ops[0]];
+    let join = &p.stats[ops[1]];
+    assert_eq!(cat.ops[ops[0]].kind, OpKind::Scan);
+    assert_eq!(cat.ops[ops[1]].kind, OpKind::Join);
+    assert_eq!(scan.tuples_in, 4);
+    assert_eq!(scan.tuples_out, 4);
+    assert_eq!(join.tuples_in, scan.tuples_out + 2);
+    assert_eq!(join.tuples_out, p.stats[r].tuples_in);
+}
+
+#[test]
+fn aggregate_profile_sums_to_engine_totals() {
+    let mut e = Engine::from_source(
+        "
+        input relation P(p: bigint, sw: string)
+        output relation N(sw: string, n: bigint)
+        N(sw, n) :- P(p, sw), var n = count(p) group_by (sw).
+        ",
+    )
+    .unwrap();
+    let mut t = Transaction::new();
+    t.insert("P", vec![i(1), s("a")]);
+    t.insert("P", vec![i(2), s("a")]);
+    t.insert("P", vec![i(3), s("b")]);
+    let (d, p) = e.commit_profiled(t).unwrap();
+    let cat = e.op_catalog().clone();
+    let ops = cat.rule_ops[0].clone();
+    assert_eq!(cat.ops[ops[1]].kind, OpKind::Aggregate);
+    // Two groups changed from empty: one +1 row each.
+    assert_eq!(p.stats[ops[1]].tuples_in, 3);
+    assert_eq!(p.stats[ops[1]].tuples_out, 2);
+    assert_eq!(distinct_out(&e, &p), p.input_tuples + d.len() as u64);
+
+    // Deleting one port rewrites its group: -old +new aggregate rows.
+    let mut t = Transaction::new();
+    t.delete("P", vec![i(2), s("a")]);
+    let (d, p) = e.commit_profiled(t).unwrap();
+    assert_eq!(p.input_tuples, 1);
+    assert_eq!(p.stats[ops[1]].tuples_out, 2);
+    assert_eq!(d.changes["N"].len(), 2);
+    assert_eq!(distinct_out(&e, &p), p.input_tuples + d.len() as u64);
+}
+
+#[test]
+fn recursive_profile_accounts_fixpoint_work() {
+    let mut e = Engine::from_source(
+        "
+        input relation GivenLabel(n: string, l: bigint)
+        input relation Edge(a: string, b: string)
+        output relation Label(n: string, l: bigint)
+        Label(n, l) :- GivenLabel(n, l).
+        Label(b, l) :- Label(a, l), Edge(a, b).
+        ",
+    )
+    .unwrap();
+    let cat = e.op_catalog().clone();
+    // Recursive rules have no per-stage operators; the stratum has one
+    // Fixpoint operator instead.
+    assert!(cat.rule_ops.iter().all(Vec::is_empty));
+    let fix = cat
+        .fixpoint_ops
+        .iter()
+        .flatten()
+        .copied()
+        .next()
+        .expect("a recursive stratum");
+    assert_eq!(cat.ops[fix].kind, OpKind::Fixpoint);
+
+    let mut t = Transaction::new();
+    t.insert("GivenLabel", vec![s("a"), i(1)]);
+    t.insert("Edge", vec![s("a"), s("b")]);
+    t.insert("Edge", vec![s("b"), s("c")]);
+    let (d, p) = e.commit_profiled(t).unwrap();
+    // The fixpoint's output is exactly the stratum's net set-level delta,
+    // which for this program is the Label TxnDelta.
+    assert_eq!(p.stats[fix].tuples_out as usize, d.changes["Label"].len());
+    assert!(p.stats[fix].tuples_in >= p.stats[fix].tuples_out);
+    assert!(p.stats[fix].peak > 0);
+
+    // Deleting the middle edge drives DRed over two labels.
+    let mut t = Transaction::new();
+    t.delete("Edge", vec![s("a"), s("b")]);
+    let (d, p) = e.commit_profiled(t).unwrap();
+    assert_eq!(p.stats[fix].tuples_out as usize, d.changes["Label"].len());
+    assert!(p.stats[fix].tuples_in > 0, "DRed work must be visible");
+}
+
+#[test]
+fn audit_passes_incremental_and_catches_blowup() {
+    let mut e = Engine::from_source(
+        "
+        input relation A(x: bigint, y: bigint)
+        input relation B(y: bigint, z: bigint)
+        output relation R(x: bigint, z: bigint)
+        R(x, z) :- A(x, y), B(y, z).
+        ",
+    )
+    .unwrap();
+    e.set_audit(Some(AuditConfig::default()));
+    let mut t = Transaction::new();
+    for k in 0..32 {
+        t.insert("A", vec![i(k), i(k)]);
+        t.insert("B", vec![i(k), i(k + 100)]);
+    }
+    e.commit(t).expect("incremental work fits the budget");
+
+    // A single B row joining against a large arranged A side: the work
+    // is proportional to the (large) output delta, so the default audit
+    // still passes...
+    let mut e2 = Engine::from_source(
+        "
+        input relation A(x: bigint, y: bigint)
+        input relation B(y: bigint, z: bigint)
+        output relation R(x: bigint, z: bigint)
+        R(x, z) :- A(x, y), B(y, z).
+        ",
+    )
+    .unwrap();
+    let mut t = Transaction::new();
+    for k in 0..600 {
+        t.insert("A", vec![i(k), i(0)]);
+    }
+    e2.commit(t).unwrap();
+    // ...but a zero-slack zero-ratio budget trips, proving the check
+    // actually fires and does not poison the engine.
+    e2.set_audit(Some(AuditConfig { ratio: 0, slack: 0 }));
+    let mut t = Transaction::new();
+    t.insert("B", vec![i(0), i(7)]);
+    let err = e2.commit(t).expect_err("zero budget must trip");
+    assert!(err.to_string().contains("incrementality audit"), "{err}");
+    assert!(e2.last_profile().is_some());
+    // Not poisoned: the engine keeps working once the audit is relaxed.
+    e2.set_audit(None);
+    let mut t = Transaction::new();
+    t.insert("B", vec![i(1), i(8)]);
+    e2.commit(t).expect("audit failure must not poison");
+}
+
+#[test]
+fn engine_bytes_incremental_matches_recompute() {
+    let mut e = Engine::from_source(
+        "
+        input relation GivenLabel(n: string, l: bigint)
+        input relation Edge(a: string, b: string)
+        output relation Label(n: string, l: bigint)
+        output relation Deg(a: string, n: bigint)
+        Label(n, l) :- GivenLabel(n, l).
+        Label(b, l) :- Label(a, l), Edge(a, b).
+        Deg(a, n) :- Edge(a, b), var n = count(b) group_by (a).
+        ",
+    )
+    .unwrap();
+    let names = ["a", "b", "c", "d", "e"];
+    let mut t = Transaction::new();
+    t.insert("GivenLabel", vec![s("a"), i(1)]);
+    for (k, w) in names.iter().zip(names.iter().skip(1)) {
+        t.insert("Edge", vec![s(k), s(w)]);
+    }
+    t.insert("Edge", vec![s("e"), s("b")]);
+    e.commit(t).unwrap();
+    assert_eq!(e.approx_bytes(), e.approx_bytes_recompute());
+
+    let mut t = Transaction::new();
+    t.delete("Edge", vec![s("b"), s("c")]);
+    t.insert("Edge", vec![s("a"), s("d")]);
+    e.commit(t).unwrap();
+    assert_eq!(e.approx_bytes(), e.approx_bytes_recompute());
+    assert!(e.approx_bytes() > 0);
+}
+
+const SPLIT_PROG: &str = "
+    input relation A(x: bigint, y: bigint)
+    input relation B(y: bigint, z: bigint)
+    output relation J(x: bigint, z: bigint)
+    output relation C(y: bigint, n: bigint)
+    J(x, z) :- A(x, y), B(y, z).
+    C(y, n) :- A(x, y), var n = count(x) group_by (y).
+";
+
+fn run_ordered(ops: &[(bool, i128, i128)], order: &[usize]) -> (Vec<(u64, u64, u64, u64)>, u64) {
+    let mut e = Engine::from_source(SPLIT_PROG).unwrap();
+    let mut t = Transaction::new();
+    for idx in order {
+        let (is_a, x, y) = ops[*idx];
+        let rel = if is_a { "A" } else { "B" };
+        t.insert(rel, vec![i(x), i(y)]);
+    }
+    let (_, p) = e.commit_profiled(t).unwrap();
+    (p.counts(), p.input_tuples)
+}
+
+proptest! {
+    /// A transaction's WorkProfile (timings aside) does not depend on
+    /// the order its ops were batched in.
+    #[test]
+    fn profile_independent_of_op_order(
+        rows in proptest::collection::vec((any::<bool>(), 0i64..20, 0i64..6), 1..24),
+        seed in any::<u64>(),
+    ) {
+        // Distinct rows only: permuting duplicate inserts is a no-op,
+        // but insert-then-delete of the same row is order-sensitive by
+        // design, so dedupe before shuffling.
+        let ops: Vec<(bool, i128, i128)> = rows
+            .into_iter()
+            .map(|(a, x, y)| (a, x as i128, y as i128))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let forward: Vec<usize> = (0..ops.len()).collect();
+        let mut shuffled = forward.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for k in (1..shuffled.len()).rev() {
+            shuffled.swap(k, rng.random_range(0..=k));
+        }
+        let (c1, in1) = run_ordered(&ops, &forward);
+        let (c2, in2) = run_ordered(&ops, &shuffled);
+        prop_assert_eq!(c1, c2);
+        prop_assert_eq!(in1, in2);
+    }
+}
+
+/// Zero out the volatile (timing/platform-sized) numeric fields of the
+/// dataflow JSON so the rest can be compared exactly.
+fn normalize_dataflow_json(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    while let Some(pos) = ["\"wall_ns\":", "\"total_wall_ns\":", "\"state_bytes\":"]
+        .iter()
+        .filter_map(|k| rest.find(k).map(|p| p + k.len()))
+        .min()
+    {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let digits = rest.chars().take_while(char::is_ascii_digit).count();
+        out.push('0');
+        rest = &rest[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn dataflow_json_matches_golden_file() {
+    let mut e = Engine::from_source(
+        "
+        input relation GivenLabel(n: string, l: bigint)
+        input relation Edge(a: string, b: string)
+        output relation Label(n: string, l: bigint)
+        Label(n, l) :- GivenLabel(n, l).
+        Label(b, l) :- Label(a, l), Edge(a, b).
+        input relation Port(id: bigint, sw: string, up: bool)
+        input relation Blocked(id: bigint)
+        output relation Active(id: bigint, sw: string)
+        Active(id, sw) :- Port(id, sw, up), up == true, not Blocked(id).
+        output relation PortCount(sw: string, n: bigint)
+        PortCount(sw, n) :- Port(id, sw, _), var n = count(id) group_by (sw).
+        output relation Doubled(id: bigint, d: bigint)
+        Doubled(id, d) :- Active(id, sw), var d = id * 2.
+        ",
+    )
+    .unwrap();
+    let mut t = Transaction::new();
+    t.insert("Port", vec![i(1), s("s1"), Value::Bool(true)]);
+    t.insert("Port", vec![i(2), s("s1"), Value::Bool(true)]);
+    t.insert("Port", vec![i(3), s("s2"), Value::Bool(false)]);
+    t.insert("Blocked", vec![i(2)]);
+    e.commit(t).unwrap();
+    let mut t = Transaction::new();
+    t.delete("Blocked", vec![i(2)]);
+    e.commit(t).unwrap();
+
+    let normalized = normalize_dataflow_json(&e.explain_json());
+    if std::env::var_os("BLESS_DATAFLOW_GOLDEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_dataflow.json");
+        std::fs::write(path, format!("{normalized}\n")).unwrap();
+    }
+    let golden = include_str!("golden_dataflow.json");
+    assert_eq!(
+        normalized,
+        golden.trim_end(),
+        "/dataflow JSON schema drifted from tests/golden_dataflow.json; \
+         if the change is intentional, regenerate the golden file"
+    );
+
+    // The text rendering covers the same operators.
+    let text = e.explain_text();
+    for kind in ["scan", "antijoin", "aggregate", "distinct", "fixpoint"] {
+        assert!(text.contains(kind), "explain text missing {kind}:\n{text}");
+    }
+}

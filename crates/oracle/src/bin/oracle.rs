@@ -111,6 +111,12 @@ fn main() {
                     println!("    {op:?}");
                 }
                 println!("  replay: {}", replay_command(&cfg));
+                if let Some(profile) = &fail.failure.work_profile {
+                    println!("  work profile of failing step:");
+                    for line in profile.lines() {
+                        println!("    {line}");
+                    }
+                }
                 if let Some(trace) = &fail.failing_trace {
                     println!("  last trace before failure:");
                     for line in trace.lines() {

@@ -113,6 +113,10 @@ pub struct StepFailure {
     pub op: Option<WorkloadOp>,
     /// Which invariant broke, with detail.
     pub reason: String,
+    /// Rendered [`ddlog::WorkProfile`] of the engine commit closest to
+    /// the failure — which operators did the work and how much (`None`
+    /// if the engine never committed).
+    pub work_profile: Option<String>,
 }
 
 impl std::fmt::Display for StepFailure {
@@ -170,6 +174,13 @@ impl Harness {
             options: CodegenOptions { per_switch: true },
         };
         let mut controller = Controller::new(&nerpa_program)?;
+        // Every oracle step also audits incrementality: commit work must
+        // stay proportional to the input + output deltas. Generous
+        // budget — DRed on MAC-learning churn legitimately over-deletes.
+        controller.set_work_audit(Some(ddlog::AuditConfig {
+            ratio: 64,
+            slack: 4096,
+        }));
         let device = SwitchDevice::new(Switch::new(program.clone()));
         controller.add_switch(Box::new(device.clone()));
         let mut db = ovsdb::Database::new(schema);
@@ -533,6 +544,33 @@ pub fn run_workload(ops: &[WorkloadOp], cfg: &OracleConfig) -> Result<OracleRepo
     run_workload_inner(ops, cfg).map(|(report, _)| report)
 }
 
+/// Render the work profile of the harness engine's most recent commit:
+/// totals plus the hottest operators, for failure reports.
+fn profile_snapshot(harness: &Harness) -> Option<String> {
+    let engine = harness.controller.engine();
+    let profile = engine.last_profile()?;
+    let catalog = engine.op_catalog();
+    let mut out = format!(
+        "last commit: {} input tuples, {} tuples processed, {} ns\n",
+        profile.input_tuples,
+        profile.total_tuples(),
+        profile.total_wall_ns
+    );
+    for id in profile.hottest(5) {
+        let meta = &catalog.ops[id];
+        let s = &profile.stats[id];
+        out.push_str(&format!(
+            "  [{id:3}] {:9} {:24} in={} out={} peak={}\n",
+            meta.kind.name(),
+            meta.detail,
+            s.tuples_in,
+            s.tuples_out,
+            s.peak
+        ));
+    }
+    Some(out)
+}
+
 fn run_workload_inner(
     ops: &[WorkloadOp],
     cfg: &OracleConfig,
@@ -541,6 +579,7 @@ fn run_workload_inner(
         step: 0,
         op: None,
         reason,
+        work_profile: None,
     };
     let mut harness = Harness::new(cfg.bug).map_err(setup_err)?;
     let plan = match cfg.chaos {
@@ -554,51 +593,67 @@ fn run_workload_inner(
         while next_fault < plan.events.len() && plan.events[next_fault].at_step == step {
             let kind = plan.events[next_fault].kind;
             next_fault += 1;
-            harness
-                .inject_fault(kind, &mut report)
-                .map_err(|reason| StepFailure {
+            if let Err(reason) = harness.inject_fault(kind, &mut report) {
+                return Err(StepFailure {
                     step,
                     op: None,
                     reason,
-                })?;
-        }
-        harness.apply(op).map_err(|reason| StepFailure {
-            step,
-            op: Some(op.clone()),
-            reason,
-        })?;
-        if !harness.connected {
-            harness.outage_remaining -= 1;
-            if harness.outage_remaining == 0 {
-                harness.reconnect().map_err(|reason| StepFailure {
-                    step,
-                    op: Some(op.clone()),
-                    reason: format!("resync failed: {reason}"),
-                })?;
+                    work_profile: profile_snapshot(&harness),
+                });
             }
         }
-        if harness.connected {
-            harness.check_invariants().map_err(|reason| StepFailure {
+        if let Err(reason) = harness.apply(op) {
+            return Err(StepFailure {
                 step,
                 op: Some(op.clone()),
                 reason,
-            })?;
+                work_profile: profile_snapshot(&harness),
+            });
+        }
+        if !harness.connected {
+            harness.outage_remaining -= 1;
+            if harness.outage_remaining == 0 {
+                if let Err(reason) = harness.reconnect() {
+                    return Err(StepFailure {
+                        step,
+                        op: Some(op.clone()),
+                        reason: format!("resync failed: {reason}"),
+                        work_profile: profile_snapshot(&harness),
+                    });
+                }
+            }
+        }
+        if harness.connected {
+            if let Err(reason) = harness.check_invariants() {
+                return Err(StepFailure {
+                    step,
+                    op: Some(op.clone()),
+                    reason,
+                    work_profile: profile_snapshot(&harness),
+                });
+            }
         }
         report.steps += 1;
     }
 
     // A run may end mid-outage; converge before the final verdict.
     if !harness.connected {
-        harness.reconnect().map_err(|reason| StepFailure {
-            step: ops.len(),
-            op: None,
-            reason: format!("final resync failed: {reason}"),
-        })?;
-        harness.check_invariants().map_err(|reason| StepFailure {
-            step: ops.len(),
-            op: None,
-            reason,
-        })?;
+        if let Err(reason) = harness.reconnect() {
+            return Err(StepFailure {
+                step: ops.len(),
+                op: None,
+                reason: format!("final resync failed: {reason}"),
+                work_profile: profile_snapshot(&harness),
+            });
+        }
+        if let Err(reason) = harness.check_invariants() {
+            return Err(StepFailure {
+                step: ops.len(),
+                op: None,
+                reason,
+                work_profile: profile_snapshot(&harness),
+            });
+        }
     }
 
     report.final_entries = Harness::installed(&harness.device).len();

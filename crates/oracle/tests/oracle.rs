@@ -107,6 +107,15 @@ fn failure_carries_metrics_snapshot_and_failing_trace() {
         .expect("a failing run must carry its last trace");
     assert!(trace.contains("stack.change"), "trace:\n{trace}");
     assert!(trace.contains("ddlog.apply"), "trace:\n{trace}");
+    // The failing step carries the work profile of the engine commit
+    // closest to the divergence: which operators did how much work.
+    let profile = failure
+        .failure
+        .work_profile
+        .as_deref()
+        .expect("a failing run must carry the failing step's work profile");
+    assert!(profile.contains("tuples processed"), "profile:\n{profile}");
+    assert!(profile.contains("scan"), "profile:\n{profile}");
 }
 
 #[test]

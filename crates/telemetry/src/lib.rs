@@ -32,7 +32,15 @@ pub use metrics::{
 pub use server::{http_get, IntrospectionServer};
 pub use trace::{next_trace_id, AttrValue, Span, SpanTree, Tracer};
 
-use std::sync::{Arc, OnceLock};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A pluggable introspection page: content type plus a render callback
+/// invoked on every request.
+struct Page {
+    content_type: &'static str,
+    render: Box<dyn Fn() -> String + Send + Sync>,
+}
 
 /// The bundle served by one introspection endpoint: a registry, a trace
 /// ring buffer, and a health board.
@@ -44,12 +52,44 @@ pub struct Telemetry {
     pub tracer: Tracer,
     /// Connection health board.
     pub health: Health,
+    /// Extra endpoint pages registered by components (e.g. `/dataflow`).
+    pages: Mutex<BTreeMap<String, Page>>,
 }
 
 impl Telemetry {
     /// A fresh, empty bundle.
     pub fn new() -> Telemetry {
         Telemetry::default()
+    }
+
+    /// Register (or replace) an extra page at `path` (must start with
+    /// `/`). The callback runs on every request to that path.
+    pub fn register_page(
+        &self,
+        path: &str,
+        content_type: &'static str,
+        render: impl Fn() -> String + Send + Sync + 'static,
+    ) {
+        assert!(path.starts_with('/'), "page path must start with '/'");
+        self.pages.lock().unwrap().insert(
+            path.to_string(),
+            Page {
+                content_type,
+                render: Box::new(render),
+            },
+        );
+    }
+
+    /// Render the registered page at `path`, if any.
+    pub fn render_page(&self, path: &str) -> Option<(&'static str, String)> {
+        let pages = self.pages.lock().unwrap();
+        let page = pages.get(path)?;
+        Some((page.content_type, (page.render)()))
+    }
+
+    /// Paths of all registered extra pages, sorted.
+    pub fn page_paths(&self) -> Vec<String> {
+        self.pages.lock().unwrap().keys().cloned().collect()
     }
 }
 

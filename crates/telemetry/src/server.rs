@@ -134,7 +134,10 @@ fn route(method: &str, path: &str, telemetry: &Telemetry) -> (&'static str, &'st
                 ("503 Service Unavailable", "application/json", body)
             }
         }
-        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        _ => match telemetry.render_page(path) {
+            Some((content_type, body)) => ("200 OK", content_type, body),
+            None => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        },
     }
 }
 
@@ -192,5 +195,10 @@ mod tests {
 
         let (status, _) = http_get(addr, "/nope").unwrap();
         assert!(status.contains("404"));
+
+        tel.register_page("/dataflow", "application/json", || "{\"ok\":1}".to_string());
+        let (status, body) = http_get(addr, "/dataflow").unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "{\"ok\":1}");
     }
 }

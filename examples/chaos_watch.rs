@@ -61,11 +61,13 @@ fn main() {
     ));
 
     // Live introspection, on a stable port for curl.
-    let endpoint =
-        Controller::serve_introspection("127.0.0.1:9090").expect("introspection endpoint");
+    let endpoint = controller
+        .serve_introspection("127.0.0.1:9090")
+        .expect("introspection endpoint");
     println!("introspection: http://{}/metrics", endpoint.local_addr());
     println!("               http://{}/traces", endpoint.local_addr());
     println!("               http://{}/health", endpoint.local_addr());
+    println!("               http://{}/dataflow", endpoint.local_addr());
 
     // The supervised controller runs on its own thread, dialing through
     // the proxy, reconnecting and resyncing whenever we cut the link.

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Bench-regression harness: regenerate the paper experiments and write
+# their measurements as machine-readable BENCH_*.json reports in the
+# repo root. Pass --quick for the CI smoke variant (same entry names,
+# fewer commits/ports, ~seconds instead of minutes).
+#
+#   scripts/bench.sh             # full runs -> BENCH_fig3.json, BENCH_port_scaling.json
+#   scripts/bench.sh --quick     # CI smoke
+#
+# Gate a change against the checked-in baselines with:
+#
+#   cargo run --release -q -p bench --bin compare -- \
+#       crates/bench/baselines/BENCH_fig3.json BENCH_fig3.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=()
+for arg in "$@"; do
+    case "$arg" in
+    --quick) QUICK=(--quick) ;;
+    *)
+        echo "usage: scripts/bench.sh [--quick]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+cargo build --release -q -p bench
+
+cargo run --release -q -p bench --bin report_fig3 -- \
+    --out BENCH_fig3.json "${QUICK[@]}"
+cargo run --release -q -p bench --bin report_port_scaling -- \
+    --out BENCH_port_scaling.json "${QUICK[@]}"
+
+echo
+echo "bench reports written: BENCH_fig3.json BENCH_port_scaling.json"

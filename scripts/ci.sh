@@ -21,3 +21,14 @@ NERPA_LOG=debug cargo test -q --test telemetry_e2e
 # schedule injecting management-link outages and switch restarts.
 cargo run --release -q -p oracle --bin oracle -- --seed 1..8 --steps 200
 cargo run --release -q -p oracle --bin oracle -- --seed 1..8 --steps 200 --chaos 7
+
+# Bench smoke: regenerate the paper experiments in --quick mode (the
+# incrementality audit is armed inside report_fig3) and gate the
+# deterministic tuples-per-commit measurements against the checked-in
+# baselines. Wall time is reported but not enforced — tuple counts are
+# machine-independent, nanoseconds are not.
+scripts/bench.sh --quick
+cargo run --release -q -p bench --bin compare -- \
+    crates/bench/baselines/BENCH_fig3.json BENCH_fig3.json
+cargo run --release -q -p bench --bin compare -- \
+    crates/bench/baselines/BENCH_port_scaling.json BENCH_port_scaling.json

@@ -114,10 +114,52 @@ fn introspection_endpoint_exposes_all_three_planes() {
         )
         .unwrap();
 
-    let mut endpoint = Controller::serve_introspection("127.0.0.1:0").expect("endpoint");
+    let mut endpoint = stack
+        .controller
+        .serve_introspection("127.0.0.1:0")
+        .expect("endpoint");
     let (status, body) = telemetry::http_get(endpoint.local_addr(), "/metrics").unwrap();
     assert!(status.contains("200"), "{status}");
     telemetry::validate_exposition(&body).expect("exposition must be well-formed");
+
+    // The dataflow profiler's series are live on /metrics...
+    for series in [
+        "ddlog_op_tuples_in_total",
+        "ddlog_op_tuples_out_total",
+        "ddlog_op_wall_ns_total",
+        "ddlog_state_bytes",
+    ] {
+        assert!(body.contains(series), "missing {series} in exposition");
+    }
+
+    // ...and /dataflow serves the compiled plan with per-operator costs.
+    let (status, dataflow) = telemetry::http_get(endpoint.local_addr(), "/dataflow").unwrap();
+    assert!(status.contains("200"), "{status}");
+    assert!(
+        dataflow.contains("\"schema\":\"nerpa.dataflow.v1\""),
+        "{dataflow}"
+    );
+    assert!(dataflow.contains("\"kind\":\"join\""), "{dataflow}");
+    // The snapshot reflects commits made while the endpoint is up.
+    let before = stack
+        .controller
+        .engine()
+        .cumulative_profile()
+        .total_tuples();
+    stack
+        .add_port(9, snvs::PortMode::Access(11), None)
+        .expect("add port");
+    let (_, dataflow) = telemetry::http_get(endpoint.local_addr(), "/dataflow").unwrap();
+    let after = stack
+        .controller
+        .engine()
+        .cumulative_profile()
+        .total_tuples();
+    assert!(after > before, "commit must add dataflow work");
+    assert!(
+        dataflow.contains(&format!("\"total_tuples\":{after}")),
+        "snapshot stale: want total_tuples {after} in {dataflow}"
+    );
 
     // At least 12 distinct named series spanning all three planes.
     let names = telemetry::global().registry.series_names();
