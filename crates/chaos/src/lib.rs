@@ -20,4 +20,6 @@ pub mod proxy;
 pub mod schedule;
 
 pub use proxy::{FaultProxy, ProxyStats};
-pub use schedule::{ConnFault, Direction, FaultSchedule, Framing, ResolvedFault};
+pub use schedule::{
+    ConnFault, Direction, FaultKind, FaultSchedule, Framing, ResolvedCrash, ResolvedFault,
+};

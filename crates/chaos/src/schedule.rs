@@ -209,6 +209,75 @@ impl FaultSchedule {
     }
 }
 
+/// The kinds of fault the chaos layer can inject.
+///
+/// Wire faults ([`ConnFault`]) operate on proxied connections; process
+/// faults operate on the server itself. `CrashServer` is the
+/// durability-layer fault: an abrupt kill of the OVSDB server task at a
+/// scheduled commit index, optionally mid-WAL-write so the log is left
+/// with a torn (partially persisted) final record.
+#[derive(Debug, Clone)]
+pub enum FaultKind {
+    /// A wire-level fault on a proxied connection.
+    Conn(ConnFault),
+    /// Kill the server process abruptly once its commit index reaches a
+    /// seed-resolved point, tearing the WAL tail.
+    CrashServer {
+        /// Inclusive range of commit indices; the concrete kill point is
+        /// drawn from the seeded RNG. Use `lo == hi` for an exact point.
+        after_commits: (u64, u64),
+        /// Inclusive range of bytes to chop off the WAL's final record
+        /// (seed-resolved), simulating a crash mid-write. `(0, 0)` is a
+        /// clean crash — the final record fully reached disk.
+        torn_tail_bytes: (u64, u64),
+    },
+}
+
+/// A [`FaultKind::CrashServer`] with its RNG-dependent choices pinned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedCrash {
+    /// Kill once the commit index reaches exactly this value.
+    pub after_commits: u64,
+    /// Chop exactly this many bytes off the WAL's final record (the WAL
+    /// layer clamps the chop to that record, so at most the single
+    /// in-flight transaction is lost).
+    pub torn_tail_bytes: u64,
+}
+
+/// Salt mixed into crash-fault resolution so crash choices are drawn
+/// from a different stream than wire-fault choices under the same seed.
+const CRASH_SALT: u64 = 0xC7A5_11FE_DB01_4E55;
+
+impl FaultKind {
+    /// Resolve a `CrashServer` fault for occurrence `idx` under `seed`.
+    /// Deterministic: the same `(seed, idx)` pins the same commit index
+    /// and the same torn-tail chop, run after run — which makes the torn
+    /// WAL image itself byte-exact reproducible. Returns `None` for wire
+    /// faults.
+    pub fn resolve_crash(&self, seed: u64, idx: u64) -> Option<ResolvedCrash> {
+        let FaultKind::CrashServer {
+            after_commits,
+            torn_tail_bytes,
+        } = self
+        else {
+            return None;
+        };
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ CRASH_SALT ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let pick = |rng: &mut StdRng, (lo, hi): (u64, u64)| {
+            if lo >= hi {
+                lo
+            } else {
+                rng.random_range(lo..=hi)
+            }
+        };
+        Some(ResolvedCrash {
+            after_commits: pick(&mut rng, *after_commits),
+            torn_tail_bytes: pick(&mut rng, *torn_tail_bytes),
+        })
+    }
+}
+
 /// Incremental splitter that turns a byte stream into complete protocol
 /// messages according to a [`Framing`].
 #[derive(Debug)]
@@ -307,6 +376,68 @@ mod tests {
             vec![ConnFault::kill_after(3, Direction::Both)],
         );
         assert_eq!(s.resolve(0).kill_at, Some(3));
+    }
+
+    #[test]
+    fn crash_fault_resolution_is_deterministic() {
+        let f = FaultKind::CrashServer {
+            after_commits: (3, 40),
+            torn_tail_bytes: (1, 64),
+        };
+        let a = f.resolve_crash(99, 0).unwrap();
+        let b = f.resolve_crash(99, 0).unwrap();
+        assert_eq!(a, b);
+        assert!((3..=40).contains(&a.after_commits));
+        assert!((1..=64).contains(&a.torn_tail_bytes));
+        // Exact points ignore the RNG.
+        let exact = FaultKind::CrashServer {
+            after_commits: (7, 7),
+            torn_tail_bytes: (0, 0),
+        };
+        let r = exact.resolve_crash(1234, 5).unwrap();
+        assert_eq!(r.after_commits, 7);
+        assert_eq!(r.torn_tail_bytes, 0);
+        // Wire faults resolve to no crash.
+        assert!(FaultKind::Conn(ConnFault::transparent())
+            .resolve_crash(99, 0)
+            .is_none());
+    }
+
+    #[test]
+    fn torn_tail_is_byte_exact_reproducible() {
+        // Build a real WAL image, tear it twice with the same resolved
+        // crash fault, and require byte-identical results.
+        use ovsdb::wal::{tear_tail, WalRecord};
+        let mut image = Vec::new();
+        for i in 1..=3u64 {
+            image.extend_from_slice(
+                &WalRecord {
+                    commit_index: i,
+                    uuid_counter: i,
+                    ops: serde_json::json!([{"op": "comment"}]),
+                }
+                .encode(),
+            );
+        }
+        let f = FaultKind::CrashServer {
+            after_commits: (1, 1),
+            torn_tail_bytes: (1, 1 << 16),
+        };
+        let r = f.resolve_crash(4242, 0).unwrap();
+        let dir = std::env::temp_dir().join(format!("nerpa-chaos-tear-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let torn: Vec<Vec<u8>> = (0..2)
+            .map(|run| {
+                let path = dir.join(format!("wal-{run}.log"));
+                std::fs::write(&path, &image).unwrap();
+                let chopped = tear_tail(&path, r.torn_tail_bytes).unwrap();
+                assert!(chopped > 0);
+                std::fs::read(&path).unwrap()
+            })
+            .collect();
+        assert_eq!(torn[0], torn[1], "torn image must be byte-exact");
+        assert!(torn[0].len() < image.len());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -218,6 +218,7 @@ struct SupervisorMetrics {
     connects: telemetry::Counter,
     backoff_us: telemetry::Histogram,
     resync_delta_ops: telemetry::Histogram,
+    epoch_resets: telemetry::Counter,
 }
 
 fn supervisor_metrics() -> &'static SupervisorMetrics {
@@ -243,6 +244,10 @@ fn supervisor_metrics() -> &'static SupervisorMetrics {
                 "Operations per snapshot resync (the incrementality invariant)",
                 &telemetry::SIZE_BOUNDS,
             ),
+            epoch_resets: reg.counter(
+                "resync_epoch_resets_total",
+                "Server restarts detected via a lower commit index (full resync forced)",
+            ),
         }
     })
 }
@@ -258,6 +263,14 @@ pub struct SupervisorStats {
     pub resyncs: u64,
     /// The most recent resync's delta report.
     pub last_resync: Option<ResyncReport>,
+    /// Server epoch resets detected: reconnects where the server
+    /// reported a *lower* commit index than the previous session — a
+    /// restart that lost (some) state, so monitor continuity cannot be
+    /// assumed and a full resync is mandatory.
+    pub epoch_resets: u64,
+    /// The server's commit index observed at the last successful
+    /// connect.
+    pub last_commit_index: Option<u64>,
 }
 
 /// Supervises the controller's OVSDB link: connects with exponential
@@ -334,6 +347,32 @@ impl OvsdbSupervisor {
                     continue;
                 }
             };
+            // Epoch check: a restarted server that lost state reports a
+            // *lower* commit index than its predecessor. Monitor streams
+            // carry no cross-restart continuity, so a lower index means
+            // the snapshot we are about to diff may silently rewind rows
+            // — record the reset explicitly and force the full-diff
+            // resync path (never a continuity shortcut).
+            let commit_index = match client.commit_index() {
+                Ok(i) => i,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            let epoch_reset = self
+                .stats
+                .last_commit_index
+                .is_some_and(|prev| commit_index < prev);
+            if epoch_reset {
+                self.stats.epoch_resets += 1;
+                supervisor_metrics().epoch_resets.inc();
+                telemetry::log_warn!(
+                    "resync",
+                    "server epoch reset: commit index went {} -> {commit_index}; forcing full resync",
+                    self.stats.last_commit_index.unwrap_or(0)
+                );
+            }
             let (initial, updates) = match client.monitor(
                 &self.config.db,
                 self.config.mon_id.clone(),
@@ -346,6 +385,7 @@ impl OvsdbSupervisor {
                 }
             };
             let report = controller.resync_from_snapshot(&initial, &monitored)?;
+            self.stats.last_commit_index = Some(commit_index);
             self.stats.connects += 1;
             self.stats.resyncs += 1;
             self.stats.last_resync = Some(report.clone());

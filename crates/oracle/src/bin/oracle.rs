@@ -3,6 +3,7 @@
 //! ```text
 //! oracle --seed 1..8 --steps 500            # fault-free sweep
 //! oracle --seed 3 --steps 500 --chaos 7     # with fault injection
+//! oracle --seed 3 --steps 500 --chaos-crash 7  # + server crash faults
 //! oracle --seed 3 --steps 200 --bug skip-resync-deletes   # must fail
 //! ```
 //!
@@ -15,6 +16,7 @@ struct Args {
     seeds: Vec<u64>,
     steps: usize,
     chaos: Option<u64>,
+    crashes: bool,
     bug: Option<InjectedBug>,
 }
 
@@ -25,6 +27,8 @@ fn usage() -> ! {
          --seed  N or inclusive range A..B of workload seeds (required)\n\
          --steps workload length per seed (default 500)\n\
          --chaos chaos seed: inject link outages + switch restarts\n\
+         --chaos-crash S like --chaos, plus abrupt server crashes with\n\
+         \x20       torn WAL tails (crash-equivalence checked)\n\
          --bug   inject a known controller defect, one of:\n\
          \x20       skip-resync-deletes | drop-config-deletes"
     );
@@ -46,6 +50,7 @@ fn parse_args() -> Option<Args> {
         seeds: Vec::new(),
         steps: 500,
         chaos: None,
+        crashes: false,
         bug: None,
     };
     let mut it = std::env::args().skip(1);
@@ -54,6 +59,10 @@ fn parse_args() -> Option<Args> {
             "--seed" => args.seeds = parse_seeds(&it.next()?)?,
             "--steps" => args.steps = it.next()?.parse().ok()?,
             "--chaos" => args.chaos = Some(it.next()?.parse().ok()?),
+            "--chaos-crash" => {
+                args.chaos = Some(it.next()?.parse().ok()?);
+                args.crashes = true;
+            }
             "--bug" => args.bug = InjectedBug::parse(&it.next()?),
             "--help" | "-h" => usage(),
             _ => return None,
@@ -68,7 +77,14 @@ fn parse_args() -> Option<Args> {
 fn replay_command(cfg: &OracleConfig) -> String {
     let mut cmd = format!("oracle --seed {} --steps {}", cfg.seed, cfg.steps);
     if let Some(c) = cfg.chaos {
-        cmd.push_str(&format!(" --chaos {c}"));
+        cmd.push_str(&format!(
+            " {} {c}",
+            if cfg.crashes {
+                "--chaos-crash"
+            } else {
+                "--chaos"
+            }
+        ));
     }
     if let Some(b) = cfg.bug {
         cmd.push_str(&format!(" --bug {}", b.name()));
@@ -84,16 +100,19 @@ fn main() {
             seed: *seed,
             steps: args.steps,
             chaos: args.chaos,
+            crashes: args.crashes,
             bug: args.bug,
         };
         match run_oracle(&cfg) {
             Ok(report) => {
                 println!(
                     "seed {seed}: OK — {} steps, {} outages, {} switch restarts, \
-                     {} txns, {} entries / {} groups installed",
+                     {} crashes ({} torn tails), {} txns, {} entries / {} groups installed",
                     report.steps,
                     report.outages,
                     report.switch_restarts,
+                    report.crashes,
+                    report.torn_tails,
                     report.transactions,
                     report.final_entries,
                     report.final_groups,

@@ -70,6 +70,10 @@ pub struct OracleConfig {
     /// Chaos seed: when set, a [`FaultPlan`] derived from it injects
     /// management-link outages and switch restarts.
     pub chaos: Option<u64>,
+    /// When true (and `chaos` is set), the fault plan also schedules
+    /// abrupt server-process crashes with torn WAL tails; the run uses a
+    /// durable database and checks crash-equivalence on every crash.
+    pub crashes: bool,
     /// Deliberate controller defect to inject.
     pub bug: Option<InjectedBug>,
 }
@@ -81,6 +85,7 @@ impl OracleConfig {
             seed,
             steps,
             chaos: None,
+            crashes: false,
             bug: None,
         }
     }
@@ -95,6 +100,11 @@ pub struct OracleReport {
     pub outages: usize,
     /// Switch restarts injected.
     pub switch_restarts: usize,
+    /// Server-process crashes injected (with recovery from the WAL).
+    pub crashes: usize,
+    /// Crashes whose WAL tail was actually torn (a committed record
+    /// partially persisted and then truncated on recovery).
+    pub torn_tails: usize,
     /// Table entries installed at the end of the run.
     pub final_entries: usize,
     /// Multicast groups installed at the end of the run.
@@ -148,6 +158,37 @@ pub struct OracleFailure {
 
 const MONITORED: [&str; 2] = ["Port", "Switch"];
 
+/// A scratch durability directory for a crash-capable run, removed when
+/// the harness is dropped (including on panic or early return).
+struct DurableDir(std::path::PathBuf);
+
+impl DurableDir {
+    fn new() -> DurableDir {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("nerpa-oracle-wal-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        DurableDir(dir)
+    }
+}
+
+impl Drop for DurableDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Durability settings for crash-capable oracle runs: fsync suppressed
+/// (the oracle tears files, not the page cache, so syncs only cost
+/// time), compaction threshold low enough that seeded runs exercise
+/// snapshot+suffix recovery, not just log replay.
+fn oracle_durability() -> ovsdb::DurabilityConfig {
+    ovsdb::DurabilityConfig {
+        fsync: ovsdb::FsyncPolicy::Never,
+        snapshot_after_bytes: 16 * 1024,
+    }
+}
+
 struct Harness {
     db: ovsdb::Database,
     controller: Controller,
@@ -161,10 +202,21 @@ struct Harness {
     connected: bool,
     outage_remaining: usize,
     bug: Option<InjectedBug>,
+    /// Scratch durability directory (crash-capable runs only).
+    durable: Option<DurableDir>,
+    /// Monitor-snapshot of the database before the most recent committed
+    /// transaction — the committed prefix a torn-tail recovery must land
+    /// on.
+    pre_last_commit: String,
+    /// Monitor-snapshot after the most recent committed transaction.
+    post_last_commit: String,
+    /// The most recent committed transaction's ops (re-applied after a
+    /// torn-tail recovery, since the client was already acked).
+    last_ops: Option<serde_json::Value>,
 }
 
 impl Harness {
-    fn new(bug: Option<InjectedBug>) -> Result<Harness, String> {
+    fn new(bug: Option<InjectedBug>, durable: bool) -> Result<Harness, String> {
         let schema = ovsdb::Schema::parse(snvs::assets::SNVS_SCHEMA)?;
         let program = p4sim::parse_p4(snvs::assets::SNVS_P4).map_err(|e| e.to_string())?;
         let nerpa_program = NerpaProgram {
@@ -183,13 +235,16 @@ impl Harness {
         }));
         let device = SwitchDevice::new(Switch::new(program.clone()));
         controller.add_switch(Box::new(device.clone()));
-        let mut db = ovsdb::Database::new(schema);
-        let (_, changes) = db.transact(&json!([
-            {"op": "insert", "table": "Switch", "row": {"idx": 0}}
-        ]));
-        controller.handle_row_changes(&changes)?;
+        let (db, durable) = if durable {
+            let dir = DurableDir::new();
+            let (db, _) = ovsdb::Database::open(&dir.0, schema, oracle_durability())
+                .map_err(|e| e.to_string())?;
+            (db, Some(dir))
+        } else {
+            (ovsdb::Database::new(schema), None)
+        };
         let base_device = SwitchDevice::new(Switch::new(program.clone()));
-        Ok(Harness {
+        let mut harness = Harness {
             db,
             controller,
             device,
@@ -202,7 +257,34 @@ impl Harness {
             connected: true,
             outage_remaining: 0,
             bug,
-        })
+            durable,
+            pre_last_commit: String::new(),
+            post_last_commit: String::new(),
+            last_ops: None,
+        };
+        harness.pre_last_commit = harness.db.monitor_snapshot(&MONITORED)?.to_string();
+        harness.post_last_commit = harness.pre_last_commit.clone();
+        let changes = harness.commit(json!([
+            {"op": "insert", "table": "Switch", "row": {"idx": 0}}
+        ]))?;
+        harness.controller.handle_row_changes(&changes)?;
+        Ok(harness)
+    }
+
+    /// Run one transaction against the database, maintaining the
+    /// crash-equivalence bookkeeping: the committed-prefix snapshots and
+    /// the last acked ops.
+    fn commit(&mut self, ops: serde_json::Value) -> Result<Vec<RowChange>, String> {
+        let pre = self.db.monitor_snapshot(&MONITORED)?.to_string();
+        let before = self.db.commit_index();
+        let (results, changes) = self.db.transact(&ops);
+        if self.db.commit_index() == before {
+            return Err(format!("oracle transaction aborted: {results}"));
+        }
+        self.pre_last_commit = pre;
+        self.post_last_commit = self.db.monitor_snapshot(&MONITORED)?.to_string();
+        self.last_ops = Some(ops);
+        Ok(changes)
     }
 
     /// Feed committed row changes to the controller, through the
@@ -246,10 +328,10 @@ impl Harness {
     /// Upsert a port in the database and the plain model.
     fn upsert_port(&mut self, cfg: PortConfig) -> Result<(), String> {
         let row = Self::port_row_json(&cfg);
-        let (_, changes) = self.db.transact(&json!([
+        let changes = self.commit(json!([
             {"op": "delete", "table": "Port", "where": [["id", "==", cfg.id]]},
             {"op": "insert", "table": "Port", "row": row},
-        ]));
+        ]))?;
         self.deliver(&changes)?;
         self.ports.retain(|p| p.id != cfg.id);
         self.ports.push(cfg);
@@ -257,9 +339,9 @@ impl Harness {
     }
 
     fn remove_port(&mut self, id: u16) -> Result<(), String> {
-        let (_, changes) = self.db.transact(&json!([
+        let changes = self.commit(json!([
             {"op": "delete", "table": "Port", "where": [["id", "==", id]]},
-        ]));
+        ]))?;
         self.deliver(&changes)?;
         self.ports.retain(|p| p.id != id);
         Ok(())
@@ -379,6 +461,118 @@ impl Harness {
                 self.device = fresh;
                 report.switch_restarts += 1;
             }
+            FaultKind::CrashServer { torn_tail_bytes } => {
+                self.crash_server(torn_tail_bytes, report)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Abruptly kill the durable OVSDB "server", tear the WAL tail, and
+    /// recover — asserting crash-equivalence at every stage:
+    ///
+    /// 1. recovered state == the pre-crash committed prefix (the full
+    ///    committed state for a clean crash; exactly one transaction
+    ///    less when the tail was torn);
+    /// 2. a torn tail loses at most that single record — re-applying the
+    ///    acked-but-lost transaction reproduces the pre-crash state
+    ///    byte-for-byte (uuids included);
+    /// 3. the controller resyncs from the recovered snapshot and the
+    ///    regular invariant battery passes afterwards.
+    fn crash_server(
+        &mut self,
+        torn_tail_bytes: u64,
+        report: &mut OracleReport,
+    ) -> Result<(), String> {
+        let dir = self
+            .durable
+            .as_ref()
+            .map(|d| d.0.clone())
+            .ok_or("CrashServer fault on a non-durable harness")?;
+        let pre_crash_index = self.db.commit_index();
+        let schema = self.db.schema().clone();
+        // Abrupt kill: drop the live database (open WAL handle included)
+        // with no graceful shutdown, then damage the log on disk.
+        let placeholder = ovsdb::Database::new(schema.clone());
+        drop(std::mem::replace(&mut self.db, placeholder));
+        let chopped = ovsdb::wal::tear_tail(&dir.join(ovsdb::wal::WAL_FILE), torn_tail_bytes)
+            .map_err(|e| e.to_string())?;
+
+        let (recovered, recovery) = ovsdb::Database::open(&dir, schema, oracle_durability())
+            .map_err(|e| format!("crash recovery failed: {e}"))?;
+        self.db = recovered;
+        report.crashes += 1;
+
+        let got = self.db.monitor_snapshot(&MONITORED)?.to_string();
+        if chopped == 0 {
+            // Clean crash: every committed transaction survives.
+            if got != self.post_last_commit {
+                return Err(format!(
+                    "crash-equivalence: clean-crash recovery diverged from committed state\n\
+                     recovered: {got}\ncommitted: {}",
+                    self.post_last_commit
+                ));
+            }
+            if self.db.commit_index() != pre_crash_index {
+                return Err(format!(
+                    "crash-equivalence: commit index {} after clean recovery, expected {pre_crash_index}",
+                    self.db.commit_index()
+                ));
+            }
+        } else {
+            report.torn_tails += 1;
+            if !recovery.truncated_tail {
+                return Err(
+                    "crash-equivalence: tail was torn but recovery saw no torn tail".into(),
+                );
+            }
+            // Torn tail: exactly the final record is lost, nothing more.
+            if got != self.pre_last_commit {
+                return Err(format!(
+                    "crash-equivalence: torn-tail recovery lost more (or less) than the final record\n\
+                     recovered: {got}\nexpected prefix: {}",
+                    self.pre_last_commit
+                ));
+            }
+            if self.db.commit_index() + 1 != pre_crash_index {
+                return Err(format!(
+                    "crash-equivalence: commit index {} after torn-tail recovery, expected {}",
+                    self.db.commit_index(),
+                    pre_crash_index - 1
+                ));
+            }
+            // The lost transaction was acked to the client; redo it. The
+            // redo must reproduce the pre-crash state exactly — same
+            // rows, same uuids — because replay determinism pins uuid
+            // minting to the (restored) counters.
+            let ops = self
+                .last_ops
+                .clone()
+                .ok_or("crash-equivalence: torn tail with no transaction on record")?;
+            let before = self.db.commit_index();
+            let (results, _changes) = self.db.transact(&ops);
+            if self.db.commit_index() == before {
+                return Err(format!(
+                    "crash-equivalence: redo of lost transaction aborted: {results}"
+                ));
+            }
+            let redone = self.db.monitor_snapshot(&MONITORED)?.to_string();
+            if redone != self.post_last_commit {
+                return Err(format!(
+                    "crash-equivalence: redone transaction diverged from pre-crash state\n\
+                     redone: {redone}\npre-crash: {}",
+                    self.post_last_commit
+                ));
+            }
+            // The controller already consumed this transaction's changes
+            // pre-crash, so they are deliberately not re-delivered.
+        }
+        // The server restarted: re-issue the monitor and resync, exactly
+        // as a supervisor detecting the epoch reset would. The delta
+        // should be empty (the db is back at the state the engine saw),
+        // which check_invariants verifies at the end of the step.
+        if self.connected {
+            self.reconnect()?;
         }
         Ok(())
     }
@@ -581,11 +775,14 @@ fn run_workload_inner(
         reason,
         work_profile: None,
     };
-    let mut harness = Harness::new(cfg.bug).map_err(setup_err)?;
     let plan = match cfg.chaos {
+        Some(chaos_seed) if cfg.crashes => {
+            FaultPlan::from_chaos_seed_with_crashes(chaos_seed, ops.len())
+        }
         Some(chaos_seed) => FaultPlan::from_chaos_seed(chaos_seed, ops.len()),
         None => FaultPlan::default(),
     };
+    let mut harness = Harness::new(cfg.bug, plan.has_crashes()).map_err(setup_err)?;
     let mut report = OracleReport::default();
     let mut next_fault = 0usize;
 

@@ -80,6 +80,16 @@ pub enum FaultKind {
     /// The switch restarts with partial stale state; the controller
     /// re-dials and reconciles its tables.
     SwitchRestart,
+    /// The OVSDB server process is killed abruptly — mid-WAL-write when
+    /// `torn_tail_bytes > 0` — and restarted from its durability
+    /// directory. The oracle checks crash-equivalence: the recovered
+    /// state must equal the pre-crash committed prefix, losing at most
+    /// the single transaction whose log record was torn.
+    CrashServer {
+        /// Bytes chopped off the WAL's final record (0 = clean crash;
+        /// the WAL layer clamps the chop to that one record).
+        torn_tail_bytes: u64,
+    },
 }
 
 /// One scheduled fault.
@@ -107,10 +117,30 @@ impl FaultPlan {
     /// length. Faults alternate between management-link outages and
     /// switch restarts.
     pub fn from_chaos_seed(seed: u64, steps: usize) -> FaultPlan {
+        FaultPlan::build(seed, steps, false)
+    }
+
+    /// Like [`FaultPlan::from_chaos_seed`] but rotating server-process
+    /// crashes into the mix (outage / switch restart / crash): the
+    /// durability fault plan. Crash torn-tail sizes are drawn through
+    /// [`chaos::FaultKind::resolve_crash`], so a chaos seed pins the
+    /// exact bytes torn off the WAL, run after run.
+    pub fn from_chaos_seed_with_crashes(seed: u64, steps: usize) -> FaultPlan {
+        FaultPlan::build(seed, steps, true)
+    }
+
+    fn build(seed: u64, steps: usize, crashes: bool) -> FaultPlan {
         let schedule = FaultSchedule::transparent(seed, Framing::Ndjson).with_default_plan(
             ConnFault::kill_between(8, 60, Direction::Both)
                 .delayed(Duration::from_micros(1), Duration::from_micros(5)),
         );
+        let crash_source = chaos::FaultKind::CrashServer {
+            after_commits: (1, 1),
+            // 0..=64 spans "clean crash" through "most of a small record
+            // torn"; the WAL layer clamps to the final record anyway.
+            torn_tail_bytes: (0, 64),
+        };
+        let period = if crashes { 3 } else { 2 };
         let mut events = Vec::new();
         let mut step = 0usize;
         for conn in 0u64.. {
@@ -121,12 +151,17 @@ impl FaultPlan {
             if step >= steps {
                 break;
             }
-            let kind = if conn % 2 == 0 {
-                FaultKind::OvsdbOutage {
+            let kind = match conn % period {
+                0 => FaultKind::OvsdbOutage {
                     outage_steps: outage,
-                }
-            } else {
-                FaultKind::SwitchRestart
+                },
+                1 => FaultKind::SwitchRestart,
+                _ => FaultKind::CrashServer {
+                    torn_tail_bytes: crash_source
+                        .resolve_crash(seed, conn)
+                        .expect("crash fault resolves")
+                        .torn_tail_bytes,
+                },
             };
             events.push(FaultEvent {
                 at_step: step,
@@ -138,6 +173,13 @@ impl FaultPlan {
             }
         }
         FaultPlan { events }
+    }
+
+    /// Whether the plan schedules any server-process crash.
+    pub fn has_crashes(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::CrashServer { .. }))
     }
 }
 
@@ -206,6 +248,16 @@ mod tests {
             assert!(w[0].at_step < w[1].at_step);
         }
         assert!(a.events.iter().all(|e| e.at_step < 500));
+    }
+
+    #[test]
+    fn crash_plan_is_deterministic_and_adds_crashes() {
+        let a = FaultPlan::from_chaos_seed_with_crashes(3, 500);
+        let b = FaultPlan::from_chaos_seed_with_crashes(3, 500);
+        assert_eq!(a, b);
+        assert!(a.has_crashes(), "500 steps must schedule a crash");
+        // The crash-free plan never schedules one.
+        assert!(!FaultPlan::from_chaos_seed(3, 500).has_crashes());
     }
 
     #[test]

@@ -43,6 +43,51 @@ fn chaos_sweep_eight_seeds() {
 }
 
 #[test]
+fn crash_sweep_checks_crash_equivalence() {
+    // Crash-enabled chaos: every scheduled crash kills the durable
+    // OVSDB server (tearing the WAL tail) and the harness asserts the
+    // recovered state equals the committed prefix before the regular
+    // invariant battery runs.
+    for seed in 1..=4 {
+        let cfg = OracleConfig {
+            chaos: Some(7),
+            crashes: true,
+            ..OracleConfig::new(seed, 400)
+        };
+        let report = run_oracle(&cfg).unwrap_or_else(|f| {
+            panic!(
+                "seed {seed} failed at {} (shrunk: {:?})",
+                f.failure, f.shrunk
+            )
+        });
+        assert_eq!(report.steps, 400);
+        assert!(report.crashes > 0, "crash plan must crash the server");
+        assert!(
+            report.torn_tails > 0,
+            "crash plan must tear at least one WAL tail"
+        );
+    }
+}
+
+#[test]
+fn crash_run_converges_to_fault_free_state() {
+    // Post-recovery convergence: a run with server crashes ends in
+    // exactly the data-plane state of the fault-free run with the same
+    // workload seed.
+    for seed in [1u64, 5] {
+        let fault_free = oracle::harness::final_state(&OracleConfig::new(seed, 300))
+            .expect("fault-free run green");
+        let crashed = oracle::harness::final_state(&OracleConfig {
+            chaos: Some(13),
+            crashes: true,
+            ..OracleConfig::new(seed, 300)
+        })
+        .expect("crash run green");
+        assert_eq!(fault_free, crashed, "seed {seed}: converged state differs");
+    }
+}
+
+#[test]
 fn faulty_run_converges_to_fault_free_state() {
     for seed in [1u64, 5, 9] {
         let fault_free = oracle::harness::final_state(&OracleConfig::new(seed, 300))

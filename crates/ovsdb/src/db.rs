@@ -9,12 +9,15 @@
 //! into transactions, to a subscriber", §4.1 of the paper).
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use serde_json::{json, Map, Value as Json};
 
 use crate::datum::{Atom, Datum, Uuid};
 use crate::schema::{ColumnType, Schema, TableSchema};
+use crate::snapshot;
+use crate::wal::{self, DurabilityConfig, Wal, WalError, WalRecord, WAL_FILE};
 
 /// The column values of one row (without its UUID).
 pub type RowData = BTreeMap<String, Datum>;
@@ -48,6 +51,29 @@ impl Table {
     }
 }
 
+/// The attached durability layer: an open WAL plus its directory and
+/// policy. Present only on databases created with [`Database::open`].
+struct Durability {
+    dir: PathBuf,
+    wal: Wal,
+    cfg: DurabilityConfig,
+}
+
+/// What [`Database::open`] found and did while recovering.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Commit index restored from the snapshot (0 = no snapshot).
+    pub snapshot_commit_index: u64,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Whether a torn tail was detected and truncated.
+    pub truncated_tail: bool,
+    /// Valid log bytes retained after recovery.
+    pub wal_bytes: u64,
+    /// Wall time spent loading + replaying.
+    pub replay_duration: std::time::Duration,
+}
+
 /// An OVSDB-style transactional database.
 pub struct Database {
     schema: Schema,
@@ -58,6 +84,8 @@ pub struct Database {
     needs_gc: bool,
     /// Monotonic transaction counter.
     pub txn_counter: u64,
+    /// Write-ahead log, when this database is durable.
+    durability: Option<Durability>,
 }
 
 impl Database {
@@ -87,7 +115,192 @@ impl Database {
             uuid_counter: 0,
             needs_gc,
             txn_counter: 0,
+            durability: None,
         }
+    }
+
+    /// Open (or create) a **durable** database in directory `dir`:
+    /// load the snapshot if one exists, replay the write-ahead log on
+    /// top of it (truncating a torn tail, refusing corrupt interiors),
+    /// and arm WAL appends for every future committed transaction.
+    ///
+    /// Replay happens before this returns, so a server built on the
+    /// recovered database serves monitors from crash-consistent state
+    /// from its first accepted connection. While replaying, the
+    /// `ovsdb_wal` health component reports `replaying(...)` (degraded);
+    /// it flips to `ok(...)` on success.
+    pub fn open(
+        dir: &Path,
+        schema: Schema,
+        cfg: DurabilityConfig,
+    ) -> Result<(Database, RecoveryReport), WalError> {
+        std::fs::create_dir_all(dir)?;
+        let health = &telemetry::global().health;
+        health.set("ovsdb_wal", format!("replaying({})", dir.display()));
+        let result = Database::recover(dir, schema, cfg);
+        match &result {
+            Ok((_, report)) => {
+                wal::record_replay(report.replay_duration, report.truncated_tail);
+                health.set(
+                    "ovsdb_wal",
+                    format!(
+                        "ok(replayed {} records in {} us{})",
+                        report.replayed_records,
+                        report.replay_duration.as_micros(),
+                        if report.truncated_tail {
+                            ", torn tail truncated"
+                        } else {
+                            ""
+                        }
+                    ),
+                );
+            }
+            Err(e) => health.set("ovsdb_wal", format!("degraded({e})")),
+        }
+        result
+    }
+
+    fn recover(
+        dir: &Path,
+        schema: Schema,
+        cfg: DurabilityConfig,
+    ) -> Result<(Database, RecoveryReport), WalError> {
+        let started = std::time::Instant::now();
+        let mut db = Database::new(schema);
+        let mut report = RecoveryReport::default();
+
+        if let Some(snap) = snapshot::load(dir, db.schema())? {
+            report.snapshot_commit_index = snap.commit_index;
+            db.restore(snap)?;
+        }
+
+        let wal_path = dir.join(WAL_FILE);
+        let image = match std::fs::read(&wal_path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(WalError::Io(e)),
+        };
+        let scan = wal::scan(&image)?;
+        report.truncated_tail = scan.torn_at.is_some();
+        for record in &scan.records {
+            if record.commit_index <= report.snapshot_commit_index {
+                // The snapshot already covers this record (a crash
+                // between snapshot rename and log truncation leaves an
+                // overlapping prefix).
+                continue;
+            }
+            if record.commit_index != db.txn_counter + 1 {
+                return Err(WalError::CorruptRecord {
+                    offset: 0,
+                    reason: format!(
+                        "gap between snapshot (commit {}) and WAL record {}",
+                        db.txn_counter, record.commit_index
+                    ),
+                });
+            }
+            db.uuid_counter = record.uuid_counter;
+            let before = db.txn_counter;
+            let (results, _changes) = db.transact(&record.ops);
+            if db.txn_counter != before + 1 {
+                return Err(WalError::Replay {
+                    index: record.commit_index,
+                    reason: results.to_string(),
+                });
+            }
+            report.replayed_records += 1;
+        }
+        let wal = Wal::open(&wal_path, cfg.fsync, scan.valid_bytes)?;
+        report.wal_bytes = wal.bytes;
+        report.replay_duration = started.elapsed();
+        db.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            wal,
+            cfg,
+        });
+        telemetry::log_info!(
+            "ovsdb",
+            "recovered {} (snapshot commit {}, {} wal records replayed{})",
+            dir.display(),
+            report.snapshot_commit_index,
+            report.replayed_records,
+            if report.truncated_tail {
+                ", torn tail truncated"
+            } else {
+                ""
+            }
+        );
+        Ok((db, report))
+    }
+
+    /// Restore a decoded snapshot into this (empty) database.
+    fn restore(&mut self, snap: snapshot::SnapshotState) -> Result<(), WalError> {
+        for (tname, uuid, row) in snap.rows {
+            let Some(table) = self.tables.get_mut(&tname) else {
+                return Err(WalError::CorruptSnapshot(format!(
+                    "no table {tname:?} in schema"
+                )));
+            };
+            let row = Arc::new(row);
+            let cols: Vec<Vec<String>> = table.unique.keys().cloned().collect();
+            for c in cols {
+                let proj = Table::project(&c, &row);
+                table.unique.get_mut(&c).unwrap().insert(proj, uuid);
+            }
+            table.rows.insert(uuid, row);
+        }
+        self.uuid_counter = snap.uuid_counter;
+        self.txn_counter = snap.commit_index;
+        Ok(())
+    }
+
+    /// The monotonic commit index: the number of transactions ever
+    /// committed (durable or not). A restarted server that lost state
+    /// reports a *lower* index than its predecessor — the signal
+    /// supervisors use to detect an epoch reset.
+    pub fn commit_index(&self) -> u64 {
+        self.txn_counter
+    }
+
+    /// The UUID counter (exposed for snapshot encoding).
+    pub(crate) fn uuid_counter(&self) -> u64 {
+        self.uuid_counter
+    }
+
+    /// Path of the write-ahead log, when durable.
+    pub fn wal_path(&self) -> Option<PathBuf> {
+        self.durability.as_ref().map(|d| d.dir.join(WAL_FILE))
+    }
+
+    /// The durability directory, when durable.
+    pub fn durable_dir(&self) -> Option<PathBuf> {
+        self.durability.as_ref().map(|d| d.dir.clone())
+    }
+
+    /// Current WAL length in bytes (0 when not durable).
+    pub fn wal_bytes(&self) -> u64 {
+        self.durability.as_ref().map(|d| d.wal.bytes).unwrap_or(0)
+    }
+
+    /// Force a snapshot compaction now: atomically write the full state
+    /// and truncate the log. No-op on a non-durable database.
+    pub fn compact(&mut self) -> Result<(), WalError> {
+        let Some(d) = self.durability.take() else {
+            return Ok(());
+        };
+        // Detach while encoding so `encode` sees a plain database; the
+        // layer is restored no matter how the write goes.
+        let result = snapshot::write_atomic(&d.dir, self);
+        self.durability = Some(d);
+        result?;
+        self.durability.as_mut().unwrap().wal.reset()?;
+        wal::record_compaction();
+        telemetry::log_info!(
+            "ovsdb",
+            "snapshot compaction at commit {} ({} tables)",
+            self.txn_counter,
+            self.tables.len()
+        );
+        Ok(())
     }
 
     /// The database schema.
@@ -131,6 +344,12 @@ impl Database {
     /// the transaction aborted — the results array then contains the
     /// error).
     pub fn transact(&mut self, ops: &Json) -> (Json, Vec<RowChange>) {
+        // UUID counter before any op runs: replaying the logged ops from
+        // this value reproduces the exact same minted UUIDs, even though
+        // aborted transactions in between consumed counter values without
+        // being logged.
+        let uuid_pre = self.uuid_counter;
+        let ops_json = ops;
         let ops = match ops.as_array() {
             Some(a) => a,
             None => {
@@ -176,9 +395,44 @@ impl Database {
             return (Json::Array(results), vec![]);
         }
         let overlay = std::mem::take(&mut txn.overlay);
+        // Write-ahead: the record must be durable before the state
+        // mutates, so a crash at any instant leaves either (a) no
+        // record and no state change — the client never got a reply —
+        // or (b) a full record that recovery replays. A torn tail is
+        // case (a) by construction.
+        if let Some(d) = self.durability.as_mut() {
+            let record = WalRecord {
+                commit_index: self.txn_counter + 1,
+                uuid_counter: uuid_pre,
+                ops: ops_json.clone(),
+            };
+            if let Err(e) = d.wal.append(&record) {
+                telemetry::log_warn!("ovsdb", "WAL append failed, aborting txn: {e}");
+                return (
+                    json!([{"error": "io error", "details": e.to_string()}]),
+                    vec![],
+                );
+            }
+        }
         let changes = self.apply_overlay(overlay);
         self.txn_counter += 1;
+        self.maybe_compact();
         (Json::Array(results), changes)
+    }
+
+    /// Compact when the WAL has outgrown its configured threshold. A
+    /// compaction failure is logged but does not fail the (already
+    /// durable) transaction.
+    fn maybe_compact(&mut self) {
+        let due = self
+            .durability
+            .as_ref()
+            .is_some_and(|d| d.wal.bytes > d.cfg.snapshot_after_bytes);
+        if due {
+            if let Err(e) = self.compact() {
+                telemetry::log_warn!("ovsdb", "snapshot compaction failed: {e}");
+            }
+        }
     }
 
     fn apply_overlay(

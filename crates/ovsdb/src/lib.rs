@@ -12,6 +12,8 @@
 //! * [`monitor`] — change-stream subscriptions.
 //! * [`rpc`], [`server`] — a JSON-RPC-style TCP protocol, server, and
 //!   blocking client.
+//! * [`wal`], [`snapshot`] — durability: a checksummed write-ahead log
+//!   with crash recovery and atomic snapshot compaction.
 #![warn(missing_docs)]
 
 pub mod datum;
@@ -20,9 +22,12 @@ pub mod monitor;
 pub mod rpc;
 pub mod schema;
 pub mod server;
+pub mod snapshot;
+pub mod wal;
 
 pub use datum::{Atom, AtomType, Datum, Uuid};
-pub use db::{Database, RowChange, RowData};
+pub use db::{Database, RecoveryReport, RowChange, RowData};
 pub use monitor::{Monitor, MonitorSelect, MonitorTable};
 pub use schema::{ColumnSchema, ColumnType, Schema, TableSchema};
 pub use server::{Client, Server, TRACE_KEY};
+pub use wal::{DurabilityConfig, FsyncPolicy, WalError};

@@ -316,6 +316,10 @@ fn handle_request(
             });
             (initial, Json::Null)
         }
+        "commit_index" => {
+            let db = state.db.lock();
+            (json!(db.commit_index()), Json::Null)
+        }
         "monitor_cancel" => {
             let mon_id = params.get(0).cloned().unwrap_or(Json::Null);
             let mut subs = state.subs.lock();
@@ -504,6 +508,16 @@ impl Client {
     /// Round-trip liveness probe.
     pub fn echo(&self) -> Result<Json, String> {
         self.call("echo", json!(["ping"]))
+    }
+
+    /// The server's monotonic commit index. A freshly restarted server
+    /// that lost (some) state reports a lower index than before —
+    /// supervisors use this to detect an epoch reset and force a full
+    /// resync rather than trusting monitor continuity.
+    pub fn commit_index(&self) -> Result<u64, String> {
+        let v = self.call("commit_index", json!([]))?;
+        v.as_u64()
+            .ok_or_else(|| format!("commit_index returned non-integer {v}"))
     }
 
     /// Register a monitor; returns the initial table-updates plus a

@@ -1,0 +1,555 @@
+//! The write-ahead log: per-transaction durability for the management
+//! plane.
+//!
+//! Real OVSDB persists every committed transaction to an append-only
+//! file log so configuration survives daemon restarts; this module is
+//! that layer for [`crate::db::Database`]. One record is appended per
+//! committed transaction, *before* the transaction's overlay is applied
+//! (write-ahead semantics: a transaction whose record cannot be made
+//! durable is aborted, never half-committed).
+//!
+//! ## Record format
+//!
+//! ```text
+//! [u32 payload_len][u64 commit_index][u32 crc32][payload bytes]
+//! ```
+//!
+//! All integers little-endian. The CRC covers the commit index and the
+//! payload, so a record is self-validating. The payload is the JSON
+//! `{"uuid_counter": <pre-transaction value>, "ops": [...]}` — replay
+//! re-executes the ops against the recovered state, which is fully
+//! deterministic once the UUID counter is restored (UUIDs are minted
+//! from counters, never from entropy).
+//!
+//! ## Recovery rules
+//!
+//! * A record whose bytes end at EOF but do not parse (short header,
+//!   payload past EOF, or CRC mismatch on the final record) is a **torn
+//!   tail** — the write was interrupted mid-record. The tail is cleanly
+//!   truncated and recovery proceeds; at most that single record (whose
+//!   transaction was never acknowledged) is lost.
+//! * A record that fails its CRC *with valid data after it*, carries a
+//!   non-contiguous commit index, or holds unparseable JSON is a
+//!   **corrupt interior** — recovery refuses with a typed
+//!   [`WalError::CorruptRecord`] rather than silently dropping
+//!   acknowledged transactions.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use serde_json::{json, Value as Json};
+
+/// Size of the fixed per-record header: length + commit index + CRC.
+pub const RECORD_HEADER_LEN: usize = 4 + 8 + 4;
+
+/// Name of the log file inside a durability directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// When the log is fsynced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every appended record (safest, slowest).
+    Always,
+    /// fsync after every N appended records (bounded loss window).
+    EveryN(u32),
+    /// Never fsync explicitly; rely on the OS flushing dirty pages
+    /// (fastest; a host crash may lose the tail of the log).
+    Never,
+}
+
+/// Configuration of the durability layer.
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityConfig {
+    /// fsync policy for WAL appends.
+    pub fsync: FsyncPolicy,
+    /// Once the log exceeds this many bytes, the next commit triggers
+    /// snapshot compaction: the full state is written atomically and the
+    /// replayed prefix truncated.
+    pub snapshot_after_bytes: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> DurabilityConfig {
+        DurabilityConfig {
+            fsync: FsyncPolicy::EveryN(64),
+            snapshot_after_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Typed durability-layer errors.
+#[derive(Debug)]
+pub enum WalError {
+    /// An I/O failure against the log, snapshot, or directory.
+    Io(std::io::Error),
+    /// A record in the *interior* of the log failed validation. Opening
+    /// refuses rather than dropping acknowledged transactions.
+    CorruptRecord {
+        /// Byte offset of the offending record.
+        offset: u64,
+        /// What failed.
+        reason: String,
+    },
+    /// Replaying a logged transaction against the recovered state did
+    /// not commit — the log and the snapshot disagree.
+    Replay {
+        /// Commit index of the failing record.
+        index: u64,
+        /// The transaction error.
+        reason: String,
+    },
+    /// The snapshot file exists but cannot be decoded.
+    CorruptSnapshot(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::CorruptRecord { offset, reason } => {
+                write!(f, "corrupt WAL record at offset {offset}: {reason}")
+            }
+            WalError::Replay { index, reason } => {
+                write!(f, "replay of commit {index} failed: {reason}")
+            }
+            WalError::CorruptSnapshot(reason) => write!(f, "corrupt snapshot: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> WalError {
+        WalError::Io(e)
+    }
+}
+
+// ------------------------------------------------------------- crc32
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+fn crc_of(commit_index: u64, payload: &[u8]) -> u32 {
+    let mut buf = Vec::with_capacity(8 + payload.len());
+    buf.extend_from_slice(&commit_index.to_le_bytes());
+    buf.extend_from_slice(payload);
+    crc32(&buf)
+}
+
+// ----------------------------------------------------------- metrics
+
+struct WalMetrics {
+    records: telemetry::Counter,
+    bytes: telemetry::Counter,
+    fsyncs: telemetry::Counter,
+    replay_us: telemetry::Histogram,
+    truncated_tails: telemetry::Counter,
+    compactions: telemetry::Counter,
+}
+
+fn wal_metrics() -> &'static WalMetrics {
+    static M: std::sync::OnceLock<WalMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let reg = &telemetry::global().registry;
+        WalMetrics {
+            records: reg.counter(
+                "ovsdb_wal_records_appended_total",
+                "Transaction records appended to the OVSDB write-ahead log",
+            ),
+            bytes: reg.counter(
+                "ovsdb_wal_bytes_total",
+                "Bytes appended to the OVSDB write-ahead log",
+            ),
+            fsyncs: reg.counter(
+                "ovsdb_wal_fsyncs_total",
+                "fsync calls issued by the OVSDB write-ahead log",
+            ),
+            replay_us: reg.histogram(
+                "ovsdb_wal_replay_duration_us",
+                "WAL replay duration on database open (us)",
+                &telemetry::LATENCY_BOUNDS_US,
+            ),
+            truncated_tails: reg.counter(
+                "ovsdb_wal_truncated_tails_total",
+                "Torn WAL tails detected and truncated during recovery",
+            ),
+            compactions: reg.counter(
+                "ovsdb_wal_snapshot_compactions_total",
+                "Snapshot compactions (full-state snapshot + log truncation)",
+            ),
+        }
+    })
+}
+
+// ------------------------------------------------------------ writer
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Monotonic commit index (1-based; equals the database's
+    /// transaction counter after this commit).
+    pub commit_index: u64,
+    /// The database's UUID counter immediately before the transaction
+    /// executed (restored before replay so minted UUIDs match).
+    pub uuid_counter: u64,
+    /// The transaction's operations array.
+    pub ops: Json,
+}
+
+impl WalRecord {
+    /// Encode to on-disk bytes (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let payload =
+            serde_json::to_vec(&json!({"uuid_counter": self.uuid_counter, "ops": self.ops}))
+                .expect("record payload serializes");
+        let mut out = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.commit_index.to_le_bytes());
+        out.extend_from_slice(&crc_of(self.commit_index, &payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+/// What happened while scanning a log file.
+#[derive(Debug, Clone, Default)]
+pub struct ScanReport {
+    /// Fully-valid records decoded.
+    pub records: Vec<WalRecord>,
+    /// Byte offset of a torn tail, if one was found (everything from
+    /// here on should be truncated).
+    pub torn_at: Option<u64>,
+    /// Total valid bytes (== `torn_at` when a tail was torn).
+    pub valid_bytes: u64,
+}
+
+/// Decode a log image. Returns the valid prefix and where (if anywhere)
+/// a torn tail begins; refuses corrupt interiors.
+pub fn scan(data: &[u8]) -> Result<ScanReport, WalError> {
+    let mut report = ScanReport::default();
+    let mut off = 0usize;
+    while off < data.len() {
+        let remaining = &data[off..];
+        if remaining.len() < RECORD_HEADER_LEN {
+            report.torn_at = Some(off as u64);
+            break;
+        }
+        let len = u32::from_le_bytes(remaining[0..4].try_into().unwrap()) as usize;
+        let commit_index = u64::from_le_bytes(remaining[4..12].try_into().unwrap());
+        let crc = u32::from_le_bytes(remaining[12..16].try_into().unwrap());
+        if remaining.len() < RECORD_HEADER_LEN + len {
+            // Payload (or a garbage length field) extends past EOF: the
+            // record was being written when the crash hit.
+            report.torn_at = Some(off as u64);
+            break;
+        }
+        let payload = &remaining[RECORD_HEADER_LEN..RECORD_HEADER_LEN + len];
+        let end = off + RECORD_HEADER_LEN + len;
+        let fail = |reason: String| -> Result<ScanReport, WalError> {
+            Err(WalError::CorruptRecord {
+                offset: off as u64,
+                reason,
+            })
+        };
+        if crc_of(commit_index, payload) != crc {
+            if end == data.len() {
+                // The final record's bytes are all present but the
+                // checksum fails: a partially-overwritten tail.
+                report.torn_at = Some(off as u64);
+                break;
+            }
+            return fail("crc mismatch".to_string());
+        }
+        let doc: Json = match serde_json::from_slice(payload) {
+            Ok(v) => v,
+            Err(e) => return fail(format!("bad payload json: {e}")),
+        };
+        let uuid_counter = match doc.get("uuid_counter").and_then(Json::as_u64) {
+            Some(u) => u,
+            None => return fail("payload missing uuid_counter".to_string()),
+        };
+        let ops = match doc.get("ops") {
+            Some(o) if o.is_array() => o.clone(),
+            _ => return fail("payload missing ops array".to_string()),
+        };
+        if let Some(prev) = report.records.last() {
+            if commit_index != prev.commit_index + 1 {
+                return fail(format!(
+                    "non-contiguous commit index {commit_index} after {}",
+                    prev.commit_index
+                ));
+            }
+        }
+        report.records.push(WalRecord {
+            commit_index,
+            uuid_counter,
+            ops,
+        });
+        off = end;
+        report.valid_bytes = off as u64;
+    }
+    if report.torn_at.is_none() {
+        report.valid_bytes = data.len() as u64;
+    }
+    Ok(report)
+}
+
+/// The append side of the log: an open file plus fsync bookkeeping.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    /// Current log length in bytes.
+    pub bytes: u64,
+    appends_since_fsync: u32,
+}
+
+impl Wal {
+    /// Open (creating if absent) the log at `path` for appending,
+    /// positioned after `valid_bytes` (anything beyond is truncated —
+    /// the torn-tail cleanup).
+    pub fn open(path: &Path, policy: FsyncPolicy, valid_bytes: u64) -> Result<Wal, WalError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len > valid_bytes {
+            file.set_len(valid_bytes)?;
+            file.sync_all()?;
+            wal_metrics().fsyncs.inc();
+        }
+        file.seek(SeekFrom::Start(valid_bytes))?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            bytes: valid_bytes,
+            appends_since_fsync: 0,
+        })
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record, honoring the fsync policy. Returns the bytes
+    /// written.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64, WalError> {
+        let bytes = record.encode();
+        self.file.write_all(&bytes)?;
+        self.bytes += bytes.len() as u64;
+        self.appends_since_fsync += 1;
+        let m = wal_metrics();
+        m.records.inc();
+        m.bytes.add(bytes.len() as u64);
+        let syncing = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.appends_since_fsync >= n.max(1),
+            FsyncPolicy::Never => false,
+        };
+        if syncing {
+            self.file.sync_data()?;
+            self.appends_since_fsync = 0;
+            m.fsyncs.inc();
+        }
+        Ok(bytes.len() as u64)
+    }
+
+    /// Truncate the log to empty (after a snapshot made its contents
+    /// redundant) and fsync the truncation.
+    pub fn reset(&mut self) -> Result<(), WalError> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.sync_all()?;
+        wal_metrics().fsyncs.inc();
+        self.bytes = 0;
+        self.appends_since_fsync = 0;
+        Ok(())
+    }
+
+    /// Force an fsync regardless of policy.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.file.sync_data()?;
+        self.appends_since_fsync = 0;
+        wal_metrics().fsyncs.inc();
+        Ok(())
+    }
+}
+
+/// Record a completed replay's duration and (optional) torn-tail event
+/// in the `ovsdb_wal_*` series.
+pub(crate) fn record_replay(duration: std::time::Duration, truncated_tail: bool) {
+    let m = wal_metrics();
+    m.replay_us.record_duration(duration);
+    if truncated_tail {
+        m.truncated_tails.inc();
+    }
+}
+
+/// Record a snapshot compaction in the `ovsdb_wal_*` series.
+pub(crate) fn record_compaction() {
+    wal_metrics().compactions.inc();
+}
+
+// -------------------------------------------------- chaos/test hooks
+
+/// The byte span `[start, end)` of the final record in a log image
+/// (`None` for an empty or headerless log). Used by crash-fault
+/// injection to tear exactly (and only) the final record.
+pub fn final_record_span(data: &[u8]) -> Option<(u64, u64)> {
+    let report = scan(data).ok()?;
+    let last = report.records.last()?;
+    let payload_len =
+        serde_json::to_vec(&json!({"uuid_counter": last.uuid_counter, "ops": last.ops}))
+            .ok()?
+            .len() as u64;
+    let end = report.valid_bytes;
+    Some((end - RECORD_HEADER_LEN as u64 - payload_len, end))
+}
+
+/// Simulate a crash mid-write of the log's final record: chop up to
+/// `chop_request` bytes off the tail, clamped so only the final record
+/// is damaged. Returns the number of bytes actually removed (0 when the
+/// log has no complete record to tear, or `chop_request` is 0).
+///
+/// Deterministic: for a given log image and `chop_request` the resulting
+/// file is byte-identical run after run — this is the hook
+/// `chaos::FaultKind::CrashServer` drives.
+pub fn tear_tail(path: &Path, chop_request: u64) -> Result<u64, WalError> {
+    if chop_request == 0 {
+        return Ok(0);
+    }
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    let Some((start, end)) = final_record_span(&data) else {
+        return Ok(0);
+    };
+    let chop = chop_request.min(end - start);
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(end - chop)?;
+    file.sync_all()?;
+    Ok(chop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: u64) -> WalRecord {
+        WalRecord {
+            commit_index: i,
+            uuid_counter: 10 * i,
+            ops: json!([{"op": "comment"}]),
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_scan_roundtrip() {
+        let mut image = Vec::new();
+        for i in 1..=3 {
+            image.extend_from_slice(&rec(i).encode());
+        }
+        let report = scan(&image).unwrap();
+        assert_eq!(report.records, vec![rec(1), rec(2), rec(3)]);
+        assert_eq!(report.torn_at, None);
+        assert_eq!(report.valid_bytes, image.len() as u64);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_not_fatal() {
+        let mut image = rec(1).encode();
+        let full = rec(2).encode();
+        let boundary = image.len();
+        image.extend_from_slice(&full[..full.len() - 3]);
+        let report = scan(&image).unwrap();
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.torn_at, Some(boundary as u64));
+        assert_eq!(report.valid_bytes, boundary as u64);
+    }
+
+    #[test]
+    fn corrupt_interior_is_refused() {
+        let mut image = rec(1).encode();
+        let boundary = image.len();
+        image.extend_from_slice(&rec(2).encode());
+        // Flip a payload byte of record 1 (interior).
+        image[RECORD_HEADER_LEN + 2] ^= 0xFF;
+        match scan(&image) {
+            Err(WalError::CorruptRecord { offset, .. }) => assert_eq!(offset, 0),
+            other => panic!("expected CorruptRecord, got {other:?}"),
+        }
+        // Flip a byte of the *final* record instead: that is a torn
+        // tail, not corruption.
+        let mut image2 = rec(1).encode();
+        image2.extend_from_slice(&rec(2).encode());
+        let last = image2.len() - 1;
+        image2[last] ^= 0xFF;
+        let report = scan(&image2).unwrap();
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.torn_at, Some(boundary as u64));
+    }
+
+    #[test]
+    fn non_contiguous_index_is_refused() {
+        let mut image = rec(1).encode();
+        image.extend_from_slice(&rec(3).encode());
+        assert!(matches!(scan(&image), Err(WalError::CorruptRecord { .. })));
+    }
+
+    #[test]
+    fn final_record_span_and_tear() {
+        let r1 = rec(1).encode();
+        let r2 = rec(2).encode();
+        let mut image = r1.clone();
+        image.extend_from_slice(&r2);
+        let (start, end) = final_record_span(&image).unwrap();
+        assert_eq!(start, r1.len() as u64);
+        assert_eq!(end, image.len() as u64);
+
+        let dir = std::env::temp_dir().join(format!("nerpa-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tear.log");
+        std::fs::write(&path, &image).unwrap();
+        // Chop request larger than the final record is clamped to it.
+        let chopped = tear_tail(&path, 1 << 20).unwrap();
+        assert_eq!(chopped, r2.len() as u64);
+        assert_eq!(std::fs::read(&path).unwrap(), r1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

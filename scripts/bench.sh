@@ -31,6 +31,8 @@ cargo run --release -q -p bench --bin report_fig3 -- \
     --out BENCH_fig3.json "${QUICK[@]}"
 cargo run --release -q -p bench --bin report_port_scaling -- \
     --out BENCH_port_scaling.json "${QUICK[@]}"
+cargo run --release -q -p bench --bin report_wal -- \
+    --out BENCH_wal.json "${QUICK[@]}"
 
 echo
-echo "bench reports written: BENCH_fig3.json BENCH_port_scaling.json"
+echo "bench reports written: BENCH_fig3.json BENCH_port_scaling.json BENCH_wal.json"

@@ -22,6 +22,13 @@ NERPA_LOG=debug cargo test -q --test telemetry_e2e
 cargo run --release -q -p oracle --bin oracle -- --seed 1..8 --steps 200
 cargo run --release -q -p oracle --bin oracle -- --seed 1..8 --steps 200 --chaos 7
 
+# Durability: crash-recovery e2e (torn WAL tail, server restart, epoch
+# reset, controller reconvergence), then an oracle sweep that kills the
+# durable OVSDB server mid-WAL-write and checks crash-equivalence — the
+# recovered state must equal the pre-crash committed prefix.
+cargo test -q --test durability_e2e
+cargo run --release -q -p oracle --bin oracle -- --seed 1..8 --steps 200 --chaos-crash 7
+
 # Bench smoke: regenerate the paper experiments in --quick mode (the
 # incrementality audit is armed inside report_fig3) and gate the
 # deterministic tuples-per-commit measurements against the checked-in

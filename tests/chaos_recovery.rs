@@ -48,12 +48,13 @@ fn ovsdb_link_death_recovers_with_delta_resync_and_switch_reconcile() {
         .unwrap();
 
     // The chaos schedule: the first proxied connection dies right after
-    // the 3rd server→client message (monitor response + two updates),
-    // then the link partitions. Every later connection is transparent.
+    // the 4th server→client message (commit-index response, monitor
+    // response, two updates), then the link partitions. Every later
+    // connection is transparent.
     let schedule = FaultSchedule::scripted(
         0xC0FFEE,
         Framing::Ndjson,
-        vec![ConnFault::kill_after(3, Direction::ServerToClient)
+        vec![ConnFault::kill_after(4, Direction::ServerToClient)
             .partitioning(Duration::from_millis(300))],
     );
     let proxy = FaultProxy::start(db_server.local_addr(), schedule).unwrap();
