@@ -1,0 +1,225 @@
+//! Shard-scaling: commit throughput of the sharded control plane as the
+//! shard count grows, on a 10k-port topology over 8 switches.
+//!
+//! Each switch sits behind its own TCP control service configured with
+//! an emulated ASIC programming latency (real switch tables take on the
+//! order of 0.1–1 ms per entry — see `ControlService::
+//! start_with_write_delay`). The unsharded controller (1 shard) commits
+//! and pushes in lockstep, so every commit waits for every switch; the
+//! sharded runtime overlaps shard A's commits with shard B's device
+//! pushes and spreads the pushes across per-shard writer threads.
+//! Throughput is measured end-to-end: wall time from the first port
+//! transaction to a full pipeline flush (all commits applied, all
+//! entries on all devices).
+//!
+//! The deterministic regression measurement (`tuples_per_op`) is the
+//! number of table entries pushed per port — a conservation check that
+//! sharding delivers every derived entry to every switch exactly once,
+//! independent of shard count and topology size.
+
+use std::time::{Duration, Instant};
+
+use bench::{print_table, BenchEntry};
+use nerpa::codegen::CodegenOptions;
+use nerpa::controller::{DataPlane, NerpaProgram};
+use p4sim::service::{ControlClient, ControlService, SwitchDevice};
+use p4sim::Switch;
+use serde_json::json;
+use shard::{PartitionSpec, Router, ShardRuntime};
+
+const SWITCHES: usize = 8;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const PORTS: usize = 10_000;
+const PORTS_QUICK: usize = 500;
+const BATCH: usize = 200;
+/// Emulated per-entry device programming latency (~5k entries/sec, the
+/// optimistic end of hardware table-write rates).
+const WRITE_DELAY: Duration = Duration::from_micros(200);
+/// Minimum 8-shard-vs-1 speedup for a full run (the paper-scale claim).
+const MIN_SPEEDUP: f64 = 3.0;
+/// Lenient floor for `--quick` smoke runs (CI boxes are noisy and the
+/// tiny topology is CPU- rather than push-dominated).
+const MIN_SPEEDUP_QUICK: f64 = 1.2;
+
+struct RunStats {
+    wall: Duration,
+    entries_pushed: u64,
+    commits: u64,
+}
+
+fn run_config(
+    shards: usize,
+    ports: usize,
+    nerpa_program: &NerpaProgram,
+    program: &p4sim::ast::Program,
+    schema: &ovsdb::Schema,
+) -> RunStats {
+    let mut services = Vec::new();
+    let mut switches: Vec<(usize, Box<dyn DataPlane>)> = Vec::new();
+    for sw in 0..SWITCHES {
+        let device = SwitchDevice::new(Switch::new(program.clone()));
+        let service = ControlService::start_with_write_delay(device, "127.0.0.1:0", WRITE_DELAY)
+            .expect("control service");
+        let client = ControlClient::connect(service.local_addr()).expect("control client");
+        switches.push((sw, Box::new(client)));
+        services.push(service);
+    }
+    let router = Router::new(PartitionSpec::snvs(), shards);
+    let runtime = ShardRuntime::start(nerpa_program, router, switches).expect("shard runtime");
+
+    // Register the switches (untimed: one-time topology setup).
+    let mut db = ovsdb::Database::new(schema.clone());
+    let tx: Vec<serde_json::Value> = (0..SWITCHES)
+        .map(|sw| json!({"op": "insert", "table": "Switch", "row": {"idx": sw}}))
+        .collect();
+    let (_, changes) = db.transact(&json!(tx));
+    runtime.handle_row_changes(&changes);
+    runtime.flush();
+
+    // The shard-label counters are process-global; measure deltas.
+    let entries_before: u64 = (0..shards).map(|s| runtime.entries_written(s)).sum();
+    let commits_before: u64 = (0..shards).map(|s| runtime.commits(s)).sum();
+
+    let t = Instant::now();
+    let mut next = 0;
+    while next < ports {
+        let hi = (next + BATCH).min(ports);
+        let tx: Vec<serde_json::Value> = (next..hi)
+            .map(|i| {
+                json!({"op": "insert", "table": "Port",
+                       "row": {"id": i, "vlan_mode": "access", "tag": 10 + (i % 64)}})
+            })
+            .collect();
+        let (_, changes) = db.transact(&json!(tx));
+        runtime.handle_row_changes(&changes);
+        next = hi;
+    }
+    runtime.flush();
+    let wall = t.elapsed();
+
+    let entries_pushed: u64 =
+        (0..shards).map(|s| runtime.entries_written(s)).sum::<u64>() - entries_before;
+    let commits: u64 = (0..shards).map(|s| runtime.commits(s)).sum::<u64>() - commits_before;
+    for s in 0..shards {
+        assert_eq!(runtime.commit_errors(s), 0, "shard {s} commit errors");
+        assert!(
+            runtime.dirty_switches(s).is_empty(),
+            "shard {s} left switches dirty"
+        );
+    }
+    runtime.shutdown();
+    RunStats {
+        wall,
+        entries_pushed,
+        commits,
+    }
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => out = args.next(),
+            "--quick" => quick = true,
+            other => {
+                eprintln!("usage: report_shard_scaling [--out FILE] [--quick] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+    let ports = if quick { PORTS_QUICK } else { PORTS };
+
+    println!(
+        "shard scaling: {ports} ports over {SWITCHES} switches, \
+         {:?} emulated programming latency per entry",
+        WRITE_DELAY
+    );
+
+    let schema = ovsdb::Schema::parse(snvs::assets::SNVS_SCHEMA).expect("schema");
+    let program = p4sim::parse_p4(snvs::assets::SNVS_P4).expect("p4");
+    let nerpa_program = NerpaProgram {
+        schema: schema.clone(),
+        p4info: p4sim::P4Info::from_program(&program),
+        rules: snvs::assets::SNVS_RULES.to_string(),
+        options: CodegenOptions { per_switch: true },
+    };
+
+    let mut runs = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        let stats = run_config(shards, ports, &nerpa_program, &program, &schema);
+        println!(
+            "  shards={shards}: {} in {:.3}s ({} entries pushed, {} commits)",
+            format_args!("{:.0} ports/s", ports as f64 / stats.wall.as_secs_f64()),
+            stats.wall.as_secs_f64(),
+            stats.entries_pushed,
+            stats.commits,
+        );
+        runs.push((shards, stats));
+    }
+
+    // Conservation: sharding must deliver the same entries regardless of
+    // the shard count — every derived entry on every switch exactly once.
+    let expected = runs[0].1.entries_pushed;
+    for (shards, stats) in &runs {
+        assert_eq!(
+            stats.entries_pushed, expected,
+            "shards={shards} pushed a different entry count than unsharded"
+        );
+    }
+
+    let base = runs[0].1.wall.as_secs_f64();
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|(shards, stats)| {
+            vec![
+                shards.to_string(),
+                format!("{:.3}", stats.wall.as_secs_f64()),
+                format!("{:.0}", ports as f64 / stats.wall.as_secs_f64()),
+                format!("{:.2}x", base / stats.wall.as_secs_f64()),
+            ]
+        })
+        .collect();
+    print_table(
+        "commit throughput vs shard count",
+        &["shards", "wall(s)", "ports/s", "speedup"],
+        &rows,
+    );
+
+    let last = runs.last().expect("runs");
+    let speedup = base / last.1.wall.as_secs_f64();
+    let floor = if quick {
+        MIN_SPEEDUP_QUICK
+    } else {
+        MIN_SPEEDUP
+    };
+    println!(
+        "\n{} shards vs 1: {speedup:.2}x commit throughput (floor {floor}x)",
+        last.0
+    );
+    assert!(
+        speedup >= floor,
+        "sharding speedup {speedup:.2}x below the {floor}x floor"
+    );
+
+    if let Some(path) = out {
+        let mut entries: Vec<BenchEntry> = runs
+            .iter()
+            .map(|(shards, stats)| BenchEntry {
+                name: format!("shard_scaling/shards={shards}"),
+                median_ns_per_op: (stats.wall.as_nanos() as u64) / ports as u64,
+                tuples_per_op: stats.entries_pushed / ports as u64,
+            })
+            .collect();
+        // Headline speedup, informational (time-derived): hundredths.
+        entries.push(BenchEntry {
+            name: "shard_scaling/speedup_8_shards_x100".into(),
+            median_ns_per_op: (speedup * 100.0) as u64,
+            tuples_per_op: 0,
+        });
+        bench::write_bench_json(&path, "shard_scaling", &entries).expect("write bench json");
+        println!("wrote {path}");
+    }
+    bench::dump_metrics_snapshot();
+}

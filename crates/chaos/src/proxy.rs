@@ -383,7 +383,15 @@ mod tests {
         for i in 0..5 {
             assert!(request(&mut c, &mut r, i), "request {i} failed");
         }
-        let stats = proxy.stats();
+        // The c2s counter is bumped after the forwarding write, so the
+        // final reply can round-trip before the pump thread records it;
+        // poll briefly instead of snapshotting immediately.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let mut stats = proxy.stats();
+        while (stats.forwarded_c2s, stats.forwarded_s2c) != (5, 5) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+            stats = proxy.stats();
+        }
         assert_eq!(stats.forwarded_c2s, 5);
         assert_eq!(stats.forwarded_s2c, 5);
         assert_eq!(stats.kills, 0);

@@ -185,7 +185,7 @@ impl Metrics {
 /// The causal context of one change flowing through the stack: the
 /// trace id plus what is known about the upstream commit.
 #[derive(Debug, Clone, Copy)]
-struct TraceCtx {
+pub struct TraceCtx {
     id: u64,
     /// Management-plane commit duration, when the change arrived via a
     /// monitor update carrying [`ovsdb::TRACE_KEY`]; 0 otherwise.
@@ -194,7 +194,8 @@ struct TraceCtx {
 }
 
 impl TraceCtx {
-    fn minted(source: &'static str) -> TraceCtx {
+    /// Mint a fresh trace for a change entering the stack at `source`.
+    pub fn minted(source: &'static str) -> TraceCtx {
         TraceCtx {
             id: telemetry::next_trace_id(),
             commit_ns: 0,
@@ -213,6 +214,38 @@ impl TraceCtx {
             })
         });
         embedded.unwrap_or_else(|| TraceCtx::minted("monitor"))
+    }
+}
+
+/// The output of [`Controller::commit_to_plan`]: per-switch write
+/// batches (deletes before inserts, switch-id order), multicast group
+/// snapshots to replay, and the commit's partially-assembled span tree.
+/// Everything the push half of the commit→convert→write cycle needs,
+/// detached from the engine so writes can be pipelined behind commits.
+pub struct PushPlan {
+    ctx: TraceCtx,
+    /// When the commit began — push latency is measured from here so
+    /// the e2e series still covers change-observed → write-acked.
+    start: Instant,
+    writes: Vec<(usize, Vec<Update>)>,
+    mcast_pushes: Vec<(usize, u16, Vec<u16>)>,
+    root: Span,
+}
+
+impl PushPlan {
+    /// The trace id that produced this plan (follows the writes down).
+    pub fn trace_id(&self) -> u64 {
+        self.ctx.id
+    }
+
+    /// The per-switch write batches, in ascending switch-id order.
+    pub fn writes(&self) -> &[(usize, Vec<Update>)] {
+        &self.writes
+    }
+
+    /// Total table-entry updates across all batches.
+    pub fn update_count(&self) -> usize {
+        self.writes.iter().map(|(_, u)| u.len()).sum()
     }
 }
 
@@ -244,7 +277,11 @@ pub struct Controller {
     schema: ovsdb::Schema,
     tables: HashMap<String, TableBinding>,
     digests: HashMap<String, DigestBinding>,
-    switches: Vec<Box<dyn DataPlane>>,
+    /// Registered data planes, keyed by global switch id. Sparse on
+    /// purpose: a shard controller registers only the switches its
+    /// partition owns, under their global ids, and output rows routed
+    /// to unregistered switches are simply not this instance's to push.
+    switches: BTreeMap<usize, Box<dyn DataPlane>>,
     /// Replication state derived from the `MulticastGroup` convention
     /// relation: (switch, group) → member ports. Ordered so replaying
     /// it (switch reconcile) always pushes groups in the same order.
@@ -277,7 +314,7 @@ impl Controller {
                 .into_iter()
                 .map(|d| (d.relation.clone(), d))
                 .collect(),
-            switches: Vec::new(),
+            switches: BTreeMap::new(),
             mcast: BTreeMap::new(),
             dataflow: std::sync::Arc::new(std::sync::Mutex::new(String::new())),
             metrics: Metrics::default(),
@@ -285,14 +322,29 @@ impl Controller {
     }
 
     /// Register a data plane; returns its switch id (used by
-    /// `switch_id` routing and digest attribution).
+    /// `switch_id` routing and digest attribution). Ids are assigned
+    /// sequentially after the highest registered id.
     pub fn add_switch(&mut self, dp: Box<dyn DataPlane>) -> usize {
-        self.switches.push(dp);
-        let id = self.switches.len() - 1;
+        let id = self.switches.keys().next_back().map_or(0, |last| last + 1);
+        self.add_switch_with_id(id, dp);
+        id
+    }
+
+    /// Register a data plane under a specific global switch id. Shard
+    /// controllers use this so each partition's switches keep their
+    /// topology-wide ids: output rows whose `switch_id` column names an
+    /// unregistered switch are skipped (they belong to another shard),
+    /// and broadcast rows go to registered switches only.
+    pub fn add_switch_with_id(&mut self, id: usize, dp: Box<dyn DataPlane>) {
+        self.switches.insert(id, dp);
         telemetry::global()
             .health
             .set(format!("switch/{id}"), "connected");
-        id
+    }
+
+    /// The global ids of all registered switches, in ascending order.
+    pub fn switch_ids(&self) -> Vec<usize> {
+        self.switches.keys().copied().collect()
     }
 
     /// Start the live introspection endpoint on `addr` (port 0 for an
@@ -410,8 +462,26 @@ impl Controller {
         ops: Vec<(String, Vec<Value>, bool)>,
         ctx: TraceCtx,
     ) -> Result<TxnDelta, String> {
+        let (delta, plan) = self.commit_to_plan(ops, ctx)?;
+        if let Some(plan) = plan {
+            self.push_plan(plan)?;
+        }
+        Ok(delta)
+    }
+
+    /// The commit half of the cycle: run the engine transaction, route
+    /// the output delta to per-switch write batches, and fold any
+    /// `MulticastGroup` changes into the replication state — but do not
+    /// touch a data plane. The returned [`PushPlan`] carries everything
+    /// the push half needs, so callers that pipeline (the shard runtime,
+    /// benches) can start the next commit while this plan is written.
+    pub fn commit_to_plan(
+        &mut self,
+        ops: Vec<(String, Vec<Value>, bool)>,
+        ctx: TraceCtx,
+    ) -> Result<(TxnDelta, Option<PushPlan>), String> {
         if ops.is_empty() {
-            return Ok(TxnDelta::default());
+            return Ok((TxnDelta::default(), None));
         }
         let start = Instant::now();
         let input_ops = ops.len();
@@ -440,9 +510,10 @@ impl Controller {
         // BTreeMap so switches are always written in id order — a fixed
         // push order keeps partial-failure states reproducible.
         let mut per_switch: BTreeMap<usize, (Vec<Update>, Vec<Update>)> = BTreeMap::new();
+        let mut mcast_pushes = Vec::new();
         for (rel, rows) in &delta.changes {
             if rel == "MulticastGroup" {
-                self.apply_mcast_delta(rows)?;
+                mcast_pushes = self.apply_mcast_delta(rows)?;
                 continue;
             }
             let Some(binding) = self.tables.get(rel) else {
@@ -451,9 +522,9 @@ impl Controller {
             for (row, weight) in rows {
                 let (target, update) = convert::row_to_update(row, *weight, binding)?;
                 let targets: Vec<usize> = match target {
-                    Some(t) if t < self.switches.len() => vec![t],
-                    Some(_) => vec![],
-                    None => (0..self.switches.len()).collect(),
+                    Some(t) if self.switches.contains_key(&t) => vec![t],
+                    Some(_) => vec![], // another shard's switch
+                    None => self.switches.keys().copied().collect(),
                 };
                 for t in targets {
                     let bucket = per_switch.entry(t).or_default();
@@ -465,38 +536,19 @@ impl Controller {
                 }
             }
         }
-        let mut write_spans = Vec::new();
-        for (t, (dels, ins)) in per_switch {
-            let mut updates = dels;
-            updates.extend(ins);
-            self.metrics.entries_pushed.add(updates.len() as u64);
-            let write_start_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-            let write_start = Instant::now();
-            self.switches[t].write_updates_traced(&updates, ctx.id)?;
-            let write_ns = write_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-            write_spans.push(
-                Span::new("p4.write", "data")
-                    .timed(write_start_ns, write_ns.max(1))
-                    .attr_u64("switch", t as u64)
-                    .attr_u64("updates", updates.len() as u64),
-            );
-        }
-        let total = start.elapsed();
-        self.metrics.latency.record_duration(total);
-        telemetry::log_debug!(
-            "controller",
-            "trace {}: {} ops -> {} changes ({} source)",
-            ctx.id,
-            input_ops,
-            delta.len(),
-            ctx.source
-        );
+        let writes = per_switch
+            .into_iter()
+            .map(|(t, (mut dels, ins))| {
+                dels.extend(ins);
+                (t, dels)
+            })
+            .collect();
 
-        // Assemble the span tree: management-plane commit (if known),
-        // control-plane apply, then one data-plane span per write.
-        let total_ns = total.as_nanos().min(u64::MAX as u128) as u64;
+        // Assemble the span tree's commit half: management-plane commit
+        // (if known) and the control-plane apply. Write spans are
+        // appended when the plan is pushed.
         let mut root = Span::new("stack.change", "stack")
-            .timed(0, (ctx.commit_ns + total_ns).max(1))
+            .timed(0, (ctx.commit_ns + apply_ns).max(1))
             .attr_text("source", ctx.source)
             .attr_u64("input_ops", input_ops as u64)
             .attr_u64("delta_rows", delta.len() as u64);
@@ -519,29 +571,87 @@ impl Controller {
                 .attr_u64("hottest_op_tuples", profile.stats[hot].tuples());
         }
         root.children.push(apply_span);
-        for mut s in write_spans {
-            s.start_ns += ctx.commit_ns;
-            root.children.push(s);
+        telemetry::log_debug!(
+            "controller",
+            "trace {}: {} ops -> {} changes ({} source)",
+            ctx.id,
+            input_ops,
+            delta.len(),
+            ctx.source
+        );
+
+        let plan = PushPlan {
+            ctx,
+            start,
+            writes,
+            mcast_pushes,
+            root,
+        };
+        Ok((delta, Some(plan)))
+    }
+
+    /// The push half of the cycle: write a plan's batches to the
+    /// registered data planes (in switch-id order), replay its touched
+    /// multicast groups, and close out the commit's span tree and
+    /// latency metrics. Registered planes may be asynchronous handles
+    /// that enqueue instead of blocking — that is the shard runtime's
+    /// write pipeline.
+    pub fn push_plan(&self, plan: PushPlan) -> Result<(), String> {
+        let PushPlan {
+            ctx,
+            start,
+            writes,
+            mcast_pushes,
+            mut root,
+        } = plan;
+        for (t, updates) in &writes {
+            let Some(dp) = self.switches.get(t) else {
+                return Err(format!("push plan routed to unregistered switch {t}"));
+            };
+            self.metrics.entries_pushed.add(updates.len() as u64);
+            let write_start_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let write_start = Instant::now();
+            dp.write_updates_traced(updates, ctx.id)?;
+            let write_ns = write_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            root.children.push(
+                Span::new("p4.write", "data")
+                    .timed(ctx.commit_ns + write_start_ns, write_ns.max(1))
+                    .attr_u64("switch", *t as u64)
+                    .attr_u64("updates", updates.len() as u64),
+            );
         }
+        for (s, group, ports) in mcast_pushes {
+            if let Some(dp) = self.switches.get(&s) {
+                dp.set_mcast_group(group, ports)?;
+            }
+        }
+        let total = start.elapsed();
+        self.metrics.latency.record_duration(total);
+        let total_ns = total.as_nanos().min(u64::MAX as u128) as u64;
+        root.dur_ns = (ctx.commit_ns + total_ns).max(1);
         telemetry::global().tracer.record(SpanTree {
             trace: ctx.id,
             root,
         });
-        Ok(delta)
+        Ok(())
     }
 
-    /// Apply a delta of the convention relation
+    /// Fold a delta of the convention relation
     /// `output relation MulticastGroup(group, port)` (optionally with a
-    /// leading `switch_id` column when there are ≥3 columns): maintain
-    /// group membership and push it to the data planes.
-    fn apply_mcast_delta(&mut self, rows: &[(Vec<Value>, isize)]) -> Result<(), String> {
+    /// leading `switch_id` column when there are ≥3 columns) into the
+    /// replication state, returning the group snapshots that must be
+    /// pushed to registered switches.
+    fn apply_mcast_delta(
+        &mut self,
+        rows: &[(Vec<Value>, isize)],
+    ) -> Result<Vec<(usize, u16, Vec<u16>)>, String> {
         let mut touched: BTreeSet<(usize, u16)> = BTreeSet::new();
         for (row, w) in rows {
             let (switches, group, port): (Vec<usize>, u16, u16) = match row.len() {
                 2 => {
                     let g = row[0].as_u128().ok_or("MulticastGroup: bad group")? as u16;
                     let p = row[1].as_u128().ok_or("MulticastGroup: bad port")? as u16;
-                    ((0..self.switches.len()).collect(), g, p)
+                    (self.switches.keys().copied().collect(), g, p)
                 }
                 3 => {
                     let s = row[0].as_u128().ok_or("MulticastGroup: bad switch")? as usize;
@@ -561,8 +671,9 @@ impl Controller {
                 touched.insert((s, group));
             }
         }
+        let mut pushes = Vec::new();
         for (s, group) in touched {
-            if s >= self.switches.len() {
+            if !self.switches.contains_key(&s) {
                 continue;
             }
             let ports: Vec<u16> = self
@@ -570,9 +681,9 @@ impl Controller {
                 .get(&(s, group))
                 .map(|set| set.iter().copied().collect())
                 .unwrap_or_default();
-            self.switches[s].set_mcast_group(group, ports)?;
+            pushes.push((s, group, ports));
         }
-        Ok(())
+        Ok(pushes)
     }
 
     /// Resync the engine's input relations against a fresh monitor
@@ -674,10 +785,10 @@ impl Controller {
         switch_id: usize,
         dp: Box<dyn DataPlane>,
     ) -> Result<(), String> {
-        if switch_id >= self.switches.len() {
+        let Some(slot) = self.switches.get_mut(&switch_id) else {
             return Err(format!("no switch with id {switch_id}"));
-        }
-        self.switches[switch_id] = dp;
+        };
+        *slot = dp;
         Ok(())
     }
 
@@ -687,56 +798,112 @@ impl Controller {
     /// then missing inserts. Multicast groups are replayed from the
     /// controller's replication state.
     pub fn reconcile_switch(&mut self, switch_id: usize) -> Result<ReconcileReport, String> {
-        if switch_id >= self.switches.len() {
-            return Err(format!("no switch with id {switch_id}"));
-        }
-        let desired = self.desired_entries(switch_id)?;
-        let actual: BTreeSet<TableEntry> = self.switches[switch_id]
-            .read_all_tables()?
-            .into_iter()
-            .flat_map(|(_, entries)| entries)
-            .collect();
+        let mut reports = self.reconcile_switches(&[switch_id])?;
+        reports
+            .remove(&switch_id)
+            .ok_or_else(|| format!("no switch with id {switch_id}"))
+    }
 
-        let mut report = ReconcileReport::default();
-        let mut updates = Vec::new();
-        for entry in actual.difference(&desired) {
-            updates.push(Update {
-                op: WriteOp::Delete,
-                entry: entry.clone(),
-            });
-            report.deleted += 1;
+    /// Reconcile several switches, running the device-facing half
+    /// (table read-back, diff push, multicast replay) concurrently —
+    /// one scoped thread per switch. Fails on the first per-switch
+    /// error; supervisors that must survive one dead switch use
+    /// [`Controller::try_reconcile_switches`].
+    pub fn reconcile_switches(
+        &mut self,
+        ids: &[usize],
+    ) -> Result<BTreeMap<usize, ReconcileReport>, String> {
+        let mut reports = BTreeMap::new();
+        for (id, res) in self.try_reconcile_switches(ids) {
+            reports.insert(id, res?);
         }
-        for entry in desired.difference(&actual) {
-            updates.push(Update {
-                op: WriteOp::Insert,
-                entry: entry.clone(),
-            });
-            report.inserted += 1;
-        }
-        report.unchanged = desired.intersection(&actual).count();
-        if !updates.is_empty() {
-            self.metrics.entries_pushed.add(updates.len() as u64);
-            self.switches[switch_id].write_updates(&updates)?;
-        }
-        for ((s, group), ports) in &self.mcast {
-            if *s == switch_id {
-                self.switches[switch_id]
-                    .set_mcast_group(*group, ports.iter().copied().collect())?;
-                report.mcast_groups += 1;
+        Ok(reports)
+    }
+
+    /// Reconcile several switches concurrently, reporting each one's
+    /// outcome independently: a dead or misbehaving switch yields an
+    /// `Err` for its id while its neighbors still converge. The desired
+    /// states are computed serially first (they share the engine); the
+    /// per-device work runs on one scoped thread per switch, so a slow
+    /// device only delays its own recovery.
+    pub fn try_reconcile_switches(
+        &mut self,
+        ids: &[usize],
+    ) -> BTreeMap<usize, Result<ReconcileReport, String>> {
+        // Phase 1 (serial, shared engine): desired entries and desired
+        // multicast groups per switch.
+        type Desired = (BTreeSet<TableEntry>, Vec<(u16, Vec<u16>)>);
+        let mut results: BTreeMap<usize, Result<ReconcileReport, String>> = BTreeMap::new();
+        let mut desired: BTreeMap<usize, Desired> = BTreeMap::new();
+        for &id in ids {
+            if !self.switches.contains_key(&id) {
+                results.insert(id, Err(format!("no switch with id {id}")));
+                continue;
+            }
+            match self.desired_entries(id) {
+                Ok(entries) => {
+                    let groups: Vec<(u16, Vec<u16>)> = self
+                        .mcast
+                        .iter()
+                        .filter(|((s, _), _)| *s == id)
+                        .map(|((_, g), ports)| (*g, ports.iter().copied().collect()))
+                        .collect();
+                    desired.insert(id, (entries, groups));
+                }
+                Err(e) => {
+                    results.insert(id, Err(e));
+                }
             }
         }
-        self.metrics.reconciles.inc();
-        telemetry::global()
-            .health
-            .set(format!("switch/{switch_id}"), "ok(reconciled)");
-        telemetry::log_info!(
-            "controller",
-            "reconcile switch {switch_id}: +{} -{} ={}",
-            report.inserted,
-            report.deleted,
-            report.unchanged
-        );
-        Ok(report)
+
+        // Phase 2 (parallel, per device): read back, diff, push.
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (id, dp) in self.switches.iter_mut() {
+                let Some((want, groups)) = desired.remove(id) else {
+                    continue;
+                };
+                let id = *id;
+                handles.push((
+                    id,
+                    scope.spawn(move || reconcile_device(dp.as_mut(), &want, &groups)),
+                ));
+            }
+            for (id, h) in handles {
+                let res = h
+                    .join()
+                    .unwrap_or_else(|_| Err(format!("reconcile thread for switch {id} panicked")));
+                results.insert(id, res);
+            }
+        });
+
+        for (id, res) in &results {
+            match res {
+                Ok(report) => {
+                    self.metrics
+                        .entries_pushed
+                        .add((report.inserted + report.deleted) as u64);
+                    self.metrics.reconciles.inc();
+                    telemetry::global()
+                        .health
+                        .set(format!("switch/{id}"), "ok(reconciled)");
+                    telemetry::log_info!(
+                        "controller",
+                        "reconcile switch {id}: +{} -{} ={}",
+                        report.inserted,
+                        report.deleted,
+                        report.unchanged
+                    );
+                }
+                Err(e) => {
+                    telemetry::global()
+                        .health
+                        .set(format!("switch/{id}"), "degraded(reconcile failed)");
+                    telemetry::log_warn!("controller", "reconcile switch {id} failed: {e}");
+                }
+            }
+        }
+        results
     }
 
     /// Run the event loop under a supervisor: whenever the OVSDB link
@@ -751,8 +918,21 @@ impl Controller {
         stop: Receiver<()>,
     ) -> Result<(), String> {
         let mut digests_alive = vec![true; digest_feeds.len()];
+        let mut sessions = 0u64;
         loop {
-            let (client, updates, _report) = supervisor.connect_and_sync(self)?;
+            let (client, updates, report) = supervisor.connect_and_sync(self)?;
+            // After a RE-connect that replayed missed changes, the
+            // switches may have drifted too (e.g. the fault hit both
+            // links). Reconcile them concurrently and tolerantly: each
+            // switch converges on its own thread, and one dead switch
+            // degrades only itself — never the event loop or the other
+            // switches. The initial connect skips this (nothing pushed
+            // yet to drift from).
+            sessions += 1;
+            if sessions > 1 && report.inserts + report.deletes > 0 {
+                let ids = self.switch_ids();
+                self.try_reconcile_switches(&ids);
+            }
             'session: loop {
                 let mut sel = Select::new();
                 let mon_idx = sel.recv(&updates);
@@ -845,6 +1025,49 @@ impl Controller {
             }
         }
     }
+}
+
+/// The device-facing half of a switch reconciliation: read back actual
+/// table state, push the diff against `want` (deletes first), and
+/// replay the desired multicast groups. Runs on a per-switch thread in
+/// [`Controller::reconcile_switches`] so one stalled device cannot
+/// delay another's recovery.
+fn reconcile_device(
+    dp: &mut dyn DataPlane,
+    want: &BTreeSet<TableEntry>,
+    groups: &[(u16, Vec<u16>)],
+) -> Result<ReconcileReport, String> {
+    let actual: BTreeSet<TableEntry> = dp
+        .read_all_tables()?
+        .into_iter()
+        .flat_map(|(_, entries)| entries)
+        .collect();
+
+    let mut report = ReconcileReport::default();
+    let mut updates = Vec::new();
+    for entry in actual.difference(want) {
+        updates.push(Update {
+            op: WriteOp::Delete,
+            entry: entry.clone(),
+        });
+        report.deleted += 1;
+    }
+    for entry in want.difference(&actual) {
+        updates.push(Update {
+            op: WriteOp::Insert,
+            entry: entry.clone(),
+        });
+        report.inserted += 1;
+    }
+    report.unchanged = want.intersection(&actual).count();
+    if !updates.is_empty() {
+        dp.write_updates(&updates)?;
+    }
+    for (group, ports) in groups {
+        dp.set_mcast_group(*group, ports.clone())?;
+        report.mcast_groups += 1;
+    }
+    Ok(report)
 }
 
 use ddlog::Value;

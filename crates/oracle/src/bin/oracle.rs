@@ -5,12 +5,15 @@
 //! oracle --seed 3 --steps 500 --chaos 7     # with fault injection
 //! oracle --seed 3 --steps 500 --chaos-crash 7  # + server crash faults
 //! oracle --seed 3 --steps 200 --bug skip-resync-deletes   # must fail
+//! oracle --seed 1..4 --steps 300 --shards 4 # sharded vs unsharded
 //! ```
 //!
 //! Exit codes: 0 = all seeds green, 1 = divergence found (a shrunk
 //! reproduction is printed), 2 = usage error.
 
-use oracle::{run_oracle, InjectedBug, OracleConfig};
+use oracle::{
+    run_oracle, run_sharded_oracle, InjectedBug, OracleConfig, OracleFailure, OracleReport,
+};
 
 struct Args {
     seeds: Vec<u64>,
@@ -18,11 +21,12 @@ struct Args {
     chaos: Option<u64>,
     crashes: bool,
     bug: Option<InjectedBug>,
+    shards: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: oracle --seed <N | A..B> [--steps M] [--chaos S] [--bug NAME]\n\
+        "usage: oracle --seed <N | A..B> [--steps M] [--chaos S] [--bug NAME] [--shards N]\n\
          \n\
          --seed  N or inclusive range A..B of workload seeds (required)\n\
          --steps workload length per seed (default 500)\n\
@@ -30,7 +34,11 @@ fn usage() -> ! {
          --chaos-crash S like --chaos, plus abrupt server crashes with\n\
          \x20       torn WAL tails (crash-equivalence checked)\n\
          --bug   inject a known controller defect, one of:\n\
-         \x20       skip-resync-deletes | drop-config-deletes"
+         \x20       skip-resync-deletes | drop-config-deletes\n\
+         --shards N run the sharded harness: N shard engines over N\n\
+         \x20       switches, checked for cross-shard equivalence against\n\
+         \x20       one unsharded engine (incompatible with --chaos-crash\n\
+         \x20       and --bug)"
     );
     std::process::exit(2);
 }
@@ -52,6 +60,7 @@ fn parse_args() -> Option<Args> {
         chaos: None,
         crashes: false,
         bug: None,
+        shards: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -64,11 +73,22 @@ fn parse_args() -> Option<Args> {
                 args.crashes = true;
             }
             "--bug" => args.bug = InjectedBug::parse(&it.next()?),
+            "--shards" => {
+                args.shards = it.next()?.parse().ok()?;
+                if args.shards == 0 {
+                    return None;
+                }
+            }
             "--help" | "-h" => usage(),
             _ => return None,
         }
     }
     if args.seeds.is_empty() {
+        return None;
+    }
+    // The sharded harness runs on an in-memory database (no WAL to
+    // crash) and checks a different battery than the bug-demo runs.
+    if args.shards > 0 && (args.crashes || args.bug.is_some()) {
         return None;
     }
     Some(args)
@@ -89,7 +109,59 @@ fn replay_command(cfg: &OracleConfig) -> String {
     if let Some(b) = cfg.bug {
         cmd.push_str(&format!(" --bug {}", b.name()));
     }
+    if cfg.shards > 0 {
+        cmd.push_str(&format!(" --shards {}", cfg.shards));
+    }
     cmd
+}
+
+fn report_ok(seed: u64, cfg: &OracleConfig, report: &OracleReport) {
+    let shard_note = if cfg.shards > 0 {
+        format!(" [{} shards]", cfg.shards)
+    } else {
+        String::new()
+    };
+    println!(
+        "seed {seed}: OK{shard_note} — {} steps, {} outages, {} switch restarts, \
+         {} crashes ({} torn tails), {} txns, {} entries / {} groups installed",
+        report.steps,
+        report.outages,
+        report.switch_restarts,
+        report.crashes,
+        report.torn_tails,
+        report.transactions,
+        report.final_entries,
+        report.final_groups,
+    );
+}
+
+fn report_failure(seed: u64, cfg: &OracleConfig, fail: &OracleFailure) {
+    println!("seed {seed}: FAILED at {}", fail.failure);
+    println!(
+        "  shrunk {} ops -> {} ops:",
+        fail.original_len,
+        fail.shrunk.len()
+    );
+    for op in &fail.shrunk {
+        println!("    {op:?}");
+    }
+    println!("  replay: {}", replay_command(cfg));
+    if let Some(profile) = &fail.failure.work_profile {
+        println!("  work profile of failing step:");
+        for line in profile.lines() {
+            println!("    {line}");
+        }
+    }
+    if let Some(trace) = &fail.failing_trace {
+        println!("  last trace before failure:");
+        for line in trace.lines() {
+            println!("    {line}");
+        }
+    }
+    println!("  metrics at failure:");
+    for line in fail.metrics_snapshot.lines() {
+        println!("    {line}");
+    }
 }
 
 fn main() {
@@ -102,50 +174,18 @@ fn main() {
             chaos: args.chaos,
             crashes: args.crashes,
             bug: args.bug,
+            shards: args.shards,
         };
-        match run_oracle(&cfg) {
-            Ok(report) => {
-                println!(
-                    "seed {seed}: OK — {} steps, {} outages, {} switch restarts, \
-                     {} crashes ({} torn tails), {} txns, {} entries / {} groups installed",
-                    report.steps,
-                    report.outages,
-                    report.switch_restarts,
-                    report.crashes,
-                    report.torn_tails,
-                    report.transactions,
-                    report.final_entries,
-                    report.final_groups,
-                );
-            }
+        let outcome = if cfg.shards > 0 {
+            run_sharded_oracle(&cfg)
+        } else {
+            run_oracle(&cfg)
+        };
+        match outcome {
+            Ok(report) => report_ok(*seed, &cfg, &report),
             Err(fail) => {
                 failed = true;
-                println!("seed {seed}: FAILED at {}", fail.failure);
-                println!(
-                    "  shrunk {} ops -> {} ops:",
-                    fail.original_len,
-                    fail.shrunk.len()
-                );
-                for op in &fail.shrunk {
-                    println!("    {op:?}");
-                }
-                println!("  replay: {}", replay_command(&cfg));
-                if let Some(profile) = &fail.failure.work_profile {
-                    println!("  work profile of failing step:");
-                    for line in profile.lines() {
-                        println!("    {line}");
-                    }
-                }
-                if let Some(trace) = &fail.failing_trace {
-                    println!("  last trace before failure:");
-                    for line in trace.lines() {
-                        println!("    {line}");
-                    }
-                }
-                println!("  metrics at failure:");
-                for line in fail.metrics_snapshot.lines() {
-                    println!("    {line}");
-                }
+                report_failure(*seed, &cfg, &fail);
             }
         }
     }

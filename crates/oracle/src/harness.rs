@@ -76,6 +76,12 @@ pub struct OracleConfig {
     pub crashes: bool,
     /// Deliberate controller defect to inject.
     pub bug: Option<InjectedBug>,
+    /// When non-zero, run the sharded harness instead
+    /// ([`crate::sharded::run_sharded_oracle`]): a `ShardSet` of this
+    /// many engines over as many switches, checked for cross-shard
+    /// equivalence against one unsharded controller and the
+    /// full-recompute spec at every step.
+    pub shards: usize,
 }
 
 impl OracleConfig {
@@ -87,6 +93,7 @@ impl OracleConfig {
             chaos: None,
             crashes: false,
             bug: None,
+            shards: 0,
         }
     }
 }

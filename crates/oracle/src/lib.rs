@@ -22,10 +22,12 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod sharded;
 pub mod shrink;
 pub mod workload;
 
 pub use harness::{
     run_oracle, run_workload, InjectedBug, OracleConfig, OracleFailure, OracleReport, StepFailure,
 };
+pub use sharded::{run_sharded_oracle, run_sharded_workload};
 pub use workload::{generate_workload, FaultEvent, FaultKind, FaultPlan, WorkloadOp};

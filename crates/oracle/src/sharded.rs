@@ -1,0 +1,542 @@
+//! The sharded differential harness: cross-shard equivalence checking.
+//!
+//! Three implementations consume the same workload in lockstep:
+//!
+//! * a [`ShardSet`] of N DDlog engines, each owning one of N switches,
+//!   fed through the deterministic row partitioner;
+//! * one **unsharded** [`Controller`] holding all N switches in a
+//!   single engine;
+//! * the [`FullRecompute`] specification, evaluated per switch.
+//!
+//! After every step (while the management link is up) the harness
+//! asserts that sharding is unobservable: the union of the shard
+//! engines' relations equals the unsharded engine's relations, every
+//! switch's installed tables and multicast groups are identical across
+//! all three implementations, and no shard engine holds a non-positive
+//! Z-set weight. Chaos faults are targeted at a *single* shard's switch
+//! so divergence caused by cross-shard interference (a fault on shard A
+//! corrupting shard B) cannot hide.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use baselines::{FullRecompute, LearnedMac, Mode, PortConfig};
+use nerpa::codegen::CodegenOptions;
+use nerpa::controller::{Controller, NerpaProgram};
+use p4sim::runtime::{Digest, FieldMatch, TableEntry, Update, WriteOp};
+use p4sim::service::SwitchDevice;
+use p4sim::Switch;
+use serde_json::json;
+use shard::{PartitionSpec, Router, ShardSet};
+
+use crate::harness::{OracleConfig, OracleReport, StepFailure};
+use crate::workload::{FaultKind, FaultPlan, WorkloadOp};
+
+const MONITORED: [&str; 2] = ["Port", "Switch"];
+
+struct ShardedHarness {
+    db: ovsdb::Database,
+    /// The sharded side: N engines behind the router.
+    shards: ShardSet,
+    shard_devices: Vec<SwitchDevice>,
+    /// The unsharded reference: one engine owning every switch.
+    unsharded: Controller,
+    flat_devices: Vec<SwitchDevice>,
+    program: p4sim::ast::Program,
+    ports: Vec<PortConfig>,
+    macs_by_switch: BTreeMap<usize, Vec<LearnedMac>>,
+    live_macs: BTreeSet<(usize, u16, u64, u16)>,
+    connected: bool,
+    outage_remaining: usize,
+    /// Rotates which switch (and therefore which single shard) each
+    /// switch-restart fault targets.
+    restarts: usize,
+}
+
+impl ShardedHarness {
+    fn new(shards: usize) -> Result<ShardedHarness, String> {
+        let schema = ovsdb::Schema::parse(snvs::assets::SNVS_SCHEMA)?;
+        let program = p4sim::parse_p4(snvs::assets::SNVS_P4).map_err(|e| e.to_string())?;
+        let nerpa_program = NerpaProgram {
+            schema: schema.clone(),
+            p4info: p4sim::P4Info::from_program(&program),
+            rules: snvs::assets::SNVS_RULES.to_string(),
+            options: CodegenOptions { per_switch: true },
+        };
+        let router = Router::new(PartitionSpec::snvs(), shards);
+        let mut set = ShardSet::new(&nerpa_program, router)?;
+        let mut unsharded = Controller::new(&nerpa_program)?;
+        let mut shard_devices = Vec::new();
+        let mut flat_devices = Vec::new();
+        for sw in 0..shards {
+            let sdev = SwitchDevice::new(Switch::new(program.clone()));
+            let owner = set.add_switch(sw, Box::new(sdev.clone()));
+            debug_assert_eq!(owner, sw % shards);
+            shard_devices.push(sdev);
+            let fdev = SwitchDevice::new(Switch::new(program.clone()));
+            unsharded.add_switch_with_id(sw, Box::new(fdev.clone()));
+            flat_devices.push(fdev);
+        }
+        let mut harness = ShardedHarness {
+            db: ovsdb::Database::new(schema),
+            shards: set,
+            shard_devices,
+            unsharded,
+            flat_devices,
+            program,
+            ports: Vec::new(),
+            macs_by_switch: BTreeMap::new(),
+            live_macs: BTreeSet::new(),
+            connected: true,
+            outage_remaining: 0,
+            restarts: 0,
+        };
+        let sw_rows: Vec<serde_json::Value> = (0..shards)
+            .map(|i| json!({"op": "insert", "table": "Switch", "row": {"idx": i}}))
+            .collect();
+        harness.commit_and_deliver(json!(sw_rows))?;
+        Ok(harness)
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.shard_count()
+    }
+
+    fn commit_and_deliver(&mut self, ops: serde_json::Value) -> Result<(), String> {
+        let before = self.db.commit_index();
+        let (results, changes) = self.db.transact(&ops);
+        if self.db.commit_index() == before {
+            return Err(format!("sharded oracle transaction aborted: {results}"));
+        }
+        if self.connected {
+            self.unsharded.handle_row_changes(&changes)?;
+            self.shards.handle_row_changes(&changes)?;
+        }
+        Ok(())
+    }
+
+    fn digest(port: u16, mac: u64, vlan: u16) -> Digest {
+        Digest {
+            name: "mac_learn_t".into(),
+            fields: vec![
+                ("port".into(), port as u128),
+                ("mac".into(), mac as u128),
+                ("vlan".into(), vlan as u128),
+            ],
+        }
+    }
+
+    fn port_row_json(cfg: &PortConfig) -> serde_json::Value {
+        let mirror: Vec<u16> = cfg.mirror.into_iter().collect();
+        match &cfg.mode {
+            Mode::Access(v) => json!({
+                "id": cfg.id,
+                "vlan_mode": "access",
+                "tag": v,
+                "trunks": ["set", []],
+                "mirror_dst": ["set", mirror],
+            }),
+            Mode::Trunk(vs) => json!({
+                "id": cfg.id,
+                "vlan_mode": "trunk",
+                "trunks": ["set", vs],
+                "mirror_dst": ["set", mirror],
+            }),
+        }
+    }
+
+    fn upsert_port(&mut self, cfg: PortConfig) -> Result<(), String> {
+        let row = Self::port_row_json(&cfg);
+        self.commit_and_deliver(json!([
+            {"op": "delete", "table": "Port", "where": [["id", "==", cfg.id]]},
+            {"op": "insert", "table": "Port", "row": row},
+        ]))?;
+        self.ports.retain(|p| p.id != cfg.id);
+        self.ports.push(cfg);
+        Ok(())
+    }
+
+    fn apply(&mut self, op: &WorkloadOp) -> Result<(), String> {
+        match op {
+            WorkloadOp::AddAccess { port, vlan } => {
+                self.upsert_port(PortConfig::access(*port, *vlan))?;
+            }
+            WorkloadOp::AddTrunk { port, vlans } => {
+                self.upsert_port(PortConfig::trunk(*port, vlans.clone()))?;
+            }
+            WorkloadOp::FlipMode { port } => {
+                let Some(cur) = self.ports.iter().find(|p| p.id == *port).cloned() else {
+                    return Ok(());
+                };
+                let mut next = match &cur.mode {
+                    Mode::Access(v) => PortConfig::trunk(cur.id, vec![*v]),
+                    Mode::Trunk(vs) => {
+                        PortConfig::access(cur.id, vs.first().copied().unwrap_or(10))
+                    }
+                };
+                next.mirror = cur.mirror;
+                self.upsert_port(next)?;
+            }
+            WorkloadOp::SetMirror { port, dst } => {
+                let Some(mut cur) = self.ports.iter().find(|p| p.id == *port).cloned() else {
+                    return Ok(());
+                };
+                cur.mirror = Some(*dst);
+                self.upsert_port(cur)?;
+            }
+            WorkloadOp::ClearMirror { port } => {
+                let Some(mut cur) = self.ports.iter().find(|p| p.id == *port).cloned() else {
+                    return Ok(());
+                };
+                cur.mirror = None;
+                self.upsert_port(cur)?;
+            }
+            WorkloadOp::RemovePort { port } => {
+                self.commit_and_deliver(json!([
+                    {"op": "delete", "table": "Port", "where": [["id", "==", port]]},
+                ]))?;
+                self.ports.retain(|p| p.id != *port);
+            }
+            WorkloadOp::Learn { port, mac, vlan } => {
+                // Spread digest traffic across switches: each MAC is
+                // reported by a deterministic switch, so every shard's
+                // learn path is exercised.
+                let sw = (*mac as usize) % self.shard_count();
+                if !self.live_macs.insert((sw, *port, *mac, *vlan)) {
+                    return Ok(());
+                }
+                let d = Self::digest(*port, *mac, *vlan);
+                self.unsharded
+                    .handle_digests(sw, std::slice::from_ref(&d))?;
+                self.shards.handle_digests(sw, &[d])?;
+                self.macs_by_switch.entry(sw).or_default().push(LearnedMac {
+                    port: *port,
+                    mac: *mac,
+                    vlan: *vlan,
+                });
+            }
+            WorkloadOp::Age { pick } => {
+                if self.live_macs.is_empty() {
+                    return Ok(());
+                }
+                let idx = (*pick as usize) % self.live_macs.len();
+                let (sw, port, mac, vlan) = *self.live_macs.iter().nth(idx).expect("non-empty");
+                self.live_macs.remove(&(sw, port, mac, vlan));
+                let d = Self::digest(port, mac, vlan);
+                self.unsharded
+                    .retract_digests(sw, std::slice::from_ref(&d))?;
+                self.shards.retract_digests(sw, &[d])?;
+                if let Some(macs) = self.macs_by_switch.get_mut(&sw) {
+                    macs.retain(|m| (m.port, m.mac, m.vlan) != (port, mac, vlan));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn inject_fault(&mut self, kind: FaultKind, report: &mut OracleReport) -> Result<(), String> {
+        match kind {
+            FaultKind::OvsdbOutage { outage_steps } => {
+                self.connected = false;
+                self.outage_remaining = outage_steps.max(1);
+                report.outages += 1;
+            }
+            FaultKind::SwitchRestart => {
+                // Target exactly one switch — and therefore exactly one
+                // shard. Every other shard's engine and device must be
+                // untouched, which the step's equivalence check
+                // enforces (their state still has to match the
+                // unsharded reference).
+                let sw = self.restarts % self.shard_count();
+                self.restarts += 1;
+                let stale = Update {
+                    op: WriteOp::Insert,
+                    entry: TableEntry {
+                        table: "InVlan".into(),
+                        matches: vec![
+                            FieldMatch::Exact { value: 999 },
+                            FieldMatch::Exact { value: 0 },
+                        ],
+                        priority: 0,
+                        action: "set_port_vlan".into(),
+                        params: vec![77],
+                    },
+                };
+                let fresh_shard = SwitchDevice::new(Switch::new(self.program.clone()));
+                fresh_shard.write(std::slice::from_ref(&stale))?;
+                let owner = self.shards.shard_of_switch(sw);
+                let shard_ctl = self.shards.controller_mut(owner);
+                shard_ctl.replace_switch(sw, Box::new(fresh_shard.clone()))?;
+                shard_ctl.reconcile_switch(sw)?;
+                self.shard_devices[sw] = fresh_shard;
+
+                let fresh_flat = SwitchDevice::new(Switch::new(self.program.clone()));
+                fresh_flat.write(&[stale])?;
+                self.unsharded
+                    .replace_switch(sw, Box::new(fresh_flat.clone()))?;
+                self.unsharded.reconcile_switch(sw)?;
+                self.flat_devices[sw] = fresh_flat;
+                report.switch_restarts += 1;
+            }
+            FaultKind::CrashServer { .. } => {
+                return Err("sharded oracle runs without server-crash faults".into());
+            }
+        }
+        Ok(())
+    }
+
+    fn reconnect(&mut self) -> Result<(), String> {
+        let initial = self.db.monitor_snapshot(&MONITORED)?;
+        let tables: Vec<String> = MONITORED.iter().map(|t| t.to_string()).collect();
+        self.unsharded.resync_from_snapshot(&initial, &tables)?;
+        self.shards.resync_from_snapshot(&initial, &tables)?;
+        self.connected = true;
+        Ok(())
+    }
+
+    fn installed(device: &SwitchDevice) -> BTreeSet<TableEntry> {
+        device
+            .read_all_tables()
+            .into_iter()
+            .flat_map(|(_, entries)| entries)
+            .collect()
+    }
+
+    /// The cross-shard equivalence battery.
+    fn check_equivalence(&self) -> Result<(), String> {
+        let empty = Vec::new();
+        for sw in 0..self.shard_count() {
+            // (1) Per-switch installed state: sharded device ==
+            // unsharded device == full-recompute spec.
+            let sharded = Self::installed(&self.shard_devices[sw]);
+            let flat = Self::installed(&self.flat_devices[sw]);
+            if sharded != flat {
+                return Err(diff(
+                    &format!("switch {sw}: sharded device != unsharded device"),
+                    &sharded,
+                    &flat,
+                ));
+            }
+            let macs = self.macs_by_switch.get(&sw).unwrap_or(&empty);
+            let (spec_entries, spec_groups) = FullRecompute::desired_state(&self.ports, macs);
+            let spec: BTreeSet<TableEntry> = spec_entries.into_iter().collect();
+            if sharded != spec {
+                return Err(diff(
+                    &format!("switch {sw}: installed state differs from spec"),
+                    &sharded,
+                    &spec,
+                ));
+            }
+            // (2) Both controllers' desired sets agree with the device.
+            let shard_ctl = &self.shards.controllers()[self.shards.shard_of_switch(sw)];
+            let shard_desired = shard_ctl.desired_entries(sw)?;
+            if sharded != shard_desired {
+                return Err(diff(
+                    &format!("switch {sw}: shard engine's desired set differs from device"),
+                    &sharded,
+                    &shard_desired,
+                ));
+            }
+            let flat_desired = self.unsharded.desired_entries(sw)?;
+            if flat != flat_desired {
+                return Err(diff(
+                    &format!("switch {sw}: unsharded engine's desired set differs from device"),
+                    &flat,
+                    &flat_desired,
+                ));
+            }
+            // (3) Multicast groups agree everywhere.
+            let spec_groups: BTreeMap<u16, BTreeSet<u16>> = spec_groups
+                .into_iter()
+                .filter(|(_, m)| !m.is_empty())
+                .collect();
+            let dev_groups = self.shard_devices[sw].mcast_snapshot();
+            let shard_groups = self.shards.mcast_snapshot(sw);
+            let flat_groups = self.unsharded.mcast_snapshot(sw);
+            for (label, got) in [
+                ("shard replication state", &shard_groups),
+                ("unsharded replication state", &flat_groups),
+                ("spec groups", &spec_groups),
+            ] {
+                if &dev_groups != got {
+                    return Err(format!(
+                        "switch {sw}: multicast groups: device {dev_groups:?} != {label} {got:?}"
+                    ));
+                }
+            }
+        }
+        // (4) Union of shard engines == unsharded engine, relation by
+        // relation — inputs (partitioned and broadcast alike) and every
+        // derived table.
+        let names: Vec<String> = self
+            .unsharded
+            .engine()
+            .relation_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for rel in &names {
+            let union = self.shards.union_dump(rel)?;
+            let flat: BTreeSet<Vec<ddlog::Value>> = self
+                .unsharded
+                .engine()
+                .dump(rel)
+                .map_err(|e| e.to_string())?
+                .into_iter()
+                .collect();
+            if union != flat {
+                let extra: Vec<_> = union.difference(&flat).collect();
+                let missing: Vec<_> = flat.difference(&union).collect();
+                return Err(format!(
+                    "relation {rel}: shard union diverges from unsharded engine: \
+                     extra {extra:?}, missing {missing:?}"
+                ));
+            }
+        }
+        // (5) No shard engine holds a non-positive Z-set weight.
+        for (i, ctl) in self.shards.controllers().iter().enumerate() {
+            for rel in &names {
+                for (row, w) in ctl.engine().dump_weights(rel).map_err(|e| e.to_string())? {
+                    if w <= 0 {
+                        return Err(format!(
+                            "shard {i}: relation {rel}: row {row:?} has non-positive weight {w}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn diff(label: &str, a: &BTreeSet<TableEntry>, b: &BTreeSet<TableEntry>) -> String {
+    let only_a: Vec<&TableEntry> = a.difference(b).collect();
+    let only_b: Vec<&TableEntry> = b.difference(a).collect();
+    format!("{label}: extra {only_a:?}, missing {only_b:?}")
+}
+
+/// Run an explicit op sequence through the sharded harness. Faults come
+/// from `cfg.chaos`; `cfg.shards` picks the shard count (and the switch
+/// count). Crash faults are not scheduled — the sharded harness runs on
+/// an in-memory database.
+pub fn run_sharded_workload(
+    ops: &[WorkloadOp],
+    cfg: &OracleConfig,
+) -> Result<OracleReport, StepFailure> {
+    let setup_err = |reason: String| StepFailure {
+        step: 0,
+        op: None,
+        reason,
+        work_profile: None,
+    };
+    let plan = match cfg.chaos {
+        Some(chaos_seed) => FaultPlan::from_chaos_seed(chaos_seed, ops.len()),
+        None => FaultPlan::default(),
+    };
+    let mut harness = ShardedHarness::new(cfg.shards.max(1)).map_err(setup_err)?;
+    let mut report = OracleReport::default();
+    let mut next_fault = 0usize;
+
+    for (step, op) in ops.iter().enumerate() {
+        while next_fault < plan.events.len() && plan.events[next_fault].at_step == step {
+            let kind = plan.events[next_fault].kind;
+            next_fault += 1;
+            if let Err(reason) = harness.inject_fault(kind, &mut report) {
+                return Err(StepFailure {
+                    step,
+                    op: None,
+                    reason,
+                    work_profile: None,
+                });
+            }
+        }
+        if let Err(reason) = harness.apply(op) {
+            return Err(StepFailure {
+                step,
+                op: Some(op.clone()),
+                reason,
+                work_profile: None,
+            });
+        }
+        if !harness.connected {
+            harness.outage_remaining -= 1;
+            if harness.outage_remaining == 0 {
+                if let Err(reason) = harness.reconnect() {
+                    return Err(StepFailure {
+                        step,
+                        op: Some(op.clone()),
+                        reason: format!("sharded resync failed: {reason}"),
+                        work_profile: None,
+                    });
+                }
+            }
+        }
+        if harness.connected {
+            if let Err(reason) = harness.check_equivalence() {
+                return Err(StepFailure {
+                    step,
+                    op: Some(op.clone()),
+                    reason,
+                    work_profile: None,
+                });
+            }
+        }
+        report.steps += 1;
+    }
+
+    if !harness.connected {
+        if let Err(reason) = harness.reconnect() {
+            return Err(StepFailure {
+                step: ops.len(),
+                op: None,
+                reason: format!("final sharded resync failed: {reason}"),
+                work_profile: None,
+            });
+        }
+        if let Err(reason) = harness.check_equivalence() {
+            return Err(StepFailure {
+                step: ops.len(),
+                op: None,
+                reason,
+                work_profile: None,
+            });
+        }
+    }
+
+    report.final_entries = harness
+        .shard_devices
+        .iter()
+        .map(|d| ShardedHarness::installed(d).len())
+        .sum();
+    report.final_groups = harness
+        .shard_devices
+        .iter()
+        .map(|d| d.mcast_snapshot().len())
+        .sum();
+    report.transactions = harness.shards.transactions();
+    Ok(report)
+}
+
+/// Generate the workload for `cfg`, run it through the sharded harness,
+/// and on failure shrink to a minimal reproducing sequence.
+pub fn run_sharded_oracle(
+    cfg: &OracleConfig,
+) -> Result<OracleReport, Box<crate::harness::OracleFailure>> {
+    let ops = crate::workload::generate_workload(cfg.seed, cfg.steps);
+    match run_sharded_workload(&ops, cfg) {
+        Ok(report) => Ok(report),
+        Err(failure) => {
+            let metrics_snapshot = telemetry::global().registry.render_text();
+            let failing_trace = telemetry::global().tracer.last().map(|t| t.render_text());
+            let shrunk = crate::shrink::ddmin(&ops, |candidate| {
+                run_sharded_workload(candidate, cfg).is_err()
+            });
+            Err(Box::new(crate::harness::OracleFailure {
+                failure,
+                original_len: ops.len(),
+                shrunk,
+                metrics_snapshot,
+                failing_trace,
+            }))
+        }
+    }
+}

@@ -220,6 +220,19 @@ impl ControlService {
         device: SwitchDevice,
         addr: impl ToSocketAddrs,
     ) -> std::io::Result<ControlService> {
+        ControlService::start_with_write_delay(device, addr, Duration::ZERO)
+    }
+
+    /// Serve `device` on `addr`, stalling each table write by
+    /// `per_entry` per update before applying it — an emulation of real
+    /// switch-ASIC programming latency (hardware tables take on the
+    /// order of 0.1–1 ms per entry), so that benchmarks exercising the
+    /// async write pipeline see device pushes that actually cost time.
+    pub fn start_with_write_delay(
+        device: SwitchDevice,
+        addr: impl ToSocketAddrs,
+        per_entry: Duration,
+    ) -> std::io::Result<ControlService> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -237,7 +250,7 @@ impl ControlService {
                     if let Ok(handle) = stream.try_clone() {
                         cn.lock().push(handle);
                     }
-                    std::thread::spawn(move || serve_conn(dev, stream));
+                    std::thread::spawn(move || serve_conn(dev, stream, per_entry));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
@@ -284,7 +297,7 @@ impl Drop for ControlService {
     }
 }
 
-fn serve_conn(device: SwitchDevice, stream: TcpStream) {
+fn serve_conn(device: SwitchDevice, stream: TcpStream, write_delay_per_entry: Duration) {
     let _ = stream.set_nodelay(true);
     let mut read_half = match stream.try_clone() {
         Ok(s) => s,
@@ -294,6 +307,9 @@ fn serve_conn(device: SwitchDevice, stream: TcpStream) {
     while let Ok(Some(req)) = read_frame::<ControlRequest>(&mut read_half) {
         let resp = match req {
             ControlRequest::Write { updates, trace } => {
+                if !write_delay_per_entry.is_zero() {
+                    std::thread::sleep(write_delay_per_entry * updates.len() as u32);
+                }
                 match device.write_traced(&updates, trace) {
                     Ok(()) => ControlResponse::WriteResult { error: None },
                     Err(e) => ControlResponse::WriteResult { error: Some(e) },

@@ -1,0 +1,689 @@
+//! The async shard runtime: per-shard workers behind input queues, and
+//! per-shard writer threads behind the data planes.
+//!
+//! Two thread layers per shard:
+//!
+//! * a **worker** owns the shard's [`Controller`] (its DDlog engine)
+//!   and drains the shard's input queue — monitor-update slices, row
+//!   changes, digests, resync and reconcile requests. Commits run here.
+//! * a **writer** owns the shard's real data planes ([`DataPlane`]
+//!   boxes, typically TCP control clients) and drains the shard's write
+//!   queue. Device pushes run here.
+//!
+//! The worker's controller never touches a real device: its registered
+//! switches are [`AsyncSwitch`] handles that enqueue write jobs (with
+//! the originating trace id) onto the writer queue and return
+//! immediately. That is the pipelining point — a commit on shard A is
+//! never blocked behind a device push, and shard B's slow or dead
+//! switch cannot stall shard A's writer, which is a different thread
+//! with a different queue. Reads (`read_all_tables`, used by
+//! reconciliation) round-trip through the writer queue, which also
+//! orders them after every previously-enqueued write.
+//!
+//! A failed device push does not fail the pipeline: the writer marks
+//! the switch dirty, flips the shard's health to degraded, and keeps
+//! draining (later successful writes to the same switch clear it).
+//! Reconciliation — per shard, on request or after a monitor resync —
+//! replays desired state through the same queues.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use nerpa::controller::{Controller, DataPlane, NerpaProgram};
+use ovsdb::db::RowChange;
+use p4sim::runtime::{Digest, TableEntry, Update};
+use serde_json::{json, Value as Json};
+
+use crate::partition::Router;
+
+/// One unit of work for a shard worker.
+enum ShardInput {
+    /// A pre-split monitor `table-updates` slice (trace id embedded).
+    Monitor(Json),
+    /// Pre-split committed row changes (the in-process path).
+    Changes(Vec<RowChange>),
+    /// Digests (or retractions) from one owned switch.
+    Digests {
+        switch_id: usize,
+        digests: Vec<Digest>,
+        insert: bool,
+    },
+    /// Resync this shard's engine from its slice of a monitor snapshot.
+    Resync { slice: Json, tables: Vec<String> },
+    /// Reconcile this shard's switches (tolerant: per-switch errors are
+    /// recorded, not fatal).
+    Reconcile,
+    /// Drain marker: reply once everything enqueued before it — worker
+    /// side and writer side — has been fully processed.
+    Flush(Sender<()>),
+}
+
+/// What `read_all_tables` returns through the writer queue.
+type TableDump = Result<Vec<(String, Vec<TableEntry>)>, String>;
+
+/// One unit of work for a shard writer.
+enum WriterJob {
+    Write {
+        switch_id: usize,
+        updates: Vec<Update>,
+        trace: Option<u64>,
+    },
+    Mcast {
+        switch_id: usize,
+        group: u16,
+        ports: Vec<u16>,
+    },
+    ReadAll {
+        switch_id: usize,
+        reply: Sender<TableDump>,
+    },
+    /// Swap the real data plane behind `switch_id` (switch reconnect).
+    Replace {
+        switch_id: usize,
+        dp: Box<dyn DataPlane>,
+    },
+    Flush(Sender<()>),
+}
+
+/// Shared, externally-visible state of one shard: the `shard`-labeled
+/// series plus what the `/shards` page renders.
+struct ShardStat {
+    /// Global ids of the switches this shard owns.
+    switches: Vec<usize>,
+    commits: telemetry::Counter,
+    commit_errors: telemetry::Counter,
+    write_batches: telemetry::Counter,
+    write_errors: telemetry::Counter,
+    entries_written: telemetry::Counter,
+    queue_depth: telemetry::Gauge,
+    write_queue_depth: telemetry::Gauge,
+    /// Switches whose last push failed and that have not been healed by
+    /// a later successful write or reconcile.
+    dirty: Mutex<BTreeSet<usize>>,
+    /// Human-readable resync/reconcile state ("idle", "reconciling",
+    /// "resyncing", "reconciled +a -b", "failed: ...").
+    resync_state: Mutex<String>,
+}
+
+impl ShardStat {
+    fn new(shard: usize, switches: Vec<usize>) -> ShardStat {
+        let registry = &telemetry::global().registry;
+        let label = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", &label)];
+        ShardStat {
+            switches,
+            commits: registry.counter_with(
+                "nerpa_shard_commits_total",
+                "Engine transactions committed, per shard",
+                labels,
+            ),
+            commit_errors: registry.counter_with(
+                "nerpa_shard_commit_errors_total",
+                "Failed shard commits, per shard",
+                labels,
+            ),
+            write_batches: registry.counter_with(
+                "nerpa_shard_write_batches_total",
+                "Device write batches pushed by the shard's writer",
+                labels,
+            ),
+            write_errors: registry.counter_with(
+                "nerpa_shard_write_errors_total",
+                "Failed device pushes, per shard",
+                labels,
+            ),
+            entries_written: registry.counter_with(
+                "nerpa_shard_entries_written_total",
+                "Table-entry updates pushed by the shard's writer",
+                labels,
+            ),
+            queue_depth: registry.gauge_with(
+                "nerpa_shard_queue_depth",
+                "Pending inputs in the shard's worker queue",
+                labels,
+            ),
+            write_queue_depth: registry.gauge_with(
+                "nerpa_shard_write_queue_depth",
+                "Pending jobs in the shard's writer queue",
+                labels,
+            ),
+            dirty: Mutex::new(BTreeSet::new()),
+            resync_state: Mutex::new("idle".to_string()),
+        }
+    }
+
+    fn set_resync_state(&self, s: impl Into<String>) {
+        *self.resync_state.lock().unwrap() = s.into();
+    }
+}
+
+/// A [`DataPlane`] handle that enqueues writes onto its shard's writer
+/// queue instead of touching a device. Registered in the shard worker's
+/// controller under the switch's global id, so the worker uses the
+/// ordinary commit→convert→write paths while actual device
+/// programming happens on the writer thread.
+struct AsyncSwitch {
+    switch_id: usize,
+    jobs: Sender<WriterJob>,
+    stat: Arc<ShardStat>,
+}
+
+impl DataPlane for AsyncSwitch {
+    fn write_updates(&self, updates: &[Update]) -> Result<(), String> {
+        self.write_updates_traced(updates, 0)
+    }
+
+    fn write_updates_traced(&self, updates: &[Update], trace: u64) -> Result<(), String> {
+        self.stat.write_queue_depth.add(1);
+        self.jobs
+            .send(WriterJob::Write {
+                switch_id: self.switch_id,
+                updates: updates.to_vec(),
+                trace: (trace != 0).then_some(trace),
+            })
+            .map_err(|_| "shard writer gone".to_string())
+    }
+
+    fn set_mcast_group(&self, group: u16, ports: Vec<u16>) -> Result<(), String> {
+        self.stat.write_queue_depth.add(1);
+        self.jobs
+            .send(WriterJob::Mcast {
+                switch_id: self.switch_id,
+                group,
+                ports,
+            })
+            .map_err(|_| "shard writer gone".to_string())
+    }
+
+    fn read_all_tables(&self) -> Result<Vec<(String, Vec<TableEntry>)>, String> {
+        let (tx, rx) = bounded(1);
+        self.stat.write_queue_depth.add(1);
+        self.jobs
+            .send(WriterJob::ReadAll {
+                switch_id: self.switch_id,
+                reply: tx,
+            })
+            .map_err(|_| "shard writer gone".to_string())?;
+        rx.recv().map_err(|_| "shard writer gone".to_string())?
+    }
+}
+
+/// The running sharded control plane: N workers, N writers, and the
+/// router that feeds them. Dropping the runtime shuts every thread
+/// down (after draining the queues).
+pub struct ShardRuntime {
+    router: Router,
+    inputs: Vec<Sender<ShardInput>>,
+    writer_jobs: Vec<Sender<WriterJob>>,
+    stats: Vec<Arc<ShardStat>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    writers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ShardRuntime {
+    /// Compile one engine per shard and start the worker/writer pairs.
+    /// `switches` are `(global switch id, data plane)` pairs; each goes
+    /// to the shard the router assigns it.
+    pub fn start(
+        program: &NerpaProgram,
+        router: Router,
+        switches: Vec<(usize, Box<dyn DataPlane>)>,
+    ) -> Result<ShardRuntime, String> {
+        let n = router.shards();
+        let mut per_shard: Vec<Vec<(usize, Box<dyn DataPlane>)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for (id, dp) in switches {
+            per_shard[router.route_switch(id)].push((id, dp));
+        }
+
+        let mut inputs = Vec::with_capacity(n);
+        let mut writer_jobs = Vec::with_capacity(n);
+        let mut stats = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        let mut writers = Vec::with_capacity(n);
+        for (shard, owned) in per_shard.into_iter().enumerate() {
+            let ids: Vec<usize> = owned.iter().map(|(id, _)| *id).collect();
+            let stat = Arc::new(ShardStat::new(shard, ids.clone()));
+            let (job_tx, job_rx) = unbounded::<WriterJob>();
+            let (in_tx, in_rx) = unbounded::<ShardInput>();
+
+            let mut controller = Controller::new(program)?;
+            for id in &ids {
+                controller.add_switch_with_id(
+                    *id,
+                    Box::new(AsyncSwitch {
+                        switch_id: *id,
+                        jobs: job_tx.clone(),
+                        stat: stat.clone(),
+                    }),
+                );
+            }
+
+            let writer_stat = stat.clone();
+            writers.push(
+                std::thread::Builder::new()
+                    .name(format!("shard-writer-{shard}"))
+                    .spawn(move || writer_loop(shard, owned, job_rx, writer_stat))
+                    .map_err(|e| e.to_string())?,
+            );
+            let worker_stat = stat.clone();
+            let worker_jobs = job_tx.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("shard-worker-{shard}"))
+                    .spawn(move || worker_loop(shard, controller, in_rx, worker_jobs, worker_stat))
+                    .map_err(|e| e.to_string())?,
+            );
+            inputs.push(in_tx);
+            writer_jobs.push(job_tx);
+            stats.push(stat);
+        }
+
+        let runtime = ShardRuntime {
+            router,
+            inputs,
+            writer_jobs,
+            stats,
+            workers,
+            writers,
+        };
+        runtime.register_shards_page();
+        Ok(runtime)
+    }
+
+    /// The router.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// The shard owning switch `switch_id`.
+    pub fn shard_of_switch(&self, switch_id: usize) -> usize {
+        self.router.route_switch(switch_id)
+    }
+
+    /// Fan one monitor `table-updates` object out to the shard queues.
+    /// Returns immediately; commits and pushes happen on the shard
+    /// threads. The embedded trace id rides along in each slice.
+    pub fn handle_monitor_update(&self, updates: &Json) {
+        for (shard, slice) in self
+            .router
+            .split_monitor_update(updates)
+            .into_iter()
+            .enumerate()
+        {
+            if let Some(slice) = slice {
+                self.enqueue(shard, ShardInput::Monitor(slice));
+            }
+        }
+    }
+
+    /// Fan committed row changes out to the shard queues.
+    pub fn handle_row_changes(&self, changes: &[RowChange]) {
+        for (shard, slice) in self
+            .router
+            .split_row_changes(changes)
+            .into_iter()
+            .enumerate()
+        {
+            if !slice.is_empty() {
+                self.enqueue(shard, ShardInput::Changes(slice));
+            }
+        }
+    }
+
+    /// Queue digests from switch `switch_id` onto its owning shard.
+    pub fn handle_digests(&self, switch_id: usize, digests: Vec<Digest>) {
+        let shard = self.router.route_switch(switch_id);
+        self.enqueue(
+            shard,
+            ShardInput::Digests {
+                switch_id,
+                digests,
+                insert: true,
+            },
+        );
+    }
+
+    /// Queue digest retractions (aging) onto the owning shard.
+    pub fn retract_digests(&self, switch_id: usize, digests: Vec<Digest>) {
+        let shard = self.router.route_switch(switch_id);
+        self.enqueue(
+            shard,
+            ShardInput::Digests {
+                switch_id,
+                digests,
+                insert: false,
+            },
+        );
+    }
+
+    /// Resync every shard from a monitor snapshot (each shard diffs its
+    /// slice against its own engine inputs; empty slices still resync
+    /// so stale rows are retracted).
+    pub fn resync_from_snapshot(&self, initial: &Json, monitored_tables: &[String]) {
+        let slices = self.router.split_monitor_update(initial);
+        for (shard, slice) in slices.into_iter().enumerate() {
+            self.enqueue(
+                shard,
+                ShardInput::Resync {
+                    slice: slice.unwrap_or_else(|| json!({})),
+                    tables: monitored_tables.to_vec(),
+                },
+            );
+        }
+    }
+
+    /// Ask one shard to reconcile its switches (queued behind whatever
+    /// it is currently processing).
+    pub fn reconcile_shard(&self, shard: usize) {
+        self.enqueue(shard, ShardInput::Reconcile);
+    }
+
+    /// Swap the data plane behind `switch_id` (e.g. a fresh TCP client
+    /// after the switch restarted), then reconcile its shard. Only that
+    /// shard's queues are involved; other shards keep committing.
+    pub fn replace_switch(&self, switch_id: usize, dp: Box<dyn DataPlane>) {
+        let shard = self.router.route_switch(switch_id);
+        self.stats[shard].write_queue_depth.add(1);
+        let _ = self.writer_jobs[shard].send(WriterJob::Replace { switch_id, dp });
+        self.reconcile_shard(shard);
+    }
+
+    /// Barrier: block until every input enqueued before this call —
+    /// commits on the workers and pushes on the writers — has been
+    /// fully processed, on every shard.
+    pub fn flush(&self) {
+        let (tx, rx) = bounded(self.inputs.len());
+        for input in &self.inputs {
+            let _ = input.send(ShardInput::Flush(tx.clone()));
+        }
+        drop(tx);
+        while rx.recv().is_ok() {}
+    }
+
+    /// Engine transactions committed by one shard so far.
+    pub fn commits(&self, shard: usize) -> u64 {
+        self.stats[shard].commits.get()
+    }
+
+    /// Commit errors recorded by one shard so far.
+    pub fn commit_errors(&self, shard: usize) -> u64 {
+        self.stats[shard].commit_errors.get()
+    }
+
+    /// Table entries successfully pushed to devices by one shard so far.
+    pub fn entries_written(&self, shard: usize) -> u64 {
+        self.stats[shard].entries_written.get()
+    }
+
+    /// Switches whose last device push failed and that have not healed.
+    pub fn dirty_switches(&self, shard: usize) -> BTreeSet<usize> {
+        self.stats[shard].dirty.lock().unwrap().clone()
+    }
+
+    /// Read a switch's tables through its shard's writer queue (ordered
+    /// after every write enqueued before this call).
+    pub fn read_switch_tables(
+        &self,
+        switch_id: usize,
+    ) -> Result<Vec<(String, Vec<TableEntry>)>, String> {
+        let shard = self.router.route_switch(switch_id);
+        let (tx, rx) = bounded(1);
+        self.stats[shard].write_queue_depth.add(1);
+        self.writer_jobs[shard]
+            .send(WriterJob::ReadAll {
+                switch_id,
+                reply: tx,
+            })
+            .map_err(|_| "shard writer gone".to_string())?;
+        rx.recv().map_err(|_| "shard writer gone".to_string())?
+    }
+
+    fn enqueue(&self, shard: usize, input: ShardInput) {
+        self.stats[shard].queue_depth.add(1);
+        let _ = self.inputs[shard].send(input);
+    }
+
+    /// Register the `/shards` introspection page: one JSON object per
+    /// shard with its switches, counters, queue depths, dirty switches,
+    /// and resync state.
+    fn register_shards_page(&self) {
+        let stats: Vec<Arc<ShardStat>> = self.stats.to_vec();
+        telemetry::global().register_page("/shards", "application/json", move || {
+            let shards: Vec<Json> = stats
+                .iter()
+                .enumerate()
+                .map(|(shard, s)| {
+                    let dirty: Vec<usize> = s.dirty.lock().unwrap().iter().copied().collect();
+                    json!({
+                        "shard": shard,
+                        "switches": s.switches.clone(),
+                        "commits": s.commits.get(),
+                        "commit_errors": s.commit_errors.get(),
+                        "write_batches": s.write_batches.get(),
+                        "write_errors": s.write_errors.get(),
+                        "entries_written": s.entries_written.get(),
+                        "queue_depth": s.queue_depth.get(),
+                        "write_queue_depth": s.write_queue_depth.get(),
+                        "dirty_switches": dirty,
+                        "resync_state": s.resync_state.lock().unwrap().clone(),
+                    })
+                })
+                .collect();
+            json!({ "shards": shards }).to_string()
+        });
+    }
+
+    /// Drain and stop every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        // Closing the input channels ends the workers (after a drain);
+        // each worker closes nothing else, so the writer channels close
+        // once both the runtime's and the workers' senders are gone.
+        self.inputs.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.writer_jobs.clear();
+        for w in self.writers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ShardRuntime {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn worker_loop(
+    shard: usize,
+    mut controller: Controller,
+    inputs: Receiver<ShardInput>,
+    writer: Sender<WriterJob>,
+    stat: Arc<ShardStat>,
+) {
+    while let Ok(input) = inputs.recv() {
+        stat.queue_depth.add(-1);
+        if let ShardInput::Flush(reply) = input {
+            // Worker-side backlog is drained by arrival here; now drain
+            // the writer too, then ack.
+            let (tx, rx) = bounded(1);
+            if writer.send(WriterJob::Flush(tx)).is_ok() {
+                let _ = rx.recv();
+            }
+            let _ = reply.send(());
+            continue;
+        }
+        let commits = matches!(
+            input,
+            ShardInput::Monitor(_) | ShardInput::Changes(_) | ShardInput::Digests { .. }
+        );
+        let result = match input {
+            ShardInput::Monitor(slice) => controller.handle_monitor_update(&slice).map(|_| ()),
+            ShardInput::Changes(changes) => controller.handle_row_changes(&changes).map(|_| ()),
+            ShardInput::Digests {
+                switch_id,
+                digests,
+                insert,
+            } => {
+                let r = if insert {
+                    controller.handle_digests(switch_id, &digests)
+                } else {
+                    controller.retract_digests(switch_id, &digests)
+                };
+                r.map(|_| ())
+            }
+            ShardInput::Resync { slice, tables } => {
+                stat.set_resync_state("resyncing");
+                let r = controller.resync_from_snapshot(&slice, &tables);
+                match &r {
+                    Ok(report) => stat.set_resync_state(format!(
+                        "resynced +{} -{}",
+                        report.inserts, report.deletes
+                    )),
+                    Err(e) => stat.set_resync_state(format!("resync failed: {e}")),
+                }
+                r.map(|_| ())
+            }
+            ShardInput::Reconcile => {
+                stat.set_resync_state("reconciling");
+                let ids = controller.switch_ids();
+                let mut inserted = 0usize;
+                let mut deleted = 0usize;
+                let mut failed = Vec::new();
+                for (id, r) in controller.try_reconcile_switches(&ids) {
+                    match r {
+                        Ok(report) => {
+                            inserted += report.inserted;
+                            deleted += report.deleted;
+                            stat.dirty.lock().unwrap().remove(&id);
+                        }
+                        Err(e) => failed.push((id, e)),
+                    }
+                }
+                if failed.is_empty() {
+                    stat.set_resync_state(format!("reconciled +{inserted} -{deleted}"));
+                    Ok(())
+                } else {
+                    stat.set_resync_state(format!("reconcile failed: {failed:?}"));
+                    Err(format!("shard {shard} reconcile failed: {failed:?}"))
+                }
+            }
+            ShardInput::Flush(_) => unreachable!("handled above"),
+        };
+        match result {
+            Ok(()) => {
+                if commits {
+                    stat.commits.inc();
+                }
+            }
+            Err(e) => {
+                stat.commit_errors.inc();
+                telemetry::global()
+                    .health
+                    .set(format!("shard/{shard}"), "degraded(commit failed)");
+                telemetry::log_warn!("shard", "shard {} input failed: {}", shard, e);
+            }
+        }
+    }
+}
+
+fn writer_loop(
+    shard: usize,
+    switches: Vec<(usize, Box<dyn DataPlane>)>,
+    jobs: Receiver<WriterJob>,
+    stat: Arc<ShardStat>,
+) {
+    let mut switches: std::collections::BTreeMap<usize, Box<dyn DataPlane>> =
+        switches.into_iter().collect();
+    let mark_dirty = |switch_id: usize, err: &str| {
+        stat.write_errors.inc();
+        stat.dirty.lock().unwrap().insert(switch_id);
+        telemetry::global()
+            .health
+            .set(format!("shard/{shard}"), "degraded(write failed)");
+        telemetry::log_warn!(
+            "shard",
+            "shard {} push to switch {} failed: {}",
+            shard,
+            switch_id,
+            err
+        );
+    };
+    let mark_clean = |switch_id: usize| {
+        let mut dirty = stat.dirty.lock().unwrap();
+        dirty.remove(&switch_id);
+        if dirty.is_empty() {
+            telemetry::global()
+                .health
+                .set(format!("shard/{shard}"), "ok");
+        }
+    };
+    while let Ok(job) = jobs.recv() {
+        stat.write_queue_depth.add(-1);
+        match job {
+            WriterJob::Write {
+                switch_id,
+                updates,
+                trace,
+            } => {
+                let Some(dp) = switches.get(&switch_id) else {
+                    continue;
+                };
+                let started = Instant::now();
+                let r = match trace {
+                    Some(t) => dp.write_updates_traced(&updates, t),
+                    None => dp.write_updates(&updates),
+                };
+                match r {
+                    Ok(()) => {
+                        stat.write_batches.inc();
+                        stat.entries_written.add(updates.len() as u64);
+                        mark_clean(switch_id);
+                    }
+                    Err(e) => mark_dirty(switch_id, &e),
+                }
+                telemetry::global()
+                    .registry
+                    .histogram(
+                        "nerpa_shard_push_us",
+                        "Device push latency as seen by shard writers, microseconds",
+                        &telemetry::LATENCY_BOUNDS_US,
+                    )
+                    .record_duration(started.elapsed());
+            }
+            WriterJob::Mcast {
+                switch_id,
+                group,
+                ports,
+            } => {
+                let Some(dp) = switches.get(&switch_id) else {
+                    continue;
+                };
+                if let Err(e) = dp.set_mcast_group(group, ports) {
+                    mark_dirty(switch_id, &e);
+                }
+            }
+            WriterJob::ReadAll { switch_id, reply } => {
+                let r = match switches.get(&switch_id) {
+                    Some(dp) => dp.read_all_tables(),
+                    None => Err(format!("switch {switch_id} not owned by shard {shard}")),
+                };
+                let _ = reply.send(r);
+            }
+            WriterJob::Replace { switch_id, dp } => {
+                switches.insert(switch_id, dp);
+            }
+            WriterJob::Flush(reply) => {
+                let _ = reply.send(());
+            }
+        }
+    }
+}

@@ -305,10 +305,15 @@ impl Registry {
 
     /// Get or create an unlabeled gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Get or create a labeled gauge series.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
         match self.get_or_create(
             name,
             help,
-            &[],
+            labels,
             || Series::Gauge(Gauge::new()),
             MetricKind::Gauge,
         ) {

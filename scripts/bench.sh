@@ -33,6 +33,8 @@ cargo run --release -q -p bench --bin report_port_scaling -- \
     --out BENCH_port_scaling.json "${QUICK[@]}"
 cargo run --release -q -p bench --bin report_wal -- \
     --out BENCH_wal.json "${QUICK[@]}"
+cargo run --release -q -p bench --bin report_shard_scaling -- \
+    --out BENCH_shard_scaling.json "${QUICK[@]}"
 
 echo
-echo "bench reports written: BENCH_fig3.json BENCH_port_scaling.json BENCH_wal.json"
+echo "bench reports written: BENCH_fig3.json BENCH_port_scaling.json BENCH_wal.json BENCH_shard_scaling.json"

@@ -29,6 +29,15 @@ cargo run --release -q -p oracle --bin oracle -- --seed 1..8 --steps 200 --chaos
 cargo test -q --test durability_e2e
 cargo run --release -q -p oracle --bin oracle -- --seed 1..8 --steps 200 --chaos-crash 7
 
+# Sharded control plane: the sockets e2e (kill one shard's switch, the
+# others keep committing), then the cross-shard equivalence oracle —
+# union of 4 shard engines vs one unsharded engine vs the
+# full-recompute spec, fault-free and with chaos faults targeted at a
+# single shard.
+cargo test -q --test shard_e2e
+cargo run --release -q -p oracle --bin oracle -- --seed 1..8 --steps 200 --shards 4
+cargo run --release -q -p oracle --bin oracle -- --seed 1..8 --steps 200 --chaos 7 --shards 4
+
 # Bench smoke: regenerate the paper experiments in --quick mode (the
 # incrementality audit is armed inside report_fig3) and gate the
 # deterministic tuples-per-commit measurements against the checked-in
@@ -39,3 +48,5 @@ cargo run --release -q -p bench --bin compare -- \
     crates/bench/baselines/BENCH_fig3.json BENCH_fig3.json
 cargo run --release -q -p bench --bin compare -- \
     crates/bench/baselines/BENCH_port_scaling.json BENCH_port_scaling.json
+cargo run --release -q -p bench --bin compare -- \
+    crates/bench/baselines/BENCH_shard_scaling.json BENCH_shard_scaling.json

@@ -1,0 +1,272 @@
+//! Vendored `bytes` subset: cheaply-clonable immutable [`Bytes`], a
+//! growable [`BytesMut`] builder, and the [`Buf`]/[`BufMut`] traits —
+//! exactly the surface the workspace's frame codecs use. Multi-byte
+//! integers are big-endian, as on the wire.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// An immutable, cheaply-clonable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bytes(Arc<Vec<u8>>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Copy `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes(Arc::new(data.to_vec()))
+    }
+
+    /// Wrap a static slice (copied; the zero-copy optimization of the
+    /// real crate is irrelevant at this scale).
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(data)
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copy out as a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.as_ref().clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(Arc::new(v))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+/// A growable byte buffer for building wire messages.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copy out as a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(Arc::new(self.0))
+    }
+
+    /// Append from a slice.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.0.extend_from_slice(data);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Read cursor over a byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The readable bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Read a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    /// Read a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Copy the next `n` bytes out as [`Bytes`], consuming them.
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        let out = Bytes::copy_from_slice(&self.chunk()[..n]);
+        self.advance(n);
+        out
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        let rest = self.0[n..].to_vec();
+        self.0 = Arc::new(rest);
+    }
+}
+
+/// Write cursor over a growable byte sink.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, data: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.0.extend_from_slice(data);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32(7);
+        b.put_u16(0x8100);
+        b.put_u8(9);
+        b.put_slice(&[1, 2, 3]);
+        assert_eq!(b.len(), 10);
+        let v = b.to_vec();
+        let mut r: &[u8] = &v;
+        assert_eq!(r.remaining(), 10);
+        assert_eq!(r.get_u32(), 7);
+        assert_eq!(r.get_u16(), 0x8100);
+        assert_eq!(r.get_u8(), 9);
+        assert_eq!(r.copy_to_bytes(r.remaining()).as_ref(), &[1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_semantics() {
+        let b = Bytes::copy_from_slice(b"abc");
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(&b[..], b"abc");
+        assert_eq!(b.to_vec(), b"abc".to_vec());
+        let f = BytesMut::with_capacity(2).freeze();
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! Vendored `rand` subset: a deterministic, seedable RNG with uniform
+//! range sampling. The workspace's chaos schedules, workload generators,
+//! and jittered backoff all rely on `StdRng::seed_from_u64` producing
+//! the same sequence on every platform, so the generator is a fixed,
+//! self-contained algorithm (splitmix64-seeded xoshiro256**), not a
+//! wrapper around platform entropy.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a 64-bit seed. The full internal state
+    /// is expanded from the seed with splitmix64, so nearby seeds give
+    /// unrelated sequences.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Standard RNGs.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator
+    /// (xoshiro256**, seeded via splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; splitmix64 of any
+            // seed cannot produce four zero words, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E3779B97F4A7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types that can be drawn uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Draw uniformly from `[lo, hi)`; `hi > lo`.
+    fn sample_exclusive(rng: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self;
+    /// Draw uniformly from `[lo, hi]`; `hi >= lo`.
+    fn sample_inclusive(rng: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive(rng: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty random_range");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128;
+                let v = ((rng)() as u128) % span;
+                ((lo as i128) + v as i128) as $t
+            }
+            fn sample_inclusive(rng: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty random_range");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                if span == 0 {
+                    // Full u64 (or wider) domain: take the raw word.
+                    return ((rng)() as i128) as $t;
+                }
+                let v = ((rng)() as u128) % span;
+                ((lo as i128) + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_exclusive(rng: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty random_range");
+        let unit = ((rng)() >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        lo + (hi - lo) * unit
+    }
+    fn sample_inclusive(rng: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "empty random_range");
+        let unit = ((rng)() >> 11) as f64 / ((1u64 << 53) - 1) as f64; // [0, 1]
+        lo + (hi - lo) * unit
+    }
+}
+
+/// Ranges a value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draw one value.
+    fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Draw a value uniformly from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut draw = || self.next_u64();
+        range.sample_from(&mut draw)
+    }
+
+    /// Draw a bool that is true with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let sa: Vec<u64> = (0..8).map(|_| a.random_range(0u64..1000)).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.random_range(0u64..1000)).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.random_range(0u64..1000)).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.random_range(3u16..9);
+            assert!((3..9).contains(&v));
+            let w = rng.random_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.random_range(-0.25f64..=0.25);
+            assert!((-0.25..=0.25).contains(&f));
+        }
+        // Inclusive ranges can hit both endpoints.
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..200 {
+            match rng.random_range(0u8..=1) {
+                0 => lo = true,
+                1 => hi = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(lo && hi);
+    }
+}

@@ -1,0 +1,4 @@
+//! Typecheck stub for `serde`. The workspace's wire formats go through
+//! the vendored `serde_json` crate's own `ToJson`/`FromJson` traits; no
+//! code here is ever invoked. The crate exists so `serde = { version =
+//! "1", features = ["derive"] }` dependency edges resolve offline.
