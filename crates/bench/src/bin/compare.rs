@@ -11,6 +11,12 @@
 //! and stay within the tolerance (default 25%). `median_ns_per_op` is
 //! informational unless `--enforce-time` is passed, because wall time is
 //! machine-dependent while tuple counts are not.
+//!
+//! Relative wall budgets (`wall_ref` + `max_wall_ratio` on a baseline
+//! entry) ARE always enforced: both sides of the ratio come from the
+//! *current* report, measured in the same process on the same machine,
+//! so the ratio is machine-independent. This is the scaling gate — e.g.
+//! churn at n=20000 must stay within 2x the wall/op of churn at n=200.
 
 use bench::BenchEntry;
 
@@ -70,6 +76,30 @@ fn main() {
             continue;
         };
         check(b, c, tolerance, enforce_time, &mut failures);
+        // Relative wall budget: machine-independent, always enforced.
+        if let (Some(wall_ref), Some(max_ratio)) = (&b.wall_ref, b.max_wall_ratio) {
+            let Some(r) = current.iter().find(|r| &r.name == wall_ref) else {
+                eprintln!(
+                    "FAIL {}: wall_ref {:?} missing from current report",
+                    b.name, wall_ref
+                );
+                failures += 1;
+                continue;
+            };
+            let ratio = c.median_ns_per_op as f64 / (r.median_ns_per_op as f64).max(1.0);
+            if ratio > max_ratio {
+                eprintln!(
+                    "FAIL {}: wall/op {:.2}x of {} (budget {:.2}x) — {} vs {} ns/op",
+                    b.name, ratio, wall_ref, max_ratio, c.median_ns_per_op, r.median_ns_per_op
+                );
+                failures += 1;
+            } else {
+                println!(
+                    "OK   {}: wall/op {:.2}x of {} (budget {:.2}x)",
+                    b.name, ratio, wall_ref, max_ratio
+                );
+            }
+        }
     }
     for c in &current {
         if !baseline.iter().any(|b| b.name == c.name) {

@@ -91,19 +91,76 @@ fn measure_reachability_churn(n: u64, m: u64, commits: usize) -> ChurnMeasure {
     }
 }
 
+/// Wall/op of `large` vs `small`, with a 1µs floor on the denominator so
+/// sub-microsecond noise can't manufacture a huge ratio.
+fn wall_ratio(large: &ChurnMeasure, small: &ChurnMeasure) -> f64 {
+    large.median_ns as f64 / (small.median_ns as f64).max(1_000.0)
+}
+
+/// The churn-scaling cliff gate (also run standalone via `--cliff`):
+/// wall/op at each larger scale must stay within `MAX_WALL_RATIO` of the
+/// smallest scale. Before the arrangement-backed evaluator this ratio
+/// was ~10x at n=2000 (see EXPERIMENTS.md).
+const MAX_WALL_RATIO: f64 = 2.0;
+
 fn main() {
     let mut out: Option<String> = None;
     let mut quick = false;
+    let mut cliff = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--out" => out = args.next(),
             "--quick" => quick = true,
+            "--cliff" => cliff = true,
             other => {
-                eprintln!("usage: report_fig3 [--out FILE] [--quick] (got {other:?})");
+                eprintln!("usage: report_fig3 [--out FILE] [--quick] [--cliff] (got {other:?})");
                 std::process::exit(2);
             }
         }
+    }
+
+    if cliff {
+        // CI smoke for the scaling cliff: just the reachability churn
+        // pair, gated on the machine-independent wall ratio. The commit
+        // loop is microseconds per iteration (the preload dominates), so
+        // always take the full 200-commit median — 20 commits is noisy
+        // enough for warm-up effects to eat most of the 2x budget.
+        let _ = quick;
+        let commits = 200;
+        let small = measure_reachability_churn(200, 600, commits);
+        let large = measure_reachability_churn(2000, 6000, commits);
+        let ratio = wall_ratio(&large, &small);
+        println!(
+            "bench-cliff: reachability churn wall/op n=200 {:.1}us, n=2000 {:.1}us ({ratio:.2}x, budget {MAX_WALL_RATIO:.2}x)",
+            small.median_ns as f64 / 1e3,
+            large.median_ns as f64 / 1e3,
+        );
+        if let Some(path) = out {
+            let entries = vec![
+                BenchEntry::new(
+                    "fig3/reachability_churn/n=200",
+                    small.median_ns,
+                    small.tuples_per_commit,
+                ),
+                BenchEntry::new(
+                    "fig3/reachability_churn/n=2000",
+                    large.median_ns,
+                    large.tuples_per_commit,
+                )
+                .with_wall_budget("fig3/reachability_churn/n=200", MAX_WALL_RATIO),
+            ];
+            bench::write_bench_json(&path, "fig3-cliff", &entries).expect("write bench json");
+            println!("wrote {path}");
+        }
+        assert!(
+            ratio <= MAX_WALL_RATIO,
+            "churn wall/op grew {ratio:.2}x from n=200 to n=2000 (budget {MAX_WALL_RATIO:.2}x): \
+             the evaluator is paying per-commit cost proportional to total state again"
+        );
+        println!("bench-cliff: OK (churn cost scales with the delta, not the model)");
+        bench::dump_metrics_snapshot();
+        return;
     }
 
     println!("E1 / Fig. 3: fragment growth vs unified rules");
@@ -146,6 +203,7 @@ fn main() {
     let rob_large = measure_robotron_churn(large, commits);
     let reach_small = measure_reachability_churn(200, 600, commits);
     let reach_large = measure_reachability_churn(2000, 6000, commits);
+    let reach_xl = measure_reachability_churn(20000, 60000, commits);
 
     print_table(
         &format!("audited churn: work per commit vs model size ({commits} commits each)"),
@@ -171,6 +229,11 @@ fn main() {
                 reach_large.tuples_per_commit.to_string(),
                 format!("{:.1}", reach_large.median_ns as f64 / 1e3),
             ],
+            vec![
+                "reachability n=20000 (100x)".into(),
+                reach_xl.tuples_per_commit.to_string(),
+                format!("{:.1}", reach_xl.median_ns as f64 / 1e3),
+            ],
         ],
     );
     // The audit already asserted per-commit budgets; this pins the
@@ -187,33 +250,58 @@ fn main() {
         reach_small.tuples_per_commit,
         reach_large.tuples_per_commit
     );
+    assert!(
+        reach_xl.tuples_per_commit <= 2 * reach_small.tuples_per_commit.max(1),
+        "reachability tuples/commit grew with graph size: {} -> {}",
+        reach_small.tuples_per_commit,
+        reach_xl.tuples_per_commit
+    );
+    // Tuples/commit being flat is necessary but not sufficient: an
+    // evaluator can process few tuples yet still pay wall time per
+    // commit proportional to total state (e.g. scanning a relation to
+    // answer a keyed lookup). Pin the wall-time shape too.
+    for (label, m) in [("n=2000", &reach_large), ("n=20000", &reach_xl)] {
+        let ratio = wall_ratio(m, &reach_small);
+        assert!(
+            ratio <= MAX_WALL_RATIO,
+            "reachability churn wall/op at {label} is {ratio:.2}x of n=200 \
+             (budget {MAX_WALL_RATIO:.2}x): per-commit cost scales with total state"
+        );
+    }
     println!(
-        "\nincrementality check: every commit passed the work audit, and \
-         tuples/commit stayed flat across a 10x model-size increase."
+        "\nincrementality check: every commit passed the work audit; tuples/commit \
+         and wall/op stayed flat from n=200 to n=20000 (100x)."
     );
 
     if let Some(path) = out {
         let entries = vec![
-            BenchEntry {
-                name: "fig3/robotron_churn/devices=100".into(),
-                median_ns_per_op: rob_small.median_ns,
-                tuples_per_op: rob_small.tuples_per_commit,
-            },
-            BenchEntry {
-                name: "fig3/robotron_churn/devices=1000".into(),
-                median_ns_per_op: rob_large.median_ns,
-                tuples_per_op: rob_large.tuples_per_commit,
-            },
-            BenchEntry {
-                name: "fig3/reachability_churn/n=200".into(),
-                median_ns_per_op: reach_small.median_ns,
-                tuples_per_op: reach_small.tuples_per_commit,
-            },
-            BenchEntry {
-                name: "fig3/reachability_churn/n=2000".into(),
-                median_ns_per_op: reach_large.median_ns,
-                tuples_per_op: reach_large.tuples_per_commit,
-            },
+            BenchEntry::new(
+                "fig3/robotron_churn/devices=100",
+                rob_small.median_ns,
+                rob_small.tuples_per_commit,
+            ),
+            BenchEntry::new(
+                "fig3/robotron_churn/devices=1000",
+                rob_large.median_ns,
+                rob_large.tuples_per_commit,
+            ),
+            BenchEntry::new(
+                "fig3/reachability_churn/n=200",
+                reach_small.median_ns,
+                reach_small.tuples_per_commit,
+            ),
+            BenchEntry::new(
+                "fig3/reachability_churn/n=2000",
+                reach_large.median_ns,
+                reach_large.tuples_per_commit,
+            )
+            .with_wall_budget("fig3/reachability_churn/n=200", MAX_WALL_RATIO),
+            BenchEntry::new(
+                "fig3/reachability_churn/n=20000",
+                reach_xl.median_ns,
+                reach_xl.tuples_per_commit,
+            )
+            .with_wall_budget("fig3/reachability_churn/n=200", MAX_WALL_RATIO),
         ];
         bench::write_bench_json(&path, "fig3", &entries).expect("write bench json");
         println!("wrote {path}");

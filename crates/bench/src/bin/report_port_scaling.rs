@@ -127,16 +127,12 @@ fn main() {
         let ns: Vec<u64> = latencies.iter().map(|d| d.as_nanos() as u64).collect();
         let b_ns: Vec<u64> = b_latencies.iter().map(|d| d.as_nanos() as u64).collect();
         let entries = vec![
-            BenchEntry {
-                name: "port_scaling/nerpa_incremental".into(),
-                median_ns_per_op: bench::median(&ns),
+            BenchEntry::new(
+                "port_scaling/nerpa_incremental",
+                bench::median(&ns),
                 tuples_per_op,
-            },
-            BenchEntry {
-                name: "port_scaling/full_recompute".into(),
-                median_ns_per_op: bench::median(&b_ns),
-                tuples_per_op: 0,
-            },
+            ),
+            BenchEntry::new("port_scaling/full_recompute", bench::median(&b_ns), 0),
         ];
         bench::write_bench_json(&path, "port_scaling", &entries).expect("write bench json");
         println!("wrote {path}");

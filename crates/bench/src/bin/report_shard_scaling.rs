@@ -206,18 +206,20 @@ fn main() {
     if let Some(path) = out {
         let mut entries: Vec<BenchEntry> = runs
             .iter()
-            .map(|(shards, stats)| BenchEntry {
-                name: format!("shard_scaling/shards={shards}"),
-                median_ns_per_op: (stats.wall.as_nanos() as u64) / ports as u64,
-                tuples_per_op: stats.entries_pushed / ports as u64,
+            .map(|(shards, stats)| {
+                BenchEntry::new(
+                    &format!("shard_scaling/shards={shards}"),
+                    (stats.wall.as_nanos() as u64) / ports as u64,
+                    stats.entries_pushed / ports as u64,
+                )
             })
             .collect();
         // Headline speedup, informational (time-derived): hundredths.
-        entries.push(BenchEntry {
-            name: "shard_scaling/speedup_8_shards_x100".into(),
-            median_ns_per_op: (speedup * 100.0) as u64,
-            tuples_per_op: 0,
-        });
+        entries.push(BenchEntry::new(
+            "shard_scaling/speedup_8_shards_x100",
+            (speedup * 100.0) as u64,
+            0,
+        ));
         bench::write_bench_json(&path, "shard_scaling", &entries).expect("write bench json");
         println!("wrote {path}");
     }

@@ -106,12 +106,13 @@ fn main() {
             format!("{:.1}", 1e9 / median as f64),
             per_txn.to_string(),
         ]);
-        entries.push(BenchEntry {
-            name: format!("wal_append/{tag}"),
-            median_ns_per_op: median,
-            // Log bytes per committed txn: deterministic, unlike wall time.
-            tuples_per_op: per_txn,
-        });
+        // tuples_per_op carries log bytes per committed txn:
+        // deterministic, unlike wall time.
+        entries.push(BenchEntry::new(
+            &format!("wal_append/{tag}"),
+            median,
+            per_txn,
+        ));
     }
 
     bench::print_table(

@@ -127,9 +127,15 @@ pub fn robotron_daily_churn(engine: &mut ddlog::Engine, scale: RobotronScale, da
 /// One measured entry of a `BENCH_*.json` report: a stable name, the
 /// median wall time per operation, and the deterministic dataflow work
 /// per operation (tuples processed per commit, from the engine's
-/// [`ddlog::WorkProfile`]). Wall time is informational — regression
-/// gating keys on `tuples_per_op`, which is reproducible across
-/// machines.
+/// [`ddlog::WorkProfile`]). Absolute wall time is informational —
+/// regression gating keys on `tuples_per_op`, which is reproducible
+/// across machines — but an entry may additionally declare a *relative*
+/// wall budget against another entry in the same report via `wall_ref` +
+/// `max_wall_ratio`. Ratios between entries measured in the same process
+/// on the same machine are machine-independent, so `compare` enforces
+/// them unconditionally (no `--enforce-time` needed). This is how the
+/// fig3 scaling cliff is pinned: `reachability_churn/n=20000` must stay
+/// within 2x the wall time of `reachability_churn/n=200`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchEntry {
     /// Stable entry name, identical between `--quick` and full runs.
@@ -138,6 +144,32 @@ pub struct BenchEntry {
     pub median_ns_per_op: u64,
     /// Median dataflow tuples processed per operation.
     pub tuples_per_op: u64,
+    /// Name of the entry (same report) this entry's wall time is
+    /// budgeted against, if any.
+    pub wall_ref: Option<String>,
+    /// Maximum allowed `median_ns_per_op` ratio vs the `wall_ref` entry.
+    pub max_wall_ratio: Option<f64>,
+}
+
+impl BenchEntry {
+    /// An entry with no relative wall budget.
+    pub fn new(name: &str, median_ns_per_op: u64, tuples_per_op: u64) -> Self {
+        BenchEntry {
+            name: name.to_string(),
+            median_ns_per_op,
+            tuples_per_op,
+            wall_ref: None,
+            max_wall_ratio: None,
+        }
+    }
+
+    /// Attach a relative wall budget: this entry's wall/op must stay
+    /// within `ratio` times that of the named reference entry.
+    pub fn with_wall_budget(mut self, wall_ref: &str, ratio: f64) -> Self {
+        self.wall_ref = Some(wall_ref.to_string());
+        self.max_wall_ratio = Some(ratio);
+        self
+    }
 }
 
 /// Median of an unsorted sample (0 for an empty one).
@@ -159,11 +191,17 @@ pub fn write_bench_json(
     let entries: Vec<serde_json::Value> = entries
         .iter()
         .map(|e| {
-            serde_json::json!({
+            let mut v = serde_json::json!({
                 "name": e.name,
                 "median_ns_per_op": e.median_ns_per_op,
                 "tuples_per_op": e.tuples_per_op,
-            })
+            });
+            if let (Some(wall_ref), Some(ratio)) = (&e.wall_ref, e.max_wall_ratio) {
+                let obj = v.as_object_mut().expect("entry is an object");
+                obj.insert("wall_ref".into(), serde_json::json!(wall_ref));
+                obj.insert("max_wall_ratio".into(), serde_json::json!(ratio));
+            }
+            v
         })
         .collect();
     let doc = serde_json::json!({ "bench": bench, "entries": entries });
@@ -190,6 +228,11 @@ pub fn read_bench_json(path: &str) -> Result<(String, Vec<BenchEntry>), String> 
                 name: e.get("name")?.as_str()?.to_string(),
                 median_ns_per_op: e.get("median_ns_per_op")?.as_u64()?,
                 tuples_per_op: e.get("tuples_per_op")?.as_u64()?,
+                wall_ref: match e.get("wall_ref") {
+                    Some(w) => Some(w.as_str()?.to_string()),
+                    None => None,
+                },
+                max_wall_ratio: e.get("max_wall_ratio").and_then(|r| r.as_f64()),
             })
         })
         .collect::<Option<Vec<_>>>()
@@ -251,16 +294,10 @@ mod tests {
     #[test]
     fn bench_json_round_trips() {
         let entries = vec![
-            BenchEntry {
-                name: "fig3/robotron_churn/devices=100".into(),
-                median_ns_per_op: 12_345,
-                tuples_per_op: 42,
-            },
-            BenchEntry {
-                name: "fig3/reachability_churn/n=200".into(),
-                median_ns_per_op: 6_789,
-                tuples_per_op: 17,
-            },
+            BenchEntry::new("fig3/robotron_churn/devices=100", 12_345, 42),
+            BenchEntry::new("fig3/reachability_churn/n=200", 6_789, 17),
+            BenchEntry::new("fig3/reachability_churn/n=20000", 7_000, 17)
+                .with_wall_budget("fig3/reachability_churn/n=200", 2.0),
         ];
         let path = std::env::temp_dir().join("bench_roundtrip_test.json");
         let path = path.to_str().unwrap();

@@ -382,6 +382,14 @@ impl Controller {
         self.engine.set_audit(cfg);
     }
 
+    /// Fault injection for the oracle's `stale-arrangement` demo: make
+    /// the engine skip index maintenance on retractions, so ghost rows
+    /// linger in arrangements and joins keep deriving from deleted
+    /// state. The differential harness must catch the divergence.
+    pub fn inject_stale_arrangement(&mut self, on: bool) {
+        self.engine.inject_stale_arrangement(on);
+    }
+
     /// Handle committed OVSDB row changes (in-process path).
     pub fn handle_row_changes(&mut self, changes: &[RowChange]) -> Result<TxnDelta, String> {
         let rel_types = |name: &str| self.engine.relation_types(name);

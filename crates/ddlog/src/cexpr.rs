@@ -37,6 +37,25 @@ pub enum CExpr {
 }
 
 impl CExpr {
+    /// Visit every environment slot the expression reads.
+    pub fn visit_slots(&self, f: &mut impl FnMut(usize)) {
+        match self {
+            CExpr::Const(_) => {}
+            CExpr::Var(s) => f(*s),
+            CExpr::Unary(_, e) | CExpr::Cast(e, _) => e.visit_slots(f),
+            CExpr::Binary(_, a, b) => {
+                a.visit_slots(f);
+                b.visit_slots(f);
+            }
+            CExpr::Call(_, args) | CExpr::Tuple(args) => args.iter().for_each(|e| e.visit_slots(f)),
+            CExpr::IfElse(c, t, e) => {
+                c.visit_slots(f);
+                t.visit_slots(f);
+                e.visit_slots(f);
+            }
+        }
+    }
+
     /// True if the expression references no environment slots.
     pub fn is_const(&self) -> bool {
         match self {

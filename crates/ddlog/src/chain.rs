@@ -185,19 +185,27 @@ fn extend(
     Some(Arc::new(out))
 }
 
+/// Profiling context for one rule: the rule's operator ids (parallel to
+/// its stages), the per-stage binding-arrangement operator ids (also
+/// parallel; `Some` for join/antijoin stages), and the transaction's
+/// [`WorkProfile`] to record into.
+pub type RuleProf<'a> = (&'a [OpId], &'a [Option<OpId>], &'a mut WorkProfile);
+
 /// Process one rule for a transaction.
 ///
 /// * `rel_deltas` — set-level deltas of relations already updated this
 ///   transaction (lower strata and inputs).
-/// * `prof` — when profiling: the rule's operator ids (parallel to its
-///   stages) and the transaction's [`WorkProfile`] to record into.
+/// * `prof` — when profiling, the rule's [`RuleProf`]. Arrangement
+///   upkeep is recorded to its own operator and subtracted from the
+///   stage wall so "index too big" and "probe too hot" are
+///   distinguishable.
 /// * Returns the delta of head-row derivations (weighted).
 pub fn process_rule(
     rule: &CompiledRule,
     state: &mut RuleState,
     stores: &[RelationStore],
     rel_deltas: &HashMap<RelId, ZSet<Row>>,
-    mut prof: Option<(&[OpId], &mut WorkProfile)>,
+    mut prof: Option<RuleProf<'_>>,
 ) -> Result<ZSet<Row>> {
     // Fast path: nothing this rule depends on changed.
     if !rule
@@ -221,6 +229,9 @@ pub fn process_rule(
                 _ => 0,
             };
         let stage_start = prof.is_some().then(std::time::Instant::now);
+        // (tuples, wall_ns) of this stage's binding-arrangement upkeep,
+        // reported separately from the probe work.
+        let mut arrange_work: Option<(u64, u64)> = None;
         match stage {
             PStage::Atom {
                 rel,
@@ -326,9 +337,13 @@ pub fn process_rule(
                     }
                 }
                 // Update the arrangement with δL.
+                let t_arr = stage_start.map(|_| std::time::Instant::now());
                 for (b, w) in cur.iter() {
                     let key = key_from_binding(key_srcs, b);
                     arrange_add(arr, bytes, key, b, w);
+                }
+                if let Some(t) = t_arr {
+                    arrange_work = Some((cur.len() as u64, t.elapsed().as_nanos() as u64));
                 }
                 cur = out;
             }
@@ -432,10 +447,16 @@ pub fn process_rule(
                 cur = out;
             }
         }
-        if let Some((ops, wp)) = prof.as_mut() {
-            let wall = stage_start
+        if let Some((ops, arr_ops, wp)) = prof.as_mut() {
+            let mut wall = stage_start
                 .map(|t| t.elapsed().as_nanos() as u64)
                 .unwrap_or(0);
+            if let Some((arr_tuples, arr_ns)) = arrange_work {
+                if let Some(op) = arr_ops[i] {
+                    wp.record(op, arr_tuples, 0, arr_tuples, arr_ns);
+                }
+                wall = wall.saturating_sub(arr_ns);
+            }
             let tuples_out = cur.len() as u64;
             let peak = (tuples_in as u64).max(tuples_out);
             wp.record(ops[i], tuples_in as u64, tuples_out, peak, wall);

@@ -211,7 +211,7 @@ impl Engine {
             .iter()
             .map(|r| RelationStore::new(r.name.clone()))
             .collect();
-        let compiled = plan(&checked, &mut stores)?;
+        let mut compiled = plan(&checked, &mut stores)?;
 
         // Resolve strata to plan indices and relation ids.
         let plan_of_rule: HashMap<usize, usize> = compiled
@@ -251,6 +251,16 @@ impl Engine {
             });
         }
 
+        // Re-plan recursive rules per drive context so every probe of the
+        // fixpoint hits a maintained arrangement (registering the extra
+        // arrangements before any data arrives).
+        for s in &strata {
+            if s.recursive {
+                let scc: HashSet<RelId> = s.rels.iter().copied().collect();
+                crate::plan::build_drive_plans(&mut compiled, &s.plan_idxs, &scc, &mut stores);
+            }
+        }
+
         let rule_states = compiled.rules.iter().map(RuleState::new).collect();
 
         let strata_shape: Vec<(bool, Vec<usize>)> = strata
@@ -287,7 +297,9 @@ impl Engine {
         }
         rel_deltas.retain(|_, z| !z.is_empty());
         let mut init_profile = WorkProfile::new(engine.catalog.len());
-        engine.propagate(&mut rel_deltas, &mut init_profile)?;
+        let init_out = engine.propagate(&mut rel_deltas, &mut init_profile);
+        engine.flush_arrangement_stats(&mut init_profile);
+        init_out?;
         engine.cumulative.merge(&init_profile);
         Ok(engine)
     }
@@ -409,6 +421,9 @@ impl Engine {
         profile.input_tuples = rel_deltas.values().map(ZSet::len).sum::<usize>() as u64;
 
         let out = self.propagate(&mut rel_deltas, &mut profile);
+        // Drain pending arrangement-maintenance stats into this commit's
+        // profile even on error, so they can't leak into the next commit.
+        self.flush_arrangement_stats(&mut profile);
         if out.is_err() {
             self.poisoned = true;
         }
@@ -478,7 +493,16 @@ impl Engine {
                 let wall = t0.elapsed().as_nanos() as u64;
                 let out_tuples = net.values().map(ZSet::len).sum::<usize>() as u64;
                 if let Some(op) = self.catalog.fixpoint_ops[si] {
-                    profile.record(op, probe.driven, out_tuples, probe.peak, wall);
+                    // tuples_in counts driven frontier rows plus every row
+                    // the fixpoint's probes examined — a full scan shows
+                    // up here and trips the incrementality audit.
+                    profile.record(
+                        op,
+                        probe.driven + probe.examined,
+                        out_tuples,
+                        probe.peak,
+                        wall,
+                    );
                 }
                 for (rel, z) in net {
                     rel_deltas.entry(rel).or_default().merge(z);
@@ -492,7 +516,11 @@ impl Engine {
                         &mut self.rule_states[*pi],
                         &self.stores,
                         rel_deltas,
-                        Some((&self.catalog.rule_ops[*pi], profile)),
+                        Some((
+                            &self.catalog.rule_ops[*pi],
+                            &self.catalog.stage_arrange_ops[*pi],
+                            profile,
+                        )),
                     )?;
                     if !head_delta.is_empty() {
                         acc.entry(rule.head_rel).or_default().merge(head_delta);
@@ -529,6 +557,43 @@ impl Engine {
             changes.insert(decl.name.clone(), rows);
         }
         Ok(TxnDelta { changes })
+    }
+
+    /// Drain every store's pending arrangement-maintenance counters into
+    /// `profile` under their cataloged `Arrange` operators.
+    fn flush_arrangement_stats(&mut self, profile: &mut WorkProfile) {
+        for store in &mut self.stores {
+            for (global, s) in store.take_arrangement_stats() {
+                let op = self.catalog.arrange_ops[global];
+                let st = &mut profile.stats[op];
+                st.invocations += s.invocations;
+                st.tuples_in += s.tuples;
+                st.peak = st.peak.max(s.peak);
+                st.wall_ns += s.wall_ns;
+            }
+        }
+    }
+
+    /// Arm or disarm the `stale-arrangement` fault injection used by the
+    /// differential oracle (`crates/oracle`): while armed, relation
+    /// arrangements skip index maintenance on retraction, so probes see
+    /// ghost rows and derived state drifts from a from-scratch rebuild.
+    pub fn inject_stale_arrangement(&mut self, on: bool) {
+        for store in &mut self.stores {
+            store.set_stale_retractions(on);
+        }
+    }
+
+    /// Validate every relation arrangement against an index rebuilt from
+    /// scratch over the current visible rows — the arrangement-drift
+    /// detector used by tests and the oracle.
+    pub fn validate_arrangements(&self) -> Result<()> {
+        for store in &self.stores {
+            store
+                .validate_arrangements()
+                .map_err(|m| Error::new(Phase::Eval, m))?;
+        }
+        Ok(())
     }
 
     /// The current contents of any relation, sorted.
@@ -673,10 +738,19 @@ impl Engine {
             for id in &self.catalog.rule_ops[pi] {
                 fmt_op(&mut out, *id);
             }
+            for id in self.catalog.stage_arrange_ops[pi].iter().flatten() {
+                fmt_op(&mut out, *id);
+            }
         }
         let _ = writeln!(out, "distinct (derivation-count maintenance):");
         for id in &self.catalog.distinct_ops {
             fmt_op(&mut out, *id);
+        }
+        if !self.catalog.arrange_ops.is_empty() {
+            let _ = writeln!(out, "relation arrangements (shared indexes):");
+            for id in &self.catalog.arrange_ops {
+                fmt_op(&mut out, *id);
+            }
         }
         let fixpoints: Vec<usize> = self
             .catalog

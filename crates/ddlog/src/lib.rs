@@ -29,6 +29,7 @@
 //! ```
 #![warn(missing_docs)]
 
+pub mod arrange;
 pub mod ast;
 pub mod cexpr;
 pub mod chain;

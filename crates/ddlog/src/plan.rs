@@ -11,7 +11,7 @@
 //! Planning also registers every hash index the pipelines will need on the
 //! relation stores (indexes must exist before data arrives).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use crate::ast::*;
 use crate::cexpr::CExpr;
@@ -89,6 +89,26 @@ pub enum HeadBind {
     Const(Value),
 }
 
+/// Re-planned pipelines for the drive contexts of recursive evaluation.
+///
+/// The statically planned left-to-right pipeline keys each atom only on
+/// slots bound by *earlier* stages. Driven evaluation binds slots in a
+/// different order — a delta row pre-binds the driven atom's slots, and
+/// backward re-derivation pre-binds the head's slots — so under the
+/// static plan the remaining atoms can degrade to full scans (cost ∝
+/// relation size per driven row). These pipelines are re-ordered and
+/// re-keyed per context so every probe hits a maintained arrangement.
+#[derive(Debug, Clone, Default)]
+pub struct DrivePlans {
+    /// Per stage index: the pipeline over the *other* stages when a
+    /// delta row drives that atom. `None` entries (non-atom stages, or
+    /// where re-planning bailed) fall back to original order + skip.
+    pub from: Vec<Option<Vec<PStage>>>,
+    /// The pipeline for backward re-derivation, where the head row binds
+    /// slots first. `None` falls back to original order.
+    pub rederive: Option<Vec<PStage>>,
+}
+
 /// A fully planned rule.
 #[derive(Debug, Clone)]
 pub struct CompiledRule {
@@ -110,6 +130,24 @@ pub struct CompiledRule {
     pub has_aggregate: bool,
     /// The distinct relations referenced by body atoms.
     pub body_rels: Vec<RelId>,
+    /// Context-specific pipelines for driven evaluation, built by
+    /// [`build_drive_plans`] for recursive rules. Empty for chain rules.
+    pub drive_plans: DrivePlans,
+}
+
+/// One shared, maintained arrangement: a keyed hash index over `rel`'s
+/// visible rows by `cols`, probed by every operator listed in `users`.
+/// The spec's position in [`CompiledProgram::arrangements`] is its
+/// catalog id, which its [`crate::profile::OpKind::Arrange`] operator
+/// and the store-side [`crate::arrange::Arrangement`] both carry.
+#[derive(Debug, Clone)]
+pub struct ArrangementSpec {
+    /// The indexed relation.
+    pub rel: RelId,
+    /// Key columns, ascending.
+    pub cols: Vec<usize>,
+    /// Labels of the operators sharing this arrangement.
+    pub users: Vec<String>,
 }
 
 /// A compiled program: relation metadata plus per-rule plans.
@@ -123,6 +161,37 @@ pub struct CompiledProgram {
     pub rules: Vec<CompiledRule>,
     /// Constant facts: `(relation, row)` from empty-body rules.
     pub facts: Vec<(RelId, Vec<Value>)>,
+    /// Every maintained arrangement, deduplicated by `(rel, cols)` and
+    /// shared across operators. Indexed by catalog id.
+    pub arrangements: Vec<ArrangementSpec>,
+}
+
+/// Register (or join) the shared arrangement over `(rel, cols)`,
+/// recording `user` as one of its operators and making sure the store
+/// maintains it. Returns the arrangement's catalog id. Must run before
+/// data arrives (registration is a plan-time act).
+fn register_arrangement(
+    specs: &mut Vec<ArrangementSpec>,
+    stores: &mut [RelationStore],
+    rel: RelId,
+    cols: &[usize],
+    user: String,
+) -> usize {
+    if let Some(i) = specs.iter().position(|s| s.rel == rel && s.cols == cols) {
+        stores[rel].register_arrangement(cols, Some(i));
+        if !specs[i].users.contains(&user) {
+            specs[i].users.push(user);
+        }
+        return i;
+    }
+    let id = specs.len();
+    stores[rel].register_arrangement(cols, Some(id));
+    specs.push(ArrangementSpec {
+        rel,
+        cols: cols.to_vec(),
+        users: vec![user],
+    });
+    id
 }
 
 /// Plan all rules of a checked program, registering needed indexes on
@@ -139,13 +208,21 @@ pub fn plan(checked: &CheckedProgram, stores: &mut [RelationStore]) -> Result<Co
 
     let mut rules = Vec::new();
     let mut facts = Vec::new();
+    let mut arrangements = Vec::new();
 
     for (rule_index, rule) in program.rules.iter().enumerate() {
         if rule.body.is_empty() {
             facts.push(plan_fact(rule, &rel_ids, program)?);
             continue;
         }
-        let compiled = plan_rule(rule_index, rule, &rel_ids, program, stores)?;
+        let compiled = plan_rule(
+            rule_index,
+            rule,
+            &rel_ids,
+            program,
+            stores,
+            &mut arrangements,
+        )?;
         rules.push(compiled);
     }
 
@@ -154,6 +231,7 @@ pub fn plan(checked: &CheckedProgram, stores: &mut [RelationStore]) -> Result<Co
         decls: program.relations.clone(),
         rules,
         facts,
+        arrangements,
     })
 }
 
@@ -188,6 +266,7 @@ fn plan_rule(
     rel_ids: &HashMap<String, RelId>,
     program: &Program,
     stores: &mut [RelationStore],
+    arrangements: &mut Vec<ArrangementSpec>,
 ) -> Result<CompiledRule> {
     // slot layout: var name → slot, in binding order.
     let mut layout: HashMap<String, usize> = HashMap::new();
@@ -238,7 +317,13 @@ fn plan_rule(
                     }
                 }
                 if !key_cols.is_empty() {
-                    stores[rel].register_index(&key_cols);
+                    register_arrangement(
+                        arrangements,
+                        stores,
+                        rel,
+                        &key_cols,
+                        format!("rule {rule_index} stage {}", stages.len()),
+                    );
                 }
                 stages.push(PStage::Atom {
                     rel,
@@ -327,7 +412,267 @@ fn plan_rule(
         n_slots: layout.len(),
         has_aggregate,
         body_rels,
+        drive_plans: DrivePlans::default(),
     })
+}
+
+/// Build context-specific drive plans for the rules of one recursive
+/// stratum (`plan_idxs`), registering the arrangements the re-keyed
+/// probes need. Must run after [`plan`] and before data arrives.
+pub fn build_drive_plans(
+    compiled: &mut CompiledProgram,
+    plan_idxs: &[usize],
+    scc_rels: &HashSet<RelId>,
+    stores: &mut [RelationStore],
+) {
+    let CompiledProgram {
+        rules,
+        arrangements,
+        ..
+    } = compiled;
+    for &pi in plan_idxs {
+        let rule_index = rules[pi].rule_index;
+        let stages = rules[pi].stages.clone();
+        let n = stages.len();
+        let mut plans = DrivePlans {
+            from: vec![None; n],
+            rederive: None,
+        };
+        for idx in 0..n {
+            let PStage::Atom {
+                neg: false,
+                key_srcs,
+                binds,
+                ..
+            } = &stages[idx]
+            else {
+                continue;
+            };
+            // A driving row pre-binds every slot the atom mentions.
+            let mut bound = HashSet::new();
+            for src in key_srcs {
+                if let KeySrc::Slot(s) = src {
+                    bound.insert(*s);
+                }
+            }
+            for (_, slot) in binds {
+                bound.insert(*slot);
+            }
+            plans.from[idx] = replan(
+                &stages,
+                Some(idx),
+                bound,
+                scc_rels,
+                arrangements,
+                stores,
+                &format!("rule {rule_index} drive@{idx}"),
+            );
+        }
+        if let Some(head_binds) = &rules[pi].head_binds {
+            let bound: HashSet<usize> = head_binds
+                .iter()
+                .filter_map(|hb| match hb {
+                    HeadBind::Slot(s) => Some(*s),
+                    HeadBind::Const(_) => None,
+                })
+                .collect();
+            plans.rederive = replan(
+                &stages,
+                None,
+                bound,
+                scc_rels,
+                arrangements,
+                stores,
+                &format!("rule {rule_index} rederive"),
+            );
+        }
+        rules[pi].drive_plans = plans;
+    }
+}
+
+/// The value source of one atom column under any binding order.
+enum ColSrc {
+    /// The column must equal this literal.
+    Const(Value),
+    /// The column carries this environment slot's value.
+    Slot(usize),
+}
+
+/// Reconstruct per-column sources from a planned atom stage (its
+/// key/bind/check split assumed the original left-to-right order).
+fn atom_col_srcs(stage: &PStage) -> Vec<(usize, ColSrc)> {
+    let PStage::Atom {
+        key_cols,
+        key_srcs,
+        checks,
+        binds,
+        ..
+    } = stage
+    else {
+        unreachable!("re-keying a non-atom stage")
+    };
+    let mut srcs: BTreeMap<usize, ColSrc> = BTreeMap::new();
+    for (c, s) in key_cols.iter().zip(key_srcs) {
+        let src = match s {
+            KeySrc::Const(v) => ColSrc::Const(v.clone()),
+            KeySrc::Slot(sl) => ColSrc::Slot(*sl),
+        };
+        srcs.insert(*c, src);
+    }
+    for (c, sl) in binds {
+        srcs.insert(*c, ColSrc::Slot(*sl));
+    }
+    for (a, b) in checks {
+        // Column `a` repeats the variable first bound at column `b`.
+        if let Some((_, sl)) = binds.iter().find(|(c, _)| c == b) {
+            srcs.insert(*a, ColSrc::Slot(*sl));
+        }
+    }
+    srcs.into_iter().collect()
+}
+
+/// An atom's key/check/bind split for a given set of bound slots.
+struct Rekeyed {
+    key_cols: Vec<usize>,
+    key_srcs: Vec<KeySrc>,
+    checks: Vec<(usize, usize)>,
+    binds: Vec<(usize, usize)>,
+}
+
+fn rekey(cols: &[(usize, ColSrc)], bound: &HashSet<usize>) -> Rekeyed {
+    let mut out = Rekeyed {
+        key_cols: Vec::new(),
+        key_srcs: Vec::new(),
+        checks: Vec::new(),
+        binds: Vec::new(),
+    };
+    // slot → first column carrying it within this atom.
+    let mut local: HashMap<usize, usize> = HashMap::new();
+    for (col, src) in cols {
+        match src {
+            ColSrc::Const(v) => {
+                out.key_cols.push(*col);
+                out.key_srcs.push(KeySrc::Const(v.clone()));
+            }
+            ColSrc::Slot(s) if bound.contains(s) => {
+                out.key_cols.push(*col);
+                out.key_srcs.push(KeySrc::Slot(*s));
+            }
+            ColSrc::Slot(s) => match local.get(s) {
+                Some(first) => out.checks.push((*col, *first)),
+                None => {
+                    local.insert(*s, *col);
+                    out.binds.push((*col, *s));
+                }
+            },
+        }
+    }
+    out
+}
+
+/// True when every slot `expr` reads is in `bound`.
+fn slots_bound(expr: &CExpr, bound: &HashSet<usize>) -> bool {
+    let mut ok = true;
+    expr.visit_slots(&mut |s| ok &= bound.contains(&s));
+    ok
+}
+
+/// Greedily re-order and re-key `stages` (minus `exclude`) for a context
+/// where `bound` slots are pre-bound. Returns `None` when re-planning
+/// cannot proceed (the caller falls back to the original order).
+#[allow(clippy::too_many_arguments)]
+fn replan(
+    stages: &[PStage],
+    exclude: Option<usize>,
+    mut bound: HashSet<usize>,
+    scc_rels: &HashSet<RelId>,
+    arrangements: &mut Vec<ArrangementSpec>,
+    stores: &mut [RelationStore],
+    user: &str,
+) -> Option<Vec<PStage>> {
+    let mut remaining: Vec<usize> = (0..stages.len()).filter(|i| Some(*i) != exclude).collect();
+    let mut out = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        // Take every computed stage whose inputs are bound, in original
+        // order, before probing another atom — filters prune early and
+        // assignments may unlock more key columns.
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            let mut j = 0;
+            while j < remaining.len() {
+                let i = remaining[j];
+                let take = match &stages[i] {
+                    PStage::Filter { expr } => slots_bound(expr, &bound),
+                    PStage::Assign { slot, expr } | PStage::FlatMap { slot, expr } => {
+                        let ok = slots_bound(expr, &bound);
+                        if ok {
+                            bound.insert(*slot);
+                        }
+                        ok
+                    }
+                    PStage::Aggregate { .. } => return None,
+                    PStage::Atom { .. } => false,
+                };
+                if take {
+                    out.push(stages[i].clone());
+                    remaining.remove(j);
+                    progressed = true;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+        if remaining.is_empty() {
+            break;
+        }
+        // Pick the most constrained atom; break ties toward non-SCC
+        // relations (their keyed fan-out reflects the data, not the
+        // fixpoint's full frontier) and then original order.
+        type Score = (usize, bool, std::cmp::Reverse<usize>);
+        let mut best: Option<(Score, usize, Rekeyed)> = None;
+        for (j, &i) in remaining.iter().enumerate() {
+            let PStage::Atom { rel, neg, .. } = &stages[i] else {
+                continue;
+            };
+            let rk = rekey(&atom_col_srcs(&stages[i]), &bound);
+            if *neg && !rk.binds.is_empty() {
+                continue; // negation needs every variable bound
+            }
+            let score = (
+                rk.key_cols.len(),
+                !scc_rels.contains(rel),
+                std::cmp::Reverse(i),
+            );
+            let better = match &best {
+                None => true,
+                Some((b, _, _)) => score > *b,
+            };
+            if better {
+                best = Some((score, j, rk));
+            }
+        }
+        let (_, j, rk) = best?; // stuck → original-order fallback
+        let i = remaining.remove(j);
+        let PStage::Atom { rel, neg, .. } = &stages[i] else {
+            unreachable!()
+        };
+        if !rk.key_cols.is_empty() {
+            register_arrangement(arrangements, stores, *rel, &rk.key_cols, user.to_string());
+        }
+        for (_, slot) in &rk.binds {
+            bound.insert(*slot);
+        }
+        out.push(PStage::Atom {
+            rel: *rel,
+            neg: *neg,
+            key_cols: rk.key_cols,
+            key_srcs: rk.key_srcs,
+            checks: rk.checks,
+            binds: rk.binds,
+        });
+    }
+    Some(out)
 }
 
 /// Lower an AST expression to a compiled expression, resolving variables
@@ -533,6 +878,88 @@ mod tests {
         );
         assert_eq!(cp.facts.len(), 1);
         assert_eq!(cp.facts[0].1, vec![Value::Int(3), Value::str("ab")]);
+    }
+
+    #[test]
+    fn arrangements_dedup_and_record_users() {
+        let (cp, stores) = compile(
+            "
+            input relation Label(n: string, l: bigint)
+            input relation Edge(a: string, b: string)
+            output relation O1(n: string, l: bigint)
+            output relation O2(n: string, l: bigint)
+            O1(n2, l) :- Label(n1, l), Edge(n1, n2).
+            O2(n2, l) :- Label(n1, l), Edge(n1, n2).
+            ",
+        );
+        // Both rules probe Edge by column 0 → one shared arrangement
+        // with two users.
+        let edge = cp.rel_ids["Edge"];
+        let specs: Vec<_> = cp.arrangements.iter().filter(|s| s.rel == edge).collect();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].cols, vec![0]);
+        assert_eq!(specs[0].users.len(), 2);
+        assert!(stores[edge].has_index(&[0]));
+    }
+
+    #[test]
+    fn drive_plans_probe_arrangements() {
+        let (mut cp, mut stores) = compile(
+            "
+            input relation Edge(a: string, b: string)
+            input relation GivenLabel(n: string, l: bigint)
+            output relation Label(n: string, l: bigint)
+            Label(n, l) :- GivenLabel(n, l).
+            Label(b, l) :- Label(a, l), Edge(a, b).
+            ",
+        );
+        let scc: HashSet<RelId> = [cp.rel_ids["Label"]].into_iter().collect();
+        build_drive_plans(&mut cp, &[1], &scc, &mut stores);
+        let rule = &cp.rules[1];
+
+        // Driving Edge (stage 1) binds a and b; the Label(a, l) probe
+        // must be keyed on column 0 = a, not a full scan.
+        let from_edge = rule.drive_plans.from[1].as_ref().unwrap();
+        match &from_edge[0] {
+            PStage::Atom { rel, key_cols, .. } => {
+                assert_eq!(*rel, cp.rel_ids["Label"]);
+                assert_eq!(key_cols, &[0]);
+            }
+            other => panic!("unexpected stage {other:?}"),
+        }
+
+        // Driving Label (stage 0) binds a and l; Edge keyed on column 0.
+        let from_label = rule.drive_plans.from[0].as_ref().unwrap();
+        match &from_label[0] {
+            PStage::Atom { rel, key_cols, .. } => {
+                assert_eq!(*rel, cp.rel_ids["Edge"]);
+                assert_eq!(key_cols, &[0]);
+            }
+            other => panic!("unexpected stage {other:?}"),
+        }
+
+        // Re-derivation binds the head slots (b, l); the best first
+        // probe is the non-SCC Edge by b (column 1), then Label fully
+        // keyed — never a scan proportional to |Label|.
+        let red = rule.drive_plans.rederive.as_ref().unwrap();
+        match &red[0] {
+            PStage::Atom { rel, key_cols, .. } => {
+                assert_eq!(*rel, cp.rel_ids["Edge"]);
+                assert_eq!(key_cols, &[1]);
+            }
+            other => panic!("unexpected stage {other:?}"),
+        }
+        match &red[1] {
+            PStage::Atom { rel, key_cols, .. } => {
+                assert_eq!(*rel, cp.rel_ids["Label"]);
+                assert_eq!(key_cols, &[0, 1]);
+            }
+            other => panic!("unexpected stage {other:?}"),
+        }
+
+        // The re-keyed probes registered their arrangements.
+        assert!(stores[cp.rel_ids["Edge"]].has_index(&[1]));
+        assert!(stores[cp.rel_ids["Label"]].has_index(&[0, 1]));
     }
 
     #[test]

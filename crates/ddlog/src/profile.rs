@@ -38,6 +38,10 @@ pub enum OpKind {
     Aggregate,
     /// Per-relation derivation-count maintenance (set-level distinct).
     Distinct,
+    /// Maintenance of a keyed arrangement (shared relation index or a
+    /// join stage's binding arrangement) — the index-upkeep side of the
+    /// work a probe-based evaluator does.
+    Arrange,
     /// A recursive stratum's semi-naive / delete–re-derive fixpoint.
     Fixpoint,
 }
@@ -54,6 +58,7 @@ impl OpKind {
             OpKind::FlatMap => "flatmap",
             OpKind::Aggregate => "aggregate",
             OpKind::Distinct => "distinct",
+            OpKind::Arrange => "arrange",
             OpKind::Fixpoint => "fixpoint",
         }
     }
@@ -90,6 +95,15 @@ pub struct OpCatalog {
     pub rule_ops: Vec<Vec<OpId>>,
     /// Relation id → its Distinct operator.
     pub distinct_ops: Vec<OpId>,
+    /// Plan index → per-stage binding-arrangement maintenance operators
+    /// (parallel to the rule's stages; `Some` for join/antijoin stages,
+    /// which maintain an arrangement of their input bindings). Empty for
+    /// rules in a recursive stratum.
+    pub stage_arrange_ops: Vec<Vec<Option<OpId>>>,
+    /// Arrangement catalog id → its Arrange operator (maintenance of the
+    /// shared relation indexes, parallel to
+    /// [`crate::plan::CompiledProgram::arrangements`]).
+    pub arrange_ops: Vec<OpId>,
     /// Stratum index → Fixpoint operator (for recursive strata).
     pub fixpoint_ops: Vec<Option<OpId>>,
 }
@@ -103,6 +117,7 @@ impl OpCatalog {
         let rel_name = |rel: RelId| compiled.decls[rel].name.as_str();
         let mut cat = OpCatalog {
             rule_ops: vec![Vec::new(); compiled.rules.len()],
+            stage_arrange_ops: vec![Vec::new(); compiled.rules.len()],
             ..OpCatalog::default()
         };
         let mut recursive_plans = vec![false; compiled.rules.len()];
@@ -149,6 +164,27 @@ impl OpCatalog {
                 });
                 cat.rule_ops[pi].push(id);
             }
+            // Binding-arrangement maintenance per join/antijoin stage:
+            // chain.rs arranges each such stage's input bindings so later
+            // commits can probe them with δR. That upkeep is work the
+            // probe itself never sees, so it gets its own operator.
+            for (si, stage) in rule.stages.iter().enumerate() {
+                let op = match stage {
+                    PStage::Atom { rel, key_cols, .. } if si > 0 => {
+                        let id = cat.ops.len();
+                        cat.ops.push(OpMeta {
+                            id,
+                            kind: OpKind::Arrange,
+                            rule: Some(rule.rule_index),
+                            stage: Some(si),
+                            detail: format!("bindings for {} on {:?}", rel_name(*rel), key_cols),
+                        });
+                        Some(id)
+                    }
+                    _ => None,
+                };
+                cat.stage_arrange_ops[pi].push(op);
+            }
         }
         for rel in 0..compiled.decls.len() {
             let id = cat.ops.len();
@@ -160,6 +196,23 @@ impl OpCatalog {
                 detail: rel_name(rel).to_string(),
             });
             cat.distinct_ops.push(id);
+        }
+        for spec in &compiled.arrangements {
+            let id = cat.ops.len();
+            cat.ops.push(OpMeta {
+                id,
+                kind: OpKind::Arrange,
+                rule: None,
+                stage: None,
+                detail: format!(
+                    "{} by {:?} ({} user{})",
+                    rel_name(spec.rel),
+                    spec.cols,
+                    spec.users.len(),
+                    if spec.users.len() == 1 { "" } else { "s" }
+                ),
+            });
+            cat.arrange_ops.push(id);
         }
         for (si, (recursive, plan_idxs)) in strata.iter().enumerate() {
             if !*recursive {
@@ -362,6 +415,11 @@ pub struct FixpointProbe {
     /// Rows popped from the DRed / semi-naive frontiers (each distinct
     /// row is driven at most once per phase).
     pub driven: u64,
+    /// Rows handed out by view lookups and scans while driving — the
+    /// probe-side work. Under the arranged evaluator this stays
+    /// O(matches); a full scan would make it O(relation) and trip the
+    /// incrementality audit.
+    pub examined: u64,
     /// Peak frontier length observed.
     pub peak: u64,
 }
@@ -375,6 +433,12 @@ impl FixpointProbe {
     /// Note one row popped and driven through the rules.
     pub fn pop(&mut self) {
         self.driven += 1;
+    }
+
+    /// Note `n` rows handed out by lookups/scans (drained from a
+    /// [`crate::recursive::View`]).
+    pub fn examine(&mut self, n: u64) {
+        self.examined += n;
     }
 }
 

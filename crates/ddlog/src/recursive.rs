@@ -26,6 +26,9 @@ pub struct View<'a> {
     stores: &'a [RelationStore],
     /// When present: subtract these deltas, i.e. present the OLD contents.
     rewind: Option<&'a HashMap<RelId, ZSet<Row>>>,
+    /// Rows this view has handed out — the fixpoint's probe/scan work,
+    /// surfaced as Fixpoint tuples so the incrementality audit sees it.
+    examined: std::cell::Cell<u64>,
 }
 
 impl<'a> View<'a> {
@@ -34,6 +37,7 @@ impl<'a> View<'a> {
         View {
             stores,
             rewind: None,
+            examined: std::cell::Cell::new(0),
         }
     }
 
@@ -43,11 +47,17 @@ impl<'a> View<'a> {
         View {
             stores,
             rewind: Some(deltas),
+            examined: std::cell::Cell::new(0),
         }
     }
 
     fn delta_of(&self, rel: RelId) -> Option<&'a ZSet<Row>> {
         self.rewind.and_then(|m| m.get(&rel))
+    }
+
+    /// Drain the count of rows handed out by lookups and scans.
+    pub fn take_examined(&self) -> u64 {
+        self.examined.replace(0)
     }
 
     /// Rows matching `key` under the registered `key_cols` index.
@@ -71,20 +81,23 @@ impl<'a> View<'a> {
             }
         };
         rows.sort();
+        self.examined.set(self.examined.get() + rows.len() as u64);
         rows
     }
 
     /// Count of rows matching `key`.
     pub fn count(&self, rel: RelId, key_cols: &[usize], key: &Key) -> usize {
-        match self.delta_of(rel) {
+        let n = match self.delta_of(rel) {
             None => self.stores[rel].lookup_count(key_cols, key),
             Some(_) => self.lookup(rel, key_cols, key).len(),
-        }
+        };
+        self.examined.set(self.examined.get() + 1);
+        n
     }
 
     /// All visible rows of a relation.
     pub fn scan(&self, rel: RelId) -> Vec<Row> {
-        match self.delta_of(rel) {
+        let rows = match self.delta_of(rel) {
             None => self.stores[rel].rows().cloned().collect(),
             Some(d) => {
                 let mut v: Vec<Row> = self.stores[rel]
@@ -99,7 +112,9 @@ impl<'a> View<'a> {
                 }
                 v
             }
-        }
+        };
+        self.examined.set(self.examined.get() + rows.len() as u64);
+        rows
     }
 }
 
@@ -213,18 +228,34 @@ pub fn eval_rule_driven(
             return Ok(());
         }
     }
-    walk(rule, view, drive.map(|(i, _)| i), 0, &mut env, out)
+    // Pick the context-specific pipeline: a re-planned order probes
+    // maintained arrangements from the slots this context pre-binds
+    // (see [`crate::plan::DrivePlans`]); without one, fall back to the
+    // original order, skipping the driven stage.
+    let (stages, skip): (&[PStage], Option<usize>) = match drive {
+        Some((idx, _)) => match rule.drive_plans.from.get(idx).and_then(Option::as_ref) {
+            Some(replanned) => (replanned, None),
+            None => (&rule.stages, Some(idx)),
+        },
+        None if !init.is_empty() => match &rule.drive_plans.rederive {
+            Some(replanned) => (replanned, None),
+            None => (&rule.stages, None),
+        },
+        None => (&rule.stages, None),
+    };
+    walk(rule, stages, view, skip, 0, &mut env, out)
 }
 
 fn walk(
     rule: &CompiledRule,
+    stages: &[PStage],
     view: &View<'_>,
     skip: Option<usize>,
     i: usize,
     env: &mut Env,
     out: &mut HashSet<Row>,
 ) -> Result<()> {
-    if i == rule.stages.len() {
+    if i == stages.len() {
         let vals = &env.vals;
         debug_assert!(env.bound.iter().all(|b| *b), "unbound slot at head");
         let mut row = Vec::with_capacity(rule.head_exprs.len());
@@ -235,9 +266,9 @@ fn walk(
         return Ok(());
     }
     if skip == Some(i) {
-        return walk(rule, view, skip, i + 1, env, out);
+        return walk(rule, stages, view, skip, i + 1, env, out);
     }
-    match &rule.stages[i] {
+    match &stages[i] {
         PStage::Atom {
             rel,
             neg,
@@ -260,7 +291,7 @@ fn walk(
                     view.count(*rel, key_cols, &key) == 0
                 };
                 if absent {
-                    walk(rule, view, skip, i + 1, env, out)?;
+                    walk(rule, stages, view, skip, i + 1, env, out)?;
                 }
                 return Ok(());
             }
@@ -292,7 +323,7 @@ fn walk(
                     }
                 }
                 if ok {
-                    walk(rule, view, skip, i + 1, env, out)?;
+                    walk(rule, stages, view, skip, i + 1, env, out)?;
                 }
                 env.unbind(&newly);
             }
@@ -300,7 +331,7 @@ fn walk(
         }
         PStage::Filter { expr } => {
             if eval(expr, &env.vals)? == Value::Bool(true) {
-                walk(rule, view, skip, i + 1, env, out)?;
+                walk(rule, stages, view, skip, i + 1, env, out)?;
             }
             Ok(())
         }
@@ -308,7 +339,7 @@ fn walk(
             let v = eval(expr, &env.vals)?;
             let mut newly = Vec::new();
             if env.bind_or_check(*slot, &v, &mut newly) {
-                walk(rule, view, skip, i + 1, env, out)?;
+                walk(rule, stages, view, skip, i + 1, env, out)?;
             }
             env.unbind(&newly);
             Ok(())
@@ -318,7 +349,7 @@ fn walk(
             for elem in flatten(&coll)? {
                 let mut newly = Vec::new();
                 if env.bind_or_check(*slot, &elem, &mut newly) {
-                    walk(rule, view, skip, i + 1, env, out)?;
+                    walk(rule, stages, view, skip, i + 1, env, out)?;
                 }
                 env.unbind(&newly);
             }
@@ -416,6 +447,9 @@ pub fn process_recursive_stratum(
                 }
             }
         }
+        if let Some(p) = probe.as_deref_mut() {
+            p.examine(old_view.take_examined());
+        }
     }
 
     // ---- Phase 2: apply over-deletions ---------------------------------
@@ -490,6 +524,9 @@ pub fn process_recursive_stratum(
                 }
             }
         }
+        if let Some(p) = probe.as_deref_mut() {
+            p.examine(new_view.take_examined());
+        }
     }
     // Reinstate re-derived rows.
     for (rel, row) in &pending {
@@ -542,6 +579,9 @@ pub fn process_recursive_stratum(
                     }
                 }
             }
+            if let Some(p) = probe.as_deref_mut() {
+                p.examine(new_view.take_examined());
+            }
         }
         for (rel, row) in seed_heads {
             if !stores[rel].contains(&row) {
@@ -574,6 +614,9 @@ pub fn process_recursive_stratum(
                             derived.push((rule.head_rel, h));
                         }
                     }
+                }
+                if let Some(p) = probe.as_deref_mut() {
+                    p.examine(new_view.take_examined());
                 }
             }
             for (rel, row) in derived {

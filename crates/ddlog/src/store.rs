@@ -1,14 +1,15 @@
-//! Relation storage: derivation-counted rows plus maintained hash indexes.
+//! Relation storage: derivation-counted rows plus maintained arrangements.
 //!
 //! Each relation stores a map from row to its *derivation count* (for
 //! input relations this is always 1). The visible, set-semantics contents
-//! are the rows with positive count. Hash indexes over column subsets are
-//! registered by the planner and maintained incrementally on every
-//! set-level change — they are what makes join lookups O(matches) instead
-//! of O(relation).
+//! are the rows with positive count. Keyed [`Arrangement`]s over column
+//! subsets are registered by the planner and maintained incrementally on
+//! every set-level change — they are what makes join lookups and driven
+//! recursive probes O(matches) instead of O(relation).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
+use crate::arrange::{ArrStats, Arrangement};
 use crate::value::{Row, Value};
 use crate::zset::ZSet;
 
@@ -18,60 +19,8 @@ pub type RelId = usize;
 /// An index key: the projection of a row onto the index's columns.
 pub type Key = Vec<Value>;
 
-/// A maintained hash index over a set of columns.
-#[derive(Debug, Default, Clone)]
-struct Index {
-    cols: Vec<usize>,
-    map: HashMap<Key, HashSet<Row>>,
-}
-
-impl Index {
-    fn project(cols: &[usize], row: &Row) -> Key {
-        cols.iter().map(|c| row[*c].clone()).collect()
-    }
-
-    /// Insert and return the approx-bytes growth (key bytes when the key
-    /// is new, plus the per-entry cost).
-    fn insert(&mut self, row: &Row) -> usize {
-        let key = Self::project(&self.cols, row);
-        let key_cost: usize = key.iter().map(value_bytes).sum();
-        match self.map.entry(key) {
-            std::collections::hash_map::Entry::Occupied(mut o) => {
-                if o.get_mut().insert(row.clone()) {
-                    INDEX_ENTRY_BYTES
-                } else {
-                    0
-                }
-            }
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(HashSet::from([row.clone()]));
-                key_cost + INDEX_ENTRY_BYTES
-            }
-        }
-    }
-
-    /// Remove and return the approx-bytes shrinkage.
-    fn remove(&mut self, row: &Row) -> usize {
-        let key = Self::project(&self.cols, row);
-        let mut freed = 0;
-        if let Some(set) = self.map.get_mut(&key) {
-            if set.remove(row) {
-                freed += INDEX_ENTRY_BYTES;
-            }
-            if set.is_empty() {
-                freed += key.iter().map(value_bytes).sum::<usize>();
-                self.map.remove(&key);
-            }
-        }
-        freed
-    }
-}
-
-/// Cost of one index entry (an `Arc` clone of the row plus set overhead).
-const INDEX_ENTRY_BYTES: usize = std::mem::size_of::<Row>() + 16;
-
 /// Approximate resident bytes of one value, including heap payloads.
-fn value_bytes(v: &Value) -> usize {
+pub(crate) fn value_bytes(v: &Value) -> usize {
     std::mem::size_of::<Value>()
         + match v {
             Value::Str(s) => s.len(),
@@ -97,8 +46,14 @@ pub struct RelationStore {
     derivations: HashMap<Row, isize>,
     /// Number of rows with positive derivation count.
     live_rows: usize,
-    /// Registered indexes, looked up by their column list.
-    indexes: HashMap<Vec<usize>, Index>,
+    /// Registered arrangements; `by_cols` maps a key-column list to its
+    /// position. Arrangements are shared: every operator probing the
+    /// same `(relation, cols)` pair hits the same index.
+    arrangements: Vec<Arrangement>,
+    by_cols: HashMap<Vec<usize>, usize>,
+    /// Fault injection (`stale-arrangement`): skip index maintenance on
+    /// retraction, leaving ghost rows for the oracle to catch.
+    stale_retractions: bool,
     /// Incrementally maintained approximate resident bytes; always equal
     /// to what [`RelationStore::approx_bytes_recompute`] would return.
     bytes: usize,
@@ -113,18 +68,29 @@ impl RelationStore {
         }
     }
 
-    /// Register an index over `cols` (idempotent). Must be called before
-    /// rows are inserted (the planner does this at compile time).
-    pub fn register_index(&mut self, cols: &[usize]) {
-        self.indexes.entry(cols.to_vec()).or_insert_with(|| Index {
-            cols: cols.to_vec(),
-            map: HashMap::new(),
-        });
+    /// Register an arrangement over `cols` with a catalog id (idempotent
+    /// by `cols`; a later registration can attach the id to an ad-hoc
+    /// arrangement). Must be called before rows are inserted (the
+    /// planner does this at compile time).
+    pub fn register_arrangement(&mut self, cols: &[usize], global: Option<usize>) {
+        if let Some(&i) = self.by_cols.get(cols) {
+            if let Some(g) = global {
+                self.arrangements[i].set_global(g);
+            }
+            return;
+        }
+        self.by_cols.insert(cols.to_vec(), self.arrangements.len());
+        self.arrangements.push(Arrangement::new(cols, global));
     }
 
-    /// True if an index over exactly `cols` exists.
+    /// Register an uncataloged index over `cols` (idempotent).
+    pub fn register_index(&mut self, cols: &[usize]) {
+        self.register_arrangement(cols, None);
+    }
+
+    /// True if an arrangement over exactly `cols` exists.
     pub fn has_index(&self, cols: &[usize]) -> bool {
-        self.indexes.contains_key(cols)
+        self.by_cols.contains_key(cols)
     }
 
     /// Number of visible (set-semantics) rows.
@@ -163,9 +129,16 @@ impl RelationStore {
         self.derivations.iter().map(|(r, c)| (r, *c))
     }
 
+    /// Arm or disarm the `stale-arrangement` fault injection: when
+    /// armed, arrangements are not maintained on retraction.
+    pub fn set_stale_retractions(&mut self, on: bool) {
+        self.stale_retractions = on;
+    }
+
     /// Apply a Z-set of derivation-count changes. Returns the *set-level*
     /// delta: +1 rows that became visible, −1 rows that disappeared.
-    /// Indexes are maintained.
+    /// Arrangements are maintained (and their maintenance cost timed
+    /// into their pending stats).
     ///
     /// Panics in debug builds if a count would go negative (an engine
     /// invariant violation).
@@ -192,33 +165,31 @@ impl RelationStore {
             }
             if old <= 0 && new > 0 {
                 self.live_rows += 1;
-                for idx in self.indexes.values_mut() {
-                    self.bytes += idx.insert(row);
-                }
                 set_delta.add(row.clone(), 1);
             } else if old > 0 && new <= 0 {
                 self.live_rows -= 1;
-                for idx in self.indexes.values_mut() {
-                    self.bytes = self.bytes.saturating_sub(idx.remove(row));
-                }
                 set_delta.add(row.clone(), -1);
+            }
+        }
+        if !set_delta.is_empty() {
+            for arr in &mut self.arrangements {
+                let (grown, freed) = arr.apply(&set_delta, self.stale_retractions);
+                self.bytes += grown;
+                self.bytes = self.bytes.saturating_sub(freed);
             }
         }
         set_delta
     }
 
-    /// Look up rows by an index. Returns an empty slice view when the key
-    /// is absent. Panics if the index was not registered.
+    /// Look up rows by an arrangement. Returns an empty iterator when
+    /// the key is absent. Panics if the arrangement was not registered.
     pub fn lookup<'a>(
         &'a self,
         cols: &[usize],
         key: &Key,
     ) -> Box<dyn Iterator<Item = &'a Row> + 'a> {
-        let idx = self
-            .indexes
-            .get(cols)
-            .unwrap_or_else(|| panic!("index {cols:?} not registered on `{}`", self.name));
-        match idx.map.get(key) {
+        let arr = self.arrangement(cols);
+        match arr.get(key) {
             Some(set) => Box::new(set.iter()),
             None => Box::new(std::iter::empty()),
         }
@@ -226,16 +197,42 @@ impl RelationStore {
 
     /// Number of visible rows matching `key` under the `cols` index.
     pub fn lookup_count(&self, cols: &[usize], key: &Key) -> usize {
-        let idx = self
-            .indexes
-            .get(cols)
-            .unwrap_or_else(|| panic!("index {cols:?} not registered on `{}`", self.name));
-        idx.map.get(key).map(|s| s.len()).unwrap_or(0)
+        self.arrangement(cols).len_of(key)
     }
 
-    /// Approximate resident bytes (rows + index entries), used by the
-    /// memory-overhead experiment (E5). O(1): the count is maintained
-    /// incrementally on every applied delta.
+    fn arrangement(&self, cols: &[usize]) -> &Arrangement {
+        let idx = self
+            .by_cols
+            .get(cols)
+            .unwrap_or_else(|| panic!("arrangement {cols:?} not registered on `{}`", self.name));
+        &self.arrangements[*idx]
+    }
+
+    /// Drain pending maintenance stats of every cataloged arrangement:
+    /// `(catalog id, stats)` pairs for the ones that did work.
+    pub fn take_arrangement_stats(&mut self) -> Vec<(usize, ArrStats)> {
+        self.arrangements
+            .iter_mut()
+            .filter_map(|a| {
+                let global = a.global()?;
+                let stats = a.take_stats();
+                (stats.invocations > 0).then_some((global, stats))
+            })
+            .collect()
+    }
+
+    /// Validate every arrangement against an index built from scratch
+    /// over the current visible rows — the arrangement-drift detector.
+    pub fn validate_arrangements(&self) -> Result<(), String> {
+        for arr in &self.arrangements {
+            arr.validate(self.rows(), &self.name)?;
+        }
+        Ok(())
+    }
+
+    /// Approximate resident bytes (rows + arrangement entries), used by
+    /// the memory-overhead experiment (E5). O(1): the count is
+    /// maintained incrementally on every applied delta.
     pub fn approx_bytes(&self) -> usize {
         self.bytes
     }
@@ -245,18 +242,10 @@ impl RelationStore {
     /// accounting.
     pub fn approx_bytes_recompute(&self) -> usize {
         let rows: usize = self.derivations.keys().map(row_bytes).sum();
-        // Index entries hold an Arc clone of the row plus the projected key.
         let index_bytes: usize = self
-            .indexes
-            .values()
-            .map(|idx| {
-                idx.map
-                    .iter()
-                    .map(|(k, set)| {
-                        k.iter().map(value_bytes).sum::<usize>() + set.len() * INDEX_ENTRY_BYTES
-                    })
-                    .sum::<usize>()
-            })
+            .arrangements
+            .iter()
+            .map(Arrangement::recompute_bytes)
             .sum();
         rows + index_bytes
     }
@@ -308,6 +297,7 @@ mod tests {
 
         s.apply_derivation_delta(&ZSet::singleton(r(&[1, 10]), -1));
         assert_eq!(s.lookup(&[0], &key).count(), 1);
+        s.validate_arrangements().unwrap();
     }
 
     #[test]
@@ -319,6 +309,20 @@ mod tests {
         // The pre-existing row is not in the late index — this documents
         // why registration must precede data.
         assert_eq!(s.lookup(&[0], &vec![Value::Int(5)]).count(), 0);
+    }
+
+    #[test]
+    fn stale_retractions_leave_ghost_rows() {
+        let mut s = RelationStore::new("R");
+        s.register_index(&[0]);
+        s.apply_derivation_delta(&ZSet::singleton(r(&[1, 10]), 1));
+        s.set_stale_retractions(true);
+        s.apply_derivation_delta(&ZSet::singleton(r(&[1, 10]), -1));
+        // The row is gone from the store but still visible via the
+        // arrangement — exactly the drift the oracle must catch.
+        assert!(!s.contains(&r(&[1, 10])));
+        assert_eq!(s.lookup(&[0], &vec![Value::Int(1)]).count(), 1);
+        assert!(s.validate_arrangements().is_err());
     }
 
     #[test]
@@ -340,6 +344,7 @@ mod tests {
         }
         assert_eq!(s.approx_bytes(), s.approx_bytes_recompute());
         assert!(s.approx_bytes() > 0);
+        s.validate_arrangements().unwrap();
         // Draining everything returns the count to zero.
         let rows: Vec<(Row, isize)> = s.rows_with_counts().map(|(r, c)| (r.clone(), c)).collect();
         for (row, c) in rows {
@@ -362,5 +367,18 @@ mod tests {
         a.apply_derivation_delta(&d);
         b.apply_derivation_delta(&d);
         assert!(b.approx_bytes() > a.approx_bytes());
+    }
+
+    #[test]
+    fn arrangement_stats_flow_to_cataloged_ids() {
+        let mut s = RelationStore::new("R");
+        s.register_arrangement(&[0], Some(7));
+        s.register_index(&[1]); // uncataloged: no stats reported
+        s.apply_derivation_delta(&ZSet::singleton(r(&[1, 2]), 1));
+        let stats = s.take_arrangement_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].0, 7);
+        assert_eq!(stats[0].1.tuples, 1);
+        assert!(s.take_arrangement_stats().is_empty(), "stats drained");
     }
 }

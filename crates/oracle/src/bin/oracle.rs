@@ -34,7 +34,8 @@ fn usage() -> ! {
          --chaos-crash S like --chaos, plus abrupt server crashes with\n\
          \x20       torn WAL tails (crash-equivalence checked)\n\
          --bug   inject a known controller defect, one of:\n\
-         \x20       skip-resync-deletes | drop-config-deletes\n\
+         \x20       skip-resync-deletes | drop-config-deletes |\n\
+         \x20       stale-arrangement\n\
          --shards N run the sharded harness: N shard engines over N\n\
          \x20       switches, checked for cross-shard equivalence against\n\
          \x20       one unsharded engine (incompatible with --chaos-crash\n\

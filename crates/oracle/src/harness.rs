@@ -39,6 +39,11 @@ pub enum InjectedBug {
     /// The monitor-update handler drops row deletions entirely (a
     /// classic "handles inserts, forgets deletes" controller bug).
     DropConfigDeletes,
+    /// The engine skips arrangement (index) maintenance on retractions:
+    /// ghost rows linger in the shared join indexes, so joins keep
+    /// deriving flows from deleted state while the relation itself looks
+    /// correct — the evaluator-level analogue of a stale cache.
+    StaleArrangement,
 }
 
 impl InjectedBug {
@@ -47,6 +52,7 @@ impl InjectedBug {
         match s {
             "skip-resync-deletes" => Some(InjectedBug::SkipResyncDeletes),
             "drop-config-deletes" => Some(InjectedBug::DropConfigDeletes),
+            "stale-arrangement" => Some(InjectedBug::StaleArrangement),
             _ => None,
         }
     }
@@ -56,6 +62,7 @@ impl InjectedBug {
         match self {
             InjectedBug::SkipResyncDeletes => "skip-resync-deletes",
             InjectedBug::DropConfigDeletes => "drop-config-deletes",
+            InjectedBug::StaleArrangement => "stale-arrangement",
         }
     }
 }
@@ -240,6 +247,9 @@ impl Harness {
             ratio: 64,
             slack: 4096,
         }));
+        if bug == Some(InjectedBug::StaleArrangement) {
+            controller.inject_stale_arrangement(true);
+        }
         let device = SwitchDevice::new(Switch::new(program.clone()));
         controller.add_switch(Box::new(device.clone()));
         let (db, durable) = if durable {

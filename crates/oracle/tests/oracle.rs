@@ -123,6 +123,30 @@ fn injected_resync_bug_is_caught_and_shrunk() {
 }
 
 #[test]
+fn injected_stale_arrangement_bug_is_caught_and_shrunk() {
+    // The engine-level fault: retractions skip arrangement maintenance,
+    // so joins probe ghost rows out of the shared indexes while the
+    // relations themselves stay correct. The differential check against
+    // the full-recompute baseline must see the stale derivation, and
+    // ddmin must reduce the workload to a handful of ops.
+    let cfg = OracleConfig {
+        bug: Some(InjectedBug::StaleArrangement),
+        ..OracleConfig::new(1, 200)
+    };
+    let failure = run_oracle(&cfg).expect_err("stale arrangements must be caught");
+    assert!(
+        failure.shrunk.len() < failure.original_len,
+        "ddmin must shrink {} ops (got {})",
+        failure.original_len,
+        failure.shrunk.len()
+    );
+    assert!(
+        run_workload(&failure.shrunk, &cfg).is_err(),
+        "shrunk sequence must still fail"
+    );
+}
+
+#[test]
 fn failure_carries_metrics_snapshot_and_failing_trace() {
     let cfg = OracleConfig {
         bug: Some(InjectedBug::DropConfigDeletes),

@@ -50,3 +50,12 @@ cargo run --release -q -p bench --bin compare -- \
     crates/bench/baselines/BENCH_port_scaling.json BENCH_port_scaling.json
 cargo run --release -q -p bench --bin compare -- \
     crates/bench/baselines/BENCH_shard_scaling.json BENCH_shard_scaling.json
+
+# Bench-cliff: the churn-scaling wall-time gate. Runs the reachability
+# churn pair (n=200 / n=2000) with the work audit armed and fails if
+# wall/op at n=2000 exceeds 2x wall/op at n=200 — the ratio is measured
+# within one process, so it is machine-independent. Guards the
+# arrangement-backed evaluator against regressing to per-commit cost
+# proportional to total state (the pre-arrangement cliff was ~10x).
+cargo run --release -q -p bench --bin report_fig3 -- \
+    --cliff --out BENCH_fig3_cliff.json
