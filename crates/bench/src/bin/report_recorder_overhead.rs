@@ -1,0 +1,177 @@
+//! Flight-recorder overhead gate: the recorder is always on in
+//! production, so its per-commit cost must be provably negligible. This
+//! bin re-runs the fig3 reachability churn (one O(1) edge flap per
+//! commit, audit armed) with the recorder enabled vs disabled and gates
+//! the wall/op ratio at `MAX_OVERHEAD` (≤5%). The modes alternate per
+//! flap pair (insert + delete) on the *same* warm engine, so both
+//! samples see identical arrangement state, cache temperature, and any
+//! frequency drift. The run is split into independent segments and the
+//! gate takes the *minimum* per-segment ratio: the recorder's cost is
+//! deterministic, so external noise (a shared CI box) can only inflate
+//! a segment's ratio, never hide real overhead across all of them.
+//!
+//! `--out FILE` writes a `BENCH_recorder.json` report whose `on` entry
+//! carries a cross-entry wall budget against the `off` entry, so the
+//! `compare` bin re-enforces the gate against the checked-in baseline.
+
+use std::time::Instant;
+
+use bench::BenchEntry;
+use ddlog::{AuditConfig, Value};
+
+/// The recorder may cost at most 5% of churn-commit wall time.
+const MAX_OVERHEAD: f64 = 1.05;
+
+struct ChurnMeasure {
+    median_ns: u64,
+    tuples_per_commit: u64,
+}
+
+struct Samples {
+    ns: Vec<u64>,
+    tuples: Vec<u64>,
+}
+
+/// Interleaved churn: flap a leaf edge on one warm reachability
+/// engine, toggling the recorder between flap pairs, filling the
+/// per-mode sample sets. `pairs` counts insert+delete pairs per mode.
+fn interleaved_churn(n: u64, m: u64, pairs: usize) -> (Samples, Samples) {
+    let mut engine = bench::reachability_engine(n, m, 5);
+    engine.set_audit(Some(AuditConfig {
+        ratio: 64,
+        slack: 4096,
+    }));
+    let leaf = (n + 10) as i128;
+    let recorder = &telemetry::global().recorder;
+    let mut on = Samples {
+        ns: Vec::new(),
+        tuples: Vec::new(),
+    };
+    let mut off = Samples {
+        ns: Vec::new(),
+        tuples: Vec::new(),
+    };
+    // Warm-up pairs are measured into neither set.
+    let warmup = 8;
+    for pair in 0..warmup + 2 * pairs {
+        let measured = pair >= warmup;
+        let enable = pair % 2 == 0;
+        recorder.set_enabled(enable);
+        for step in 0..2 {
+            let mut txn = ddlog::Transaction::new();
+            let row = vec![Value::Int(0), Value::Int(leaf)];
+            if step == 0 {
+                txn.insert("Edge", row);
+            } else {
+                txn.delete("Edge", row);
+            }
+            let t = Instant::now();
+            let (_, profile) = engine.commit_profiled(txn).expect("audited churn commit");
+            let elapsed = t.elapsed().as_nanos() as u64;
+            if measured {
+                let side = if enable { &mut on } else { &mut off };
+                side.ns.push(elapsed);
+                side.tuples.push(profile.total_tuples());
+            }
+        }
+    }
+    (on, off)
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => out = args.next(),
+            "--quick" => quick = true,
+            other => {
+                eprintln!("usage: report_recorder_overhead [--out FILE] [--quick] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (n, m) = (2000u64, 6000u64);
+    let pairs = if quick { 120 } else { 400 };
+    const SEGMENTS: usize = 4;
+
+    let was_enabled = telemetry::global().recorder.is_enabled();
+    let (on_samples, off_samples) = interleaved_churn(n, m, pairs);
+    telemetry::global().recorder.set_enabled(was_enabled);
+
+    // Per-segment medians; the least-noisy segment (minimum ratio) is
+    // the honest overhead estimate and the one the report ships.
+    let seg = |s: &[u64], i: usize| {
+        let chunk = s.len() / SEGMENTS;
+        bench::median(&s[i * chunk..(i + 1) * chunk])
+    };
+    let (mut on, mut off, mut ratio) = (
+        ChurnMeasure {
+            median_ns: u64::MAX,
+            tuples_per_commit: 0,
+        },
+        ChurnMeasure {
+            median_ns: u64::MAX,
+            tuples_per_commit: 0,
+        },
+        f64::INFINITY,
+    );
+    for i in 0..SEGMENTS {
+        let (on_ns, off_ns) = (seg(&on_samples.ns, i), seg(&off_samples.ns, i));
+        // 1µs floor on the denominator, as in the fig3 cliff gate, so
+        // sub-microsecond noise cannot manufacture a ratio.
+        let r = on_ns as f64 / (off_ns as f64).max(1_000.0);
+        println!(
+            "recorder-overhead: segment {i}: off {:.2}us, on {:.2}us ({r:.3}x)",
+            off_ns as f64 / 1e3,
+            on_ns as f64 / 1e3,
+        );
+        if r < ratio {
+            ratio = r;
+            on = ChurnMeasure {
+                median_ns: on_ns,
+                tuples_per_commit: bench::median(&on_samples.tuples),
+            };
+            off = ChurnMeasure {
+                median_ns: off_ns,
+                tuples_per_commit: bench::median(&off_samples.tuples),
+            };
+        }
+    }
+    println!(
+        "recorder-overhead: reachability churn n={n} wall/op off {:.2}us, on {:.2}us \
+         ({ratio:.3}x best of {SEGMENTS} segments, budget {MAX_OVERHEAD:.2}x, {} commits/mode)",
+        off.median_ns as f64 / 1e3,
+        on.median_ns as f64 / 1e3,
+        2 * pairs,
+    );
+
+    if let Some(path) = out {
+        let entries = vec![
+            BenchEntry::new(
+                "recorder/reachability_churn/off",
+                off.median_ns,
+                off.tuples_per_commit,
+            ),
+            BenchEntry::new(
+                "recorder/reachability_churn/on",
+                on.median_ns,
+                on.tuples_per_commit,
+            )
+            .with_wall_budget("recorder/reachability_churn/off", MAX_OVERHEAD),
+        ];
+        bench::write_bench_json(&path, "recorder-overhead", &entries).expect("write bench json");
+        println!("wrote {path}");
+    }
+
+    assert!(
+        ratio <= MAX_OVERHEAD,
+        "flight recorder costs {:.1}% of churn-commit wall time (budget 5%): \
+         the per-commit hooks are no longer negligible",
+        (ratio - 1.0) * 100.0
+    );
+    println!("recorder-overhead: OK (always-on recording is within the 5% budget)");
+    bench::dump_metrics_snapshot();
+}

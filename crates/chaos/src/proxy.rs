@@ -104,6 +104,13 @@ impl FaultProxy {
                     lock(&accept_state.stats).connections += 1;
                     if accept_state.partitioned() {
                         lock(&accept_state.stats).refused += 1;
+                        telemetry::record_event_note(
+                            telemetry::Plane::Chaos,
+                            "chaos.fault",
+                            0,
+                            &[("conn", conn_id)],
+                            "partition-refused",
+                        );
                         let _ = client.shutdown(Shutdown::Both);
                         continue;
                     }
@@ -159,6 +166,13 @@ impl FaultProxy {
     /// Imperatively partition the link: new connections are refused
     /// until `d` elapses. Active connections are also severed.
     pub fn partition_for(&self, d: Duration) {
+        telemetry::record_event_note(
+            telemetry::Plane::Chaos,
+            "chaos.fault",
+            0,
+            &[("duration_ms", d.as_millis() as u64)],
+            "partition",
+        );
         self.state.arm_partition(d);
         self.sever_all();
     }
@@ -294,6 +308,13 @@ fn pump(
                 match fault.truncate_to {
                     Some(t) if t < msg.len() => {
                         lock(&state.stats).truncations += 1;
+                        telemetry::record_event_note(
+                            telemetry::Plane::Chaos,
+                            "chaos.fault",
+                            0,
+                            &[("conn", conn_id), ("bytes", t as u64)],
+                            "truncate",
+                        );
                         &msg[..t]
                     }
                     _ => &msg,
@@ -314,6 +335,20 @@ fn pump(
             }
             if fatal {
                 lock(&state.stats).kills += 1;
+                telemetry::record_event_note(
+                    telemetry::Plane::Chaos,
+                    "chaos.fault",
+                    0,
+                    &[
+                        ("conn", conn_id),
+                        ("to_server", to_server as u64),
+                        (
+                            "partition_ms",
+                            fault.partition_after_kill.as_millis() as u64,
+                        ),
+                    ],
+                    "kill",
+                );
                 state.arm_partition(fault.partition_after_kill);
                 break 'outer;
             }

@@ -45,6 +45,14 @@ pub trait DataPlane: Send {
     fn read_all_tables(&self) -> Result<Vec<(String, Vec<TableEntry>)>, String> {
         Err("data plane does not support table read-back".to_string())
     }
+
+    /// Whether a returned `write_updates*` means the device settled the
+    /// write. Asynchronous handles that merely enqueue (the shard
+    /// runtime's writer queues) return `false`; their writer records
+    /// convergence when the device acknowledges.
+    fn settles_inline(&self) -> bool {
+        true
+    }
 }
 
 impl DataPlane for SwitchDevice {
@@ -392,9 +400,30 @@ impl Controller {
 
     /// Handle committed OVSDB row changes (in-process path).
     pub fn handle_row_changes(&mut self, changes: &[RowChange]) -> Result<TxnDelta, String> {
+        self.handle_row_changes_traced(changes, 0)
+    }
+
+    /// Like [`Controller::handle_row_changes`], but under a trace id
+    /// the caller already minted — the sharded runtime fans one
+    /// commit's changes to several engines, and every shard's writes
+    /// must join the same trace instead of minting orphans.
+    pub fn handle_row_changes_traced(
+        &mut self,
+        changes: &[RowChange],
+        trace: u64,
+    ) -> Result<TxnDelta, String> {
+        let ctx = if trace != 0 {
+            TraceCtx {
+                id: trace,
+                commit_ns: 0,
+                source: "row_changes",
+            }
+        } else {
+            TraceCtx::minted("row_changes")
+        };
         let rel_types = |name: &str| self.engine.relation_types(name);
         let ops = convert::changes_to_ops(changes, &self.schema, &rel_types)?;
-        self.commit_and_push(ops, TraceCtx::minted("row_changes"))
+        self.commit_and_push(ops, ctx)
     }
 
     /// Handle a monitor `table-updates` JSON object (TCP path; also the
@@ -501,6 +530,12 @@ impl Controller {
                 txn.delete(rel, row);
             }
         }
+        // The engine stamps its flight-recorder events with this commit's
+        // trace; the convergence clock starts here for changes that enter
+        // the stack in-process (monitor-path traces already started at
+        // the OVSDB ack, which `begin` keeps as the earlier anchor).
+        self.engine.set_commit_trace(ctx.id);
+        telemetry::global().convergence_begin(ctx.id);
         let (delta, profile) = self
             .engine
             .commit_profiled(txn)
@@ -620,6 +655,9 @@ impl Controller {
             let write_start_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             let write_start = Instant::now();
             dp.write_updates_traced(updates, ctx.id)?;
+            if dp.settles_inline() {
+                telemetry::global().convergence_settled(ctx.id, None);
+            }
             let write_ns = write_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             root.children.push(
                 Span::new("p4.write", "data")

@@ -332,6 +332,15 @@ impl OvsdbSupervisor {
             };
             if !delay.is_zero() {
                 supervisor_metrics().backoff_us.record_duration(delay);
+                telemetry::record_event(
+                    telemetry::Plane::Stack,
+                    "resync.backoff",
+                    0,
+                    &[
+                        ("attempt", self.stats.attempts),
+                        ("delay_ms", delay.as_millis() as u64),
+                    ],
+                );
                 telemetry::global()
                     .health
                     .set("ovsdb", format!("reconnecting(backoff {delay:?})"));
@@ -392,6 +401,16 @@ impl OvsdbSupervisor {
             let m = supervisor_metrics();
             m.connects.inc();
             m.resync_delta_ops.record(report.delta_ops() as u64);
+            telemetry::record_event(
+                telemetry::Plane::Stack,
+                "resync.reconnect",
+                0,
+                &[
+                    ("attempts", self.stats.attempts),
+                    ("delta_ops", report.delta_ops() as u64),
+                    ("epoch_reset", epoch_reset as u64),
+                ],
+            );
             telemetry::global().health.set("ovsdb", "connected");
             telemetry::log_info!(
                 "resync",

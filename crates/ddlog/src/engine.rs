@@ -195,6 +195,9 @@ pub struct Engine {
     last_profile: Option<WorkProfile>,
     /// When set, every commit is checked against the work budget.
     audit: Option<AuditConfig>,
+    /// Causal trace id stamped onto the next commit's flight-recorder
+    /// events (consumed per commit; 0 = untraced).
+    commit_trace: u64,
 }
 
 impl Engine {
@@ -285,6 +288,7 @@ impl Engine {
             cumulative,
             last_profile: None,
             audit: None,
+            commit_trace: 0,
         };
 
         // Install constant facts and propagate them like a transaction.
@@ -423,7 +427,8 @@ impl Engine {
         let out = self.propagate(&mut rel_deltas, &mut profile);
         // Drain pending arrangement-maintenance stats into this commit's
         // profile even on error, so they can't leak into the next commit.
-        self.flush_arrangement_stats(&mut profile);
+        let arrange_maintained = self.flush_arrangement_stats(&mut profile);
+        let trace = std::mem::take(&mut self.commit_trace);
         if out.is_err() {
             self.poisoned = true;
         }
@@ -458,9 +463,30 @@ impl Engine {
             delta.changes.len(),
             profile.total_tuples()
         );
+        telemetry::record_event(
+            telemetry::Plane::Control,
+            "ddlog.apply",
+            trace,
+            &[
+                ("input_tuples", profile.input_tuples),
+                ("output_changes", delta.len() as u64),
+                ("work_tuples", profile.total_tuples()),
+                ("arrange_maintained", arrange_maintained),
+                ("wall_ns", profile.total_wall_ns),
+            ],
+        );
         if let Some(cfg) = self.audit {
-            cfg.check(&profile, delta.len() as u64)
-                .map_err(|msg| Error::new(Phase::Eval, msg))?;
+            if let Err(msg) = cfg.check(&profile, delta.len() as u64) {
+                telemetry::record_event_note(
+                    telemetry::Plane::Control,
+                    "ddlog.audit_trip",
+                    trace,
+                    &[("work_tuples", profile.total_tuples())],
+                    msg.clone(),
+                );
+                telemetry::failure_signal("audit-trip", &msg);
+                return Err(Error::new(Phase::Eval, msg));
+            }
         }
         Ok((delta, profile))
     }
@@ -561,7 +587,8 @@ impl Engine {
 
     /// Drain every store's pending arrangement-maintenance counters into
     /// `profile` under their cataloged `Arrange` operators.
-    fn flush_arrangement_stats(&mut self, profile: &mut WorkProfile) {
+    fn flush_arrangement_stats(&mut self, profile: &mut WorkProfile) -> u64 {
+        let mut maintained = 0u64;
         for store in &mut self.stores {
             for (global, s) in store.take_arrangement_stats() {
                 let op = self.catalog.arrange_ops[global];
@@ -570,8 +597,10 @@ impl Engine {
                 st.tuples_in += s.tuples;
                 st.peak = st.peak.max(s.peak);
                 st.wall_ns += s.wall_ns;
+                maintained += s.tuples;
             }
         }
+        maintained
     }
 
     /// Arm or disarm the `stale-arrangement` fault injection used by the
@@ -687,6 +716,13 @@ impl Engine {
     /// *not* poisoned; the bound was exceeded, not correctness).
     pub fn set_audit(&mut self, cfg: Option<AuditConfig>) {
         self.audit = cfg;
+    }
+
+    /// Stamp the next commit's flight-recorder events with `trace` (the
+    /// causal id minted at the OVSDB commit). Consumed by that commit;
+    /// the engine reverts to untraced (0) afterwards.
+    pub fn set_commit_trace(&mut self, trace: u64) {
+        self.commit_trace = trace;
     }
 
     /// Render the compiled plan with cumulative per-operator costs as

@@ -22,6 +22,7 @@ struct Args {
     crashes: bool,
     bug: Option<InjectedBug>,
     shards: usize,
+    flight_dir: Option<std::path::PathBuf>,
 }
 
 fn usage() -> ! {
@@ -39,7 +40,10 @@ fn usage() -> ! {
          --shards N run the sharded harness: N shard engines over N\n\
          \x20       switches, checked for cross-shard equivalence against\n\
          \x20       one unsharded engine (incompatible with --chaos-crash\n\
-         \x20       and --bug)"
+         \x20       and --bug)\n\
+         --flight-dir D arm the flight recorder: failure dumps land in D,\n\
+         \x20       and every chaos run writes a run-end `.nfr` there\n\
+         \x20       (inspect with `nerpa-flight show`)"
     );
     std::process::exit(2);
 }
@@ -62,6 +66,7 @@ fn parse_args() -> Option<Args> {
         crashes: false,
         bug: None,
         shards: 0,
+        flight_dir: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -80,6 +85,7 @@ fn parse_args() -> Option<Args> {
                     return None;
                 }
             }
+            "--flight-dir" => args.flight_dir = Some(std::path::PathBuf::from(it.next()?)),
             "--help" | "-h" => usage(),
             _ => return None,
         }
@@ -163,10 +169,17 @@ fn report_failure(seed: u64, cfg: &OracleConfig, fail: &OracleFailure) {
     for line in fail.metrics_snapshot.lines() {
         println!("    {line}");
     }
+    if let Some(path) = &fail.dump_path {
+        println!("  flight recorder dump: {}", path.display());
+        println!("  inspect: nerpa-flight show {}", path.display());
+    }
 }
 
 fn main() {
     let Some(args) = parse_args() else { usage() };
+    if let Some(dir) = &args.flight_dir {
+        telemetry::global().recorder.arm(dir.clone());
+    }
     let mut failed = false;
     for seed in &args.seeds {
         let cfg = OracleConfig {
@@ -194,6 +207,19 @@ fn main() {
     // same snapshot a failure prints unconditionally.
     if std::env::var("NERPA_METRICS").is_ok() {
         print!("\n{}", telemetry::global().registry.render_text());
+    }
+    // An armed chaos run ships its black box even when green: the
+    // run-end dump is what CI parses back with `nerpa-flight`.
+    if args.chaos.is_some() {
+        if let Some(dir) = telemetry::global().recorder.armed_dir() {
+            match telemetry::global()
+                .recorder
+                .dump_into(&dir, "chaos-run", "chaos run end")
+            {
+                Ok(path) => println!("flight recorder dump: {}", path.display()),
+                Err(e) => eprintln!("flight recorder dump failed: {e}"),
+            }
+        }
     }
     std::process::exit(if failed { 1 } else { 0 });
 }

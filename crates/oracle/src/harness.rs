@@ -168,6 +168,10 @@ pub struct OracleFailure {
     /// Rendered span tree of the last change that flowed through the
     /// stack before the failure (`None` if nothing was traced).
     pub failing_trace: Option<String>,
+    /// Flight-recorder dump (`.nfr`) snapshotted at the moment the
+    /// invariant broke — the black box attached to the counterexample.
+    /// Inspect with `nerpa-flight show`.
+    pub dump_path: Option<std::path::PathBuf>,
 }
 
 const MONITORED: [&str; 2] = ["Port", "Switch"];
@@ -451,11 +455,25 @@ impl Harness {
     fn inject_fault(&mut self, kind: FaultKind, report: &mut OracleReport) -> Result<(), String> {
         match kind {
             FaultKind::OvsdbOutage { outage_steps } => {
+                telemetry::record_event_note(
+                    telemetry::Plane::Chaos,
+                    "chaos.fault",
+                    0,
+                    &[("outage_steps", outage_steps.max(1) as u64)],
+                    "ovsdb-outage",
+                );
                 self.connected = false;
                 self.outage_remaining = outage_steps.max(1);
                 report.outages += 1;
             }
             FaultKind::SwitchRestart => {
+                telemetry::record_event_note(
+                    telemetry::Plane::Chaos,
+                    "chaos.fault",
+                    0,
+                    &[("switch", 0)],
+                    "switch-restart",
+                );
                 // The switch comes back with leftover stale state the
                 // controller never installed; reconciliation must purge
                 // it and re-push the desired tables.
@@ -479,6 +497,13 @@ impl Harness {
                 report.switch_restarts += 1;
             }
             FaultKind::CrashServer { torn_tail_bytes } => {
+                telemetry::record_event_note(
+                    telemetry::Plane::Chaos,
+                    "chaos.fault",
+                    0,
+                    &[("torn_tail_bytes", torn_tail_bytes)],
+                    "crash-server",
+                );
                 self.crash_server(torn_tail_bytes, report)?;
             }
         }
@@ -892,6 +917,18 @@ pub fn final_state(cfg: &OracleConfig) -> Result<FinalState, StepFailure> {
     ))
 }
 
+/// Snapshot the flight recorder to a `.nfr` dump: into the armed
+/// directory if one exists (an explicit arm or `NERPA_FLIGHT_DIR`),
+/// otherwise into a temp fallback — an oracle counterexample always
+/// ships its black box.
+pub(crate) fn dump_flight_recorder(reason: &str) -> Option<std::path::PathBuf> {
+    let recorder = &telemetry::global().recorder;
+    let dir = recorder
+        .armed_dir()
+        .unwrap_or_else(|| std::env::temp_dir().join("nerpa-flight"));
+    recorder.dump_into(&dir, "oracle-failure", reason).ok()
+}
+
 /// Generate the workload for `cfg`, run it, and on failure shrink it to
 /// a minimal reproducing sequence. The failure is boxed: it carries the
 /// shrunk workload, a metrics snapshot, and the failing trace.
@@ -902,9 +939,10 @@ pub fn run_oracle(cfg: &OracleConfig) -> Result<OracleReport, Box<OracleFailure>
         Err(failure) => {
             // Snapshot observability state now: the ddmin re-runs below
             // replay the workload many times and overwrite both the
-            // published series and the trace ring.
+            // published series, the trace ring, and the flight rings.
             let metrics_snapshot = telemetry::global().registry.render_text();
             let failing_trace = telemetry::global().tracer.last().map(|t| t.render_text());
+            let dump_path = dump_flight_recorder(&failure.reason);
             let shrunk =
                 crate::shrink::ddmin(&ops, |candidate| run_workload(candidate, cfg).is_err());
             Err(Box::new(OracleFailure {
@@ -913,6 +951,7 @@ pub fn run_oracle(cfg: &OracleConfig) -> Result<OracleReport, Box<OracleFailure>
                 shrunk,
                 metrics_snapshot,
                 failing_trace,
+                dump_path,
             }))
         }
     }

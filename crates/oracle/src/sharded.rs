@@ -236,6 +236,13 @@ impl ShardedHarness {
     fn inject_fault(&mut self, kind: FaultKind, report: &mut OracleReport) -> Result<(), String> {
         match kind {
             FaultKind::OvsdbOutage { outage_steps } => {
+                telemetry::record_event_note(
+                    telemetry::Plane::Chaos,
+                    "chaos.fault",
+                    0,
+                    &[("outage_steps", outage_steps.max(1) as u64)],
+                    "ovsdb-outage",
+                );
                 self.connected = false;
                 self.outage_remaining = outage_steps.max(1);
                 report.outages += 1;
@@ -248,6 +255,13 @@ impl ShardedHarness {
                 // unsharded reference).
                 let sw = self.restarts % self.shard_count();
                 self.restarts += 1;
+                telemetry::record_event_note(
+                    telemetry::Plane::Chaos,
+                    "chaos.fault",
+                    0,
+                    &[("switch", sw as u64)],
+                    "switch-restart",
+                );
                 let stale = Update {
                     op: WriteOp::Insert,
                     entry: TableEntry {
@@ -527,6 +541,7 @@ pub fn run_sharded_oracle(
         Err(failure) => {
             let metrics_snapshot = telemetry::global().registry.render_text();
             let failing_trace = telemetry::global().tracer.last().map(|t| t.render_text());
+            let dump_path = crate::harness::dump_flight_recorder(&failure.reason);
             let shrunk = crate::shrink::ddmin(&ops, |candidate| {
                 run_sharded_workload(candidate, cfg).is_err()
             });
@@ -536,6 +551,7 @@ pub fn run_sharded_oracle(
                 shrunk,
                 metrics_snapshot,
                 failing_trace,
+                dump_path,
             }))
         }
     }

@@ -141,6 +141,23 @@ impl Database {
         match &result {
             Ok((_, report)) => {
                 wal::record_replay(report.replay_duration, report.truncated_tail);
+                telemetry::record_event(
+                    telemetry::Plane::Management,
+                    "ovsdb.recover",
+                    0,
+                    &[
+                        ("replayed_records", report.replayed_records),
+                        ("truncated_tail", report.truncated_tail as u64),
+                    ],
+                );
+                if report.truncated_tail {
+                    // Crash recovery that lost a tail is a failure
+                    // signal: snapshot the black box if armed.
+                    telemetry::failure_signal(
+                        "crash-recovery",
+                        &format!("torn WAL tail truncated in {}", dir.display()),
+                    );
+                }
                 health.set(
                     "ovsdb_wal",
                     format!(

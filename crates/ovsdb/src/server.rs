@@ -181,6 +181,18 @@ fn notify(state: &ServerState, changes: &[crate::db::RowChange], trace: Option<(
     if changes.is_empty() {
         return;
     }
+    if let Some((id, commit_ns)) = trace {
+        // The flight recorder sees every acknowledged commit, and the
+        // convergence clock starts here: lag is measured from this ack
+        // to the switch writes that settle the trace.
+        telemetry::record_event(
+            telemetry::Plane::Management,
+            "ovsdb.commit",
+            id,
+            &[("rows", changes.len() as u64), ("commit_ns", commit_ns)],
+        );
+        telemetry::global().convergence_begin(id);
+    }
     let subs = state.subs.lock();
     for sub in subs.iter() {
         if let Some(mut updates) = sub.monitor.format_changes(changes) {
@@ -201,6 +213,12 @@ fn notify(state: &ServerState, changes: &[crate::db::RowChange], trace: Option<(
                 method: "update".to_string(),
                 params: json!([sub.mon_id, updates]),
             });
+            telemetry::record_event(
+                telemetry::Plane::Management,
+                "ovsdb.monitor_fanout",
+                trace.map(|t| t.0).unwrap_or(0),
+                &[("conn", sub.conn_id), ("rows", changes.len() as u64)],
+            );
         }
     }
 }

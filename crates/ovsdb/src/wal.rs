@@ -371,6 +371,15 @@ impl Wal {
         let m = wal_metrics();
         m.records.inc();
         m.bytes.add(bytes.len() as u64);
+        telemetry::record_event(
+            telemetry::Plane::Management,
+            "wal.append",
+            0,
+            &[
+                ("commit_index", record.commit_index),
+                ("bytes", bytes.len() as u64),
+            ],
+        );
         let syncing = match self.policy {
             FsyncPolicy::Always => true,
             FsyncPolicy::EveryN(n) => self.appends_since_fsync >= n.max(1),

@@ -80,6 +80,15 @@ impl SwitchDevice {
         let result = self.inner.lock().process_packet(port, bytes);
         if !result.digests.is_empty() {
             device_metrics().digests.add(result.digests.len() as u64);
+            telemetry::record_event(
+                telemetry::Plane::Data,
+                "p4.digest",
+                0,
+                &[
+                    ("digests", result.digests.len() as u64),
+                    ("port", port as u64),
+                ],
+            );
             let subs = self.digest_subs.lock();
             for s in subs.iter() {
                 let _ = s.send(result.digests.clone());
@@ -112,8 +121,22 @@ impl SwitchDevice {
                 if let Some(t) = trace {
                     self.last_write_trace.store(t, Ordering::Relaxed);
                 }
+                telemetry::record_event(
+                    telemetry::Plane::Data,
+                    "p4.write",
+                    trace.unwrap_or(0),
+                    &[("updates", updates.len() as u64)],
+                );
             }
-            Err(_) => m.write_errors.inc(),
+            Err(_) => {
+                m.write_errors.inc();
+                telemetry::record_event(
+                    telemetry::Plane::Data,
+                    "p4.write_error",
+                    trace.unwrap_or(0),
+                    &[("updates", updates.len() as u64)],
+                );
+            }
         }
         res
     }

@@ -42,8 +42,10 @@ use crate::partition::Router;
 enum ShardInput {
     /// A pre-split monitor `table-updates` slice (trace id embedded).
     Monitor(Json),
-    /// Pre-split committed row changes (the in-process path).
-    Changes(Vec<RowChange>),
+    /// Pre-split committed row changes (the in-process path). The
+    /// trace id was minted once by the runtime so every shard's writes
+    /// join the same trace.
+    Changes { changes: Vec<RowChange>, trace: u64 },
     /// Digests (or retractions) from one owned switch.
     Digests {
         switch_id: usize,
@@ -197,6 +199,12 @@ impl DataPlane for AsyncSwitch {
             .map_err(|_| "shard writer gone".to_string())
     }
 
+    fn settles_inline(&self) -> bool {
+        // Enqueueing is not settling: the shard's writer records
+        // convergence when the device acknowledges the push.
+        false
+    }
+
     fn read_all_tables(&self) -> Result<Vec<(String, Vec<TableEntry>)>, String> {
         let (tx, rx) = bounded(1);
         self.stat.write_queue_depth.add(1);
@@ -319,8 +327,14 @@ impl ShardRuntime {
         }
     }
 
-    /// Fan committed row changes out to the shard queues.
-    pub fn handle_row_changes(&self, changes: &[RowChange]) {
+    /// Fan committed row changes out to the shard queues. One trace id
+    /// is minted for the whole commit and carried onto every shard's
+    /// slice — and from there onto every device write — so the flight
+    /// recorder can stitch the fan-out back into a single timeline.
+    /// Returns that trace id.
+    pub fn handle_row_changes(&self, changes: &[RowChange]) -> u64 {
+        let trace = telemetry::next_trace_id();
+        telemetry::global().convergence_begin(trace);
         for (shard, slice) in self
             .router
             .split_row_changes(changes)
@@ -328,9 +342,22 @@ impl ShardRuntime {
             .enumerate()
         {
             if !slice.is_empty() {
-                self.enqueue(shard, ShardInput::Changes(slice));
+                telemetry::record_event(
+                    telemetry::Plane::Control,
+                    "shard.route",
+                    trace,
+                    &[("shard", shard as u64), ("rows", slice.len() as u64)],
+                );
+                self.enqueue(
+                    shard,
+                    ShardInput::Changes {
+                        changes: slice,
+                        trace,
+                    },
+                );
             }
         }
+        trace
     }
 
     /// Queue digests from switch `switch_id` onto its owning shard.
@@ -443,6 +470,13 @@ impl ShardRuntime {
 
     fn enqueue(&self, shard: usize, input: ShardInput) {
         self.stats[shard].queue_depth.add(1);
+        let depth = self.stats[shard].queue_depth.get().max(0) as u64;
+        telemetry::record_event(
+            telemetry::Plane::Control,
+            "shard.enqueue",
+            0,
+            &[("shard", shard as u64), ("depth", depth)],
+        );
         let _ = self.inputs[shard].send(input);
     }
 
@@ -523,11 +557,13 @@ fn worker_loop(
         }
         let commits = matches!(
             input,
-            ShardInput::Monitor(_) | ShardInput::Changes(_) | ShardInput::Digests { .. }
+            ShardInput::Monitor(_) | ShardInput::Changes { .. } | ShardInput::Digests { .. }
         );
         let result = match input {
             ShardInput::Monitor(slice) => controller.handle_monitor_update(&slice).map(|_| ()),
-            ShardInput::Changes(changes) => controller.handle_row_changes(&changes).map(|_| ()),
+            ShardInput::Changes { changes, trace } => controller
+                .handle_row_changes_traced(&changes, trace)
+                .map(|_| ()),
             ShardInput::Digests {
                 switch_id,
                 digests,
@@ -637,6 +673,18 @@ fn writer_loop(
                 let Some(dp) = switches.get(&switch_id) else {
                     continue;
                 };
+                // Recorded before the device call so the timeline
+                // orders the shard push before the p4.write it causes.
+                telemetry::record_event(
+                    telemetry::Plane::Control,
+                    "shard.push",
+                    trace.unwrap_or(0),
+                    &[
+                        ("shard", shard as u64),
+                        ("switch", switch_id as u64),
+                        ("updates", updates.len() as u64),
+                    ],
+                );
                 let started = Instant::now();
                 let r = match trace {
                     Some(t) => dp.write_updates_traced(&updates, t),
@@ -647,8 +695,22 @@ fn writer_loop(
                         stat.write_batches.inc();
                         stat.entries_written.add(updates.len() as u64);
                         mark_clean(switch_id);
+                        // The device acknowledged: this trace has
+                        // converged as far as this switch is concerned.
+                        if let Some(t) = trace {
+                            telemetry::global().convergence_settled(t, Some(shard));
+                        }
                     }
-                    Err(e) => mark_dirty(switch_id, &e),
+                    Err(e) => {
+                        telemetry::record_event_note(
+                            telemetry::Plane::Control,
+                            "shard.write_error",
+                            trace.unwrap_or(0),
+                            &[("shard", shard as u64), ("switch", switch_id as u64)],
+                            &e,
+                        );
+                        mark_dirty(switch_id, &e);
+                    }
                 }
                 telemetry::global()
                     .registry

@@ -21,12 +21,23 @@ impl Health {
         Health::default()
     }
 
-    /// Set (or update) a component's status.
+    /// Set (or update) a component's status. A transition from healthy
+    /// to degraded is a failure signal: the flight recorder logs it
+    /// and, when armed, snapshots its rings to a dump.
     pub fn set(&self, component: impl Into<String>, status: impl Into<String>) {
-        self.components
-            .lock()
-            .unwrap()
-            .insert(component.into(), status.into());
+        let component = component.into();
+        let status = status.into();
+        let healthy = |s: &str| s.starts_with("ok") || s.starts_with("connected");
+        let turned_bad = {
+            let mut comps = self.components.lock().unwrap();
+            let was_healthy = comps.get(&component).map(|s| healthy(s)).unwrap_or(true);
+            let now_healthy = healthy(&status);
+            comps.insert(component.clone(), status.clone());
+            was_healthy && !now_healthy
+        };
+        if turned_bad {
+            crate::failure_signal("health", &format!("{component}: {status}"));
+        }
     }
 
     /// Remove a component (e.g. a switch taken out of the fleet).

@@ -20,6 +20,7 @@
 pub mod health;
 pub mod log;
 pub mod metrics;
+pub mod recorder;
 pub mod server;
 pub mod trace;
 
@@ -28,6 +29,9 @@ pub use log::Level;
 pub use metrics::{
     format_labels, validate_exposition, Counter, Gauge, Histogram, MetricKind, Registry,
     LATENCY_BOUNDS_US, SIZE_BOUNDS,
+};
+pub use recorder::{
+    ConvergenceTracker, Event, FlightRecorder, Plane, CONVERGENCE_BOUNDS_NS, NFR_VERSION,
 };
 pub use server::{http_get, IntrospectionServer};
 pub use trace::{next_trace_id, AttrValue, Span, SpanTree, Tracer};
@@ -43,8 +47,7 @@ struct Page {
 }
 
 /// The bundle served by one introspection endpoint: a registry, a trace
-/// ring buffer, and a health board.
-#[derive(Default)]
+/// ring buffer, a health board, and the flight recorder.
 pub struct Telemetry {
     /// Named metric families.
     pub registry: Registry,
@@ -52,14 +55,47 @@ pub struct Telemetry {
     pub tracer: Tracer,
     /// Connection health board.
     pub health: Health,
+    /// The flight recorder: per-plane event rings and `.nfr` dumps.
+    pub recorder: FlightRecorder,
+    /// Commit-to-data-plane convergence lag tracking.
+    pub convergence: ConvergenceTracker,
     /// Extra endpoint pages registered by components (e.g. `/dataflow`).
     pages: Mutex<BTreeMap<String, Page>>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::new()
+    }
 }
 
 impl Telemetry {
     /// A fresh, empty bundle.
     pub fn new() -> Telemetry {
-        Telemetry::default()
+        let registry = Registry::new();
+        let recorder = FlightRecorder::new(&registry);
+        Telemetry {
+            registry,
+            tracer: Tracer::default(),
+            health: Health::default(),
+            recorder,
+            convergence: ConvergenceTracker::default(),
+            pages: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Start a trace's convergence clock: the management plane
+    /// acknowledged the commit carrying `trace`.
+    pub fn convergence_begin(&self, trace: u64) {
+        self.convergence.begin(trace, self.recorder.now_ns());
+    }
+
+    /// A switch write carrying `trace` settled: record its convergence
+    /// lag into `nerpa_convergence_lag_ns` (global, plus the shard's
+    /// series when `shard` is known).
+    pub fn convergence_settled(&self, trace: u64, shard: Option<usize>) {
+        self.convergence
+            .settled(&self.registry, trace, shard, self.recorder.now_ns());
     }
 
     /// Register (or replace) an extra page at `path` (must start with
@@ -99,4 +135,30 @@ impl Telemetry {
 pub fn global() -> &'static Arc<Telemetry> {
     static GLOBAL: OnceLock<Arc<Telemetry>> = OnceLock::new();
     GLOBAL.get_or_init(|| Arc::new(Telemetry::new()))
+}
+
+/// Record one flight-recorder event into the process-wide recorder.
+pub fn record_event(plane: Plane, kind: &'static str, trace: u64, fields: &[(&'static str, u64)]) {
+    global().recorder.record(plane, kind, trace, fields);
+}
+
+/// Record one flight-recorder event with a free-form note (keep off
+/// hot paths).
+pub fn record_event_note(
+    plane: Plane,
+    kind: &'static str,
+    trace: u64,
+    fields: &[(&'static str, u64)],
+    note: impl Into<String>,
+) {
+    global()
+        .recorder
+        .record_note(plane, kind, trace, fields, note);
+}
+
+/// Raise a failure signal on the process-wide recorder: records a
+/// `failure.signal` event and, when a dump directory is armed, writes
+/// an `.nfr` snapshot of every ring. Returns the dump path if written.
+pub fn failure_signal(source: &'static str, note: &str) -> Option<std::path::PathBuf> {
+    global().recorder.failure_signal(source, note)
 }

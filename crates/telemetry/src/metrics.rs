@@ -195,6 +195,13 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// Observations beyond the last bucket bound — the saturation
+    /// count. A non-zero value means the bounds are too tight for the
+    /// workload and the tail of the distribution is unresolved.
+    pub fn overflow(&self) -> u64 {
+        self.0.buckets[self.0.bounds.len()].load(Ordering::Relaxed)
+    }
 }
 
 // ------------------------------------------------------------- registry
@@ -324,10 +331,22 @@ impl Registry {
 
     /// Get or create an unlabeled histogram with the given bucket bounds.
     pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Histogram {
+        self.histogram_with(name, help, &[], bounds)
+    }
+
+    /// Get or create a labeled histogram series with the given bucket
+    /// bounds (e.g. per-shard convergence lag).
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+    ) -> Histogram {
         match self.get_or_create(
             name,
             help,
-            &[],
+            labels,
             || Series::Histogram(Histogram::new(bounds)),
             MetricKind::Histogram,
         ) {
@@ -432,6 +451,20 @@ impl Registry {
                     }
                 }
             }
+            // A histogram's saturation is invisible in the bucket lines
+            // (+Inf always equals the count), so each histogram family
+            // gets a companion counter of out-of-range observations.
+            if fam.kind == MetricKind::Histogram {
+                out.push_str(&format!(
+                    "# HELP {name}_overflow_total Observations of {name} beyond its last bucket bound\n"
+                ));
+                out.push_str(&format!("# TYPE {name}_overflow_total counter\n"));
+                for (labels, series) in fam.series.iter() {
+                    if let Series::Histogram(h) = series {
+                        out.push_str(&format!("{name}_overflow_total{labels} {}\n", h.overflow()));
+                    }
+                }
+            }
         }
         out
     }
@@ -458,9 +491,10 @@ impl Registry {
                     }
                     Series::Histogram(h) => {
                         out.push_str(&format!(
-                            "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"buckets\":[",
+                            "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"overflow\":{},\"buckets\":[",
                             h.count(),
-                            h.sum()
+                            h.sum(),
+                            h.overflow()
                         ));
                         let counts = h.bucket_counts();
                         let mut cumulative = 0u64;

@@ -7,15 +7,25 @@
 //! - `GET /traces` — the trace ring buffer as a JSON array
 //! - `GET /health` — connection health board as JSON (HTTP 503 when
 //!   any component is unhealthy)
+//! - `GET /convergence` — commit-to-data-plane convergence lag
+//! - `GET /flight` — flight-recorder status plus its buffered events
+//!
+//! Each accepted connection is served on its own short-lived thread so
+//! a slow or stalled client cannot delay other scrapes; concurrent
+//! connections are capped (excess ones get an immediate 503), which
+//! bounds both thread count and memory.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::Telemetry;
+
+/// Concurrent connections served before new ones are turned away.
+const MAX_CONNS: usize = 32;
 
 /// A running introspection server; shuts down on drop.
 pub struct IntrospectionServer {
@@ -34,14 +44,26 @@ impl IntrospectionServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let stop = shutdown.clone();
         let handle = std::thread::spawn(move || {
+            let active = Arc::new(AtomicUsize::new(0));
             while !stop.load(Ordering::SeqCst) {
                 match listener.accept() {
-                    Ok((stream, _)) => {
+                    Ok((mut stream, _)) => {
+                        // Serve each connection on its own thread so a
+                        // stalled client only occupies one slot; past
+                        // the cap, shed load immediately.
+                        if active.load(Ordering::SeqCst) >= MAX_CONNS {
+                            let _ = stream.write_all(
+                                b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+                            );
+                            continue;
+                        }
+                        active.fetch_add(1, Ordering::SeqCst);
                         let tel = telemetry.clone();
-                        // Serve inline: requests are tiny and responses
-                        // are built from in-memory state, so a single
-                        // accept loop is enough.
-                        let _ = serve_conn(stream, &tel);
+                        let slots = active.clone();
+                        std::thread::spawn(move || {
+                            let _ = serve_conn(stream, &tel);
+                            slots.fetch_sub(1, Ordering::SeqCst);
+                        });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(5));
@@ -126,6 +148,29 @@ fn route(method: &str, path: &str, telemetry: &Telemetry) -> (&'static str, &'st
             telemetry.registry.render_json(),
         ),
         "/traces" => ("200 OK", "application/json", telemetry.tracer.render_json()),
+        "/convergence" => (
+            "200 OK",
+            "application/json",
+            telemetry.convergence.render_json(),
+        ),
+        "/flight" => {
+            let events = telemetry.recorder.snapshot();
+            let mut body = String::from("{\"enabled\":");
+            body.push_str(if telemetry.recorder.is_enabled() {
+                "true"
+            } else {
+                "false"
+            });
+            body.push_str(",\"events\":[");
+            for (i, ev) in events.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&ev.to_json());
+            }
+            body.push_str("]}");
+            ("200 OK", "application/json", body)
+        }
         "/health" => {
             let body = telemetry.health.render_json();
             if telemetry.health.all_healthy() {

@@ -214,3 +214,64 @@ fn validate_exposition_rejects_malformed_text() {
         "# TYPE h histogram\nh_bucket{le=\"10\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 5\nh_count 1\n";
     validate_exposition(text).unwrap();
 }
+
+#[test]
+fn histogram_overflow_counts_saturated_samples() {
+    let h = Histogram::new(&[10, 100]);
+    assert_eq!(h.overflow(), 0);
+    h.record(5);
+    h.record(100); // boundary is inclusive: not overflow
+    assert_eq!(h.overflow(), 0);
+    h.record(101);
+    h.record(u64::MAX);
+    assert_eq!(h.overflow(), 2);
+    assert_eq!(h.count(), 4);
+}
+
+#[test]
+fn histogram_overflow_is_exported_in_both_expositions() {
+    let reg = Registry::new();
+    let h = reg.histogram("demo_us", "a demo histogram", &[10, 100]);
+    h.record(50);
+    h.record(5_000);
+    let text = reg.render_text();
+    validate_exposition(&text).unwrap();
+    assert!(
+        text.contains("# TYPE demo_us_overflow_total counter"),
+        "{text}"
+    );
+    assert!(text.contains("demo_us_overflow_total 1"), "{text}");
+    let json = reg.render_json();
+    assert!(json.contains("\"overflow\":1"), "{json}");
+
+    // Labeled series each carry their own overflow sample.
+    let hl = reg.histogram_with("demo_us", "a demo histogram", &[("shard", "3")], &[10, 100]);
+    hl.record(7_000);
+    hl.record(8_000);
+    let text = reg.render_text();
+    validate_exposition(&text).unwrap();
+    assert!(
+        text.contains("demo_us_overflow_total{shard=\"3\"} 2"),
+        "{text}"
+    );
+}
+
+#[test]
+fn labeled_histograms_share_family_and_validate() {
+    let reg = Registry::new();
+    reg.histogram("lag_ns", "per-shard lag", &[1_000]).record(5);
+    for shard in 0..3 {
+        let label = shard.to_string();
+        reg.histogram_with("lag_ns", "per-shard lag", &[("shard", &label)], &[1_000])
+            .record(shard * 700);
+    }
+    let text = reg.render_text();
+    validate_exposition(&text).unwrap();
+    assert!(
+        text.contains("lag_ns_bucket{shard=\"2\",le=\"+Inf\"} 1"),
+        "{text}"
+    );
+    // Same name+labels returns the same underlying series.
+    let again = reg.histogram_with("lag_ns", "per-shard lag", &[("shard", "2")], &[1_000]);
+    assert_eq!(again.count(), 1);
+}

@@ -35,6 +35,8 @@ cargo run --release -q -p bench --bin report_wal -- \
     --out BENCH_wal.json "${QUICK[@]}"
 cargo run --release -q -p bench --bin report_shard_scaling -- \
     --out BENCH_shard_scaling.json "${QUICK[@]}"
+cargo run --release -q -p bench --bin report_recorder_overhead -- \
+    --out BENCH_recorder.json "${QUICK[@]}"
 
 echo
-echo "bench reports written: BENCH_fig3.json BENCH_port_scaling.json BENCH_wal.json BENCH_shard_scaling.json"
+echo "bench reports written: BENCH_fig3.json BENCH_port_scaling.json BENCH_wal.json BENCH_shard_scaling.json BENCH_recorder.json"

@@ -38,6 +38,22 @@ cargo test -q --test shard_e2e
 cargo run --release -q -p oracle --bin oracle -- --seed 1..8 --steps 200 --shards 4
 cargo run --release -q -p oracle --bin oracle -- --seed 1..8 --steps 200 --chaos 7 --shards 4
 
+# Flight recorder: the black-box e2e (an oracle failure must ship a
+# causally ordered .nfr dump; convergence lag is recorded under chaos
+# reconnects), then a seeded chaos oracle run armed with --flight-dir:
+# it must leave a .nfr dump that the nerpa-flight CLI parses back into
+# a timeline containing the injected chaos faults.
+cargo test -q --test flight_e2e
+rm -rf target/flight-ci
+cargo build --release -q --bin nerpa-flight
+cargo run --release -q -p oracle --bin oracle -- \
+    --seed 1..4 --steps 200 --chaos 7 --flight-dir target/flight-ci
+dump=$(ls target/flight-ci/*.nfr | head -n 1)
+test -n "$dump"
+target/release/nerpa-flight show --json "$dump" >target/flight-ci/timeline.json
+grep -q '"kind":"chaos.fault"' target/flight-ci/timeline.json
+echo "flight-recorder: OK ($dump replays the injected faults)"
+
 # Bench smoke: regenerate the paper experiments in --quick mode (the
 # incrementality audit is armed inside report_fig3) and gate the
 # deterministic tuples-per-commit measurements against the checked-in
@@ -50,6 +66,11 @@ cargo run --release -q -p bench --bin compare -- \
     crates/bench/baselines/BENCH_port_scaling.json BENCH_port_scaling.json
 cargo run --release -q -p bench --bin compare -- \
     crates/bench/baselines/BENCH_shard_scaling.json BENCH_shard_scaling.json
+# The recorder report's wall budget (recorder-on ≤ 1.05x recorder-off,
+# measured in one process) is enforced by compare even without
+# --enforce-time — it is the always-on flight recorder's overhead gate.
+cargo run --release -q -p bench --bin compare -- \
+    crates/bench/baselines/BENCH_recorder.json BENCH_recorder.json
 
 # Bench-cliff: the churn-scaling wall-time gate. Runs the reachability
 # churn pair (n=200 / n=2000) with the work audit armed and fails if

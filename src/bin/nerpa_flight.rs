@@ -1,0 +1,95 @@
+//! `nerpa-flight`: read the stack's black box.
+//!
+//! ```text
+//! nerpa-flight show crash.nfr                    # merged timeline
+//! nerpa-flight show a.nfr b.nfr --trace 1a2b     # one trace, across dumps
+//! nerpa-flight show crash.nfr --json             # machine-readable
+//! nerpa-flight show crash.nfr --diff healthy.nfr # what changed vs a good run
+//! ```
+//!
+//! Exit codes: 0 = rendered, 1 = unreadable or malformed dump,
+//! 2 = usage error.
+
+use std::path::PathBuf;
+
+use fullstack_sdn::flight::Timeline;
+
+struct Args {
+    dumps: Vec<PathBuf>,
+    trace: Option<u64>,
+    json: bool,
+    diff: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nerpa-flight show <dump.nfr>... [--trace ID] [--json] [--diff healthy.nfr]\n\
+         \n\
+         show     merge the dumps into one causally ordered timeline\n\
+         --trace  only events of one trace id (hex or decimal)\n\
+         --json   machine-readable output ({{\"dumps\":[..],\"events\":[..]}})\n\
+         --diff   compare event kinds/counts against a healthy baseline dump"
+    );
+    std::process::exit(2);
+}
+
+fn parse_trace(s: &str) -> Option<u64> {
+    s.parse()
+        .ok()
+        .or_else(|| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+}
+
+fn parse_args() -> Option<Args> {
+    let mut it = std::env::args().skip(1);
+    if it.next()?.as_str() != "show" {
+        return None;
+    }
+    let mut args = Args {
+        dumps: Vec::new(),
+        trace: None,
+        json: false,
+        diff: None,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => args.trace = Some(parse_trace(&it.next()?)?),
+            "--json" => args.json = true,
+            "--diff" => args.diff = Some(PathBuf::from(it.next()?)),
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => return None,
+            path => args.dumps.push(PathBuf::from(path)),
+        }
+    }
+    (!args.dumps.is_empty()).then_some(args)
+}
+
+fn main() {
+    let Some(args) = parse_args() else { usage() };
+    let timeline = match Timeline::load(&args.dumps) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("nerpa-flight: {e}");
+            std::process::exit(1);
+        }
+    };
+    let timeline = match args.trace {
+        Some(id) => timeline.filter_trace(id),
+        None => timeline,
+    };
+    if let Some(healthy_path) = &args.diff {
+        let healthy = match Timeline::load(std::slice::from_ref(healthy_path)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("nerpa-flight: {e}");
+                std::process::exit(1);
+            }
+        };
+        print!("{}", timeline.diff(&healthy));
+        return;
+    }
+    if args.json {
+        println!("{}", timeline.render_json());
+    } else {
+        print!("{}", timeline.render_text());
+    }
+}

@@ -20,6 +20,8 @@
 //! See `examples/` for runnable walkthroughs and DESIGN.md /
 //! EXPERIMENTS.md for the experiment index.
 
+pub mod flight;
+
 pub use baselines;
 pub use ddlog;
 pub use nerpa;

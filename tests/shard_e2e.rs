@@ -67,14 +67,28 @@ fn sharded_pipeline_survives_single_switch_failure() {
                        "row": {"id": port, "vlan_mode": "access", "tag": 10}}));
     }
     let (_, changes) = db.transact(&json!(tx));
-    runtime.handle_row_changes(&changes);
+    let trace = runtime.handle_row_changes(&changes);
     runtime.flush();
 
-    // Every switch got both port entries over its own socket.
+    // Every switch got both port entries over its own socket, and every
+    // shard's P4Runtime write carried the one trace id minted for the
+    // commit — the fan-out must not orphan traces by minting per shard.
+    assert_ne!(trace, 0);
     for (sw, device) in devices.iter().enumerate() {
         let n = device.with_switch(|s| s.read_table("InVlan").unwrap().len());
         assert_eq!(n, 2, "switch {sw} missing config entries");
+        assert_eq!(
+            device.last_write_trace(),
+            Some(trace),
+            "switch {sw}: shard write lost the commit's trace id"
+        );
     }
+    // The writer acked on every shard, so the commit's convergence lag
+    // was recorded from the single begin anchor.
+    assert!(
+        telemetry::global().convergence.lag_of(trace).is_some(),
+        "convergence lag must be recorded once the shard writers settle"
+    );
 
     // Per-shard digest path: each switch learns one distinct MAC.
     for sw in 0..SHARDS {
