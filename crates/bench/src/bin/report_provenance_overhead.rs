@@ -1,0 +1,195 @@
+//! Provenance overhead gate: the ledger is maintained incrementally
+//! inside every commit when enabled, so its cost must stay a small,
+//! bounded tax. This bin runs the fig3 reachability churn (one O(1)
+//! edge flap per commit) against two warm engines that differ *only*
+//! in `ProvenanceConfig` — on vs off — and gates the wall/op ratio at
+//! `MAX_OVERHEAD` (≤15%). The flap pairs interleave between the two
+//! engines, so both samples see the same cache temperature and any
+//! frequency drift. The run is split into independent segments and the
+//! gate takes the *minimum* per-segment ratio: the ledger's cost is
+//! deterministic, so external noise (a shared CI box) can only inflate
+//! a segment's ratio, never hide real overhead across all of them.
+//!
+//! `--out FILE` writes a `BENCH_provenance.json` report whose `on`
+//! entry carries a cross-entry wall budget against the `off` entry, so
+//! the `compare` bin re-enforces the gate against the checked-in
+//! baseline.
+
+use std::time::Instant;
+
+use bench::BenchEntry;
+use ddlog::{ProvenanceConfig, Value};
+
+/// Ledger maintenance may cost at most 15% of churn-commit wall time.
+const MAX_OVERHEAD: f64 = 1.15;
+
+struct ChurnMeasure {
+    median_ns: u64,
+    tuples_per_commit: u64,
+}
+
+struct Samples {
+    ns: Vec<u64>,
+    tuples: Vec<u64>,
+}
+
+/// Build a reachability engine with explicit provenance config,
+/// preloaded with the same graph `bench::reachability_engine` uses.
+fn engine_with(n: u64, m: u64, seed: u64, prov: ProvenanceConfig) -> ddlog::Engine {
+    let mut engine =
+        ddlog::Engine::from_source_with(bench::REACHABILITY_PROGRAM, prov).expect("program");
+    let mut txn = ddlog::Transaction::new();
+    txn.insert("GivenLabel", vec![Value::Int(0), Value::Int(1)]);
+    for (a, b) in bench::random_graph(n, m, seed) {
+        txn.insert("Edge", vec![Value::Int(a), Value::Int(b)]);
+    }
+    engine.commit(txn).expect("preload");
+    engine
+}
+
+/// Interleaved churn: flap a leaf edge on two warm engines that are
+/// identical except for the provenance ledger, alternating engines per
+/// flap pair (insert + delete). `pairs` counts pairs per mode.
+fn interleaved_churn(n: u64, m: u64, pairs: usize) -> (Samples, Samples) {
+    let mut with_prov = engine_with(n, m, 5, ProvenanceConfig::on());
+    let mut without = engine_with(n, m, 5, ProvenanceConfig::off());
+    let leaf = (n + 10) as i128;
+    let mut on = Samples {
+        ns: Vec::new(),
+        tuples: Vec::new(),
+    };
+    let mut off = Samples {
+        ns: Vec::new(),
+        tuples: Vec::new(),
+    };
+    // Warm-up pairs are measured into neither set.
+    let warmup = 8;
+    for pair in 0..warmup + 2 * pairs {
+        let measured = pair >= warmup;
+        let provenance = pair % 2 == 0;
+        let engine = if provenance {
+            &mut with_prov
+        } else {
+            &mut without
+        };
+        for step in 0..2 {
+            let mut txn = ddlog::Transaction::new();
+            let row = vec![Value::Int(0), Value::Int(leaf)];
+            if step == 0 {
+                txn.insert("Edge", row);
+            } else {
+                txn.delete("Edge", row);
+            }
+            let t = Instant::now();
+            let (_, profile) = engine.commit_profiled(txn).expect("churn commit");
+            let elapsed = t.elapsed().as_nanos() as u64;
+            if measured {
+                let side = if provenance { &mut on } else { &mut off };
+                side.ns.push(elapsed);
+                side.tuples.push(profile.total_tuples());
+            }
+        }
+    }
+    // The ledger must actually have been exercised, or the gate would
+    // be vacuous.
+    with_prov.validate_provenance().expect("consistent ledger");
+    (on, off)
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => out = args.next(),
+            "--quick" => quick = true,
+            other => {
+                eprintln!(
+                    "usage: report_provenance_overhead [--out FILE] [--quick] (got {other:?})"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (n, m) = (2000u64, 6000u64);
+    let pairs = if quick { 120 } else { 400 };
+    const SEGMENTS: usize = 4;
+
+    let (on_samples, off_samples) = interleaved_churn(n, m, pairs);
+
+    // Per-segment medians; the least-noisy segment (minimum ratio) is
+    // the honest overhead estimate and the one the report ships.
+    let seg = |s: &[u64], i: usize| {
+        let chunk = s.len() / SEGMENTS;
+        bench::median(&s[i * chunk..(i + 1) * chunk])
+    };
+    let (mut on, mut off, mut ratio) = (
+        ChurnMeasure {
+            median_ns: u64::MAX,
+            tuples_per_commit: 0,
+        },
+        ChurnMeasure {
+            median_ns: u64::MAX,
+            tuples_per_commit: 0,
+        },
+        f64::INFINITY,
+    );
+    for i in 0..SEGMENTS {
+        let (on_ns, off_ns) = (seg(&on_samples.ns, i), seg(&off_samples.ns, i));
+        // 1µs floor on the denominator, as in the fig3 cliff gate, so
+        // sub-microsecond noise cannot manufacture a ratio.
+        let r = on_ns as f64 / (off_ns as f64).max(1_000.0);
+        println!(
+            "provenance-overhead: segment {i}: off {:.2}us, on {:.2}us ({r:.3}x)",
+            off_ns as f64 / 1e3,
+            on_ns as f64 / 1e3,
+        );
+        if r < ratio {
+            ratio = r;
+            on = ChurnMeasure {
+                median_ns: on_ns,
+                tuples_per_commit: bench::median(&on_samples.tuples),
+            };
+            off = ChurnMeasure {
+                median_ns: off_ns,
+                tuples_per_commit: bench::median(&off_samples.tuples),
+            };
+        }
+    }
+    println!(
+        "provenance-overhead: reachability churn n={n} wall/op off {:.2}us, on {:.2}us \
+         ({ratio:.3}x best of {SEGMENTS} segments, budget {MAX_OVERHEAD:.2}x, {} commits/mode)",
+        off.median_ns as f64 / 1e3,
+        on.median_ns as f64 / 1e3,
+        2 * pairs,
+    );
+
+    if let Some(path) = out {
+        let entries = vec![
+            BenchEntry::new(
+                "provenance/reachability_churn/off",
+                off.median_ns,
+                off.tuples_per_commit,
+            ),
+            BenchEntry::new(
+                "provenance/reachability_churn/on",
+                on.median_ns,
+                on.tuples_per_commit,
+            )
+            .with_wall_budget("provenance/reachability_churn/off", MAX_OVERHEAD),
+        ];
+        bench::write_bench_json(&path, "provenance-overhead", &entries).expect("write bench json");
+        println!("wrote {path}");
+    }
+
+    assert!(
+        ratio <= MAX_OVERHEAD,
+        "provenance ledger costs {:.1}% of churn-commit wall time (budget 15%): \
+         per-commit justification maintenance is no longer a bounded tax",
+        (ratio - 1.0) * 100.0
+    );
+    println!("provenance-overhead: OK (the why-ledger is within the 15% budget)");
+    bench::dump_metrics_snapshot();
+}

@@ -298,6 +298,9 @@ pub struct Controller {
     /// endpoint's page closure; refreshed after each commit while the
     /// endpoint holds a clone (the engine itself cannot cross threads).
     dataflow: std::sync::Arc<std::sync::Mutex<String>>,
+    /// Rendered `/why` snapshot (provenance ledger summary), refreshed
+    /// like `dataflow`.
+    why_page: std::sync::Arc<std::sync::Mutex<String>>,
     /// Metrics collected so far.
     pub metrics: Metrics,
 }
@@ -307,8 +310,20 @@ impl Controller {
     /// the whole stack is type-checked together; errors carry the DDlog
     /// diagnostics.
     pub fn new(program: &NerpaProgram) -> Result<Controller, String> {
+        Controller::new_with(program, ddlog::ProvenanceConfig::off())
+    }
+
+    /// Like [`Controller::new`], with explicit provenance configuration
+    /// for the engine: when enabled, every derived tuple carries its
+    /// justification and [`Controller::why_entry`] /
+    /// [`Controller::why_mcast`] can answer "why is this rule
+    /// installed?" down to the OVSDB-mirrored base facts.
+    pub fn new_with(
+        program: &NerpaProgram,
+        prov: ddlog::ProvenanceConfig,
+    ) -> Result<Controller, String> {
         let (src, _schema_gen, p4_gen) = program.generate();
-        let engine = Engine::from_source(&src).map_err(|e| e.to_string())?;
+        let engine = Engine::from_source_with(&src, prov).map_err(|e| e.to_string())?;
         Ok(Controller {
             engine,
             schema: program.schema.clone(),
@@ -325,6 +340,7 @@ impl Controller {
             switches: BTreeMap::new(),
             mcast: BTreeMap::new(),
             dataflow: std::sync::Arc::new(std::sync::Mutex::new(String::new())),
+            why_page: std::sync::Arc::new(std::sync::Mutex::new(String::new())),
             metrics: Metrics::default(),
         })
     }
@@ -369,6 +385,11 @@ impl Controller {
         let snap = self.dataflow.clone();
         telemetry::global().register_page("/dataflow", "application/json", move || {
             snap.lock().unwrap().clone()
+        });
+        *self.why_page.lock().unwrap() = self.engine.provenance_summary_json();
+        let why = self.why_page.clone();
+        telemetry::global().register_page("/why", "application/json", move || {
+            why.lock().unwrap().clone()
         });
         telemetry::IntrospectionServer::start(addr, telemetry::global().clone())
     }
@@ -546,6 +567,9 @@ impl Controller {
         // endpoint actually holds the other end.
         if std::sync::Arc::strong_count(&self.dataflow) > 1 {
             *self.dataflow.lock().unwrap() = self.engine.explain_json();
+        }
+        if std::sync::Arc::strong_count(&self.why_page) > 1 {
+            *self.why_page.lock().unwrap() = self.engine.provenance_summary_json();
         }
 
         // Route output deltas to switches. Deletes go first so that
@@ -821,6 +845,180 @@ impl Controller {
             .filter(|((s, _), set)| *s == switch_id && !set.is_empty())
             .map(|((_, g), set)| (*g, set.clone()))
             .collect()
+    }
+
+    /// Resolve an installed P4 table entry back to the output-relation
+    /// row that produced it, through the table bindings (the reverse of
+    /// the commit path's row→update conversion). Returns
+    /// `(relation, row)`.
+    pub fn entry_source(
+        &self,
+        switch_id: usize,
+        entry: &TableEntry,
+    ) -> Result<(String, Vec<ddlog::Value>), String> {
+        let Some(binding) = self.tables.get(&entry.table) else {
+            return Err(format!(
+                "no table-bound output relation named `{}`",
+                entry.table
+            ));
+        };
+        for row in self.engine.dump(&entry.table).map_err(|e| e.to_string())? {
+            let (target, update) = convert::row_to_update(&row, 1, binding)?;
+            let applies = match target {
+                Some(t) => t == switch_id,
+                None => true,
+            };
+            if applies && update.entry == *entry {
+                return Ok((entry.table.clone(), row));
+            }
+        }
+        Err(format!(
+            "no `{}` output row maps to that entry on switch {switch_id}",
+            entry.table
+        ))
+    }
+
+    /// Why is this P4 table entry installed? Resolves the entry to its
+    /// output-relation row and returns the engine's derivation tree,
+    /// rooted at the OVSDB-mirrored input facts. Requires a
+    /// provenance-enabled controller ([`Controller::new_with`]).
+    pub fn why_entry(
+        &self,
+        switch_id: usize,
+        entry: &TableEntry,
+    ) -> Result<ddlog::WhyNode, String> {
+        let (rel, row) = self.entry_source(switch_id, entry)?;
+        self.engine.why(&rel, row).map_err(|e| e.to_string())
+    }
+
+    /// Why is `port` a member of multicast `group`? Resolves through
+    /// the `MulticastGroup` convention relation (2- or 3-column form)
+    /// and returns the derivation tree.
+    pub fn why_mcast(
+        &self,
+        switch_id: usize,
+        group: u16,
+        port: u16,
+    ) -> Result<ddlog::WhyNode, String> {
+        for row in self
+            .engine
+            .dump("MulticastGroup")
+            .map_err(|e| e.to_string())?
+        {
+            let hit = match row.len() {
+                2 => {
+                    row[0].as_u128() == Some(group as u128)
+                        && row[1].as_u128() == Some(port as u128)
+                }
+                3 => {
+                    row[0].as_u128() == Some(switch_id as u128)
+                        && row[1].as_u128() == Some(group as u128)
+                        && row[2].as_u128() == Some(port as u128)
+                }
+                _ => false,
+            };
+            if hit {
+                return self
+                    .engine
+                    .why("MulticastGroup", row)
+                    .map_err(|e| e.to_string());
+            }
+        }
+        Err(format!(
+            "no MulticastGroup row for group {group} port {port} on switch {switch_id}"
+        ))
+    }
+
+    /// Build the output-relation row that *would* produce `entry` on
+    /// `switch_id` — the inverse of the commit path's row→update
+    /// conversion, typed against the relation's declared columns. Param
+    /// columns owned by other actions are set to 0 (the convention the
+    /// generated rules follow).
+    fn entry_to_row(
+        &self,
+        switch_id: usize,
+        entry: &TableEntry,
+    ) -> Result<Vec<ddlog::Value>, String> {
+        use ddlog::Type;
+        use p4sim::runtime::FieldMatch;
+        let Some(binding) = self.tables.get(&entry.table) else {
+            return Err(format!(
+                "no table-bound output relation named `{}`",
+                entry.table
+            ));
+        };
+        let schema = self
+            .engine
+            .relation_schema(&entry.table)
+            .map_err(|e| e.to_string())?;
+        let mut types = schema.iter().map(|(_, t)| t);
+        fn num(ty: Option<&Type>, v: u128) -> Result<ddlog::Value, String> {
+            match ty {
+                Some(Type::Bit(w)) => Ok(ddlog::Value::Bit { width: *w, val: v }),
+                Some(Type::Int) => Ok(ddlog::Value::Int(v as i128)),
+                other => Err(format!("expected numeric column, found {other:?}")),
+            }
+        }
+        let mut row = Vec::with_capacity(schema.len());
+        if binding.per_switch {
+            row.push(num(types.next(), switch_id as u128)?);
+        }
+        if entry.matches.len() != binding.table.keys.len() {
+            return Err(format!(
+                "entry has {} matches, table `{}` has {} keys",
+                entry.matches.len(),
+                entry.table,
+                binding.table.keys.len()
+            ));
+        }
+        for m in &entry.matches {
+            match m {
+                FieldMatch::Exact { value } => row.push(num(types.next(), *value)?),
+                FieldMatch::Lpm { value, prefix_len } => {
+                    row.push(num(types.next(), *value)?);
+                    row.push(num(types.next(), *prefix_len as u128)?);
+                }
+                FieldMatch::Ternary { value, mask } => {
+                    row.push(num(types.next(), *value)?);
+                    row.push(num(types.next(), *mask)?);
+                }
+            }
+        }
+        if binding.has_priority {
+            row.push(num(types.next(), entry.priority as u128)?);
+        }
+        let _ = types.next(); // action column
+        row.push(ddlog::Value::str(&entry.action));
+        let action_params: Vec<u128> = binding
+            .table
+            .actions
+            .iter()
+            .find(|a| a.name == entry.action)
+            .map(|a| (0..a.params.len()).map(|i| entry.params[i]).collect())
+            .unwrap_or_default();
+        for (_, owner, idx) in &binding.param_cols {
+            let v = if owner == &entry.action {
+                action_params.get(*idx).copied().unwrap_or(0)
+            } else {
+                0
+            };
+            row.push(num(types.next(), v)?);
+        }
+        Ok(row)
+    }
+
+    /// Why is this P4 table entry *not* installed? Inverts the entry to
+    /// its would-be output-relation row and reports, per candidate
+    /// rule, the first failing literal.
+    pub fn why_not_entry(
+        &self,
+        switch_id: usize,
+        entry: &TableEntry,
+    ) -> Result<ddlog::WhyNot, String> {
+        let row = self.entry_to_row(switch_id, entry)?;
+        self.engine
+            .why_not(&entry.table, row)
+            .map_err(|e| e.to_string())
     }
 
     /// Swap the data plane behind an existing switch id (e.g. after the

@@ -116,6 +116,16 @@ impl RuleState {
         self.bytes
     }
 
+    /// The live aggregation groups of stage `i`, when that stage is an
+    /// aggregate. The provenance layer reads these to reconstruct the
+    /// contributing bindings of an aggregated tuple on demand.
+    pub(crate) fn stage_groups(&self, i: usize) -> Option<&HashMap<Key, ZSet<Binding>>> {
+        match self.states.get(i) {
+            Some(StageState::Groups(m)) => Some(m),
+            _ => None,
+        }
+    }
+
     /// Recompute [`RuleState::approx_bytes`] by walking every
     /// arrangement. Test/debug aid for validating the incremental count.
     pub fn approx_bytes_recompute(&self) -> usize {
@@ -199,6 +209,9 @@ pub type RuleProf<'a> = (&'a [OpId], &'a [Option<OpId>], &'a mut WorkProfile);
 ///   upkeep is recorded to its own operator and subtracted from the
 ///   stage wall so "index too big" and "probe too hot" are
 ///   distinguishable.
+/// * `capture` — when provenance is enabled, every derived head row is
+///   also pushed here with the final binding that produced it and its
+///   derivation weight; the captures mirror the returned delta exactly.
 /// * Returns the delta of head-row derivations (weighted).
 pub fn process_rule(
     rule: &CompiledRule,
@@ -206,6 +219,7 @@ pub fn process_rule(
     stores: &[RelationStore],
     rel_deltas: &HashMap<RelId, ZSet<Row>>,
     mut prof: Option<RuleProf<'_>>,
+    capture: Option<&mut Vec<(Row, Binding, isize)>>,
 ) -> Result<ZSet<Row>> {
     // Fast path: nothing this rule depends on changed.
     if !rule
@@ -468,12 +482,17 @@ pub fn process_rule(
 
     // Map final bindings through the head expressions.
     let mut head_delta = ZSet::new();
+    let mut capture = capture;
     for (b, w) in cur.iter() {
         let mut row = Vec::with_capacity(rule.head_exprs.len());
         for e in &rule.head_exprs {
             row.push(eval(e, b)?);
         }
-        head_delta.add(Arc::new(row), w);
+        let row: Row = Arc::new(row);
+        if let Some(cap) = capture.as_deref_mut() {
+            cap.push((row.clone(), b.clone(), w));
+        }
+        head_delta.add(row, w);
     }
     Ok(head_delta)
 }

@@ -14,6 +14,7 @@ use crate::chain::{process_rule, RuleState};
 use crate::error::{Error, Phase, Result};
 use crate::plan::{plan, CompiledProgram};
 use crate::profile::{AuditConfig, FixpointProbe, OpCatalog, WorkProfile};
+use crate::provenance::{Ledger, ProvenanceConfig, QueryCtx, WhyNode, WhyNot, FACT};
 use crate::recursive::process_recursive_stratum;
 use crate::store::{RelId, RelationStore};
 use crate::stratify::{stratify, Stratification};
@@ -198,12 +199,27 @@ pub struct Engine {
     /// Causal trace id stamped onto the next commit's flight-recorder
     /// events (consumed per commit; 0 = untraced).
     commit_trace: u64,
+    /// Per plan index: whether the rule runs in a recursive stratum
+    /// (provenance answers those by driven search, not the ledger).
+    recursive_plans: Vec<bool>,
+    /// The provenance ledger, maintained when the engine was built with
+    /// [`ProvenanceConfig::on`].
+    provenance: Option<Ledger>,
 }
 
 impl Engine {
     /// Parse, type-check, stratify, plan, and initialize an engine from
-    /// program source.
+    /// program source. Provenance is off; use
+    /// [`Engine::from_source_with`] to enable it.
     pub fn from_source(src: &str) -> Result<Engine> {
+        Engine::from_source_with(src, ProvenanceConfig::off())
+    }
+
+    /// Like [`Engine::from_source`], with explicit provenance
+    /// configuration. The choice is fixed for the engine's lifetime:
+    /// the capture hooks exist only when enabled, so a provenance-off
+    /// engine evaluates exactly as before.
+    pub fn from_source_with(src: &str, prov: ProvenanceConfig) -> Result<Engine> {
         let program = crate::parser::parse_program(src)?;
         let checked = check(&program)?;
         let strat = stratify(&checked.program)?;
@@ -274,6 +290,15 @@ impl Engine {
         let series = op_series(&catalog);
         let cumulative = WorkProfile::new(catalog.len());
 
+        let mut recursive_plans = vec![false; compiled.rules.len()];
+        for s in &strata {
+            if s.recursive {
+                for pi in &s.plan_idxs {
+                    recursive_plans[*pi] = true;
+                }
+            }
+        }
+
         let mut engine = Engine {
             checked,
             compiled,
@@ -289,14 +314,19 @@ impl Engine {
             last_profile: None,
             audit: None,
             commit_trace: 0,
+            recursive_plans,
+            provenance: prov.enabled.then(Ledger::default),
         };
 
         // Install constant facts and propagate them like a transaction.
         let mut rel_deltas: HashMap<RelId, ZSet<Row>> = HashMap::new();
         let facts = engine.compiled.facts.clone();
         for (rel, row) in facts {
-            let sd = engine.stores[rel]
-                .apply_derivation_delta(&ZSet::singleton(std::sync::Arc::new(row), 1));
+            let row: Row = std::sync::Arc::new(row);
+            if let Some(ledger) = engine.provenance.as_mut() {
+                ledger.apply(rel, FACT, row.clone(), std::sync::Arc::new(Vec::new()), 1);
+            }
+            let sd = engine.stores[rel].apply_derivation_delta(&ZSet::singleton(row, 1));
             rel_deltas.entry(rel).or_default().merge(sd);
         }
         rel_deltas.retain(|_, z| !z.is_empty());
@@ -304,6 +334,7 @@ impl Engine {
         let init_out = engine.propagate(&mut rel_deltas, &mut init_profile);
         engine.flush_arrangement_stats(&mut init_profile);
         init_out?;
+        engine.stamp_touches(&rel_deltas, 0);
         engine.cumulative.merge(&init_profile);
         Ok(engine)
     }
@@ -437,6 +468,7 @@ impl Engine {
         metrics.commit_us.record_duration(started.elapsed());
         metrics.commits.inc();
         let delta = out?;
+        self.stamp_touches(&rel_deltas, trace);
         metrics.output_changes.add(delta.len() as u64);
         for (rel, rows) in &delta.changes {
             relation_changes_counter(rel).add(rows.len() as u64);
@@ -535,6 +567,7 @@ impl Engine {
                 }
             } else {
                 let mut acc: HashMap<RelId, ZSet<Row>> = HashMap::new();
+                let mut captures: Vec<(Row, crate::cexpr::Binding, isize)> = Vec::new();
                 for pi in &stratum.plan_idxs {
                     let rule = &self.compiled.rules[*pi];
                     let head_delta = process_rule(
@@ -547,7 +580,13 @@ impl Engine {
                             &self.catalog.stage_arrange_ops[*pi],
                             profile,
                         )),
+                        self.provenance.is_some().then_some(&mut captures),
                     )?;
+                    if let Some(ledger) = self.provenance.as_mut() {
+                        for (row, env, w) in captures.drain(..) {
+                            ledger.apply(rule.head_rel, *pi, row, env, w);
+                        }
+                    }
                     if !head_delta.is_empty() {
                         acc.entry(rule.head_rel).or_default().merge(head_delta);
                     }
@@ -623,6 +662,162 @@ impl Engine {
                 .map_err(|m| Error::new(Phase::Eval, m))?;
         }
         Ok(())
+    }
+
+    /// Stamp the set-level row changes of a committed transaction into
+    /// the provenance touch map: inserts record `(trace, commit)`,
+    /// retractions forget the stamp.
+    fn stamp_touches(&mut self, rel_deltas: &HashMap<RelId, ZSet<Row>>, trace: u64) {
+        let commit = self.commits;
+        let Some(ledger) = self.provenance.as_mut() else {
+            return;
+        };
+        for (rel, z) in rel_deltas {
+            for (row, w) in z.iter() {
+                if w > 0 {
+                    ledger.stamp(*rel, row, trace, commit);
+                } else {
+                    ledger.unstamp(*rel, row);
+                }
+            }
+        }
+    }
+
+    /// True when this engine maintains the provenance ledger.
+    pub fn provenance_enabled(&self) -> bool {
+        self.provenance.is_some()
+    }
+
+    /// The declared `(column name, type)` pairs of a relation; lets
+    /// callers (e.g. the `nerpa-why` CLI) parse textual row literals.
+    pub fn relation_schema(&self, relation: &str) -> Result<Vec<(String, crate::types::Type)>> {
+        let rel = self.rel_id(relation)?;
+        Ok(self.compiled.decls[rel].columns.clone())
+    }
+
+    fn rel_id(&self, relation: &str) -> Result<RelId> {
+        self.compiled
+            .rel_ids
+            .get(relation)
+            .copied()
+            .ok_or_else(|| Error::new(Phase::Eval, format!("unknown relation `{relation}`")))
+    }
+
+    fn check_row_arity(&self, rel: RelId, row: &[Value]) -> Result<()> {
+        let decl = &self.compiled.decls[rel];
+        if row.len() != decl.arity() {
+            return Err(Error::new(
+                Phase::Eval,
+                format!(
+                    "relation `{}` has {} columns, row has {}",
+                    decl.name,
+                    decl.arity(),
+                    row.len()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Render a source rule as `Head :- body, ...` (relation names plus
+    /// markers for non-atom literals).
+    fn render_rule(&self, rule_index: usize) -> String {
+        use crate::ast::BodyItem;
+        let rule = &self.checked.program.rules[rule_index];
+        let parts: Vec<String> = rule
+            .body
+            .iter()
+            .map(|item| match item {
+                BodyItem::Atom(a) => a.relation.clone(),
+                BodyItem::Not(a) => format!("not {}", a.relation),
+                BodyItem::Cond(_) => "<filter>".to_string(),
+                BodyItem::Assign { var, .. } => format!("var {var} = ..."),
+                BodyItem::FlatMap { var, .. } => format!("var {var} = FlatMap(...)"),
+                BodyItem::Aggregate {
+                    out_var, func, by, ..
+                } => format!("var {out_var} = {func:?}(...) group_by ({})", by.join(", "))
+                    .to_lowercase(),
+            })
+            .collect();
+        format!("{} :- {}", rule.head.relation, parts.join(", "))
+    }
+
+    fn with_query_ctx<T>(&self, f: impl FnOnce(&QueryCtx<'_>) -> Result<T>) -> Result<T> {
+        let rule_text = |ri: usize| self.render_rule(ri);
+        let ctx = QueryCtx {
+            compiled: &self.compiled,
+            stores: &self.stores,
+            rule_states: &self.rule_states,
+            recursive_plans: &self.recursive_plans,
+            ledger: self.provenance.as_ref(),
+            rule_text: &rule_text,
+        };
+        f(&ctx)
+    }
+
+    /// Why is `row` in `relation`? Returns the derivation tree rooted
+    /// at base (input-relation) facts: each node cites the rule and the
+    /// supporting rows that produced it, annotated with the flight-
+    /// recorder trace that last touched each fact. Requires a
+    /// provenance-enabled engine ([`Engine::from_source_with`]); the
+    /// row must be visible (otherwise ask [`Engine::why_not`]).
+    pub fn why(&self, relation: &str, row: Vec<Value>) -> Result<WhyNode> {
+        if self.provenance.is_none() {
+            return Err(Error::new(
+                Phase::Eval,
+                "provenance is disabled; build the engine with ProvenanceConfig::on()".to_string(),
+            ));
+        }
+        let rel = self.rel_id(relation)?;
+        self.check_row_arity(rel, &row)?;
+        let row: Row = std::sync::Arc::new(row);
+        if !self.stores[rel].contains(&row) {
+            return Err(Error::new(
+                Phase::Eval,
+                format!("`{relation}` does not contain that row — ask why_not instead"),
+            ));
+        }
+        self.with_query_ctx(|ctx| crate::provenance::why(ctx, rel, &row))
+    }
+
+    /// Why is `row` *not* in `relation`? Reports, for every candidate
+    /// rule with this head, the first failing literal that blocks a
+    /// derivation. Works on any engine (the search is on-demand; no
+    /// ledger needed).
+    pub fn why_not(&self, relation: &str, row: Vec<Value>) -> Result<WhyNot> {
+        let rel = self.rel_id(relation)?;
+        self.check_row_arity(rel, &row)?;
+        let row: Row = std::sync::Arc::new(row);
+        self.with_query_ctx(|ctx| crate::provenance::why_not(ctx, rel, &row))
+    }
+
+    /// The `(trace, commit)` that last inserted `row`, when provenance
+    /// is on and the row was touched since construction.
+    pub fn last_touch(&self, relation: &str, row: &[Value]) -> Result<Option<(u64, u64)>> {
+        let rel = self.rel_id(relation)?;
+        self.check_row_arity(rel, row)?;
+        let row: Row = std::sync::Arc::new(row.to_vec());
+        Ok(self
+            .provenance
+            .as_ref()
+            .and_then(|l| l.last_touch(rel, &row)))
+    }
+
+    /// Validate the provenance ledger against the live stores: every
+    /// justification re-evaluates, per-row counts match the stores'
+    /// derivation counts, and every visible chain-derived row is
+    /// justified. The provenance analogue of
+    /// [`Engine::validate_arrangements`].
+    pub fn validate_provenance(&self) -> Result<()> {
+        self.with_query_ctx(crate::provenance::validate)
+    }
+
+    /// The `/why` exposition document: ledger size and shape per
+    /// relation, as deterministic JSON.
+    pub fn provenance_summary_json(&self) -> String {
+        let commits = self.commits;
+        self.with_query_ctx(|ctx| Ok(crate::provenance::summary_json(ctx, commits)))
+            .unwrap_or_default()
     }
 
     /// The current contents of any relation, sorted.

@@ -39,6 +39,7 @@ pub mod lexer;
 pub mod parser;
 pub mod plan;
 pub mod profile;
+pub mod provenance;
 pub mod recursive;
 pub mod stdlib;
 pub mod store;
@@ -51,5 +52,6 @@ pub mod zset;
 pub use engine::{Engine, Transaction, TxnDelta};
 pub use error::{Error, Result};
 pub use profile::{AuditConfig, OpCatalog, OpId, OpKind, OpMeta, OpStats, WorkProfile};
+pub use provenance::{CandidateReport, ProvenanceConfig, WhyJust, WhyNode, WhyNot, WhySupport};
 pub use types::Type;
 pub use value::Value;

@@ -491,7 +491,7 @@ pub fn build_drive_plans(
 }
 
 /// The value source of one atom column under any binding order.
-enum ColSrc {
+pub(crate) enum ColSrc {
     /// The column must equal this literal.
     Const(Value),
     /// The column carries this environment slot's value.
@@ -500,7 +500,9 @@ enum ColSrc {
 
 /// Reconstruct per-column sources from a planned atom stage (its
 /// key/bind/check split assumed the original left-to-right order).
-fn atom_col_srcs(stage: &PStage) -> Vec<(usize, ColSrc)> {
+/// Shared with the provenance layer, which inverts a recorded
+/// environment back into the concrete input rows of each atom.
+pub(crate) fn atom_col_srcs(stage: &PStage) -> Vec<(usize, ColSrc)> {
     let PStage::Atom {
         key_cols,
         key_srcs,

@@ -115,6 +115,20 @@ impl OpCatalog {
     /// plan indices it executes (the engine's execution schedule).
     pub fn build(compiled: &CompiledProgram, strata: &[(bool, Vec<usize>)]) -> OpCatalog {
         let rel_name = |rel: RelId| compiled.decls[rel].name.as_str();
+        // Arrangement keys by declared column *name*, so `nerpa-prof
+        // --explain` reads `Port by (id)` rather than `Port by [1]`.
+        let key_names = |rel: RelId, cols: &[usize]| -> String {
+            cols.iter()
+                .map(|c| {
+                    compiled.decls[rel]
+                        .columns
+                        .get(*c)
+                        .map(|(n, _)| n.as_str())
+                        .unwrap_or("?")
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
         let mut cat = OpCatalog {
             rule_ops: vec![Vec::new(); compiled.rules.len()],
             stage_arrange_ops: vec![Vec::new(); compiled.rules.len()],
@@ -142,7 +156,10 @@ impl OpCatalog {
                         rel, neg, key_cols, ..
                     } => {
                         let kind = if *neg { OpKind::Antijoin } else { OpKind::Join };
-                        (kind, format!("{} on {:?}", rel_name(*rel), key_cols))
+                        (
+                            kind,
+                            format!("{} on ({})", rel_name(*rel), key_names(*rel, key_cols)),
+                        )
                     }
                     PStage::Filter { .. } => (OpKind::Filter, String::new()),
                     PStage::Assign { slot, .. } => (OpKind::Map, format!("slot {slot}")),
@@ -177,7 +194,11 @@ impl OpCatalog {
                             kind: OpKind::Arrange,
                             rule: Some(rule.rule_index),
                             stage: Some(si),
-                            detail: format!("bindings for {} on {:?}", rel_name(*rel), key_cols),
+                            detail: format!(
+                                "bindings for {} on ({})",
+                                rel_name(*rel),
+                                key_names(*rel, key_cols)
+                            ),
                         });
                         Some(id)
                     }
@@ -205,9 +226,9 @@ impl OpCatalog {
                 rule: None,
                 stage: None,
                 detail: format!(
-                    "{} by {:?} ({} user{})",
+                    "{} by ({}) ({} user{})",
                     rel_name(spec.rel),
-                    spec.cols,
+                    key_names(spec.rel, &spec.cols),
                     spec.users.len(),
                     if spec.users.len() == 1 { "" } else { "s" }
                 ),

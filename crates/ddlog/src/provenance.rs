@@ -1,0 +1,1324 @@
+//! Per-tuple provenance: the justification ledger behind
+//! [`crate::engine::Engine::why`] and [`crate::engine::Engine::why_not`].
+//!
+//! When an engine is built with [`ProvenanceConfig::on`], every head row
+//! derived by the incremental chain ([`crate::chain`]) is captured
+//! together with the rule and the final binding (environment) that
+//! produced it. The [`Ledger`] keeps one entry per `(rule, environment)`
+//! justification with a count that mirrors the row's derivation count —
+//! the same +w/−w stream the chain's bilinear deltas emit — so a
+//! retraction prunes exactly the justification whose support vanished,
+//! with no scanning and no stale references.
+//!
+//! Supporting *input rows* are deliberately not stored: they are
+//! reconstructed on demand by projecting the recorded environment back
+//! through each atom's column sources ([`crate::plan::atom_col_srcs`])
+//! and probing the live stores (reusing the PR 7 shared arrangements).
+//! A justification therefore can never point at a retracted fact — if
+//! the fact is gone, the chain has already retracted the justification
+//! itself. Relations in recursive strata are evaluated by driven search
+//! with set semantics (no per-derivation counts), so their derivations
+//! are likewise found on demand with the same driven machinery
+//! ([`crate::recursive::explain_stages`]).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::ast::RelationRole;
+use crate::cexpr::{eval, eval_aggregate, Binding};
+use crate::chain::RuleState;
+use crate::error::{Error, Phase, Result};
+use crate::plan::{atom_col_srcs, ColSrc, CompiledProgram, CompiledRule, HeadBind, PStage};
+use crate::recursive::explain_stages;
+use crate::store::{RelId, RelationStore};
+use crate::value::{Row, Value};
+
+/// Whether an engine maintains the provenance ledger. Fixed at
+/// construction ([`crate::engine::Engine::from_source_with`]): capture
+/// hooks and ledger state exist only when enabled, so a disabled engine
+/// pays nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProvenanceConfig {
+    /// Maintain per-tuple justifications alongside evaluation.
+    pub enabled: bool,
+}
+
+impl ProvenanceConfig {
+    /// Provenance on.
+    pub fn on() -> ProvenanceConfig {
+        ProvenanceConfig { enabled: true }
+    }
+
+    /// Provenance off (the default).
+    pub fn off() -> ProvenanceConfig {
+        ProvenanceConfig { enabled: false }
+    }
+}
+
+/// Sentinel `plan_idx` for rows installed by declared facts
+/// (`R(10).`) rather than by a rule.
+pub(crate) const FACT: usize = usize::MAX;
+
+/// One recorded justification of a derived row: the rule (by plan
+/// index) and the final environment, with a count of how many
+/// derivations currently flow through it.
+#[derive(Debug, Clone)]
+pub(crate) struct JustEntry {
+    /// Index into [`CompiledProgram::rules`], or [`FACT`].
+    pub plan_idx: usize,
+    /// The final binding the chain evaluated the head under (post-
+    /// aggregate layout for aggregate rules). Empty for facts.
+    pub env: Binding,
+    /// Net derivation count through this (rule, env); always positive.
+    pub count: isize,
+}
+
+/// Approximate resident bytes of one ledger environment.
+fn env_bytes(env: &Binding) -> usize {
+    env.iter().map(crate::store::value_bytes).sum::<usize>() + 48
+}
+
+/// The justification ledger: per derived row, the `(rule, environment)`
+/// pairs that currently support it, plus the last-touch stamp per row
+/// (the flight-recorder trace and commit that most recently inserted
+/// it).
+#[derive(Debug, Default)]
+pub(crate) struct Ledger {
+    justs: HashMap<(RelId, Row), Vec<JustEntry>>,
+    touch: HashMap<(RelId, Row), (u64, u64)>,
+    entries: usize,
+    bytes: usize,
+}
+
+impl Ledger {
+    /// Fold one captured derivation (`±w`) into the ledger.
+    pub fn apply(&mut self, rel: RelId, plan_idx: usize, row: Row, env: Binding, w: isize) {
+        if w == 0 {
+            return;
+        }
+        let key = (rel, row);
+        let list = self.justs.entry(key.clone()).or_default();
+        if let Some(e) = list
+            .iter_mut()
+            .find(|e| e.plan_idx == plan_idx && e.env == env)
+        {
+            e.count += w;
+            if e.count == 0 {
+                self.bytes = self.bytes.saturating_sub(env_bytes(&env));
+                self.entries -= 1;
+                list.retain(|e| e.count != 0);
+                if list.is_empty() {
+                    self.justs.remove(&key);
+                }
+            }
+        } else {
+            self.bytes += env_bytes(&env);
+            self.entries += 1;
+            list.push(JustEntry {
+                plan_idx,
+                env,
+                count: w,
+            });
+        }
+    }
+
+    /// Stamp `row`'s last touch (set-level insert) with a trace/commit.
+    pub fn stamp(&mut self, rel: RelId, row: &Row, trace: u64, commit: u64) {
+        self.touch.insert((rel, row.clone()), (trace, commit));
+    }
+
+    /// Forget the stamp of a retracted row.
+    pub fn unstamp(&mut self, rel: RelId, row: &Row) {
+        self.touch.remove(&(rel, row.clone()));
+    }
+
+    /// The (trace, commit) that last inserted `row`, if stamped.
+    pub fn last_touch(&self, rel: RelId, row: &Row) -> Option<(u64, u64)> {
+        self.touch.get(&(rel, row.clone())).copied()
+    }
+
+    /// Justifications of one row (empty when untracked).
+    pub fn entries_of(&self, rel: RelId, row: &Row) -> &[JustEntry] {
+        self.justs
+            .get(&(rel, row.clone()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterate all `(rel, row) → justifications`.
+    pub fn iter(&self) -> impl Iterator<Item = (&(RelId, Row), &Vec<JustEntry>)> {
+        self.justs.iter()
+    }
+
+    /// Number of justification entries across all rows.
+    pub fn total_entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Number of rows with at least one justification.
+    pub fn total_rows(&self) -> usize {
+        self.justs.len()
+    }
+
+    /// Approximate resident bytes of recorded environments.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query results
+
+/// One node of a derivation tree: a fact and how it is justified.
+#[derive(Debug, Clone)]
+pub struct WhyNode {
+    /// Relation name.
+    pub relation: String,
+    /// The row.
+    pub row: Vec<Value>,
+    /// True when this is a base fact: an `input` relation row mirrored
+    /// from outside (OVSDB in the full stack).
+    pub base: bool,
+    /// `(trace, commit)` of the flight-recorder trace that last
+    /// inserted this row, when stamped.
+    pub touch: Option<(u64, u64)>,
+    /// The justifications (at least one for a visible derived row).
+    pub justs: Vec<WhyJust>,
+    /// True when this row already appears higher up the tree (cycle in
+    /// a recursive stratum); its justifications are not repeated.
+    pub repeated: bool,
+    /// Truncation or limit notes, if any.
+    pub note: Option<String>,
+}
+
+/// One justification of a node: a rule application (or declared fact)
+/// and its supporting literals.
+#[derive(Debug, Clone)]
+pub struct WhyJust {
+    /// Source rule index, or `None` for a declared fact.
+    pub rule_index: Option<usize>,
+    /// Human-readable rule rendering.
+    pub rule: String,
+    /// The supporting literals, in body order.
+    pub supports: Vec<WhySupport>,
+    /// Truncation notes (support or contributor caps), if any.
+    pub note: Option<String>,
+}
+
+/// One supporting literal of a justification.
+#[derive(Debug, Clone)]
+pub enum WhySupport {
+    /// A positive atom's supporting fact, recursively explained.
+    Fact(WhyNode),
+    /// A satisfied negation: no row matches `pattern` in `relation`.
+    Absent {
+        /// The negated relation.
+        relation: String,
+        /// The pattern no row matches, e.g. `Blocked(3, _)`.
+        pattern: String,
+    },
+}
+
+/// The report of [`crate::engine::Engine::why_not`]: per candidate
+/// rule, the first failing literal that blocks a derivation.
+#[derive(Debug, Clone)]
+pub struct WhyNot {
+    /// Relation name.
+    pub relation: String,
+    /// The absent row.
+    pub row: Vec<Value>,
+    /// True when the row is actually present (use `why` instead).
+    pub present: bool,
+    /// True when the relation is an input: nothing derives it, the row
+    /// simply was never inserted.
+    pub input: bool,
+    /// One report per candidate rule with this head relation.
+    pub candidates: Vec<CandidateReport>,
+}
+
+/// Why one candidate rule fails to derive the target row.
+#[derive(Debug, Clone)]
+pub struct CandidateReport {
+    /// Source rule index.
+    pub rule_index: usize,
+    /// Human-readable rule rendering.
+    pub rule: String,
+    /// Pipeline stage of the first failing literal (`None` when the
+    /// head itself is incompatible).
+    pub stage: Option<usize>,
+    /// Description of the first failing literal.
+    pub failure: String,
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+
+fn fmt_row(relation: &str, row: &[Value]) -> String {
+    let vals: Vec<String> = row.iter().map(Value::to_string).collect();
+    format!("{}({})", relation, vals.join(", "))
+}
+
+fn fmt_touch(touch: Option<(u64, u64)>) -> String {
+    match touch {
+        Some((0, commit)) => format!("  [commit {commit}]"),
+        Some((trace, commit)) => format!("  [trace {trace} @ commit {commit}]"),
+        None => String::new(),
+    }
+}
+
+impl WhyNode {
+    /// Render the derivation tree as indented text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(depth);
+        let tag = if self.base { " — base" } else { "" };
+        let rep = if self.repeated {
+            " (derivation shown above)"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "{pad}{}{tag}{rep}{}",
+            fmt_row(&self.relation, &self.row),
+            fmt_touch(self.touch)
+        );
+        if let Some(n) = &self.note {
+            let _ = writeln!(out, "{pad}  ({n})");
+        }
+        for j in &self.justs {
+            match j.rule_index {
+                Some(i) => {
+                    let _ = writeln!(out, "{pad}  via rule {i}: {}", j.rule);
+                }
+                None => {
+                    let _ = writeln!(out, "{pad}  via declared fact");
+                }
+            }
+            if let Some(n) = &j.note {
+                let _ = writeln!(out, "{pad}    ({n})");
+            }
+            for s in &j.supports {
+                match s {
+                    WhySupport::Fact(n) => n.render_into(out, depth + 2),
+                    WhySupport::Absent { pattern, .. } => {
+                        let _ = writeln!(out, "{pad}    no row matches {pattern} — negation holds");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Render the derivation tree as JSON.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        self.json_into(&mut out);
+        out
+    }
+
+    fn json_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let js = telemetry::metrics::json_string;
+        let _ = write!(
+            out,
+            "{{\"relation\":{},\"row\":[{}],\"base\":{},\"repeated\":{}",
+            js(&self.relation),
+            self.row
+                .iter()
+                .map(|v| js(&v.to_string()))
+                .collect::<Vec<_>>()
+                .join(","),
+            self.base,
+            self.repeated
+        );
+        match self.touch {
+            Some((trace, commit)) => {
+                let _ = write!(out, ",\"trace\":{trace},\"commit\":{commit}");
+            }
+            None => {
+                let _ = write!(out, ",\"trace\":null,\"commit\":null");
+            }
+        }
+        if let Some(n) = &self.note {
+            let _ = write!(out, ",\"note\":{}", js(n));
+        }
+        out.push_str(",\"justifications\":[");
+        for (i, j) in self.justs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let rule = j
+                .rule_index
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "null".to_string());
+            let _ = write!(
+                out,
+                "{{\"rule\":{rule},\"text\":{},\"supports\":[",
+                js(&j.rule)
+            );
+            for (k, s) in j.supports.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                match s {
+                    WhySupport::Fact(n) => {
+                        out.push_str("{\"kind\":\"fact\",\"node\":");
+                        n.json_into(out);
+                        out.push('}');
+                    }
+                    WhySupport::Absent { relation, pattern } => {
+                        let _ = write!(
+                            out,
+                            "{{\"kind\":\"absent\",\"relation\":{},\"pattern\":{}}}",
+                            js(relation),
+                            js(pattern)
+                        );
+                    }
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+    }
+
+    /// True when every leaf of the tree is a base (input) fact or a
+    /// satisfied negation — the acceptance shape of a complete
+    /// explanation.
+    pub fn rooted_in_base(&self) -> bool {
+        if self.base {
+            return true;
+        }
+        if self.repeated {
+            // The expansion lives higher in the tree.
+            return true;
+        }
+        !self.justs.is_empty()
+            && self.justs.iter().all(|j| {
+                j.supports.iter().all(|s| match s {
+                    WhySupport::Fact(n) => n.rooted_in_base(),
+                    WhySupport::Absent { .. } => true,
+                })
+            })
+    }
+}
+
+impl WhyNot {
+    /// Render the report as text.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let target = fmt_row(&self.relation, &self.row);
+        if self.present {
+            let _ = writeln!(out, "{target} is present — ask why, not why-not");
+            return out;
+        }
+        if self.input {
+            let _ = writeln!(
+                out,
+                "{target} is an input-relation row that was never inserted \
+                 (nothing derives input relations)"
+            );
+            return out;
+        }
+        let _ = writeln!(out, "{target} is not derivable:");
+        if self.candidates.is_empty() {
+            let _ = writeln!(out, "  no rule has this head relation");
+        }
+        for c in &self.candidates {
+            let at = match c.stage {
+                Some(s) => format!(" at stage {s}"),
+                None => String::new(),
+            };
+            let _ = writeln!(out, "  rule {} ({}):{at}", c.rule_index, c.rule);
+            let _ = writeln!(out, "    {}", c.failure);
+        }
+        out
+    }
+
+    /// Render the report as JSON.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let js = telemetry::metrics::json_string;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"relation\":{},\"row\":[{}],\"present\":{},\"input\":{},\"candidates\":[",
+            js(&self.relation),
+            self.row
+                .iter()
+                .map(|v| js(&v.to_string()))
+                .collect::<Vec<_>>()
+                .join(","),
+            self.present,
+            self.input
+        );
+        for (i, c) in self.candidates.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let stage = c
+                .stage
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "null".to_string());
+            let _ = write!(
+                out,
+                "{{\"rule\":{},\"text\":{},\"stage\":{stage},\"failure\":{}}}",
+                c.rule_index,
+                js(&c.rule),
+                js(&c.failure)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+/// Everything a provenance query needs from the engine.
+pub(crate) struct QueryCtx<'a> {
+    pub compiled: &'a CompiledProgram,
+    pub stores: &'a [RelationStore],
+    pub rule_states: &'a [RuleState],
+    /// Per plan index: whether the rule runs in a recursive stratum.
+    pub recursive_plans: &'a [bool],
+    pub ledger: Option<&'a Ledger>,
+    /// Rule index → human-readable rendering.
+    pub rule_text: &'a dyn Fn(usize) -> String,
+}
+
+/// Depth cap of a derivation tree.
+const MAX_DEPTH: usize = 32;
+/// Max support rows listed per atom (wildcard atoms can match many).
+const MAX_SUPPORT_ROWS: usize = 8;
+/// Max justifications expanded per node.
+const MAX_JUSTS: usize = 4;
+/// Max aggregate contributors expanded per justification.
+const MAX_CONTRIBUTORS: usize = 16;
+/// Row-examination budget of one driven derivation search.
+const SEARCH_BUDGET: usize = 50_000;
+
+impl<'a> QueryCtx<'a> {
+    fn describe(&self) -> impl Fn(RelId) -> (String, usize) + '_ {
+        |rel| {
+            let d = &self.compiled.decls[rel];
+            (d.name.clone(), d.arity())
+        }
+    }
+
+    fn head_row(&self, rule: &CompiledRule, env: &[Value]) -> Result<Vec<Value>> {
+        let mut row = Vec::with_capacity(rule.head_exprs.len());
+        for e in &rule.head_exprs {
+            row.push(eval(e, env)?);
+        }
+        Ok(row)
+    }
+
+    /// Plan indices of the rules headed at `rel`.
+    fn rules_of(&self, rel: RelId) -> Vec<usize> {
+        (0..self.compiled.rules.len())
+            .filter(|pi| self.compiled.rules[*pi].head_rel == rel)
+            .collect()
+    }
+
+    /// True when `rel` is maintained by a recursive stratum.
+    fn is_recursive(&self, rel: RelId) -> bool {
+        self.rules_of(rel)
+            .iter()
+            .any(|pi| self.recursive_plans[*pi])
+    }
+}
+
+/// Map a head row onto init bindings via `head_binds`. `Err(reason)`
+/// when a head constant rules the row out entirely.
+fn head_init(
+    rule: &CompiledRule,
+    row: &[Value],
+) -> std::result::Result<Option<Vec<(usize, Value)>>, String> {
+    let Some(binds) = &rule.head_binds else {
+        return Ok(None);
+    };
+    let mut init = Vec::new();
+    for (hb, v) in binds.iter().zip(row.iter()) {
+        match hb {
+            HeadBind::Slot(s) => init.push((*s, v.clone())),
+            HeadBind::Const(c) => {
+                if c != v {
+                    return Err(format!(
+                        "head constant {c} can never equal the target's {v}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(Some(init))
+}
+
+/// The column pattern of an atom under a fully bound environment.
+fn stage_pattern(stage: &PStage, env: &[Value], arity: usize) -> Vec<Option<Value>> {
+    let mut pattern = vec![None; arity];
+    for (col, src) in atom_col_srcs(stage) {
+        pattern[col] = Some(match src {
+            ColSrc::Const(v) => v,
+            ColSrc::Slot(s) => env[s].clone(),
+        });
+    }
+    pattern
+}
+
+fn fmt_pattern(relation: &str, pattern: &[Option<Value>]) -> String {
+    let cols: Vec<String> = pattern
+        .iter()
+        .map(|p| match p {
+            Some(v) => v.to_string(),
+            None => "_".to_string(),
+        })
+        .collect();
+    format!("{}({})", relation, cols.join(", "))
+}
+
+/// Build the derivation tree of a visible row.
+pub(crate) fn why(ctx: &QueryCtx<'_>, rel: RelId, row: &Row) -> Result<WhyNode> {
+    let mut stack = Vec::new();
+    why_node(ctx, rel, row, &mut stack, 0)
+}
+
+fn why_node(
+    ctx: &QueryCtx<'_>,
+    rel: RelId,
+    row: &Row,
+    stack: &mut Vec<(RelId, Row)>,
+    depth: usize,
+) -> Result<WhyNode> {
+    let decl = &ctx.compiled.decls[rel];
+    let mut node = WhyNode {
+        relation: decl.name.clone(),
+        row: (**row).clone(),
+        base: decl.role == RelationRole::Input,
+        touch: ctx.ledger.and_then(|l| l.last_touch(rel, row)),
+        justs: Vec::new(),
+        repeated: false,
+        note: None,
+    };
+    if node.base {
+        return Ok(node);
+    }
+    if stack.iter().any(|(r, w)| *r == rel && w == row) {
+        node.repeated = true;
+        return Ok(node);
+    }
+    if depth >= MAX_DEPTH {
+        node.note = Some(format!("depth limit {MAX_DEPTH} reached"));
+        return Ok(node);
+    }
+    stack.push((rel, row.clone()));
+    let result = if ctx.is_recursive(rel) {
+        recursive_justs(ctx, rel, row, stack, depth)
+    } else {
+        ledger_justs(ctx, rel, row, stack, depth)
+    };
+    stack.pop();
+    let (justs, note) = result?;
+    node.justs = justs;
+    node.note = note;
+    Ok(node)
+}
+
+/// Justifications of a chain-maintained row, straight from the ledger.
+fn ledger_justs(
+    ctx: &QueryCtx<'_>,
+    rel: RelId,
+    row: &Row,
+    stack: &mut Vec<(RelId, Row)>,
+    depth: usize,
+) -> Result<(Vec<WhyJust>, Option<String>)> {
+    let Some(ledger) = ctx.ledger else {
+        return Err(Error::new(
+            Phase::Eval,
+            "provenance is disabled; build the engine with ProvenanceConfig::on()".to_string(),
+        ));
+    };
+    let mut entries: Vec<&JustEntry> = ledger.entries_of(rel, row).iter().collect();
+    if entries.is_empty() {
+        return Err(Error::new(
+            Phase::Eval,
+            format!(
+                "no justification recorded for visible row {} — provenance ledger out of sync",
+                fmt_row(&ctx.compiled.decls[rel].name, row)
+            ),
+        ));
+    }
+    entries.sort_by(|a, b| (a.plan_idx, &a.env).cmp(&(b.plan_idx, &b.env)));
+    let mut justs = Vec::new();
+    let mut note = None;
+    for e in entries.iter().take(MAX_JUSTS) {
+        if e.plan_idx == FACT {
+            justs.push(WhyJust {
+                rule_index: None,
+                rule: "declared fact".to_string(),
+                supports: Vec::new(),
+                note: None,
+            });
+            continue;
+        }
+        justs.push(env_just(ctx, e.plan_idx, &e.env, stack, depth)?);
+    }
+    if entries.len() > MAX_JUSTS {
+        note = Some(format!(
+            "{} further justification(s) not shown",
+            entries.len() - MAX_JUSTS
+        ));
+    }
+    Ok((justs, note))
+}
+
+/// Justifications of a recursive-stratum row, found by driven search
+/// over the live stores.
+fn recursive_justs(
+    ctx: &QueryCtx<'_>,
+    rel: RelId,
+    row: &Row,
+    stack: &mut Vec<(RelId, Row)>,
+    depth: usize,
+) -> Result<(Vec<WhyJust>, Option<String>)> {
+    let describe = ctx.describe();
+    let mut justs = Vec::new();
+    let mut truncated = false;
+    for pi in ctx.rules_of(rel) {
+        if justs.len() >= MAX_JUSTS {
+            truncated = true;
+            break;
+        }
+        let rule = &ctx.compiled.rules[pi];
+        let init = match head_init(rule, row) {
+            Ok(Some(init)) => init,
+            Ok(None) => Vec::new(),
+            Err(_) => continue, // head constant mismatch: not a candidate
+        };
+        let ex = explain_stages(
+            &rule.stages,
+            rule.n_slots,
+            ctx.stores,
+            &describe,
+            &init,
+            SEARCH_BUDGET,
+            MAX_JUSTS,
+        )?;
+        truncated |= ex.truncated;
+        for env in &ex.envs {
+            if justs.len() >= MAX_JUSTS {
+                truncated = true;
+                break;
+            }
+            if ctx.head_row(rule, env)? != **row {
+                continue; // head_binds was None; this valuation derives another row
+            }
+            justs.push(env_just(ctx, pi, env, stack, depth)?);
+        }
+    }
+    if justs.is_empty() {
+        return Err(Error::new(
+            Phase::Eval,
+            format!(
+                "no derivation found for visible recursive row {} — engine state inconsistent",
+                fmt_row(&ctx.compiled.decls[rel].name, row)
+            ),
+        ));
+    }
+    let note = truncated.then(|| "derivation search truncated".to_string());
+    Ok((justs, note))
+}
+
+/// Expand one `(rule, environment)` justification into its supports.
+fn env_just(
+    ctx: &QueryCtx<'_>,
+    pi: usize,
+    env: &[Value],
+    stack: &mut Vec<(RelId, Row)>,
+    depth: usize,
+) -> Result<WhyJust> {
+    let rule = &ctx.compiled.rules[pi];
+    let mut just = WhyJust {
+        rule_index: Some(rule.rule_index),
+        rule: (ctx.rule_text)(rule.rule_index),
+        supports: Vec::new(),
+        note: None,
+    };
+    let mut notes = Vec::new();
+    if rule.has_aggregate {
+        let ai = rule
+            .stages
+            .iter()
+            .position(|s| matches!(s, PStage::Aggregate { .. }))
+            .expect("aggregate rule without aggregate stage");
+        let PStage::Aggregate { group_slots, .. } = &rule.stages[ai] else {
+            unreachable!()
+        };
+        let key: Vec<Value> = env[..group_slots.len()].to_vec();
+        let groups = ctx.rule_states[pi]
+            .stage_groups(ai)
+            .ok_or_else(|| Error::new(Phase::Eval, "aggregate stage without groups".to_string()))?;
+        let mut contributors: Vec<&Binding> = groups
+            .get(&key)
+            .map(|z| z.support().collect())
+            .unwrap_or_default();
+        contributors.sort();
+        if contributors.is_empty() {
+            return Err(Error::new(
+                Phase::Eval,
+                "aggregation group vanished under a recorded justification — ledger out of sync"
+                    .to_string(),
+            ));
+        }
+        if contributors.len() > MAX_CONTRIBUTORS {
+            notes.push(format!(
+                "{} of {} aggregate contributors shown",
+                MAX_CONTRIBUTORS,
+                contributors.len()
+            ));
+            contributors.truncate(MAX_CONTRIBUTORS);
+        }
+        let mut seen: HashSet<(RelId, Row)> = HashSet::new();
+        for contrib in contributors {
+            collect_atom_supports(
+                ctx,
+                &rule.stages[..ai],
+                contrib,
+                stack,
+                depth,
+                &mut just.supports,
+                &mut seen,
+                &mut notes,
+            )?;
+        }
+    } else {
+        let mut seen: HashSet<(RelId, Row)> = HashSet::new();
+        collect_atom_supports(
+            ctx,
+            &rule.stages,
+            env,
+            stack,
+            depth,
+            &mut just.supports,
+            &mut seen,
+            &mut notes,
+        )?;
+    }
+    if !notes.is_empty() {
+        just.note = Some(notes.join("; "));
+    }
+    Ok(just)
+}
+
+/// Reconstruct and expand the atom supports of one environment.
+#[allow(clippy::too_many_arguments)]
+fn collect_atom_supports(
+    ctx: &QueryCtx<'_>,
+    stages: &[PStage],
+    env: &[Value],
+    stack: &mut Vec<(RelId, Row)>,
+    depth: usize,
+    supports: &mut Vec<WhySupport>,
+    seen: &mut HashSet<(RelId, Row)>,
+    notes: &mut Vec<String>,
+) -> Result<()> {
+    for stage in stages {
+        let PStage::Atom { rel, neg, .. } = stage else {
+            continue;
+        };
+        let decl = &ctx.compiled.decls[*rel];
+        let pattern = stage_pattern(stage, env, decl.arity());
+        if *neg {
+            supports.push(WhySupport::Absent {
+                relation: decl.name.clone(),
+                pattern: fmt_pattern(&decl.name, &pattern),
+            });
+            continue;
+        }
+        let (rows, truncated) = ctx.stores[*rel].matching_rows(&pattern, MAX_SUPPORT_ROWS);
+        if truncated {
+            notes.push(format!(
+                "support rows of {} truncated at {MAX_SUPPORT_ROWS}",
+                fmt_pattern(&decl.name, &pattern)
+            ));
+        }
+        if rows.is_empty() {
+            return Err(Error::new(
+                Phase::Eval,
+                format!(
+                    "justification references {} but no visible row matches — \
+                     dangling provenance",
+                    fmt_pattern(&decl.name, &pattern)
+                ),
+            ));
+        }
+        for r in rows {
+            if !seen.insert((*rel, r.clone())) {
+                continue;
+            }
+            supports.push(WhySupport::Fact(why_node(ctx, *rel, &r, stack, depth + 1)?));
+        }
+    }
+    Ok(())
+}
+
+/// Report why `row` is absent from `rel`: the first failing literal of
+/// every candidate rule.
+pub(crate) fn why_not(ctx: &QueryCtx<'_>, rel: RelId, row: &Row) -> Result<WhyNot> {
+    let decl = &ctx.compiled.decls[rel];
+    let mut report = WhyNot {
+        relation: decl.name.clone(),
+        row: (**row).clone(),
+        present: ctx.stores[rel].contains(row),
+        input: decl.role == RelationRole::Input,
+        candidates: Vec::new(),
+    };
+    if report.present || report.input {
+        return Ok(report);
+    }
+    let describe = ctx.describe();
+    for pi in ctx.rules_of(rel) {
+        let rule = &ctx.compiled.rules[pi];
+        let text = (ctx.rule_text)(rule.rule_index);
+        let mut push = |stage: Option<usize>, failure: String| {
+            report.candidates.push(CandidateReport {
+                rule_index: rule.rule_index,
+                rule: text.clone(),
+                stage,
+                failure,
+            });
+        };
+        let init = match head_init(rule, row) {
+            Ok(Some(init)) => init,
+            Ok(None) => Vec::new(),
+            Err(reason) => {
+                push(None, reason);
+                continue;
+            }
+        };
+        if rule.has_aggregate {
+            let ai = rule
+                .stages
+                .iter()
+                .position(|s| matches!(s, PStage::Aggregate { .. }))
+                .expect("aggregate rule without aggregate stage");
+            let PStage::Aggregate {
+                group_slots,
+                func,
+                arg,
+            } = &rule.stages[ai]
+            else {
+                unreachable!()
+            };
+            // Map post-aggregate init slots back onto the pre-aggregate
+            // layout: slot j < |key| is group_slots[j]; slot |key| is
+            // the aggregate result itself.
+            let mut pre_init = Vec::new();
+            let mut expected_agg = None;
+            let mut invertible = !init.is_empty() || group_slots.is_empty();
+            for (slot, v) in &init {
+                if *slot < group_slots.len() {
+                    pre_init.push((group_slots[*slot], v.clone()));
+                } else {
+                    expected_agg = Some(v.clone());
+                }
+            }
+            if rule.head_binds.is_none() {
+                invertible = false;
+            }
+            if !invertible {
+                push(
+                    None,
+                    "cannot invert an aggregate head with computed arguments".to_string(),
+                );
+                continue;
+            }
+            let ex = explain_stages(
+                &rule.stages[..ai],
+                rule.n_slots,
+                ctx.stores,
+                &describe,
+                &pre_init,
+                SEARCH_BUDGET,
+                1,
+            )?;
+            if ex.envs.is_empty() {
+                let (stage, failure) = ex
+                    .fail
+                    .unwrap_or((0, "no rows reach the aggregate for this group".to_string()));
+                push(Some(stage), failure);
+                continue;
+            }
+            let key: Vec<Value> = group_slots.iter().map(|s| ex.envs[0][*s].clone()).collect();
+            let groups = ctx.rule_states[pi].stage_groups(ai).ok_or_else(|| {
+                Error::new(Phase::Eval, "aggregate stage without groups".to_string())
+            })?;
+            match groups.get(&key) {
+                None => push(Some(ai), format!("aggregation group {key:?} is empty")),
+                Some(group) => {
+                    let agg = eval_aggregate(*func, arg.as_ref(), group)?;
+                    match expected_agg {
+                        Some(want) if agg != want => push(
+                            Some(ai),
+                            format!(
+                                "the {} contributing row(s) aggregate to {agg}, \
+                                 not the target's {want}",
+                                group.support().count()
+                            ),
+                        ),
+                        _ => push(
+                            Some(ai),
+                            "derivable from the current group — engine state inconsistent"
+                                .to_string(),
+                        ),
+                    }
+                }
+            }
+            continue;
+        }
+        let ex = explain_stages(
+            &rule.stages,
+            rule.n_slots,
+            ctx.stores,
+            &describe,
+            &init,
+            SEARCH_BUDGET,
+            8,
+        )?;
+        if ex.envs.is_empty() {
+            let (stage, failure) = ex
+                .fail
+                .unwrap_or((0, "rule body is never satisfiable".to_string()));
+            push(Some(stage), failure);
+            continue;
+        }
+        // Some valuation satisfies the body. With an invertible head the
+        // init pinned the target, so this means derivable-but-absent;
+        // otherwise the head maps elsewhere.
+        let mut sample = None;
+        let mut derivable = false;
+        for env in &ex.envs {
+            let head = ctx.head_row(rule, env)?;
+            if head == **row {
+                derivable = true;
+                break;
+            }
+            sample.get_or_insert(head);
+        }
+        if derivable {
+            push(
+                Some(rule.stages.len()),
+                "body satisfied and head matches — engine state inconsistent".to_string(),
+            );
+        } else {
+            let sample = sample.expect("non-empty envs");
+            push(
+                Some(rule.stages.len()),
+                format!(
+                    "the rule fires but its head yields {}, not the target{}",
+                    fmt_row(&ctx.compiled.decls[rel].name, &sample),
+                    if ex.truncated {
+                        " (search truncated)"
+                    } else {
+                        ""
+                    }
+                ),
+            );
+        }
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+
+/// Re-evaluate one recorded justification against the live stores.
+fn check_justification(
+    ctx: &QueryCtx<'_>,
+    rel: RelId,
+    row: &Row,
+    e: &JustEntry,
+) -> std::result::Result<(), String> {
+    let rule = &ctx.compiled.rules[e.plan_idx];
+    let target = fmt_row(&ctx.compiled.decls[rel].name, row);
+    if rule.head_rel != rel {
+        return Err(format!(
+            "justification of {target} cites a rule with another head"
+        ));
+    }
+    let head = ctx
+        .head_row(rule, &e.env)
+        .map_err(|err| format!("head of {target} no longer evaluates: {err}"))?;
+    if head != **row {
+        return Err(format!(
+            "environment recorded for {target} now derives {}",
+            fmt_row(&ctx.compiled.decls[rel].name, &head)
+        ));
+    }
+    let stages: &[PStage] = if rule.has_aggregate {
+        let ai = rule
+            .stages
+            .iter()
+            .position(|s| matches!(s, PStage::Aggregate { .. }))
+            .expect("aggregate rule without aggregate stage");
+        let PStage::Aggregate {
+            group_slots,
+            func,
+            arg,
+        } = &rule.stages[ai]
+        else {
+            unreachable!()
+        };
+        let key: Vec<Value> = e.env[..group_slots.len()].to_vec();
+        let groups = ctx.rule_states[e.plan_idx]
+            .stage_groups(ai)
+            .ok_or_else(|| "aggregate stage without groups".to_string())?;
+        let group = groups
+            .get(&key)
+            .filter(|g| g.support().next().is_some())
+            .ok_or_else(|| {
+                format!("aggregation group of {target} is gone — dangling provenance")
+            })?;
+        let agg = eval_aggregate(*func, arg.as_ref(), group)
+            .map_err(|err| format!("aggregate of {target} no longer evaluates: {err}"))?;
+        if agg != e.env[group_slots.len()] {
+            return Err(format!(
+                "group of {target} now aggregates to {agg}, ledger says {}",
+                e.env[group_slots.len()]
+            ));
+        }
+        // The group's bindings are themselves incrementally maintained;
+        // nothing further to re-check against the stores here.
+        return Ok(());
+    } else {
+        &rule.stages
+    };
+    for (si, stage) in stages.iter().enumerate() {
+        match stage {
+            PStage::Atom { rel: arel, neg, .. } => {
+                let decl = &ctx.compiled.decls[*arel];
+                let pattern = stage_pattern(stage, &e.env, decl.arity());
+                let (rows, _) = ctx.stores[*arel].matching_rows(&pattern, 1);
+                if *neg && !rows.is_empty() {
+                    return Err(format!(
+                        "{target}: negation {} no longer holds",
+                        fmt_pattern(&decl.name, &pattern)
+                    ));
+                }
+                if !*neg && rows.is_empty() {
+                    return Err(format!(
+                        "{target}: support {} is gone — dangling provenance",
+                        fmt_pattern(&decl.name, &pattern)
+                    ));
+                }
+            }
+            PStage::Filter { expr } => {
+                let v = eval(expr, &e.env)
+                    .map_err(|err| format!("{target}: filter no longer evaluates: {err}"))?;
+                if v != Value::Bool(true) {
+                    return Err(format!("{target}: filter at stage {si} is now false"));
+                }
+            }
+            PStage::Assign { slot, expr } => {
+                let v = eval(expr, &e.env)
+                    .map_err(|err| format!("{target}: assign no longer evaluates: {err}"))?;
+                if v != e.env[*slot] {
+                    return Err(format!(
+                        "{target}: assigned slot {slot} now computes {v}, env says {}",
+                        e.env[*slot]
+                    ));
+                }
+            }
+            PStage::FlatMap { slot, expr } => {
+                let coll = eval(expr, &e.env)
+                    .map_err(|err| format!("{target}: flatmap no longer evaluates: {err}"))?;
+                let elems = crate::chain::flatten(&coll)
+                    .map_err(|err| format!("{target}: flatmap no longer flattens: {err}"))?;
+                if !elems.contains(&e.env[*slot]) {
+                    return Err(format!(
+                        "{target}: flatmap element {} no longer in the collection",
+                        e.env[*slot]
+                    ));
+                }
+            }
+            PStage::Aggregate { .. } => unreachable!("aggregate handled above"),
+        }
+    }
+    Ok(())
+}
+
+/// Validate the whole ledger against the live stores: every recorded
+/// justification re-evaluates, counts match the stores' derivation
+/// counts, and every visible chain-derived row is justified. The
+/// provenance analogue of
+/// [`crate::engine::Engine::validate_arrangements`].
+pub(crate) fn validate(ctx: &QueryCtx<'_>) -> Result<()> {
+    let Some(ledger) = ctx.ledger else {
+        return Err(Error::new(
+            Phase::Eval,
+            "provenance is disabled; build the engine with ProvenanceConfig::on()".to_string(),
+        ));
+    };
+    let fail = |msg: String| Err(Error::new(Phase::Eval, msg));
+    for ((rel, row), entries) in ledger.iter() {
+        let target = fmt_row(&ctx.compiled.decls[*rel].name, row);
+        if !ctx.stores[*rel].contains(row) {
+            return fail(format!("ledger justifies {target}, which is not visible"));
+        }
+        let sum: isize = entries.iter().map(|e| e.count).sum();
+        let count = ctx.stores[*rel].derivation_count(row);
+        if sum != count {
+            return fail(format!(
+                "ledger counts for {target} sum to {sum}, store has {count} derivations"
+            ));
+        }
+        for e in entries {
+            if e.count <= 0 {
+                return fail(format!("non-positive justification count on {target}"));
+            }
+            if e.plan_idx == FACT {
+                let is_fact = ctx
+                    .compiled
+                    .facts
+                    .iter()
+                    .any(|(fr, fv)| fr == rel && fv == &**row);
+                if !is_fact {
+                    return fail(format!(
+                        "{target} cites a declared fact that does not exist"
+                    ));
+                }
+                continue;
+            }
+            if let Err(msg) = check_justification(ctx, *rel, row, e) {
+                return fail(msg);
+            }
+        }
+    }
+    // Reverse direction: every visible chain-derived row is justified.
+    let mut derived: Vec<bool> = vec![false; ctx.compiled.decls.len()];
+    for rule in &ctx.compiled.rules {
+        derived[rule.head_rel] = true;
+    }
+    for (rel, fact_row) in &ctx.compiled.facts {
+        let _ = fact_row;
+        derived[*rel] = true;
+    }
+    for (rel, is_derived) in derived.iter().enumerate() {
+        if !is_derived || ctx.is_recursive(rel) {
+            continue;
+        }
+        if ctx.compiled.decls[rel].role == RelationRole::Input {
+            continue;
+        }
+        for (row, count) in ctx.stores[rel].rows_with_counts() {
+            if count <= 0 {
+                continue;
+            }
+            let sum: isize = ledger.entries_of(rel, row).iter().map(|e| e.count).sum();
+            if sum != count {
+                return fail(format!(
+                    "visible row {} has {count} derivation(s) but ledger records {sum}",
+                    fmt_row(&ctx.compiled.decls[rel].name, row)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The `/why` exposition document: ledger shape per relation.
+pub(crate) fn summary_json(ctx: &QueryCtx<'_>, commits: u64) -> String {
+    use std::fmt::Write as _;
+    let js = telemetry::metrics::json_string;
+    let mut out = String::new();
+    let enabled = ctx.ledger.is_some();
+    let _ = write!(
+        out,
+        "{{\"schema\":\"nerpa.why.v1\",\"enabled\":{enabled},\"commits\":{commits}"
+    );
+    if let Some(ledger) = ctx.ledger {
+        let _ = write!(
+            out,
+            ",\"rows\":{},\"justifications\":{},\"approx_bytes\":{}",
+            ledger.total_rows(),
+            ledger.total_entries(),
+            ledger.approx_bytes()
+        );
+        let mut per_rel: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+        for ((rel, _), entries) in ledger.iter() {
+            let name = ctx.compiled.decls[*rel].name.as_str();
+            let slot = per_rel.entry(name).or_default();
+            slot.0 += 1;
+            slot.1 += entries.len();
+        }
+        out.push_str(",\"relations\":[");
+        for (i, (name, (rows, justs))) in per_rel.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"relation\":{},\"rows\":{rows},\"justifications\":{justs}}}",
+                js(name)
+            );
+        }
+        out.push(']');
+    }
+    out.push_str(
+        ",\"usage\":\"Engine::why(relation, row) / Engine::why_not(relation, row); \
+                  CLI: nerpa-why\"}",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::row;
+    use std::sync::Arc;
+
+    fn r(vals: &[i128]) -> Row {
+        row(vals.iter().map(|v| Value::Int(*v)).collect())
+    }
+
+    fn b(vals: &[i128]) -> Binding {
+        Arc::new(vals.iter().map(|v| Value::Int(*v)).collect())
+    }
+
+    #[test]
+    fn ledger_counts_merge_and_prune() {
+        let mut l = Ledger::default();
+        l.apply(0, 1, r(&[7]), b(&[7, 1]), 1);
+        l.apply(0, 1, r(&[7]), b(&[7, 1]), 1);
+        l.apply(0, 1, r(&[7]), b(&[7, 2]), 1);
+        assert_eq!(l.entries_of(0, &r(&[7])).len(), 2);
+        assert_eq!(l.total_entries(), 2);
+        let total: isize = l.entries_of(0, &r(&[7])).iter().map(|e| e.count).sum();
+        assert_eq!(total, 3);
+
+        l.apply(0, 1, r(&[7]), b(&[7, 1]), -2);
+        assert_eq!(l.entries_of(0, &r(&[7])).len(), 1);
+        l.apply(0, 1, r(&[7]), b(&[7, 2]), -1);
+        assert!(l.entries_of(0, &r(&[7])).is_empty());
+        assert_eq!(l.total_entries(), 0);
+        assert_eq!(l.total_rows(), 0);
+        assert_eq!(l.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn touch_stamping() {
+        let mut l = Ledger::default();
+        l.stamp(2, &r(&[1]), 42, 7);
+        assert_eq!(l.last_touch(2, &r(&[1])), Some((42, 7)));
+        l.stamp(2, &r(&[1]), 43, 8);
+        assert_eq!(l.last_touch(2, &r(&[1])), Some((43, 8)));
+        l.unstamp(2, &r(&[1]));
+        assert_eq!(l.last_touch(2, &r(&[1])), None);
+    }
+}

@@ -362,6 +362,295 @@ fn walk(
     }
 }
 
+/// Outcome of an explanatory enumeration over a rule pipeline prefix
+/// (provenance queries): the complete environments that satisfy it,
+/// plus the deepest failing literal met while searching — the raw
+/// material of `why` (recursive relations) and `why_not`.
+pub(crate) struct Explain {
+    /// Snapshots of `env.vals` for every valuation that passed all
+    /// stages (capped; see `truncated`).
+    pub envs: Vec<Vec<Value>>,
+    /// The deepest dead-end: (stage index, human description of the
+    /// first failing literal there). `None` when some valuation passed
+    /// every stage or no stage was ever entered.
+    pub fail: Option<(usize, String)>,
+    /// True when the row-examination budget or the env cap cut the
+    /// search short.
+    pub truncated: bool,
+}
+
+/// Search state threaded through [`explain_walk`].
+struct ExplainCtx<'a> {
+    stores: &'a [RelationStore],
+    /// Relation id → (name, arity) for rendering failure descriptions.
+    describe: &'a dyn Fn(RelId) -> (String, usize),
+    budget: usize,
+    env_cap: usize,
+    out: Explain,
+}
+
+impl ExplainCtx<'_> {
+    /// Spend `n` rows of budget; false once exhausted.
+    fn spend(&mut self, n: usize) -> bool {
+        if self.budget < n {
+            self.budget = 0;
+            self.out.truncated = true;
+            return false;
+        }
+        self.budget -= n;
+        true
+    }
+
+    fn dead_end(&mut self, stage: usize, msg: String) {
+        if self.out.fail.as_ref().is_none_or(|(s, _)| stage >= *s) {
+            self.out.fail = Some((stage, msg));
+        }
+    }
+}
+
+/// Render the constrained columns of an atom under a partial
+/// environment: `Rel(v, _, w)` with `_` for unconstrained columns.
+fn atom_pattern(
+    rel: RelId,
+    stage: &PStage,
+    env: &Env,
+    describe: &dyn Fn(RelId) -> (String, usize),
+) -> String {
+    let (name, arity) = describe(rel);
+    let mut cols: Vec<String> = vec!["_".to_string(); arity];
+    for (col, src) in crate::plan::atom_col_srcs(stage) {
+        match src {
+            crate::plan::ColSrc::Const(v) => cols[col] = v.to_string(),
+            crate::plan::ColSrc::Slot(s) if env.bound[s] => cols[col] = env.vals[s].to_string(),
+            crate::plan::ColSrc::Slot(_) => {}
+        }
+    }
+    format!("{}({})", name, cols.join(", "))
+}
+
+/// Enumerate every valuation of `stages` consistent with `init`,
+/// recording the deepest failing literal along the way. Aggregate
+/// stages are not handled here — callers split pipelines at the
+/// aggregate and resolve the group against the chain evaluator's live
+/// state instead.
+pub(crate) fn explain_stages(
+    stages: &[PStage],
+    n_slots: usize,
+    stores: &[RelationStore],
+    describe: &dyn Fn(RelId) -> (String, usize),
+    init: &[(usize, Value)],
+    budget: usize,
+    env_cap: usize,
+) -> Result<Explain> {
+    let mut ctx = ExplainCtx {
+        stores,
+        describe,
+        budget,
+        env_cap,
+        out: Explain {
+            envs: Vec::new(),
+            fail: None,
+            truncated: false,
+        },
+    };
+    let mut env = Env::new(n_slots);
+    let mut newly = Vec::new();
+    let mut feasible = true;
+    for (slot, v) in init {
+        if !env.bind_or_check(*slot, v, &mut newly) {
+            feasible = false;
+            break;
+        }
+    }
+    if feasible {
+        explain_walk(stages, 0, &mut env, &mut ctx)?;
+    } else {
+        ctx.out.fail = Some((
+            0,
+            "the target row binds the same variable twice with different values".to_string(),
+        ));
+    }
+    Ok(ctx.out)
+}
+
+fn explain_walk(
+    stages: &[PStage],
+    i: usize,
+    env: &mut Env,
+    ctx: &mut ExplainCtx<'_>,
+) -> Result<()> {
+    if ctx.out.truncated {
+        return Ok(());
+    }
+    if i == stages.len() {
+        if ctx.out.envs.len() >= ctx.env_cap {
+            ctx.out.truncated = true;
+        } else {
+            ctx.out.envs.push(env.vals.clone());
+        }
+        return Ok(());
+    }
+    match &stages[i] {
+        PStage::Atom {
+            rel,
+            neg,
+            key_cols,
+            key_srcs,
+            checks,
+            binds,
+        } => {
+            let key: Key = key_srcs
+                .iter()
+                .map(|s| match s {
+                    KeySrc::Const(v) => v.clone(),
+                    KeySrc::Slot(slot) => {
+                        debug_assert!(env.bound[*slot], "unbound key slot in original order");
+                        env.vals[*slot].clone()
+                    }
+                })
+                .collect();
+            if *neg {
+                let witness: Option<Row> = if key_cols.is_empty() {
+                    ctx.spend(1);
+                    ctx.stores[*rel].rows().next().cloned()
+                } else {
+                    ctx.spend(1);
+                    ctx.stores[*rel].lookup(key_cols, &key).next().cloned()
+                };
+                match witness {
+                    None => explain_walk(stages, i + 1, env, ctx)?,
+                    Some(w) => {
+                        let (name, _) = (ctx.describe)(*rel);
+                        let vals: Vec<String> = w.iter().map(|v| v.to_string()).collect();
+                        ctx.dead_end(
+                            i,
+                            format!(
+                                "negation violated: {}({}) is present, but the rule requires \
+                                 `not {}`",
+                                name,
+                                vals.join(", "),
+                                atom_pattern(*rel, &stages[i], env, ctx.describe)
+                            ),
+                        );
+                    }
+                }
+                return Ok(());
+            }
+            let rows: Vec<Row> = if key_cols.is_empty() {
+                ctx.stores[*rel].rows().cloned().collect()
+            } else {
+                ctx.stores[*rel].lookup(key_cols, &key).cloned().collect()
+            };
+            if !ctx.spend(rows.len().max(1)) {
+                return Ok(());
+            }
+            if rows.is_empty() {
+                ctx.dead_end(
+                    i,
+                    format!(
+                        "no row matches {}",
+                        atom_pattern(*rel, &stages[i], env, ctx.describe)
+                    ),
+                );
+                return Ok(());
+            }
+            let mut advanced = false;
+            for row in &rows {
+                if !checks.iter().all(|(a, b)| row[*a] == row[*b]) {
+                    continue;
+                }
+                let mut newly = Vec::new();
+                let mut ok = true;
+                for (col, slot) in binds {
+                    if !env.bind_or_check(*slot, &row[*col], &mut newly) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    advanced = true;
+                    explain_walk(stages, i + 1, env, ctx)?;
+                }
+                env.unbind(&newly);
+                if ctx.out.truncated {
+                    return Ok(());
+                }
+            }
+            if !advanced {
+                ctx.dead_end(
+                    i,
+                    format!(
+                        "{} row(s) match the join key of {} but none agrees with the \
+                         already-bound variables",
+                        rows.len(),
+                        atom_pattern(*rel, &stages[i], env, ctx.describe)
+                    ),
+                );
+            }
+            Ok(())
+        }
+        PStage::Filter { expr } => {
+            if eval(expr, &env.vals)? == Value::Bool(true) {
+                explain_walk(stages, i + 1, env, ctx)
+            } else {
+                ctx.dead_end(i, "filter condition evaluates to false".to_string());
+                Ok(())
+            }
+        }
+        PStage::Assign { slot, expr } => {
+            let v = eval(expr, &env.vals)?;
+            let mut newly = Vec::new();
+            if env.bind_or_check(*slot, &v, &mut newly) {
+                explain_walk(stages, i + 1, env, ctx)?;
+            } else {
+                ctx.dead_end(
+                    i,
+                    format!(
+                        "assignment computes {v} but the target row requires {}",
+                        env.vals[*slot]
+                    ),
+                );
+            }
+            env.unbind(&newly);
+            Ok(())
+        }
+        PStage::FlatMap { slot, expr } => {
+            let coll = eval(expr, &env.vals)?;
+            let elems = flatten(&coll)?;
+            if elems.is_empty() {
+                ctx.dead_end(i, "FlatMap collection is empty".to_string());
+                return Ok(());
+            }
+            let mut advanced = false;
+            for elem in elems {
+                let mut newly = Vec::new();
+                if env.bind_or_check(*slot, &elem, &mut newly) {
+                    advanced = true;
+                    explain_walk(stages, i + 1, env, ctx)?;
+                }
+                env.unbind(&newly);
+                if ctx.out.truncated {
+                    return Ok(());
+                }
+            }
+            if !advanced {
+                ctx.dead_end(
+                    i,
+                    format!(
+                        "no FlatMap element equals the required value {}",
+                        env.vals[*slot]
+                    ),
+                );
+            }
+            Ok(())
+        }
+        PStage::Aggregate { .. } => Err(Error::new(
+            Phase::Eval,
+            "internal: explain_stages over an aggregate stage".to_string(),
+        )),
+    }
+}
+
 /// Process a recursive stratum for one transaction.
 ///
 /// `scc_rels` — the relations of this stratum; `rules` — the compiled

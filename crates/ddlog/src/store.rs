@@ -200,6 +200,72 @@ impl RelationStore {
         self.arrangement(cols).len_of(key)
     }
 
+    /// Visible rows matching a column pattern (`Some(v)` = must equal
+    /// `v`, `None` = wildcard), capped at `cap` rows. Uses the widest
+    /// registered arrangement whose key columns are all constrained and
+    /// post-filters the rest; falls back to a scan when no registered
+    /// index applies. Returns the matches and whether the cap truncated
+    /// them. Used by the provenance layer to re-find the input rows an
+    /// environment bound.
+    pub fn matching_rows(&self, pattern: &[Option<Value>], cap: usize) -> (Vec<Row>, bool) {
+        let matches = |r: &Row| {
+            r.len() == pattern.len()
+                && pattern
+                    .iter()
+                    .zip(r.iter())
+                    .all(|(p, v)| p.as_ref().is_none_or(|p| p == v))
+        };
+        // Fully determined pattern: direct membership test.
+        if pattern.iter().all(Option::is_some) {
+            let row: Row = std::sync::Arc::new(pattern.iter().flatten().cloned().collect());
+            return if self.contains(&row) {
+                (vec![row], false)
+            } else {
+                (Vec::new(), false)
+            };
+        }
+        let best = self
+            .by_cols
+            .keys()
+            .filter(|cols| {
+                cols.iter()
+                    .all(|c| pattern.get(*c).is_some_and(Option::is_some))
+            })
+            .max_by_key(|cols| cols.len());
+        let mut out = Vec::new();
+        let mut truncated = false;
+        let mut push = |r: &Row| {
+            if out.len() >= cap {
+                truncated = true;
+                return false;
+            }
+            out.push(r.clone());
+            true
+        };
+        match best {
+            Some(cols) if !cols.is_empty() => {
+                let key: Key = cols
+                    .iter()
+                    .map(|c| pattern[*c].clone().expect("constrained key column"))
+                    .collect();
+                for r in self.lookup(cols, &key) {
+                    if matches(r) && !push(r) {
+                        break;
+                    }
+                }
+            }
+            _ => {
+                for r in self.rows() {
+                    if matches(r) && !push(r) {
+                        break;
+                    }
+                }
+            }
+        }
+        out.sort();
+        (out, truncated)
+    }
+
     fn arrangement(&self, cols: &[usize]) -> &Arrangement {
         let idx = self
             .by_cols

@@ -1,0 +1,449 @@
+//! Provenance tests: `why` derivation trees, `why_not` failure reports,
+//! and the churn properties of the justification ledger — re-evaluating
+//! a reported tree reproduces the tuple, and no derivation ever
+//! references a retracted fact.
+
+use std::collections::BTreeSet;
+
+use ddlog::provenance::{ProvenanceConfig, WhyNode, WhySupport};
+use ddlog::value::Value;
+use ddlog::{Engine, Transaction};
+use proptest::prelude::*;
+
+fn i(v: i128) -> Value {
+    Value::Int(v)
+}
+
+fn prov(src: &str) -> Engine {
+    Engine::from_source_with(src, ProvenanceConfig::on()).unwrap()
+}
+
+const JOIN_NEG: &str = "
+    input relation E(x: bigint, y: bigint)
+    input relation Block(x: bigint)
+    output relation Pair(x: bigint, y: bigint)
+    Pair(x, y) :- E(x, y), not Block(x).
+";
+
+#[test]
+fn why_join_with_negation_roots_in_base() {
+    let mut e = prov(JOIN_NEG);
+    let mut t = Transaction::new();
+    t.insert("E", vec![i(1), i(2)]);
+    t.insert("Block", vec![i(9)]);
+    e.commit(t).unwrap();
+
+    let node = e.why("Pair", vec![i(1), i(2)]).unwrap();
+    assert_eq!(node.relation, "Pair");
+    assert!(!node.base);
+    assert!(node.rooted_in_base(), "tree:\n{}", node.render_text());
+    assert_eq!(node.justs.len(), 1);
+    let just = &node.justs[0];
+    assert_eq!(just.rule_index, Some(0));
+    // One positive support (the E row, a base fact) and one satisfied
+    // negation.
+    let mut saw_fact = false;
+    let mut saw_absent = false;
+    for s in &just.supports {
+        match s {
+            WhySupport::Fact(n) => {
+                assert_eq!(n.relation, "E");
+                assert!(n.base);
+                saw_fact = true;
+            }
+            WhySupport::Absent { relation, pattern } => {
+                assert_eq!(relation, "Block");
+                assert!(pattern.contains("Block(1)"), "pattern: {pattern}");
+                saw_absent = true;
+            }
+        }
+    }
+    assert!(saw_fact && saw_absent);
+    let text = node.render_text();
+    assert!(text.contains("Pair(1, 2)"), "{text}");
+    assert!(text.contains("E(1, 2) — base"), "{text}");
+    e.validate_provenance().unwrap();
+}
+
+#[test]
+fn why_recursive_reaches_base_facts() {
+    let src = "
+        input relation GivenLabel(n: string, l: bigint)
+        input relation Edge(a: string, b: string)
+        output relation Label(n: string, l: bigint)
+        Label(n1, label) :- GivenLabel(n1, label).
+        Label(n2, label) :- Label(n1, label), Edge(n1, n2).
+    ";
+    let mut e = prov(src);
+    let mut t = Transaction::new();
+    t.insert("GivenLabel", vec![Value::str("a"), i(1)]);
+    t.insert("Edge", vec![Value::str("a"), Value::str("b")]);
+    t.insert("Edge", vec![Value::str("b"), Value::str("c")]);
+    e.commit(t).unwrap();
+
+    let node = e.why("Label", vec![Value::str("c"), i(1)]).unwrap();
+    assert!(node.rooted_in_base(), "tree:\n{}", node.render_text());
+    let text = node.render_text();
+    // The chain c <- b <- a must appear, ending at the base label fact.
+    assert!(text.contains("Label(\"b\", 1)"), "{text}");
+    assert!(text.contains("GivenLabel(\"a\", 1) — base"), "{text}");
+    assert!(text.contains("Edge(\"b\", \"c\") — base"), "{text}");
+    e.validate_provenance().unwrap();
+}
+
+#[test]
+fn why_aggregate_lists_contributors() {
+    let src = "
+        input relation P(p: bigint, sw: bigint)
+        output relation N(sw: bigint, n: bigint)
+        N(sw, n) :- P(p, sw), var n = count(p) group_by (sw).
+    ";
+    let mut e = prov(src);
+    let mut t = Transaction::new();
+    t.insert("P", vec![i(1), i(7)]);
+    t.insert("P", vec![i(2), i(7)]);
+    t.insert("P", vec![i(3), i(8)]);
+    e.commit(t).unwrap();
+
+    let node = e.why("N", vec![i(7), i(2)]).unwrap();
+    assert!(node.rooted_in_base(), "tree:\n{}", node.render_text());
+    let text = node.render_text();
+    assert!(text.contains("P(1, 7) — base"), "{text}");
+    assert!(text.contains("P(2, 7) — base"), "{text}");
+    assert!(!text.contains("P(3, 8)"), "other group leaked in: {text}");
+    e.validate_provenance().unwrap();
+}
+
+#[test]
+fn why_declared_fact() {
+    let src = "
+        output relation C(x: bigint)
+        C(42).
+    ";
+    let e = prov(src);
+    let node = e.why("C", vec![i(42)]).unwrap();
+    assert_eq!(node.justs.len(), 1);
+    assert_eq!(node.justs[0].rule_index, None);
+    assert!(node.render_text().contains("via declared fact"));
+    e.validate_provenance().unwrap();
+}
+
+#[test]
+fn why_not_reports_first_failing_literal() {
+    let mut e = prov(JOIN_NEG);
+    let mut t = Transaction::new();
+    t.insert("E", vec![i(1), i(2)]);
+    t.insert("E", vec![i(3), i(4)]);
+    t.insert("Block", vec![i(3)]);
+    e.commit(t).unwrap();
+
+    // Missing join row: E(5, 6) does not exist.
+    let r = e.why_not("Pair", vec![i(5), i(6)]).unwrap();
+    assert!(!r.present && !r.input);
+    assert_eq!(r.candidates.len(), 1);
+    let c = &r.candidates[0];
+    assert_eq!(c.stage, Some(0));
+    assert!(c.failure.contains("E(5, 6)"), "failure: {}", c.failure);
+
+    // Blocked by the negation: E(3, 4) exists but Block(3) does too.
+    let r = e.why_not("Pair", vec![i(3), i(4)]).unwrap();
+    let c = &r.candidates[0];
+    assert!(
+        c.failure.contains("negation violated") && c.failure.contains("Block(3)"),
+        "failure: {}",
+        c.failure
+    );
+    let text = r.render_text();
+    assert!(text.contains("Pair(3, 4) is not derivable"), "{text}");
+}
+
+#[test]
+fn why_not_aggregate_value_mismatch() {
+    let src = "
+        input relation P(p: bigint, sw: bigint)
+        output relation N(sw: bigint, n: bigint)
+        N(sw, n) :- P(p, sw), var n = count(p) group_by (sw).
+    ";
+    let mut e = prov(src);
+    let mut t = Transaction::new();
+    t.insert("P", vec![i(1), i(7)]);
+    t.insert("P", vec![i(2), i(7)]);
+    e.commit(t).unwrap();
+
+    let r = e.why_not("N", vec![i(7), i(5)]).unwrap();
+    let c = &r.candidates[0];
+    assert!(
+        c.failure.contains("aggregate to 2") && c.failure.contains('5'),
+        "failure: {}",
+        c.failure
+    );
+
+    // Empty group: nothing reaches the aggregate.
+    let r = e.why_not("N", vec![i(9), i(0)]).unwrap();
+    assert!(
+        r.candidates[0].failure.contains("P("),
+        "failure: {}",
+        r.candidates[0].failure
+    );
+}
+
+#[test]
+fn why_and_why_not_direction_checks() {
+    let mut e = prov(JOIN_NEG);
+    let mut t = Transaction::new();
+    t.insert("E", vec![i(1), i(2)]);
+    e.commit(t).unwrap();
+
+    // why on an absent row points at why_not.
+    let err = e.why("Pair", vec![i(5), i(5)]).unwrap_err();
+    assert!(err.to_string().contains("why_not"), "{err}");
+    // why_not on a present row reports it as present.
+    let r = e.why_not("Pair", vec![i(1), i(2)]).unwrap();
+    assert!(r.present);
+    // why_not on an input relation reports input semantics.
+    let r = e.why_not("E", vec![i(9), i(9)]).unwrap();
+    assert!(r.input);
+    assert!(r.render_text().contains("never inserted"));
+}
+
+#[test]
+fn disabled_engine_rejects_why_but_answers_why_not() {
+    let mut e = Engine::from_source(JOIN_NEG).unwrap();
+    assert!(!e.provenance_enabled());
+    let mut t = Transaction::new();
+    t.insert("E", vec![i(1), i(2)]);
+    e.commit(t).unwrap();
+
+    let err = e.why("Pair", vec![i(1), i(2)]).unwrap_err();
+    assert!(err.to_string().contains("disabled"), "{err}");
+    assert!(e.validate_provenance().is_err());
+    // why_not needs no ledger.
+    let r = e.why_not("Pair", vec![i(5), i(5)]).unwrap();
+    assert_eq!(r.candidates.len(), 1);
+}
+
+#[test]
+fn retraction_prunes_justifications() {
+    // Two rules derive the same row; retracting one support leaves
+    // exactly the other justification.
+    let src = "
+        input relation A(x: bigint)
+        input relation B(x: bigint)
+        output relation Out(x: bigint)
+        Out(x) :- A(x).
+        Out(x) :- B(x).
+    ";
+    let mut e = prov(src);
+    let mut t = Transaction::new();
+    t.insert("A", vec![i(1)]);
+    t.insert("B", vec![i(1)]);
+    e.commit(t).unwrap();
+    let node = e.why("Out", vec![i(1)]).unwrap();
+    assert_eq!(node.justs.len(), 2, "tree:\n{}", node.render_text());
+
+    let mut t = Transaction::new();
+    t.delete("A", vec![i(1)]);
+    e.commit(t).unwrap();
+    let node = e.why("Out", vec![i(1)]).unwrap();
+    assert_eq!(node.justs.len(), 1);
+    assert_eq!(node.justs[0].rule_index, Some(1));
+    e.validate_provenance().unwrap();
+
+    let mut t = Transaction::new();
+    t.delete("B", vec![i(1)]);
+    e.commit(t).unwrap();
+    assert!(e.dump("Out").unwrap().is_empty());
+    e.validate_provenance().unwrap();
+}
+
+#[test]
+fn touch_stamps_carry_trace_and_commit() {
+    let mut e = prov(JOIN_NEG);
+    e.set_commit_trace(777);
+    let mut t = Transaction::new();
+    t.insert("E", vec![i(1), i(2)]);
+    e.commit(t).unwrap();
+
+    let touch = e.last_touch("Pair", &[i(1), i(2)]).unwrap();
+    assert_eq!(touch, Some((777, 1)));
+    let node = e.why("Pair", vec![i(1), i(2)]).unwrap();
+    assert_eq!(node.touch, Some((777, 1)));
+    assert!(node.render_text().contains("[trace 777 @ commit 1]"));
+
+    // Untraced commits stamp trace 0, rendered without a trace id.
+    let mut t = Transaction::new();
+    t.insert("E", vec![i(5), i(6)]);
+    e.commit(t).unwrap();
+    assert_eq!(e.last_touch("Pair", &[i(5), i(6)]).unwrap(), Some((0, 2)));
+
+    // Retraction forgets the stamp.
+    let mut t = Transaction::new();
+    t.delete("E", vec![i(1), i(2)]);
+    e.commit(t).unwrap();
+    assert_eq!(e.last_touch("Pair", &[i(1), i(2)]).unwrap(), None);
+}
+
+#[test]
+fn summary_json_reports_ledger_shape() {
+    let mut e = prov(JOIN_NEG);
+    let mut t = Transaction::new();
+    t.insert("E", vec![i(1), i(2)]);
+    e.commit(t).unwrap();
+    let json = e.provenance_summary_json();
+    assert!(json.contains("\"schema\":\"nerpa.why.v1\""), "{json}");
+    assert!(json.contains("\"enabled\":true"), "{json}");
+    assert!(json.contains("\"relation\":\"Pair\""), "{json}");
+
+    let off = Engine::from_source(JOIN_NEG).unwrap();
+    assert!(off.provenance_summary_json().contains("\"enabled\":false"));
+}
+
+// ---------------------------------------------------------------------------
+// Churn properties (satellite: proptests)
+
+/// The program the churn properties run against: a join through a
+/// negation plus an aggregate, covering every chain stage shape the
+/// ledger records.
+const CHURN: &str = "
+    input relation E(x: bigint, y: bigint)
+    input relation Block(x: bigint)
+    output relation Pair(x: bigint, y: bigint)
+    output relation Deg(x: bigint, n: bigint)
+    Pair(x, y) :- E(x, y), not Block(x).
+    Deg(x, n) :- E(x, y), var n = count(y) group_by (x).
+";
+
+/// Walk a reported derivation tree and check it *reproduces* the tuple:
+/// every leaf is a base fact present in the live input sets, and every
+/// interior node is visible in the engine.
+fn check_tree(
+    e: &Engine,
+    node: &WhyNode,
+    e_live: &BTreeSet<(i128, i128)>,
+    block_live: &BTreeSet<i128>,
+) {
+    if node.base {
+        let ok = match node.relation.as_str() {
+            "E" => {
+                let (Value::Int(x), Value::Int(y)) = (&node.row[0], &node.row[1]) else {
+                    panic!("non-int E row")
+                };
+                e_live.contains(&(*x, *y))
+            }
+            "Block" => {
+                let Value::Int(x) = &node.row[0] else {
+                    panic!("non-int Block row")
+                };
+                block_live.contains(x)
+            }
+            other => panic!("unexpected base relation {other}"),
+        };
+        assert!(ok, "base leaf {:?} not in live inputs", node.row);
+        return;
+    }
+    assert!(
+        e.dump(&node.relation).unwrap().contains(&node.row),
+        "interior node {:?} not visible in {}",
+        node.row,
+        node.relation
+    );
+    assert!(!node.justs.is_empty() || node.repeated);
+    for j in &node.justs {
+        for s in &j.supports {
+            match s {
+                WhySupport::Fact(n) => check_tree(e, n, e_live, block_live),
+                WhySupport::Absent { relation, .. } => {
+                    assert_eq!(relation, "Block");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// After every transaction of a random insert/retract history, each
+    /// visible output row has a derivation tree rooted in live base
+    /// facts (re-evaluating the tree reproduces the tuple), and the
+    /// ledger holds no reference to any retracted fact
+    /// (`validate_provenance` re-evaluates every justification).
+    #[test]
+    fn churn_trees_reproduce_and_never_dangle(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                (0i128..4, 0i128..4).prop_map(|(x, y)| (0u8, x, y)),
+                (0i128..4, 0i128..4).prop_map(|(x, y)| (1u8, x, y)),
+                (0i128..4).prop_map(|x| (2u8, x, 0)),
+                (0i128..4).prop_map(|x| (3u8, x, 0)),
+            ],
+            1..30,
+        )
+    ) {
+        let mut e = prov(CHURN);
+        let mut e_live: BTreeSet<(i128, i128)> = BTreeSet::new();
+        let mut block_live: BTreeSet<i128> = BTreeSet::new();
+        for (step, (kind, x, y)) in ops.iter().enumerate() {
+            let mut t = Transaction::new();
+            match kind {
+                0 => { t.insert("E", vec![i(*x), i(*y)]); e_live.insert((*x, *y)); }
+                1 => { t.delete("E", vec![i(*x), i(*y)]); e_live.remove(&(*x, *y)); }
+                2 => { t.insert("Block", vec![i(*x)]); block_live.insert(*x); }
+                _ => { t.delete("Block", vec![i(*x)]); block_live.remove(x); }
+            }
+            e.set_commit_trace(step as u64 + 1);
+            e.commit(t).unwrap();
+
+            // No derivation references a retracted fact; counts agree.
+            e.validate_provenance().unwrap();
+
+            // Every visible output row explains down to live base facts.
+            for rel in ["Pair", "Deg"] {
+                for row in e.dump(rel).unwrap() {
+                    let node = e.why(rel, row.clone()).unwrap();
+                    prop_assert!(node.rooted_in_base(), "tree:\n{}", node.render_text());
+                    check_tree(&e, &node, &e_live, &block_live);
+                }
+            }
+            // And for absent rows, why_not finds a concrete failure.
+            for x in 0..4i128 {
+                for yv in 0..4i128 {
+                    if e_live.contains(&(x, yv)) && !block_live.contains(&x) {
+                        continue;
+                    }
+                    let r = e.why_not("Pair", vec![i(x), i(yv)]).unwrap();
+                    if !r.present {
+                        prop_assert_eq!(r.candidates.len(), 1);
+                        prop_assert!(!r.candidates[0].failure.is_empty());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inverse histories drain the ledger completely: after committing
+    /// ops and their exact inverses, no justification survives.
+    #[test]
+    fn inverse_history_drains_ledger(
+        rows in proptest::collection::vec((0i128..5, 0i128..5), 1..12)
+    ) {
+        let mut e = prov(CHURN);
+        let mut t = Transaction::new();
+        for (x, y) in &rows {
+            t.insert("E", vec![i(*x), i(*y)]);
+        }
+        e.commit(t).unwrap();
+        e.validate_provenance().unwrap();
+
+        let mut t = Transaction::new();
+        for (x, y) in &rows {
+            t.delete("E", vec![i(*x), i(*y)]);
+        }
+        e.commit(t).unwrap();
+        e.validate_provenance().unwrap();
+        prop_assert!(e.dump("Pair").unwrap().is_empty());
+        prop_assert!(e.dump("Deg").unwrap().is_empty());
+        let json = e.provenance_summary_json();
+        prop_assert!(json.contains("\"rows\":0"), "{json}");
+    }
+}

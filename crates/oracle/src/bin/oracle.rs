@@ -153,6 +153,12 @@ fn report_failure(seed: u64, cfg: &OracleConfig, fail: &OracleFailure) {
         println!("    {op:?}");
     }
     println!("  replay: {}", replay_command(cfg));
+    if let Some(why) = &fail.failure.why_dump {
+        println!("  provenance of the first diverging tuple:");
+        for line in why.lines() {
+            println!("    {line}");
+        }
+    }
     if let Some(profile) = &fail.failure.work_profile {
         println!("  work profile of failing step:");
         for line in profile.lines() {

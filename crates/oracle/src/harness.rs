@@ -141,6 +141,11 @@ pub struct StepFailure {
     /// the failure — which operators did the work and how much (`None`
     /// if the engine never committed).
     pub work_profile: Option<String>,
+    /// Provenance dump for the first diverging tuple: a `why` derivation
+    /// tree for a stale installed entry (which base fact still supports
+    /// it), or a `why_not` report for a missing one (which literal
+    /// blocks it). `None` when the failure is not a state divergence.
+    pub why_dump: Option<String>,
 }
 
 impl std::fmt::Display for StepFailure {
@@ -243,7 +248,10 @@ impl Harness {
             rules: snvs::assets::SNVS_RULES.to_string(),
             options: CodegenOptions { per_switch: true },
         };
-        let mut controller = Controller::new(&nerpa_program)?;
+        // Provenance stays on for every oracle run: when an invariant
+        // breaks, the failure report explains the first diverging tuple
+        // from its derivation tree.
+        let mut controller = Controller::new_with(&nerpa_program, ddlog::ProvenanceConfig::on())?;
         // Every oracle step also audits incrementality: commit work must
         // stay proportional to the input + output deltas. Generous
         // budget — DRed on MAC-learning churn legitimately over-deletes.
@@ -807,6 +815,87 @@ fn profile_snapshot(harness: &Harness) -> Option<String> {
     Some(out)
 }
 
+/// Explain the first diverging tuple through the provenance engine:
+/// a stale installed entry gets its `why` tree (which base fact still
+/// supports it); a missing one gets a `why_not` report (which literal
+/// blocks the derivation). `None` when the data plane matches the spec
+/// (the failure was some other invariant).
+fn why_snapshot(harness: &Harness) -> Option<String> {
+    let inc = Harness::installed(&harness.device);
+    let (spec_entries, spec_groups) = FullRecompute::desired_state(&harness.ports, &harness.macs);
+    let spec: BTreeSet<TableEntry> = spec_entries.into_iter().collect();
+    if let Some(extra) = inc.difference(&spec).next() {
+        let mut out = format!("first diverging tuple: stale installed entry {extra:?}\n");
+        match harness.controller.why_entry(0, extra) {
+            Ok(tree) => {
+                out.push_str("why the engine still derives it:\n");
+                out.push_str(&tree.render_text());
+            }
+            Err(e) => out.push_str(&format!("(not resolvable through the engine: {e})\n")),
+        }
+        return Some(out);
+    }
+    if let Some(missing) = spec.difference(&inc).next() {
+        let mut out = format!("first diverging tuple: missing entry {missing:?}\n");
+        match harness.controller.why_not_entry(0, missing) {
+            Ok(report) => {
+                out.push_str("why the engine does not derive it:\n");
+                out.push_str(&report.render_text());
+            }
+            Err(e) => out.push_str(&format!("(why_not unavailable: {e})\n")),
+        }
+        return Some(out);
+    }
+    // Table entries agree; check multicast membership against the spec.
+    let inc_groups = harness.device.mcast_snapshot();
+    let spec_groups: BTreeMap<u16, BTreeSet<u16>> = spec_groups
+        .into_iter()
+        .filter(|(_, m)| !m.is_empty())
+        .collect();
+    for (group, ports) in &inc_groups {
+        let expected = spec_groups.get(group);
+        if let Some(port) = ports
+            .iter()
+            .find(|p| !expected.is_some_and(|e| e.contains(p)))
+        {
+            let mut out =
+                format!("first diverging tuple: stale mcast member (group {group}, port {port})\n");
+            match harness.controller.why_mcast(0, *group, *port) {
+                Ok(tree) => {
+                    out.push_str("why the engine still derives it:\n");
+                    out.push_str(&tree.render_text());
+                }
+                Err(e) => out.push_str(&format!("(not resolvable through the engine: {e})\n")),
+            }
+            return Some(out);
+        }
+    }
+    for (group, ports) in &spec_groups {
+        let installed = inc_groups.get(group);
+        if let Some(port) = ports
+            .iter()
+            .find(|p| !installed.is_some_and(|i| i.contains(p)))
+        {
+            let mut out = format!(
+                "first diverging tuple: missing mcast member (group {group}, port {port})\n"
+            );
+            let row = vec![
+                ddlog::Value::bit(16, *group as u128),
+                ddlog::Value::bit(16, *port as u128),
+            ];
+            match harness.controller.engine().why_not("MulticastGroup", row) {
+                Ok(report) => {
+                    out.push_str("why the engine does not derive it:\n");
+                    out.push_str(&report.render_text());
+                }
+                Err(e) => out.push_str(&format!("(why_not unavailable: {e})\n")),
+            }
+            return Some(out);
+        }
+    }
+    None
+}
+
 fn run_workload_inner(
     ops: &[WorkloadOp],
     cfg: &OracleConfig,
@@ -816,6 +905,7 @@ fn run_workload_inner(
         op: None,
         reason,
         work_profile: None,
+        why_dump: None,
     };
     let plan = match cfg.chaos {
         Some(chaos_seed) if cfg.crashes => {
@@ -838,6 +928,7 @@ fn run_workload_inner(
                     op: None,
                     reason,
                     work_profile: profile_snapshot(&harness),
+                    why_dump: None,
                 });
             }
         }
@@ -847,6 +938,7 @@ fn run_workload_inner(
                 op: Some(op.clone()),
                 reason,
                 work_profile: profile_snapshot(&harness),
+                why_dump: None,
             });
         }
         if !harness.connected {
@@ -858,6 +950,7 @@ fn run_workload_inner(
                         op: Some(op.clone()),
                         reason: format!("resync failed: {reason}"),
                         work_profile: profile_snapshot(&harness),
+                        why_dump: None,
                     });
                 }
             }
@@ -869,6 +962,7 @@ fn run_workload_inner(
                     op: Some(op.clone()),
                     reason,
                     work_profile: profile_snapshot(&harness),
+                    why_dump: why_snapshot(&harness),
                 });
             }
         }
@@ -883,6 +977,7 @@ fn run_workload_inner(
                 op: None,
                 reason: format!("final resync failed: {reason}"),
                 work_profile: profile_snapshot(&harness),
+                why_dump: None,
             });
         }
         if let Err(reason) = harness.check_invariants() {
@@ -891,6 +986,7 @@ fn run_workload_inner(
                 op: None,
                 reason,
                 work_profile: profile_snapshot(&harness),
+                why_dump: why_snapshot(&harness),
             });
         }
     }

@@ -441,6 +441,7 @@ pub fn run_sharded_workload(
         op: None,
         reason,
         work_profile: None,
+        why_dump: None,
     };
     let plan = match cfg.chaos {
         Some(chaos_seed) => FaultPlan::from_chaos_seed(chaos_seed, ops.len()),
@@ -460,6 +461,7 @@ pub fn run_sharded_workload(
                     op: None,
                     reason,
                     work_profile: None,
+                    why_dump: None,
                 });
             }
         }
@@ -469,6 +471,7 @@ pub fn run_sharded_workload(
                 op: Some(op.clone()),
                 reason,
                 work_profile: None,
+                why_dump: None,
             });
         }
         if !harness.connected {
@@ -480,6 +483,7 @@ pub fn run_sharded_workload(
                         op: Some(op.clone()),
                         reason: format!("sharded resync failed: {reason}"),
                         work_profile: None,
+                        why_dump: None,
                     });
                 }
             }
@@ -491,6 +495,7 @@ pub fn run_sharded_workload(
                     op: Some(op.clone()),
                     reason,
                     work_profile: None,
+                    why_dump: None,
                 });
             }
         }
@@ -504,6 +509,7 @@ pub fn run_sharded_workload(
                 op: None,
                 reason: format!("final sharded resync failed: {reason}"),
                 work_profile: None,
+                why_dump: None,
             });
         }
         if let Err(reason) = harness.check_equivalence() {
@@ -512,6 +518,7 @@ pub fn run_sharded_workload(
                 op: None,
                 reason,
                 work_profile: None,
+                why_dump: None,
             });
         }
     }

@@ -92,10 +92,20 @@ impl Telemetry {
 
     /// A switch write carrying `trace` settled: record its convergence
     /// lag into `nerpa_convergence_lag_ns` (global, plus the shard's
-    /// series when `shard` is known).
+    /// series when `shard` is known) and into the flight recorder, so
+    /// `nerpa-flight show --trace` can report the lag from a dump.
     pub fn convergence_settled(&self, trace: u64, shard: Option<usize>) {
-        self.convergence
+        let lag = self
+            .convergence
             .settled(&self.registry, trace, shard, self.recorder.now_ns());
+        if let Some(lag_ns) = lag {
+            self.recorder.record(
+                Plane::Data,
+                "convergence.settled",
+                trace,
+                &[("lag_ns", lag_ns)],
+            );
+        }
     }
 
     /// Register (or replace) an extra page at `path` (must start with

@@ -491,17 +491,23 @@ impl ConvergenceTracker {
 
     /// A switch write carrying `trace` completed: record the lag into
     /// the global histogram (and the shard's, if sharded) and update
-    /// the recent table. Unknown traces (evicted, or begun before this
-    /// process) are ignored.
-    pub fn settled(&self, registry: &Registry, trace: u64, shard: Option<usize>, now_ns: u64) {
+    /// the recent table. Returns the lag, `None` for unknown traces
+    /// (evicted, or begun before this process), which are ignored.
+    pub fn settled(
+        &self,
+        registry: &Registry,
+        trace: u64,
+        shard: Option<usize>,
+        now_ns: u64,
+    ) -> Option<u64> {
         if trace == 0 {
-            return;
+            return None;
         }
         let begin_ns = {
             let open = self.open.lock().unwrap();
             match open.iter().find(|(t, _)| *t == trace) {
                 Some((_, b)) => *b,
-                None => return,
+                None => return None,
             }
         };
         let lag = now_ns.saturating_sub(begin_ns);
@@ -526,7 +532,7 @@ impl ConvergenceTracker {
             entry.lag_ns = entry.lag_ns.max(lag);
             entry.writes += 1;
             entry.shard = shard.or(entry.shard);
-            return;
+            return Some(lag);
         }
         if recent.len() == CONVERGENCE_CAP {
             recent.pop_front();
@@ -538,6 +544,7 @@ impl ConvergenceTracker {
             writes: 1,
             shard,
         });
+        Some(lag)
     }
 
     /// Traces whose convergence clock was started.

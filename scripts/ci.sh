@@ -54,6 +54,18 @@ target/release/nerpa-flight show --json "$dump" >target/flight-ci/timeline.json
 grep -q '"kind":"chaos.fault"' target/flight-ci/timeline.json
 echo "flight-recorder: OK ($dump replays the injected faults)"
 
+# Provenance: the why/why-not e2e (every installed P4 entry and mcast
+# member on a live snvs stack resolves to a base-rooted derivation
+# tree; retraction prunes the ledger), then the nerpa-why CLI against
+# its built-in demo stack — exit 0 means every entry explained and the
+# ledger validated against a from-scratch reference. (The oracle smokes
+# above already run with provenance armed: the harness enables the
+# ledger on every run and dumps the first diverging tuple's derivation
+# on failure.)
+cargo test -q --test why_e2e
+cargo run --release -q --bin nerpa-why -- demo >/dev/null
+echo "provenance: OK (nerpa-why demo explains every installed entry)"
+
 # Bench smoke: regenerate the paper experiments in --quick mode (the
 # incrementality audit is armed inside report_fig3) and gate the
 # deterministic tuples-per-commit measurements against the checked-in
@@ -71,6 +83,10 @@ cargo run --release -q -p bench --bin compare -- \
 # --enforce-time — it is the always-on flight recorder's overhead gate.
 cargo run --release -q -p bench --bin compare -- \
     crates/bench/baselines/BENCH_recorder.json BENCH_recorder.json
+# Same in-process wall-budget mechanism for the provenance ledger:
+# provenance-on churn commits must stay ≤ 1.15x provenance-off.
+cargo run --release -q -p bench --bin compare -- \
+    crates/bench/baselines/BENCH_provenance.json BENCH_provenance.json
 
 # Bench-cliff: the churn-scaling wall-time gate. Runs the reachability
 # churn pair (n=200 / n=2000) with the work audit armed and fails if

@@ -91,5 +91,14 @@ fn main() {
         println!("{}", timeline.render_json());
     } else {
         print!("{}", timeline.render_text());
+        // A trace that settled carries its commit-to-data-plane lag.
+        if args.trace.is_some() {
+            if let Some(lag_ns) = timeline.convergence_lag_ns() {
+                println!(
+                    "convergence lag: {:.3} ms (OVSDB ack to last switch write)",
+                    lag_ns as f64 / 1e6
+                );
+            }
+        }
     }
 }

@@ -224,6 +224,23 @@ impl Timeline {
         }
     }
 
+    /// The convergence lag recorded in this timeline, if any: the
+    /// largest `lag_ns` field among `convergence.settled` events (a
+    /// trace with several switch writes settles more than once; the
+    /// last write bounds convergence).
+    pub fn convergence_lag_ns(&self) -> Option<u64> {
+        self.events
+            .iter()
+            .filter(|e| e.kind == "convergence.settled")
+            .flat_map(|e| {
+                e.fields
+                    .iter()
+                    .filter(|(k, _)| k == "lag_ns")
+                    .map(|(_, v)| *v)
+            })
+            .max()
+    }
+
     /// The plane names crossed by this timeline, in event order
     /// (deduplicated to first occurrence).
     pub fn planes_crossed(&self) -> Vec<String> {
