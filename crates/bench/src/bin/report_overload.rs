@@ -1,0 +1,521 @@
+//! Overload robustness: sustained throughput while one participant is
+//! wedged, measured against the same pipeline with nobody wedged.
+//!
+//! Two planes, each measured twice in one process so the wall-time
+//! ratio is machine-independent:
+//!
+//! * **Shard commit churn.** Port transactions through a 2-shard
+//!   runtime over 4 TCP control services with emulated ASIC programming
+//!   latency — once healthy, once with one switch's pushes frozen for
+//!   the whole run. The push-deadline watchdog poisons the frozen
+//!   switch after one deadline; coalescing and fast-fail keep every
+//!   other switch committing, so the stalled run's wall per port must
+//!   stay within [`MAX_STALL_RATIO`] of healthy (without the overload
+//!   machinery the frozen push wedges the writer and the run never
+//!   finishes).
+//! * **Monitor fan-out.** An OVSDB server streaming row commits to
+//!   [`MONITORS`] healthy TCP monitor clients — once with all of them
+//!   reading, once with an extra subscriber that never reads a byte.
+//!   The slow one costs exactly one eviction deadline before
+//!   [`ovsdb` slow-consumer eviction] removes it; the wall per commit
+//!   must stay within [`MAX_SLOW_RATIO`] of the all-healthy run
+//!   (an unbounded outbox would instead grow until memory, a blocking
+//!   fan-out would wedge every subscriber behind the slow one).
+//!
+//! Deterministic regression measurements (machine-independent, gated
+//! unconditionally by `compare`): engine commits per batch under the
+//! stall, derived entries per port when healthy, deliveries per commit,
+//! and the eviction count (exactly one).
+//!
+//! [`ovsdb` slow-consumer eviction]: ovsdb::MonitorOverload
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::{print_table, BenchEntry};
+use nerpa::codegen::CodegenOptions;
+use nerpa::controller::{DataPlane, NerpaProgram};
+use p4sim::runtime::{TableEntry, Update};
+use p4sim::service::{ControlClient, ControlService, SwitchDevice};
+use p4sim::Switch;
+use serde_json::json;
+use shard::{OverloadPolicy, PartitionSpec, Router, ShardRuntime};
+
+const SWITCHES: usize = 4;
+const SHARDS: usize = 2;
+const PORTS: usize = 2_000;
+const PORTS_QUICK: usize = 300;
+const BATCH: usize = 100;
+const WRITE_DELAY: Duration = Duration::from_micros(200);
+/// Stalled-run wall per port vs healthy, same process.
+const MAX_STALL_RATIO: f64 = 2.5;
+
+const MONITORS: usize = 100;
+const COMMITS: usize = 400;
+const COMMITS_QUICK: usize = 100;
+/// One-slow-subscriber wall per commit vs all-healthy, same process.
+const MAX_SLOW_RATIO: f64 = 3.0;
+
+/// A data plane whose pushes block while the gate is shut — the bench's
+/// stand-in for a switch that stops acknowledging writes without
+/// closing its connection.
+struct GatedClient {
+    inner: ControlClient,
+    open: Arc<AtomicBool>,
+}
+
+impl DataPlane for GatedClient {
+    fn write_updates(&self, updates: &[Update]) -> Result<(), String> {
+        while !self.open.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        DataPlane::write_updates(&self.inner, updates)
+    }
+
+    fn set_mcast_group(&self, group: u16, ports: Vec<u16>) -> Result<(), String> {
+        ControlClient::set_mcast_group(&self.inner, group, ports)
+    }
+
+    fn read_all_tables(&self) -> Result<Vec<(String, Vec<TableEntry>)>, String> {
+        ControlClient::read_all_tables(&self.inner)
+    }
+}
+
+struct ChurnStats {
+    wall: Duration,
+    commits: u64,
+    entries_pushed: u64,
+    watchdog_restarts: u64,
+}
+
+fn run_churn(
+    ports: usize,
+    stall_one: bool,
+    nerpa_program: &NerpaProgram,
+    program: &p4sim::ast::Program,
+    schema: &ovsdb::Schema,
+) -> ChurnStats {
+    let gate = Arc::new(AtomicBool::new(!stall_one));
+    let mut services = Vec::new();
+    let mut switches: Vec<(usize, Box<dyn DataPlane>)> = Vec::new();
+    for sw in 0..SWITCHES {
+        let device = SwitchDevice::new(Switch::new(program.clone()));
+        let service = ControlService::start_with_write_delay(device, "127.0.0.1:0", WRITE_DELAY)
+            .expect("control service");
+        let client = ControlClient::connect(service.local_addr()).expect("control client");
+        if sw == 0 {
+            switches.push((
+                sw,
+                Box::new(GatedClient {
+                    inner: client,
+                    open: Arc::clone(&gate),
+                }),
+            ));
+        } else {
+            switches.push((sw, Box::new(client)));
+        }
+        services.push(service);
+    }
+    let policy = OverloadPolicy {
+        input_queue_cap: 1024,
+        write_queue_cap: 32,
+        enqueue_deadline: Duration::from_secs(5),
+        push_deadline: Duration::from_millis(100),
+        watchdog_poll: Duration::from_millis(10),
+    };
+    let runtime = ShardRuntime::start_with(
+        nerpa_program,
+        Router::new(PartitionSpec::snvs(), SHARDS),
+        switches,
+        policy,
+    )
+    .expect("shard runtime");
+
+    let mut db = ovsdb::Database::new(schema.clone());
+    let tx: Vec<serde_json::Value> = (0..SWITCHES)
+        .map(|sw| json!({"op": "insert", "table": "Switch", "row": {"idx": sw}}))
+        .collect();
+    let (_, changes) = db.transact(&json!(tx));
+    runtime.handle_row_changes(&changes).expect("enqueue");
+    runtime.flush();
+
+    // Shard-label counters are process-global: measure deltas.
+    let commits_before: u64 = (0..SHARDS).map(|s| runtime.commits(s)).sum();
+    let entries_before: u64 = (0..SHARDS).map(|s| runtime.entries_written(s)).sum();
+    let wd_before: u64 = (0..SHARDS).map(|s| runtime.watchdog_restarts(s)).sum();
+    let errors_before: u64 = (0..SHARDS).map(|s| runtime.commit_errors(s)).sum();
+
+    let t = Instant::now();
+    let mut next = 0;
+    while next < ports {
+        let hi = (next + BATCH).min(ports);
+        let tx: Vec<serde_json::Value> = (next..hi)
+            .map(|i| {
+                json!({"op": "insert", "table": "Port",
+                       "row": {"id": i, "vlan_mode": "access", "tag": 10 + (i % 64)}})
+            })
+            .collect();
+        let (_, changes) = db.transact(&json!(tx));
+        runtime.handle_row_changes(&changes).expect("enqueue");
+        next = hi;
+    }
+    runtime.flush();
+    let wall = t.elapsed();
+
+    let commits = (0..SHARDS).map(|s| runtime.commits(s)).sum::<u64>() - commits_before;
+    let entries_pushed =
+        (0..SHARDS).map(|s| runtime.entries_written(s)).sum::<u64>() - entries_before;
+    let watchdog_restarts = (0..SHARDS)
+        .map(|s| runtime.watchdog_restarts(s))
+        .sum::<u64>()
+        - wd_before;
+    let commit_errors = (0..SHARDS).map(|s| runtime.commit_errors(s)).sum::<u64>() - errors_before;
+    if stall_one {
+        let shard0 = runtime.shard_of_switch(0);
+        assert!(
+            watchdog_restarts >= 1,
+            "the frozen switch never tripped the watchdog"
+        );
+        assert_eq!(
+            runtime.poisoned_switches(shard0),
+            vec![0],
+            "frozen switch must be poisoned"
+        );
+        // The watchdog's best-effort reconcile may surface errors while
+        // the switch awaits replacement — surfaced, not silent, is the
+        // contract; a flood of them would mean the poison gate broke.
+        assert!(
+            commit_errors <= 4,
+            "stalled run surfaced {commit_errors} commit errors"
+        );
+    } else {
+        assert_eq!(commit_errors, 0, "healthy run surfaced commit errors");
+        for s in 0..SHARDS {
+            assert!(
+                runtime.dirty_switches(s).is_empty(),
+                "healthy run left shard {s} dirty"
+            );
+        }
+    }
+    gate.store(true, Ordering::SeqCst);
+    runtime.shutdown();
+    ChurnStats {
+        wall,
+        commits,
+        entries_pushed,
+        watchdog_restarts,
+    }
+}
+
+struct FanoutStats {
+    wall: Duration,
+}
+
+fn run_fanout(commits: usize, one_slow: bool) -> FanoutStats {
+    let schema = ovsdb::Schema::from_json(&json!({
+        "name": "fanoutdb",
+        "tables": {
+            "T": {"columns": {"k": {"type": "string"},
+                              "v": {"type": "integer"}}, "isRoot": true}
+        }
+    }))
+    .expect("schema");
+    // Generous bounds for the timed run: a *reading* monitor must never
+    // be evicted just because 100 reader threads contend for CPU, so
+    // the outbox gives them a scheduling quantum's worth of slack. The
+    // eviction behavior itself is measured in [`run_eviction`].
+    let server = ovsdb::Server::start_with(
+        ovsdb::Database::new(schema),
+        "127.0.0.1:0",
+        ovsdb::MonitorOverload {
+            outbox_cap: 1024,
+            evict_deadline: Duration::from_millis(500),
+        },
+    )
+    .expect("server");
+
+    let healthy: Vec<(
+        ovsdb::Client,
+        crossbeam_channel::Receiver<serde_json::Value>,
+    )> = (0..MONITORS)
+        .map(|i| {
+            let c = ovsdb::Client::connect(server.local_addr()).expect("monitor connect");
+            let (_, rx) = c
+                .monitor("fanoutdb", json!(i), json!({"T": {}}))
+                .expect("monitor");
+            (c, rx)
+        })
+        .collect();
+    let slow = if one_slow {
+        use ovsdb::rpc::{write_message, Message, MessageReader};
+        let mut s = std::net::TcpStream::connect(server.local_addr()).expect("slow connect");
+        write_message(
+            &mut s,
+            &Message::Request {
+                id: json!(1),
+                method: "monitor".to_string(),
+                params: json!(["fanoutdb", "slow", {"T": {}}]),
+            },
+        )
+        .expect("slow monitor");
+        let mut rd = MessageReader::new(s.try_clone().expect("clone"));
+        rd.read().expect("slow monitor reply");
+        Some(s)
+    } else {
+        None
+    };
+    assert_eq!(
+        server.subscription_count(),
+        MONITORS + usize::from(one_slow)
+    );
+
+    let evictions_before = telemetry::global()
+        .registry
+        .value("ovsdb_monitor_evictions_total")
+        .unwrap_or(0);
+
+    // Rows are padded so the fan-out actually moves bytes; the slow
+    // subscriber absorbs them into kernel buffers and its outbox
+    // without ever blocking the healthy 100 — that non-interference is
+    // what the wall ratio measures.
+    let pad = "p".repeat(8 * 1024);
+    let t = Instant::now();
+    for i in 0..commits {
+        server.transact_local(&json!([
+            {"op": "insert", "table": "T", "row": {"k": format!("c{i}-{pad}"), "v": i}}
+        ]));
+    }
+    // Sustained fan-out, not just enqueue: every healthy monitor must
+    // see the final commit.
+    let last = format!("c{}-{pad}", commits - 1);
+    for (i, (_, rx)) in healthy.iter().enumerate() {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut saw = false;
+        while !saw && Instant::now() < deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let Ok(upd) = rx.recv_timeout(remaining) else {
+                break;
+            };
+            saw = upd["T"]
+                .as_object()
+                .map(|rows| rows.values().any(|r| r["new"]["k"] == json!(last.as_str())))
+                .unwrap_or(false);
+        }
+        assert!(saw, "monitor {i} never saw the final commit");
+    }
+    let wall = t.elapsed();
+
+    let evictions = telemetry::global()
+        .registry
+        .value("ovsdb_monitor_evictions_total")
+        .unwrap_or(0)
+        .saturating_sub(evictions_before);
+    assert_eq!(
+        evictions, 0,
+        "no reading monitor may be evicted during the timed fan-out"
+    );
+    drop(slow);
+    FanoutStats { wall }
+}
+
+/// The eviction measurement: a tightly-bounded server and one
+/// non-reading subscriber, flooded with fat rows until its kernel
+/// buffers and outbox wedge. Must cost exactly one eviction — never a
+/// hang, never unbounded buffering. Deterministic, so the count is
+/// gated by `compare` as a tuples measurement.
+fn run_eviction() -> u64 {
+    let schema = ovsdb::Schema::from_json(&json!({
+        "name": "evictbench",
+        "tables": {
+            "T": {"columns": {"k": {"type": "string"},
+                              "v": {"type": "integer"}}, "isRoot": true}
+        }
+    }))
+    .expect("schema");
+    let server = ovsdb::Server::start_with(
+        ovsdb::Database::new(schema),
+        "127.0.0.1:0",
+        ovsdb::MonitorOverload {
+            outbox_cap: 4,
+            evict_deadline: Duration::from_millis(50),
+        },
+    )
+    .expect("server");
+    let mut slow = std::net::TcpStream::connect(server.local_addr()).expect("slow connect");
+    {
+        use ovsdb::rpc::{write_message, Message, MessageReader};
+        write_message(
+            &mut slow,
+            &Message::Request {
+                id: json!(1),
+                method: "monitor".to_string(),
+                params: json!(["evictbench", "slow", {"T": {}}]),
+            },
+        )
+        .expect("slow monitor");
+        let mut rd = MessageReader::new(slow.try_clone().expect("clone"));
+        rd.read().expect("slow monitor reply");
+    }
+    assert_eq!(server.subscription_count(), 1);
+    let before = telemetry::global()
+        .registry
+        .value("ovsdb_monitor_evictions_total")
+        .unwrap_or(0);
+    let fat = "f".repeat(1024 * 1024);
+    for i in 0..32 {
+        server.transact_local(&json!([
+            {"op": "insert", "table": "T",
+             "row": {"k": format!("fat{i}-{fat}"), "v": -(i as i64)}}
+        ]));
+        if server.subscription_count() == 0 {
+            break;
+        }
+    }
+    assert_eq!(
+        server.subscription_count(),
+        0,
+        "slow subscriber never evicted"
+    );
+    let evictions = telemetry::global()
+        .registry
+        .value("ovsdb_monitor_evictions_total")
+        .unwrap_or(0)
+        .saturating_sub(before);
+    assert_eq!(evictions, 1, "exactly one eviction expected");
+    evictions
+}
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => out = args.next(),
+            "--quick" => quick = true,
+            other => {
+                eprintln!("usage: report_overload [--out FILE] [--quick] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+    let ports = if quick { PORTS_QUICK } else { PORTS };
+    let commits = if quick { COMMITS_QUICK } else { COMMITS };
+
+    let schema = ovsdb::Schema::parse(snvs::assets::SNVS_SCHEMA).expect("schema");
+    let program = p4sim::parse_p4(snvs::assets::SNVS_P4).expect("p4");
+    let nerpa_program = NerpaProgram {
+        schema: schema.clone(),
+        p4info: p4sim::P4Info::from_program(&program),
+        rules: snvs::assets::SNVS_RULES.to_string(),
+        options: CodegenOptions { per_switch: true },
+    };
+
+    println!(
+        "overload: {ports} ports over {SWITCHES} switches / {SHARDS} shards \
+         ({WRITE_DELAY:?} per entry), {commits} commits to {MONITORS} monitors"
+    );
+
+    let healthy = run_churn(ports, false, &nerpa_program, &program, &schema);
+    let stalled = run_churn(ports, true, &nerpa_program, &program, &schema);
+    let batches = ports.div_ceil(BATCH) as u64;
+    assert_eq!(
+        healthy.commits,
+        batches * SHARDS as u64,
+        "commit count must be batches x shards"
+    );
+    assert_eq!(
+        stalled.commits,
+        batches * SHARDS as u64,
+        "a stalled switch must not cost the engines a single commit"
+    );
+    assert_eq!(
+        healthy.entries_pushed % ports as u64,
+        0,
+        "healthy entries per port must be integral"
+    );
+
+    let fan_healthy = run_fanout(commits, false);
+    let fan_slow = run_fanout(commits, true);
+    let evictions = run_eviction();
+
+    let ratio_stall = stalled.wall.as_secs_f64() / healthy.wall.as_secs_f64();
+    let ratio_slow = fan_slow.wall.as_secs_f64() / fan_healthy.wall.as_secs_f64();
+    print_table(
+        "sustained throughput under overload",
+        &["run", "wall(s)", "ratio", "budget"],
+        &[
+            vec![
+                "churn healthy".into(),
+                format!("{:.3}", healthy.wall.as_secs_f64()),
+                "1.00x".into(),
+                "-".into(),
+            ],
+            vec![
+                "churn one switch stalled".into(),
+                format!("{:.3}", stalled.wall.as_secs_f64()),
+                format!("{ratio_stall:.2}x"),
+                format!("{MAX_STALL_RATIO}x"),
+            ],
+            vec![
+                format!("fan-out {MONITORS} monitors"),
+                format!("{:.3}", fan_healthy.wall.as_secs_f64()),
+                "1.00x".into(),
+                "-".into(),
+            ],
+            vec![
+                "fan-out + one slow".into(),
+                format!("{:.3}", fan_slow.wall.as_secs_f64()),
+                format!("{ratio_slow:.2}x"),
+                format!("{MAX_SLOW_RATIO}x"),
+            ],
+        ],
+    );
+    println!(
+        "\nstalled churn: {ratio_stall:.2}x healthy wall (watchdog fired {}x); \
+         slow fan-out: {ratio_slow:.2}x healthy wall; wedged subscriber: {evictions} eviction",
+        stalled.watchdog_restarts
+    );
+    assert!(
+        ratio_stall <= MAX_STALL_RATIO,
+        "stalled churn {ratio_stall:.2}x exceeded the {MAX_STALL_RATIO}x budget"
+    );
+    assert!(
+        ratio_slow <= MAX_SLOW_RATIO,
+        "slow fan-out {ratio_slow:.2}x exceeded the {MAX_SLOW_RATIO}x budget"
+    );
+
+    if let Some(path) = out {
+        let entries = vec![
+            BenchEntry::new(
+                "overload/churn_healthy",
+                (healthy.wall.as_nanos() as u64) / ports as u64,
+                healthy.entries_pushed / ports as u64,
+            ),
+            BenchEntry::new(
+                "overload/churn_one_stalled",
+                (stalled.wall.as_nanos() as u64) / ports as u64,
+                stalled.commits / batches,
+            )
+            .with_wall_budget("overload/churn_healthy", MAX_STALL_RATIO),
+            BenchEntry::new(
+                "overload/monitor_fanout_healthy",
+                (fan_healthy.wall.as_nanos() as u64) / commits as u64,
+                MONITORS as u64,
+            ),
+            BenchEntry::new(
+                "overload/monitor_fanout_one_slow",
+                (fan_slow.wall.as_nanos() as u64) / commits as u64,
+                MONITORS as u64,
+            )
+            .with_wall_budget("overload/monitor_fanout_healthy", MAX_SLOW_RATIO),
+            // Deterministic: the wedged subscriber costs exactly one
+            // eviction (ns column is informational).
+            BenchEntry::new("overload/slow_subscriber_evictions", 1, evictions),
+        ];
+        bench::write_bench_json(&path, "overload", &entries).expect("write bench json");
+        println!("wrote {path}");
+    }
+    bench::dump_metrics_snapshot();
+}

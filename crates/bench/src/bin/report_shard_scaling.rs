@@ -73,7 +73,7 @@ fn run_config(
         .map(|sw| json!({"op": "insert", "table": "Switch", "row": {"idx": sw}}))
         .collect();
     let (_, changes) = db.transact(&json!(tx));
-    runtime.handle_row_changes(&changes);
+    runtime.handle_row_changes(&changes).expect("enqueue");
     runtime.flush();
 
     // The shard-label counters are process-global; measure deltas.
@@ -91,7 +91,7 @@ fn run_config(
             })
             .collect();
         let (_, changes) = db.transact(&json!(tx));
-        runtime.handle_row_changes(&changes);
+        runtime.handle_row_changes(&changes).expect("enqueue");
         next = hi;
     }
     runtime.flush();

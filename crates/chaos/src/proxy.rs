@@ -25,6 +25,8 @@ pub struct ProxyStats {
     pub kills: u64,
     /// Fatal frames that were forwarded truncated.
     pub truncations: u64,
+    /// Scripted stalls that fired (connection frozen without closing).
+    pub stalls: u64,
 }
 
 struct ProxyState {
@@ -204,15 +206,23 @@ impl Drop for FaultProxy {
 }
 
 /// Per-connection shared fault state: one message counter shared by the
-/// two pump threads so `Direction::Both` counting is globally ordered.
+/// two pump threads so `Direction::Both` counting is globally ordered,
+/// plus the armed-stall deadline both pumps honor so a triggered stall
+/// freezes the connection in *both* directions.
 struct ConnShared {
     counted: AtomicU64,
+    stall_fired: AtomicBool,
+    stall_until: Mutex<Option<Instant>>,
+    throttle_noted: AtomicBool,
 }
 
 fn spawn_pumps(state: Arc<ProxyState>, conn_id: u64, client: TcpStream, server: TcpStream) {
     let fault = state.schedule.resolve(conn_id);
     let shared = Arc::new(ConnShared {
         counted: AtomicU64::new(0),
+        stall_fired: AtomicBool::new(false),
+        stall_until: Mutex::new(None),
+        throttle_noted: AtomicBool::new(false),
     });
 
     let clones = (
@@ -294,8 +304,39 @@ fn pump(
             if !fault.delay.is_zero() {
                 std::thread::sleep(fault.delay);
             }
+            // Slow-consumer emulation: cap the server→client drain rate
+            // while leaving the client→server direction untouched.
+            if !to_server && !fault.s2c_throttle.is_zero() {
+                if !shared.throttle_noted.swap(true, Ordering::SeqCst) {
+                    telemetry::record_event_note(
+                        telemetry::Plane::Chaos,
+                        "chaos.fault",
+                        0,
+                        &[
+                            ("conn", conn_id),
+                            ("per_message_us", fault.s2c_throttle.as_micros() as u64),
+                        ],
+                        "slow-consumer",
+                    );
+                }
+                std::thread::sleep(fault.s2c_throttle);
+            }
             let fatal = if counted {
                 let seq = shared.counted.fetch_add(1, Ordering::SeqCst) + 1;
+                if fault.stall_at == Some(seq) && !shared.stall_fired.swap(true, Ordering::SeqCst) {
+                    *lock(&shared.stall_until) = Some(Instant::now() + fault.stall_duration);
+                    lock(&state.stats).stalls += 1;
+                    telemetry::record_event_note(
+                        telemetry::Plane::Chaos,
+                        "chaos.fault",
+                        0,
+                        &[
+                            ("conn", conn_id),
+                            ("duration_ms", fault.stall_duration.as_millis() as u64),
+                        ],
+                        "stall",
+                    );
+                }
                 match fault.kill_at {
                     Some(k) if seq > k => break 'outer, // past the kill point
                     Some(k) => seq == k,
@@ -304,6 +345,14 @@ fn pump(
             } else {
                 false
             };
+            // Honor an armed stall: hold this message (and, via the
+            // shared deadline, the opposite pump's next message) until
+            // the freeze elapses. The socket stays open throughout —
+            // the peer sees a hang, never an EOF.
+            let stall_deadline = *lock(&shared.stall_until);
+            if let Some(t) = stall_deadline {
+                std::thread::sleep(t.saturating_duration_since(Instant::now()));
+            }
             let payload: &[u8] = if fatal {
                 match fault.truncate_to {
                     Some(t) if t < msg.len() => {
@@ -539,6 +588,57 @@ mod tests {
         assert!(!request(&mut c, &mut r, 0));
         assert_eq!(proxy.stats().truncations, 1);
         assert_eq!(proxy.stats().kills, 1);
+    }
+
+    #[test]
+    fn stall_freezes_without_closing() {
+        let (upstream, _h) = echo_server();
+        // Counting both directions: m0 (1), ack0 (2), m1 (3) — the
+        // stall fires while forwarding the second request, freezing the
+        // link for 300ms without closing it.
+        let schedule = FaultSchedule::scripted(
+            3,
+            Framing::Ndjson,
+            vec![ConnFault::transparent().stalling(3, 3, Duration::from_millis(300))],
+        );
+        let proxy = FaultProxy::start(upstream, schedule).unwrap();
+        let mut c = TcpStream::connect(proxy.local_addr()).unwrap();
+        let mut r = BufReader::new(c.try_clone().unwrap());
+        assert!(request(&mut c, &mut r, 0));
+        let t0 = Instant::now();
+        assert!(request(&mut c, &mut r, 1), "link must survive the stall");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(250),
+            "stalled request returned too fast: {:?}",
+            t0.elapsed()
+        );
+        // After the freeze the connection keeps working — no kill.
+        assert!(request(&mut c, &mut r, 2));
+        assert_eq!(proxy.stats().stalls, 1);
+        assert_eq!(proxy.stats().kills, 0);
+    }
+
+    #[test]
+    fn slow_consumer_throttles_replies() {
+        let (upstream, _h) = echo_server();
+        let schedule = FaultSchedule::scripted(
+            4,
+            Framing::Ndjson,
+            vec![ConnFault::transparent().slow_consumer(Duration::from_millis(100))],
+        );
+        let proxy = FaultProxy::start(upstream, schedule).unwrap();
+        let mut c = TcpStream::connect(proxy.local_addr()).unwrap();
+        let mut r = BufReader::new(c.try_clone().unwrap());
+        let t0 = Instant::now();
+        for i in 0..3 {
+            assert!(request(&mut c, &mut r, i));
+        }
+        // Each reply pays the 100ms throttle; requests flow untouched.
+        assert!(
+            t0.elapsed() >= Duration::from_millis(300),
+            "replies were not throttled: {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

@@ -52,6 +52,18 @@ pub struct ConnFault {
     /// After this connection is killed by a fault, refuse new
     /// connections for this long (a partition).
     pub partition_after_kill: Duration,
+    /// Freeze the connection after this many counted messages
+    /// (inclusive range, seed-resolved): stop forwarding bytes in both
+    /// directions for [`ConnFault::stall_duration`] *without closing the
+    /// socket* — the peer sees a healthy TCP connection that simply
+    /// stops answering. `None` = never stall.
+    pub stall_after: Option<(u64, u64)>,
+    /// How long a triggered stall freezes the connection.
+    pub stall_duration: Duration,
+    /// Slow-consumer emulation: extra delay per server→client message
+    /// (only that direction), so the client drains at roughly one
+    /// message per `s2c_throttle`. Zero = no throttle.
+    pub s2c_throttle: Duration,
 }
 
 impl ConnFault {
@@ -64,6 +76,9 @@ impl ConnFault {
             delay_base: Duration::ZERO,
             delay_jitter: Duration::ZERO,
             partition_after_kill: Duration::ZERO,
+            stall_after: None,
+            stall_duration: Duration::ZERO,
+            s2c_throttle: Duration::ZERO,
         }
     }
 
@@ -104,6 +119,25 @@ impl ConnFault {
         self.partition_after_kill = d;
         self
     }
+
+    /// Freeze the connection for `duration` after a seed-resolved count
+    /// in `[lo, hi]` — bytes stop flowing but the socket stays open, so
+    /// the peer's reads simply hang. This is the fault a write-deadline
+    /// watchdog exists to catch: a kill is visible as EOF, a stall is
+    /// not.
+    pub fn stalling(mut self, lo: u64, hi: u64, duration: Duration) -> ConnFault {
+        self.stall_after = Some((lo, hi));
+        self.stall_duration = duration;
+        self
+    }
+
+    /// Emulate a slow consumer: each server→client message is delivered
+    /// only after `per_message`, so the client-side drain rate is capped
+    /// while client→server traffic flows at full speed.
+    pub fn slow_consumer(mut self, per_message: Duration) -> ConnFault {
+        self.s2c_throttle = per_message;
+        self
+    }
 }
 
 /// A deterministic schedule: the plan for the nth accepted connection.
@@ -133,6 +167,12 @@ pub struct ResolvedFault {
     pub delay: Duration,
     /// Partition duration armed when the kill fires.
     pub partition_after_kill: Duration,
+    /// Freeze the connection after exactly this many counted messages.
+    pub stall_at: Option<u64>,
+    /// Duration of the triggered freeze.
+    pub stall_duration: Duration,
+    /// Per-message server→client throttle (slow-consumer emulation).
+    pub s2c_throttle: Duration,
 }
 
 impl FaultSchedule {
@@ -185,13 +225,15 @@ impl FaultSchedule {
             .unwrap_or(&self.default_plan);
         let mut rng =
             StdRng::seed_from_u64(self.seed ^ conn_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let kill_at = plan.kill_after.map(|(lo, hi)| {
+        let mut pick_in = |(lo, hi): (u64, u64)| {
             if lo >= hi {
                 lo
             } else {
                 rng.random_range(lo..=hi)
             }
-        });
+        };
+        let kill_at = plan.kill_after.map(&mut pick_in);
+        let stall_at = plan.stall_after.map(&mut pick_in);
         let jitter_us = plan.delay_jitter.as_micros() as u64;
         let delay = plan.delay_base
             + if jitter_us == 0 {
@@ -205,6 +247,9 @@ impl FaultSchedule {
             truncate_to: plan.truncate_to,
             delay,
             partition_after_kill: plan.partition_after_kill,
+            stall_at,
+            stall_duration: plan.stall_duration,
+            s2c_throttle: plan.s2c_throttle,
         }
     }
 }
@@ -220,6 +265,26 @@ impl FaultSchedule {
 pub enum FaultKind {
     /// A wire-level fault on a proxied connection.
     Conn(ConnFault),
+    /// Freeze a proxied connection after a seed-resolved message count:
+    /// bytes stop flowing in both directions for `duration` but the
+    /// socket stays open, so the peer observes a hang rather than EOF.
+    /// This is the signature of a wedged device or a GC-paused peer —
+    /// exactly what push-deadline watchdogs must catch, because no
+    /// close event will ever arrive.
+    Stall {
+        /// Inclusive range of counted messages before the freeze
+        /// (seed-resolved; `lo == hi` for an exact point).
+        after_messages: (u64, u64),
+        /// How long the connection stays frozen.
+        duration: Duration,
+    },
+    /// Emulate a slow consumer: server→client messages are delivered at
+    /// most one per `per_message` while client→server traffic flows
+    /// unthrottled. Drives monitor outboxes toward their caps.
+    SlowConsumer {
+        /// Minimum spacing between delivered server→client messages.
+        per_message: Duration,
+    },
     /// Kill the server process abruptly once its commit index reaches a
     /// seed-resolved point, tearing the WAL tail.
     CrashServer {
@@ -249,6 +314,25 @@ pub struct ResolvedCrash {
 const CRASH_SALT: u64 = 0xC7A5_11FE_DB01_4E55;
 
 impl FaultKind {
+    /// The wire-level connection plan this fault corresponds to, if it
+    /// is a wire fault: `Conn` passes through, `Stall` and
+    /// `SlowConsumer` map onto the equivalent [`ConnFault`] so they can
+    /// be scripted into a [`FaultSchedule`]. Process faults
+    /// (`CrashServer`) have no connection plan and return `None`.
+    pub fn conn_plan(&self) -> Option<ConnFault> {
+        match self {
+            FaultKind::Conn(c) => Some(c.clone()),
+            FaultKind::Stall {
+                after_messages: (lo, hi),
+                duration,
+            } => Some(ConnFault::transparent().stalling(*lo, *hi, *duration)),
+            FaultKind::SlowConsumer { per_message } => {
+                Some(ConnFault::transparent().slow_consumer(*per_message))
+            }
+            FaultKind::CrashServer { .. } => None,
+        }
+    }
+
     /// Resolve a `CrashServer` fault for occurrence `idx` under `seed`.
     /// Deterministic: the same `(seed, idx)` pins the same commit index
     /// and the same torn-tail chop, run after run — which makes the torn
@@ -438,6 +522,48 @@ mod tests {
         assert_eq!(torn[0], torn[1], "torn image must be byte-exact");
         assert!(torn[0].len() < image.len());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stall_and_slow_consumer_resolution() {
+        let s = FaultSchedule::scripted(
+            77,
+            Framing::Ndjson,
+            vec![ConnFault::transparent()
+                .stalling(2, 9, Duration::from_millis(40))
+                .slow_consumer(Duration::from_millis(7))],
+        );
+        let a = s.resolve(0);
+        let b = s.resolve(0);
+        assert_eq!(a.stall_at, b.stall_at);
+        assert!((2..=9).contains(&a.stall_at.unwrap()));
+        assert_eq!(a.stall_duration, Duration::from_millis(40));
+        assert_eq!(a.s2c_throttle, Duration::from_millis(7));
+        // Unscripted connections neither stall nor throttle.
+        assert!(s.resolve(1).stall_at.is_none());
+        assert_eq!(s.resolve(1).s2c_throttle, Duration::ZERO);
+
+        // FaultKind wrappers map onto equivalent wire plans.
+        let k = FaultKind::Stall {
+            after_messages: (3, 3),
+            duration: Duration::from_secs(1),
+        };
+        let p = k.conn_plan().unwrap();
+        assert_eq!(p.stall_after, Some((3, 3)));
+        assert_eq!(p.stall_duration, Duration::from_secs(1));
+        let k = FaultKind::SlowConsumer {
+            per_message: Duration::from_millis(5),
+        };
+        assert_eq!(
+            k.conn_plan().unwrap().s2c_throttle,
+            Duration::from_millis(5)
+        );
+        assert!(FaultKind::CrashServer {
+            after_commits: (1, 1),
+            torn_tail_bytes: (0, 0),
+        }
+        .conn_plan()
+        .is_none());
     }
 
     #[test]

@@ -6,13 +6,15 @@
 //! oracle --seed 3 --steps 500 --chaos-crash 7  # + server crash faults
 //! oracle --seed 3 --steps 200 --bug skip-resync-deletes   # must fail
 //! oracle --seed 1..4 --steps 300 --shards 4 # sharded vs unsharded
+//! oracle --seed 1 --steps 150 --chaos-stall 7  # overload/stall survival
 //! ```
 //!
 //! Exit codes: 0 = all seeds green, 1 = divergence found (a shrunk
 //! reproduction is printed), 2 = usage error.
 
 use oracle::{
-    run_oracle, run_sharded_oracle, InjectedBug, OracleConfig, OracleFailure, OracleReport,
+    run_oracle, run_overload_oracle, run_sharded_oracle, InjectedBug, OracleConfig, OracleFailure,
+    OracleReport,
 };
 
 struct Args {
@@ -22,6 +24,7 @@ struct Args {
     crashes: bool,
     bug: Option<InjectedBug>,
     shards: usize,
+    stall: Option<u64>,
     flight_dir: Option<std::path::PathBuf>,
 }
 
@@ -41,6 +44,13 @@ fn usage() -> ! {
          \x20       switches, checked for cross-shard equivalence against\n\
          \x20       one unsharded engine (incompatible with --chaos-crash\n\
          \x20       and --bug)\n\
+         --chaos-stall S overload mode: stall a live switch connection\n\
+         \x20       mid-churn (frozen socket, not closed) and wedge a slow\n\
+         \x20       OVSDB monitor; asserts the writer watchdog fires, the\n\
+         \x20       supervisor recovers, queue depths stay bounded, the\n\
+         \x20       slow monitor is evicted, and the final data-plane state\n\
+         \x20       converges to the fault-free spec (incompatible with\n\
+         \x20       --chaos/--chaos-crash/--bug/--shards)\n\
          --flight-dir D arm the flight recorder: failure dumps land in D,\n\
          \x20       and every chaos run writes a run-end `.nfr` there\n\
          \x20       (inspect with `nerpa-flight show`)"
@@ -66,6 +76,7 @@ fn parse_args() -> Option<Args> {
         crashes: false,
         bug: None,
         shards: 0,
+        stall: None,
         flight_dir: None,
     };
     let mut it = std::env::args().skip(1);
@@ -85,6 +96,7 @@ fn parse_args() -> Option<Args> {
                     return None;
                 }
             }
+            "--chaos-stall" => args.stall = Some(it.next()?.parse().ok()?),
             "--flight-dir" => args.flight_dir = Some(std::path::PathBuf::from(it.next()?)),
             "--help" | "-h" => usage(),
             _ => return None,
@@ -96,6 +108,11 @@ fn parse_args() -> Option<Args> {
     // The sharded harness runs on an in-memory database (no WAL to
     // crash) and checks a different battery than the bug-demo runs.
     if args.shards > 0 && (args.crashes || args.bug.is_some()) {
+        return None;
+    }
+    // The overload run drives its own harness (real TCP control + OVSDB
+    // connections, chaos stall proxy) and its own pass/fail criteria.
+    if args.stall.is_some() && (args.chaos.is_some() || args.bug.is_some() || args.shards > 0) {
         return None;
     }
     Some(args)
@@ -187,6 +204,35 @@ fn main() {
         telemetry::global().recorder.arm(dir.clone());
     }
     let mut failed = false;
+    if let Some(stall_seed) = args.stall {
+        for seed in &args.seeds {
+            match run_overload_oracle(*seed, args.steps, stall_seed) {
+                Ok(r) => println!(
+                    "seed {seed}: OK [overload] — {} steps, {} commits during stall, \
+                     {} watchdog restarts, {} coalesced writes, {} shed inputs, \
+                     {} monitor evictions, {}/{} healthy monitors, {} entries installed",
+                    r.steps,
+                    r.commits_during_stall,
+                    r.watchdog_restarts,
+                    r.coalesced,
+                    r.sheds,
+                    r.evictions,
+                    r.healthy_monitors,
+                    r.healthy_monitors,
+                    r.final_entries,
+                ),
+                Err(e) => {
+                    failed = true;
+                    println!("seed {seed}: FAILED [overload] — {e}");
+                    println!(
+                        "  replay: oracle --seed {seed} --steps {} --chaos-stall {stall_seed}",
+                        args.steps
+                    );
+                }
+            }
+        }
+        std::process::exit(if failed { 1 } else { 0 });
+    }
     for seed in &args.seeds {
         let cfg = OracleConfig {
             seed: *seed,

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod overload;
 pub mod sharded;
 pub mod shrink;
 pub mod workload;
@@ -29,5 +30,6 @@ pub mod workload;
 pub use harness::{
     run_oracle, run_workload, InjectedBug, OracleConfig, OracleFailure, OracleReport, StepFailure,
 };
+pub use overload::{run_overload_oracle, OverloadReport};
 pub use sharded::{run_sharded_oracle, run_sharded_workload};
 pub use workload::{generate_workload, FaultEvent, FaultKind, FaultPlan, WorkloadOp};

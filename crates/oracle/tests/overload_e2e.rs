@@ -1,0 +1,341 @@
+//! End-to-end overload robustness: the faults ISSUE "overload" makes
+//! survivable, pinned as regressions.
+//!
+//! * The full `--chaos-stall` oracle (stalled TCP control connection →
+//!   watchdog → supervisor recovery → convergence; slow OVSDB monitor →
+//!   eviction → reconnect resync) stays green.
+//! * A writer wedged in a device push is superseded by the watchdog,
+//!   the switch is poisoned (fast-fail, no silent buffering), and a
+//!   replace + reconcile restores exactly the state a fault-free
+//!   reference runtime installs from the same inputs.
+//! * Evicting a slow monitor loses it nothing it cannot recover: a
+//!   healthy subscriber's streamed view and the evicted client's
+//!   post-reconnect snapshot agree on the final database contents.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nerpa::codegen::CodegenOptions;
+use nerpa::controller::{DataPlane, NerpaProgram};
+use oracle::run_overload_oracle;
+use p4sim::runtime::{TableEntry, Update};
+use p4sim::{parse_p4, Switch, SwitchDevice};
+use serde_json::json;
+use shard::{OverloadPolicy, PartitionSpec, Router, ShardRuntime};
+
+#[test]
+fn overload_oracle_survives_stall_and_eviction() {
+    let report = run_overload_oracle(21, 80, 5).expect("overload oracle must be green");
+    assert!(
+        report.watchdog_restarts >= 1,
+        "stall must trip the writer watchdog: {report:?}"
+    );
+    assert!(
+        report.commits_during_stall > 0,
+        "healthy shard must keep committing during the stall: {report:?}"
+    );
+    assert!(
+        report.evictions >= 1,
+        "slow monitor must be evicted: {report:?}"
+    );
+    assert_eq!(report.healthy_monitors, 4, "{report:?}");
+    assert!(report.final_entries > 0, "{report:?}");
+}
+
+/// A data plane whose writes block while `stuck` is set — the local
+/// stand-in for a switch that accepts the connection but stops
+/// acknowledging pushes.
+struct StuckDevice {
+    inner: SwitchDevice,
+    stuck: Arc<AtomicBool>,
+}
+
+impl DataPlane for StuckDevice {
+    fn write_updates(&self, updates: &[Update]) -> Result<(), String> {
+        while self.stuck.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.inner.write(updates)
+    }
+
+    fn set_mcast_group(&self, group: u16, ports: Vec<u16>) -> Result<(), String> {
+        self.inner.set_mcast_group(group, ports);
+        Ok(())
+    }
+
+    fn read_all_tables(&self) -> Result<Vec<(String, Vec<TableEntry>)>, String> {
+        Ok(self.inner.read_all_tables())
+    }
+}
+
+fn snvs_program() -> (ovsdb::Schema, p4sim::ast::Program, NerpaProgram) {
+    let schema = ovsdb::Schema::parse(snvs::assets::SNVS_SCHEMA).expect("snvs schema");
+    let program = parse_p4(snvs::assets::SNVS_P4).expect("snvs p4");
+    let nerpa = NerpaProgram {
+        schema: schema.clone(),
+        p4info: p4sim::P4Info::from_program(&program),
+        rules: snvs::assets::SNVS_RULES.to_string(),
+        options: CodegenOptions { per_switch: true },
+    };
+    (schema, program, nerpa)
+}
+
+fn sorted_tables(dev: &SwitchDevice) -> Vec<(String, Vec<TableEntry>)> {
+    let mut tables = dev.read_all_tables();
+    for (_, entries) in &mut tables {
+        entries.sort();
+    }
+    tables
+}
+
+#[test]
+fn watchdog_restart_then_replace_reconciles_to_reference_state() {
+    let (schema, program, nerpa) = snvs_program();
+    let stuck = Arc::new(AtomicBool::new(false));
+    let victim_inner = SwitchDevice::new(Switch::new(program.clone()));
+    let dev1 = SwitchDevice::new(Switch::new(program.clone()));
+
+    let policy = OverloadPolicy {
+        input_queue_cap: 256,
+        write_queue_cap: 8,
+        enqueue_deadline: Duration::from_millis(500),
+        push_deadline: Duration::from_millis(100),
+        watchdog_poll: Duration::from_millis(10),
+    };
+    let runtime = ShardRuntime::start_with(
+        &nerpa,
+        Router::new(PartitionSpec::snvs(), 2),
+        vec![
+            (
+                0,
+                Box::new(StuckDevice {
+                    inner: victim_inner,
+                    stuck: Arc::clone(&stuck),
+                }),
+            ),
+            (1, Box::new(dev1.clone())),
+        ],
+        policy,
+    )
+    .expect("runtime starts");
+
+    // The fault-free reference: same program, same inputs, no stall.
+    let ref_dev0 = SwitchDevice::new(Switch::new(program.clone()));
+    let ref_dev1 = SwitchDevice::new(Switch::new(program.clone()));
+    let reference = ShardRuntime::start_with(
+        &nerpa,
+        Router::new(PartitionSpec::snvs(), 2),
+        vec![
+            (0, Box::new(ref_dev0.clone())),
+            (1, Box::new(ref_dev1.clone())),
+        ],
+        OverloadPolicy::default(),
+    )
+    .expect("reference runtime starts");
+
+    let mut db = ovsdb::Database::new(schema);
+    let deliver = |db: &mut ovsdb::Database, ops: serde_json::Value| {
+        let (_, changes) = db.transact(&ops);
+        runtime
+            .handle_row_changes(&changes)
+            .expect("victim delivery");
+        reference
+            .handle_row_changes(&changes)
+            .expect("reference delivery");
+    };
+
+    deliver(
+        &mut db,
+        json!([
+            {"op": "insert", "table": "Switch", "row": {"idx": 0}},
+            {"op": "insert", "table": "Switch", "row": {"idx": 1}},
+            {"op": "insert", "table": "Port",
+             "row": {"id": 1, "vlan_mode": "access", "tag": 10}},
+        ]),
+    );
+    runtime.flush();
+
+    let shard0 = runtime.shard_of_switch(0);
+    let wd_base = runtime.watchdog_restarts(shard0);
+
+    // Wedge switch 0 and commit through the stall: the push-deadline
+    // watchdog must supersede the stuck writer and poison the switch.
+    stuck.store(true, Ordering::SeqCst);
+    deliver(
+        &mut db,
+        json!([{"op": "insert", "table": "Port",
+                "row": {"id": 2, "vlan_mode": "access", "tag": 10}}]),
+    );
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while runtime.watchdog_restarts(shard0) == wd_base {
+        assert!(
+            Instant::now() < deadline,
+            "watchdog never fired on a 100ms push deadline"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        runtime.poisoned_switches(shard0),
+        vec![0],
+        "stuck switch must be poisoned, not silently buffered"
+    );
+
+    // The healthy switch keeps absorbing changes while 0 is poisoned.
+    deliver(
+        &mut db,
+        json!([{"op": "insert", "table": "Port",
+                "row": {"id": 3, "vlan_mode": "trunk", "trunks": [10, 20]}}]),
+    );
+    runtime.flush();
+    assert!(
+        !runtime.dirty_switches(shard0).is_empty(),
+        "failed pushes must leave the poisoned switch marked dirty"
+    );
+
+    // Supervisor recovery: unwedge (the superseded writer dies off), hand
+    // the runtime a fresh device, reconcile, drain.
+    stuck.store(false, Ordering::SeqCst);
+    let fresh = SwitchDevice::new(Switch::new(program.clone()));
+    runtime
+        .replace_switch(0, Box::new(fresh.clone()))
+        .expect("replace");
+    for shard in 0..2 {
+        runtime.reconcile_shard(shard).expect("reconcile");
+    }
+    runtime.flush();
+    reference.flush();
+
+    assert!(runtime.poisoned_switches(shard0).is_empty());
+    assert!((0..2).all(|s| runtime.dirty_switches(s).is_empty()));
+    assert_eq!(
+        sorted_tables(&fresh),
+        sorted_tables(&ref_dev0),
+        "recovered switch 0 must match the fault-free reference"
+    );
+    assert_eq!(fresh.mcast_snapshot(), ref_dev0.mcast_snapshot());
+    assert_eq!(sorted_tables(&dev1), sorted_tables(&ref_dev1));
+    assert_eq!(dev1.mcast_snapshot(), ref_dev1.mcast_snapshot());
+}
+
+#[test]
+fn evicted_monitor_resync_equals_healthy_stream() {
+    let schema = ovsdb::Schema::from_json(&json!({
+        "name": "evictdb",
+        "tables": {
+            "T": {"columns": {"k": {"type": "string"},
+                              "v": {"type": "integer"}}, "isRoot": true}
+        }
+    }))
+    .expect("schema");
+    let server = ovsdb::Server::start_with(
+        ovsdb::Database::new(schema),
+        "127.0.0.1:0",
+        ovsdb::MonitorOverload {
+            outbox_cap: 4,
+            evict_deadline: Duration::from_millis(150),
+        },
+    )
+    .expect("server");
+
+    let healthy = ovsdb::Client::connect(server.local_addr()).expect("healthy connect");
+    let (initial, rx) = healthy
+        .monitor("evictdb", json!("healthy"), json!({"T": {}}))
+        .expect("healthy monitor");
+    // uuid → key: the healthy subscriber's incrementally-maintained view.
+    let mut streamed: BTreeMap<String, String> = initial["T"]
+        .as_object()
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|(u, r)| r["new"]["k"].as_str().map(|k| (u.clone(), k.to_string())))
+                .collect()
+        })
+        .unwrap_or_default();
+
+    // The slow subscriber registers, then never reads another byte.
+    let mut slow = std::net::TcpStream::connect(server.local_addr()).expect("slow connect");
+    {
+        use ovsdb::rpc::{write_message, Message, MessageReader};
+        write_message(
+            &mut slow,
+            &Message::Request {
+                id: json!(1),
+                method: "monitor".to_string(),
+                params: json!(["evictdb", "slow", {"T": {}}]),
+            },
+        )
+        .expect("slow monitor request");
+        let mut rd = MessageReader::new(slow.try_clone().expect("clone"));
+        assert!(matches!(
+            rd.read().expect("slow monitor reply"),
+            Some(Message::Response { .. })
+        ));
+    }
+    assert_eq!(server.subscription_count(), 2);
+
+    // Flood with fat rows until the wedged outbox forces the eviction.
+    let big = "y".repeat(128 * 1024);
+    let mut evicted = false;
+    for i in 0..64 {
+        server.transact_local(&json!([
+            {"op": "insert", "table": "T", "row": {"k": format!("r{i}-{big}"), "v": i}}
+        ]));
+        if server.subscription_count() == 1 {
+            evicted = true;
+            break;
+        }
+    }
+    assert!(evicted, "slow subscriber was never evicted");
+
+    server.transact_local(&json!([
+        {"op": "insert", "table": "T", "row": {"k": "marker", "v": -1}}
+    ]));
+
+    // Apply the stream until the marker arrives: inserts add, deletes
+    // remove, exactly the resync algebra a real monitor client runs.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut saw_marker = false;
+    while !saw_marker && Instant::now() < deadline {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let Ok(upd) = rx.recv_timeout(remaining) else {
+            break;
+        };
+        if let Some(rows) = upd["T"].as_object() {
+            for (uuid, r) in rows {
+                match r["new"]["k"].as_str() {
+                    Some(k) => {
+                        if k == "marker" {
+                            saw_marker = true;
+                        }
+                        streamed.insert(uuid.clone(), k.to_string());
+                    }
+                    None => {
+                        streamed.remove(uuid);
+                    }
+                }
+            }
+        }
+    }
+    assert!(saw_marker, "healthy stream stalled after the eviction");
+
+    // The evicted client reconnects; its snapshot must equal the view
+    // the healthy subscriber maintained incrementally.
+    drop(slow);
+    let reborn = ovsdb::Client::connect(server.local_addr()).expect("reborn connect");
+    let (snapshot, _rx2) = reborn
+        .monitor("evictdb", json!("reborn"), json!({"T": {}}))
+        .expect("reborn monitor");
+    let snap: BTreeMap<String, String> = snapshot["T"]
+        .as_object()
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|(u, r)| r["new"]["k"].as_str().map(|k| (u.clone(), k.to_string())))
+                .collect()
+        })
+        .unwrap_or_default();
+    assert_eq!(
+        snap, streamed,
+        "post-eviction snapshot and streamed view diverged"
+    );
+}

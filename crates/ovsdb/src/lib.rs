@@ -29,5 +29,5 @@ pub use datum::{Atom, AtomType, Datum, Uuid};
 pub use db::{Database, RecoveryReport, RowChange, RowData};
 pub use monitor::{Monitor, MonitorSelect, MonitorTable};
 pub use schema::{ColumnSchema, ColumnType, Schema, TableSchema};
-pub use server::{Client, Server, TRACE_KEY};
+pub use server::{Client, MonitorOverload, Server, TRACE_KEY};
 pub use wal::{DurabilityConfig, FsyncPolicy, WalError};

@@ -8,13 +8,38 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam_channel::{unbounded, Sender};
+use crossbeam_channel::{bounded, unbounded, Sender, TrySendError};
 use parking_lot::Mutex;
 use serde_json::{json, Value as Json};
 
 use crate::db::Database;
 use crate::monitor::Monitor;
 use crate::rpc::{write_message, Message, MessageReader};
+
+/// Bounds for monitor fan-out: each connection gets a bounded outbox
+/// drained by its writer thread, and a subscriber that cannot drain it
+/// within the deadline is **evicted** — its connection is closed and
+/// its subscriptions are dropped, bounding server memory no matter how
+/// slow the consumer. Evicted clients are expected to reconnect and
+/// re-monitor (the supervisor's resync path), which yields a complete
+/// fresh snapshot, so eviction never loses them state for good.
+#[derive(Debug, Clone)]
+pub struct MonitorOverload {
+    /// Max notifications buffered per connection outbox.
+    pub outbox_cap: usize,
+    /// How long a full outbox may block the fan-out before the
+    /// subscriber is evicted.
+    pub evict_deadline: Duration,
+}
+
+impl Default for MonitorOverload {
+    fn default() -> MonitorOverload {
+        MonitorOverload {
+            outbox_cap: 1024,
+            evict_deadline: Duration::from_secs(1),
+        }
+    }
+}
 
 /// Reserved key attached to monitor update objects carrying the causal
 /// trace minted at commit time. Table names never collide with it, and
@@ -27,6 +52,10 @@ struct ServerMetrics {
     commit_us: telemetry::Histogram,
     fanout: telemetry::Counter,
     connections: telemetry::Counter,
+    evictions: telemetry::Counter,
+    disconnects: telemetry::Counter,
+    outbox_depth: telemetry::Gauge,
+    outbox_depth_hwm: telemetry::Gauge,
 }
 
 fn server_metrics() -> &'static ServerMetrics {
@@ -51,6 +80,22 @@ fn server_metrics() -> &'static ServerMetrics {
                 "ovsdb_connections_total",
                 "Client connections accepted by the OVSDB server",
             ),
+            evictions: reg.counter(
+                "ovsdb_monitor_evictions_total",
+                "Monitor subscribers evicted for failing to drain their outbox in time",
+            ),
+            disconnects: reg.counter(
+                "ovsdb_monitor_disconnects_total",
+                "Monitor connections torn down after a failed socket write",
+            ),
+            outbox_depth: reg.gauge(
+                "ovsdb_monitor_outbox_depth",
+                "Notifications buffered in the fullest monitor outbox at last fan-out",
+            ),
+            outbox_depth_hwm: reg.gauge(
+                "ovsdb_monitor_outbox_depth_hwm",
+                "High-water mark of monitor outbox depth",
+            ),
         }
     })
 }
@@ -69,6 +114,20 @@ struct ServerState {
     next_conn: AtomicU64,
     /// Live connection sockets, so shutdown can sever them cleanly.
     conns: Mutex<Vec<(u64, TcpStream)>>,
+    overload: MonitorOverload,
+}
+
+impl ServerState {
+    /// Sever one connection's socket (both directions). Its reader
+    /// observes EOF and finishes the ordinary connection teardown.
+    fn sever_conn(&self, conn_id: u64) {
+        let conns = self.conns.lock();
+        for (id, stream) in conns.iter() {
+            if *id == conn_id {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
 }
 
 /// A running OVSDB server. Dropping it (or calling [`Server::shutdown`])
@@ -81,8 +140,18 @@ pub struct Server {
 }
 
 impl Server {
-    /// Start serving `db` on `addr` (use port 0 for an ephemeral port).
+    /// [`Server::start_with`] under the default [`MonitorOverload`].
     pub fn start(db: Database, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        Server::start_with(db, addr, MonitorOverload::default())
+    }
+
+    /// Start serving `db` on `addr` (use port 0 for an ephemeral port)
+    /// with explicit monitor-overload bounds.
+    pub fn start_with(
+        db: Database,
+        addr: impl ToSocketAddrs,
+        overload: MonitorOverload,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -92,6 +161,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             next_conn: AtomicU64::new(1),
             conns: Mutex::new(Vec::new()),
+            overload,
         });
         let accept_state = state.clone();
         let accept_thread = std::thread::spawn(move || loop {
@@ -155,6 +225,11 @@ impl Server {
         self.state.conns.lock().len()
     }
 
+    /// Number of live monitor subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.state.subs.lock().len()
+    }
+
     /// Stop accepting connections and sever the live ones.
     pub fn shutdown(&mut self) {
         self.state.shutdown.store(true, Ordering::Relaxed);
@@ -193,9 +268,18 @@ fn notify(state: &ServerState, changes: &[crate::db::RowChange], trace: Option<(
         );
         telemetry::global().convergence_begin(id);
     }
-    let subs = state.subs.lock();
-    for sub in subs.iter() {
-        if let Some(mut updates) = sub.monitor.format_changes(changes) {
+    let mut evicted: Vec<u64> = Vec::new();
+    let mut dead: Vec<u64> = Vec::new();
+    {
+        let subs = state.subs.lock();
+        let mut max_depth = 0usize;
+        for sub in subs.iter() {
+            if evicted.contains(&sub.conn_id) || dead.contains(&sub.conn_id) {
+                continue;
+            }
+            let Some(mut updates) = sub.monitor.format_changes(changes) else {
+                continue;
+            };
             if let (Some((id, commit_ns)), Some(obj)) = (trace, updates.as_object_mut()) {
                 obj.insert(
                     TRACE_KEY.to_string(),
@@ -209,16 +293,79 @@ fn notify(state: &ServerState, changes: &[crate::db::RowChange], trace: Option<(
                 sub.conn_id,
                 trace.map(|t| t.0)
             );
-            let _ = sub.tx.send(Message::Notification {
+            let msg = Message::Notification {
                 method: "update".to_string(),
                 params: json!([sub.mon_id, updates]),
-            });
-            telemetry::record_event(
-                telemetry::Plane::Management,
-                "ovsdb.monitor_fanout",
-                trace.map(|t| t.0).unwrap_or(0),
-                &[("conn", sub.conn_id), ("rows", changes.len() as u64)],
-            );
+            };
+            // Fast path first; only a full outbox pays the blocking
+            // wait, and only up to the eviction deadline.
+            let sent = match sub.tx.try_send(msg) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Disconnected(_)) => {
+                    dead.push(sub.conn_id);
+                    continue;
+                }
+                Err(TrySendError::Full(msg)) => sub
+                    .tx
+                    .send_timeout(msg, state.overload.evict_deadline)
+                    .map_err(|e| e.is_timeout()),
+            };
+            match sent {
+                Ok(()) => {
+                    max_depth = max_depth.max(sub.tx.len());
+                    telemetry::record_event(
+                        telemetry::Plane::Management,
+                        "ovsdb.monitor_fanout",
+                        trace.map(|t| t.0).unwrap_or(0),
+                        &[("conn", sub.conn_id), ("rows", changes.len() as u64)],
+                    );
+                }
+                Err(true) => {
+                    // Slow consumer: could not drain one slot within
+                    // the deadline. Evict the whole connection; its
+                    // reconnect + re-monitor resync makes this safe.
+                    server_metrics().evictions.inc();
+                    telemetry::record_event(
+                        telemetry::Plane::Management,
+                        "ovsdb.monitor_evict",
+                        trace.map(|t| t.0).unwrap_or(0),
+                        &[
+                            ("conn", sub.conn_id),
+                            ("outbox", sub.tx.len() as u64),
+                            (
+                                "deadline_ms",
+                                state.overload.evict_deadline.as_millis() as u64,
+                            ),
+                        ],
+                    );
+                    telemetry::log_warn!(
+                        "ovsdb",
+                        "evicting slow monitor subscriber on conn {} (outbox {} full past {:?})",
+                        sub.conn_id,
+                        sub.tx.len(),
+                        state.overload.evict_deadline
+                    );
+                    evicted.push(sub.conn_id);
+                }
+                Err(false) => {
+                    dead.push(sub.conn_id);
+                }
+            }
+        }
+        let m = server_metrics();
+        m.outbox_depth.set(max_depth as i64);
+        m.outbox_depth_hwm.set_max(max_depth as i64);
+    }
+    // Tear evicted/dead connections down outside the subs iteration:
+    // drop every subscription of theirs now (not when their reader
+    // notices) and sever the socket so the client observes the close.
+    if !evicted.is_empty() || !dead.is_empty() {
+        state
+            .subs
+            .lock()
+            .retain(|s| !evicted.contains(&s.conn_id) && !dead.contains(&s.conn_id));
+        for conn_id in evicted.iter().chain(dead.iter()) {
+            state.sever_conn(*conn_id);
         }
     }
 }
@@ -236,12 +383,26 @@ fn serve_connection(state: Arc<ServerState>, stream: TcpStream) {
         state.conns.lock().push((conn_id, handle));
     }
     // Writer thread: drains the outbound queue so slow readers do not
-    // block transaction commit.
-    let (tx, rx) = unbounded::<Message>();
+    // block transaction commit. The outbox is bounded — a subscriber
+    // that stops draining fills it and `notify` evicts the connection
+    // rather than buffering without limit.
+    let (tx, rx) = bounded::<Message>(state.overload.outbox_cap);
+    let writer_state = Arc::clone(&state);
     let writer = std::thread::spawn(move || {
         let mut w = write_stream;
         for msg in rx.iter() {
             if write_message(&mut w, &msg).is_err() {
+                // The peer is gone (or its socket is wedged): tear down
+                // this connection's subscriptions now so fan-out stops
+                // paying for it, instead of waiting for the reader side
+                // to notice EOF.
+                server_metrics().disconnects.inc();
+                telemetry::log_warn!(
+                    "ovsdb",
+                    "write to conn {conn_id} failed; dropping its subscriptions"
+                );
+                writer_state.subs.lock().retain(|s| s.conn_id != conn_id);
+                writer_state.sever_conn(conn_id);
                 break;
             }
         }
@@ -655,5 +816,126 @@ mod tests {
         let client = Client::connect(server.local_addr()).unwrap();
         assert!(client.call("bogus", json!([])).is_err());
         assert!(client.transact("wrongdb", json!([])).is_err());
+    }
+
+    /// Register a monitor from a raw socket (no reader thread) and hand
+    /// back the socket plus a reader positioned after the monitor reply.
+    fn raw_monitor(addr: SocketAddr, mon_id: &str) -> (TcpStream, MessageReader<TcpStream>) {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        write_message(
+            &mut sock,
+            &Message::Request {
+                id: json!(1),
+                method: "monitor".to_string(),
+                params: json!(["testdb", mon_id, {"T": {}}]),
+            },
+        )
+        .unwrap();
+        let mut rd = MessageReader::new(sock.try_clone().unwrap());
+        match rd.read().unwrap() {
+            Some(Message::Response { error, .. }) => assert!(error.is_null()),
+            other => panic!("expected monitor reply, got {other:?}"),
+        }
+        (sock, rd)
+    }
+
+    #[test]
+    fn slow_monitor_subscriber_is_evicted_and_healthy_one_survives() {
+        let server = Server::start_with(
+            test_db(),
+            "127.0.0.1:0",
+            MonitorOverload {
+                outbox_cap: 2,
+                evict_deadline: Duration::from_millis(100),
+            },
+        )
+        .unwrap();
+
+        // Healthy subscriber: regular client whose reader thread drains.
+        let healthy = Client::connect(server.local_addr()).unwrap();
+        let (_, updates) = healthy
+            .monitor("testdb", json!("ok"), json!({"T": {}}))
+            .unwrap();
+
+        // Slow subscriber: raw socket that registers a monitor and then
+        // never reads another byte, so its TCP window and then its
+        // bounded outbox fill up.
+        let (_slow_sock, mut slow_rd) = raw_monitor(server.local_addr(), "slow");
+        assert_eq!(server.subscription_count(), 2);
+
+        let evictions_before = server_metrics().evictions.get();
+        let disconnects_before = server_metrics().disconnects.get();
+
+        // Flood with fat rows until the slow subscriber is evicted.
+        let big = "x".repeat(1 << 20);
+        let mut evicted = false;
+        for i in 0..32 {
+            server.transact_local(&json!([
+                {"op": "insert", "table": "T", "row": {"k": format!("r{i}-{big}"), "v": 1}}
+            ]));
+            if server.subscription_count() == 1 {
+                evicted = true;
+                break;
+            }
+        }
+        assert!(evicted, "slow subscriber was never evicted");
+        assert!(server_metrics().evictions.get() > evictions_before);
+
+        // The healthy subscriber keeps receiving; the last transact must
+        // still reach it after the eviction.
+        server.transact_local(&json!([
+            {"op": "insert", "table": "T", "row": {"k": "after", "v": 2}}
+        ]));
+        let mut saw_after = false;
+        while let Ok(upd) = updates.recv_timeout(Duration::from_secs(5)) {
+            if upd["T"]
+                .as_object()
+                .map(|rows| rows.values().any(|r| r["new"]["k"] == json!("after")))
+                .unwrap_or(false)
+            {
+                saw_after = true;
+                break;
+            }
+        }
+        assert!(saw_after, "healthy subscriber lost updates after eviction");
+
+        // The evicted socket observes the close: draining whatever was
+        // buffered ends in EOF or an error, never a hang.
+        while let Ok(Some(_)) = slow_rd.read() {}
+
+        // Severing the socket makes the blocked writer's in-flight
+        // write fail, which exercises the failed-write teardown path.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server_metrics().disconnects.get() == disconnects_before
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(server_metrics().disconnects.get() > disconnects_before);
+    }
+
+    #[test]
+    fn dead_peer_subscriptions_are_torn_down() {
+        let server = Server::start(test_db(), "127.0.0.1:0").unwrap();
+        let (sock, rd) = raw_monitor(server.local_addr(), "doomed");
+        assert_eq!(server.subscription_count(), 1);
+        drop(rd);
+        sock.shutdown(std::net::Shutdown::Both).unwrap();
+        drop(sock);
+
+        // Keep committing; the server must notice the dead peer (reader
+        // EOF or failed write) and drop its subscriptions.
+        let mut gone = false;
+        for i in 0..200 {
+            server.transact_local(&json!([
+                {"op": "insert", "table": "T", "row": {"k": format!("d{i}"), "v": 1}}
+            ]));
+            if server.subscription_count() == 0 {
+                gone = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(gone, "dead peer's subscriptions were never dropped");
     }
 }

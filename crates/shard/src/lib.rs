@@ -21,12 +21,19 @@
 //! * [`runtime::ShardRuntime`] — the threaded deployment: per-shard
 //!   input queues, worker threads owning the engines, writer threads
 //!   owning the data planes, per-shard reconcile/resync, `shard`-labeled
-//!   telemetry, and the `/shards` introspection page.
+//!   telemetry, and the `/shards` introspection page;
+//! * [`overload`] — the backpressure layer: bounded queues with an
+//!   [`overload::OverloadPolicy`] (block-with-deadline inputs,
+//!   coalesce-per-switch writer jobs) and the writer-generation
+//!   machinery the per-shard push watchdog uses to supersede and
+//!   respawn a stuck writer thread.
 
+pub mod overload;
 pub mod partition;
 pub mod runtime;
 pub mod set;
 
+pub use overload::OverloadPolicy;
 pub use partition::{Assignment, PartitionSpec, RouteRule, Router};
 pub use runtime::ShardRuntime;
 pub use set::ShardSet;

@@ -20,22 +20,36 @@
 //! reconciliation) round-trip through the writer queue, which also
 //! orders them after every previously-enqueued write.
 //!
+//! Every queue is **bounded** (see [`OverloadPolicy`]): input queues
+//! block the producer up to a deadline then shed (surfaced as an
+//! error + `nerpa_shard_shed_inputs_total`); writer queues coalesce
+//! per switch so a flood holds O(switches) jobs, not O(commits). A
+//! per-shard **watchdog** supervises the writer: a device push that
+//! exceeds `push_deadline` supersedes the writer thread (generation
+//! bump), marks the stuck switch dirty + poisoned, respawns a fresh
+//! writer on the same queue, and queues a reconcile. The superseded
+//! thread exits without applying effects when it eventually unblocks;
+//! the poisoned switch fast-fails jobs until [`ShardRuntime::replace_switch`]
+//! installs a fresh data plane.
+//!
 //! A failed device push does not fail the pipeline: the writer marks
 //! the switch dirty, flips the shard's health to degraded, and keeps
 //! draining (later successful writes to the same switch clear it).
 //! Reconciliation — per shard, on request or after a monitor resync —
 //! replays desired state through the same queues.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam_channel::{bounded, Receiver, SendTimeoutError, Sender};
 use nerpa::controller::{Controller, DataPlane, NerpaProgram};
 use ovsdb::db::RowChange;
 use p4sim::runtime::{Digest, TableEntry, Update};
 use serde_json::{json, Value as Json};
 
+use crate::overload::{OverloadPolicy, Popped, PushError, Pushed, WriteJob, WriteQueue};
 use crate::partition::Router;
 
 /// One unit of work for a shard worker.
@@ -62,33 +76,6 @@ enum ShardInput {
     Flush(Sender<()>),
 }
 
-/// What `read_all_tables` returns through the writer queue.
-type TableDump = Result<Vec<(String, Vec<TableEntry>)>, String>;
-
-/// One unit of work for a shard writer.
-enum WriterJob {
-    Write {
-        switch_id: usize,
-        updates: Vec<Update>,
-        trace: Option<u64>,
-    },
-    Mcast {
-        switch_id: usize,
-        group: u16,
-        ports: Vec<u16>,
-    },
-    ReadAll {
-        switch_id: usize,
-        reply: Sender<TableDump>,
-    },
-    /// Swap the real data plane behind `switch_id` (switch reconnect).
-    Replace {
-        switch_id: usize,
-        dp: Box<dyn DataPlane>,
-    },
-    Flush(Sender<()>),
-}
-
 /// Shared, externally-visible state of one shard: the `shard`-labeled
 /// series plus what the `/shards` page renders.
 struct ShardStat {
@@ -101,6 +88,20 @@ struct ShardStat {
     entries_written: telemetry::Counter,
     queue_depth: telemetry::Gauge,
     write_queue_depth: telemetry::Gauge,
+    /// High-water marks of the two depth gauges: the overload oracle
+    /// asserts these never exceed the configured caps.
+    queue_depth_hwm: telemetry::Gauge,
+    write_queue_depth_hwm: telemetry::Gauge,
+    /// Inputs/write jobs shed after blocking the full enqueue deadline.
+    shed_inputs: telemetry::Counter,
+    /// Sends that failed because the worker/writer is gone (was a
+    /// silent `let _ = send(..)` before overload hardening).
+    dropped_inputs: telemetry::Counter,
+    /// Write jobs merged into an already-queued job for the same
+    /// switch instead of growing the queue.
+    coalesced_writes: telemetry::Counter,
+    /// Writer threads superseded + respawned by the push watchdog.
+    watchdog_restarts: telemetry::Counter,
     /// Switches whose last push failed and that have not been healed by
     /// a later successful write or reconcile.
     dirty: Mutex<BTreeSet<usize>>,
@@ -151,6 +152,36 @@ impl ShardStat {
                 "Pending jobs in the shard's writer queue",
                 labels,
             ),
+            queue_depth_hwm: registry.gauge_with(
+                "nerpa_shard_queue_depth_hwm",
+                "High-water mark of the shard's worker queue depth",
+                labels,
+            ),
+            write_queue_depth_hwm: registry.gauge_with(
+                "nerpa_shard_write_queue_depth_hwm",
+                "High-water mark of the shard's writer queue depth",
+                labels,
+            ),
+            shed_inputs: registry.counter_with(
+                "nerpa_shard_shed_inputs_total",
+                "Inputs or write jobs shed after the enqueue deadline on a full queue",
+                labels,
+            ),
+            dropped_inputs: registry.counter_with(
+                "nerpa_shard_dropped_inputs_total",
+                "Sends that failed because the shard's worker or writer is gone",
+                labels,
+            ),
+            coalesced_writes: registry.counter_with(
+                "nerpa_shard_coalesced_writes_total",
+                "Write jobs coalesced into an already-queued job for the same switch",
+                labels,
+            ),
+            watchdog_restarts: registry.counter_with(
+                "nerpa_shard_watchdog_restarts_total",
+                "Writer threads superseded and respawned by the push watchdog",
+                labels,
+            ),
             dirty: Mutex::new(BTreeSet::new()),
             resync_state: Mutex::new("idle".to_string()),
         }
@@ -158,6 +189,44 @@ impl ShardStat {
 
     fn set_resync_state(&self, s: impl Into<String>) {
         *self.resync_state.lock().unwrap() = s.into();
+    }
+
+    fn note_write_queue_depth(&self, depth: usize) {
+        self.write_queue_depth.set(depth as i64);
+        self.write_queue_depth_hwm.set_max(depth as i64);
+    }
+}
+
+/// One owned switch slot behind the writer. `dp` is `None` while a
+/// writer thread has the handle out for a push (or after a watchdog
+/// fire dropped it); `poisoned` means the device is presumed stuck and
+/// jobs fast-fail until a `Replace` installs a fresh handle.
+struct SwitchSlot {
+    dp: Option<Box<dyn DataPlane>>,
+    poisoned: bool,
+}
+
+/// State shared between a shard's writer thread(s), its watchdog, and
+/// the runtime handle.
+struct WriterShared {
+    queue: WriteQueue,
+    switches: Mutex<BTreeMap<usize, SwitchSlot>>,
+    /// The push currently on a device: `(switch, started, generation)`.
+    inflight: Mutex<Option<(usize, Instant, u64)>>,
+    /// The live writer's join handle; superseded handles are detached
+    /// (they belong to threads that may be stuck in a device call).
+    writer_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl WriterShared {
+    fn poisoned_switches(&self) -> Vec<usize> {
+        self.switches
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|(_, slot)| slot.poisoned)
+            .map(|(id, _)| *id)
+            .collect()
     }
 }
 
@@ -168,8 +237,45 @@ impl ShardStat {
 /// programming happens on the writer thread.
 struct AsyncSwitch {
     switch_id: usize,
-    jobs: Sender<WriterJob>,
+    queue: WriteQueue,
     stat: Arc<ShardStat>,
+    policy: OverloadPolicy,
+}
+
+impl AsyncSwitch {
+    /// Enqueue a writer job with the shard's overload discipline:
+    /// coalesce if possible, block up to the enqueue deadline on a
+    /// full queue, then shed with a surfaced error.
+    fn push(&self, job: WriteJob) -> Result<(), String> {
+        match self.queue.push(job, Some(self.policy.enqueue_deadline)) {
+            Ok(Pushed::Queued) => {
+                self.stat.note_write_queue_depth(self.queue.len());
+                Ok(())
+            }
+            Ok(Pushed::Coalesced) => {
+                self.stat.coalesced_writes.inc();
+                Ok(())
+            }
+            Err(PushError::Timeout(_)) => {
+                self.stat.shed_inputs.inc();
+                self.stat.dirty.lock().unwrap().insert(self.switch_id);
+                telemetry::record_event(
+                    telemetry::Plane::Control,
+                    "shard.overload",
+                    0,
+                    &[("switch", self.switch_id as u64)],
+                );
+                Err(format!(
+                    "write queue full past deadline for switch {} (job shed, switch marked dirty)",
+                    self.switch_id
+                ))
+            }
+            Err(PushError::Closed(_)) => {
+                self.stat.dropped_inputs.inc();
+                Err("shard writer gone".to_string())
+            }
+        }
+    }
 }
 
 impl DataPlane for AsyncSwitch {
@@ -178,25 +284,19 @@ impl DataPlane for AsyncSwitch {
     }
 
     fn write_updates_traced(&self, updates: &[Update], trace: u64) -> Result<(), String> {
-        self.stat.write_queue_depth.add(1);
-        self.jobs
-            .send(WriterJob::Write {
-                switch_id: self.switch_id,
-                updates: updates.to_vec(),
-                trace: (trace != 0).then_some(trace),
-            })
-            .map_err(|_| "shard writer gone".to_string())
+        self.push(WriteJob::Write {
+            switch_id: self.switch_id,
+            updates: updates.to_vec(),
+            traces: if trace != 0 { vec![trace] } else { Vec::new() },
+        })
     }
 
     fn set_mcast_group(&self, group: u16, ports: Vec<u16>) -> Result<(), String> {
-        self.stat.write_queue_depth.add(1);
-        self.jobs
-            .send(WriterJob::Mcast {
-                switch_id: self.switch_id,
-                group,
-                ports,
-            })
-            .map_err(|_| "shard writer gone".to_string())
+        self.push(WriteJob::Mcast {
+            switch_id: self.switch_id,
+            group,
+            ports,
+        })
     }
 
     fn settles_inline(&self) -> bool {
@@ -207,37 +307,47 @@ impl DataPlane for AsyncSwitch {
 
     fn read_all_tables(&self) -> Result<Vec<(String, Vec<TableEntry>)>, String> {
         let (tx, rx) = bounded(1);
-        self.stat.write_queue_depth.add(1);
-        self.jobs
-            .send(WriterJob::ReadAll {
-                switch_id: self.switch_id,
-                reply: tx,
-            })
-            .map_err(|_| "shard writer gone".to_string())?;
+        self.push(WriteJob::ReadAll {
+            switch_id: self.switch_id,
+            reply: tx,
+        })?;
         rx.recv().map_err(|_| "shard writer gone".to_string())?
     }
 }
 
-/// The running sharded control plane: N workers, N writers, and the
-/// router that feeds them. Dropping the runtime shuts every thread
-/// down (after draining the queues).
+/// The running sharded control plane: N workers, N supervised writers,
+/// N watchdogs, and the router that feeds them. Dropping the runtime
+/// shuts every thread down (after draining the queues).
 pub struct ShardRuntime {
     router: Router,
+    policy: OverloadPolicy,
     inputs: Vec<Sender<ShardInput>>,
-    writer_jobs: Vec<Sender<WriterJob>>,
+    writer_shared: Vec<Arc<WriterShared>>,
     stats: Vec<Arc<ShardStat>>,
     workers: Vec<std::thread::JoinHandle<()>>,
-    writers: Vec<std::thread::JoinHandle<()>>,
+    watchdogs: Vec<std::thread::JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
 }
 
 impl ShardRuntime {
-    /// Compile one engine per shard and start the worker/writer pairs.
-    /// `switches` are `(global switch id, data plane)` pairs; each goes
-    /// to the shard the router assigns it.
+    /// [`ShardRuntime::start_with`] under the default [`OverloadPolicy`].
     pub fn start(
         program: &NerpaProgram,
         router: Router,
         switches: Vec<(usize, Box<dyn DataPlane>)>,
+    ) -> Result<ShardRuntime, String> {
+        ShardRuntime::start_with(program, router, switches, OverloadPolicy::default())
+    }
+
+    /// Compile one engine per shard and start the worker/writer pairs
+    /// plus a per-shard writer watchdog. `switches` are `(global switch
+    /// id, data plane)` pairs; each goes to the shard the router
+    /// assigns it.
+    pub fn start_with(
+        program: &NerpaProgram,
+        router: Router,
+        switches: Vec<(usize, Box<dyn DataPlane>)>,
+        policy: OverloadPolicy,
     ) -> Result<ShardRuntime, String> {
         let n = router.shards();
         let mut per_shard: Vec<Vec<(usize, Box<dyn DataPlane>)>> =
@@ -246,16 +356,37 @@ impl ShardRuntime {
             per_shard[router.route_switch(id)].push((id, dp));
         }
 
+        let shutdown = Arc::new(AtomicBool::new(false));
         let mut inputs = Vec::with_capacity(n);
-        let mut writer_jobs = Vec::with_capacity(n);
+        let mut writer_shared = Vec::with_capacity(n);
         let mut stats = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
-        let mut writers = Vec::with_capacity(n);
+        let mut watchdogs = Vec::with_capacity(n);
         for (shard, owned) in per_shard.into_iter().enumerate() {
             let ids: Vec<usize> = owned.iter().map(|(id, _)| *id).collect();
             let stat = Arc::new(ShardStat::new(shard, ids.clone()));
-            let (job_tx, job_rx) = unbounded::<WriterJob>();
-            let (in_tx, in_rx) = unbounded::<ShardInput>();
+            let queue = WriteQueue::new(policy.write_queue_cap);
+            let (in_tx, in_rx) = bounded::<ShardInput>(policy.input_queue_cap);
+
+            let shared = Arc::new(WriterShared {
+                queue: queue.clone(),
+                switches: Mutex::new(
+                    owned
+                        .into_iter()
+                        .map(|(id, dp)| {
+                            (
+                                id,
+                                SwitchSlot {
+                                    dp: Some(dp),
+                                    poisoned: false,
+                                },
+                            )
+                        })
+                        .collect(),
+                ),
+                inflight: Mutex::new(None),
+                writer_handle: Mutex::new(None),
+            });
 
             let mut controller = Controller::new(program)?;
             for id in &ids {
@@ -263,39 +394,44 @@ impl ShardRuntime {
                     *id,
                     Box::new(AsyncSwitch {
                         switch_id: *id,
-                        jobs: job_tx.clone(),
+                        queue: queue.clone(),
                         stat: stat.clone(),
+                        policy: policy.clone(),
                     }),
                 );
             }
 
-            let writer_stat = stat.clone();
-            writers.push(
-                std::thread::Builder::new()
-                    .name(format!("shard-writer-{shard}"))
-                    .spawn(move || writer_loop(shard, owned, job_rx, writer_stat))
-                    .map_err(|e| e.to_string())?,
-            );
+            spawn_writer(shard, shared.clone(), stat.clone(), 0)?;
+            watchdogs.push(spawn_watchdog(
+                shard,
+                shared.clone(),
+                stat.clone(),
+                policy.clone(),
+                in_tx.clone(),
+                shutdown.clone(),
+            )?);
             let worker_stat = stat.clone();
-            let worker_jobs = job_tx.clone();
+            let worker_queue = queue.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("shard-worker-{shard}"))
-                    .spawn(move || worker_loop(shard, controller, in_rx, worker_jobs, worker_stat))
+                    .spawn(move || worker_loop(shard, controller, in_rx, worker_queue, worker_stat))
                     .map_err(|e| e.to_string())?,
             );
             inputs.push(in_tx);
-            writer_jobs.push(job_tx);
+            writer_shared.push(shared);
             stats.push(stat);
         }
 
         let runtime = ShardRuntime {
             router,
+            policy,
             inputs,
-            writer_jobs,
+            writer_shared,
             stats,
             workers,
-            writers,
+            watchdogs,
+            shutdown,
         };
         runtime.register_shards_page();
         Ok(runtime)
@@ -306,15 +442,22 @@ impl ShardRuntime {
         &self.router
     }
 
+    /// The active overload policy.
+    pub fn policy(&self) -> &OverloadPolicy {
+        &self.policy
+    }
+
     /// The shard owning switch `switch_id`.
     pub fn shard_of_switch(&self, switch_id: usize) -> usize {
         self.router.route_switch(switch_id)
     }
 
     /// Fan one monitor `table-updates` object out to the shard queues.
-    /// Returns immediately; commits and pushes happen on the shard
-    /// threads. The embedded trace id rides along in each slice.
-    pub fn handle_monitor_update(&self, updates: &Json) {
+    /// Returns once every slice is enqueued (commits and pushes happen
+    /// on the shard threads); a full or dead shard queue surfaces as an
+    /// error naming the shard. The embedded trace id rides along in
+    /// each slice.
+    pub fn handle_monitor_update(&self, updates: &Json) -> Result<(), String> {
         for (shard, slice) in self
             .router
             .split_monitor_update(updates)
@@ -322,9 +465,10 @@ impl ShardRuntime {
             .enumerate()
         {
             if let Some(slice) = slice {
-                self.enqueue(shard, ShardInput::Monitor(slice));
+                self.enqueue(shard, ShardInput::Monitor(slice))?;
             }
         }
+        Ok(())
     }
 
     /// Fan committed row changes out to the shard queues. One trace id
@@ -332,7 +476,7 @@ impl ShardRuntime {
     /// slice — and from there onto every device write — so the flight
     /// recorder can stitch the fan-out back into a single timeline.
     /// Returns that trace id.
-    pub fn handle_row_changes(&self, changes: &[RowChange]) -> u64 {
+    pub fn handle_row_changes(&self, changes: &[RowChange]) -> Result<u64, String> {
         let trace = telemetry::next_trace_id();
         telemetry::global().convergence_begin(trace);
         for (shard, slice) in self
@@ -354,14 +498,14 @@ impl ShardRuntime {
                         changes: slice,
                         trace,
                     },
-                );
+                )?;
             }
         }
-        trace
+        Ok(trace)
     }
 
     /// Queue digests from switch `switch_id` onto its owning shard.
-    pub fn handle_digests(&self, switch_id: usize, digests: Vec<Digest>) {
+    pub fn handle_digests(&self, switch_id: usize, digests: Vec<Digest>) -> Result<(), String> {
         let shard = self.router.route_switch(switch_id);
         self.enqueue(
             shard,
@@ -370,11 +514,11 @@ impl ShardRuntime {
                 digests,
                 insert: true,
             },
-        );
+        )
     }
 
     /// Queue digest retractions (aging) onto the owning shard.
-    pub fn retract_digests(&self, switch_id: usize, digests: Vec<Digest>) {
+    pub fn retract_digests(&self, switch_id: usize, digests: Vec<Digest>) -> Result<(), String> {
         let shard = self.router.route_switch(switch_id);
         self.enqueue(
             shard,
@@ -383,13 +527,17 @@ impl ShardRuntime {
                 digests,
                 insert: false,
             },
-        );
+        )
     }
 
     /// Resync every shard from a monitor snapshot (each shard diffs its
     /// slice against its own engine inputs; empty slices still resync
     /// so stale rows are retracted).
-    pub fn resync_from_snapshot(&self, initial: &Json, monitored_tables: &[String]) {
+    pub fn resync_from_snapshot(
+        &self,
+        initial: &Json,
+        monitored_tables: &[String],
+    ) -> Result<(), String> {
         let slices = self.router.split_monitor_update(initial);
         for (shard, slice) in slices.into_iter().enumerate() {
             self.enqueue(
@@ -398,32 +546,45 @@ impl ShardRuntime {
                     slice: slice.unwrap_or_else(|| json!({})),
                     tables: monitored_tables.to_vec(),
                 },
-            );
+            )?;
         }
+        Ok(())
     }
 
     /// Ask one shard to reconcile its switches (queued behind whatever
     /// it is currently processing).
-    pub fn reconcile_shard(&self, shard: usize) {
-        self.enqueue(shard, ShardInput::Reconcile);
+    pub fn reconcile_shard(&self, shard: usize) -> Result<(), String> {
+        self.enqueue(shard, ShardInput::Reconcile)
     }
 
     /// Swap the data plane behind `switch_id` (e.g. a fresh TCP client
     /// after the switch restarted), then reconcile its shard. Only that
-    /// shard's queues are involved; other shards keep committing.
-    pub fn replace_switch(&self, switch_id: usize, dp: Box<dyn DataPlane>) {
+    /// shard's queues are involved; other shards keep committing. Also
+    /// clears the switch's watchdog-poisoned state.
+    pub fn replace_switch(&self, switch_id: usize, dp: Box<dyn DataPlane>) -> Result<(), String> {
         let shard = self.router.route_switch(switch_id);
-        self.stats[shard].write_queue_depth.add(1);
-        let _ = self.writer_jobs[shard].send(WriterJob::Replace { switch_id, dp });
-        self.reconcile_shard(shard);
+        let shared = &self.writer_shared[shard];
+        match shared.queue.push(WriteJob::Replace { switch_id, dp }, None) {
+            Ok(_) => self.stats[shard].note_write_queue_depth(shared.queue.len()),
+            Err(_) => {
+                self.stats[shard].dropped_inputs.inc();
+                return Err(format!(
+                    "shard {shard} writer gone; cannot replace switch {switch_id}"
+                ));
+            }
+        }
+        self.reconcile_shard(shard)
     }
 
     /// Barrier: block until every input enqueued before this call —
     /// commits on the workers and pushes on the writers — has been
     /// fully processed, on every shard.
     pub fn flush(&self) {
-        let (tx, rx) = bounded(self.inputs.len());
+        let (tx, rx) = bounded(self.inputs.len().max(1));
         for input in &self.inputs {
+            // Flush markers bypass the shed deadline: a barrier must
+            // get in even under load, and the channel blocking here is
+            // itself the backpressure.
             let _ = input.send(ShardInput::Flush(tx.clone()));
         }
         drop(tx);
@@ -445,6 +606,35 @@ impl ShardRuntime {
         self.stats[shard].entries_written.get()
     }
 
+    /// Writer watchdog restarts on one shard so far.
+    pub fn watchdog_restarts(&self, shard: usize) -> u64 {
+        self.stats[shard].watchdog_restarts.get()
+    }
+
+    /// Write jobs coalesced on one shard so far.
+    pub fn coalesced_writes(&self, shard: usize) -> u64 {
+        self.stats[shard].coalesced_writes.get()
+    }
+
+    /// Inputs/write jobs shed on one shard so far.
+    pub fn shed_inputs(&self, shard: usize) -> u64 {
+        self.stats[shard].shed_inputs.get()
+    }
+
+    /// High-water marks of one shard's (input, writer) queue depths.
+    pub fn queue_highwater(&self, shard: usize) -> (u64, u64) {
+        (
+            self.stats[shard].queue_depth_hwm.get().max(0) as u64,
+            self.stats[shard].write_queue_depth_hwm.get().max(0) as u64,
+        )
+    }
+
+    /// Switches currently poisoned by the watchdog (awaiting a
+    /// [`ShardRuntime::replace_switch`]).
+    pub fn poisoned_switches(&self, shard: usize) -> Vec<usize> {
+        self.writer_shared[shard].poisoned_switches()
+    }
+
     /// Switches whose last device push failed and that have not healed.
     pub fn dirty_switches(&self, shard: usize) -> BTreeSet<usize> {
         self.stats[shard].dirty.lock().unwrap().clone()
@@ -458,38 +648,82 @@ impl ShardRuntime {
     ) -> Result<Vec<(String, Vec<TableEntry>)>, String> {
         let shard = self.router.route_switch(switch_id);
         let (tx, rx) = bounded(1);
-        self.stats[shard].write_queue_depth.add(1);
-        self.writer_jobs[shard]
-            .send(WriterJob::ReadAll {
-                switch_id,
-                reply: tx,
-            })
+        let shared = &self.writer_shared[shard];
+        shared
+            .queue
+            .push(
+                WriteJob::ReadAll {
+                    switch_id,
+                    reply: tx,
+                },
+                None,
+            )
             .map_err(|_| "shard writer gone".to_string())?;
+        self.stats[shard].note_write_queue_depth(shared.queue.len());
         rx.recv().map_err(|_| "shard writer gone".to_string())?
     }
 
-    fn enqueue(&self, shard: usize, input: ShardInput) {
-        self.stats[shard].queue_depth.add(1);
-        let depth = self.stats[shard].queue_depth.get().max(0) as u64;
+    fn enqueue(&self, shard: usize, input: ShardInput) -> Result<(), String> {
+        let stat = &self.stats[shard];
         telemetry::record_event(
             telemetry::Plane::Control,
             "shard.enqueue",
             0,
-            &[("shard", shard as u64), ("depth", depth)],
+            &[
+                ("shard", shard as u64),
+                ("depth", stat.queue_depth.get().max(0) as u64),
+            ],
         );
-        let _ = self.inputs[shard].send(input);
+        match self.inputs[shard].send_timeout(input, self.policy.enqueue_deadline) {
+            Ok(()) => {
+                stat.queue_depth.add(1);
+                stat.queue_depth_hwm
+                    .set_max(self.inputs[shard].len() as i64);
+                Ok(())
+            }
+            Err(SendTimeoutError::Timeout(_)) => {
+                stat.shed_inputs.inc();
+                telemetry::global()
+                    .health
+                    .set(format!("shard/{shard}"), "degraded(input shed)");
+                telemetry::record_event(
+                    telemetry::Plane::Control,
+                    "shard.overload",
+                    0,
+                    &[("shard", shard as u64)],
+                );
+                telemetry::log_warn!(
+                    "shard",
+                    "shard {} input queue full past deadline; input shed",
+                    shard
+                );
+                Err(format!(
+                    "shard {shard} input queue full past deadline (input shed)"
+                ))
+            }
+            Err(SendTimeoutError::Disconnected(_)) => {
+                stat.dropped_inputs.inc();
+                telemetry::global()
+                    .health
+                    .set(format!("shard/{shard}"), "degraded(worker dead)");
+                telemetry::log_warn!("shard", "shard {} worker is gone; input dropped", shard);
+                Err(format!("shard {shard} worker is gone (input dropped)"))
+            }
+        }
     }
 
     /// Register the `/shards` introspection page: one JSON object per
-    /// shard with its switches, counters, queue depths, dirty switches,
-    /// and resync state.
+    /// shard with its switches, counters, queue depths, overload
+    /// counters, dirty/poisoned switches, and resync state.
     fn register_shards_page(&self) {
         let stats: Vec<Arc<ShardStat>> = self.stats.to_vec();
+        let shared: Vec<Arc<WriterShared>> = self.writer_shared.to_vec();
         telemetry::global().register_page("/shards", "application/json", move || {
             let shards: Vec<Json> = stats
                 .iter()
+                .zip(shared.iter())
                 .enumerate()
-                .map(|(shard, s)| {
+                .map(|(shard, (s, w))| {
                     let dirty: Vec<usize> = s.dirty.lock().unwrap().iter().copied().collect();
                     json!({
                         "shard": shard,
@@ -501,6 +735,14 @@ impl ShardRuntime {
                         "entries_written": s.entries_written.get(),
                         "queue_depth": s.queue_depth.get(),
                         "write_queue_depth": s.write_queue_depth.get(),
+                        "queue_depth_hwm": s.queue_depth_hwm.get(),
+                        "write_queue_depth_hwm": s.write_queue_depth_hwm.get(),
+                        "shed_inputs": s.shed_inputs.get(),
+                        "dropped_inputs": s.dropped_inputs.get(),
+                        "coalesced_writes": s.coalesced_writes.get(),
+                        "watchdog_restarts": s.watchdog_restarts.get(),
+                        "writer_generation": w.queue.generation(),
+                        "poisoned_switches": w.poisoned_switches(),
                         "dirty_switches": dirty,
                         "resync_state": s.resync_state.lock().unwrap().clone(),
                     })
@@ -516,16 +758,27 @@ impl ShardRuntime {
     }
 
     fn shutdown_inner(&mut self) {
-        // Closing the input channels ends the workers (after a drain);
-        // each worker closes nothing else, so the writer channels close
-        // once both the runtime's and the workers' senders are gone.
+        // The watchdogs hold input-sender clones (for their reconcile
+        // kicks), so they must exit before closing the input channels
+        // can disconnect the workers. This also means a shutdown drain
+        // cannot be mistaken for a stuck push.
+        self.shutdown.store(true, Ordering::SeqCst);
+        for w in self.watchdogs.drain(..) {
+            let _ = w.join();
+        }
+        // Closing the input channels ends the workers (after a drain).
         self.inputs.clear();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        self.writer_jobs.clear();
-        for w in self.writers.drain(..) {
-            let _ = w.join();
+        // Close the queues: the live writers drain what is left and
+        // exit. Superseded writers were already detached.
+        for shared in self.writer_shared.drain(..) {
+            shared.queue.close();
+            let handle = shared.writer_handle.lock().unwrap().take();
+            if let Some(h) = handle {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -540,7 +793,7 @@ fn worker_loop(
     shard: usize,
     mut controller: Controller,
     inputs: Receiver<ShardInput>,
-    writer: Sender<WriterJob>,
+    queue: WriteQueue,
     stat: Arc<ShardStat>,
 ) {
     while let Ok(input) = inputs.recv() {
@@ -549,7 +802,8 @@ fn worker_loop(
             // Worker-side backlog is drained by arrival here; now drain
             // the writer too, then ack.
             let (tx, rx) = bounded(1);
-            if writer.send(WriterJob::Flush(tx)).is_ok() {
+            if queue.push(WriteJob::Flush(tx), None).is_ok() {
+                stat.note_write_queue_depth(queue.len());
                 let _ = rx.recv();
             }
             let _ = reply.send(());
@@ -631,14 +885,103 @@ fn worker_loop(
     }
 }
 
-fn writer_loop(
+/// Spawn (or respawn) the writer thread for `shard` at `generation`,
+/// registering its handle in `shared.writer_handle`. The previous
+/// handle, if any, is detached — it belongs to a superseded thread
+/// that may still be stuck inside a device call.
+fn spawn_writer(
     shard: usize,
-    switches: Vec<(usize, Box<dyn DataPlane>)>,
-    jobs: Receiver<WriterJob>,
+    shared: Arc<WriterShared>,
     stat: Arc<ShardStat>,
-) {
-    let mut switches: std::collections::BTreeMap<usize, Box<dyn DataPlane>> =
-        switches.into_iter().collect();
+    generation: u64,
+) -> Result<(), String> {
+    let thread_shared = shared.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("shard-writer-{shard}.{generation}"))
+        .spawn(move || writer_loop(shard, thread_shared, stat, generation))
+        .map_err(|e| e.to_string())?;
+    *shared.writer_handle.lock().unwrap() = Some(handle);
+    Ok(())
+}
+
+/// The per-shard writer watchdog: polls the in-flight push and, when
+/// one exceeds the deadline, supersedes the writer (generation bump),
+/// poisons + dirties the stuck switch, respawns a fresh writer on the
+/// same queue, and queues a reconcile for the shard.
+fn spawn_watchdog(
+    shard: usize,
+    shared: Arc<WriterShared>,
+    stat: Arc<ShardStat>,
+    policy: OverloadPolicy,
+    inputs: Sender<ShardInput>,
+    shutdown: Arc<AtomicBool>,
+) -> Result<std::thread::JoinHandle<()>, String> {
+    std::thread::Builder::new()
+        .name(format!("shard-watchdog-{shard}"))
+        .spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(policy.watchdog_poll);
+                let fire = {
+                    let inflight = shared.inflight.lock().unwrap();
+                    match *inflight {
+                        Some((switch_id, started, gen))
+                            if started.elapsed() >= policy.push_deadline
+                                && gen == shared.queue.generation() =>
+                        {
+                            Some((switch_id, gen))
+                        }
+                        _ => None,
+                    }
+                };
+                let Some((switch_id, gen)) = fire else {
+                    continue;
+                };
+                let Some(new_gen) = shared.queue.supersede(gen) else {
+                    continue;
+                };
+                *shared.inflight.lock().unwrap() = None;
+                stat.watchdog_restarts.inc();
+                stat.dirty.lock().unwrap().insert(switch_id);
+                if let Some(slot) = shared.switches.lock().unwrap().get_mut(&switch_id) {
+                    // The handle is out with the superseded thread; it
+                    // drops it (closing the stuck connection) when it
+                    // unblocks. Until a Replace, jobs fast-fail.
+                    slot.poisoned = true;
+                }
+                telemetry::global()
+                    .health
+                    .set(format!("shard/{shard}"), "degraded(writer watchdog)");
+                telemetry::record_event(
+                    telemetry::Plane::Control,
+                    "shard.watchdog_fire",
+                    0,
+                    &[
+                        ("shard", shard as u64),
+                        ("switch", switch_id as u64),
+                        ("generation", new_gen),
+                    ],
+                );
+                telemetry::log_warn!(
+                    "shard",
+                    "shard {} writer stuck pushing to switch {} past {:?}; superseding (gen {})",
+                    shard,
+                    switch_id,
+                    policy.push_deadline,
+                    new_gen
+                );
+                if spawn_writer(shard, shared.clone(), stat.clone(), new_gen).is_err() {
+                    telemetry::log_warn!("shard", "shard {} writer respawn failed", shard);
+                }
+                // Re-enter the dirty-switch reconcile path; best-effort
+                // (the reconcile will fast-fail on the poisoned switch
+                // and succeed after replace_switch).
+                let _ = inputs.try_send(ShardInput::Reconcile);
+            }
+        })
+        .map_err(|e| e.to_string())
+}
+
+fn writer_loop(shard: usize, shared: Arc<WriterShared>, stat: Arc<ShardStat>, my_gen: u64) {
     let mark_dirty = |switch_id: usize, err: &str| {
         stat.write_errors.inc();
         stat.dirty.lock().unwrap().insert(switch_id);
@@ -662,42 +1005,105 @@ fn writer_loop(
                 .set(format!("shard/{shard}"), "ok");
         }
     };
-    while let Ok(job) = jobs.recv() {
-        stat.write_queue_depth.add(-1);
+    // Take the switch's device handle out of its slot for the duration
+    // of a device call. Returns `None` (with the job failed) if the
+    // switch is unknown, poisoned, or its handle is out with a
+    // superseded thread.
+    let take_dp = |switch_id: usize| -> Result<Box<dyn DataPlane>, String> {
+        let mut switches = shared.switches.lock().unwrap();
+        match switches.get_mut(&switch_id) {
+            None => Err(format!("switch {switch_id} not owned by shard {shard}")),
+            Some(slot) if slot.poisoned => Err(format!(
+                "switch {switch_id} poisoned by watchdog; awaiting replace"
+            )),
+            Some(slot) => slot
+                .dp
+                .take()
+                .ok_or_else(|| format!("switch {switch_id} handle unavailable")),
+        }
+    };
+    // Put the handle back unless this thread was superseded mid-call:
+    // then the handle is dropped (closing a presumed-stuck connection)
+    // and the call's effects are discarded. Returns false on
+    // supersede.
+    let put_dp = |switch_id: usize, dp: Box<dyn DataPlane>| -> bool {
+        *shared.inflight.lock().unwrap() = None;
+        if shared.queue.generation() != my_gen {
+            drop(dp);
+            telemetry::record_event_note(
+                telemetry::Plane::Control,
+                "shard.writer_stale_exit",
+                0,
+                &[("shard", shard as u64), ("switch", switch_id as u64)],
+                "superseded writer dropped its device handle",
+            );
+            return false;
+        }
+        let mut switches = shared.switches.lock().unwrap();
+        if let Some(slot) = switches.get_mut(&switch_id) {
+            if slot.poisoned {
+                drop(dp);
+            } else {
+                slot.dp = Some(dp);
+            }
+        }
+        true
+    };
+    let begin_call = |switch_id: usize| {
+        *shared.inflight.lock().unwrap() = Some((switch_id, Instant::now(), my_gen));
+    };
+
+    loop {
+        let job = match shared.queue.pop(my_gen) {
+            Popped::Job(job) => job,
+            Popped::Superseded | Popped::Closed => return,
+        };
+        stat.note_write_queue_depth(shared.queue.len());
         match job {
-            WriterJob::Write {
+            WriteJob::Write {
                 switch_id,
                 updates,
-                trace,
+                traces,
             } => {
-                let Some(dp) = switches.get(&switch_id) else {
-                    continue;
+                let dp = match take_dp(switch_id) {
+                    Ok(dp) => dp,
+                    Err(e) => {
+                        mark_dirty(switch_id, &e);
+                        continue;
+                    }
                 };
                 // Recorded before the device call so the timeline
                 // orders the shard push before the p4.write it causes.
+                let trace = traces.first().copied().unwrap_or(0);
                 telemetry::record_event(
                     telemetry::Plane::Control,
                     "shard.push",
-                    trace.unwrap_or(0),
+                    trace,
                     &[
                         ("shard", shard as u64),
                         ("switch", switch_id as u64),
                         ("updates", updates.len() as u64),
                     ],
                 );
+                begin_call(switch_id);
                 let started = Instant::now();
-                let r = match trace {
-                    Some(t) => dp.write_updates_traced(&updates, t),
-                    None => dp.write_updates(&updates),
+                let r = if trace != 0 {
+                    dp.write_updates_traced(&updates, trace)
+                } else {
+                    dp.write_updates(&updates)
                 };
+                if !put_dp(switch_id, dp) {
+                    return; // superseded: no effects, no settle
+                }
                 match r {
                     Ok(()) => {
                         stat.write_batches.inc();
                         stat.entries_written.add(updates.len() as u64);
                         mark_clean(switch_id);
-                        // The device acknowledged: this trace has
-                        // converged as far as this switch is concerned.
-                        if let Some(t) = trace {
+                        // The device acknowledged: every coalesced
+                        // trace has converged as far as this switch is
+                        // concerned.
+                        for t in traces {
                             telemetry::global().convergence_settled(t, Some(shard));
                         }
                     }
@@ -705,7 +1111,7 @@ fn writer_loop(
                         telemetry::record_event_note(
                             telemetry::Plane::Control,
                             "shard.write_error",
-                            trace.unwrap_or(0),
+                            trace,
                             &[("shard", shard as u64), ("switch", switch_id as u64)],
                             &e,
                         );
@@ -721,29 +1127,54 @@ fn writer_loop(
                     )
                     .record_duration(started.elapsed());
             }
-            WriterJob::Mcast {
+            WriteJob::Mcast {
                 switch_id,
                 group,
                 ports,
             } => {
-                let Some(dp) = switches.get(&switch_id) else {
-                    continue;
+                let dp = match take_dp(switch_id) {
+                    Ok(dp) => dp,
+                    Err(e) => {
+                        mark_dirty(switch_id, &e);
+                        continue;
+                    }
                 };
-                if let Err(e) = dp.set_mcast_group(group, ports) {
+                begin_call(switch_id);
+                let r = dp.set_mcast_group(group, ports);
+                if !put_dp(switch_id, dp) {
+                    return;
+                }
+                if let Err(e) = r {
                     mark_dirty(switch_id, &e);
                 }
             }
-            WriterJob::ReadAll { switch_id, reply } => {
-                let r = match switches.get(&switch_id) {
-                    Some(dp) => dp.read_all_tables(),
-                    None => Err(format!("switch {switch_id} not owned by shard {shard}")),
+            WriteJob::ReadAll { switch_id, reply } => {
+                let r = match take_dp(switch_id) {
+                    Ok(dp) => {
+                        begin_call(switch_id);
+                        let r = dp.read_all_tables();
+                        if !put_dp(switch_id, dp) {
+                            let _ = reply.send(Err(format!(
+                                "shard {shard} writer superseded during read of switch {switch_id}"
+                            )));
+                            return;
+                        }
+                        r
+                    }
+                    Err(e) => Err(e),
                 };
                 let _ = reply.send(r);
             }
-            WriterJob::Replace { switch_id, dp } => {
-                switches.insert(switch_id, dp);
+            WriteJob::Replace { switch_id, dp } => {
+                shared.switches.lock().unwrap().insert(
+                    switch_id,
+                    SwitchSlot {
+                        dp: Some(dp),
+                        poisoned: false,
+                    },
+                );
             }
-            WriterJob::Flush(reply) => {
+            WriteJob::Flush(reply) => {
                 let _ = reply.send(());
             }
         }

@@ -73,6 +73,13 @@ impl Gauge {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Raise the gauge to `v` if `v` is larger; never lowers it. For
+    /// high-water marks (peak queue depth) that overload assertions can
+    /// read back after a flood.
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)

@@ -66,6 +66,19 @@ cargo test -q --test why_e2e
 cargo run --release -q --bin nerpa-why -- demo >/dev/null
 echo "provenance: OK (nerpa-why demo explains every installed entry)"
 
+# Overload robustness: the e2e suite (watchdog supersede + replace +
+# reconcile against a fault-free reference; slow-monitor eviction with
+# streamed-view/reconnect-snapshot equivalence; the full --chaos-stall
+# oracle), then an oracle sweep that freezes a live switch connection
+# mid-churn and wedges a slow OVSDB monitor on every seed — each run
+# must converge to the fault-free state with queue depths inside their
+# caps, at least one watchdog restart, and the slow monitor evicted.
+cargo test -q -p oracle --test overload_e2e
+cargo test -q -p shard --test coalesce_props
+cargo run --release -q -p oracle --bin oracle -- \
+    --seed 1..4 --steps 150 --chaos-stall 7
+echo "overload: OK (stall + slow consumer survived on every seed)"
+
 # Bench smoke: regenerate the paper experiments in --quick mode (the
 # incrementality audit is armed inside report_fig3) and gate the
 # deterministic tuples-per-commit measurements against the checked-in
@@ -87,6 +100,11 @@ cargo run --release -q -p bench --bin compare -- \
 # provenance-on churn commits must stay ≤ 1.15x provenance-off.
 cargo run --release -q -p bench --bin compare -- \
     crates/bench/baselines/BENCH_provenance.json BENCH_provenance.json
+# Overload: sustained churn with one switch frozen must stay within
+# 2.5x of healthy wall (same process), fan-out with one slow monitor
+# within 3x, and the wedged subscriber costs exactly one eviction.
+cargo run --release -q -p bench --bin compare -- \
+    crates/bench/baselines/BENCH_overload.json BENCH_overload.json
 
 # Bench-cliff: the churn-scaling wall-time gate. Runs the reachability
 # churn pair (n=200 / n=2000) with the work audit armed and fails if

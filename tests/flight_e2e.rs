@@ -83,7 +83,7 @@ fn oracle_failure_ships_causally_ordered_flight_dump() {
         .unwrap();
     let update = updates.recv_timeout(Duration::from_secs(5)).unwrap();
     let trace = trace_of(&update);
-    runtime.handle_monitor_update(&update);
+    runtime.handle_monitor_update(&update).unwrap();
     runtime.flush();
     for device in &devices {
         assert_eq!(
@@ -203,7 +203,7 @@ fn convergence_lag_recorded_for_every_commit_under_chaos_reconnects() {
         admin.transact("snvs", ops).unwrap();
         let update = updates.recv_timeout(Duration::from_secs(5)).unwrap();
         let trace = trace_of(&update);
-        runtime.handle_monitor_update(&update);
+        runtime.handle_monitor_update(&update).unwrap();
         runtime.flush();
         trace
     };
@@ -233,10 +233,12 @@ fn convergence_lag_recorded_for_every_commit_under_chaos_reconnects() {
 
     // Chaos reconnect: a fresh direct connection replaces the severed
     // one and the shard reconciles; later commits settle on both shards.
-    runtime.replace_switch(
-        1,
-        Box::new(ControlClient::connect(service1.local_addr()).unwrap()),
-    );
+    runtime
+        .replace_switch(
+            1,
+            Box::new(ControlClient::connect(service1.local_addr()).unwrap()),
+        )
+        .unwrap();
     runtime.flush();
     assert!(runtime.dirty_switches(victim_shard).is_empty());
     for id in [4u16, 5] {

@@ -67,7 +67,7 @@ fn sharded_pipeline_survives_single_switch_failure() {
                        "row": {"id": port, "vlan_mode": "access", "tag": 10}}));
     }
     let (_, changes) = db.transact(&json!(tx));
-    let trace = runtime.handle_row_changes(&changes);
+    let trace = runtime.handle_row_changes(&changes).unwrap();
     runtime.flush();
 
     // Every switch got both port entries over its own socket, and every
@@ -92,7 +92,9 @@ fn sharded_pipeline_survives_single_switch_failure() {
 
     // Per-shard digest path: each switch learns one distinct MAC.
     for sw in 0..SHARDS {
-        runtime.handle_digests(sw, vec![mac_digest(1, 0xAA00 + sw as u64, 10)]);
+        runtime
+            .handle_digests(sw, vec![mac_digest(1, 0xAA00 + sw as u64, 10)])
+            .unwrap();
     }
     runtime.flush();
     for (sw, device) in devices.iter().enumerate() {
@@ -109,7 +111,7 @@ fn sharded_pipeline_survives_single_switch_failure() {
         {"op": "insert", "table": "Port",
          "row": {"id": 3, "vlan_mode": "access", "tag": 20}}
     ]));
-    runtime.handle_row_changes(&changes);
+    runtime.handle_row_changes(&changes).unwrap();
     runtime.flush();
 
     // Every shard's engine kept committing — a dead switch on one shard
@@ -143,7 +145,7 @@ fn sharded_pipeline_survives_single_switch_failure() {
     let fresh = SwitchDevice::new(Switch::new(program.clone()));
     let service = ControlService::start(fresh.clone(), "127.0.0.1:0").unwrap();
     let client = ControlClient::connect(service.local_addr()).unwrap();
-    runtime.replace_switch(VICTIM, Box::new(client));
+    runtime.replace_switch(VICTIM, Box::new(client)).unwrap();
     runtime.flush();
     services.push(service);
 

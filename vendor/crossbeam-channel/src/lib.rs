@@ -6,9 +6,14 @@
 //!
 //! Implementation notes:
 //!
-//! * channels are a `Mutex<VecDeque>` + `Condvar` shared by all clones;
-//!   "bounded" capacity is accepted but not enforced (every workload in
-//!   this repo treats bounded channels as small mailboxes);
+//! * channels are a `Mutex<VecDeque>` + two `Condvar`s (receive-side
+//!   and send-side) shared by all clones;
+//! * `bounded(cap)` channels enforce their capacity: `send` blocks
+//!   while the queue is full, `send_timeout`/`send_deadline` bound the
+//!   wait, and `try_send` fails fast with [`TrySendError::Full`]. The
+//!   shard runtime and the OVSDB monitor fan-out rely on this for
+//!   backpressure — a stalled consumer must translate into blocked (or
+//!   shed) producers, not unbounded memory growth;
 //! * `Select` is poll-based: it scans its registered receivers and
 //!   parks briefly between scans. Latency is a few hundred
 //!   microseconds, which is well inside what the tests and the chaos
@@ -27,7 +32,14 @@ struct State<T> {
 
 struct Inner<T> {
     state: Mutex<State<T>>,
+    /// Capacity for bounded channels; `None` means unbounded.
+    cap: Option<usize>,
+    /// Signalled when a message is pushed (or the channel disconnects):
+    /// wakes blocked receivers.
     cond: Condvar,
+    /// Signalled when a message is popped (or the channel disconnects):
+    /// wakes senders blocked on a full bounded queue.
+    send_cond: Condvar,
 }
 
 /// The sending half of a channel. Clonable; the channel disconnects
@@ -46,6 +58,25 @@ pub struct Receiver<T> {
 /// carries the unsent message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`]; carries the unsent message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded queue is at capacity right now.
+    Full(T),
+    /// All receivers dropped.
+    Disconnected(T),
+}
+
+/// Error returned by [`Sender::send_timeout`]; carries the unsent
+/// message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The timeout elapsed with the bounded queue still full.
+    Timeout(T),
+    /// All receivers dropped.
+    Disconnected(T),
+}
 
 /// Error returned by [`Receiver::recv`] on an empty, disconnected
 /// channel.
@@ -75,6 +106,22 @@ impl<T> fmt::Display for SendError<T> {
         f.write_str("sending on a disconnected channel")
     }
 }
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+impl<T> fmt::Display for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => f.write_str("channel send timed out"),
+            SendTimeoutError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
 impl fmt::Display for RecvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("receiving on an empty and disconnected channel")
@@ -86,18 +133,49 @@ impl fmt::Display for RecvTimeoutError {
     }
 }
 impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+impl<T: fmt::Debug> std::error::Error for TrySendError<T> {}
+impl<T: fmt::Debug> std::error::Error for SendTimeoutError<T> {}
 impl std::error::Error for RecvError {}
 impl std::error::Error for RecvTimeoutError {}
 
-/// Create an unbounded channel.
-pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+impl<T> TrySendError<T> {
+    /// Recover the unsent message.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+
+    /// True for the [`TrySendError::Full`] case.
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+}
+
+impl<T> SendTimeoutError<T> {
+    /// Recover the unsent message.
+    pub fn into_inner(self) -> T {
+        match self {
+            SendTimeoutError::Timeout(v) | SendTimeoutError::Disconnected(v) => v,
+        }
+    }
+
+    /// True for the [`SendTimeoutError::Timeout`] case.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, SendTimeoutError::Timeout(_))
+    }
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let inner = Arc::new(Inner {
         state: Mutex::new(State {
             queue: VecDeque::new(),
             senders: 1,
             receivers: 1,
         }),
+        cap,
         cond: Condvar::new(),
+        send_cond: Condvar::new(),
     });
     (
         Sender {
@@ -107,10 +185,17 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     )
 }
 
-/// Create a "bounded" channel. Capacity is accepted for API parity but
-/// not enforced; see the module docs.
-pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
-    unbounded()
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// Create a bounded channel: at most `cap` messages buffered. A full
+/// queue blocks `send`, fails `try_send` with [`TrySendError::Full`],
+/// and bounds `send_timeout` waits. A zero capacity is rounded up to 1
+/// (this implementation has no rendezvous mode).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap.max(1)))
 }
 
 impl<T> Clone for Sender<T> {
@@ -147,34 +232,123 @@ impl<T> Drop for Receiver<T> {
         s.receivers -= 1;
         if s.receivers == 0 {
             self.inner.cond.notify_all();
+            self.inner.send_cond.notify_all();
         }
     }
 }
 
 impl<T> Sender<T> {
-    /// Send a message, failing if every receiver is gone.
+    /// Send a message, failing if every receiver is gone. On a full
+    /// bounded channel this blocks until space frees up.
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
         let mut s = self.inner.state.lock().unwrap();
+        loop {
+            if s.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match self.inner.cap {
+                Some(cap) if s.queue.len() >= cap => {
+                    s = self.inner.send_cond.wait(s).unwrap();
+                }
+                _ => {
+                    s.queue.push_back(msg);
+                    self.inner.cond.notify_one();
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Non-blocking send: fails fast with [`TrySendError::Full`] on a
+    /// full bounded channel instead of waiting.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut s = self.inner.state.lock().unwrap();
         if s.receivers == 0 {
-            return Err(SendError(msg));
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if let Some(cap) = self.inner.cap {
+            if s.queue.len() >= cap {
+                return Err(TrySendError::Full(msg));
+            }
         }
         s.queue.push_back(msg);
         self.inner.cond.notify_one();
         Ok(())
     }
 
-    /// Non-blocking send (never full here, so this is [`Sender::send`]).
-    pub fn try_send(&self, msg: T) -> Result<(), SendError<T>> {
-        self.send(msg)
+    /// Send with a bounded wait on a full channel.
+    pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        self.send_deadline(msg, Instant::now() + timeout)
+    }
+
+    /// Send, waiting until `deadline` at most for queue space.
+    pub fn send_deadline(&self, msg: T, deadline: Instant) -> Result<(), SendTimeoutError<T>> {
+        let mut s = self.inner.state.lock().unwrap();
+        loop {
+            if s.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(msg));
+            }
+            let full = matches!(self.inner.cap, Some(cap) if s.queue.len() >= cap);
+            if !full {
+                s.queue.push_back(msg);
+                self.inner.cond.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SendTimeoutError::Timeout(msg));
+            }
+            let (guard, _res) = self
+                .inner
+                .send_cond
+                .wait_timeout(s, deadline - now)
+                .unwrap();
+            s = guard;
+        }
+    }
+
+    /// Buffered message count (snapshot).
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().unwrap().queue.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The channel's capacity (`None` for unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.cap
+    }
+
+    /// Whether a `send` would complete without blocking (space free or
+    /// channel disconnected). Used by [`Select`].
+    fn send_ready(&self) -> bool {
+        let s = self.inner.state.lock().unwrap();
+        if s.receivers == 0 {
+            return true;
+        }
+        match self.inner.cap {
+            Some(cap) => s.queue.len() < cap,
+            None => true,
+        }
     }
 }
 
 impl<T> Receiver<T> {
+    /// Pop under an already-held lock, waking one blocked sender.
+    fn notify_pop(&self) {
+        self.inner.send_cond.notify_one();
+    }
+
     /// Block until a message arrives or the channel disconnects.
     pub fn recv(&self) -> Result<T, RecvError> {
         let mut s = self.inner.state.lock().unwrap();
         loop {
             if let Some(v) = s.queue.pop_front() {
+                drop(s);
+                self.notify_pop();
                 return Ok(v);
             }
             if s.senders == 0 {
@@ -188,7 +362,11 @@ impl<T> Receiver<T> {
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut s = self.inner.state.lock().unwrap();
         match s.queue.pop_front() {
-            Some(v) => Ok(v),
+            Some(v) => {
+                drop(s);
+                self.notify_pop();
+                Ok(v)
+            }
             None if s.senders == 0 => Err(TryRecvError::Disconnected),
             None => Err(TryRecvError::Empty),
         }
@@ -204,6 +382,8 @@ impl<T> Receiver<T> {
         let mut s = self.inner.state.lock().unwrap();
         loop {
             if let Some(v) = s.queue.pop_front() {
+                drop(s);
+                self.notify_pop();
                 return Ok(v);
             }
             if s.senders == 0 {
@@ -232,6 +412,11 @@ impl<T> Receiver<T> {
     /// Buffered message count.
     pub fn len(&self) -> usize {
         self.inner.state.lock().unwrap().queue.len()
+    }
+
+    /// The channel's capacity (`None` for unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.cap
     }
 
     /// Blocking iterator until disconnect.
@@ -331,10 +516,10 @@ impl<'a> Select<'a> {
         self.ready_fns.len() - 1
     }
 
-    /// Register a send operation; returns its index. Sends never block
-    /// here (unbounded queues), so the operation is always ready.
-    pub fn send<T>(&mut self, _s: &'a Sender<T>) -> usize {
-        self.ready_fns.push(Box::new(|| true));
+    /// Register a send operation; returns its index. Ready when the
+    /// channel has queue space (or is disconnected).
+    pub fn send<T>(&mut self, s: &'a Sender<T>) -> usize {
+        self.ready_fns.push(Box::new(move || s.send_ready()));
         self.ready_fns.len() - 1
     }
 
@@ -450,6 +635,77 @@ mod tests {
         }
         t.join().unwrap();
         assert_eq!(got, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_try_send_fails_fast_when_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2, 3]);
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+    }
+
+    #[test]
+    fn bounded_send_timeout_and_unblock() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let err = tx.send_timeout(2, Duration::from_millis(10)).unwrap_err();
+        assert!(err.is_timeout());
+        assert_eq!(err.into_inner(), 2);
+        // A pop frees space for a blocked send_timeout.
+        let tx2 = tx.clone();
+        let t = thread::spawn(move || tx2.send_timeout(2, Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        // Receiver drop unblocks a waiting sender with Disconnected.
+        tx.send(3).unwrap();
+        let tx3 = tx.clone();
+        let t = thread::spawn(move || tx3.send_timeout(4, Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert!(matches!(
+            t.join().unwrap(),
+            Err(SendTimeoutError::Disconnected(4))
+        ));
+    }
+
+    #[test]
+    fn bounded_blocking_send_applies_backpressure() {
+        let (tx, rx) = bounded(4);
+        let t = thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        // The producer cannot run ahead: depth stays within capacity.
+        let mut got = Vec::new();
+        loop {
+            assert!(rx.len() <= 4);
+            match rx.recv() {
+                Ok(v) => got.push(v),
+                Err(_) => break,
+            }
+        }
+        t.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn capacity_is_reported() {
+        let (tx, rx) = bounded::<u8>(3);
+        assert_eq!(tx.capacity(), Some(3));
+        assert_eq!(rx.capacity(), Some(3));
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(tx.capacity(), None);
+        assert_eq!(rx.capacity(), None);
     }
 
     #[test]
